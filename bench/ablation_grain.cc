@@ -1,0 +1,88 @@
+// Ablation — parallel-loop grain size. Cilk-style loops trade scheduling
+// overhead (small grains) against load imbalance and lost parallelism
+// (large grains); this sweeps the chunk grain of the K-means assignment
+// loop at a fixed worker count.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/report.h"
+#include "parallel/executor.h"
+#include "parallel/simulated_executor.h"
+
+namespace hpa::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags("ablation_grain", "parallel-for grain-size sweep");
+  AddCommonFlags(flags);
+  flags.DefineInt("items", 100000, "loop iterations");
+  flags.DefineInt("workers", 16, "virtual worker count");
+  flags.DefineString("grains", "1,8,64,512,4096,32768",
+                     "comma-separated grain sizes (0 = auto)");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  PrintBanner("Ablation: parallel-for grain size", flags);
+
+  auto grains_or = ParseIntList(flags.GetString("grains"), 0);
+  if (!grains_or.ok()) {
+    std::fprintf(stderr, "%s\n", grains_or.status().ToString().c_str());
+    return 2;
+  }
+  const size_t items = static_cast<size_t>(flags.GetInt("items"));
+  const int workers = static_cast<int>(flags.GetInt("workers"));
+
+  // Skewed per-item work: documents are not equally long (log-normal in
+  // our corpora), so dynamic scheduling and grain interact.
+  auto work = [](size_t i) {
+    volatile double x = 1.0;
+    int spins = 20 + static_cast<int>((i * 2654435761u) % 200);
+    for (int k = 0; k < spins; ++k) x = x * 1.0000001 + 0.5;
+    return x;
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"grain", "chunks", "virtual time", "speedup vs 1 worker"});
+
+  // 1-worker reference at a mid grain.
+  parallel::SimulatedExecutor ref(1, parallel::MachineModel::Default());
+  ref.ParallelFor(0, items, 512, parallel::WorkHint{},
+                  [&](int, size_t b, size_t e) {
+                    for (size_t i = b; i < e; ++i) work(i);
+                  });
+  double t1 = ref.Now();
+
+  for (int grain : *grains_or) {
+    parallel::SimulatedExecutor exec(workers,
+                                     parallel::MachineModel::Default());
+    exec.ParallelFor(0, items, static_cast<size_t>(grain),
+                     parallel::WorkHint{}, [&](int, size_t b, size_t e) {
+                       for (size_t i = b; i < e; ++i) work(i);
+                     });
+    const auto& stats = exec.last_region();
+    rows.push_back({grain == 0 ? "auto" : std::to_string(grain),
+                    std::to_string(stats.num_chunks),
+                    HumanDuration(exec.Now()),
+                    StrFormat("%.2fx", t1 / exec.Now())});
+  }
+
+  std::printf("\n%s\n", core::FormatTable(rows).c_str());
+  std::printf("expected shape: tiny grains pay per-chunk spawn overhead; "
+              "huge grains\nstarve workers (fewer chunks than workers); the "
+              "auto grain (~8 chunks per\nworker) sits near the optimum.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpa::bench
+
+int main(int argc, char** argv) { return hpa::bench::Run(argc, argv); }

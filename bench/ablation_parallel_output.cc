@@ -1,0 +1,134 @@
+// Ablation — parallel output via sharded ARFF (the paper's §3.2 open
+// challenge: "Parallelizing output is important as well. However, file
+// formats are often designed in such a way that parallel I/O becomes
+// hard"). Compares the serial single-file ARFF output against the sharded
+// writer at several worker counts, on both the single-channel local-HDD
+// model and a multi-channel store: the format change only pays off when
+// the device can actually serve concurrent writes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/report.h"
+#include "io/arff.h"
+#include "io/packed_corpus.h"
+#include "io/sharded_arff.h"
+#include "ops/tfidf.h"
+#include "parallel/executor.h"
+#include "parallel/simulated_executor.h"
+
+namespace hpa::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags("ablation_parallel_output",
+                "serial ARFF vs sharded parallel ARFF output (§3.2)");
+  AddCommonFlags(flags);
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  PrintBanner("Ablation: serial vs sharded (parallel) ARFF output", flags);
+
+  auto env_or = BenchEnv::Create(flags);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& env = *env_or;
+  auto threads_or = ParseIntList(flags.GetString("threads"));
+  if (!threads_or.ok()) {
+    std::fprintf(stderr, "%s\n", threads_or.status().ToString().c_str());
+    return 2;
+  }
+
+  // Build the TF/IDF matrix once (setup, untimed).
+  text::CorpusProfile profile =
+      env->ScaleProfile(text::CorpusProfile::NsfAbstracts());
+  auto rel = env->EnsureCorpus(profile);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+  env->SetExecutor(nullptr);
+  parallel::SerialExecutor setup_exec;
+  ops::ExecContext setup_ctx;
+  setup_ctx.executor = &setup_exec;
+  setup_ctx.corpus_disk = env->corpus_disk();
+  auto reader = io::PackedCorpusReader::Open(env->corpus_disk(), *rel);
+  if (!reader.ok()) return 1;
+  auto tfidf = ops::TfidfInMemory(setup_ctx, *reader);
+  if (!tfidf.ok()) {
+    std::fprintf(stderr, "%s\n", tfidf.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n[%s] writing %zu rows x %zu attributes\n\n",
+              profile.name.c_str(), tfidf->matrix.num_rows(),
+              tfidf->terms.size());
+
+  struct Device {
+    const char* label;
+    io::DiskOptions options;
+  };
+  const Device devices[] = {
+      {"local-hdd (1 channel)", io::DiskOptions::LocalHdd()},
+      {"store (multi-channel)", io::DiskOptions::CorpusStore()},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"device", "threads", "serial ARFF", "sharded ARFF",
+                  "speedup"});
+  for (const Device& dev : devices) {
+    for (int threads : *threads_or) {
+      parallel::SimulatedExecutor exec(threads,
+                                       parallel::MachineModel::Default());
+      io::SimDisk disk(dev.options, env->scratch_disk()->root(), &exec);
+
+      double t0 = exec.Now();
+      Status w;
+      // A serial region so the formatting CPU is charged, matching how the
+      // discrete TF/IDF operator accounts its output phase.
+      exec.RunSerial(parallel::WorkHint{}, [&] {
+        w = io::WriteSparseArff(&disk, "po_serial.arff", "tfidf",
+                                tfidf->terms, tfidf->matrix);
+      });
+      if (!w.ok()) {
+        std::fprintf(stderr, "%s\n", w.ToString().c_str());
+        return 1;
+      }
+      double serial_time = exec.Now() - t0;
+
+      t0 = exec.Now();
+      w = io::WriteShardedArff(&disk, &exec, "po_sharded", "tfidf",
+                               tfidf->terms, tfidf->matrix, threads);
+      if (!w.ok()) {
+        std::fprintf(stderr, "%s\n", w.ToString().c_str());
+        return 1;
+      }
+      double sharded_time = exec.Now() - t0;
+
+      rows.push_back({dev.label, std::to_string(threads),
+                      HumanDuration(serial_time),
+                      HumanDuration(sharded_time),
+                      StrFormat("%.2fx", serial_time / sharded_time)});
+    }
+  }
+
+  std::printf("%s\n", core::FormatTable(rows).c_str());
+  std::printf("expected shape: sharding wins nothing on the single-channel "
+              "device (the\nFigure-3 setting) but makes output scale with "
+              "workers on multi-channel\nstorage — the format, not the "
+              "computation, was the §3.2 bottleneck.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpa::bench
+
+int main(int argc, char** argv) { return hpa::bench::Run(argc, argv); }

@@ -1,0 +1,131 @@
+#include "bench_util.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "io/file_io.h"
+#include "text/corpus_io.h"
+
+namespace hpa::bench {
+
+void AddCommonFlags(FlagSet& flags) {
+  flags.DefineDouble("scale", 0.05,
+                     "corpus scale factor vs the paper's Table 1 (1.0 = "
+                     "full size)");
+  flags.DefineDouble("vocab_exp", 1.0,
+                     "vocabulary scaling exponent: 1.0 = proportional "
+                     "miniature (preserves the docs:vocabulary ratio the "
+                     "scalability shapes depend on), 0.7 = Heaps'-law "
+                     "subsampling");
+  flags.DefineString("executor", "simulated",
+                     "executor kind: simulated | threads | serial");
+  flags.DefineString("threads", "1,2,4,8,12,16",
+                     "comma-separated worker counts to sweep");
+  flags.DefineString("workdir", "",
+                     "workspace directory (default: <tmp>/hpa_bench)");
+  flags.DefineInt("kmeans_iters", 5, "fixed K-means iteration count");
+  flags.DefineInt("repeats", 3,
+                  "repetitions per configuration; the minimum time is "
+                  "reported (noise suppression)");
+  flags.DefineInt("clusters", 8, "number of K-means clusters (paper: 8)");
+}
+
+StatusOr<std::unique_ptr<BenchEnv>> BenchEnv::Create(const FlagSet& flags) {
+  auto env = std::unique_ptr<BenchEnv>(new BenchEnv());
+  env->scale_ = flags.GetDouble("scale");
+  if (env->scale_ <= 0.0 || env->scale_ > 1.0) {
+    return Status::InvalidArgument("--scale must be in (0, 1]");
+  }
+  env->vocab_exp_ = flags.GetDouble("vocab_exp");
+  if (env->vocab_exp_ <= 0.0 || env->vocab_exp_ > 1.5) {
+    return Status::InvalidArgument("--vocab_exp must be in (0, 1.5]");
+  }
+  env->workdir_ = flags.GetString("workdir");
+  if (env->workdir_.empty()) {
+    env->workdir_ =
+        (std::filesystem::temp_directory_path() / "hpa_bench").string();
+  }
+  HPA_RETURN_IF_ERROR(io::MakeDirs(env->workdir_ + "/corpora"));
+  HPA_RETURN_IF_ERROR(io::MakeDirs(env->workdir_ + "/scratch"));
+
+  env->corpus_disk_ = std::make_unique<io::SimDisk>(
+      io::DiskOptions::CorpusStore(), env->workdir_ + "/corpora", nullptr);
+  env->scratch_disk_ = std::make_unique<io::SimDisk>(
+      io::DiskOptions::LocalHdd(), env->workdir_ + "/scratch", nullptr);
+  return env;
+}
+
+BenchEnv::~BenchEnv() = default;
+
+StatusOr<std::string> BenchEnv::EnsureCorpus(
+    const text::CorpusProfile& profile) {
+  // Cache key: profile identity (name is already scale-suffixed) + seed +
+  // document count, which pins the generated content.
+  std::string key = profile.name;
+  for (char& c : key) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  std::string rel = StrFormat(
+      "%s_s%llu_d%llu_v%llu.pack", key.c_str(),
+      static_cast<unsigned long long>(profile.seed),
+      static_cast<unsigned long long>(profile.num_documents),
+      static_cast<unsigned long long>(profile.target_distinct_words));
+  if (corpus_disk_->Exists(rel)) return rel;
+
+  HPA_LOG(kInfo, "generating corpus '%s' (%llu docs, target %s)...",
+          profile.name.c_str(),
+          static_cast<unsigned long long>(profile.num_documents),
+          HumanBytes(profile.target_bytes).c_str());
+  text::Corpus corpus = text::SynthCorpusGenerator(profile).Generate();
+  // Generation is setup, not measurement: write with no executor attached.
+  parallel::Executor* saved = corpus_disk_->executor();
+  corpus_disk_->set_executor(nullptr);
+  Status s = text::WriteCorpusPacked(corpus, corpus_disk_.get(), rel);
+  corpus_disk_->set_executor(saved);
+  HPA_RETURN_IF_ERROR(s);
+  HPA_LOG(kInfo, "corpus '%s' cached at %s (%s)", profile.name.c_str(),
+          rel.c_str(), HumanBytes(corpus.TotalBytes()).c_str());
+  return rel;
+}
+
+void BenchEnv::SetExecutor(parallel::Executor* executor) {
+  corpus_disk_->set_executor(executor);
+  scratch_disk_->set_executor(executor);
+}
+
+std::unique_ptr<parallel::Executor> MakeBenchExecutor(const FlagSet& flags,
+                                                      int threads) {
+  return parallel::MakeExecutor(flags.GetString("executor"), threads);
+}
+
+StatusOr<std::vector<int>> ParseIntList(const std::string& text,
+                                        int min_value) {
+  std::vector<int> out;
+  for (std::string_view part : Split(text, ',')) {
+    int64_t v = 0;
+    if (!ParseInt64(part, &v) || v < min_value) {
+      return Status::InvalidArgument("bad thread list entry '" +
+                                     std::string(part) + "'");
+    }
+    out.push_back(static_cast<int>(v));
+  }
+  if (out.empty()) return Status::InvalidArgument("empty thread list");
+  return out;
+}
+
+void PrintBanner(const std::string& title, const FlagSet& flags) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("  scale=%.3g  executor=%s  threads=%s\n",
+              flags.GetDouble("scale"),
+              flags.GetString("executor").c_str(),
+              flags.GetString("threads").c_str());
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace hpa::bench

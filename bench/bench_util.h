@@ -1,0 +1,82 @@
+#ifndef HPA_BENCH_BENCH_UTIL_H_
+#define HPA_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/status.h"
+#include "io/sim_disk.h"
+#include "parallel/executor.h"
+#include "text/synth_corpus.h"
+
+/// \file
+/// Shared machinery for the figure/table benchmark harnesses: corpus
+/// caching (generated corpora are packed once and reused across bench
+/// runs), standard flags, and executor construction.
+
+namespace hpa::bench {
+
+/// Standard flags shared by every harness. Call before Parse().
+void AddCommonFlags(FlagSet& flags);
+
+/// Workspace with a persistent corpus cache and a fresh scratch area.
+class BenchEnv {
+ public:
+  /// Creates the environment from parsed flags (--scale, --seed,
+  /// --workdir). The corpus cache lives under the workdir and survives
+  /// across runs; scratch content is per-instance.
+  static StatusOr<std::unique_ptr<BenchEnv>> Create(const FlagSet& flags);
+
+  ~BenchEnv();
+
+  /// Generates (or reuses a cached copy of) the corpus for `profile`,
+  /// packed at a deterministic path on the corpus disk. Returns the
+  /// corpus-disk-relative path.
+  StatusOr<std::string> EnsureCorpus(const text::CorpusProfile& profile);
+
+  /// Corpus store device (multi-channel).
+  io::SimDisk* corpus_disk() { return corpus_disk_.get(); }
+
+  /// Intermediate store device (single-channel local HDD model).
+  io::SimDisk* scratch_disk() { return scratch_disk_.get(); }
+
+  /// Points both disks' time charging at `executor` (per run).
+  void SetExecutor(parallel::Executor* executor);
+
+  /// Scale factor applied to corpus profiles.
+  double scale() const { return scale_; }
+
+  /// Applies the --scale/--vocab_exp flags to a full-size profile.
+  text::CorpusProfile ScaleProfile(const text::CorpusProfile& base) const {
+    return base.Scaled(scale_, vocab_exp_);
+  }
+
+ private:
+  BenchEnv() = default;
+
+  double scale_ = 1.0;
+  double vocab_exp_ = 1.0;
+  std::string workdir_;
+  std::unique_ptr<io::SimDisk> corpus_disk_;
+  std::unique_ptr<io::SimDisk> scratch_disk_;
+};
+
+/// Makes the executor selected by --executor/--threads flags ("simulated"
+/// by default — the virtual-time device that reproduces the paper's
+/// multicore scaling on any host).
+std::unique_ptr<parallel::Executor> MakeBenchExecutor(const FlagSet& flags,
+                                                      int threads);
+
+/// Parses "1,4,8,12,16" into a list; returns InvalidArgument on garbage or
+/// on entries below `min_value`.
+StatusOr<std::vector<int>> ParseIntList(const std::string& text,
+                                        int min_value = 1);
+
+/// Prints the standard harness banner (figure id, corpus, scale, executor).
+void PrintBanner(const std::string& title, const FlagSet& flags);
+
+}  // namespace hpa::bench
+
+#endif  // HPA_BENCH_BENCH_UTIL_H_

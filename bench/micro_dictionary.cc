@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the dictionary backends: insert
+// and lookup costs per structure. These are the measurements that feed the
+// cost-model constants in core/cost_model.cc.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "containers/dictionary.h"
+#include "text/synth_corpus.h"
+
+namespace hpa::containers {
+namespace {
+
+// A shared pool of Zipf-distributed tokens, like a real word-count stream.
+const std::vector<std::string>& TokenStream() {
+  static const std::vector<std::string>* stream = [] {
+    text::CorpusProfile profile;
+    profile.name = "micro";
+    profile.num_documents = 1;
+    profile.target_distinct_words = 20000;
+    text::SynthCorpusGenerator gen(profile);
+    Rng rng(7);
+    ZipfSampler zipf(20000, 1.05);
+    auto* tokens = new std::vector<std::string>();
+    tokens->reserve(200000);
+    for (int i = 0; i < 200000; ++i) {
+      tokens->push_back(gen.WordForRank(zipf.Sample(rng)));
+    }
+    return tokens;
+  }();
+  return *stream;
+}
+
+template <DictBackend B>
+void BM_InsertZipfTokens(benchmark::State& state) {
+  const auto& tokens = TokenStream();
+  for (auto _ : state) {
+    typename DictFor<B, uint32_t>::type dict;
+    for (const std::string& t : tokens) {
+      dict.FindOrInsert(std::string_view(t)) += 1;
+    }
+    benchmark::DoNotOptimize(dict.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tokens.size()));
+}
+
+template <DictBackend B>
+void BM_LookupBuiltTable(benchmark::State& state) {
+  const auto& tokens = TokenStream();
+  typename DictFor<B, uint32_t>::type dict;
+  for (const std::string& t : tokens) {
+    dict.FindOrInsert(std::string_view(t)) += 1;
+  }
+  for (auto _ : state) {
+    uint64_t hits = 0;
+    for (const std::string& t : tokens) {
+      hits += dict.Find(std::string_view(t)) != nullptr;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tokens.size()));
+}
+
+template <DictBackend B>
+void BM_SortedIterationOrSort(benchmark::State& state) {
+  // The term-id assignment cost: sorted backends walk in order; hash
+  // backends collect + sort (the §3.4 asymmetry).
+  const auto& tokens = TokenStream();
+  using Dict = typename DictFor<B, uint32_t>::type;
+  Dict dict;
+  for (const std::string& t : tokens) {
+    dict.FindOrInsert(std::string_view(t)) += 1;
+  }
+  for (auto _ : state) {
+    std::vector<std::string> terms;
+    terms.reserve(dict.size());
+    dict.ForEach(
+        [&](const std::string& k, uint32_t) { terms.push_back(k); });
+    if constexpr (!Dict::kSortedIteration) {
+      std::sort(terms.begin(), terms.end());
+    }
+    benchmark::DoNotOptimize(terms.size());
+  }
+}
+
+#define HPA_DICT_BENCH(fn)                                      \
+  BENCHMARK_TEMPLATE(fn, DictBackend::kStdMap);                 \
+  BENCHMARK_TEMPLATE(fn, DictBackend::kStdUnorderedMap);        \
+  BENCHMARK_TEMPLATE(fn, DictBackend::kRbTree);                 \
+  BENCHMARK_TEMPLATE(fn, DictBackend::kChainedHash);            \
+  BENCHMARK_TEMPLATE(fn, DictBackend::kOpenHash)
+
+HPA_DICT_BENCH(BM_InsertZipfTokens);
+HPA_DICT_BENCH(BM_LookupBuiltTable);
+HPA_DICT_BENCH(BM_SortedIterationOrSort);
+
+void BM_PreSizedPerDocTables(benchmark::State& state) {
+  // The paper's per-document pattern: many tiny tables, each pre-sized.
+  const size_t presize = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (int doc = 0; doc < 200; ++doc) {
+      StdUnorderedDict<uint32_t> table(presize);
+      for (int w = 0; w < 50; ++w) {
+        table.FindOrInsert(std::string_view("word" + std::to_string(w))) += 1;
+      }
+      total += table.ApproxMemoryBytes();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PreSizedPerDocTables)->Arg(0)->Arg(4096);
+
+}  // namespace
+}  // namespace hpa::containers
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Micro-benchmarks (google-benchmark) for the parallel runtime: loop
+// dispatch overhead, reduce, and the virtual-time executor's bookkeeping
+// cost (which must stay negligible next to measured work).
+
+#include <atomic>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "parallel/executor.h"
+#include "parallel/parallel_ops.h"
+#include "parallel/simulated_executor.h"
+#include "parallel/thread_pool.h"
+
+namespace hpa::parallel {
+namespace {
+
+void BM_SerialParallelForDispatch(benchmark::State& state) {
+  SerialExecutor exec;
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<uint64_t> sum{0};
+    exec.ParallelFor(0, n, 64, WorkHint{}, [&](int, size_t b, size_t e) {
+      sum.fetch_add(e - b, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SerialParallelForDispatch)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  ThreadPoolExecutor exec(static_cast<int>(state.range(0)));
+  const size_t n = 1 << 16;
+  for (auto _ : state) {
+    std::atomic<uint64_t> sum{0};
+    exec.ParallelFor(0, n, 256, WorkHint{}, [&](int, size_t b, size_t e) {
+      uint64_t local = 0;
+      for (size_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SimulatedExecutorBookkeeping(benchmark::State& state) {
+  // Chunks of trivial work: measures the scheduler+timer overhead per
+  // chunk that the virtual-time model adds on top of real execution.
+  SimulatedExecutor exec(static_cast<int>(state.range(0)),
+                         MachineModel::Default());
+  const size_t n = 1 << 12;
+  for (auto _ : state) {
+    exec.ParallelFor(0, n, 1, WorkHint{}, [&](int, size_t b, size_t) {
+      benchmark::DoNotOptimize(b);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimulatedExecutorBookkeeping)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ParallelReduceSum(benchmark::State& state) {
+  SerialExecutor exec;
+  std::vector<uint64_t> data(1 << 16);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = i;
+  for (auto _ : state) {
+    uint64_t total = ParallelReduce<uint64_t>(
+        exec, 0, data.size(), 0, WorkHint{},
+        [&](uint64_t& acc, size_t b, size_t e) {
+          for (size_t i = b; i < e; ++i) acc += data[i];
+        },
+        [](uint64_t& into, const uint64_t& from) { into += from; });
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ParallelReduceSum);
+
+void BM_WorkerLocalAccess(benchmark::State& state) {
+  SerialExecutor exec;
+  WorkerLocal<uint64_t> slots(exec);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) slots.Get(0) += 1;
+    benchmark::DoNotOptimize(slots.Get(0));
+  }
+}
+BENCHMARK(BM_WorkerLocalAccess);
+
+}  // namespace
+}  // namespace hpa::parallel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the text substrate: tokenizer
+// throughput (the inner loop of the paper's "input+wc" phase), corpus
+// generation, and sparse-vector kernels (the K-means inner loop).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "containers/sparse_vector.h"
+#include "text/synth_corpus.h"
+#include "text/tokenizer.h"
+
+namespace hpa {
+namespace {
+
+const text::Corpus& BenchCorpus() {
+  static const text::Corpus* corpus = [] {
+    text::CorpusProfile profile;
+    profile.name = "micro";
+    profile.num_documents = 500;
+    profile.target_bytes = 1500000;
+    profile.target_distinct_words = 5000;
+    return new text::Corpus(text::SynthCorpusGenerator(profile).Generate());
+  }();
+  return *corpus;
+}
+
+void BM_TokenizerThroughput(benchmark::State& state) {
+  const text::Corpus& corpus = BenchCorpus();
+  uint64_t bytes = corpus.TotalBytes();
+  for (auto _ : state) {
+    uint64_t tokens = 0;
+    for (const auto& doc : corpus.docs) {
+      text::ForEachToken(doc.body, [&](std::string_view) { ++tokens; });
+    }
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_TokenizerThroughput);
+
+void BM_TokenizerMinLengthFilter(benchmark::State& state) {
+  const text::Corpus& corpus = BenchCorpus();
+  text::TokenizerOptions opts;
+  opts.min_token_length = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    uint64_t tokens = 0;
+    for (const auto& doc : corpus.docs) {
+      text::ForEachToken(doc.body, opts,
+                         [&](std::string_view) { ++tokens; });
+    }
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_TokenizerMinLengthFilter)->Arg(1)->Arg(4);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  text::CorpusProfile profile;
+  profile.name = "gen";
+  profile.num_documents = static_cast<uint64_t>(state.range(0));
+  profile.target_bytes = profile.num_documents * 2500;
+  profile.target_distinct_words = profile.num_documents * 8;
+  for (auto _ : state) {
+    text::Corpus corpus = text::SynthCorpusGenerator(profile).Generate();
+    benchmark::DoNotOptimize(corpus.TotalBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(100)->Arg(1000);
+
+containers::SparseVector RandomSparse(Rng& rng, uint32_t dim, size_t nnz) {
+  std::vector<std::pair<uint32_t, float>> entries;
+  for (size_t i = 0; i < nnz; ++i) {
+    entries.push_back({static_cast<uint32_t>(rng.NextBounded(dim)),
+                       static_cast<float>(rng.NextDouble())});
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first == b.first;
+                            }),
+                entries.end());
+  return containers::SparseVector::FromPairs(std::move(entries));
+}
+
+void BM_SparseDenseDistance(benchmark::State& state) {
+  // The K-means assignment kernel: sparse row vs dense centroid.
+  Rng rng(7);
+  const uint32_t dim = 20000;
+  auto row = RandomSparse(rng, dim, 200);
+  std::vector<float> centroid(dim);
+  for (auto& v : centroid) v = static_cast<float>(rng.NextDouble());
+  double row_sq = row.SquaredL2Norm();
+  double cent_sq = 0;
+  for (float v : centroid) cent_sq += static_cast<double>(v) * v;
+  for (auto _ : state) {
+    double d = containers::SquaredDistance(row, row_sq, centroid, cent_sq);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(row.nnz()));
+}
+BENCHMARK(BM_SparseDenseDistance);
+
+void BM_SparseSparseDot(benchmark::State& state) {
+  Rng rng(11);
+  auto a = RandomSparse(rng, 20000, 300);
+  auto b = RandomSparse(rng, 20000, 300);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a, b));
+  }
+}
+BENCHMARK(BM_SparseSparseDot);
+
+void BM_SparseScatterAdd(benchmark::State& state) {
+  // The K-means accumulation kernel.
+  Rng rng(13);
+  const uint32_t dim = 20000;
+  auto row = RandomSparse(rng, dim, 200);
+  std::vector<float> sum(dim, 0.0f);
+  for (auto _ : state) {
+    containers::AddScaled(row, 1.0f, sum);
+    benchmark::DoNotOptimize(sum.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(row.nnz()));
+}
+BENCHMARK(BM_SparseScatterAdd);
+
+}  // namespace
+}  // namespace hpa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// §3.1 text claim — sparse, buffer-recycling K-means vs a WEKA
+// SimpleKMeans-like baseline (dense vectors over the full vocabulary,
+// single-threaded, fresh allocations every iteration).
+//
+// Paper: WEKA did not finish in 2 hours (aborted); the paper's sequential
+// sparse implementation took 3.3 s (Mix) and 40.9 s (NSF Abstracts).
+// We run both on identical inputs and report the ratio; at any scale the
+// dense baseline is orders of magnitude slower because its cost is
+// O(docs x k x vocabulary) instead of O(nonzeros x k).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/report.h"
+#include "io/packed_corpus.h"
+#include "ops/dense_kmeans.h"
+#include "ops/kmeans.h"
+#include "ops/tfidf.h"
+#include "parallel/executor.h"
+
+namespace hpa::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags("weka_comparison",
+                "sparse K-means vs dense WEKA-like baseline (§3.1)");
+  AddCommonFlags(flags);
+  flags.DefineBool("skip_dense_nsf", true,
+                   "skip the dense baseline on NSF at larger scales (it is "
+                   "the 2-hour case)");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  PrintBanner("Section 3.1: sparse K-means vs dense (WEKA-like) baseline",
+              flags);
+
+  auto env_or = BenchEnv::Create(flags);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& env = *env_or;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"corpus", "docs", "vocab", "sparse (1 thread)",
+                  "dense baseline", "ratio"});
+
+  for (const text::CorpusProfile& base :
+       {text::CorpusProfile::Mix(), text::CorpusProfile::NsfAbstracts()}) {
+    text::CorpusProfile profile = env->ScaleProfile(base);
+    auto rel = env->EnsureCorpus(profile);
+    if (!rel.ok()) {
+      std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
+      return 1;
+    }
+    env->SetExecutor(nullptr);
+    parallel::SerialExecutor setup_exec;
+    ops::ExecContext setup_ctx;
+    setup_ctx.executor = &setup_exec;
+    setup_ctx.corpus_disk = env->corpus_disk();
+    auto reader = io::PackedCorpusReader::Open(env->corpus_disk(), *rel);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+      return 1;
+    }
+    auto tfidf = ops::TfidfInMemory(setup_ctx, *reader);
+    if (!tfidf.ok()) {
+      std::fprintf(stderr, "%s\n", tfidf.status().ToString().c_str());
+      return 1;
+    }
+
+    ops::KMeansOptions kopts;
+    kopts.k = static_cast<int>(flags.GetInt("clusters"));
+    kopts.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+    kopts.stop_on_convergence = false;
+
+    // Sparse, sequential (the paper's 3.3 s / 40.9 s datapoints).
+    parallel::SerialExecutor sparse_exec;
+    PhaseTimer sparse_phases;
+    ops::ExecContext sparse_ctx;
+    sparse_ctx.executor = &sparse_exec;
+    sparse_ctx.phases = &sparse_phases;
+    auto sparse = ops::SparseKMeans(sparse_ctx, tfidf->matrix, kopts);
+    if (!sparse.ok()) {
+      std::fprintf(stderr, "%s\n", sparse.status().ToString().c_str());
+      return 1;
+    }
+    double sparse_seconds = sparse_phases.Seconds("kmeans");
+
+    // Dense baseline. The NSF run at larger scales is the paper's
+    // aborted-after-2h case; extrapolate from the cost model unless asked.
+    bool run_dense = !(base.name == "NSF Abstracts" &&
+                       flags.GetBool("skip_dense_nsf") && env->scale() > 0.02);
+    double dense_seconds = 0.0;
+    std::string dense_text;
+    if (run_dense) {
+      parallel::SerialExecutor dense_exec;
+      PhaseTimer dense_phases;
+      ops::ExecContext dense_ctx;
+      dense_ctx.executor = &dense_exec;
+      dense_ctx.phases = &dense_phases;
+      auto dense = ops::DenseKMeans(dense_ctx, tfidf->matrix, kopts);
+      if (!dense.ok()) {
+        std::fprintf(stderr, "%s\n", dense.status().ToString().c_str());
+        return 1;
+      }
+      dense_seconds = dense_phases.Seconds("kmeans-dense");
+      dense_text = HumanDuration(dense_seconds);
+      if (sparse->assignment != dense->assignment) {
+        std::printf("  note: sparse and dense assignments differ slightly "
+                    "(float-order effects)\n");
+      }
+    } else {
+      // Per-iteration dense cost scales as docs x k x vocab; estimate from
+      // a 1%%-of-documents probe.
+      containers::SparseMatrix probe;
+      probe.num_cols = tfidf->matrix.num_cols;
+      size_t probe_rows = tfidf->matrix.num_rows() / 100 + 8;
+      for (size_t i = 0; i < probe_rows; ++i) {
+        probe.rows.push_back(tfidf->matrix.rows[i]);
+      }
+      parallel::SerialExecutor dense_exec;
+      PhaseTimer dense_phases;
+      ops::ExecContext dense_ctx;
+      dense_ctx.executor = &dense_exec;
+      dense_ctx.phases = &dense_phases;
+      ops::KMeansOptions probe_opts = kopts;
+      auto dense = ops::DenseKMeans(dense_ctx, probe, probe_opts);
+      if (!dense.ok()) {
+        std::fprintf(stderr, "%s\n", dense.status().ToString().c_str());
+        return 1;
+      }
+      dense_seconds = dense_phases.Seconds("kmeans-dense") *
+                      static_cast<double>(tfidf->matrix.num_rows()) /
+                      static_cast<double>(probe_rows);
+      dense_text = "~" + HumanDuration(dense_seconds) + " (extrapolated)";
+    }
+
+    rows.push_back({profile.name,
+                    WithThousands(tfidf->matrix.num_rows()),
+                    WithThousands(tfidf->terms.size()),
+                    HumanDuration(sparse_seconds), dense_text,
+                    StrFormat("%.0fx", dense_seconds / sparse_seconds)});
+  }
+
+  std::printf("\n%s\n", core::FormatTable(rows).c_str());
+  std::printf("paper (full scale): WEKA SimpleKMeans aborted after 2 hours; "
+              "the sparse\nsequential implementation took 3.3 s (Mix) and "
+              "40.9 s (NSF Abstracts),\ni.e. a ratio >2000x. Key "
+              "optimizations: sparse vectors for inherently sparse\ndata, "
+              "and recycling data structures across iterations.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpa::bench
+
+int main(int argc, char** argv) { return hpa::bench::Run(argc, argv); }

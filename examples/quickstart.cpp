@@ -1,0 +1,110 @@
+// Quickstart: the smallest end-to-end HPA program.
+//
+// Generates a small synthetic corpus, builds a TF/IDF -> K-means workflow,
+// lets the optimizer plan it (fusion + dictionary choice + parallelism),
+// runs it on the virtual-time executor, and prints the phase breakdown and
+// the resulting cluster sizes.
+//
+//   ./quickstart
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "core/optimizer.h"
+#include "core/plan_io.h"
+#include "core/standard_ops.h"
+#include "core/workflow_executor.h"
+#include "io/file_io.h"
+#include "parallel/simulated_executor.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
+
+using namespace hpa;  // NOLINT — example brevity
+
+int main() {
+  // 1. A workspace with a corpus store and a scratch disk.
+  auto workdir = io::MakeTempDir("hpa_quickstart_");
+  if (!workdir.ok()) {
+    std::fprintf(stderr, "%s\n", workdir.status().ToString().c_str());
+    return 1;
+  }
+  io::SimDisk corpus_disk(io::DiskOptions::CorpusStore(), *workdir, nullptr);
+  io::SimDisk scratch_disk(io::DiskOptions::LocalHdd(), *workdir, nullptr);
+
+  // 2. A deterministic synthetic corpus (2% of the paper's Mix dataset).
+  text::CorpusProfile profile = text::CorpusProfile::Mix().Scaled(0.02);
+  text::Corpus corpus = text::SynthCorpusGenerator(profile).Generate();
+  std::printf("corpus: %zu documents, %llu bytes\n", corpus.size(),
+              static_cast<unsigned long long>(corpus.TotalBytes()));
+  if (auto s = text::WriteCorpusPacked(corpus, &corpus_disk, "mix.pack");
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 3. The workflow: corpus -> TF/IDF -> K-means.
+  core::Workflow wf;
+  int src = wf.AddSource(core::Dataset(core::CorpusRef{"mix.pack"}), "corpus");
+  auto tfidf = wf.Add(std::make_unique<core::TfidfOperator>(), {src});
+  ops::KMeansOptions kopts;
+  kopts.k = 8;
+  kopts.max_iterations = 20;
+  auto kmeans = wf.Add(std::make_unique<core::KMeansOperator>(kopts),
+                       {tfidf.value()});
+  if (!kmeans.ok()) return 1;
+
+  // 4. Let the optimizer plan for a 16-worker machine.
+  core::WorkloadStats stats;
+  stats.documents = corpus.size();
+  stats.total_tokens = corpus.TotalBytes() / 7;  // rough: ~7 bytes/token
+  stats.distinct_words = profile.target_distinct_words;
+  stats.avg_distinct_per_doc = 150.0;
+  core::CostModel cost_model(parallel::MachineModel::Default(), stats);
+  core::OptimizerOptions oopts;
+  oopts.workers = 16;
+  core::ExecutionPlan plan = core::OptimizeWorkflow(wf, cost_model, oopts);
+  std::printf("\n%s\n", plan.ToString(wf).c_str());
+
+  // Plans are plain text: inspect, edit, check in, replay.
+  std::printf("replayable form (core/plan_io.h):\n%s\n",
+              core::SerializePlan(plan, wf).c_str());
+
+  // 5. Run on the virtual-time executor (16 virtual workers) but keep the
+  //    clustering in memory so we can inspect it.
+  plan.nodes[static_cast<size_t>(*kmeans)].output_boundary =
+      core::Boundary::kFused;
+  parallel::SimulatedExecutor exec(plan.workers,
+                                   parallel::MachineModel::Default());
+  corpus_disk.set_executor(&exec);
+  scratch_disk.set_executor(&exec);
+  core::RunEnv env;
+  env.executor = &exec;
+  env.corpus_disk = &corpus_disk;
+  env.scratch_disk = &scratch_disk;
+
+  auto result = core::RunWorkflow(wf, plan, env);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("phases (virtual seconds on %d workers):\n", plan.workers);
+  for (const auto& phase : result->phases.phases()) {
+    std::printf("  %-12s %.4f s\n", phase.name.c_str(), phase.seconds);
+  }
+  std::printf("total: %.4f s\n\n", result->total_seconds);
+
+  const auto* clustering = std::get_if<core::Clustering>(&result->outputs[0]);
+  if (clustering == nullptr) return 1;
+  std::map<uint32_t, int> sizes;
+  for (uint32_t c : clustering->kmeans.assignment) sizes[c]++;
+  std::printf("clusters (k=%d, %d iterations, inertia %.4f):\n", kopts.k,
+              clustering->kmeans.iterations, clustering->kmeans.inertia);
+  for (const auto& [cluster, count] : sizes) {
+    std::printf("  cluster %u: %d documents\n", cluster, count);
+  }
+
+  io::RemoveDirRecursive(*workdir);
+  return 0;
+}

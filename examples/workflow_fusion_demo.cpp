@@ -1,0 +1,125 @@
+// Workflow fusion demo — the paper's §3.3 experience as an API walkthrough.
+//
+// Builds one TF/IDF -> K-means workflow and executes it twice: once as
+// discrete operators that communicate through an ARFF file on a simulated
+// local hard disk, and once fused in memory. Prints both phase breakdowns
+// side by side and verifies the clustering results are identical.
+//
+//   ./workflow_fusion_demo --threads=16 --scale=0.02
+
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.h"
+#include "core/report.h"
+#include "core/standard_ops.h"
+#include "core/workflow_executor.h"
+#include "io/file_io.h"
+#include "parallel/simulated_executor.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
+
+using namespace hpa;  // NOLINT — example brevity
+
+namespace {
+
+core::Workflow MakeWorkflow() {
+  core::Workflow wf;
+  int src =
+      wf.AddSource(core::Dataset(core::CorpusRef{"corpus.pack"}), "corpus");
+  auto tfidf = wf.Add(std::make_unique<core::TfidfOperator>(), {src});
+  ops::KMeansOptions kopts;
+  kopts.k = 8;
+  kopts.max_iterations = 10;
+  kopts.stop_on_convergence = false;
+  wf.Add(std::make_unique<core::KMeansOperator>(kopts), {*tfidf}).value();
+  return wf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("workflow_fusion_demo",
+                "discrete vs fused execution of the same workflow");
+  flags.DefineInt("threads", 16, "virtual workers");
+  flags.DefineDouble("scale", 0.02, "corpus scale vs the paper's NSF corpus");
+  if (auto s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+
+  auto workdir = io::MakeTempDir("hpa_fusion_demo_");
+  if (!workdir.ok()) return 1;
+  io::SimDisk corpus_disk(io::DiskOptions::CorpusStore(), *workdir, nullptr);
+  io::SimDisk scratch_disk(io::DiskOptions::LocalHdd(), *workdir, nullptr);
+
+  text::CorpusProfile profile =
+      text::CorpusProfile::NsfAbstracts().Scaled(flags.GetDouble("scale"));
+  text::Corpus corpus = text::SynthCorpusGenerator(profile).Generate();
+  if (!text::WriteCorpusPacked(corpus, &corpus_disk, "corpus.pack").ok()) {
+    return 1;
+  }
+  std::printf("corpus: %zu documents (%s profile)\n\n", corpus.size(),
+              profile.name.c_str());
+
+  const int threads = static_cast<int>(flags.GetInt("threads"));
+  std::vector<core::BreakdownColumn> columns;
+  std::vector<uint32_t> assignments[2];
+
+  for (bool discrete : {true, false}) {
+    core::Workflow wf = MakeWorkflow();
+    parallel::SimulatedExecutor exec(threads,
+                                     parallel::MachineModel::Default());
+    corpus_disk.set_executor(&exec);
+    scratch_disk.set_executor(&exec);
+
+    core::ExecutionPlan plan;
+    plan.workers = threads;
+    plan.nodes.resize(wf.size());
+    // The experiment knob: materialize the TF/IDF output, or fuse it.
+    plan.nodes[1].output_boundary = discrete ? core::Boundary::kMaterialized
+                                             : core::Boundary::kFused;
+    plan.nodes[2].output_boundary = core::Boundary::kFused;  // inspectable
+
+    core::RunEnv env;
+    env.executor = &exec;
+    env.corpus_disk = &corpus_disk;
+    env.scratch_disk = &scratch_disk;
+
+    auto result = core::RunWorkflow(wf, plan, env);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    core::BreakdownColumn col;
+    col.label = discrete ? "discrete" : "merged";
+    col.phases = result->phases;
+    columns.push_back(std::move(col));
+
+    const auto* clustering =
+        std::get_if<core::Clustering>(&result->outputs[0]);
+    if (clustering == nullptr) return 1;
+    assignments[discrete ? 0 : 1] = clustering->kmeans.assignment;
+
+    corpus_disk.set_executor(nullptr);
+    scratch_disk.set_executor(nullptr);
+  }
+
+  std::printf("%s\n",
+              core::FormatPhaseBreakdown(
+                  columns, {"input+wc", "tfidf-output", "kmeans-input",
+                            "transform", "kmeans", "output"})
+                  .c_str());
+  std::printf("results identical: %s\n",
+              assignments[0] == assignments[1] ? "yes" : "NO (bug!)");
+  std::printf("\nthe discrete plan pays the serial ARFF write+read that the "
+              "fused plan avoids\n(§3.3: \"dumping data to disk has a high "
+              "latency\").\n");
+
+  io::RemoveDirRecursive(*workdir);
+  return 0;
+}

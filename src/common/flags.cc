@@ -1,0 +1,177 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace hpa {
+
+FlagSet::FlagSet(std::string program_name, std::string description)
+    : program_name_(std::move(program_name)),
+      description_(std::move(description)) {}
+
+void FlagSet::DefineString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.default_text = default_value;
+  f.string_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagSet::DefineInt(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.default_text = std::to_string(default_value);
+  f.int_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagSet::DefineDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.default_text = StrFormat("%g", default_value);
+  f.double_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagSet::DefineBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.default_text = default_value ? "true" : "false";
+  f.bool_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+Status FlagSet::SetFromText(Flag& flag, const std::string& name,
+                            std::string_view text) {
+  switch (flag.type) {
+    case Type::kString:
+      flag.string_value = std::string(text);
+      return Status::OK();
+    case Type::kInt: {
+      int64_t v = 0;
+      if (!ParseInt64(text, &v)) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" +
+                                       std::string(text) + "'");
+      }
+      flag.int_value = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double v = 0.0;
+      if (!ParseDouble(text, &v)) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" +
+                                       std::string(text) + "'");
+      }
+      flag.double_value = v;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (text == "true" || text == "1" || text == "yes") {
+        flag.bool_value = true;
+      } else if (text == "false" || text == "0" || text == "no") {
+        flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" +
+                                       std::string(text) + "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!StartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    std::string name;
+    std::string_view value_text;
+    bool have_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(body.substr(0, eq));
+      value_text = body.substr(eq + 1);
+      have_value = true;
+    } else {
+      name = std::string(body);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" + Help());
+    }
+    Flag& flag = it->second;
+    if (!have_value) {
+      if (flag.type == Type::kBool) {
+        flag.bool_value = true;  // bare --flag enables a bool
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      value_text = argv[++i];
+    }
+    HPA_RETURN_IF_ERROR(SetFromText(flag, name, value_text));
+  }
+  return Status::OK();
+}
+
+const FlagSet::Flag& FlagSet::Require(const std::string& name,
+                                      Type type) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.type != type) {
+    std::fprintf(stderr, "FATAL: flag --%s not defined with expected type\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second;
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  return Require(name, Type::kString).string_value;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  return Require(name, Type::kInt).int_value;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return Require(name, Type::kDouble).double_value;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  return Require(name, Type::kBool).bool_value;
+}
+
+std::string FlagSet::Help() const {
+  std::string out = program_name_ + " — " + description_ + "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_text.c_str());
+  }
+  return out;
+}
+
+}  // namespace hpa

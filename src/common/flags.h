@@ -1,0 +1,83 @@
+#ifndef HPA_COMMON_FLAGS_H_
+#define HPA_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// A tiny `--key=value` command-line flag parser for bench harnesses and
+/// example binaries. Flags are declared up front (with help text and a
+/// default) so every binary can print a consistent `--help`.
+
+namespace hpa {
+
+/// Declared flags plus parsed values for one binary invocation.
+class FlagSet {
+ public:
+  /// \param program_name shown in the `--help` banner
+  /// \param description one-line summary shown in the `--help` banner
+  FlagSet(std::string program_name, std::string description);
+
+  /// Declares a flag. Must be called before Parse().
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  void DefineInt(const std::string& name, int64_t default_value,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  /// Parses argv. Accepts `--name=value`, `--name value`, and bare `--name`
+  /// for bool flags. Returns InvalidArgument for unknown flags or malformed
+  /// values. `--help` sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  /// Accessors; abort if `name` was never defined (programming error).
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True iff `--help` was passed; callers should print Help() and exit 0.
+  bool help_requested() const { return help_requested_; }
+
+  /// Human-readable usage text for all declared flags.
+  std::string Help() const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string default_text;
+    // Parsed or default value, by type.
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+  };
+
+  Status SetFromText(Flag& flag, const std::string& name,
+                     std::string_view text);
+  const Flag& Require(const std::string& name, Type type) const;
+
+  std::string program_name_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace hpa
+
+#endif  // HPA_COMMON_FLAGS_H_

@@ -1,0 +1,58 @@
+#ifndef HPA_COMMON_LOGGING_H_
+#define HPA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Minimal leveled logging and check macros. Log output goes to stderr so
+/// bench result tables on stdout stay machine-parsable.
+
+namespace hpa {
+
+/// Severity of a log statement.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+namespace log_internal {
+/// Process-wide minimum level; statements below it are suppressed.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+const char* LevelTag(LogLevel level);
+}  // namespace log_internal
+
+/// Sets the process-wide minimum level printed by HPA_LOG.
+inline void SetMinLogLevel(LogLevel level) {
+  log_internal::SetMinLogLevel(level);
+}
+
+}  // namespace hpa
+
+/// Leveled printf-style logging: HPA_LOG(kInfo, "loaded %zu docs", n);
+#define HPA_LOG(level, ...)                                                   \
+  do {                                                                        \
+    if (::hpa::LogLevel::level >= ::hpa::log_internal::GetMinLogLevel()) {    \
+      std::fprintf(stderr, "[%s] ",                                           \
+                   ::hpa::log_internal::LevelTag(::hpa::LogLevel::level));    \
+      std::fprintf(stderr, __VA_ARGS__);                                      \
+      std::fprintf(stderr, "\n");                                             \
+    }                                                                         \
+  } while (0)
+
+/// Fatal invariant check, active in all build types.
+#define HPA_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::fprintf(stderr, "  " __VA_ARGS__);                             \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                      \
+    }                                                                     \
+  } while (0)
+
+#endif  // HPA_COMMON_LOGGING_H_

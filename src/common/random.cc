@@ -1,0 +1,67 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hpa {
+
+double Rng::NextGaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box–Muller transform on two uniforms.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  // Guard against log(0).
+  if (u1 < 1e-300) u1 = 1e-300;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  have_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Exp(double x) { return std::exp(x); }
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n > 0);
+  assert(s > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s));
+}
+
+// H(x) = integral of 1/t^s from 1 to x, shifted so it is invertible; the
+// standard helper of the rejection-inversion method.
+double ZipfSampler::H(double x) const {
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  // Rejection-inversion (Hörmann & Derflinger 1996). Expected iterations < 2.
+  while (true) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    // Clamp into the valid domain; x can fall marginally outside because of
+    // floating-point rounding at the interval edges.
+    if (x < 1.0) x = 1.0;
+    if (x > static_cast<double>(n_)) x = static_cast<double>(n_);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+      return k - 1;  // ranks are 0-based externally
+    }
+  }
+}
+
+}  // namespace hpa

@@ -1,0 +1,134 @@
+#ifndef HPA_COMMON_RANDOM_H_
+#define HPA_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Deterministic pseudo-random generation used by the synthetic corpus
+/// generator and by randomized tests. We implement our own generators so
+/// that corpora are bit-identical across standard libraries and platforms
+/// (std::mt19937 distributions are not portable across implementations).
+
+namespace hpa {
+
+/// SplitMix64: tiny, fast generator; also used to seed Xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: high-quality general-purpose PRNG (Blackman & Vigna).
+class Rng {
+ public:
+  /// Seeds the full state deterministically from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9BULL) {
+    SplitMix64 sm(seed);
+    for (uint64_t& s : state_) s = sm.Next();
+  }
+
+  /// Next 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless bounded sampling (biased by < 2^-64,
+    // immaterial for our workloads and still deterministic).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal deviate (Box–Muller, one value per call).
+  double NextGaussian();
+
+  /// Log-normal deviate with the given parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma) {
+    double n = NextGaussian();
+    return Exp(mu + sigma * n);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  static double Exp(double x);
+
+  uint64_t state_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Samples from a Zipf(s) distribution over ranks {0, ..., n-1}:
+/// P(rank k) proportional to 1 / (k+1)^s.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger, which is
+/// O(1) per sample independent of n — essential for vocabularies of
+/// hundreds of thousands of words (Table 1 of the paper).
+class ZipfSampler {
+ public:
+  /// \param n number of ranks (> 0)
+  /// \param s skew exponent (> 0, typically near 1 for natural language)
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+/// Fisher–Yates shuffle of `items` using `rng`.
+template <typename T>
+void Shuffle(std::vector<T>& items, Rng& rng) {
+  for (size_t i = items.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(i);
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace hpa
+
+#endif  // HPA_COMMON_RANDOM_H_

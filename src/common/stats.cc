@@ -1,0 +1,59 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace hpa {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combine.
+  double delta = other.mean_ - mean_;
+  uint64_t total = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+void SampleSet::EnsureSorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::Quantile(double q) {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string SampleSet::Summary() {
+  RunningStats stats;
+  for (double s : samples_) stats.Add(s);
+  return StrFormat("n=%llu mean=%.6g stddev=%.6g min=%.6g p50=%.6g "
+                   "p95=%.6g max=%.6g",
+                   static_cast<unsigned long long>(stats.count()),
+                   stats.mean(), stats.stddev(), stats.min(), Quantile(0.5),
+                   Quantile(0.95), stats.max());
+}
+
+}  // namespace hpa

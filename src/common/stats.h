@@ -1,0 +1,80 @@
+#ifndef HPA_COMMON_STATS_H_
+#define HPA_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Small statistics helpers for the benchmark harnesses: streaming moments
+/// (Welford) and exact order statistics over collected samples.
+
+namespace hpa {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm —
+/// numerically stable for long runs).
+class RunningStats {
+ public:
+  /// Adds one sample.
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel-friendly combine).
+  void Merge(const RunningStats& other);
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers exact quantile queries. For bench-scale
+/// sample counts (<= millions) exactness beats sketching.
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  /// Quantile in [0, 1] by linear interpolation between order statistics.
+  /// Returns 0 on an empty set.
+  double Quantile(double q);
+
+  double Median() { return Quantile(0.5); }
+
+  /// "mean=… stddev=… min=… p50=… p95=… max=…" (for bench logs).
+  std::string Summary();
+
+ private:
+  void EnsureSorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+}  // namespace hpa
+
+#endif  // HPA_COMMON_STATS_H_

@@ -1,0 +1,187 @@
+#ifndef HPA_COMMON_STATUS_H_
+#define HPA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file
+/// Error handling primitives for the HPA library.
+///
+/// HPA does not throw exceptions across API boundaries. Fallible operations
+/// return `Status` (no payload) or `StatusOr<T>` (payload-or-error), in the
+/// style of RocksDB / Abseil. A `Status` is cheap to copy when OK (no
+/// allocation) and carries a code plus a human-readable message otherwise.
+
+namespace hpa {
+
+/// Machine-inspectable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable lowercase name for `code` (e.g. "io_error").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+///
+/// Usage:
+/// \code
+///   Status s = writer.Flush();
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// Diagnostic message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  /// Returns this status with `context` prepended to the message, or OK
+  /// unchanged. Useful when propagating errors up a call chain.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Result of a fallible operation that produces a `T` on success.
+///
+/// Either holds a value (status is OK) or an error status. Accessing the
+/// value of an errored `StatusOr` aborts in debug builds and is undefined
+/// in release builds; always check `ok()` first or use `value_or`.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `s` must not be OK.
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  /// Constructs from a value; status is OK.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires `ok()`.
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hpa
+
+/// Propagates a non-OK `Status` to the caller. Expression form:
+///   HPA_RETURN_IF_ERROR(file.Write(buf));
+#define HPA_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::hpa::Status _hpa_status_ = (expr);          \
+    if (!_hpa_status_.ok()) return _hpa_status_;  \
+  } while (0)
+
+/// Assigns the value of a `StatusOr` expression to `lhs`, or propagates the
+/// error:
+///   HPA_ASSIGN_OR_RETURN(auto corpus, LoadCorpus(path));
+#define HPA_ASSIGN_OR_RETURN(lhs, expr)                      \
+  HPA_ASSIGN_OR_RETURN_IMPL_(                                \
+      HPA_STATUS_CONCAT_(_hpa_statusor_, __LINE__), lhs, expr)
+
+#define HPA_STATUS_CONCAT_INNER_(a, b) a##b
+#define HPA_STATUS_CONCAT_(a, b) HPA_STATUS_CONCAT_INNER_(a, b)
+#define HPA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // HPA_COMMON_STATUS_H_

@@ -1,0 +1,114 @@
+#ifndef HPA_COMMON_TIMER_H_
+#define HPA_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Wall-clock timing utilities and named-phase accumulation.
+
+namespace hpa {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class WallTimer {
+ public:
+  /// Starts the timer at construction.
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer from zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time into named phases, preserving first-seen order.
+///
+/// Phases may be re-entered; their durations accumulate. This is the unit in
+/// which the paper's Figures 3 and 4 report stacked execution-time bars
+/// (input+wc, tfidf-output, kmeans-input, transform, kmeans, output).
+class PhaseTimer {
+ public:
+  /// One accumulated phase.
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+  };
+
+  /// Adds `seconds` to the phase named `name`, creating it if new.
+  void Add(const std::string& name, double seconds) {
+    for (Phase& p : phases_) {
+      if (p.name == name) {
+        p.seconds += seconds;
+        return;
+      }
+    }
+    phases_.push_back(Phase{name, seconds});
+  }
+
+  /// Accumulated seconds for `name`; 0 if the phase was never recorded.
+  double Seconds(const std::string& name) const {
+    for (const Phase& p : phases_) {
+      if (p.name == name) return p.seconds;
+    }
+    return 0.0;
+  }
+
+  /// Sum over all phases.
+  double TotalSeconds() const {
+    double total = 0.0;
+    for (const Phase& p : phases_) total += p.seconds;
+    return total;
+  }
+
+  /// All phases in first-recorded order.
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  /// Discards all recorded phases.
+  void Clear() { phases_.clear(); }
+
+  /// Merges another timer's phases into this one.
+  void Merge(const PhaseTimer& other) {
+    for (const Phase& p : other.phases_) Add(p.name, p.seconds);
+  }
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+/// RAII helper that adds the scope's wall time to `timer[name]` on exit.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer* timer, std::string name)
+      : timer_(timer), name_(std::move(name)) {}
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  ~ScopedPhase() { timer_->Add(name_, stopwatch_.ElapsedSeconds()); }
+
+ private:
+  PhaseTimer* timer_;
+  std::string name_;
+  WallTimer stopwatch_;
+};
+
+}  // namespace hpa
+
+#endif  // HPA_COMMON_TIMER_H_

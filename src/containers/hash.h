@@ -1,0 +1,63 @@
+#ifndef HPA_CONTAINERS_HASH_H_
+#define HPA_CONTAINERS_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file
+/// Hash functions and memory-accounting helpers shared by the container
+/// implementations.
+
+namespace hpa::containers {
+
+/// FNV-1a over a byte range: simple, deterministic across platforms, good
+/// enough distribution for power-of-two bucket arrays when mixed.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  // Final avalanche (from SplitMix64) so low bits are well mixed for
+  // power-of-two masking.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+/// Default hasher; the string specialization is transparent (accepts
+/// string_view, string, and const char* without conversion).
+template <typename Key>
+struct DefaultHash {
+  size_t operator()(const Key& key) const {
+    return static_cast<size_t>(HashBytes(&key, sizeof(Key)));
+  }
+};
+
+template <>
+struct DefaultHash<std::string> {
+  size_t operator()(std::string_view key) const {
+    return static_cast<size_t>(HashBytes(key.data(), key.size()));
+  }
+};
+
+namespace internal_hash {
+
+/// Approximate heap bytes owned by a key/value beyond its inline size.
+inline uint64_t OwnedHeapBytes(const std::string& s) {
+  // libstdc++ SSO keeps up to 15 chars inline.
+  return s.capacity() > 15 ? s.capacity() + 1 : 0;
+}
+template <typename T>
+uint64_t OwnedHeapBytes(const T&) {
+  return 0;
+}
+
+}  // namespace internal_hash
+}  // namespace hpa::containers
+
+#endif  // HPA_CONTAINERS_HASH_H_

@@ -1,0 +1,182 @@
+#ifndef HPA_CONTAINERS_OPEN_HASH_MAP_H_
+#define HPA_CONTAINERS_OPEN_HASH_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "containers/hash.h"
+
+/// \file
+/// An open-addressing (linear-probing) hash map: flat slot array, no
+/// per-element allocation. This is the "what a modern engine would use"
+/// extension point beyond the paper's std::map / std::unordered_map pair —
+/// the dictionary benchmarks show where it lands between the two.
+
+namespace hpa::containers {
+
+/// Flat hash map with linear probing and tombstone-free deletion
+/// (backward-shift), max load factor 7/8.
+///
+/// Keys and values are stored inline in one contiguous slot array, so
+/// iteration and probing are cache-friendly; the trade-off is key/value
+/// moves during rehash and deletion shifts.
+template <typename Key, typename Value, typename Hash = DefaultHash<Key>>
+class OpenHashMap {
+ public:
+  explicit OpenHashMap(size_t capacity_hint = 16) {
+    size_t cap = 16;
+    while (cap * 7 / 8 < capacity_hint) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  OpenHashMap(const OpenHashMap&) = delete;
+  OpenHashMap& operator=(const OpenHashMap&) = delete;
+  OpenHashMap(OpenHashMap&&) noexcept = default;
+  OpenHashMap& operator=(OpenHashMap&&) noexcept = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+  uint64_t rehash_count() const { return rehash_count_; }
+
+  /// Returns the value for `key`, inserting a default if absent.
+  template <typename K>
+  Value& FindOrInsert(const K& key) {
+    if ((size_ + 1) * 8 > slots_.size() * 7) Rehash(slots_.size() * 2);
+    size_t mask = slots_.size() - 1;
+    size_t i = hash_(key) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (!s.occupied) {
+        s.occupied = true;
+        s.key = Key(key);
+        s.value = Value{};
+        ++size_;
+        return s.value;
+      }
+      if (s.key == key) return s.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  template <typename K>
+  const Value* Find(const K& key) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = hash_(key) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (!s.occupied) return nullptr;
+      if (s.key == key) return &s.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  template <typename K>
+  Value* Find(const K& key) {
+    return const_cast<Value*>(
+        static_cast<const OpenHashMap*>(this)->Find(key));
+  }
+
+  template <typename K>
+  bool Contains(const K& key) const {
+    return Find(key) != nullptr;
+  }
+
+  /// Removes `key` with backward-shift deletion (keeps probe chains intact
+  /// without tombstones). Returns false if absent.
+  template <typename K>
+  bool Erase(const K& key) {
+    size_t mask = slots_.size() - 1;
+    size_t i = hash_(key) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (!s.occupied) return false;
+      if (s.key == key) break;
+      i = (i + 1) & mask;
+    }
+    // Backward shift: move subsequent chain members up while they are not
+    // at their home slot.
+    size_t hole = i;
+    size_t j = (i + 1) & mask;
+    while (slots_[j].occupied) {
+      size_t home = hash_(slots_[j].key) & mask;
+      // Can slots_[j] legally move into `hole`? Only if the hole lies
+      // cyclically between its home and its current position.
+      bool movable = ((j - home) & mask) >= ((j - hole) & mask);
+      if (movable) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+      j = (j + 1) & mask;
+    }
+    slots_[hole] = Slot{};
+    --size_;
+    return true;
+  }
+
+  /// Removes all entries, keeping the slot array allocated (recycling).
+  void Clear() {
+    for (Slot& s : slots_) s = Slot{};
+    size_ = 0;
+  }
+
+  /// Ensures capacity for `n` entries without rehashing during inserts.
+  void Reserve(size_t n) {
+    size_t cap = slots_.size();
+    while (cap * 7 / 8 < n) cap <<= 1;
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  /// Unordered traversal: fn(key, value).
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Slot& s : slots_) {
+      if (s.occupied) fn(s.key, s.value);
+    }
+  }
+
+  /// False: slot order, not key order.
+  static constexpr bool kSortedIteration = false;
+
+  /// Slot array + owned key/value heap.
+  uint64_t ApproxMemoryBytes() const {
+    uint64_t bytes = slots_.capacity() * sizeof(Slot);
+    for (const Slot& s : slots_) {
+      if (s.occupied) {
+        bytes += internal_hash::OwnedHeapBytes(s.key) +
+                 internal_hash::OwnedHeapBytes(s.value);
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+    bool occupied = false;
+  };
+
+  void Rehash(size_t new_cap) {
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.resize(new_cap);
+    size_ = 0;
+    ++rehash_count_;
+    for (Slot& s : old) {
+      if (s.occupied) FindOrInsert(std::move(s.key)) = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  uint64_t rehash_count_ = 0;
+  Hash hash_{};
+};
+
+}  // namespace hpa::containers
+
+#endif  // HPA_CONTAINERS_OPEN_HASH_MAP_H_

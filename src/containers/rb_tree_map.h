@@ -1,0 +1,444 @@
+#ifndef HPA_CONTAINERS_RB_TREE_MAP_H_
+#define HPA_CONTAINERS_RB_TREE_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "containers/hash.h"
+
+/// \file
+/// A from-scratch red-black tree map — the `std::map` of the paper's
+/// Figure 4, reimplemented so the library can instrument it (node counts,
+/// memory accounting) and so its behaviour is identical across standard
+/// libraries. Insert and erase follow CLRS with a per-tree nil sentinel.
+
+namespace hpa::containers {
+
+/// Ordered map with O(log n) insert / lookup / erase.
+///
+/// `Compare` must be transparent-capable (default `std::less<>`), so lookups
+/// accept any type comparable with `Key` (e.g. `std::string_view` keys
+/// against `std::string` storage) without constructing a `Key`.
+template <typename Key, typename Value, typename Compare = std::less<>>
+class RbTreeMap {
+ public:
+  /// `capacity_hint` is accepted for interface parity with the hash-based
+  /// dictionaries; a tree has nothing useful to pre-size.
+  explicit RbTreeMap(size_t capacity_hint = 0) {
+    (void)capacity_hint;
+    nil_ = new Node();
+    nil_->red = false;
+    nil_->left = nil_->right = nil_->parent = nil_;
+    root_ = nil_;
+  }
+
+  RbTreeMap(const RbTreeMap&) = delete;
+  RbTreeMap& operator=(const RbTreeMap&) = delete;
+
+  RbTreeMap(RbTreeMap&& other) noexcept { MoveFrom(std::move(other)); }
+  RbTreeMap& operator=(RbTreeMap&& other) noexcept {
+    if (this != &other) {
+      DeleteAll();
+      delete nil_;
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~RbTreeMap() {
+    DeleteAll();
+    delete nil_;
+  }
+
+  /// Number of stored keys.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns the value for `key`, default-constructing and inserting it if
+  /// absent. `key` may be any type comparable with `Key` and convertible to
+  /// it (conversion happens only on insert).
+  template <typename K>
+  Value& FindOrInsert(const K& key) {
+    Node* parent = nil_;
+    Node* cur = root_;
+    while (cur != nil_) {
+      parent = cur;
+      if (cmp_(key, cur->key)) {
+        cur = cur->left;
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right;
+      } else {
+        return cur->value;
+      }
+    }
+    Node* node = new Node();
+    node->key = Key(key);
+    node->left = node->right = nil_;
+    node->parent = parent;
+    node->red = true;
+    if (parent == nil_) {
+      root_ = node;
+    } else if (cmp_(node->key, parent->key)) {
+      parent->left = node;
+    } else {
+      parent->right = node;
+    }
+    ++size_;
+    InsertFixup(node);
+    return node->value;
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  template <typename K>
+  const Value* Find(const K& key) const {
+    const Node* cur = root_;
+    while (cur != nil_) {
+      if (cmp_(key, cur->key)) {
+        cur = cur->left;
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right;
+      } else {
+        return &cur->value;
+      }
+    }
+    return nullptr;
+  }
+
+  template <typename K>
+  Value* Find(const K& key) {
+    return const_cast<Value*>(
+        static_cast<const RbTreeMap*>(this)->Find(key));
+  }
+
+  template <typename K>
+  bool Contains(const K& key) const {
+    return Find(key) != nullptr;
+  }
+
+  /// Removes `key`. Returns false if it was absent.
+  template <typename K>
+  bool Erase(const K& key) {
+    Node* z = root_;
+    while (z != nil_) {
+      if (cmp_(key, z->key)) {
+        z = z->left;
+      } else if (cmp_(z->key, key)) {
+        z = z->right;
+      } else {
+        EraseNode(z);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Removes all entries.
+  void Clear() {
+    DeleteAll();
+    root_ = nil_;
+    size_ = 0;
+  }
+
+  /// Capacity hint; a tree has nothing useful to pre-size (kept for
+  /// interface parity with the hash maps).
+  void Reserve(size_t) {}
+
+  /// In-order (ascending key) traversal: fn(key, value).
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    // Iterative in-order traversal, O(1) extra space via parent pointers.
+    const Node* cur = Minimum(root_);
+    while (cur != nil_) {
+      fn(cur->key, cur->value);
+      cur = Successor(cur);
+    }
+  }
+
+  /// True: ForEach visits keys in ascending order. Used by callers that can
+  /// skip a sort when the structure is already ordered (paper §3.4).
+  static constexpr bool kSortedIteration = true;
+
+  /// Approximate heap footprint: nodes plus key/value owned heap.
+  uint64_t ApproxMemoryBytes() const {
+    uint64_t bytes = sizeof(Node);  // nil sentinel
+    const Node* cur = Minimum(root_);
+    while (cur != nil_) {
+      bytes += sizeof(Node) + internal_hash::OwnedHeapBytes(cur->key) +
+               internal_hash::OwnedHeapBytes(cur->value);
+      cur = Successor(cur);
+    }
+    return bytes;
+  }
+
+  /// Validates the red-black invariants; aborts via assert on violation and
+  /// returns the tree's black-height. Test-only (O(n)).
+  int CheckInvariants() const {
+    assert(!root_->red && "root must be black");
+    return CheckSubtree(root_);
+  }
+
+ private:
+  struct Node {
+    Key key{};
+    Value value{};
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+    bool red = false;
+  };
+
+  void MoveFrom(RbTreeMap&& other) {
+    root_ = other.root_;
+    nil_ = other.nil_;
+    size_ = other.size_;
+    cmp_ = other.cmp_;
+    other.nil_ = new Node();
+    other.nil_->red = false;
+    other.nil_->left = other.nil_->right = other.nil_->parent = other.nil_;
+    other.root_ = other.nil_;
+    other.size_ = 0;
+  }
+
+  void RotateLeft(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    if (y->left != nil_) y->left->parent = x;
+    y->parent = x->parent;
+    if (x->parent == nil_) {
+      root_ = y;
+    } else if (x == x->parent->left) {
+      x->parent->left = y;
+    } else {
+      x->parent->right = y;
+    }
+    y->left = x;
+    x->parent = y;
+  }
+
+  void RotateRight(Node* x) {
+    Node* y = x->left;
+    x->left = y->right;
+    if (y->right != nil_) y->right->parent = x;
+    y->parent = x->parent;
+    if (x->parent == nil_) {
+      root_ = y;
+    } else if (x == x->parent->right) {
+      x->parent->right = y;
+    } else {
+      x->parent->left = y;
+    }
+    y->right = x;
+    x->parent = y;
+  }
+
+  void InsertFixup(Node* z) {
+    while (z->parent->red) {
+      if (z->parent == z->parent->parent->left) {
+        Node* uncle = z->parent->parent->right;
+        if (uncle->red) {
+          z->parent->red = false;
+          uncle->red = false;
+          z->parent->parent->red = true;
+          z = z->parent->parent;
+        } else {
+          if (z == z->parent->right) {
+            z = z->parent;
+            RotateLeft(z);
+          }
+          z->parent->red = false;
+          z->parent->parent->red = true;
+          RotateRight(z->parent->parent);
+        }
+      } else {
+        Node* uncle = z->parent->parent->left;
+        if (uncle->red) {
+          z->parent->red = false;
+          uncle->red = false;
+          z->parent->parent->red = true;
+          z = z->parent->parent;
+        } else {
+          if (z == z->parent->left) {
+            z = z->parent;
+            RotateRight(z);
+          }
+          z->parent->red = false;
+          z->parent->parent->red = true;
+          RotateLeft(z->parent->parent);
+        }
+      }
+    }
+    root_->red = false;
+  }
+
+  void Transplant(Node* u, Node* v) {
+    if (u->parent == nil_) {
+      root_ = v;
+    } else if (u == u->parent->left) {
+      u->parent->left = v;
+    } else {
+      u->parent->right = v;
+    }
+    v->parent = u->parent;
+  }
+
+  void EraseNode(Node* z) {
+    Node* y = z;
+    Node* x = nil_;
+    bool y_was_red = y->red;
+    if (z->left == nil_) {
+      x = z->right;
+      Transplant(z, z->right);
+    } else if (z->right == nil_) {
+      x = z->left;
+      Transplant(z, z->left);
+    } else {
+      y = Minimum(z->right);
+      y_was_red = y->red;
+      x = y->right;
+      if (y->parent == z) {
+        x->parent = y;  // x may be nil_; fixup needs its parent set
+      } else {
+        Transplant(y, y->right);
+        y->right = z->right;
+        y->right->parent = y;
+      }
+      Transplant(z, y);
+      y->left = z->left;
+      y->left->parent = y;
+      y->red = z->red;
+    }
+    delete z;
+    --size_;
+    if (!y_was_red) EraseFixup(x);
+  }
+
+  void EraseFixup(Node* x) {
+    while (x != root_ && !x->red) {
+      if (x == x->parent->left) {
+        Node* w = x->parent->right;
+        if (w->red) {
+          w->red = false;
+          x->parent->red = true;
+          RotateLeft(x->parent);
+          w = x->parent->right;
+        }
+        if (!w->left->red && !w->right->red) {
+          w->red = true;
+          x = x->parent;
+        } else {
+          if (!w->right->red) {
+            w->left->red = false;
+            w->red = true;
+            RotateRight(w);
+            w = x->parent->right;
+          }
+          w->red = x->parent->red;
+          x->parent->red = false;
+          w->right->red = false;
+          RotateLeft(x->parent);
+          x = root_;
+        }
+      } else {
+        Node* w = x->parent->left;
+        if (w->red) {
+          w->red = false;
+          x->parent->red = true;
+          RotateRight(x->parent);
+          w = x->parent->left;
+        }
+        if (!w->right->red && !w->left->red) {
+          w->red = true;
+          x = x->parent;
+        } else {
+          if (!w->left->red) {
+            w->right->red = false;
+            w->red = true;
+            RotateLeft(w);
+            w = x->parent->left;
+          }
+          w->red = x->parent->red;
+          x->parent->red = false;
+          w->left->red = false;
+          RotateRight(x->parent);
+          x = root_;
+        }
+      }
+    }
+    x->red = false;
+  }
+
+  Node* Minimum(Node* n) {
+    while (n != nil_ && n->left != nil_) n = n->left;
+    return n;
+  }
+  const Node* Minimum(const Node* n) const {
+    while (n != nil_ && n->left != nil_) n = n->left;
+    return n;
+  }
+
+  const Node* Successor(const Node* n) const {
+    if (n->right != nil_) return Minimum(n->right);
+    const Node* p = n->parent;
+    while (p != nil_ && n == p->right) {
+      n = p;
+      p = p->parent;
+    }
+    return p;
+  }
+
+  void DeleteAll() {
+    // Iterative post-order destruction; recursion would overflow on large
+    // degenerate chains during fuzzing.
+    Node* cur = root_;
+    while (cur != nil_) {
+      if (cur->left != nil_) {
+        cur = cur->left;
+      } else if (cur->right != nil_) {
+        cur = cur->right;
+      } else {
+        Node* parent = cur->parent;
+        if (parent != nil_) {
+          if (parent->left == cur) {
+            parent->left = nil_;
+          } else {
+            parent->right = nil_;
+          }
+        }
+        delete cur;
+        cur = parent;
+      }
+    }
+  }
+
+  // Returns the black-height of `n`'s subtree, asserting RB invariants.
+  int CheckSubtree(const Node* n) const {
+    if (n == nil_) return 1;
+    if (n->red) {
+      assert(!n->left->red && !n->right->red && "red node with red child");
+    }
+    if (n->left != nil_) {
+      assert(!cmp_(n->key, n->left->key) && "left child out of order");
+    }
+    if (n->right != nil_) {
+      assert(!cmp_(n->right->key, n->key) && "right child out of order");
+    }
+    int lh = CheckSubtree(n->left);
+    int rh = CheckSubtree(n->right);
+    assert(lh == rh && "black-height mismatch");
+    (void)rh;
+    return lh + (n->red ? 0 : 1);
+  }
+
+  Node* root_ = nullptr;
+  Node* nil_ = nullptr;
+  size_t size_ = 0;
+  Compare cmp_{};
+};
+
+}  // namespace hpa::containers
+
+#endif  // HPA_CONTAINERS_RB_TREE_MAP_H_

@@ -1,0 +1,44 @@
+#ifndef HPA_CONTAINERS_SPARSE_MATRIX_H_
+#define HPA_CONTAINERS_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "containers/sparse_vector.h"
+
+/// \file
+/// A row-major sparse matrix: one SparseVector per row. This is the
+/// intermediate dataset of the TF/IDF -> K-means workflow (one row of
+/// TF/IDF scores per document).
+
+namespace hpa::containers {
+
+/// Sparse matrix with a fixed column count (vocabulary size).
+struct SparseMatrix {
+  uint32_t num_cols = 0;
+  std::vector<SparseVector> rows;
+
+  size_t num_rows() const { return rows.size(); }
+
+  /// Total stored non-zeros.
+  uint64_t TotalNnz() const {
+    uint64_t total = 0;
+    for (const SparseVector& r : rows) total += r.nnz();
+    return total;
+  }
+
+  /// Heap bytes across all rows.
+  uint64_t ApproxMemoryBytes() const {
+    uint64_t total = rows.capacity() * sizeof(SparseVector);
+    for (const SparseVector& r : rows) total += r.ApproxMemoryBytes();
+    return total;
+  }
+
+  friend bool operator==(const SparseMatrix& a, const SparseMatrix& b) {
+    return a.num_cols == b.num_cols && a.rows == b.rows;
+  }
+};
+
+}  // namespace hpa::containers
+
+#endif  // HPA_CONTAINERS_SPARSE_MATRIX_H_

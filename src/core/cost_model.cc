@@ -1,0 +1,128 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpa::core {
+
+DictCostParams DictCostParams::Defaults(containers::DictBackend backend,
+                                        uint64_t per_doc_presize) {
+  using containers::DictBackend;
+  DictCostParams p;
+  switch (backend) {
+    case DictBackend::kStdMap:
+    case DictBackend::kRbTree:
+      // Red-black tree: pointer-chasing inserts/lookups, O(log n), but
+      // compact nodes and no resize storms.
+      p.insert_ns = 260.0;
+      p.lookup_ns = 230.0;
+      p.bytes_per_entry = 80.0;
+      p.fixed_table_bytes = 64.0;
+      p.sorted_iteration = true;
+      break;
+    case DictBackend::kStdUnorderedMap:
+    case DictBackend::kChainedHash:
+      // Chained hash: O(1) lookups, but inserts pay rehash amortization and
+      // the bucket arrays (especially pre-sized ones) bloat memory — the
+      // paper's u-map observations.
+      p.insert_ns = 280.0;
+      p.lookup_ns = 90.0;
+      p.bytes_per_entry = 56.0;
+      p.fixed_table_bytes =
+          128.0 + static_cast<double>(per_doc_presize) * 8.0;
+      p.sorted_iteration = false;
+      break;
+    case DictBackend::kOpenHash:
+      // Flat open addressing: cheap probes, inline slots; slot array is
+      // ~2x entries at max load.
+      p.insert_ns = 120.0;
+      p.lookup_ns = 60.0;
+      p.bytes_per_entry = 96.0;  // inline slots incl. empty headroom
+      // Reserve(n) doubles to keep load <= 7/8, at ~48 B per inline slot.
+      p.fixed_table_bytes =
+          64.0 + static_cast<double>(per_doc_presize) * 96.0;
+      p.sorted_iteration = false;
+      break;
+  }
+  return p;
+}
+
+PhaseCostEstimate CostModel::Estimate(containers::DictBackend backend,
+                                      int workers,
+                                      uint64_t per_doc_presize) const {
+  if (workers < 1) workers = 1;
+  const DictCostParams p = DictCostParams::Defaults(backend, per_doc_presize);
+  const double tokens = static_cast<double>(stats_.total_tokens);
+  const double docs = static_cast<double>(stats_.documents);
+  const double vocab = static_cast<double>(stats_.distinct_words);
+  const double doc_entries = docs * stats_.avg_distinct_per_doc;
+  const double w = static_cast<double>(workers);
+
+  PhaseCostEstimate e;
+
+  // Dictionary footprint: per-doc tables + the global table.
+  e.dict_bytes = docs * p.fixed_table_bytes +
+                 (doc_entries + vocab) * p.bytes_per_entry;
+
+  // Bandwidth available to this worker count (same law as the executor).
+  double bw_share =
+      std::min(1.0, w * machine_.per_worker_bandwidth_fraction);
+  double bw = machine_.mem_bandwidth_bytes_per_sec * bw_share;
+
+  // input+wc: every token is one insert; per-doc df ticks are inserts into
+  // the worker df table (~doc_entries of them); each document also pays
+  // creation (allocation + zeroing) of its pre-sized table. Parallel over
+  // documents, subject to the roofline on the tables being built.
+  {
+    double table_setup_seconds =
+        docs * p.fixed_table_bytes * 0.3e-9;  // ~3 GB/s alloc+memset
+    double cpu_seconds =
+        (tokens * p.insert_ns + doc_entries * p.insert_ns) * 1e-9 +
+        table_setup_seconds;
+    double bandwidth_seconds = e.dict_bytes / bw;
+    e.input_wc_seconds = std::max(cpu_seconds / w, bandwidth_seconds);
+  }
+
+  // transform: term-id assignment (serial; free sort for ordered backends)
+  // plus one global lookup per per-doc entry, parallel over documents but
+  // re-walking every table (roofline over the full dictionary footprint).
+  {
+    double sort_seconds =
+        p.sorted_iteration ? vocab * 30.0e-9
+                           : vocab * std::log2(std::max(2.0, vocab)) * 15.0e-9;
+    double cpu_seconds = doc_entries * (p.lookup_ns + 60.0) * 1e-9;
+    double bandwidth_seconds = e.dict_bytes / bw;
+    e.transform_seconds =
+        sort_seconds + std::max(cpu_seconds / w, bandwidth_seconds);
+  }
+
+  // discrete output: the same scoring work, strictly serial, plus
+  // formatting (~90ns/score) — disk time comes on top from the disk model.
+  {
+    double sort_seconds =
+        p.sorted_iteration ? vocab * 30.0e-9
+                           : vocab * std::log2(std::max(2.0, vocab)) * 15.0e-9;
+    e.output_seconds =
+        sort_seconds + doc_entries * (p.lookup_ns + 60.0 + 90.0) * 1e-9;
+  }
+
+  return e;
+}
+
+containers::DictBackend CostModel::BestBackend(
+    int workers, uint64_t per_doc_presize) const {
+  containers::DictBackend best = containers::DictBackend::kStdMap;
+  double best_cost = 0.0;
+  bool first = true;
+  for (containers::DictBackend b : containers::kAllDictBackends) {
+    double cost = Estimate(b, workers, per_doc_presize).TotalFused();
+    if (first || cost < best_cost) {
+      best = b;
+      best_cost = cost;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace hpa::core

@@ -1,0 +1,81 @@
+#ifndef HPA_CORE_COST_MODEL_H_
+#define HPA_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "containers/dictionary.h"
+#include "parallel/machine_model.h"
+
+/// \file
+/// The analytic cost model behind the workflow optimizer. §3.4 ends with
+/// the observation that the data-structure choice "must be taken
+/// judiciously, depending on the overall time taken by each step of the
+/// workflow and also on the extent to which each phase can be parallelized"
+/// — this model is that judgement, made explicit: per-backend operation
+/// costs and footprints, combined with a roofline over the machine's
+/// bandwidth and each phase's parallelizability.
+
+namespace hpa::core {
+
+/// Statistical description of a text workload (obtainable from corpus
+/// profiles or a prior run).
+struct WorkloadStats {
+  uint64_t documents = 0;
+  uint64_t total_tokens = 0;
+  uint64_t distinct_words = 0;
+
+  /// Average number of *distinct* words per document (per-doc table size).
+  double avg_distinct_per_doc = 0.0;
+};
+
+/// Per-backend dictionary cost parameters (rough nanosecond-scale costs on
+/// a paper-era core; relative magnitudes are what matters).
+struct DictCostParams {
+  double insert_ns = 0.0;       ///< FindOrInsert on a growing table
+  double lookup_ns = 0.0;       ///< Find on a built table
+  double bytes_per_entry = 0.0; ///< steady-state bytes per stored word
+  double fixed_table_bytes = 0.0; ///< per-table overhead (bucket arrays)
+  bool sorted_iteration = false;  ///< free sorted term-id assignment
+
+  /// Built-in defaults for a backend, reflecting the paper's measured
+  /// ordering: tree inserts beat the (resize-burdened, memory-hungry)
+  /// chained hash; hash lookups beat the tree's O(log n).
+  static DictCostParams Defaults(containers::DictBackend backend,
+                                 uint64_t per_doc_presize);
+};
+
+/// Predicted per-phase times for one backend choice at a worker count.
+struct PhaseCostEstimate {
+  double input_wc_seconds = 0.0;
+  double transform_seconds = 0.0;
+  double output_seconds = 0.0;   ///< serial ARFF scoring+write (discrete)
+  double dict_bytes = 0.0;       ///< predicted dictionary footprint
+
+  double TotalFused() const { return input_wc_seconds + transform_seconds; }
+};
+
+/// Cost model instance: machine + workload.
+class CostModel {
+ public:
+  CostModel(const parallel::MachineModel& machine, const WorkloadStats& stats)
+      : machine_(machine), stats_(stats) {}
+
+  /// Predicts phase times for `backend` with `workers` parallel workers and
+  /// the given per-document table pre-size.
+  PhaseCostEstimate Estimate(containers::DictBackend backend, int workers,
+                             uint64_t per_doc_presize) const;
+
+  /// The backend minimizing fused workflow time at `workers`.
+  containers::DictBackend BestBackend(int workers,
+                                      uint64_t per_doc_presize) const;
+
+  const WorkloadStats& stats() const { return stats_; }
+
+ private:
+  parallel::MachineModel machine_;
+  WorkloadStats stats_;
+};
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_COST_MODEL_H_

@@ -1,0 +1,59 @@
+#ifndef HPA_CORE_DATASET_H_
+#define HPA_CORE_DATASET_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "containers/sparse_matrix.h"
+#include "ops/kmeans.h"
+#include "ops/tfidf.h"
+
+/// \file
+/// The typed datasets that flow along workflow edges. An edge either
+/// carries its dataset in memory (fused) or as a file reference on the
+/// scratch disk (materialized) — the distinction at the heart of §3.3.
+
+namespace hpa::core {
+
+/// Reference to a packed corpus file on the corpus store.
+struct CorpusRef {
+  std::string path;
+};
+
+/// Reference to a sparse ARFF file on the scratch disk (a materialized
+/// TF/IDF intermediate).
+struct ArffRef {
+  std::string path;
+};
+
+/// Reference to a CSV file on the scratch disk (materialized final output).
+struct CsvRef {
+  std::string path;
+};
+
+/// In-memory clustering output with document names attached.
+struct Clustering {
+  ops::KMeansResult kmeans;
+  std::vector<std::string> doc_names;
+};
+
+/// Terms ranked by aggregate weight (TopTermsOperator output).
+struct TermRanking {
+  /// (term, total score) pairs, highest first.
+  std::vector<std::pair<std::string, double>> terms;
+};
+
+/// Any dataset a workflow edge can carry. `monostate` = not produced yet.
+using Dataset =
+    std::variant<std::monostate, CorpusRef, ops::TfidfResult,
+                 containers::SparseMatrix, ArffRef, Clustering, CsvRef,
+                 TermRanking>;
+
+/// Human-readable dataset kind ("corpus-ref", "tfidf", ...), for errors
+/// and plan dumps.
+std::string_view DatasetKindName(const Dataset& dataset);
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_DATASET_H_

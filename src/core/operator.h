@@ -1,0 +1,57 @@
+#ifndef HPA_CORE_OPERATOR_H_
+#define HPA_CORE_OPERATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "ops/exec_context.h"
+
+/// \file
+/// The workflow operator abstraction. An operator transforms input
+/// datasets into one output dataset, and must support both boundary kinds
+/// on its output where meaningful:
+///
+///  * `kFused`        — hand the output to the next operator in memory;
+///  * `kMaterialized` — write the output to the scratch disk and hand over
+///    a file reference (the paper's discrete-operator mode, with its
+///    serial format/parse/disk costs).
+
+namespace hpa::core {
+
+/// How a dataset crosses an operator boundary.
+enum class Boundary {
+  kFused,
+  kMaterialized,
+};
+
+std::string_view BoundaryName(Boundary boundary);
+
+/// A workflow operator. Implementations must be stateless across Run()
+/// calls (all state flows through datasets), so one workflow definition
+/// can be executed many times under different plans.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Operator name for plans and reports ("tfidf", "kmeans", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Executes the operator.
+  ///
+  /// \param ctx executor/disks/dictionary-choice/phase-timer
+  /// \param inputs one dataset per workflow input edge, in edge order;
+  ///   never null. An input may be a file reference if the upstream edge
+  ///   was materialized — operators must accept both forms.
+  /// \param output_boundary whether to return the result in memory or
+  ///   materialize it and return a reference.
+  virtual StatusOr<Dataset> Run(ops::ExecContext& ctx,
+                                const std::vector<const Dataset*>& inputs,
+                                Boundary output_boundary) = 0;
+};
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_OPERATOR_H_

@@ -1,0 +1,58 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+
+namespace hpa::core {
+
+namespace {
+
+containers::DictBackend BestPaperBackend(const CostModel& model, int workers,
+                                         uint64_t presize) {
+  using containers::DictBackend;
+  double map_cost =
+      model.Estimate(DictBackend::kStdMap, workers, presize).TotalFused();
+  double umap_cost =
+      model.Estimate(DictBackend::kStdUnorderedMap, workers, presize)
+          .TotalFused();
+  return map_cost <= umap_cost ? DictBackend::kStdMap
+                               : DictBackend::kStdUnorderedMap;
+}
+
+}  // namespace
+
+ExecutionPlan OptimizeWorkflow(const Workflow& workflow,
+                               const CostModel& cost_model,
+                               const OptimizerOptions& options) {
+  ExecutionPlan plan;
+  plan.workers = options.workers > 0 ? options.workers : 1;
+  plan.nodes.resize(workflow.size());
+
+  // Rule 4: one backend decision at the planned parallelism, applied to
+  // every dictionary-using operator.
+  containers::DictBackend backend =
+      options.paper_backends_only
+          ? BestPaperBackend(cost_model, plan.workers,
+                             options.per_doc_dict_presize)
+          : cost_model.BestBackend(plan.workers,
+                                   options.per_doc_dict_presize);
+
+  std::vector<int> sinks = workflow.SinkIds();
+  for (size_t i = 0; i < workflow.size(); ++i) {
+    NodePlan& np = plan.nodes[i];
+    np.dict_backend = backend;
+    np.per_doc_dict_presize =
+        static_cast<size_t>(options.per_doc_dict_presize);
+
+    bool is_sink = std::find(sinks.begin(), sinks.end(),
+                             static_cast<int>(i)) != sinks.end();
+    // Rule 3: fuse interior edges; materialize sinks (and everything, when
+    // the discrete baseline is requested).
+    np.output_boundary =
+        (is_sink || options.force_materialize_intermediates)
+            ? Boundary::kMaterialized
+            : Boundary::kFused;
+  }
+  return plan;
+}
+
+}  // namespace hpa::core

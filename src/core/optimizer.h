@@ -1,0 +1,54 @@
+#ifndef HPA_CORE_OPTIMIZER_H_
+#define HPA_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "core/cost_model.h"
+#include "core/plan.h"
+#include "core/workflow.h"
+
+/// \file
+/// The workflow optimizer: turns a workflow plus machine/workload
+/// knowledge into an ExecutionPlan, applying the paper's four
+/// optimizations as rules:
+///
+///  1. intra-node parallelism — plan for the machine's full worker count;
+///  2. parallel input — implied: source reads happen inside parallel loops;
+///  3. workflow fusion — edges default to in-memory (fused) boundaries;
+///     materialization only where requested (spill/checkpoint) or at sinks;
+///  4. data-structure selection — per-operator dictionary backend chosen by
+///     the cost model *at the planned worker count* (the choice flips as
+///     parallelism grows, §3.4).
+
+namespace hpa::core {
+
+/// Optimizer knobs.
+struct OptimizerOptions {
+  /// Target worker count (optimization 1). <= 0 means "keep plan default".
+  int workers = 16;
+
+  /// Force every intermediate edge to materialize (the paper's discrete
+  /// baseline; useful for A/B runs and for checkpointing semantics).
+  bool force_materialize_intermediates = false;
+
+  /// Per-document table pre-size to plan with (the paper's 4K policy when
+  /// hash backends are chosen; 0 = grow on demand).
+  uint64_t per_doc_dict_presize = 0;
+
+  /// Restrict the dictionary choice to the paper's two backends
+  /// (std::map / std::unordered_map) instead of all five.
+  bool paper_backends_only = false;
+};
+
+/// Produces a plan for `workflow` using `cost_model` and `options`.
+///
+/// Sinks are always materialized (final outputs must land on storage);
+/// interior edges are fused unless forced. Dictionary backends are chosen
+/// per operator by the cost model at the planned worker count.
+ExecutionPlan OptimizeWorkflow(const Workflow& workflow,
+                               const CostModel& cost_model,
+                               const OptimizerOptions& options);
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_OPTIMIZER_H_

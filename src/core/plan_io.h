@@ -1,0 +1,40 @@
+#ifndef HPA_CORE_PLAN_IO_H_
+#define HPA_CORE_PLAN_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/plan.h"
+#include "core/workflow.h"
+
+/// \file
+/// Textual persistence for execution plans, so an optimizer decision can
+/// be inspected, edited by hand, checked into a repo, and replayed —
+/// "EXPLAIN" plus plan pinning for a workflow engine.
+///
+/// Format (line-oriented, stable):
+///
+///   hpa-plan v1
+///   workers 16
+///   node 0 source corpus
+///   node 1 op=tfidf boundary=fused dict=map presize=4096
+///   node 2 op=kmeans boundary=materialized dict=open-hash presize=0
+
+namespace hpa::core {
+
+/// Serializes `plan` against its `workflow` (node labels are included for
+/// readability and validated on load).
+std::string SerializePlan(const ExecutionPlan& plan,
+                          const Workflow& workflow);
+
+/// Parses a plan for `workflow`. Fails with InvalidArgument/Corruption if
+/// the text is malformed, the node count or kinds do not match the
+/// workflow, or a dictionary backend is unknown. Operator labels are
+/// checked when present.
+StatusOr<ExecutionPlan> ParsePlan(std::string_view text,
+                                  const Workflow& workflow);
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_PLAN_IO_H_

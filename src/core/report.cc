@@ -1,0 +1,129 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace hpa::core {
+
+std::string FormatTable(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  size_t cols = 0;
+  for (const auto& row : rows) cols = std::max(cols, row.size());
+  std::vector<size_t> widths(cols, 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < rows[r].size() ? rows[r][c] : "";
+      if (c == 0) {
+        out += cell;
+        out.append(widths[c] - cell.size(), ' ');
+      } else {
+        out += "  ";
+        out.append(widths[c] - cell.size(), ' ');
+        out += cell;
+      }
+    }
+    out += '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < cols; ++c) total += widths[c] + (c ? 2 : 0);
+      out.append(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string FormatPhaseBreakdown(const std::vector<BreakdownColumn>& columns,
+                                 const std::vector<std::string>& phase_order) {
+  // Collect the union of phase names: ordered ones first, then first-seen.
+  std::vector<std::string> phases;
+  auto add = [&](const std::string& name) {
+    if (std::find(phases.begin(), phases.end(), name) == phases.end()) {
+      phases.push_back(name);
+    }
+  };
+  for (const std::string& name : phase_order) {
+    for (const BreakdownColumn& col : columns) {
+      if (col.phases.Seconds(name) > 0.0) {
+        add(name);
+        break;
+      }
+    }
+  }
+  for (const BreakdownColumn& col : columns) {
+    for (const auto& phase : col.phases.phases()) add(phase.name);
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"phase"};
+  for (const BreakdownColumn& col : columns) header.push_back(col.label);
+  rows.push_back(std::move(header));
+
+  for (const std::string& name : phases) {
+    std::vector<std::string> row = {name};
+    for (const BreakdownColumn& col : columns) {
+      row.push_back(StrFormat("%.3f", col.phases.Seconds(name)));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<std::string> total = {"TOTAL"};
+  for (const BreakdownColumn& col : columns) {
+    total.push_back(StrFormat("%.3f", col.phases.TotalSeconds()));
+  }
+  rows.push_back(std::move(total));
+  return FormatTable(rows);
+}
+
+std::string FormatSpeedupTable(const std::vector<SpeedupSeries>& series) {
+  // Union of thread counts across series, sorted.
+  std::vector<int> threads;
+  for (const SpeedupSeries& s : series) {
+    for (const SpeedupPoint& p : s.points) {
+      if (std::find(threads.begin(), threads.end(), p.threads) ==
+          threads.end()) {
+        threads.push_back(p.threads);
+      }
+    }
+  }
+  std::sort(threads.begin(), threads.end());
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"threads"};
+  for (const SpeedupSeries& s : series) {
+    header.push_back("time(" + s.label + ")");
+    header.push_back("speedup(" + s.label + ")");
+  }
+  rows.push_back(std::move(header));
+
+  for (int t : threads) {
+    std::vector<std::string> row = {std::to_string(t)};
+    for (const SpeedupSeries& s : series) {
+      const SpeedupPoint* point = nullptr;
+      double base = 0.0;
+      for (const SpeedupPoint& p : s.points) {
+        if (p.threads == t) point = &p;
+        if (p.threads == 1) base = p.seconds;
+      }
+      if (point == nullptr) {
+        row.push_back("-");
+        row.push_back("-");
+      } else {
+        row.push_back(StrFormat("%.3fs", point->seconds));
+        row.push_back(base > 0.0
+                          ? StrFormat("%.2fx", base / point->seconds)
+                          : "-");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return FormatTable(rows);
+}
+
+}  // namespace hpa::core

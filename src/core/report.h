@@ -1,0 +1,50 @@
+#ifndef HPA_CORE_REPORT_H_
+#define HPA_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+/// \file
+/// Plain-text report formatting for the benchmark harnesses: the stacked
+/// phase-breakdown tables of Figures 3/4 and the speedup series of
+/// Figures 1/2, printed as aligned text tables on stdout.
+
+namespace hpa::core {
+
+/// A column of a phase-breakdown table: one configuration's PhaseTimer.
+struct BreakdownColumn {
+  std::string label;
+  PhaseTimer phases;
+};
+
+/// Renders a table with one row per phase (union of all columns' phases,
+/// in the order of `phase_order` first, then first-seen) and a TOTAL row.
+/// Values are seconds with 3 decimals.
+std::string FormatPhaseBreakdown(const std::vector<BreakdownColumn>& columns,
+                                 const std::vector<std::string>& phase_order);
+
+/// One point of a speedup curve.
+struct SpeedupPoint {
+  int threads = 0;
+  double seconds = 0.0;
+};
+
+/// A labelled speedup curve (e.g. one corpus).
+struct SpeedupSeries {
+  std::string label;
+  std::vector<SpeedupPoint> points;
+};
+
+/// Renders "threads | time(label) speedup(label) ..." rows; speedups are
+/// self-relative to each series' 1-thread time (as in Figures 1 and 2).
+std::string FormatSpeedupTable(const std::vector<SpeedupSeries>& series);
+
+/// Simple generic table: first row = header, remaining rows = data, all
+/// columns right-aligned except the first.
+std::string FormatTable(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_REPORT_H_

@@ -1,0 +1,178 @@
+#include "core/standard_ops.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+#include "io/csv.h"
+#include "io/packed_corpus.h"
+#include "ops/tfidf.h"
+#include "parallel/parallel_ops.h"
+
+namespace hpa::core {
+
+namespace {
+
+Status WrongInput(std::string_view op, const Dataset& got,
+                  std::string_view expected) {
+  return Status::InvalidArgument(std::string(op) + ": expected " +
+                                 std::string(expected) + " input, got " +
+                                 std::string(DatasetKindName(got)));
+}
+
+}  // namespace
+
+StatusOr<Dataset> TfidfOperator::Run(ops::ExecContext& ctx,
+                                     const std::vector<const Dataset*>& inputs,
+                                     Boundary output_boundary) {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("tfidf takes exactly one input");
+  }
+  const auto* corpus_ref = std::get_if<CorpusRef>(inputs[0]);
+  if (corpus_ref == nullptr) {
+    return WrongInput("tfidf", *inputs[0], "corpus-ref");
+  }
+  if (ctx.corpus_disk == nullptr) {
+    return Status::FailedPrecondition("tfidf requires a corpus disk");
+  }
+  HPA_ASSIGN_OR_RETURN(
+      auto reader,
+      io::PackedCorpusReader::Open(ctx.corpus_disk, corpus_ref->path));
+
+  if (output_boundary == Boundary::kMaterialized) {
+    if (ctx.scratch_disk == nullptr) {
+      return Status::FailedPrecondition(
+          "materialized tfidf requires a scratch disk");
+    }
+    HPA_RETURN_IF_ERROR(ops::TfidfToArff(ctx, reader, kArffPath));
+    return Dataset(ArffRef{kArffPath});
+  }
+  HPA_ASSIGN_OR_RETURN(auto result, ops::TfidfInMemory(ctx, reader));
+  return Dataset(std::move(result));
+}
+
+StatusOr<Dataset> KMeansOperator::Run(ops::ExecContext& ctx,
+                                      const std::vector<const Dataset*>& inputs,
+                                      Boundary output_boundary) {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("kmeans takes exactly one input");
+  }
+
+  // Accept any of the three input shapes.
+  const containers::SparseMatrix* matrix = nullptr;
+  containers::SparseMatrix loaded;  // owns the materialized-input case
+  std::vector<std::string> doc_names;
+
+  if (const auto* tfidf = std::get_if<ops::TfidfResult>(inputs[0])) {
+    matrix = &tfidf->matrix;
+    doc_names = tfidf->doc_names;
+  } else if (const auto* m = std::get_if<containers::SparseMatrix>(inputs[0])) {
+    matrix = m;
+  } else if (const auto* arff = std::get_if<ArffRef>(inputs[0])) {
+    if (ctx.scratch_disk == nullptr) {
+      return Status::FailedPrecondition(
+          "ARFF input requires a scratch disk");
+    }
+    HPA_ASSIGN_OR_RETURN(loaded, ops::ReadTfidfArff(ctx, arff->path));
+    matrix = &loaded;
+  } else {
+    return WrongInput("kmeans", *inputs[0], "tfidf/sparse-matrix/arff-ref");
+  }
+
+  HPA_ASSIGN_OR_RETURN(auto result, ops::SparseKMeans(ctx, *matrix, options_));
+
+  if (output_boundary == Boundary::kMaterialized) {
+    if (ctx.scratch_disk == nullptr) {
+      return Status::FailedPrecondition(
+          "materialized kmeans requires a scratch disk");
+    }
+    HPA_RETURN_IF_ERROR(
+        ops::WriteAssignmentsCsv(ctx, doc_names, result.assignment,
+                                 kCsvPath));
+    return Dataset(CsvRef{kCsvPath});
+  }
+  Clustering clustering;
+  clustering.kmeans = std::move(result);
+  clustering.doc_names = std::move(doc_names);
+  return Dataset(std::move(clustering));
+}
+
+StatusOr<Dataset> TopTermsOperator::Run(
+    ops::ExecContext& ctx, const std::vector<const Dataset*>& inputs,
+    Boundary output_boundary) {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("top-terms takes exactly one input");
+  }
+  const auto* tfidf = std::get_if<ops::TfidfResult>(inputs[0]);
+  if (tfidf == nullptr) {
+    return WrongInput("top-terms", *inputs[0], "tfidf");
+  }
+
+  TermRanking ranking;
+  ctx.TimePhase("top-terms", [&] {
+    // Per-worker dense score totals over the vocabulary, merged serially.
+    parallel::WorkerLocal<std::vector<double>> partials(
+        *ctx.executor,
+        [&] { return std::vector<double>(tfidf->matrix.num_cols, 0.0); });
+    parallel::WorkHint hint;
+    hint.label = "top-terms";
+    hint.bytes_touched = tfidf->matrix.ApproxMemoryBytes();
+    ctx.executor->ParallelFor(
+        0, tfidf->matrix.num_rows(), 0, hint,
+        [&](int worker, size_t b, size_t e) {
+          std::vector<double>& totals = partials.Get(worker);
+          for (size_t i = b; i < e; ++i) {
+            const auto& row = tfidf->matrix.rows[i];
+            for (size_t t = 0; t < row.nnz(); ++t) {
+              totals[row.id_at(t)] += row.value_at(t);
+            }
+          }
+        });
+
+    ctx.executor->RunSerial(parallel::WorkHint{0, "top-terms-merge"}, [&] {
+      std::vector<double> totals(tfidf->matrix.num_cols, 0.0);
+      partials.ForEach([&](std::vector<double>& p) {
+        for (size_t t = 0; t < totals.size(); ++t) totals[t] += p[t];
+      });
+      std::vector<std::pair<double, uint32_t>> order;
+      order.reserve(totals.size());
+      for (uint32_t t = 0; t < totals.size(); ++t) {
+        if (totals[t] > 0) order.push_back({totals[t], t});
+      }
+      size_t keep = std::min(top_n_, order.size());
+      std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first > b.first;
+                        });
+      order.resize(keep);
+      for (const auto& [score, id] : order) {
+        ranking.terms.push_back({tfidf->terms[id], score});
+      }
+    });
+  });
+
+  if (output_boundary == Boundary::kMaterialized) {
+    if (ctx.scratch_disk == nullptr) {
+      return Status::FailedPrecondition(
+          "materialized top-terms requires a scratch disk");
+    }
+    Status status;
+    ctx.TimePhase("output", [&] {
+      ctx.executor->RunSerial(parallel::WorkHint{0, "output"}, [&] {
+        std::string csv = "term,total_score\n";
+        for (const auto& [term, score] : ranking.terms) {
+          csv += io::CsvEscape(term);
+          csv += ',';
+          AppendDouble(csv, score);
+          csv += '\n';
+        }
+        status = ctx.scratch_disk->WriteFile(kCsvPath, csv);
+      });
+    });
+    HPA_RETURN_IF_ERROR(status);
+    return Dataset(CsvRef{kCsvPath});
+  }
+  return Dataset(std::move(ranking));
+}
+
+}  // namespace hpa::core

@@ -1,0 +1,80 @@
+#ifndef HPA_CORE_STANDARD_OPS_H_
+#define HPA_CORE_STANDARD_OPS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/operator.h"
+#include "ops/kmeans.h"
+
+/// \file
+/// The two analytics operators the paper studies, wrapped as workflow
+/// operators, plus a pass-through normalization transform.
+
+namespace hpa::core {
+
+/// TF/IDF over a packed corpus (input: CorpusRef).
+///
+///  * fused output: in-memory TfidfResult — phases "input+wc", "transform";
+///  * materialized output: streams scores to sparse ARFF — phases
+///    "input+wc", "tfidf-output" (serial, as in the paper's discrete mode).
+class TfidfOperator : public Operator {
+ public:
+  std::string_view name() const override { return "tfidf"; }
+  StatusOr<Dataset> Run(ops::ExecContext& ctx,
+                        const std::vector<const Dataset*>& inputs,
+                        Boundary output_boundary) override;
+
+  /// Scratch-disk path used when the output is materialized.
+  static constexpr const char* kArffPath = "tfidf.arff";
+};
+
+/// K-means over TF/IDF rows (input: TfidfResult, SparseMatrix, or ArffRef —
+/// the latter is parsed serially as the "kmeans-input" phase).
+///
+///  * fused output: in-memory Clustering — phase "kmeans";
+///  * materialized output: also writes assignments CSV — phase "output".
+class KMeansOperator : public Operator {
+ public:
+  explicit KMeansOperator(ops::KMeansOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "kmeans"; }
+  StatusOr<Dataset> Run(ops::ExecContext& ctx,
+                        const std::vector<const Dataset*>& inputs,
+                        Boundary output_boundary) override;
+
+  const ops::KMeansOptions& options() const { return options_; }
+
+  static constexpr const char* kCsvPath = "clusters.csv";
+
+ private:
+  ops::KMeansOptions options_;
+};
+
+/// Ranks the globally heaviest TF/IDF terms (input: TfidfResult).
+///
+/// A second consumer of the TF/IDF intermediate, which turns the paper's
+/// linear pipeline into a genuine DAG: one fused TF/IDF result can feed
+/// both K-means and this operator without recomputation — the fusion
+/// optimization composing across multiple consumers.
+///
+///  * fused output: in-memory TermRanking — phase "top-terms";
+///  * materialized output: also writes "term,score" CSV — phase "output".
+class TopTermsOperator : public Operator {
+ public:
+  explicit TopTermsOperator(size_t top_n) : top_n_(top_n) {}
+
+  std::string_view name() const override { return "top-terms"; }
+  StatusOr<Dataset> Run(ops::ExecContext& ctx,
+                        const std::vector<const Dataset*>& inputs,
+                        Boundary output_boundary) override;
+
+  static constexpr const char* kCsvPath = "top_terms.csv";
+
+ private:
+  size_t top_n_;
+};
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_STANDARD_OPS_H_

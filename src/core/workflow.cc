@@ -1,0 +1,110 @@
+#include "core/workflow.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/plan.h"
+
+namespace hpa::core {
+
+std::string_view DatasetKindName(const Dataset& dataset) {
+  switch (dataset.index()) {
+    case 0:
+      return "none";
+    case 1:
+      return "corpus-ref";
+    case 2:
+      return "tfidf";
+    case 3:
+      return "sparse-matrix";
+    case 4:
+      return "arff-ref";
+    case 5:
+      return "clustering";
+    case 6:
+      return "csv-ref";
+    case 7:
+      return "term-ranking";
+  }
+  return "unknown";
+}
+
+std::string_view BoundaryName(Boundary boundary) {
+  return boundary == Boundary::kFused ? "fused" : "materialized";
+}
+
+StatusOr<int> Workflow::Add(std::unique_ptr<Operator> op,
+                            std::vector<int> inputs) {
+  for (int input : inputs) {
+    if (input < 0 || static_cast<size_t>(input) >= nodes_.size()) {
+      return Status::InvalidArgument(
+          "operator '" + std::string(op->name()) +
+          "' references unknown node " + std::to_string(input));
+    }
+  }
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{std::move(op), std::move(inputs)});
+  source_data_.emplace_back();  // monostate placeholder
+  source_labels_.emplace_back();
+  return id;
+}
+
+int Workflow::AddSource(Dataset dataset, std::string label) {
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{nullptr, {}});
+  source_data_.push_back(std::move(dataset));
+  source_labels_.push_back(std::move(label));
+  return id;
+}
+
+std::string_view Workflow::label(int id) const {
+  const Node& n = nodes_[static_cast<size_t>(id)];
+  if (n.op != nullptr) return n.op->name();
+  return source_labels_[static_cast<size_t>(id)];
+}
+
+std::string Workflow::ToDot(const ExecutionPlan* plan) const {
+  std::string dot = "digraph workflow {\n  rankdir=LR;\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    int id = static_cast<int>(i);
+    std::string label(this->label(id));
+    std::string shape = IsSource(id) ? "oval" : "box";
+    if (plan != nullptr && !IsSource(id)) {
+      label += StrFormat(
+          "\\n%s", std::string(containers::DictBackendName(
+                       plan->nodes[i].dict_backend))
+                       .c_str());
+    }
+    dot += StrFormat("  n%d [label=\"%s\", shape=%s];\n", id, label.c_str(),
+                     shape.c_str());
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (int input : nodes_[i].inputs) {
+      std::string attrs;
+      if (plan != nullptr) {
+        Boundary b = plan->nodes[static_cast<size_t>(input)].output_boundary;
+        attrs = StrFormat(
+            " [label=\"%s\"%s]",
+            std::string(BoundaryName(b)).c_str(),
+            b == Boundary::kMaterialized ? ", style=dashed" : "");
+      }
+      dot += StrFormat("  n%d -> n%zu%s;\n", input, i, attrs.c_str());
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+std::vector<int> Workflow::SinkIds() const {
+  std::vector<bool> consumed(nodes_.size(), false);
+  for (const Node& n : nodes_) {
+    for (int input : n.inputs) consumed[static_cast<size_t>(input)] = true;
+  }
+  std::vector<int> sinks;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!consumed[i]) sinks.push_back(static_cast<int>(i));
+  }
+  return sinks;
+}
+
+}  // namespace hpa::core

@@ -1,0 +1,69 @@
+#ifndef HPA_CORE_WORKFLOW_H_
+#define HPA_CORE_WORKFLOW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/operator.h"
+
+/// \file
+/// A workflow is a DAG of operators. Construction is append-only — an
+/// operator may only consume outputs of previously added operators — so a
+/// workflow is acyclic by construction and node ids double as a valid
+/// topological order.
+
+namespace hpa::core {
+
+/// Operator DAG. Node 0..k are sources (no inputs) or consume earlier
+/// nodes' outputs.
+class Workflow {
+ public:
+  struct Node {
+    std::unique_ptr<Operator> op;
+    std::vector<int> inputs;  ///< ids of producing nodes
+  };
+
+  Workflow() = default;
+  Workflow(Workflow&&) = default;
+  Workflow& operator=(Workflow&&) = default;
+
+  /// Adds `op` consuming the outputs of `inputs` (each < current size).
+  /// Returns the new node id, or InvalidArgument on a forward reference.
+  StatusOr<int> Add(std::unique_ptr<Operator> op, std::vector<int> inputs);
+
+  /// Adds a source dataset (e.g. a CorpusRef) as node; sources have no
+  /// operator and simply inject their dataset. Returns the node id.
+  int AddSource(Dataset dataset, std::string label);
+
+  size_t size() const { return nodes_.size(); }
+  bool IsSource(int id) const { return nodes_[static_cast<size_t>(id)].op == nullptr; }
+
+  const Node& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+
+  /// Dataset of a source node.
+  const Dataset& source_dataset(int id) const {
+    return source_data_[static_cast<size_t>(id)];
+  }
+
+  /// Display label: operator name, or the source label.
+  std::string_view label(int id) const;
+
+  /// Node ids nobody consumes (the workflow outputs).
+  std::vector<int> SinkIds() const;
+
+  /// Graphviz DOT rendering of the DAG; if `plan` is non-null, edges are
+  /// annotated with their boundary and nodes with their dictionary choice.
+  std::string ToDot(const struct ExecutionPlan* plan = nullptr) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Dataset> source_data_;   // indexed by node id; monostate for ops
+  std::vector<std::string> source_labels_;
+};
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_WORKFLOW_H_

@@ -1,0 +1,105 @@
+#include "core/workflow_executor.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "ops/exec_context.h"
+
+namespace hpa::core {
+
+std::string ExecutionPlan::ToString(const Workflow& workflow) const {
+  std::string out = StrFormat("plan: workers=%d\n", workers);
+  for (size_t i = 0; i < workflow.size(); ++i) {
+    int id = static_cast<int>(i);
+    if (workflow.IsSource(id)) {
+      out += StrFormat("  node %d: source '%s'\n", id,
+                       std::string(workflow.label(id)).c_str());
+      continue;
+    }
+    const NodePlan& np = nodes[i];
+    out += StrFormat(
+        "  node %d: %s -> %s, dict=%s%s\n", id,
+        std::string(workflow.label(id)).c_str(),
+        std::string(BoundaryName(np.output_boundary)).c_str(),
+        std::string(containers::DictBackendName(np.dict_backend)).c_str(),
+        np.per_doc_dict_presize > 0
+            ? StrFormat(" (presize %zu)", np.per_doc_dict_presize).c_str()
+            : "");
+  }
+  return out;
+}
+
+StatusOr<WorkflowRunResult> RunWorkflow(const Workflow& workflow,
+                                        const ExecutionPlan& plan,
+                                        const RunEnv& env) {
+  if (env.executor == nullptr) {
+    return Status::InvalidArgument("RunWorkflow requires an executor");
+  }
+  if (plan.nodes.size() != workflow.size()) {
+    return Status::InvalidArgument(
+        StrFormat("plan has %zu node entries for a workflow of %zu nodes",
+                  plan.nodes.size(), workflow.size()));
+  }
+
+  WorkflowRunResult result;
+  double start = env.executor->Now();
+
+  // Reference counts so intermediates are dropped after their last use.
+  std::vector<int> remaining_uses(workflow.size(), 0);
+  for (size_t i = 0; i < workflow.size(); ++i) {
+    for (int input : workflow.node(static_cast<int>(i)).inputs) {
+      ++remaining_uses[static_cast<size_t>(input)];
+    }
+  }
+
+  std::vector<Dataset> datasets(workflow.size());
+
+  for (size_t i = 0; i < workflow.size(); ++i) {
+    int id = static_cast<int>(i);
+    if (workflow.IsSource(id)) {
+      datasets[i] = workflow.source_dataset(id);
+      continue;
+    }
+    const Workflow::Node& node = workflow.node(id);
+    const NodePlan& np = plan.nodes[i];
+
+    ops::ExecContext ctx;
+    ctx.executor = env.executor;
+    ctx.corpus_disk = env.corpus_disk;
+    ctx.scratch_disk = env.scratch_disk;
+    ctx.dict_backend = np.dict_backend;
+    ctx.per_doc_dict_presize = np.per_doc_dict_presize;
+    ctx.tokenizer = env.tokenizer;
+    ctx.stem_tokens = env.stem_tokens;
+    ctx.phases = &result.phases;
+
+    std::vector<const Dataset*> inputs;
+    inputs.reserve(node.inputs.size());
+    for (int input : node.inputs) {
+      inputs.push_back(&datasets[static_cast<size_t>(input)]);
+    }
+
+    auto output = node.op->Run(ctx, inputs, np.output_boundary);
+    if (!output.ok()) {
+      return output.status().WithContext(
+          "node " + std::to_string(id) + " (" +
+          std::string(workflow.label(id)) + ")");
+    }
+    datasets[i] = std::move(output).value();
+
+    // Drop inputs whose last consumer has now run.
+    for (int input : node.inputs) {
+      if (--remaining_uses[static_cast<size_t>(input)] == 0) {
+        datasets[static_cast<size_t>(input)] = Dataset{};
+      }
+    }
+  }
+
+  for (int sink : workflow.SinkIds()) {
+    result.outputs.push_back(std::move(datasets[static_cast<size_t>(sink)]));
+  }
+  result.total_seconds = env.executor->Now() - start;
+  return result;
+}
+
+}  // namespace hpa::core

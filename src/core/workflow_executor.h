@@ -1,0 +1,53 @@
+#ifndef HPA_CORE_WORKFLOW_EXECUTOR_H_
+#define HPA_CORE_WORKFLOW_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/plan.h"
+#include "core/workflow.h"
+#include "io/sim_disk.h"
+#include "parallel/executor.h"
+#include "text/tokenizer.h"
+
+/// \file
+/// Executes a workflow under an execution plan, collecting the per-phase
+/// timing breakdown that Figures 3 and 4 report.
+
+namespace hpa::core {
+
+/// Everything a run needs from the environment. Non-owning.
+struct RunEnv {
+  parallel::Executor* executor = nullptr;
+  io::SimDisk* corpus_disk = nullptr;
+  io::SimDisk* scratch_disk = nullptr;
+
+  /// Text-processing knobs applied to every operator context (these are
+  /// environment/corpus properties, not per-node plan decisions).
+  text::TokenizerOptions tokenizer;
+  bool stem_tokens = false;
+};
+
+/// Result of one workflow execution.
+struct WorkflowRunResult {
+  /// Executor-clock seconds per named phase, across all operators.
+  PhaseTimer phases;
+
+  /// Executor-clock seconds for the whole run.
+  double total_seconds = 0.0;
+
+  /// Final datasets, one per sink node (same order as Workflow::SinkIds).
+  std::vector<Dataset> outputs;
+};
+
+/// Runs `workflow` under `plan` in `env`. The plan must have one NodePlan
+/// per workflow node. Sinks keep their datasets; intermediate datasets are
+/// dropped as soon as their last consumer has run (bounded memory).
+StatusOr<WorkflowRunResult> RunWorkflow(const Workflow& workflow,
+                                        const ExecutionPlan& plan,
+                                        const RunEnv& env);
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_WORKFLOW_EXECUTOR_H_

@@ -1,0 +1,64 @@
+#ifndef HPA_IO_ARFF_H_
+#define HPA_IO_ARFF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "containers/sparse_matrix.h"
+#include "io/sim_disk.h"
+
+/// \file
+/// Sparse ARFF (Attribute-Relation File Format, WEKA) writer and parser.
+///
+/// This is the interchange format the paper's discrete workflow dumps
+/// between TF/IDF and K-means, and the reason that boundary cannot be
+/// parallelized: ARFF is a single sequential text file ("file formats are
+/// often designed in such a way that parallel I/O becomes hard", §3.2).
+///
+/// Format produced/consumed:
+///   % comment lines
+///   @relation <name>
+///   @attribute <name> numeric          (one per column, in column order)
+///   @data
+///   {<idx> <value>, <idx> <value>, ...}   (sparse rows; ascending idx)
+
+namespace hpa::io {
+
+/// A parsed ARFF relation: names plus the sparse data matrix.
+struct ArffRelation {
+  std::string relation_name;
+  std::vector<std::string> attributes;
+  containers::SparseMatrix data;
+};
+
+/// Writes `matrix` as sparse ARFF to `rel_path` on `disk`. `attributes`
+/// must have exactly `matrix.num_cols` entries. Runs on the calling thread
+/// (serial by format design); simulated write time accrues on the disk's
+/// executor.
+Status WriteSparseArff(SimDisk* disk, const std::string& rel_path,
+                       const std::string& relation_name,
+                       const std::vector<std::string>& attributes,
+                       const containers::SparseMatrix& matrix);
+
+/// Parses a sparse ARFF file written by WriteSparseArff (also accepts
+/// comments, blank lines, and case-insensitive keywords). Returns
+/// Corruption for malformed content.
+StatusOr<ArffRelation> ReadSparseArff(SimDisk* disk,
+                                      const std::string& rel_path);
+
+namespace arff_internal {
+
+/// Parses one sparse data row "{idx value, idx value}" into `row` (shared
+/// by the plain and sharded readers). `line_number` is for diagnostics.
+Status ParseSparseRow(std::string_view line, size_t line_number,
+                      uint32_t num_cols, containers::SparseVector* row);
+
+/// Appends one sparse row in "{idx value,...}\n" text form to `out`.
+void AppendSparseRow(const containers::SparseVector& row, std::string& out);
+
+}  // namespace arff_internal
+
+}  // namespace hpa::io
+
+#endif  // HPA_IO_ARFF_H_

@@ -1,0 +1,123 @@
+#include "io/csv.h"
+
+namespace hpa::io {
+
+int CsvTable::ColumnIndex(std::string_view name) const {
+  if (rows.empty()) return -1;
+  for (size_t i = 0; i < rows[0].size(); ++i) {
+    if (rows[0][i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string CsvEscape(std::string_view field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvSerialize(const CsvTable& table) {
+  std::string out;
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += CsvEscape(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<CsvTable> CsvParse(std::string_view text) {
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // row has at least one field character/comma
+
+  size_t i = 0;
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    table.rows.push_back(std::move(row));
+    row.clear();
+    field_started = false;
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        field_started = true;
+        ++i;
+        break;
+      case '\r':
+        // Swallow; the following \n (if any) ends the row.
+        ++i;
+        if (i >= text.size() || text[i] != '\n') end_row();
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("CSV ends inside a quoted field");
+  }
+  if (field_started || !field.empty()) end_row();
+  return table;
+}
+
+Status WriteCsv(SimDisk* disk, const std::string& rel_path,
+                const CsvTable& table) {
+  return disk->WriteFile(rel_path, CsvSerialize(table));
+}
+
+StatusOr<CsvTable> ReadCsv(SimDisk* disk, const std::string& rel_path) {
+  HPA_ASSIGN_OR_RETURN(std::string text, disk->ReadFile(rel_path));
+  return CsvParse(text);
+}
+
+}  // namespace hpa::io

@@ -1,0 +1,50 @@
+#ifndef HPA_IO_CSV_H_
+#define HPA_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "io/sim_disk.h"
+
+/// \file
+/// Minimal RFC-4180-style CSV: quoting-aware writer and parser for the
+/// workflow's materialized outputs (cluster assignments, term rankings).
+/// Fields containing commas, quotes, or newlines are double-quoted with
+/// embedded quotes doubled.
+
+namespace hpa::io {
+
+/// In-memory CSV table; row 0 is conventionally the header.
+struct CsvTable {
+  std::vector<std::vector<std::string>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// Index of `name` in the header row, or -1.
+  int ColumnIndex(std::string_view name) const;
+};
+
+/// Escapes one field per RFC 4180 (quotes only when needed).
+std::string CsvEscape(std::string_view field);
+
+/// Serializes `table` ("\n" line endings).
+std::string CsvSerialize(const CsvTable& table);
+
+/// Parses CSV text. Handles quoted fields, doubled quotes, embedded
+/// commas/newlines, and both \n and \r\n endings. Returns Corruption on
+/// unterminated quotes. A trailing newline does not produce an empty row.
+StatusOr<CsvTable> CsvParse(std::string_view text);
+
+/// Writes `table` to `rel_path` on `disk`.
+Status WriteCsv(SimDisk* disk, const std::string& rel_path,
+                const CsvTable& table);
+
+/// Reads and parses `rel_path` from `disk`.
+StatusOr<CsvTable> ReadCsv(SimDisk* disk, const std::string& rel_path);
+
+}  // namespace hpa::io
+
+#endif  // HPA_IO_CSV_H_

@@ -1,0 +1,140 @@
+#include "io/packed_corpus.h"
+
+#include <cstring>
+
+namespace hpa::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'P', 'A', 'C', 'O', 'R', 'P', '1'};
+constexpr size_t kFooterBytes = 8 + 8 + 8;  // index_offset, doc_count, magic
+
+void AppendU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+bool ReadU32(std::string_view data, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool ReadU64(std::string_view data, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<PackedCorpusWriter> PackedCorpusWriter::Create(
+    SimDisk* disk, const std::string& rel_path) {
+  HPA_ASSIGN_OR_RETURN(auto writer, disk->OpenWriter(rel_path));
+  return PackedCorpusWriter(std::move(writer));
+}
+
+Status PackedCorpusWriter::Add(std::string_view name, std::string_view body) {
+  if (finalized_) {
+    return Status::FailedPrecondition("corpus already finalized");
+  }
+  HPA_RETURN_IF_ERROR(writer_->Append(body));
+  index_.push_back(IndexEntry{std::string(name), position_, body.size()});
+  position_ += body.size();
+  return Status::OK();
+}
+
+Status PackedCorpusWriter::Finalize() {
+  if (finalized_) {
+    return Status::FailedPrecondition("corpus already finalized");
+  }
+  finalized_ = true;
+  uint64_t index_offset = position_;
+  std::string blob;
+  for (const IndexEntry& e : index_) {
+    AppendU32(blob, static_cast<uint32_t>(e.name.size()));
+    blob.append(e.name);
+    AppendU64(blob, e.offset);
+    AppendU64(blob, e.length);
+  }
+  AppendU64(blob, index_offset);
+  AppendU64(blob, index_.size());
+  blob.append(kMagic, sizeof(kMagic));
+  HPA_RETURN_IF_ERROR(writer_->Append(blob));
+  return writer_->Close();
+}
+
+StatusOr<PackedCorpusReader> PackedCorpusReader::Open(
+    SimDisk* disk, const std::string& rel_path) {
+  HPA_ASSIGN_OR_RETURN(uint64_t file_size, disk->FileSize(rel_path));
+  if (file_size < kFooterBytes) {
+    return Status::Corruption("packed corpus too small: " + rel_path);
+  }
+  HPA_ASSIGN_OR_RETURN(
+      std::string footer,
+      disk->ReadRange(rel_path, file_size - kFooterBytes, kFooterBytes));
+  if (std::memcmp(footer.data() + 16, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in packed corpus: " + rel_path);
+  }
+  size_t pos = 0;
+  uint64_t index_offset = 0, doc_count = 0;
+  ReadU64(footer, &pos, &index_offset);
+  ReadU64(footer, &pos, &doc_count);
+  if (index_offset > file_size - kFooterBytes) {
+    return Status::Corruption("index offset out of bounds: " + rel_path);
+  }
+
+  HPA_ASSIGN_OR_RETURN(
+      std::string index_blob,
+      disk->ReadRange(rel_path, index_offset,
+                      file_size - kFooterBytes - index_offset));
+  std::vector<Entry> entries;
+  entries.reserve(doc_count);
+  pos = 0;
+  for (uint64_t i = 0; i < doc_count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadU32(index_blob, &pos, &name_len) ||
+        pos + name_len > index_blob.size()) {
+      return Status::Corruption("truncated index entry in " + rel_path);
+    }
+    Entry e;
+    e.name.assign(index_blob.data() + pos, name_len);
+    pos += name_len;
+    if (!ReadU64(index_blob, &pos, &e.offset) ||
+        !ReadU64(index_blob, &pos, &e.length)) {
+      return Status::Corruption("truncated index entry in " + rel_path);
+    }
+    if (e.offset + e.length > index_offset) {
+      return Status::Corruption("document range out of bounds in " +
+                                rel_path);
+    }
+    entries.push_back(std::move(e));
+  }
+  return PackedCorpusReader(disk, rel_path, std::move(entries));
+}
+
+StatusOr<std::string> PackedCorpusReader::ReadBody(size_t i) const {
+  if (i >= entries_.size()) {
+    return Status::OutOfRange("document index " + std::to_string(i) +
+                              " out of range (corpus has " +
+                              std::to_string(entries_.size()) + ")");
+  }
+  return disk_->ReadRange(rel_path_, entries_[i].offset, entries_[i].length);
+}
+
+uint64_t PackedCorpusReader::total_body_bytes() const {
+  uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.length;
+  return total;
+}
+
+}  // namespace hpa::io

@@ -1,0 +1,110 @@
+#ifndef HPA_IO_PACKED_CORPUS_H_
+#define HPA_IO_PACKED_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "io/sim_disk.h"
+
+/// \file
+/// Single-file corpus container: many small documents packed into one file
+/// with a trailing index, so a 100k-document corpus does not need 100k
+/// inodes while still supporting *independent per-document reads* — the
+/// unit of parallel input in §3.2 ("reading independent files
+/// concurrently").
+///
+/// Layout:
+///   [body 0][body 1]...[body n-1]
+///   index: n records of (name_len u32, name bytes, offset u64, length u64)
+///   footer: index_offset u64, doc_count u64, magic "HPACORP1"
+
+namespace hpa::io {
+
+/// Streams documents into a packed corpus file on a SimDisk.
+class PackedCorpusWriter {
+ public:
+  /// Creates/truncates `rel_path` on `disk`.
+  static StatusOr<PackedCorpusWriter> Create(SimDisk* disk,
+                                             const std::string& rel_path);
+
+  PackedCorpusWriter(PackedCorpusWriter&&) = default;
+  PackedCorpusWriter& operator=(PackedCorpusWriter&&) = default;
+
+  /// Appends one document.
+  Status Add(std::string_view name, std::string_view body);
+
+  /// Writes the index + footer and closes the file. Must be called exactly
+  /// once; Add() is invalid afterwards.
+  Status Finalize();
+
+  uint64_t documents_added() const { return index_.size(); }
+
+ private:
+  struct IndexEntry {
+    std::string name;
+    uint64_t offset;
+    uint64_t length;
+  };
+
+  explicit PackedCorpusWriter(std::unique_ptr<SimWriter> writer)
+      : writer_(std::move(writer)) {}
+
+  std::unique_ptr<SimWriter> writer_;
+  std::vector<IndexEntry> index_;
+  uint64_t position_ = 0;
+  bool finalized_ = false;
+};
+
+/// Random-access reader over a packed corpus file.
+///
+/// Opening loads only the index; document bodies are fetched individually
+/// with ranged reads (each charged as one device request), so a parallel
+/// loop over documents issues genuinely concurrent requests.
+class PackedCorpusReader {
+ public:
+  /// Opens `rel_path` on `disk`, validating magic and index bounds.
+  static StatusOr<PackedCorpusReader> Open(SimDisk* disk,
+                                           const std::string& rel_path);
+
+  PackedCorpusReader(PackedCorpusReader&&) = default;
+  PackedCorpusReader& operator=(PackedCorpusReader&&) = default;
+
+  /// Number of documents in the corpus.
+  size_t size() const { return entries_.size(); }
+
+  /// Name of document `i`.
+  const std::string& name(size_t i) const { return entries_[i].name; }
+
+  /// Body length of document `i`, without reading it.
+  uint64_t body_length(size_t i) const { return entries_[i].length; }
+
+  /// Reads the body of document `i` (one simulated device request).
+  /// Safe to call concurrently from parallel-region bodies.
+  StatusOr<std::string> ReadBody(size_t i) const;
+
+  /// Sum of all body lengths.
+  uint64_t total_body_bytes() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    uint64_t offset;
+    uint64_t length;
+  };
+
+  PackedCorpusReader(SimDisk* disk, std::string rel_path,
+                     std::vector<Entry> entries)
+      : disk_(disk), rel_path_(std::move(rel_path)),
+        entries_(std::move(entries)) {}
+
+  SimDisk* disk_;
+  std::string rel_path_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hpa::io
+
+#endif  // HPA_IO_PACKED_CORPUS_H_

@@ -1,0 +1,224 @@
+#include "io/sharded_arff.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "io/arff.h"
+
+namespace hpa::io {
+
+namespace {
+
+constexpr std::string_view kManifestMagic = "HPA-SHARDED-ARFF 1";
+
+std::string ManifestPath(const std::string& base) {
+  return base + ".manifest";
+}
+
+std::string ShardPath(const std::string& base, int shard) {
+  return base + "." + std::to_string(shard);
+}
+
+/// Row range of `shard` when `rows` are split as evenly as possible.
+std::pair<size_t, size_t> ShardRange(size_t rows, int shards, int shard) {
+  size_t s = static_cast<size_t>(shards);
+  size_t begin = rows * static_cast<size_t>(shard) / s;
+  size_t end = rows * static_cast<size_t>(shard + 1) / s;
+  return {begin, end};
+}
+
+}  // namespace
+
+Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
+                        const std::string& base_path,
+                        const std::string& relation_name,
+                        const std::vector<std::string>& attributes,
+                        const containers::SparseMatrix& matrix, int shards) {
+  if (attributes.size() != matrix.num_cols) {
+    return Status::InvalidArgument(
+        "attribute count " + std::to_string(attributes.size()) +
+        " != matrix columns " + std::to_string(matrix.num_cols));
+  }
+  if (relation_name.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("relation name must be single-line");
+  }
+  shards = std::max(
+      1, std::min(shards, static_cast<int>(
+                              std::max<size_t>(1, matrix.num_rows()))));
+
+  // Manifest (serial; it is small — header written once, not per shard).
+  Status manifest_status;
+  executor->RunSerial(parallel::WorkHint{}, [&] {
+    manifest_status = [&]() -> Status {
+      std::string manifest(kManifestMagic);
+      manifest += "\nrelation ";
+      manifest += relation_name;
+      manifest += "\nshards ";
+      AppendUint(manifest, static_cast<uint64_t>(shards));
+      for (int s = 0; s < shards; ++s) {
+        auto [b, e] = ShardRange(matrix.num_rows(), shards, s);
+        manifest += ' ';
+        AppendUint(manifest, e - b);
+      }
+      manifest += "\nattributes ";
+      AppendUint(manifest, attributes.size());
+      manifest += '\n';
+      for (const std::string& attr : attributes) {
+        manifest += attr;
+        manifest += '\n';
+      }
+      return disk->WriteFile(ManifestPath(base_path), manifest);
+    }();
+  });
+  HPA_RETURN_IF_ERROR(manifest_status);
+
+  // Shard bodies, one parallel chunk per shard. Whether this overlaps at
+  // the device is up to the disk's channel count.
+  std::vector<Status> shard_status(static_cast<size_t>(shards));
+  executor->ParallelFor(
+      0, static_cast<size_t>(shards), 1, parallel::WorkHint{},
+      [&](int, size_t sb, size_t se) {
+        for (size_t s = sb; s < se; ++s) {
+          shard_status[s] = [&]() -> Status {
+            auto [begin, end] =
+                ShardRange(matrix.num_rows(), shards, static_cast<int>(s));
+            HPA_ASSIGN_OR_RETURN(
+                auto writer,
+                disk->OpenWriter(ShardPath(base_path, static_cast<int>(s))));
+            std::string chunk;
+            chunk.reserve(1 << 16);
+            for (size_t r = begin; r < end; ++r) {
+              arff_internal::AppendSparseRow(matrix.rows[r], chunk);
+              if (chunk.size() >= (1 << 16)) {
+                HPA_RETURN_IF_ERROR(writer->Append(chunk));
+                chunk.clear();
+              }
+            }
+            HPA_RETURN_IF_ERROR(writer->Append(chunk));
+            return writer->Close();
+          }();
+        }
+      });
+  for (const Status& s : shard_status) {
+    HPA_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+StatusOr<ArffShardedResult> ReadShardedArff(SimDisk* disk,
+                                            parallel::Executor* executor,
+                                            const std::string& base_path) {
+  ArffShardedResult result;
+  int shards = 0;
+  std::vector<uint64_t> shard_rows;
+
+  Status manifest_status;
+  executor->RunSerial(parallel::WorkHint{}, [&] {
+    manifest_status = [&]() -> Status {
+      HPA_ASSIGN_OR_RETURN(std::string manifest,
+                           disk->ReadFile(ManifestPath(base_path)));
+      std::vector<std::string_view> lines = Split(manifest, '\n');
+      size_t i = 0;
+      if (lines.empty() || Trim(lines[i]) != kManifestMagic) {
+        return Status::Corruption("bad sharded-ARFF magic in " + base_path);
+      }
+      ++i;
+      if (i >= lines.size() || !StartsWith(lines[i], "relation ")) {
+        return Status::Corruption("missing relation line in " + base_path);
+      }
+      result.relation_name = std::string(Trim(lines[i].substr(9)));
+      ++i;
+      if (i >= lines.size() || !StartsWith(lines[i], "shards ")) {
+        return Status::Corruption("missing shards line in " + base_path);
+      }
+      {
+        std::vector<std::string_view> parts = Split(Trim(lines[i]), ' ');
+        int64_t n = 0;
+        if (parts.size() < 2 || !ParseInt64(parts[1], &n) || n < 1 ||
+            parts.size() != static_cast<size_t>(n) + 2) {
+          return Status::Corruption("malformed shards line in " + base_path);
+        }
+        shards = static_cast<int>(n);
+        for (size_t p = 2; p < parts.size(); ++p) {
+          int64_t rows = 0;
+          if (!ParseInt64(parts[p], &rows) || rows < 0) {
+            return Status::Corruption("bad shard row count in " + base_path);
+          }
+          shard_rows.push_back(static_cast<uint64_t>(rows));
+        }
+      }
+      ++i;
+      if (i >= lines.size() || !StartsWith(lines[i], "attributes ")) {
+        return Status::Corruption("missing attributes line in " + base_path);
+      }
+      int64_t attr_count = 0;
+      if (!ParseInt64(Trim(lines[i].substr(11)), &attr_count) ||
+          attr_count < 0 ||
+          lines.size() < i + 1 + static_cast<size_t>(attr_count)) {
+        return Status::Corruption("malformed attribute count in " +
+                                  base_path);
+      }
+      ++i;
+      result.attributes.reserve(static_cast<size_t>(attr_count));
+      for (int64_t a = 0; a < attr_count; ++a) {
+        result.attributes.emplace_back(lines[i + static_cast<size_t>(a)]);
+      }
+      return Status::OK();
+    }();
+  });
+  HPA_RETURN_IF_ERROR(manifest_status);
+
+  result.data.num_cols = static_cast<uint32_t>(result.attributes.size());
+  uint64_t total_rows = 0;
+  std::vector<uint64_t> shard_offset(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shard_offset[static_cast<size_t>(s)] = total_rows;
+    total_rows += shard_rows[static_cast<size_t>(s)];
+  }
+  result.data.rows.resize(total_rows);
+
+  std::vector<Status> shard_status(static_cast<size_t>(shards));
+  executor->ParallelFor(
+      0, static_cast<size_t>(shards), 1, parallel::WorkHint{},
+      [&](int, size_t sb, size_t se) {
+        for (size_t s = sb; s < se; ++s) {
+          shard_status[s] = [&]() -> Status {
+            HPA_ASSIGN_OR_RETURN(
+                auto reader,
+                disk->OpenReader(ShardPath(base_path, static_cast<int>(s))));
+            uint64_t row_index = shard_offset[s];
+            uint64_t expected_end = shard_offset[s] + shard_rows[s];
+            std::string_view line;
+            size_t line_number = 0;
+            while (reader->NextLine(&line)) {
+              ++line_number;
+              std::string_view trimmed = Trim(line);
+              if (trimmed.empty()) continue;
+              if (row_index >= expected_end) {
+                return Status::Corruption(
+                    StrFormat("shard %zu has more rows than the manifest "
+                              "declares",
+                              s));
+              }
+              containers::SparseVector row;
+              HPA_RETURN_IF_ERROR(arff_internal::ParseSparseRow(
+                  trimmed, line_number, result.data.num_cols, &row));
+              result.data.rows[row_index++] = std::move(row);
+            }
+            if (row_index != expected_end) {
+              return Status::Corruption(
+                  StrFormat("shard %zu is truncated: expected %llu rows",
+                            s,
+                            static_cast<unsigned long long>(shard_rows[s])));
+            }
+            return Status::OK();
+          }();
+        }
+      });
+  for (const Status& s : shard_status) {
+    HPA_RETURN_IF_ERROR(s);
+  }
+  return result;
+}
+
+}  // namespace hpa::io

@@ -1,0 +1,137 @@
+#include "io/sim_disk.h"
+
+#include <utility>
+
+#include "io/file_io.h"
+
+namespace hpa::io {
+
+namespace {
+// Flush threshold for buffered writers; large enough that the backing
+// filesystem sees sequential block writes.
+constexpr size_t kWriterFlushBytes = 1 << 20;
+}  // namespace
+
+SimDisk::SimDisk(const DiskOptions& options, std::string root,
+                 parallel::Executor* executor)
+    : options_(options), root_(std::move(root)), executor_(executor) {}
+
+std::string SimDisk::AbsPath(const std::string& rel_path) const {
+  return root_ + "/" + rel_path;
+}
+
+void SimDisk::ChargeRequest(uint64_t bytes) {
+  if (executor_ == nullptr) return;
+  double seconds = options_.latency_sec +
+                   static_cast<double>(bytes) /
+                       options_.bandwidth_bytes_per_sec;
+  executor_->ChargeIoTime(seconds, options_.channels);
+}
+
+void SimDisk::ChargeBytes(uint64_t bytes) {
+  if (executor_ == nullptr) return;
+  double seconds =
+      static_cast<double>(bytes) / options_.bandwidth_bytes_per_sec;
+  executor_->ChargeIoTime(seconds, options_.channels);
+}
+
+Status SimDisk::WriteFile(const std::string& rel_path,
+                          std::string_view contents) {
+  HPA_RETURN_IF_ERROR(WriteWholeFile(AbsPath(rel_path), contents));
+  bytes_written_ += contents.size();
+  ChargeRequest(contents.size());
+  return Status::OK();
+}
+
+StatusOr<std::string> SimDisk::ReadFile(const std::string& rel_path) {
+  HPA_ASSIGN_OR_RETURN(std::string contents,
+                       ReadWholeFile(AbsPath(rel_path)));
+  bytes_read_ += contents.size();
+  ChargeRequest(contents.size());
+  return contents;
+}
+
+StatusOr<std::string> SimDisk::ReadRange(const std::string& rel_path,
+                                         uint64_t offset, uint64_t length) {
+  HPA_ASSIGN_OR_RETURN(std::string contents,
+                       ReadFileRange(AbsPath(rel_path), offset, length));
+  bytes_read_ += contents.size();
+  ChargeRequest(contents.size());
+  return contents;
+}
+
+StatusOr<std::unique_ptr<SimWriter>> SimDisk::OpenWriter(
+    const std::string& rel_path) {
+  std::string abs = AbsPath(rel_path);
+  // Truncate eagerly so a writer that never flushes still leaves an empty
+  // file, as a real create would.
+  HPA_RETURN_IF_ERROR(WriteWholeFile(abs, ""));
+  ChargeRequest(0);  // open/seek cost
+  return std::unique_ptr<SimWriter>(new SimWriter(this, std::move(abs)));
+}
+
+StatusOr<std::unique_ptr<SimReader>> SimDisk::OpenReader(
+    const std::string& rel_path) {
+  HPA_ASSIGN_OR_RETURN(std::string contents,
+                       ReadWholeFile(AbsPath(rel_path)));
+  bytes_read_ += contents.size();
+  ChargeRequest(contents.size());
+  return std::unique_ptr<SimReader>(new SimReader(std::move(contents)));
+}
+
+bool SimDisk::Exists(const std::string& rel_path) const {
+  return FileExists(AbsPath(rel_path));
+}
+
+StatusOr<uint64_t> SimDisk::FileSize(const std::string& rel_path) const {
+  return io::FileSize(AbsPath(rel_path));
+}
+
+Status SimDisk::Remove(const std::string& rel_path) {
+  return RemoveFile(AbsPath(rel_path));
+}
+
+SimWriter::SimWriter(SimDisk* disk, std::string abs_path)
+    : disk_(disk), abs_path_(std::move(abs_path)) {}
+
+SimWriter::~SimWriter() {
+  if (!closed_) Close();  // best effort; errors unobservable here
+}
+
+Status SimWriter::Append(std::string_view data) {
+  if (closed_) return Status::FailedPrecondition("writer already closed");
+  buffer_.append(data);
+  bytes_written_ += data.size();
+  disk_->bytes_written_ += data.size();
+  disk_->ChargeBytes(data.size());
+  if (buffer_.size() >= kWriterFlushBytes) return Flush();
+  return Status::OK();
+}
+
+Status SimWriter::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  Status s = AppendToFile(abs_path_, buffer_);
+  buffer_.clear();
+  return s;
+}
+
+Status SimWriter::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  return Flush();
+}
+
+bool SimReader::NextLine(std::string_view* line) {
+  if (pos_ >= contents_.size()) return false;
+  size_t nl = contents_.find('\n', pos_);
+  if (nl == std::string::npos) {
+    *line = std::string_view(contents_).substr(pos_);
+    pos_ = contents_.size();
+  } else {
+    *line = std::string_view(contents_).substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+  }
+  return true;
+}
+
+}  // namespace hpa::io

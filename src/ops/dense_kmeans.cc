@@ -1,0 +1,131 @@
+#include "ops/dense_kmeans.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace hpa::ops {
+
+namespace {
+
+/// Fresh dense copy of a sparse row — allocated per use, as a naive
+/// implementation would.
+std::vector<double> Densify(const containers::SparseVector& row,
+                            uint32_t dim) {
+  std::vector<double> dense(dim, 0.0);
+  for (size_t i = 0; i < row.nnz(); ++i) {
+    dense[row.id_at(i)] = static_cast<double>(row.value_at(i));
+  }
+  return dense;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> DenseKMeans(ExecContext& ctx,
+                                   const containers::SparseMatrix& matrix,
+                                   const KMeansOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(options.k));
+  }
+  if (matrix.num_rows() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty matrix");
+  }
+  if (static_cast<size_t>(options.k) > matrix.num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("k=%d exceeds number of rows (%zu)", options.k,
+                  matrix.num_rows()));
+  }
+
+  const size_t n = matrix.num_rows();
+  const uint32_t dim = matrix.num_cols;
+  const int k = options.k;
+
+  KMeansResult result;
+
+  ctx.TimePhase("kmeans-dense", [&] {
+    ctx.executor->RunSerial(parallel::WorkHint{}, [&] {
+      // Stratified seeding identical to SparseKMeans (same seeds => the two
+      // implementations are comparable run-for-run).
+      Rng rng(options.seed);
+      std::vector<std::vector<double>> centroids;
+      for (int c = 0; c < k; ++c) {
+        size_t lo = n * static_cast<size_t>(c) / static_cast<size_t>(k);
+        size_t hi = n * static_cast<size_t>(c + 1) / static_cast<size_t>(k);
+        if (hi <= lo) hi = lo + 1;
+        centroids.push_back(
+            Densify(matrix.rows[lo + rng.NextBounded(hi - lo)], dim));
+      }
+
+      result.assignment.assign(n, 0xFFFFFFFFu);
+
+      for (int iter = 0; iter < options.max_iterations; ++iter) {
+        ++result.iterations;
+        // Fresh objects every iteration — the anti-pattern under study.
+        std::vector<std::vector<double>> sums(
+            static_cast<size_t>(k), std::vector<double>(dim, 0.0));
+        std::vector<uint64_t> counts(static_cast<size_t>(k), 0);
+        uint64_t changed = 0;
+        double inertia = 0.0;
+
+        for (size_t i = 0; i < n; ++i) {
+          std::vector<double> x = Densify(matrix.rows[i], dim);
+          int best = 0;
+          double best_d = 0.0;
+          for (int c = 0; c < k; ++c) {
+            const auto& cent = centroids[static_cast<size_t>(c)];
+            double d = 0.0;
+            for (uint32_t t = 0; t < dim; ++t) {
+              double diff = x[t] - cent[t];
+              d += diff * diff;
+            }
+            if (c == 0 || d < best_d) {
+              best_d = d;
+              best = c;
+            }
+          }
+          if (result.assignment[i] != static_cast<uint32_t>(best)) {
+            result.assignment[i] = static_cast<uint32_t>(best);
+            ++changed;
+          }
+          inertia += best_d;
+          counts[static_cast<size_t>(best)] += 1;
+          auto& sum = sums[static_cast<size_t>(best)];
+          for (uint32_t t = 0; t < dim; ++t) sum[t] += x[t];
+        }
+
+        for (int c = 0; c < k; ++c) {
+          uint64_t count = counts[static_cast<size_t>(c)];
+          if (count == 0) continue;
+          auto& cent = centroids[static_cast<size_t>(c)];
+          double inv = 1.0 / static_cast<double>(count);
+          for (uint32_t t = 0; t < dim; ++t) {
+            cent[t] = sums[static_cast<size_t>(c)][t] * inv;
+          }
+        }
+
+        result.inertia = inertia;
+        if (options.stop_on_convergence && changed == 0) {
+          result.converged = true;
+          break;
+        }
+      }
+
+      result.centroids.resize(static_cast<size_t>(k));
+      for (int c = 0; c < k; ++c) {
+        auto& out = result.centroids[static_cast<size_t>(c)];
+        out.resize(dim);
+        for (uint32_t t = 0; t < dim; ++t) {
+          out[t] = static_cast<float>(centroids[static_cast<size_t>(c)][t]);
+        }
+      }
+    });
+  });
+
+  return result;
+}
+
+}  // namespace hpa::ops

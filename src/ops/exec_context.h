@@ -1,0 +1,66 @@
+#ifndef HPA_OPS_EXEC_CONTEXT_H_
+#define HPA_OPS_EXEC_CONTEXT_H_
+
+#include <functional>
+#include <string>
+
+#include "common/timer.h"
+#include "containers/dictionary.h"
+#include "io/sim_disk.h"
+#include "parallel/executor.h"
+#include "text/tokenizer.h"
+
+/// \file
+/// Shared execution context threaded through all operators: the executor
+/// (parallelism), the storage devices, the dictionary-backend choice, and
+/// the phase timer that produces the Figure-3/4 breakdowns.
+
+namespace hpa::ops {
+
+/// Everything an operator needs to run. Non-owning; the caller keeps the
+/// executor/disks/timer alive for the duration of the operator.
+struct ExecContext {
+  /// Parallel runtime. Required.
+  parallel::Executor* executor = nullptr;
+
+  /// Device holding the source corpus (multi-channel store). May be null
+  /// for operators that only work on in-memory data.
+  io::SimDisk* corpus_disk = nullptr;
+
+  /// Device for workflow intermediates — the paper's "local hard disk".
+  /// May be null when no materialization happens.
+  io::SimDisk* scratch_disk = nullptr;
+
+  /// Dictionary backend for word-count / TF-IDF term tables (§3.4).
+  containers::DictBackend dict_backend = containers::DictBackend::kOpenHash;
+
+  /// Pre-size of each per-document term table. The paper pre-sizes its
+  /// u-map tables to 4K entries; 0 means "start minimal and grow".
+  size_t per_doc_dict_presize = 0;
+
+  /// Tokenization parameters for text operators.
+  text::TokenizerOptions tokenizer;
+
+  /// Porter-stem tokens before counting (folds inflections onto one term,
+  /// shrinking the dictionaries §3.4 studies). Off by default — the paper
+  /// counts surface forms.
+  bool stem_tokens = false;
+
+  /// Phase timer collecting named phase durations in *executor clock*
+  /// time (virtual when simulated). May be null.
+  PhaseTimer* phases = nullptr;
+
+  /// Runs `fn` and accrues its executor-clock duration under `name`.
+  /// The body is responsible for its own ParallelFor/RunSerial region
+  /// structure; this only brackets the clock.
+  template <typename Fn>
+  void TimePhase(const std::string& name, Fn fn) {
+    double start = executor->Now();
+    fn();
+    if (phases != nullptr) phases->Add(name, executor->Now() - start);
+  }
+};
+
+}  // namespace hpa::ops
+
+#endif  // HPA_OPS_EXEC_CONTEXT_H_

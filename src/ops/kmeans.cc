@@ -1,0 +1,465 @@
+#include "ops/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "io/csv.h"
+#include "parallel/parallel_ops.h"
+
+namespace hpa::ops {
+
+namespace {
+
+/// Worker-local accumulation state: per-cluster dense sums and counts.
+/// Allocated once and recycled across iterations when recycling is on.
+struct Accumulators {
+  // sums[c] has vocabulary dimension; doubles so merge order effects stay
+  // far below assignment-decision thresholds.
+  std::vector<std::vector<double>> sums;
+  std::vector<uint64_t> counts;
+  uint64_t changed = 0;
+  double inertia = 0.0;
+
+  void Init(int k, uint32_t dim) {
+    sums.assign(static_cast<size_t>(k), std::vector<double>(dim, 0.0));
+    counts.assign(static_cast<size_t>(k), 0);
+    changed = 0;
+    inertia = 0.0;
+  }
+
+  void Reset() {
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    changed = 0;
+    inertia = 0.0;
+  }
+};
+
+/// Picks k well-spread distinct rows as initial centroids,
+/// deterministically in (seed, n).
+std::vector<size_t> SeedRows(size_t n, int k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> rows;
+  rows.reserve(static_cast<size_t>(k));
+  // Stratified picks: one uniformly random row from each of k equal spans,
+  // which is deterministic, well-spread, and avoids duplicate picks.
+  for (int c = 0; c < k; ++c) {
+    size_t lo = n * static_cast<size_t>(c) / static_cast<size_t>(k);
+    size_t hi = n * static_cast<size_t>(c + 1) / static_cast<size_t>(k);
+    if (hi <= lo) hi = lo + 1;
+    rows.push_back(lo + rng.NextBounded(hi - lo));
+  }
+  return rows;
+}
+
+/// k-means++ seeding: the first row uniformly at random, each further row
+/// sampled with probability proportional to its squared distance to the
+/// nearest already-chosen seed. Deterministic in (seed, data).
+std::vector<size_t> SeedRowsPlusPlus(const containers::SparseMatrix& matrix,
+                                     const std::vector<double>& row_sq,
+                                     int k, uint64_t seed) {
+  const size_t n = matrix.num_rows();
+  Rng rng(seed);
+  std::vector<size_t> rows;
+  rows.reserve(static_cast<size_t>(k));
+  rows.push_back(rng.NextBounded(n));
+
+  // dist2[i] = squared distance of row i to the nearest chosen seed.
+  std::vector<double> dist2(n);
+  for (size_t i = 0; i < n; ++i) {
+    dist2[i] = row_sq[i] - 2.0 * Dot(matrix.rows[i], matrix.rows[rows[0]]) +
+               row_sq[rows[0]];
+    if (dist2[i] < 0) dist2[i] = 0;
+  }
+
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (double d : dist2) total += d;
+    size_t pick = 0;
+    if (total <= 0.0) {
+      pick = rng.NextBounded(n);  // all points coincide with seeds
+    } else {
+      double target = rng.NextDouble() * total;
+      double cum = 0.0;
+      pick = n - 1;
+      for (size_t i = 0; i < n; ++i) {
+        cum += dist2[i];
+        if (cum >= target) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    rows.push_back(pick);
+    for (size_t i = 0; i < n; ++i) {
+      double d = row_sq[i] - 2.0 * Dot(matrix.rows[i], matrix.rows[pick]) +
+                 row_sq[pick];
+      if (d < 0) d = 0;
+      if (d < dist2[i]) dist2[i] = d;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
+                                    const containers::SparseMatrix& matrix,
+                                    const KMeansOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(options.k));
+  }
+  if (matrix.num_rows() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty matrix");
+  }
+  if (static_cast<size_t>(options.k) > matrix.num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("k=%d exceeds number of rows (%zu)", options.k,
+                  matrix.num_rows()));
+  }
+
+  const size_t n = matrix.num_rows();
+  const uint32_t dim = matrix.num_cols;
+  const int k = options.k;
+
+  KMeansResult result;
+
+  ctx.TimePhase("kmeans", [&] {
+    // Precompute row norms once (recycled across iterations; also feeds
+    // k-means++ seeding).
+    std::vector<double> row_sq(n);
+    ctx.executor->ParallelFor(0, n, 0, parallel::WorkHint{},
+                              [&](int, size_t b, size_t e) {
+                                for (size_t i = b; i < e; ++i) {
+                                  row_sq[i] = matrix.rows[i].SquaredL2Norm();
+                                }
+                              });
+
+    // --- one-time setup (serial region, charged) -------------------------
+    std::vector<std::vector<float>> centroids;
+    std::vector<double> centroid_sq(static_cast<size_t>(k), 0.0);
+    ctx.executor->RunSerial(parallel::WorkHint{0, "kmeans-init"}, [&] {
+      centroids.assign(static_cast<size_t>(k),
+                       std::vector<float>(dim, 0.0f));
+      const std::vector<size_t> seeds =
+          options.init == KMeansInit::kPlusPlus
+              ? SeedRowsPlusPlus(matrix, row_sq, k, options.seed)
+              : SeedRows(n, k, options.seed);
+      for (int c = 0; c < k; ++c) {
+        // Densify the seed rows.
+        const containers::SparseVector& row =
+            matrix.rows[seeds[static_cast<size_t>(c)]];
+        containers::AddScaled(row, 1.0f, centroids[static_cast<size_t>(c)]);
+        centroid_sq[static_cast<size_t>(c)] = row.SquaredL2Norm();
+      }
+    });
+
+    result.assignment.assign(n, 0xFFFFFFFFu);
+
+    // Worker-local accumulators, allocated once up front when recycling.
+    using Scratch = parallel::WorkerLocal<Accumulators>;
+    std::unique_ptr<Scratch> scratch;
+    if (options.recycle_buffers) {
+      ctx.executor->RunSerial(parallel::WorkHint{}, [&] {
+        scratch = std::make_unique<Scratch>(*ctx.executor);
+        scratch->ForEach([&](Accumulators& a) { a.Init(k, dim); });
+      });
+    }
+
+    parallel::WorkHint assign_hint;
+    assign_hint.label = "kmeans-assign";
+    assign_hint.bytes_touched =
+        matrix.ApproxMemoryBytes() +
+        static_cast<uint64_t>(k) * dim * sizeof(float);
+
+    // --- Lloyd iterations --------------------------------------------------
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      ++result.iterations;
+
+      if (options.recycle_buffers) {
+        // Each worker clears its own accumulators in parallel — recycling
+        // means no allocation, just a streaming zero-fill.
+        ctx.executor->ParallelFor(
+            0, scratch->size(), 1, parallel::WorkHint{},
+            [&](int, size_t b, size_t e) {
+              for (size_t w = b; w < e; ++w) {
+                scratch->Get(static_cast<int>(w)).Reset();
+              }
+            });
+      } else {
+        // Naive mode: brand-new accumulator objects every iteration,
+        // allocated serially (as naive code would) and charged.
+        ctx.executor->RunSerial(parallel::WorkHint{0, "kmeans-alloc"}, [&] {
+          scratch = std::make_unique<Scratch>(*ctx.executor);
+          scratch->ForEach([&](Accumulators& a) { a.Init(k, dim); });
+        });
+      }
+
+      // Parallel assignment + accumulation over documents.
+      ctx.executor->ParallelFor(
+          0, n, 0, assign_hint, [&](int worker, size_t b, size_t e) {
+            Accumulators& acc = scratch->Get(worker);
+            for (size_t i = b; i < e; ++i) {
+              const containers::SparseVector& row = matrix.rows[i];
+              int best = 0;
+              double best_d = containers::SquaredDistance(
+                  row, row_sq[i], centroids[0], centroid_sq[0]);
+              for (int c = 1; c < k; ++c) {
+                double d = containers::SquaredDistance(
+                    row, row_sq[i], centroids[static_cast<size_t>(c)],
+                    centroid_sq[static_cast<size_t>(c)]);
+                if (d < best_d) {
+                  best_d = d;
+                  best = c;
+                }
+              }
+              if (result.assignment[i] != static_cast<uint32_t>(best)) {
+                result.assignment[i] = static_cast<uint32_t>(best);
+                ++acc.changed;
+              }
+              acc.inertia += best_d;
+              acc.counts[static_cast<size_t>(best)] += 1;
+              // Sparse scatter into the worker's dense sum.
+              auto& sum = acc.sums[static_cast<size_t>(best)];
+              for (size_t t = 0; t < row.nnz(); ++t) {
+                sum[row.id_at(t)] += row.value_at(t);
+              }
+            }
+          });
+
+      // Pairwise tree reduction of the worker accumulators — the merge
+      // schedule of a Cilk reducer hyperobject: log2(workers) levels, the
+      // pairs of each level merged in parallel, the final pair serial.
+      // This k x vocabulary critical path (not the document loop) is what
+      // caps Figure 1's scalability, and it grows with the vocabulary —
+      // hence Mix saturating far below NSF.
+      const size_t nworkers = scratch->size();
+      for (size_t stride = 1; stride < nworkers; stride *= 2) {
+        size_t step = 2 * stride;
+        size_t pairs = 0;
+        for (size_t i = 0; i + stride < nworkers; i += step) ++pairs;
+        if (pairs == 0) continue;
+        parallel::WorkHint merge_hint;
+        merge_hint.label = "kmeans-merge";
+        merge_hint.bytes_touched = pairs * static_cast<uint64_t>(k) * dim *
+                                   2 * sizeof(double);
+        ctx.executor->ParallelFor(
+            0, pairs, 1, merge_hint, [&](int, size_t pb, size_t pe) {
+              for (size_t p = pb; p < pe; ++p) {
+                Accumulators& into = scratch->Get(static_cast<int>(p * step));
+                Accumulators& from =
+                    scratch->Get(static_cast<int>(p * step + stride));
+                into.changed += from.changed;
+                into.inertia += from.inertia;
+                for (int c = 0; c < k; ++c) {
+                  into.counts[static_cast<size_t>(c)] +=
+                      from.counts[static_cast<size_t>(c)];
+                  auto& t = into.sums[static_cast<size_t>(c)];
+                  const auto& s = from.sums[static_cast<size_t>(c)];
+                  for (uint32_t d = 0; d < dim; ++d) t[d] += s[d];
+                }
+              }
+            });
+      }
+
+      // Serial centroid finalize from the fully merged accumulator.
+      uint64_t changed = 0;
+      double inertia = 0.0;
+      ctx.executor->RunSerial(parallel::WorkHint{0, "kmeans-finalize"}, [&] {
+        Accumulators& total = scratch->Get(0);
+        changed = total.changed;
+        inertia = total.inertia;
+        for (int c = 0; c < k; ++c) {
+          auto& centroid = centroids[static_cast<size_t>(c)];
+          uint64_t count = total.counts[static_cast<size_t>(c)];
+          if (count == 0) continue;  // empty cluster keeps its centroid
+          const auto& t = total.sums[static_cast<size_t>(c)];
+          double inv = 1.0 / static_cast<double>(count);
+          double sq = 0.0;
+          for (uint32_t d = 0; d < dim; ++d) {
+            double v = t[d] * inv;
+            centroid[d] = static_cast<float>(v);
+            sq += v * v;
+          }
+          centroid_sq[static_cast<size_t>(c)] = sq;
+        }
+      });
+
+      result.inertia = inertia;
+      result.inertia_history.push_back(inertia);
+      if (options.stop_on_convergence && changed == 0) {
+        result.converged = true;
+        break;
+      }
+    }
+
+    result.centroids = std::move(centroids);
+  });
+
+  return result;
+}
+
+StatusOr<KMeansResult> MiniBatchKMeans(ExecContext& ctx,
+                                       const containers::SparseMatrix& matrix,
+                                       const KMeansOptions& options,
+                                       size_t batch_size) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(options.k));
+  }
+  if (matrix.num_rows() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty matrix");
+  }
+  if (static_cast<size_t>(options.k) > matrix.num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("k=%d exceeds number of rows (%zu)", options.k,
+                  matrix.num_rows()));
+  }
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+
+  const size_t n = matrix.num_rows();
+  const uint32_t dim = matrix.num_cols;
+  const int k = options.k;
+  if (batch_size > n) batch_size = n;
+
+  KMeansResult result;
+
+  ctx.TimePhase("kmeans-minibatch", [&] {
+    std::vector<std::vector<float>> centroids;
+    std::vector<double> centroid_sq(static_cast<size_t>(k), 0.0);
+    std::vector<uint64_t> counts(static_cast<size_t>(k), 0);
+    Rng rng(options.seed);
+
+    ctx.executor->RunSerial(parallel::WorkHint{0, "kmeans-init"}, [&] {
+      centroids.assign(static_cast<size_t>(k),
+                       std::vector<float>(dim, 0.0f));
+      const std::vector<size_t> seeds = SeedRows(n, k, options.seed);
+      for (int c = 0; c < k; ++c) {
+        const containers::SparseVector& row =
+            matrix.rows[seeds[static_cast<size_t>(c)]];
+        containers::AddScaled(row, 1.0f, centroids[static_cast<size_t>(c)]);
+        centroid_sq[static_cast<size_t>(c)] = row.SquaredL2Norm();
+      }
+    });
+
+    std::vector<size_t> batch(batch_size);
+    std::vector<uint32_t> batch_best(batch_size);
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      ++result.iterations;
+
+      // Sample + per-centroid gradient step: one serial region (the batch
+      // is small by design; parallelizing it would be pure overhead).
+      ctx.executor->RunSerial(parallel::WorkHint{0, "minibatch-step"}, [&] {
+        for (size_t b = 0; b < batch_size; ++b) {
+          batch[b] = rng.NextBounded(n);
+        }
+        for (size_t b = 0; b < batch_size; ++b) {
+          const containers::SparseVector& row = matrix.rows[batch[b]];
+          double row_sq = row.SquaredL2Norm();
+          int best = 0;
+          double best_d = containers::SquaredDistance(
+              row, row_sq, centroids[0], centroid_sq[0]);
+          for (int c = 1; c < k; ++c) {
+            double d = containers::SquaredDistance(
+                row, row_sq, centroids[static_cast<size_t>(c)],
+                centroid_sq[static_cast<size_t>(c)]);
+            if (d < best_d) {
+              best_d = d;
+              best = c;
+            }
+          }
+          batch_best[b] = static_cast<uint32_t>(best);
+        }
+        for (size_t b = 0; b < batch_size; ++b) {
+          size_t c = batch_best[b];
+          counts[c] += 1;
+          float eta = 1.0f / static_cast<float>(counts[c]);
+          auto& centroid = centroids[c];
+          // centroid <- (1 - eta) * centroid + eta * x  (sparse x).
+          for (float& v : centroid) v *= (1.0f - eta);
+          containers::AddScaled(matrix.rows[batch[b]], eta, centroid);
+          double sq = 0.0;
+          for (float v : centroid) sq += static_cast<double>(v) * v;
+          centroid_sq[c] = sq;
+        }
+      });
+    }
+
+    // Final full assignment pass: parallel over all documents.
+    result.assignment.assign(n, 0);
+    parallel::WorkerLocal<double> partial_inertia(*ctx.executor);
+    parallel::WorkHint hint;
+    hint.label = "minibatch-assign";
+    hint.bytes_touched = matrix.ApproxMemoryBytes();
+    ctx.executor->ParallelFor(
+        0, n, 0, hint, [&](int worker, size_t b, size_t e) {
+          double& acc = partial_inertia.Get(worker);
+          for (size_t i = b; i < e; ++i) {
+            const containers::SparseVector& row = matrix.rows[i];
+            double row_sq = row.SquaredL2Norm();
+            int best = 0;
+            double best_d = containers::SquaredDistance(
+                row, row_sq, centroids[0], centroid_sq[0]);
+            for (int c = 1; c < k; ++c) {
+              double d = containers::SquaredDistance(
+                  row, row_sq, centroids[static_cast<size_t>(c)],
+                  centroid_sq[static_cast<size_t>(c)]);
+              if (d < best_d) {
+                best_d = d;
+                best = c;
+              }
+            }
+            result.assignment[i] = static_cast<uint32_t>(best);
+            acc += best_d;
+          }
+        });
+    ctx.executor->RunSerial(parallel::WorkHint{0, "kmeans-finalize"}, [&] {
+      partial_inertia.ForEach([&](double& v) { result.inertia += v; });
+      result.inertia_history.push_back(result.inertia);
+      result.centroids = std::move(centroids);
+    });
+  });
+
+  return result;
+}
+
+Status WriteAssignmentsCsv(ExecContext& ctx,
+                           const std::vector<std::string>& doc_names,
+                           const std::vector<uint32_t>& assignment,
+                           const std::string& csv_path) {
+  Status status;
+  ctx.TimePhase("output", [&] {
+    ctx.executor->RunSerial(parallel::WorkHint{0, "output"}, [&] {
+      status = [&]() -> Status {
+        HPA_ASSIGN_OR_RETURN(auto writer,
+                             ctx.scratch_disk->OpenWriter(csv_path));
+        std::string chunk = "document,cluster\n";
+        for (size_t i = 0; i < assignment.size(); ++i) {
+          if (i < doc_names.size()) {
+            chunk += io::CsvEscape(doc_names[i]);
+          } else {
+            chunk += "row_" + std::to_string(i);
+          }
+          chunk += ',';
+          chunk += std::to_string(assignment[i]);
+          chunk += '\n';
+          if (chunk.size() >= (1 << 16)) {
+            HPA_RETURN_IF_ERROR(writer->Append(chunk));
+            chunk.clear();
+          }
+        }
+        HPA_RETURN_IF_ERROR(writer->Append(chunk));
+        return writer->Close();
+      }();
+    });
+  });
+  return status;
+}
+
+}  // namespace hpa::ops

@@ -1,0 +1,118 @@
+#ifndef HPA_OPS_KMEANS_H_
+#define HPA_OPS_KMEANS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "containers/sparse_matrix.h"
+#include "ops/exec_context.h"
+
+/// \file
+/// K-means clustering (§3.1). The production form is sparse and parallel:
+///
+///  * assignment step: parallel loop over documents; distances use the
+///    sparse kernel ||x||² − 2·x·c + ||c||² (O(nnz) per cluster);
+///  * accumulation: worker-local dense centroid sums, no allocation inside
+///    iterations (the paper's buffer-recycling discipline);
+///  * merge + centroid finalize: serial, cost ∝ workers × k × vocabulary —
+///    the Amdahl term that caps the Mix corpus near 2.5x in Figure 1.
+///
+/// `recycle_buffers=false` switches to a deliberately naive mode that
+/// reallocates every iteration (the ablation for the paper's claim that
+/// recycling matters).
+
+namespace hpa::ops {
+
+/// Centroid initialization strategy.
+enum class KMeansInit {
+  /// One uniformly random row from each of k equal document spans —
+  /// cheap, deterministic, and what the paper-era implementation used.
+  kStratified,
+
+  /// k-means++ (Arthur & Vassilvitskii 2007): subsequent seeds sampled
+  /// proportional to squared distance from the chosen set. Costs k extra
+  /// passes over the data but typically converges in fewer, better
+  /// iterations (see bench/ablation_kmeans_init).
+  kPlusPlus,
+};
+
+/// K-means parameters.
+struct KMeansOptions {
+  /// Number of clusters (the paper uses 8).
+  int k = 8;
+
+  /// Centroid seeding strategy.
+  KMeansInit init = KMeansInit::kStratified;
+
+  /// Iteration cap.
+  int max_iterations = 10;
+
+  /// Stop early when no document changes cluster.
+  bool stop_on_convergence = true;
+
+  /// Deterministic centroid seeding.
+  uint64_t seed = 42;
+
+  /// Reuse accumulators/assignment buffers across iterations (paper
+  /// optimisation (ii)); false = allocate fresh objects each iteration.
+  bool recycle_buffers = true;
+};
+
+/// Clustering output.
+struct KMeansResult {
+  /// Cluster index per row of the input matrix.
+  std::vector<uint32_t> assignment;
+
+  /// Final dense centroids, k x num_cols.
+  std::vector<std::vector<float>> centroids;
+
+  /// Iterations actually executed.
+  int iterations = 0;
+
+  /// Sum of squared distances to assigned centroids after the last
+  /// iteration (clustering quality; lower is better).
+  double inertia = 0.0;
+
+  /// Inertia after each iteration (size == iterations); Lloyd guarantees
+  /// this sequence is non-increasing — useful for convergence plots.
+  std::vector<double> inertia_history;
+
+  /// True if the run stopped because assignments stabilized.
+  bool converged = false;
+};
+
+/// Sparse parallel K-means over TF/IDF rows. Accrues the "kmeans" phase on
+/// ctx.phases. Rows should be L2-normalized (the operator does not
+/// re-normalize). Fails if `options.k <= 0` or the matrix is empty.
+StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
+                                    const containers::SparseMatrix& matrix,
+                                    const KMeansOptions& options);
+
+/// Mini-batch K-means (Sculley, WWW 2010) — an extension beyond the
+/// paper: each iteration samples `batch_size` documents, assigns them to
+/// the nearest centroid, and moves those centroids toward the batch means
+/// with per-centroid learning rates 1/count. Orders of magnitude less work
+/// per iteration on large corpora at a small quality cost; the final
+/// assignment pass over all documents is parallel.
+///
+/// `options.max_iterations` is the batch count; `stop_on_convergence` is
+/// ignored (mini-batch has no natural fixed point). Accrues the
+/// "kmeans-minibatch" phase on ctx.phases.
+StatusOr<KMeansResult> MiniBatchKMeans(ExecContext& ctx,
+                                       const containers::SparseMatrix& matrix,
+                                       const KMeansOptions& options,
+                                       size_t batch_size);
+
+/// Writes "name,cluster" CSV rows serially to `csv_path` on
+/// ctx.scratch_disk — the workflow's final "output" phase. `doc_names` may
+/// be empty, in which case row indices are used.
+Status WriteAssignmentsCsv(ExecContext& ctx,
+                           const std::vector<std::string>& doc_names,
+                           const std::vector<uint32_t>& assignment,
+                           const std::string& csv_path);
+
+}  // namespace hpa::ops
+
+#endif  // HPA_OPS_KMEANS_H_

@@ -1,0 +1,38 @@
+#include "ops/tfidf.h"
+
+namespace hpa::ops {
+
+StatusOr<TfidfResult> TfidfInMemory(ExecContext& ctx,
+                                    const io::PackedCorpusReader& corpus,
+                                    const TfidfOptions& options) {
+  return containers::DispatchDictBackend(
+      ctx.dict_backend,
+      [&](auto tag) { return TfidfInMemoryT<tag()>(ctx, corpus, options); });
+}
+
+Status TfidfToArff(ExecContext& ctx, const io::PackedCorpusReader& corpus,
+                   const std::string& arff_path,
+                   const TfidfOptions& options) {
+  return containers::DispatchDictBackend(ctx.dict_backend, [&](auto tag) {
+    return TfidfToArffT<tag()>(ctx, corpus, arff_path, options);
+  });
+}
+
+StatusOr<containers::SparseMatrix> ReadTfidfArff(
+    ExecContext& ctx, const std::string& arff_path) {
+  StatusOr<containers::SparseMatrix> result =
+      Status::Internal("kmeans-input never ran");
+  ctx.TimePhase("kmeans-input", [&] {
+    ctx.executor->RunSerial(parallel::WorkHint{0, "kmeans-input"}, [&] {
+      auto rel = io::ReadSparseArff(ctx.scratch_disk, arff_path);
+      if (!rel.ok()) {
+        result = rel.status();
+      } else {
+        result = std::move(rel->data);
+      }
+    });
+  });
+  return result;
+}
+
+}  // namespace hpa::ops

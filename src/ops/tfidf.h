@@ -1,0 +1,277 @@
+#ifndef HPA_OPS_TFIDF_H_
+#define HPA_OPS_TFIDF_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "containers/sparse_matrix.h"
+#include "io/arff.h"
+#include "io/packed_corpus.h"
+#include "ops/exec_context.h"
+#include "ops/word_count.h"
+
+/// \file
+/// The TF/IDF operator (§3.2): phase 1 is the parallel word count
+/// (word_count.h); phase 2 scores every document with
+///     tfidf(w, d) = tf(w, d) * ln(N / df(w))
+/// and L2-normalizes the per-document vectors, sorted by term id.
+///
+/// Two forms, mirroring the paper's Figure 3:
+///  * `TfidfToArff`   — the *discrete* operator: phase 2 is a single serial
+///    pass that computes scores and writes them straight to a sparse ARFF
+///    file ("the ARFF format does not facilitate parallel output").
+///    Phases: input+wc, tfidf-output.
+///  * `TfidfInMemory` — the *fused* form: phase 2 is a parallel in-memory
+///    transform producing a SparseMatrix. Phases: input+wc, transform.
+
+namespace hpa::ops {
+
+/// TF/IDF scoring options. Defaults reproduce the paper's plain
+/// tf * ln(N/df) with L2 normalization and no vocabulary pruning.
+struct TfidfOptions {
+  /// Drop terms occurring in fewer than `min_df` documents (noise cut).
+  uint32_t min_df = 1;
+
+  /// Drop terms occurring in more than `max_df_ratio * N` documents
+  /// (stop-word cut; 1.0 keeps everything).
+  double max_df_ratio = 1.0;
+
+  /// Use 1 + ln(tf) instead of raw tf (dampens very frequent terms).
+  bool sublinear_tf = false;
+
+  /// L2-normalize each document's score vector (the paper clusters
+  /// "normalized TF/IDF scores").
+  bool normalize = true;
+};
+
+/// In-memory TF/IDF output.
+struct TfidfResult {
+  /// One normalized score row per document; columns are term ids.
+  containers::SparseMatrix matrix;
+
+  /// Term strings, index = term id (lexicographically sorted).
+  std::vector<std::string> terms;
+
+  /// Document frequency per term id (parallel to `terms`); together with
+  /// num_documents() this is the fitted model new documents can be scored
+  /// against (ops/tfidf_vectorizer.h).
+  std::vector<uint32_t> term_dfs;
+
+  /// Document names, index = row.
+  std::vector<std::string> doc_names;
+
+  size_t num_documents() const { return matrix.num_rows(); }
+
+  /// Dictionary heap footprint observed before the tables were dropped.
+  uint64_t dict_bytes = 0;
+
+  uint64_t total_tokens = 0;
+};
+
+namespace tfidf_internal {
+
+/// Sentinel id for terms pruned by min_df/max_df_ratio.
+inline constexpr uint32_t kPrunedTermId = 0xFFFFFFFFu;
+
+/// Assigns term ids in sorted-word order inside `wc.doc_freq` and returns
+/// the sorted list of *kept* terms; pruned terms get kPrunedTermId. For
+/// tree-backed dictionaries the words come out already sorted; hash-backed
+/// ones pay an explicit sort — one of the §3.4 cost asymmetries.
+/// If `dfs` is non-null it receives the document frequency per term id.
+template <containers::DictBackend B>
+std::vector<std::string> AssignTermIds(WordCountResult<B>& wc,
+                                       const TfidfOptions& options,
+                                       std::vector<uint32_t>* dfs = nullptr) {
+  const uint32_t max_df = static_cast<uint32_t>(
+      options.max_df_ratio * static_cast<double>(wc.num_documents()));
+  auto keep = [&](const TermStat& stat) {
+    return stat.df >= options.min_df && stat.df <= max_df;
+  };
+
+  std::vector<std::string> terms;
+  terms.reserve(wc.doc_freq.size());
+  wc.doc_freq.ForEach([&](const std::string& word, const TermStat& stat) {
+    if (keep(stat)) terms.push_back(word);
+  });
+  using DfDict = typename WordCountResult<B>::DfDict;
+  if constexpr (!DfDict::kSortedIteration) {
+    std::sort(terms.begin(), terms.end());
+  }
+  // Mark everything pruned, then number the kept terms.
+  wc.doc_freq.ForEach([&](const std::string& word, const TermStat& stat) {
+    if (!keep(stat)) {
+      // ForEach hands out const refs; fix up through the mutable handle.
+      wc.doc_freq.FindOrInsert(std::string_view(word)).id = kPrunedTermId;
+    }
+  });
+  if (dfs != nullptr) dfs->resize(terms.size());
+  for (uint32_t id = 0; id < terms.size(); ++id) {
+    TermStat& stat = wc.doc_freq.FindOrInsert(std::string_view(terms[id]));
+    stat.id = id;
+    if (dfs != nullptr) (*dfs)[id] = stat.df;
+  }
+  return terms;
+}
+
+/// Builds the sparse score row for one document into `row`, using
+/// `scratch` for unsorted (id, score) pairs. Both are recycled across
+/// calls (the paper's "no new objects" discipline).
+template <containers::DictBackend B>
+void BuildScoreRow(const WordCountResult<B>& wc, size_t doc,
+                   const TfidfOptions& options,
+                   std::vector<std::pair<uint32_t, float>>& scratch,
+                   containers::SparseVector& row) {
+  scratch.clear();
+  row.Clear();
+  const double n_docs = static_cast<double>(wc.num_documents());
+  wc.doc_tfs[doc].ForEach([&](const std::string& word, uint32_t tf) {
+    const TermStat* stat = wc.doc_freq.Find(std::string_view(word));
+    // Every word in a document is in the global table by construction.
+    if (stat->id == kPrunedTermId) return;
+    double weight = options.sublinear_tf
+                        ? 1.0 + std::log(static_cast<double>(tf))
+                        : static_cast<double>(tf);
+    double idf = std::log(n_docs / static_cast<double>(stat->df));
+    scratch.emplace_back(stat->id, static_cast<float>(weight * idf));
+  });
+  std::sort(scratch.begin(), scratch.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  row.Reserve(scratch.size());
+  for (const auto& [id, score] : scratch) row.PushBack(id, score);
+  if (options.normalize) row.NormalizeL2();
+}
+
+}  // namespace tfidf_internal
+
+/// Fused-form transform applied to an existing word-count result:
+/// the "transform" phase of Figures 3 and 4.
+template <containers::DictBackend B>
+TfidfResult TfidfTransformT(ExecContext& ctx, WordCountResult<B> wc,
+                            const TfidfOptions& options = {}) {
+  TfidfResult result;
+  result.total_tokens = wc.total_tokens;
+  result.dict_bytes = wc.ApproxDictBytes();
+
+  ctx.TimePhase("transform", [&] {
+    // Term-id assignment is serial: tree backends walk in order, hash
+    // backends collect + sort — charge it to the clock either way.
+    ctx.executor->RunSerial(parallel::WorkHint{0, "term-ids"}, [&] {
+      result.terms =
+          tfidf_internal::AssignTermIds(wc, options, &result.term_dfs);
+      result.matrix.num_cols = static_cast<uint32_t>(result.terms.size());
+      result.matrix.rows.resize(wc.num_documents());
+    });
+    result.doc_names = std::move(wc.doc_names);
+
+    parallel::WorkerLocal<std::vector<std::pair<uint32_t, float>>> scratch(
+        *ctx.executor);
+
+    parallel::WorkHint hint;
+    // The transform's memory traffic is dominated by walking the
+    // dictionaries; this is what saturates bandwidth for bloated backends
+    // (Figure 4's u-map scaling collapse).
+    hint.bytes_touched = result.dict_bytes;
+    hint.label = "transform";
+    ctx.executor->ParallelFor(
+        0, wc.num_documents(), 0, hint,
+        [&](int worker, size_t begin, size_t end) {
+          auto& pairs = scratch.Get(worker);
+          for (size_t i = begin; i < end; ++i) {
+            tfidf_internal::BuildScoreRow(wc, i, options, pairs,
+                                          result.matrix.rows[i]);
+          }
+        });
+  });
+  return result;
+}
+
+/// Fused-form TF/IDF over a packed corpus: parallel input+wc, then a
+/// parallel in-memory transform. Statically parameterized on the
+/// dictionary backend.
+template <containers::DictBackend B>
+StatusOr<TfidfResult> TfidfInMemoryT(ExecContext& ctx,
+                                     const io::PackedCorpusReader& corpus,
+                                     const TfidfOptions& options = {}) {
+  HPA_ASSIGN_OR_RETURN(auto wc, RunWordCount<B>(ctx, corpus));
+  return TfidfTransformT<B>(ctx, std::move(wc), options);
+}
+
+/// Discrete-form TF/IDF: parallel input+wc, then one serial pass that
+/// scores documents and streams them to sparse ARFF at `arff_path` on
+/// ctx.scratch_disk. Phases: "input+wc", "tfidf-output".
+template <containers::DictBackend B>
+Status TfidfToArffT(ExecContext& ctx, const io::PackedCorpusReader& corpus,
+                    const std::string& arff_path,
+                    const TfidfOptions& options = {}) {
+  HPA_ASSIGN_OR_RETURN(auto wc, RunWordCount<B>(ctx, corpus));
+
+  Status status;
+  ctx.TimePhase("tfidf-output", [&] {
+    ctx.executor->RunSerial(parallel::WorkHint{0, "tfidf-output"}, [&] {
+      status = [&]() -> Status {
+        std::vector<std::string> terms =
+            tfidf_internal::AssignTermIds(wc, options);
+        HPA_ASSIGN_OR_RETURN(auto writer,
+                             ctx.scratch_disk->OpenWriter(arff_path));
+
+        std::string chunk;
+        chunk.reserve(1 << 16);
+        chunk += "% generated by hpa tfidf\n@relation tfidf\n";
+        for (const std::string& term : terms) {
+          chunk += "@attribute ";
+          chunk += term;
+          chunk += " numeric\n";
+          if (chunk.size() >= (1 << 16)) {
+            HPA_RETURN_IF_ERROR(writer->Append(chunk));
+            chunk.clear();
+          }
+        }
+        chunk += "@data\n";
+
+        std::vector<std::pair<uint32_t, float>> scratch;
+        containers::SparseVector row;
+        for (size_t i = 0; i < wc.num_documents(); ++i) {
+          tfidf_internal::BuildScoreRow(wc, i, options, scratch, row);
+          chunk += '{';
+          for (size_t k = 0; k < row.nnz(); ++k) {
+            if (k > 0) chunk += ',';
+            AppendUint(chunk, row.id_at(k));
+            chunk += ' ';
+            AppendDouble(chunk, static_cast<double>(row.value_at(k)));
+          }
+          chunk += "}\n";
+          if (chunk.size() >= (1 << 16)) {
+            HPA_RETURN_IF_ERROR(writer->Append(chunk));
+            chunk.clear();
+          }
+        }
+        HPA_RETURN_IF_ERROR(writer->Append(chunk));
+        return writer->Close();
+      }();
+    });
+  });
+  return status;
+}
+
+/// Runtime-dispatched forms (backend chosen by ctx.dict_backend).
+StatusOr<TfidfResult> TfidfInMemory(ExecContext& ctx,
+                                    const io::PackedCorpusReader& corpus,
+                                    const TfidfOptions& options = {});
+Status TfidfToArff(ExecContext& ctx, const io::PackedCorpusReader& corpus,
+                   const std::string& arff_path,
+                   const TfidfOptions& options = {});
+
+/// Reads a TF/IDF ARFF intermediate back in (the discrete workflow's
+/// "kmeans-input" phase; serial by format design).
+StatusOr<containers::SparseMatrix> ReadTfidfArff(ExecContext& ctx,
+                                                 const std::string& arff_path);
+
+}  // namespace hpa::ops
+
+#endif  // HPA_OPS_TFIDF_H_

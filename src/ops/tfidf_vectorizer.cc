@@ -1,0 +1,133 @@
+#include "ops/tfidf_vectorizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace hpa::ops {
+
+TfidfVectorizer::TfidfVectorizer(const TfidfResult& fitted,
+                                 TfidfOptions options)
+    : terms_(fitted.terms),
+      dfs_(fitted.term_dfs),
+      num_docs_(fitted.num_documents()),
+      options_(options) {
+  BuildIndex();
+}
+
+void TfidfVectorizer::BuildIndex() {
+  index_.Reserve(terms_.size());
+  for (uint32_t id = 0; id < terms_.size(); ++id) {
+    index_.FindOrInsert(std::string_view(terms_[id])) = id;
+  }
+}
+
+containers::SparseVector TfidfVectorizer::Score(
+    std::string_view body, const text::TokenizerOptions& tokenizer) const {
+  // Per-document term frequencies over known terms only.
+  containers::OpenHashMap<uint32_t, uint32_t> tf(64);
+  text::ForEachToken(body, tokenizer, [&](std::string_view token) {
+    const uint32_t* id = index_.Find(token);
+    if (id != nullptr) tf.FindOrInsert(*id) += 1;
+  });
+
+  std::vector<std::pair<uint32_t, float>> entries;
+  entries.reserve(tf.size());
+  const double n = static_cast<double>(num_docs_);
+  tf.ForEach([&](uint32_t id, uint32_t count) {
+    double weight = options_.sublinear_tf
+                        ? 1.0 + std::log(static_cast<double>(count))
+                        : static_cast<double>(count);
+    double idf = std::log(n / static_cast<double>(dfs_[id]));
+    entries.push_back({id, static_cast<float>(weight * idf)});
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  containers::SparseVector row;
+  row.Reserve(entries.size());
+  for (const auto& [id, score] : entries) row.PushBack(id, score);
+  if (options_.normalize) row.NormalizeL2();
+  return row;
+}
+
+Status TfidfVectorizer::Save(io::SimDisk* disk,
+                             const std::string& rel_path) const {
+  std::string out = "hpa-tfidf-model v1\n";
+  out += "documents ";
+  AppendUint(out, num_docs_);
+  out += "\nterms ";
+  AppendUint(out, terms_.size());
+  out += '\n';
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    out += terms_[i];
+    out += ' ';
+    AppendUint(out, dfs_[i]);
+    out += '\n';
+  }
+  return disk->WriteFile(rel_path, out);
+}
+
+StatusOr<TfidfVectorizer> TfidfVectorizer::Load(io::SimDisk* disk,
+                                                const std::string& rel_path,
+                                                TfidfOptions options) {
+  HPA_ASSIGN_OR_RETURN(std::string text, disk->ReadFile(rel_path));
+  std::vector<std::string_view> lines = Split(text, '\n');
+  if (lines.size() < 3 || Trim(lines[0]) != "hpa-tfidf-model v1") {
+    return Status::Corruption("bad TF/IDF model header in " + rel_path);
+  }
+  TfidfVectorizer model;
+  model.options_ = options;
+
+  int64_t docs = 0;
+  if (!StartsWith(lines[1], "documents ") ||
+      !ParseInt64(lines[1].substr(10), &docs) || docs < 1) {
+    return Status::Corruption("bad documents line in " + rel_path);
+  }
+  model.num_docs_ = static_cast<uint64_t>(docs);
+
+  int64_t term_count = 0;
+  if (!StartsWith(lines[2], "terms ") ||
+      !ParseInt64(lines[2].substr(6), &term_count) || term_count < 0 ||
+      lines.size() < 3 + static_cast<size_t>(term_count)) {
+    return Status::Corruption("bad terms line in " + rel_path);
+  }
+  model.terms_.reserve(static_cast<size_t>(term_count));
+  model.dfs_.reserve(static_cast<size_t>(term_count));
+  for (int64_t i = 0; i < term_count; ++i) {
+    std::string_view line = lines[3 + static_cast<size_t>(i)];
+    size_t space = line.rfind(' ');
+    int64_t df = 0;
+    if (space == std::string_view::npos ||
+        !ParseInt64(line.substr(space + 1), &df) || df < 1 ||
+        df > docs) {
+      return Status::Corruption(
+          StrFormat("bad term line %lld in %s", static_cast<long long>(i),
+                    rel_path.c_str()));
+    }
+    model.terms_.emplace_back(line.substr(0, space));
+    model.dfs_.push_back(static_cast<uint32_t>(df));
+  }
+  model.BuildIndex();
+  return model;
+}
+
+uint32_t NearestCentroid(const containers::SparseVector& v,
+                         const std::vector<std::vector<float>>& centroids) {
+  double v_sq = v.SquaredL2Norm();
+  uint32_t best = 0;
+  double best_d = 0.0;
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    double c_sq = 0.0;
+    for (float x : centroids[c]) c_sq += static_cast<double>(x) * x;
+    double d = containers::SquaredDistance(v, v_sq, centroids[c], c_sq);
+    if (c == 0 || d < best_d) {
+      best_d = d;
+      best = static_cast<uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace hpa::ops

@@ -1,0 +1,199 @@
+#ifndef HPA_OPS_WORD_COUNT_H_
+#define HPA_OPS_WORD_COUNT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "containers/dictionary.h"
+#include "io/packed_corpus.h"
+#include "parallel/parallel_ops.h"
+#include "ops/exec_context.h"
+#include "text/document.h"
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+
+/// \file
+/// Phase 1 of TF/IDF — the paper's "input+wc" phase: read every document
+/// (in parallel, §3.2), tokenize it, and collect
+///   * a per-document term-frequency table (word -> tf), and
+///   * a corpus-wide document-frequency table (word -> #docs containing it).
+///
+/// The whole phase is a single parallel loop over documents; per-worker
+/// document-frequency tables are merged serially afterwards, exactly the
+/// structure of the paper's Cilk implementation.
+
+namespace hpa::ops {
+
+/// Per-term statistics in the global dictionary. `df` accumulates during
+/// word count; `id` is assigned later by the TF/IDF transform (term ids are
+/// the sorted-word order, so ARFF attributes are deterministic).
+struct TermStat {
+  uint32_t df = 0;
+  uint32_t id = 0;
+};
+
+/// Output of the word-count phase, parameterized by dictionary backend.
+template <containers::DictBackend B>
+struct WordCountResult {
+  using TfDict = typename containers::DictFor<B, uint32_t>::type;
+  using DfDict = typename containers::DictFor<B, TermStat>::type;
+
+  /// One term-frequency table per document (kept as live dictionaries
+  /// until the transform phase, as in the paper — this is what makes the
+  /// backend choice a memory decision, §3.4).
+  std::vector<TfDict> doc_tfs;
+
+  /// Document names, same order as doc_tfs.
+  std::vector<std::string> doc_names;
+
+  /// Global word -> {document frequency, term id} table.
+  DfDict doc_freq;
+
+  uint64_t total_tokens = 0;
+
+  /// Approximate heap footprint of all dictionaries (the paper's 420 MB vs
+  /// 12.8 GB comparison).
+  uint64_t ApproxDictBytes() const {
+    uint64_t bytes = doc_freq.ApproxMemoryBytes();
+    for (const TfDict& d : doc_tfs) bytes += d.ApproxMemoryBytes();
+    return bytes;
+  }
+
+  size_t num_documents() const { return doc_tfs.size(); }
+};
+
+/// Runs word count over a packed corpus on storage. Document reads are
+/// issued from inside the parallel loop (parallel input). Accrues the
+/// "input+wc" phase on ctx.phases.
+template <containers::DictBackend B>
+StatusOr<WordCountResult<B>> RunWordCount(
+    ExecContext& ctx, const io::PackedCorpusReader& corpus) {
+  WordCountResult<B> result;
+  const size_t n = corpus.size();
+  result.doc_tfs.resize(n);
+  result.doc_names.resize(n);
+
+  // Each document writes only its own error slot, so the parallel loop
+  // needs no synchronization; the first failure wins after the loop.
+  std::vector<Status> doc_errors(n);
+
+  parallel::WorkerLocal<typename WordCountResult<B>::DfDict> worker_df(
+      *ctx.executor);
+  parallel::WorkerLocal<uint64_t> worker_tokens(*ctx.executor);
+
+  ctx.TimePhase("input+wc", [&] {
+    parallel::WorkHint hint;
+    hint.bytes_touched = corpus.total_body_bytes();
+    hint.label = "input+wc";
+    ctx.executor->ParallelFor(
+        0, n, 0, hint, [&](int worker, size_t begin, size_t end) {
+          auto& df = worker_df.Get(worker);
+          uint64_t& tokens = worker_tokens.Get(worker);
+          std::string stem_buf;  // recycled across tokens/documents
+          for (size_t i = begin; i < end; ++i) {
+            auto body = corpus.ReadBody(i);
+            if (!body.ok()) {
+              doc_errors[i] = body.status();
+              continue;
+            }
+            result.doc_names[i] = corpus.name(i);
+            auto& tf = result.doc_tfs[i];
+            if (ctx.per_doc_dict_presize > 0) {
+              tf.Reserve(ctx.per_doc_dict_presize);
+            }
+            text::ForEachToken(*body, ctx.tokenizer,
+                               [&](std::string_view token) {
+              if (ctx.stem_tokens) {
+                stem_buf.assign(token);
+                token = text::PorterStem(stem_buf);
+              }
+              tf.FindOrInsert(token) += 1;
+              ++tokens;
+            });
+            // One df tick per distinct word in this document.
+            tf.ForEach([&](const std::string& word, uint32_t) {
+              df.FindOrInsert(std::string_view(word)).df += 1;
+            });
+          }
+        });
+
+    // Serial merge of per-worker document-frequency tables (a RunSerial
+    // region so the executor clock charges it).
+    ctx.executor->RunSerial(parallel::WorkHint{0, "df-merge"}, [&] {
+      worker_df.ForEach([&](typename WordCountResult<B>::DfDict& df) {
+        df.ForEach([&](const std::string& word, const TermStat& stat) {
+          result.doc_freq.FindOrInsert(std::string_view(word)).df += stat.df;
+        });
+      });
+      worker_tokens.ForEach(
+          [&](uint64_t& tokens) { result.total_tokens += tokens; });
+    });
+  });
+
+  for (const Status& s : doc_errors) {
+    if (!s.ok()) return s.WithContext("word count");
+  }
+  return result;
+}
+
+/// In-memory overload: word count over an already-loaded corpus (no
+/// storage reads; used by fused pipelines that already hold the text).
+template <containers::DictBackend B>
+WordCountResult<B> RunWordCountInMemory(ExecContext& ctx,
+                                        const text::Corpus& corpus) {
+  WordCountResult<B> result;
+  const size_t n = corpus.size();
+  result.doc_tfs.resize(n);
+  result.doc_names.resize(n);
+
+  parallel::WorkerLocal<typename WordCountResult<B>::DfDict> worker_df(
+      *ctx.executor);
+  parallel::WorkerLocal<uint64_t> worker_tokens(*ctx.executor);
+
+  ctx.TimePhase("input+wc", [&] {
+    parallel::WorkHint hint;
+    hint.bytes_touched = corpus.TotalBytes();
+    hint.label = "input+wc";
+    ctx.executor->ParallelFor(
+        0, n, 0, hint, [&](int worker, size_t begin, size_t end) {
+          auto& df = worker_df.Get(worker);
+          uint64_t& tokens = worker_tokens.Get(worker);
+          std::string stem_buf;  // recycled across tokens/documents
+          for (size_t i = begin; i < end; ++i) {
+            result.doc_names[i] = corpus.docs[i].name;
+            auto& tf = result.doc_tfs[i];
+            if (ctx.per_doc_dict_presize > 0) {
+              tf.Reserve(ctx.per_doc_dict_presize);
+            }
+            text::ForEachToken(corpus.docs[i].body, ctx.tokenizer,
+                               [&](std::string_view token) {
+                                 if (ctx.stem_tokens) {
+                                   stem_buf.assign(token);
+                                   token = text::PorterStem(stem_buf);
+                                 }
+                                 tf.FindOrInsert(token) += 1;
+                                 ++tokens;
+                               });
+            tf.ForEach([&](const std::string& word, uint32_t) {
+              df.FindOrInsert(std::string_view(word)).df += 1;
+            });
+          }
+        });
+
+    worker_df.ForEach([&](typename WordCountResult<B>::DfDict& df) {
+      df.ForEach([&](const std::string& word, const TermStat& stat) {
+        result.doc_freq.FindOrInsert(std::string_view(word)).df += stat.df;
+      });
+    });
+    worker_tokens.ForEach(
+        [&](uint64_t& tokens) { result.total_tokens += tokens; });
+  });
+
+  return result;
+}
+
+}  // namespace hpa::ops
+
+#endif  // HPA_OPS_WORD_COUNT_H_

@@ -1,0 +1,59 @@
+#include "parallel/executor.h"
+
+#include <chrono>
+
+#include "parallel/simulated_executor.h"
+#include "parallel/thread_pool.h"
+
+namespace hpa::parallel {
+
+namespace {
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+SerialExecutor::SerialExecutor() : start_time_(MonotonicSeconds()) {}
+
+void SerialExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
+                                 const WorkHint& hint, const RangeBody& body) {
+  (void)hint;
+  if (begin >= end) return;
+  if (grain == 0) grain = AutoGrain(end - begin);
+  // Chunked execution (not one big call) so that grain-dependent behaviour,
+  // e.g. per-chunk scratch reuse, is identical across executors.
+  for (size_t b = begin; b < end; b += grain) {
+    size_t e = b + grain < end ? b + grain : end;
+    body(0, b, e);
+  }
+}
+
+void SerialExecutor::RunSerial(const WorkHint& hint,
+                               const std::function<void()>& fn) {
+  (void)hint;
+  fn();
+}
+
+void SerialExecutor::ChargeIoTime(double seconds, int channels) {
+  (void)channels;  // a single caller cannot overlap its own I/O
+  charged_io_ += seconds;
+}
+
+double SerialExecutor::Now() const {
+  return (MonotonicSeconds() - start_time_) + charged_io_;
+}
+
+std::unique_ptr<Executor> MakeExecutor(const std::string& kind, int workers) {
+  if (workers < 1) workers = 1;
+  if (kind == "serial") return std::make_unique<SerialExecutor>();
+  if (kind == "threads") return std::make_unique<ThreadPoolExecutor>(workers);
+  if (kind == "simulated") {
+    return std::make_unique<SimulatedExecutor>(workers,
+                                               MachineModel::Default());
+  }
+  return nullptr;
+}
+
+}  // namespace hpa::parallel

@@ -1,0 +1,114 @@
+#ifndef HPA_PARALLEL_EXECUTOR_H_
+#define HPA_PARALLEL_EXECUTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+/// \file
+/// The fork/join execution abstraction that stands in for the paper's
+/// Cilkplus runtime. All HPA operators express their parallelism through
+/// this interface, which has three interchangeable implementations:
+///
+///  * `SerialExecutor`    — one worker, direct execution.
+///  * `ThreadPoolExecutor`— real OS threads, dynamic self-scheduling.
+///  * `SimulatedExecutor` — executes the work for real on the calling
+///    thread while maintaining a deterministic *virtual clock* that models
+///    P workers (greedy scheduling + roofline bandwidth + simulated I/O).
+///
+/// The simulated executor is what reproduces the paper's scalability
+/// figures on hosts with fewer cores than the authors' testbed.
+
+namespace hpa::parallel {
+
+/// Optional annotations describing a region's resource demands; consumed by
+/// the virtual-time executor's roofline model. A default-constructed hint
+/// means "compute-bound, negligible memory traffic".
+struct WorkHint {
+  /// Approximate bytes of memory the whole region touches (reads+writes).
+  uint64_t bytes_touched = 0;
+
+  /// Label used in traces; not interpreted by executors.
+  const char* label = "";
+};
+
+/// Abstract fork/join executor. Thread-compatible: one logical stream of
+/// ParallelFor / RunSerial calls at a time (no nested parallel regions),
+/// matching how the paper's operators are structured.
+class Executor {
+ public:
+  /// Chunk body: receives the worker index executing the chunk (in
+  /// [0, num_workers())) and the half-open item range of the chunk.
+  using RangeBody = std::function<void(int worker, size_t begin, size_t end)>;
+
+  virtual ~Executor() = default;
+
+  /// Number of (real or virtual) workers P.
+  virtual int num_workers() const = 0;
+
+  /// Runs `body` over [begin, end) in chunks of at most `grain` items.
+  /// Chunks are distributed across workers by dynamic self-scheduling.
+  /// Blocks until the whole range is processed. `grain == 0` selects an
+  /// automatic grain of roughly 8 chunks per worker.
+  virtual void ParallelFor(size_t begin, size_t end, size_t grain,
+                           const WorkHint& hint, const RangeBody& body) = 0;
+
+  /// Runs `fn` on the calling thread as a serial region (it occupies all
+  /// workers from the virtual clock's point of view — e.g. the ARFF output
+  /// phase the paper cannot parallelize).
+  virtual void RunSerial(const WorkHint& hint,
+                         const std::function<void()>& fn) = 0;
+
+  /// Charges `seconds` of device time to the current execution context.
+  /// `channels` is the device's concurrent-request capacity: time charged
+  /// from within a parallel region can overlap across workers, but the
+  /// region cannot complete I/O faster than (total charged)/(channels).
+  /// Called by `io::SimDisk`; not usually called by user code.
+  virtual void ChargeIoTime(double seconds, int channels) = 0;
+
+  /// Current reading of this executor's clock in seconds: virtual time for
+  /// the simulated executor, wall time plus charged I/O otherwise.
+  /// Monotone non-decreasing across calls.
+  virtual double Now() const = 0;
+
+  /// Executor kind, for reports ("serial", "threads", "simulated").
+  virtual const char* name() const = 0;
+
+  /// Convenience: automatic grain used when callers pass grain == 0.
+  size_t AutoGrain(size_t items) const {
+    size_t chunks = static_cast<size_t>(num_workers()) * 8;
+    size_t grain = (items + chunks - 1) / (chunks == 0 ? 1 : chunks);
+    return grain == 0 ? 1 : grain;
+  }
+};
+
+/// Single-worker executor: direct, in-order execution. The baseline against
+/// which self-relative speedups are computed.
+class SerialExecutor : public Executor {
+ public:
+  SerialExecutor();
+
+  int num_workers() const override { return 1; }
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const WorkHint& hint, const RangeBody& body) override;
+  void RunSerial(const WorkHint& hint,
+                 const std::function<void()>& fn) override;
+  void ChargeIoTime(double seconds, int channels) override;
+  double Now() const override;
+  const char* name() const override { return "serial"; }
+
+ private:
+  double start_time_;
+  double charged_io_ = 0.0;
+};
+
+/// Factory helpers returning the three executor kinds by name
+/// ("serial" | "threads" | "simulated"); used by bench/example flag parsing.
+/// Returns nullptr for an unknown kind.
+std::unique_ptr<Executor> MakeExecutor(const std::string& kind, int workers);
+
+}  // namespace hpa::parallel
+
+#endif  // HPA_PARALLEL_EXECUTOR_H_

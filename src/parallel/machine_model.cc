@@ -1,0 +1,30 @@
+#include "parallel/machine_model.h"
+
+#include <atomic>
+
+#include "common/timer.h"
+
+namespace hpa::parallel {
+
+MachineModel MachineModel::Calibrate() {
+  MachineModel model = Default();
+
+  // Estimate per-task dispatch cost with a tight loop of tiny "tasks"
+  // (an atomic bump approximates the fetch-add a self-scheduled loop pays
+  // per chunk, plus function-call overhead through std::function).
+  constexpr int kTasks = 200000;
+  std::atomic<uint64_t> sink{0};
+  volatile uint64_t guard = 0;
+  WallTimer timer;
+  for (int i = 0; i < kTasks; ++i) {
+    sink.fetch_add(1, std::memory_order_relaxed);
+    guard = guard + sink.load(std::memory_order_relaxed);
+  }
+  double per_task = timer.ElapsedSeconds() / kTasks;
+  // The measured lower bound plus a fixed allowance for wakeup/steal costs
+  // a calibration loop cannot observe.
+  model.spawn_overhead_sec = per_task + 0.5e-6;
+  return model;
+}
+
+}  // namespace hpa::parallel

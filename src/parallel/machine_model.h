@@ -1,0 +1,41 @@
+#ifndef HPA_PARALLEL_MACHINE_MODEL_H_
+#define HPA_PARALLEL_MACHINE_MODEL_H_
+
+#include <cstdint>
+
+/// \file
+/// Calibrated machine parameters consumed by the virtual-time executor and
+/// by the workflow cost model.
+
+namespace hpa::parallel {
+
+/// Performance parameters of the (real or modelled) machine.
+///
+/// The defaults approximate the 16+-core x86 server class used in the
+/// paper's evaluation. `Calibrate()` can refine the spawn overhead from a
+/// live measurement on the host.
+struct MachineModel {
+  /// Scheduling cost charged per parallel-loop chunk (task spawn + steal).
+  double spawn_overhead_sec = 1.0e-6;
+
+  /// Aggregate DRAM bandwidth ceiling shared by all workers. Parallel
+  /// regions whose memory traffic divided by this exceeds their computed
+  /// makespan are bandwidth-bound (roofline model).
+  double mem_bandwidth_bytes_per_sec = 12.0e9;
+
+  /// Fraction of the bandwidth ceiling one worker can consume on its own.
+  /// Single-threaded runs are never limited by the roofline term; this
+  /// bounds how early saturation sets in as workers are added.
+  double per_worker_bandwidth_fraction = 0.25;
+
+  /// Default machine model (paper-era 16-core server).
+  static MachineModel Default() { return MachineModel{}; }
+
+  /// Measures the host's per-task overhead with a timing loop and returns a
+  /// model with `spawn_overhead_sec` updated; other fields keep defaults.
+  static MachineModel Calibrate();
+};
+
+}  // namespace hpa::parallel
+
+#endif  // HPA_PARALLEL_MACHINE_MODEL_H_

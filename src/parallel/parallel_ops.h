@@ -1,0 +1,92 @@
+#ifndef HPA_PARALLEL_PARALLEL_OPS_H_
+#define HPA_PARALLEL_PARALLEL_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/executor.h"
+
+/// \file
+/// Higher-order parallel primitives built on `Executor`: reductions and
+/// worker-indexed scratch. These mirror the patterns the paper's operators
+/// use (per-worker accumulators merged after a parallel loop).
+
+namespace hpa::parallel {
+
+/// Parallel reduction over [begin, end).
+///
+/// `map` folds a chunk [b, e) into a worker-local accumulator of type `Acc`;
+/// `combine` merges a worker accumulator into the result. Accumulators are
+/// default-constructed, one per worker, and merged serially in worker order
+/// (deterministic for commutative combines; callers needing bit-exact
+/// floating-point sums should use a fixed grain).
+///
+/// \code
+///   uint64_t total = ParallelReduce<uint64_t>(
+///       exec, 0, docs.size(), /*grain=*/0, hint,
+///       [&](uint64_t& acc, size_t b, size_t e) {
+///         for (size_t i = b; i < e; ++i) acc += docs[i].tokens;
+///       },
+///       [](uint64_t& into, const uint64_t& from) { into += from; });
+/// \endcode
+template <typename Acc, typename MapFn, typename CombineFn>
+Acc ParallelReduce(Executor& exec, size_t begin, size_t end, size_t grain,
+                   const WorkHint& hint, MapFn map, CombineFn combine) {
+  std::vector<Acc> partials(static_cast<size_t>(exec.num_workers()));
+  exec.ParallelFor(begin, end, grain, hint,
+                   [&](int worker, size_t b, size_t e) {
+                     map(partials[static_cast<size_t>(worker)], b, e);
+                   });
+  Acc result{};
+  for (Acc& p : partials) combine(result, p);
+  return result;
+}
+
+/// Per-worker scratch storage sized to an executor's worker count.
+///
+/// Hands each parallel-loop chunk a stable, race-free slot. The typical HPA
+/// pattern — allocate once, recycle across iterations (the paper's
+/// "no new objects during K-means iterations") — looks like:
+///
+/// \code
+///   WorkerLocal<Accumulators> scratch(exec, [&] { return MakeAcc(); });
+///   for (int iter = 0; iter < n; ++iter) {
+///     scratch.ForEach([](Accumulators& a) { a.Reset(); });
+///     exec.ParallelFor(..., [&](int w, size_t b, size_t e) {
+///       Accumulate(scratch.Get(w), b, e);
+///     });
+///     Merge(scratch);
+///   }
+/// \endcode
+template <typename T>
+class WorkerLocal {
+ public:
+  /// Creates one `T` per worker via `factory`.
+  template <typename Factory>
+  WorkerLocal(const Executor& exec, Factory factory) {
+    slots_.reserve(static_cast<size_t>(exec.num_workers()));
+    for (int i = 0; i < exec.num_workers(); ++i) slots_.push_back(factory());
+  }
+
+  /// Creates one default-constructed `T` per worker.
+  explicit WorkerLocal(const Executor& exec)
+      : slots_(static_cast<size_t>(exec.num_workers())) {}
+
+  T& Get(int worker) { return slots_[static_cast<size_t>(worker)]; }
+  const T& Get(int worker) const { return slots_[static_cast<size_t>(worker)]; }
+
+  size_t size() const { return slots_.size(); }
+
+  /// Applies `fn` to every slot (serially, on the calling thread).
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    for (T& slot : slots_) fn(slot);
+  }
+
+ private:
+  std::vector<T> slots_;
+};
+
+}  // namespace hpa::parallel
+
+#endif  // HPA_PARALLEL_PARALLEL_OPS_H_

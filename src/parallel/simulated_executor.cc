@@ -1,0 +1,133 @@
+#include "parallel/simulated_executor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/timer.h"
+
+namespace hpa::parallel {
+
+SimulatedExecutor::SimulatedExecutor(int workers, const MachineModel& model)
+    : workers_(workers < 1 ? 1 : workers), model_(model) {}
+
+void SimulatedExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
+                                    const WorkHint& hint,
+                                    const RangeBody& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = AutoGrain(end - begin);
+  assert(!in_region_ && "nested parallel regions are not supported");
+  in_region_ = true;
+  region_io_seconds_ = 0.0;
+  region_io_channels_ = 1;
+
+  // Virtual availability time of each worker, relative to region start.
+  std::vector<double> avail(static_cast<size_t>(workers_), 0.0);
+  double serial_cpu = 0.0;
+  size_t num_chunks = 0;
+
+  for (size_t b = begin; b < end; b += grain) {
+    size_t e = b + grain < end ? b + grain : end;
+
+    // Greedy earliest-finish assignment: the next chunk goes to the worker
+    // that frees up first — the schedule dynamic self-scheduling yields.
+    size_t w = 0;
+    for (size_t i = 1; i < avail.size(); ++i) {
+      if (avail[i] < avail[w]) w = i;
+    }
+
+    double io_before = region_io_seconds_;
+    WallTimer chunk_timer;
+    body(static_cast<int>(w), b, e);
+    double cpu = chunk_timer.ElapsedSeconds();
+    double chunk_io = region_io_seconds_ - io_before;
+
+    serial_cpu += cpu;
+    double chunk_start = avail[w] + model_.spawn_overhead_sec;
+    avail[w] += model_.spawn_overhead_sec + cpu + chunk_io;
+    ++num_chunks;
+    if (trace_ != nullptr) {
+      trace_->Add(hint.label[0] != '\0' ? hint.label : "parallel-for",
+                  virtual_now_ + chunk_start, cpu + chunk_io,
+                  static_cast<int>(w));
+    }
+  }
+
+  double makespan = *std::max_element(avail.begin(), avail.end());
+
+  // Roofline: all P workers together cannot stream more than the machine's
+  // bandwidth ceiling; a subset of workers reaches a proportional share.
+  // The bound is clamped to the serial time so a 1-worker run is never
+  // penalized relative to its own measurement.
+  double bw_share = std::min(
+      1.0, static_cast<double>(workers_) * model_.per_worker_bandwidth_fraction);
+  double bandwidth_seconds = 0.0;
+  if (hint.bytes_touched > 0 && model_.mem_bandwidth_bytes_per_sec > 0) {
+    bandwidth_seconds = static_cast<double>(hint.bytes_touched) /
+                        (model_.mem_bandwidth_bytes_per_sec * bw_share);
+    bandwidth_seconds = std::min(bandwidth_seconds, serial_cpu);
+  }
+
+  // Device capacity: I/O issued inside the region can overlap across
+  // workers, but not beyond the device's channel count.
+  double io_bound = region_io_seconds_ /
+                    static_cast<double>(std::max(1, region_io_channels_));
+
+  double charged = std::max({makespan, bandwidth_seconds, io_bound});
+
+  last_region_ = RegionStats{};
+  last_region_.serial_cpu_seconds = serial_cpu;
+  last_region_.makespan_seconds = makespan;
+  last_region_.bandwidth_seconds = bandwidth_seconds;
+  last_region_.io_seconds = io_bound;
+  last_region_.charged_seconds = charged;
+  last_region_.num_chunks = num_chunks;
+  last_region_.bandwidth_bound = bandwidth_seconds > makespan;
+
+  virtual_now_ += charged;
+  total_parallel_ += charged;
+  total_io_ += region_io_seconds_;
+  in_region_ = false;
+}
+
+void SimulatedExecutor::RunSerial(const WorkHint& hint,
+                                  const std::function<void()>& fn) {
+  assert(!in_region_ && "serial region inside a parallel region");
+  in_region_ = true;
+  region_io_seconds_ = 0.0;
+  region_io_channels_ = 1;
+
+  WallTimer timer;
+  fn();
+  double cpu = timer.ElapsedSeconds();
+  // Serial I/O cannot overlap with anything: it adds directly.
+  double charged = cpu + region_io_seconds_;
+  if (trace_ != nullptr) {
+    trace_->Add(hint.label[0] != '\0' ? hint.label : "serial", virtual_now_,
+                charged, 0);
+  }
+
+  last_region_ = RegionStats{};
+  last_region_.serial_cpu_seconds = cpu;
+  last_region_.makespan_seconds = cpu;
+  last_region_.io_seconds = region_io_seconds_;
+  last_region_.charged_seconds = charged;
+  last_region_.num_chunks = 1;
+
+  virtual_now_ += charged;
+  total_serial_ += cpu;
+  total_io_ += region_io_seconds_;
+  in_region_ = false;
+}
+
+void SimulatedExecutor::ChargeIoTime(double seconds, int channels) {
+  if (seconds < 0) seconds = 0;
+  if (in_region_) {
+    region_io_seconds_ += seconds;
+    region_io_channels_ = std::max(region_io_channels_, channels);
+  } else {
+    virtual_now_ += seconds;
+    total_io_ += seconds;
+  }
+}
+
+}  // namespace hpa::parallel

@@ -1,0 +1,101 @@
+#ifndef HPA_PARALLEL_SIMULATED_EXECUTOR_H_
+#define HPA_PARALLEL_SIMULATED_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/executor.h"
+#include "parallel/machine_model.h"
+#include "parallel/trace.h"
+
+/// \file
+/// The virtual-time executor that reproduces multicore scalability on a
+/// host with fewer cores than the paper's testbed (see DESIGN.md §5).
+
+namespace hpa::parallel {
+
+/// Executes all work for real on the calling thread (results are identical
+/// to a threaded run) while maintaining a deterministic virtual clock for a
+/// machine with P workers.
+///
+/// Model:
+///  * A serial region of measured CPU duration `d` advances the clock by
+///    `d` (plus any simulated I/O charged during it).
+///  * A parallel region's chunks are measured individually and laid onto P
+///    virtual workers by greedy earliest-finish scheduling — the schedule a
+///    dynamic self-scheduled (Cilk-style) loop converges to — with a
+///    calibrated per-chunk spawn overhead. The region's virtual duration is
+///    the makespan, subject to two lower bounds:
+///      - roofline: `hint.bytes_touched / mem_bandwidth` (a memory-bound
+///        region cannot go faster than DRAM feeds all cores), softened so a
+///        single worker is never penalized;
+///      - I/O: total simulated device time charged inside the region,
+///        divided by the device's channel count (requests can overlap
+///        across workers but not beyond device concurrency).
+///  * The worker index passed to chunk bodies is the virtual worker chosen
+///    by the scheduler, so worker-indexed scratch behaves exactly as it
+///    would under real threads (P accumulators, merged afterwards).
+///
+/// Not reentrant: regions must not nest (HPA operators never nest them).
+class SimulatedExecutor : public Executor {
+ public:
+  /// Per-region accounting record, useful for tests and traces.
+  struct RegionStats {
+    double serial_cpu_seconds = 0.0;   ///< sum of chunk durations (T1)
+    double makespan_seconds = 0.0;     ///< greedy makespan incl. spawn cost
+    double bandwidth_seconds = 0.0;    ///< roofline lower bound
+    double io_seconds = 0.0;           ///< charged I/O / channels
+    double charged_seconds = 0.0;      ///< what the clock advanced by
+    size_t num_chunks = 0;
+    bool bandwidth_bound = false;
+  };
+
+  SimulatedExecutor(int workers, const MachineModel& model);
+
+  int num_workers() const override { return workers_; }
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const WorkHint& hint, const RangeBody& body) override;
+  void RunSerial(const WorkHint& hint,
+                 const std::function<void()>& fn) override;
+  void ChargeIoTime(double seconds, int channels) override;
+  double Now() const override { return virtual_now_; }
+  const char* name() const override { return "simulated"; }
+
+  /// Stats of the most recently completed region.
+  const RegionStats& last_region() const { return last_region_; }
+
+  /// Total virtual seconds spent in parallel regions / serial regions /
+  /// charged as I/O since construction, for breakdown reporting.
+  double total_parallel_seconds() const { return total_parallel_; }
+  double total_serial_seconds() const { return total_serial_; }
+  double total_io_seconds() const { return total_io_; }
+
+  const MachineModel& machine_model() const { return model_; }
+
+  /// Attaches a trace sink recording one event per executed chunk and per
+  /// serial region on the virtual timeline. Pass nullptr to detach. The
+  /// trace must outlive the executor's region calls.
+  void set_trace(ExecutionTrace* trace) { trace_ = trace; }
+
+ private:
+  int workers_;
+  MachineModel model_;
+  double virtual_now_ = 0.0;
+
+  // Region bookkeeping (single-threaded use; see class comment).
+  bool in_region_ = false;
+  double region_io_seconds_ = 0.0;   // sum of charged I/O inside region
+  int region_io_channels_ = 1;       // widest channel count seen in region
+
+  ExecutionTrace* trace_ = nullptr;
+
+  RegionStats last_region_;
+  double total_parallel_ = 0.0;
+  double total_serial_ = 0.0;
+  double total_io_ = 0.0;
+};
+
+}  // namespace hpa::parallel
+
+#endif  // HPA_PARALLEL_SIMULATED_EXECUTOR_H_

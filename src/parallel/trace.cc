@@ -1,0 +1,39 @@
+#include "parallel/trace.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace hpa::parallel {
+
+void ExecutionTrace::Add(std::string label, double start_seconds,
+                         double duration_seconds, int worker) {
+  events_.push_back(TraceEvent{std::move(label), start_seconds,
+                               duration_seconds, worker});
+}
+
+std::string ExecutionTrace::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    // Escape is unnecessary: labels are compile-time literals by
+    // convention, but guard against quotes anyway.
+    std::string name;
+    name.reserve(e.label.size());
+    for (char c : e.label) {
+      if (c == '"' || c == '\\') name += '\\';
+      name += c;
+    }
+    out += StrFormat(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+        "\"ts\":%.3f,\"dur\":%.3f}",
+        name.c_str(), e.worker, e.start_seconds * 1e6,
+        e.duration_seconds * 1e6);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hpa::parallel

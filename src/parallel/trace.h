@@ -1,0 +1,48 @@
+#ifndef HPA_PARALLEL_TRACE_H_
+#define HPA_PARALLEL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Execution tracing for the virtual-time executor: every chunk and serial
+/// region becomes a timeline event on its (virtual) worker lane, exportable
+/// as Chrome trace-event JSON (chrome://tracing, Perfetto). This is how
+/// one *sees* Figure 3: the serial ARFF phases appear as long single-lane
+/// bars while the parallel phases fill all lanes.
+
+namespace hpa::parallel {
+
+/// One executed region chunk or serial section.
+struct TraceEvent {
+  std::string label;       ///< region label (WorkHint::label or "serial")
+  double start_seconds;    ///< virtual start time
+  double duration_seconds; ///< virtual duration
+  int worker;              ///< virtual worker lane (0-based); serial = 0
+};
+
+/// Collects events from an executor run. Attach with
+/// `SimulatedExecutor::set_trace`; not thread-safe (the simulated executor
+/// is single-threaded by construction).
+class ExecutionTrace {
+ public:
+  /// Appends an event. Events with non-positive duration are kept (they
+  /// still mark ordering) but render as instant events.
+  void Add(std::string label, double start_seconds, double duration_seconds,
+           int worker);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Serializes in Chrome trace-event format ("traceEvents" array with
+  /// complete "X" events; microsecond timestamps).
+  std::string ToChromeJson() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hpa::parallel
+
+#endif  // HPA_PARALLEL_TRACE_H_

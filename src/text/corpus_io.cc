@@ -1,0 +1,32 @@
+#include "text/corpus_io.h"
+
+#include "io/packed_corpus.h"
+
+namespace hpa::text {
+
+Status WriteCorpusPacked(const Corpus& corpus, io::SimDisk* disk,
+                         const std::string& rel_path) {
+  HPA_ASSIGN_OR_RETURN(auto writer,
+                       io::PackedCorpusWriter::Create(disk, rel_path));
+  for (const Document& doc : corpus.docs) {
+    HPA_RETURN_IF_ERROR(writer.Add(doc.name, doc.body));
+  }
+  return writer.Finalize();
+}
+
+StatusOr<Corpus> ReadCorpusPacked(io::SimDisk* disk,
+                                  const std::string& rel_path,
+                                  const std::string& corpus_name) {
+  HPA_ASSIGN_OR_RETURN(auto reader,
+                       io::PackedCorpusReader::Open(disk, rel_path));
+  Corpus corpus;
+  corpus.name = corpus_name.empty() ? rel_path : corpus_name;
+  corpus.docs.resize(reader.size());
+  for (size_t i = 0; i < reader.size(); ++i) {
+    corpus.docs[i].name = reader.name(i);
+    HPA_ASSIGN_OR_RETURN(corpus.docs[i].body, reader.ReadBody(i));
+  }
+  return corpus;
+}
+
+}  // namespace hpa::text

@@ -1,0 +1,27 @@
+#ifndef HPA_TEXT_CORPUS_IO_H_
+#define HPA_TEXT_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "io/sim_disk.h"
+#include "text/document.h"
+
+/// \file
+/// Glue between in-memory corpora and packed corpus files on a SimDisk.
+
+namespace hpa::text {
+
+/// Writes `corpus` as a packed corpus file at `rel_path` on `disk`.
+Status WriteCorpusPacked(const Corpus& corpus, io::SimDisk* disk,
+                         const std::string& rel_path);
+
+/// Reads a whole packed corpus into memory (serially; the parallel path is
+/// the word-count operator reading documents inside its parallel loop).
+StatusOr<Corpus> ReadCorpusPacked(io::SimDisk* disk,
+                                  const std::string& rel_path,
+                                  const std::string& corpus_name = "");
+
+}  // namespace hpa::text
+
+#endif  // HPA_TEXT_CORPUS_IO_H_

@@ -1,0 +1,87 @@
+#include "text/directory_corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "io/file_io.h"
+
+namespace hpa::text {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool MatchesExtension(const fs::path& path,
+                      const std::vector<std::string>& extensions) {
+  if (extensions.empty()) return true;
+  std::string name = path.filename().string();
+  for (const std::string& ext : extensions) {
+    if (name.size() >= ext.size() &&
+        name.compare(name.size() - ext.size(), ext.size(), ext) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<Corpus> ReadCorpusFromDirectory(
+    const std::string& dir, const DirectoryCorpusOptions& options) {
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    return Status::NotFound("directory not found: " + dir);
+  }
+  if (!fs::is_directory(dir, ec)) {
+    return Status::InvalidArgument("not a directory: " + dir);
+  }
+
+  // Collect candidate paths first, then sort for determinism.
+  std::vector<fs::path> paths;
+  auto consider = [&](const fs::directory_entry& entry) {
+    std::error_code file_ec;
+    if (!entry.is_regular_file(file_ec)) return;
+    if (!MatchesExtension(entry.path(), options.extensions)) return;
+    if (options.max_file_bytes > 0) {
+      uint64_t size = entry.file_size(file_ec);
+      if (file_ec || size > options.max_file_bytes) return;
+    }
+    paths.push_back(entry.path());
+  };
+
+  if (options.recursive) {
+    for (auto it = fs::recursive_directory_iterator(
+             dir, fs::directory_options::skip_permission_denied, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (ec) {
+        return Status::IoError("walking '" + dir + "': " + ec.message());
+      }
+      consider(*it);
+    }
+  } else {
+    for (auto it = fs::directory_iterator(
+             dir, fs::directory_options::skip_permission_denied, ec);
+         it != fs::directory_iterator(); it.increment(ec)) {
+      if (ec) {
+        return Status::IoError("listing '" + dir + "': " + ec.message());
+      }
+      consider(*it);
+    }
+  }
+
+  Corpus corpus;
+  corpus.name = dir;
+  std::sort(paths.begin(), paths.end());
+  corpus.docs.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    Document doc;
+    doc.name = fs::relative(path, dir, ec).generic_string();
+    if (ec) doc.name = path.filename().string();
+    HPA_ASSIGN_OR_RETURN(doc.body, io::ReadWholeFile(path.string()));
+    corpus.docs.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+}  // namespace hpa::text

@@ -1,0 +1,41 @@
+#ifndef HPA_TEXT_DIRECTORY_CORPUS_H_
+#define HPA_TEXT_DIRECTORY_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/document.h"
+
+/// \file
+/// Loading corpora from real directories of text files — the way the
+/// paper's corpora were actually stored ("reading independent files
+/// concurrently", §3.2) and the entry point for users with their own data.
+
+namespace hpa::text {
+
+/// Options for directory loading.
+struct DirectoryCorpusOptions {
+  /// Only files whose name ends with one of these are loaded; empty list
+  /// means every regular file.
+  std::vector<std::string> extensions = {".txt"};
+
+  /// Recurse into subdirectories.
+  bool recursive = true;
+
+  /// Skip files larger than this many bytes (0 = no limit).
+  uint64_t max_file_bytes = 0;
+};
+
+/// Reads every matching file under `dir` into a Corpus. Document names are
+/// the paths relative to `dir`; documents are ordered by name, so the
+/// corpus is deterministic regardless of directory-iteration order.
+/// Returns NotFound if `dir` does not exist and InvalidArgument if it is
+/// not a directory.
+StatusOr<Corpus> ReadCorpusFromDirectory(
+    const std::string& dir, const DirectoryCorpusOptions& options = {});
+
+}  // namespace hpa::text
+
+#endif  // HPA_TEXT_DIRECTORY_CORPUS_H_

@@ -1,0 +1,36 @@
+#ifndef HPA_TEXT_DOCUMENT_H_
+#define HPA_TEXT_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// In-memory corpus types shared by the text operators.
+
+namespace hpa::text {
+
+/// One text document.
+struct Document {
+  std::string name;
+  std::string body;
+};
+
+/// A set of documents, optionally labelled with a dataset name.
+struct Corpus {
+  std::string name;
+  std::vector<Document> docs;
+
+  size_t size() const { return docs.size(); }
+
+  /// Sum of body sizes in bytes.
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const Document& d : docs) total += d.body.size();
+    return total;
+  }
+};
+
+}  // namespace hpa::text
+
+#endif  // HPA_TEXT_DOCUMENT_H_

@@ -1,0 +1,312 @@
+#include "text/stemmer.h"
+
+#include <cstring>
+
+namespace hpa::text {
+
+namespace {
+
+/// Direct transcription of Porter's reference implementation (1980 paper /
+/// the author's public-domain C version), operating on b[0..k].
+class PorterContext {
+ public:
+  explicit PorterContext(std::string& b)
+      : b_(b), k_(static_cast<int>(b.size()) - 1), j_(0) {}
+
+  /// Runs all steps; returns the stemmed length.
+  int Stem() {
+    if (k_ <= 1) return k_ + 1;  // words of length <= 2 are left alone
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return k_ + 1;
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// Measure: number of consonant-vowel sequences in b[0..j].
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int j) const {
+    if (j < 1) return false;
+    if (b_[static_cast<size_t>(j)] != b_[static_cast<size_t>(j - 1)]) {
+      return false;
+    }
+    return IsConsonant(j);
+  }
+
+  /// consonant-vowel-consonant ending where the final consonant is not
+  /// w, x or y (used to detect e.g. cav(e), lov(e), hop(e)).
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) ||
+        !IsConsonant(i - 2)) {
+      return false;
+    }
+    char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool Ends(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    if (len > k_ + 1) return false;
+    if (std::memcmp(b_.data() + k_ - len + 1, s,
+                    static_cast<size_t>(len)) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    b_.replace(static_cast<size_t>(j_ + 1), static_cast<size_t>(k_ - j_), s,
+               static_cast<size_t>(len));
+    k_ = j_ + len;
+  }
+
+  void ReplaceIfMeasure(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  // Step 1ab: plurals and -ed / -ing.
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char ch = b_[static_cast<size_t>(k_)];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: terminal y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  // Step 2: double suffixes -> single ones (when m > 0).
+  void Step2() {
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfMeasure("ate"); break; }
+        if (Ends("tional")) { ReplaceIfMeasure("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfMeasure("ence"); break; }
+        if (Ends("anci")) { ReplaceIfMeasure("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfMeasure("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfMeasure("ble"); break; }
+        if (Ends("alli")) { ReplaceIfMeasure("al"); break; }
+        if (Ends("entli")) { ReplaceIfMeasure("ent"); break; }
+        if (Ends("eli")) { ReplaceIfMeasure("e"); break; }
+        if (Ends("ousli")) { ReplaceIfMeasure("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfMeasure("ize"); break; }
+        if (Ends("ation")) { ReplaceIfMeasure("ate"); break; }
+        if (Ends("ator")) { ReplaceIfMeasure("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfMeasure("al"); break; }
+        if (Ends("iveness")) { ReplaceIfMeasure("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfMeasure("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfMeasure("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfMeasure("al"); break; }
+        if (Ends("iviti")) { ReplaceIfMeasure("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfMeasure("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfMeasure("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -ic-, -full, -ness etc.
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfMeasure("ic"); break; }
+        if (Ends("ative")) { ReplaceIfMeasure(""); break; }
+        if (Ends("alize")) { ReplaceIfMeasure("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfMeasure("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfMeasure("ic"); break; }
+        if (Ends("ful")) { ReplaceIfMeasure(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfMeasure(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: strip -ant, -ence etc. when m > 1.
+  void Step4() {
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;  // takes care of -ous
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  // Step 5: remove final -e and reduce -ll when m > 1.
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int a = Measure();
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_) &&
+        Measure() > 1) {
+      --k_;
+    }
+  }
+
+  std::string& b_;
+  int k_;
+  int j_;
+};
+
+}  // namespace
+
+std::string_view PorterStem(std::string& buffer) {
+  PorterContext ctx(buffer);
+  int len = ctx.Stem();
+  return std::string_view(buffer).substr(0, static_cast<size_t>(len));
+}
+
+std::string PorterStemCopy(std::string_view word) {
+  std::string buffer(word);
+  return std::string(PorterStem(buffer));
+}
+
+}  // namespace hpa::text

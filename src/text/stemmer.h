@@ -1,0 +1,34 @@
+#ifndef HPA_TEXT_STEMMER_H_
+#define HPA_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+/// \file
+/// Porter stemmer (M.F. Porter, "An algorithm for suffix stripping",
+/// Program 14(3), 1980) — the classic preprocessing step between
+/// tokenization and term counting in TF/IDF pipelines. Stemming folds
+/// inflected forms ("connection", "connections", "connected") onto one
+/// term, shrinking the dictionary the §3.4 experiments are all about.
+///
+/// This is the original 1980 algorithm (not Porter2/Snowball), operating
+/// on lowercase ASCII words.
+
+namespace hpa::text {
+
+/// Stems `word` (lowercase ASCII letters only) in place in `buffer`.
+/// Returns a view of the stemmed prefix of `buffer`. Words shorter than
+/// 3 characters are returned unchanged, per the algorithm.
+///
+/// \code
+///   std::string buf(token);
+///   std::string_view stem = PorterStem(buf);
+/// \endcode
+std::string_view PorterStem(std::string& buffer);
+
+/// Convenience copy form.
+std::string PorterStemCopy(std::string_view word);
+
+}  // namespace hpa::text
+
+#endif  // HPA_TEXT_STEMMER_H_

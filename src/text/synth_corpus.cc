@@ -1,0 +1,150 @@
+#include "text/synth_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace hpa::text {
+
+CorpusProfile CorpusProfile::Mix() {
+  CorpusProfile p;
+  p.name = "Mix";
+  p.num_documents = 23432;
+  p.target_bytes = 65866956;  // 62.8 MiB
+  p.target_distinct_words = 184743;
+  p.seed = 0x4D495831;  // "MIX1"
+  return p;
+}
+
+CorpusProfile CorpusProfile::NsfAbstracts() {
+  CorpusProfile p;
+  p.name = "NSF Abstracts";
+  p.num_documents = 101483;
+  p.target_bytes = 326004736;  // 310.9 MiB
+  p.target_distinct_words = 267914;
+  p.seed = 0x4E534631;  // "NSF1"
+  return p;
+}
+
+CorpusProfile CorpusProfile::Scaled(double factor,
+                                    double vocab_exponent) const {
+  if (factor >= 1.0) return *this;
+  CorpusProfile p = *this;
+  auto scale = [](uint64_t v, double f, uint64_t floor_value) {
+    uint64_t scaled = static_cast<uint64_t>(static_cast<double>(v) * f);
+    return scaled < floor_value ? floor_value : scaled;
+  };
+  p.num_documents = scale(num_documents, factor, 10);
+  p.target_bytes = scale(target_bytes, factor, 10000);
+  p.target_distinct_words = scale(target_distinct_words,
+                                  std::pow(factor, vocab_exponent), 100);
+  p.name = name + StrFormat(" (x%.3g)", factor);
+  return p;
+}
+
+SynthCorpusGenerator::SynthCorpusGenerator(CorpusProfile profile)
+    : profile_(std::move(profile)) {}
+
+std::string SynthCorpusGenerator::WordForRank(uint64_t rank) const {
+  // Prefix: 2-4 letters for the Zipf head (common words are short), 3-8
+  // letters for the tail, drawn from a rank-seeded generator.
+  SplitMix64 sm(profile_.seed ^ (rank * 0x9E3779B97F4A7C15ULL + 1));
+  uint64_t bits = sm.Next();
+  size_t prefix_len =
+      rank < 128 ? 2 + bits % 3 : 3 + bits % 6;
+  std::string word;
+  word.reserve(prefix_len + 5);
+  for (size_t i = 0; i < prefix_len; ++i) {
+    bits = sm.Next();
+    word += static_cast<char>('a' + bits % 26);
+  }
+  // Suffix: rank in base-26 guarantees uniqueness across ranks.
+  uint64_t r = rank;
+  do {
+    word += static_cast<char>('a' + r % 26);
+    r /= 26;
+  } while (r > 0);
+  return word;
+}
+
+Corpus SynthCorpusGenerator::Generate() const {
+  const uint64_t vocab = std::max<uint64_t>(1, profile_.target_distinct_words);
+  const uint64_t docs = std::max<uint64_t>(1, profile_.num_documents);
+
+  // Materialize the vocabulary once; token emission then only copies.
+  std::vector<std::string> words;
+  words.reserve(vocab);
+  for (uint64_t r = 0; r < vocab; ++r) words.push_back(WordForRank(r));
+
+  ZipfSampler zipf(vocab, profile_.zipf_skew);
+  Rng rng(profile_.seed);
+
+  // Calibrate expected bytes per token (word + separator) by sampling the
+  // Zipf distribution: frequent short words dominate token mass.
+  double sampled_len = 0.0;
+  const int kCalibration = 20000;
+  for (int i = 0; i < kCalibration; ++i) {
+    sampled_len += static_cast<double>(words[zipf.Sample(rng)].size());
+  }
+  double bytes_per_token = sampled_len / kCalibration + 1.0;
+
+  double mean_tokens_per_doc = static_cast<double>(profile_.target_bytes) /
+                               static_cast<double>(docs) / bytes_per_token;
+  if (mean_tokens_per_doc < 1.0) mean_tokens_per_doc = 1.0;
+  // Log-normal with mean m: mu = ln(m) - sigma^2/2.
+  double sigma = profile_.doc_length_sigma;
+  double mu = std::log(mean_tokens_per_doc) - sigma * sigma / 2.0;
+
+  Corpus corpus;
+  corpus.name = profile_.name;
+  corpus.docs.resize(docs);
+
+  std::vector<bool> seen(vocab, false);
+  uint64_t distinct_seen = 0;
+
+  for (uint64_t d = 0; d < docs; ++d) {
+    Document& doc = corpus.docs[d];
+    doc.name = StrFormat("doc_%06llu", static_cast<unsigned long long>(d));
+    uint64_t tokens =
+        static_cast<uint64_t>(std::max(1.0, rng.NextLogNormal(mu, sigma)));
+    doc.body.reserve(static_cast<size_t>(tokens * bytes_per_token) + 16);
+    uint64_t sentence_left = 8 + rng.NextBounded(12);
+    for (uint64_t t = 0; t < tokens; ++t) {
+      uint64_t rank = zipf.Sample(rng);
+      if (!seen[rank]) {
+        seen[rank] = true;
+        ++distinct_seen;
+      }
+      doc.body += words[rank];
+      if (--sentence_left == 0) {
+        doc.body += ".\n";
+        sentence_left = 8 + rng.NextBounded(12);
+      } else {
+        doc.body += ' ';
+      }
+    }
+  }
+
+  // Vocabulary sweep: inject each never-sampled rank once, spread across
+  // documents, so the corpus has exactly `vocab` distinct words. The tail
+  // mass this adds is negligible relative to the Zipf head.
+  uint64_t inject_doc = 0;
+  for (uint64_t r = 0; r < vocab; ++r) {
+    if (seen[r]) continue;
+    Document& doc = corpus.docs[inject_doc % docs];
+    doc.body += words[r];
+    doc.body += ' ';
+    ++inject_doc;
+  }
+  if (inject_doc > 0) {
+    HPA_LOG(kDebug, "corpus '%s': injected %llu tail words for coverage",
+            profile_.name.c_str(),
+            static_cast<unsigned long long>(inject_doc));
+  }
+
+  return corpus;
+}
+
+}  // namespace hpa::text

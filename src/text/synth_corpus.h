@@ -1,0 +1,84 @@
+#ifndef HPA_TEXT_SYNTH_CORPUS_H_
+#define HPA_TEXT_SYNTH_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "text/document.h"
+
+/// \file
+/// Synthetic corpus generation calibrated to the paper's Table 1.
+///
+/// The paper evaluates on two private-ish corpora ("Mix" and the NSF
+/// Research Award Abstracts); we substitute deterministic synthetic corpora
+/// whose *statistics* match Table 1 — document count, total bytes, distinct
+/// word count — with a Zipf-distributed vocabulary and log-normally
+/// distributed document lengths, which is what the operators' performance
+/// actually depends on (hash/tree dictionary sizes, tokens per document,
+/// sparse vector densities).
+
+namespace hpa::text {
+
+/// Statistical profile of a corpus to generate.
+struct CorpusProfile {
+  std::string name;
+  uint64_t num_documents = 0;
+  uint64_t target_bytes = 0;
+  uint64_t target_distinct_words = 0;
+
+  /// Zipf skew of word frequencies (natural language ≈ 1).
+  double zipf_skew = 1.05;
+
+  /// Log-normal sigma of document token counts.
+  double doc_length_sigma = 0.6;
+
+  /// Generation seed; same profile + seed => bit-identical corpus.
+  uint64_t seed = 0x48504131;
+
+  /// Table 1 row 1: Mix — 23,432 docs, 62.8 MB, 184,743 distinct words.
+  static CorpusProfile Mix();
+
+  /// Table 1 row 2: NSF Abstracts — 101,483 docs, 310.9 MB, 267,914
+  /// distinct words.
+  static CorpusProfile NsfAbstracts();
+
+  /// Profile scaled by `factor` in [0, 1]: documents and bytes scale
+  /// linearly, vocabulary by factor^vocab_exponent.
+  ///
+  /// `vocab_exponent = 1.0` (default) produces a *proportional miniature*
+  /// that preserves the documents:vocabulary ratio — the ratio the paper's
+  /// scalability shapes depend on (the serial centroid-merge and term-id
+  /// work grow with vocabulary while parallel work grows with documents).
+  /// `vocab_exponent ≈ 0.7` instead mimics Heaps'-law subsampling of a
+  /// real corpus (a smaller slice of NSF abstracts would genuinely have a
+  /// relatively larger vocabulary).
+  CorpusProfile Scaled(double factor, double vocab_exponent = 1.0) const;
+};
+
+/// Deterministic corpus generator for a profile.
+class SynthCorpusGenerator {
+ public:
+  explicit SynthCorpusGenerator(CorpusProfile profile);
+
+  /// Generates the whole corpus in memory. Guarantees:
+  ///  * exactly `num_documents` documents;
+  ///  * exactly `target_distinct_words` distinct tokens (rarely-sampled
+  ///    vocabulary ranks are injected once, preserving the Zipf head);
+  ///  * total bytes within a few percent of `target_bytes`.
+  Corpus Generate() const;
+
+  /// The word string for vocabulary rank `r` (rank 0 = most frequent).
+  /// Deterministic in (seed, rank); all ranks yield distinct words.
+  std::string WordForRank(uint64_t rank) const;
+
+  const CorpusProfile& profile() const { return profile_; }
+
+ private:
+  CorpusProfile profile_;
+};
+
+}  // namespace hpa::text
+
+#endif  // HPA_TEXT_SYNTH_CORPUS_H_

@@ -1,0 +1,11 @@
+#include "text/tokenizer.h"
+
+namespace hpa::text {
+
+size_t CountTokens(std::string_view body, const TokenizerOptions& options) {
+  size_t count = 0;
+  ForEachToken(body, options, [&](std::string_view) { ++count; });
+  return count;
+}
+
+}  // namespace hpa::text

@@ -1,0 +1,71 @@
+#ifndef HPA_TEXT_TOKENIZER_H_
+#define HPA_TEXT_TOKENIZER_H_
+
+#include <cstddef>
+#include <string_view>
+
+/// \file
+/// Zero-allocation ASCII tokenizer used by word count / TF-IDF. Tokens are
+/// maximal runs of ASCII letters, lowercased into a small stack buffer, so
+/// the tokenize-and-count hot loop performs no heap allocation per token
+/// (allocation only happens when a dictionary inserts a new word).
+
+namespace hpa::text {
+
+/// Tokenization parameters.
+struct TokenizerOptions {
+  /// Tokens shorter than this are skipped (noise like "a", "I").
+  size_t min_token_length = 1;
+
+  /// Tokens longer than this are truncated (defensive bound; natural
+  /// language rarely exceeds ~30 letters).
+  size_t max_token_length = 64;
+
+  /// Lowercase tokens (the paper's TF/IDF treats words case-insensitively).
+  bool lowercase = true;
+};
+
+/// Calls `fn(std::string_view token)` for every token in `body`. The
+/// string_view points into an internal stack buffer and is only valid for
+/// the duration of the call.
+template <typename Fn>
+void ForEachToken(std::string_view body, const TokenizerOptions& options,
+                  Fn fn) {
+  char buf[64];
+  const size_t max_len =
+      options.max_token_length < sizeof(buf) ? options.max_token_length
+                                             : sizeof(buf);
+  size_t len = 0;
+  for (size_t i = 0; i <= body.size(); ++i) {
+    unsigned char c = i < body.size() ? static_cast<unsigned char>(body[i])
+                                      : static_cast<unsigned char>(' ');
+    bool is_alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    if (is_alpha) {
+      if (len < max_len) {
+        char lower = static_cast<char>(c >= 'A' && c <= 'Z'
+                                           ? (options.lowercase ? c + 32 : c)
+                                           : c);
+        buf[len++] = lower;
+      }
+      // Letters beyond max_len are dropped (truncation).
+    } else if (len > 0) {
+      if (len >= options.min_token_length) {
+        fn(std::string_view(buf, len));
+      }
+      len = 0;
+    }
+  }
+}
+
+/// Convenience overload with default options.
+template <typename Fn>
+void ForEachToken(std::string_view body, Fn fn) {
+  ForEachToken(body, TokenizerOptions{}, fn);
+}
+
+/// Counts tokens in `body` under `options`.
+size_t CountTokens(std::string_view body, const TokenizerOptions& options);
+
+}  // namespace hpa::text
+
+#endif  // HPA_TEXT_TOKENIZER_H_

@@ -1,0 +1,24 @@
+#include "text/vocab_stats.h"
+
+#include "containers/open_hash_map.h"
+
+namespace hpa::text {
+
+CorpusStats ComputeStats(const Corpus& corpus,
+                         const TokenizerOptions& options) {
+  CorpusStats stats;
+  stats.name = corpus.name;
+  stats.documents = corpus.size();
+  stats.bytes = corpus.TotalBytes();
+  containers::OpenHashMap<std::string, uint32_t> vocab(1 << 16);
+  for (const Document& doc : corpus.docs) {
+    ForEachToken(doc.body, options, [&](std::string_view token) {
+      ++stats.total_tokens;
+      vocab.FindOrInsert(token) += 1;
+    });
+  }
+  stats.distinct_words = vocab.size();
+  return stats;
+}
+
+}  // namespace hpa::text

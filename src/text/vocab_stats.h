@@ -1,0 +1,31 @@
+#ifndef HPA_TEXT_VOCAB_STATS_H_
+#define HPA_TEXT_VOCAB_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "text/document.h"
+#include "text/tokenizer.h"
+
+/// \file
+/// Corpus statistics — the numbers reported in the paper's Table 1.
+
+namespace hpa::text {
+
+/// One Table-1 row.
+struct CorpusStats {
+  std::string name;
+  uint64_t documents = 0;
+  uint64_t bytes = 0;
+  uint64_t distinct_words = 0;
+  uint64_t total_tokens = 0;
+};
+
+/// Computes document count, byte size, distinct-word count and token count
+/// for `corpus` under `options`.
+CorpusStats ComputeStats(const Corpus& corpus,
+                         const TokenizerOptions& options = {});
+
+}  // namespace hpa::text
+
+#endif  // HPA_TEXT_VOCAB_STATS_H_

@@ -1,0 +1,193 @@
+#include "io/arff.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/file_io.h"
+#include "parallel/simulated_executor.h"
+
+namespace hpa::io {
+namespace {
+
+class ArffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("hpa_arff_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    disk_ = std::make_unique<SimDisk>(DiskOptions::LocalHdd(), dir_, nullptr);
+  }
+  void TearDown() override { RemoveDirRecursive(dir_); }
+
+  containers::SparseMatrix MakeMatrix() {
+    containers::SparseMatrix m;
+    m.num_cols = 5;
+    m.rows.push_back(
+        containers::SparseVector::FromPairs({{0, 1.5f}, {3, 0.25f}}));
+    m.rows.push_back(containers::SparseVector::FromPairs({}));
+    m.rows.push_back(
+        containers::SparseVector::FromPairs({{1, -2.0f}, {4, 1e-3f}}));
+    return m;
+  }
+
+  std::string dir_;
+  std::unique_ptr<SimDisk> disk_;
+};
+
+TEST_F(ArffTest, RoundTripPreservesEverything) {
+  auto matrix = MakeMatrix();
+  std::vector<std::string> attrs = {"alpha", "beta", "gamma", "delta", "eps"};
+  ASSERT_TRUE(
+      WriteSparseArff(disk_.get(), "t.arff", "tfidf", attrs, matrix).ok());
+
+  auto rel = ReadSparseArff(disk_.get(), "t.arff");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->relation_name, "tfidf");
+  EXPECT_EQ(rel->attributes, attrs);
+  EXPECT_EQ(rel->data.num_cols, 5u);
+  ASSERT_EQ(rel->data.num_rows(), 3u);
+  EXPECT_EQ(rel->data.rows[0].nnz(), 2u);
+  EXPECT_FLOAT_EQ(rel->data.rows[0].ValueOf(0), 1.5f);
+  EXPECT_FLOAT_EQ(rel->data.rows[0].ValueOf(3), 0.25f);
+  EXPECT_TRUE(rel->data.rows[1].empty());
+  EXPECT_FLOAT_EQ(rel->data.rows[2].ValueOf(1), -2.0f);
+  EXPECT_NEAR(rel->data.rows[2].ValueOf(4), 1e-3f, 1e-9);
+}
+
+TEST_F(ArffTest, WriterRejectsAttributeCountMismatch) {
+  auto matrix = MakeMatrix();
+  std::vector<std::string> attrs = {"only", "two"};
+  EXPECT_EQ(
+      WriteSparseArff(disk_.get(), "t.arff", "r", attrs, matrix).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(ArffTest, ParserAcceptsCommentsBlanksAndCase) {
+  ASSERT_TRUE(disk_
+                  ->WriteFile("m.arff",
+                              "% a comment\n"
+                              "\n"
+                              "@RELATION demo\n"
+                              "@ATTRIBUTE a NUMERIC\n"
+                              "@attribute b real\n"
+                              "@DATA\n"
+                              "{0 1, 1 2}\n"
+                              "  {}  \n")
+                  .ok());
+  auto rel = ReadSparseArff(disk_.get(), "m.arff");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->relation_name, "demo");
+  ASSERT_EQ(rel->data.num_rows(), 2u);
+  EXPECT_EQ(rel->data.rows[0].nnz(), 2u);
+  EXPECT_TRUE(rel->data.rows[1].empty());
+}
+
+TEST_F(ArffTest, ParserRejectsMissingData) {
+  ASSERT_TRUE(
+      disk_->WriteFile("h.arff", "@relation x\n@attribute a numeric\n").ok());
+  EXPECT_EQ(ReadSparseArff(disk_.get(), "h.arff").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(ArffTest, ParserRejectsOutOfRangeIndex) {
+  ASSERT_TRUE(disk_
+                  ->WriteFile("o.arff",
+                              "@relation x\n@attribute a numeric\n@data\n"
+                              "{5 1.0}\n")
+                  .ok());
+  EXPECT_EQ(ReadSparseArff(disk_.get(), "o.arff").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(ArffTest, ParserRejectsUnsortedIndices) {
+  ASSERT_TRUE(disk_
+                  ->WriteFile("u.arff",
+                              "@relation x\n@attribute a numeric\n"
+                              "@attribute b numeric\n@data\n"
+                              "{1 1.0, 0 2.0}\n")
+                  .ok());
+  EXPECT_EQ(ReadSparseArff(disk_.get(), "u.arff").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(ArffTest, ParserRejectsMalformedRow) {
+  ASSERT_TRUE(disk_
+                  ->WriteFile("b.arff",
+                              "@relation x\n@attribute a numeric\n@data\n"
+                              "0 1.0\n")
+                  .ok());
+  EXPECT_EQ(ReadSparseArff(disk_.get(), "b.arff").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(ArffTest, ParserRejectsNonNumericAttributes) {
+  ASSERT_TRUE(disk_
+                  ->WriteFile("s.arff",
+                              "@relation x\n@attribute a string\n@data\n")
+                  .ok());
+  EXPECT_EQ(ReadSparseArff(disk_.get(), "s.arff").status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(ArffTest, ParserRejectsGarbageValue) {
+  ASSERT_TRUE(disk_
+                  ->WriteFile("g.arff",
+                              "@relation x\n@attribute a numeric\n@data\n"
+                              "{0 banana}\n")
+                  .ok());
+  EXPECT_EQ(ReadSparseArff(disk_.get(), "g.arff").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(ArffTest, WriteChargesSimulatedTime) {
+  parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+  DiskOptions slow;
+  slow.bandwidth_bytes_per_sec = 1000.0;
+  slow.latency_sec = 0.0;
+  SimDisk disk(slow, dir_, &exec);
+  auto matrix = MakeMatrix();
+  std::vector<std::string> attrs = {"a", "b", "c", "d", "e"};
+  ASSERT_TRUE(WriteSparseArff(&disk, "slow.arff", "r", attrs, matrix).ok());
+  auto size = disk.FileSize("slow.arff");
+  ASSERT_TRUE(size.ok());
+  EXPECT_NEAR(exec.Now(), static_cast<double>(*size) / 1000.0, 0.05);
+}
+
+TEST_F(ArffTest, LargeMatrixRoundTrip) {
+  containers::SparseMatrix m;
+  m.num_cols = 1000;
+  for (int r = 0; r < 500; ++r) {
+    std::vector<std::pair<uint32_t, float>> entries;
+    for (int k = 0; k < 20; ++k) {
+      entries.push_back({static_cast<uint32_t>((r * 37 + k * 53) % 1000),
+                         static_cast<float>(r + k) / 7.0f});
+    }
+    // Deduplicate ids for this row.
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [](const auto& a, const auto& b) {
+                                return a.first == b.first;
+                              }),
+                  entries.end());
+    m.rows.push_back(containers::SparseVector::FromPairs(std::move(entries)));
+  }
+  std::vector<std::string> attrs;
+  for (int i = 0; i < 1000; ++i) attrs.push_back("t" + std::to_string(i));
+  ASSERT_TRUE(WriteSparseArff(disk_.get(), "big.arff", "big", attrs, m).ok());
+  auto rel = ReadSparseArff(disk_.get(), "big.arff");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->data.num_rows(), 500u);
+  // Values survive the text round-trip to float precision.
+  for (size_t r = 0; r < 500; r += 97) {
+    EXPECT_EQ(rel->data.rows[r].nnz(), m.rows[r].nnz());
+    for (size_t i = 0; i < m.rows[r].nnz(); ++i) {
+      EXPECT_EQ(rel->data.rows[r].id_at(i), m.rows[r].id_at(i));
+      EXPECT_NEAR(rel->data.rows[r].value_at(i), m.rows[r].value_at(i),
+                  std::abs(m.rows[r].value_at(i)) * 1e-5 + 1e-7);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpa::io

@@ -1,0 +1,60 @@
+#include "text/corpus_io.h"
+
+#include <gtest/gtest.h>
+
+#include "io/file_io.h"
+#include "text/synth_corpus.h"
+
+namespace hpa::text {
+namespace {
+
+class CorpusIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_corpus_io_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    disk_ = std::make_unique<io::SimDisk>(io::DiskOptions::CorpusStore(),
+                                          dir_, nullptr);
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> disk_;
+};
+
+TEST_F(CorpusIoTest, RoundTripsGeneratedCorpus) {
+  CorpusProfile p;
+  p.name = "rt";
+  p.num_documents = 50;
+  p.target_bytes = 50000;
+  p.target_distinct_words = 500;
+  Corpus corpus = SynthCorpusGenerator(p).Generate();
+
+  ASSERT_TRUE(WriteCorpusPacked(corpus, disk_.get(), "c.pack").ok());
+  auto loaded = ReadCorpusPacked(disk_.get(), "c.pack", "rt");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  ASSERT_EQ(loaded->size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(loaded->docs[i].name, corpus.docs[i].name);
+    EXPECT_EQ(loaded->docs[i].body, corpus.docs[i].body);
+  }
+  EXPECT_EQ(loaded->TotalBytes(), corpus.TotalBytes());
+}
+
+TEST_F(CorpusIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCorpusPacked(disk_.get(), "absent.pack").ok());
+}
+
+TEST_F(CorpusIoTest, DefaultNameIsPath) {
+  Corpus empty;
+  ASSERT_TRUE(WriteCorpusPacked(empty, disk_.get(), "e.pack").ok());
+  auto loaded = ReadCorpusPacked(disk_.get(), "e.pack");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name, "e.pack");
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+}  // namespace
+}  // namespace hpa::text

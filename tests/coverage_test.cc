@@ -1,0 +1,111 @@
+// Odds-and-ends coverage: small API corners not exercised by the
+// module-focused suites.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "core/standard_ops.h"
+#include "core/workflow.h"
+#include "io/sim_disk.h"
+#include "parallel/executor.h"
+#include "parallel/simulated_executor.h"
+
+namespace hpa {
+namespace {
+
+TEST(AutoGrainTest, TargetsEightChunksPerWorker) {
+  parallel::SerialExecutor serial;
+  EXPECT_EQ(serial.AutoGrain(64), 8u);   // 1 worker -> 8 chunks
+  EXPECT_EQ(serial.AutoGrain(0), 1u);    // floor at 1
+  EXPECT_EQ(serial.AutoGrain(3), 1u);
+
+  parallel::SimulatedExecutor wide(16, parallel::MachineModel::Default());
+  // 16 workers -> ~128 chunks.
+  size_t grain = wide.AutoGrain(12800);
+  EXPECT_EQ(grain, 100u);
+}
+
+TEST(HumanDurationTest, NegativeDurations) {
+  EXPECT_EQ(HumanDuration(-2.0), "-2.00 s");
+}
+
+TEST(StatusContextTest, ChainsContexts) {
+  Status s = Status::IoError("disk");
+  Status wrapped = s.WithContext("reading").WithContext("workflow");
+  EXPECT_EQ(wrapped.message(), "workflow: reading: disk");
+}
+
+TEST(WorkflowMoveTest, MoveTransfersNodes) {
+  core::Workflow a;
+  a.AddSource(core::Dataset(core::CorpusRef{"x"}), "src");
+  core::Workflow b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.label(0), "src");
+}
+
+TEST(DiskOptionsTest, ProfilesAreDistinct) {
+  io::DiskOptions hdd = io::DiskOptions::LocalHdd();
+  io::DiskOptions store = io::DiskOptions::CorpusStore();
+  EXPECT_EQ(hdd.channels, 1);
+  EXPECT_GT(store.channels, 1);
+  EXPECT_GT(store.bandwidth_bytes_per_sec, hdd.bandwidth_bytes_per_sec);
+  EXPECT_LT(store.latency_sec, hdd.latency_sec);
+}
+
+TEST(BoundaryNameTest, BothValues) {
+  EXPECT_EQ(core::BoundaryName(core::Boundary::kFused), "fused");
+  EXPECT_EQ(core::BoundaryName(core::Boundary::kMaterialized),
+            "materialized");
+}
+
+TEST(OperatorArityTest, WrongInputCountsRejected) {
+  parallel::SerialExecutor exec;
+  ops::ExecContext ctx;
+  ctx.executor = &exec;
+  core::TfidfOperator tfidf;
+  core::Dataset d{core::CorpusRef{"x"}};
+  EXPECT_EQ(tfidf.Run(ctx, {}, core::Boundary::kFused).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tfidf.Run(ctx, {&d, &d}, core::Boundary::kFused).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ops::KMeansOptions kopts;
+  core::KMeansOperator kmeans(kopts);
+  EXPECT_EQ(kmeans.Run(ctx, {}, core::Boundary::kFused).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OperatorPreconditionTest, MissingDisksReported) {
+  parallel::SerialExecutor exec;
+  ops::ExecContext ctx;
+  ctx.executor = &exec;  // no disks attached
+  core::TfidfOperator tfidf;
+  core::Dataset corpus{core::CorpusRef{"x"}};
+  EXPECT_EQ(
+      tfidf.Run(ctx, {&corpus}, core::Boundary::kFused).status().code(),
+      StatusCode::kFailedPrecondition);
+
+  ops::KMeansOptions kopts;
+  core::KMeansOperator kmeans(kopts);
+  core::Dataset arff{core::ArffRef{"t.arff"}};
+  EXPECT_EQ(
+      kmeans.Run(ctx, {&arff}, core::Boundary::kFused).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(SimulatedExecutorStatsTest, TotalsAccumulateByCategory) {
+  parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+  exec.RunSerial(parallel::WorkHint{}, [] {});
+  exec.ParallelFor(0, 8, 1, parallel::WorkHint{}, [](int, size_t, size_t) {});
+  exec.ChargeIoTime(0.25, 2);
+  EXPECT_GT(exec.total_serial_seconds(), 0.0);
+  EXPECT_GT(exec.total_parallel_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(exec.total_io_seconds(), 0.25);
+  EXPECT_EQ(exec.machine_model().spawn_overhead_sec,
+            parallel::MachineModel::Default().spawn_overhead_sec);
+}
+
+}  // namespace
+}  // namespace hpa

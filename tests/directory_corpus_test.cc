@@ -1,0 +1,87 @@
+#include "text/directory_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "io/file_io.h"
+
+namespace hpa::text {
+namespace {
+
+class DirectoryCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_dir_corpus_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    ASSERT_TRUE(io::MakeDirs(dir_ + "/sub").ok());
+    ASSERT_TRUE(io::WriteWholeFile(dir_ + "/b.txt", "bravo body").ok());
+    ASSERT_TRUE(io::WriteWholeFile(dir_ + "/a.txt", "alpha body").ok());
+    ASSERT_TRUE(io::WriteWholeFile(dir_ + "/notes.md", "markdown").ok());
+    ASSERT_TRUE(io::WriteWholeFile(dir_ + "/sub/c.txt", "charlie").ok());
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(DirectoryCorpusTest, LoadsTxtFilesSortedByName) {
+  auto corpus = ReadCorpusFromDirectory(dir_);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ASSERT_EQ(corpus->size(), 3u);
+  EXPECT_EQ(corpus->docs[0].name, "a.txt");
+  EXPECT_EQ(corpus->docs[0].body, "alpha body");
+  EXPECT_EQ(corpus->docs[1].name, "b.txt");
+  EXPECT_EQ(corpus->docs[2].name, "sub/c.txt");
+}
+
+TEST_F(DirectoryCorpusTest, NonRecursiveSkipsSubdirectories) {
+  DirectoryCorpusOptions opts;
+  opts.recursive = false;
+  auto corpus = ReadCorpusFromDirectory(dir_, opts);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->size(), 2u);
+}
+
+TEST_F(DirectoryCorpusTest, ExtensionFilter) {
+  DirectoryCorpusOptions opts;
+  opts.extensions = {".md"};
+  auto corpus = ReadCorpusFromDirectory(dir_, opts);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_EQ(corpus->size(), 1u);
+  EXPECT_EQ(corpus->docs[0].name, "notes.md");
+
+  opts.extensions = {};
+  auto all = ReadCorpusFromDirectory(dir_, opts);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 4u);  // every regular file
+}
+
+TEST_F(DirectoryCorpusTest, MaxFileBytesSkipsLargeFiles) {
+  ASSERT_TRUE(
+      io::WriteWholeFile(dir_ + "/huge.txt", std::string(10000, 'x')).ok());
+  DirectoryCorpusOptions opts;
+  opts.max_file_bytes = 100;
+  auto corpus = ReadCorpusFromDirectory(dir_, opts);
+  ASSERT_TRUE(corpus.ok());
+  for (const Document& d : corpus->docs) EXPECT_NE(d.name, "huge.txt");
+}
+
+TEST_F(DirectoryCorpusTest, MissingDirectoryIsNotFound) {
+  EXPECT_EQ(ReadCorpusFromDirectory(dir_ + "/absent").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DirectoryCorpusTest, FileInsteadOfDirectoryRejected) {
+  EXPECT_EQ(ReadCorpusFromDirectory(dir_ + "/a.txt").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DirectoryCorpusTest, EmptyDirectoryYieldsEmptyCorpus) {
+  ASSERT_TRUE(io::MakeDirs(dir_ + "/empty").ok());
+  auto corpus = ReadCorpusFromDirectory(dir_ + "/empty");
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->size(), 0u);
+}
+
+}  // namespace
+}  // namespace hpa::text

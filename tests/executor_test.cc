@@ -1,0 +1,340 @@
+#include "parallel/executor.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+
+#include "parallel/parallel_ops.h"
+#include "parallel/simulated_executor.h"
+#include "parallel/thread_pool.h"
+
+namespace hpa::parallel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cross-executor behaviour: every executor must compute identical results.
+// ---------------------------------------------------------------------------
+
+struct ExecutorParam {
+  std::string kind;
+  int workers;
+};
+
+class AllExecutorsTest : public ::testing::TestWithParam<ExecutorParam> {
+ protected:
+  std::unique_ptr<Executor> Make() {
+    return MakeExecutor(GetParam().kind, GetParam().workers);
+  }
+};
+
+TEST_P(AllExecutorsTest, FactoryProducesRequestedKind) {
+  auto exec = Make();
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(exec->name(), GetParam().kind);
+}
+
+TEST_P(AllExecutorsTest, CoversWholeRangeExactlyOnce) {
+  auto exec = Make();
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> touched(n);
+  for (auto& t : touched) t.store(0);
+  exec->ParallelFor(0, n, 7, WorkHint{}, [&](int, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) touched[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(AllExecutorsTest, EmptyRangeIsNoop) {
+  auto exec = Make();
+  bool called = false;
+  exec->ParallelFor(5, 5, 1, WorkHint{},
+                    [&](int, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+  exec->ParallelFor(7, 3, 1, WorkHint{},
+                    [&](int, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_P(AllExecutorsTest, AutoGrainCoversRange) {
+  auto exec = Make();
+  const size_t n = 1003;  // not divisible by typical grain
+  std::atomic<size_t> count{0};
+  exec->ParallelFor(0, n, 0, WorkHint{}, [&](int, size_t b, size_t e) {
+    count.fetch_add(e - b);
+  });
+  EXPECT_EQ(count.load(), n);
+}
+
+TEST_P(AllExecutorsTest, WorkerIndicesAreInRange) {
+  auto exec = Make();
+  std::atomic<bool> bad{false};
+  exec->ParallelFor(0, 5000, 3, WorkHint{}, [&](int w, size_t, size_t) {
+    if (w < 0 || w >= exec->num_workers()) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST_P(AllExecutorsTest, ParallelReduceSumsCorrectly) {
+  auto exec = Make();
+  const size_t n = 20000;
+  std::vector<uint64_t> data(n);
+  std::iota(data.begin(), data.end(), 0);
+  uint64_t expected = n * (n - 1) / 2;
+
+  uint64_t total = ParallelReduce<uint64_t>(
+      *exec, 0, n, 0, WorkHint{},
+      [&](uint64_t& acc, size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) acc += data[i];
+      },
+      [](uint64_t& into, const uint64_t& from) { into += from; });
+  EXPECT_EQ(total, expected);
+}
+
+TEST_P(AllExecutorsTest, WorkerLocalSlotsAreRaceFree) {
+  auto exec = Make();
+  WorkerLocal<uint64_t> counts(*exec);
+  const size_t n = 50000;
+  exec->ParallelFor(0, n, 11, WorkHint{}, [&](int w, size_t b, size_t e) {
+    counts.Get(w) += e - b;
+  });
+  uint64_t total = 0;
+  counts.ForEach([&](uint64_t& c) { total += c; });
+  EXPECT_EQ(total, n);
+}
+
+TEST_P(AllExecutorsTest, RunSerialExecutesOnce) {
+  auto exec = Make();
+  int calls = 0;
+  exec->RunSerial(WorkHint{}, [&] { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_P(AllExecutorsTest, NowIsMonotone) {
+  auto exec = Make();
+  double t0 = exec->Now();
+  exec->ParallelFor(0, 1000, 10, WorkHint{}, [](int, size_t, size_t) {});
+  double t1 = exec->Now();
+  exec->ChargeIoTime(0.25, 1);
+  double t2 = exec->Now();
+  EXPECT_LE(t0, t1);
+  // Charged I/O must be visible in the clock in every executor.
+  EXPECT_GE(t2, t1 + 0.25 - 1e-9);
+}
+
+TEST_P(AllExecutorsTest, BackToBackLoopsWork) {
+  auto exec = Make();
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 20; ++round) {
+    exec->ParallelFor(0, 100, 9, WorkHint{}, [&](int, size_t b, size_t e) {
+      total.fetch_add(e - b);
+    });
+  }
+  EXPECT_EQ(total.load(), 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Executors, AllExecutorsTest,
+    ::testing::Values(ExecutorParam{"serial", 1}, ExecutorParam{"threads", 1},
+                      ExecutorParam{"threads", 2}, ExecutorParam{"threads", 4},
+                      ExecutorParam{"simulated", 1},
+                      ExecutorParam{"simulated", 4},
+                      ExecutorParam{"simulated", 16}),
+    [](const ::testing::TestParamInfo<ExecutorParam>& info) {
+      return info.param.kind + "_w" + std::to_string(info.param.workers);
+    });
+
+TEST(MakeExecutorTest, UnknownKindReturnsNull) {
+  EXPECT_EQ(MakeExecutor("gpu", 4), nullptr);
+}
+
+TEST(MakeExecutorTest, ClampsWorkerCount) {
+  auto exec = MakeExecutor("simulated", 0);
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(exec->num_workers(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPoolExecutor specifics.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, AllWorkersParticipateInLargeJobs) {
+  ThreadPoolExecutor exec(4);
+  std::mutex mu;
+  std::set<int> seen;
+  // Enough chunks with some work each that all 4 workers should wake up.
+  exec.ParallelFor(0, 4000, 1, WorkHint{}, [&](int w, size_t, size_t) {
+    volatile double x = 1.0;
+    for (int i = 0; i < 2000; ++i) x = x * 1.0000001;
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(w);
+  });
+  EXPECT_GE(seen.size(), 2u);  // scheduling-dependent, but >1 on any host
+  for (int w : seen) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 4);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  for (int i = 0; i < 10; ++i) {
+    ThreadPoolExecutor exec(3);
+    std::atomic<int> n{0};
+    exec.ParallelFor(0, 100, 5, WorkHint{},
+                     [&](int, size_t b, size_t e) { n += int(e - b); });
+    EXPECT_EQ(n.load(), 100);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedExecutor virtual-time model.
+// ---------------------------------------------------------------------------
+
+// Spins for roughly `seconds` of wall time to give the simulator something
+// measurable.
+void Spin(double seconds) {
+  hpa::WallTimer t;
+  volatile double x = 1.0;
+  while (t.ElapsedSeconds() < seconds) x = x * 1.0000001;
+}
+
+TEST(SimulatedExecutorTest, SerialRegionAdvancesClockByDuration) {
+  SimulatedExecutor exec(8, MachineModel::Default());
+  exec.RunSerial(WorkHint{}, [] { Spin(0.02); });
+  EXPECT_NEAR(exec.Now(), 0.02, 0.01);
+  EXPECT_NEAR(exec.total_serial_seconds(), 0.02, 0.01);
+}
+
+TEST(SimulatedExecutorTest, ParallelRegionScalesNearLinearly) {
+  // Uses generous chunk durations and bounds: the host core may be busy,
+  // and greedy scheduling of noisy chunk timings is only *near* balanced.
+  SimulatedExecutor exec1(1, MachineModel::Default());
+  SimulatedExecutor exec8(8, MachineModel::Default());
+  auto work = [](int, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) Spin(0.001);
+  };
+  exec1.ParallelFor(0, 64, 1, WorkHint{}, work);
+  exec8.ParallelFor(0, 64, 1, WorkHint{}, work);
+  double speedup = exec1.Now() / exec8.Now();
+  EXPECT_GT(speedup, 3.5);
+  EXPECT_LT(speedup, 10.0);
+}
+
+TEST(SimulatedExecutorTest, MakespanRespectsChunkGranularity) {
+  // 4 chunks on 8 workers: makespan = longest chunk, speedup capped at 4.
+  SimulatedExecutor exec(8, MachineModel::Default());
+  exec.ParallelFor(0, 4, 1, WorkHint{},
+                   [](int, size_t, size_t) { Spin(0.005); });
+  const auto& stats = exec.last_region();
+  EXPECT_EQ(stats.num_chunks, 4u);
+  // Loose bounds: the host core may be preempted mid-spin. The invariant
+  // is structural: with 4 chunks on 8 workers the makespan is the longest
+  // single chunk, i.e. well under the 4-chunk serial total.
+  EXPECT_GE(stats.makespan_seconds, 0.005 - 1e-4);
+  EXPECT_LE(stats.makespan_seconds, stats.serial_cpu_seconds / 2.0);
+  EXPECT_GE(stats.serial_cpu_seconds, 0.02 - 2e-4);
+}
+
+TEST(SimulatedExecutorTest, RooflineCapsBandwidthBoundRegions) {
+  MachineModel model;
+  model.mem_bandwidth_bytes_per_sec = 1e9;  // tiny ceiling to force the bound
+  model.per_worker_bandwidth_fraction = 1.0;
+  SimulatedExecutor exec(16, model);
+  WorkHint hint;
+  hint.bytes_touched = 1'000'000'000;  // 1 GB -> 1 s at the ceiling
+  exec.ParallelFor(0, 64, 1, hint,
+                   [](int, size_t, size_t) { Spin(0.002); });
+  const auto& stats = exec.last_region();
+  // 64 chunks x 2ms = 128ms serial; 16 workers => 8ms makespan, but the
+  // bandwidth term is min(1s, serial_cpu) = 128ms, so the region is
+  // bandwidth-bound at the serial time.
+  EXPECT_TRUE(stats.bandwidth_bound);
+  EXPECT_NEAR(stats.charged_seconds, stats.serial_cpu_seconds, 0.02);
+}
+
+TEST(SimulatedExecutorTest, RooflineNeverPenalizesSingleWorker) {
+  MachineModel model;
+  model.mem_bandwidth_bytes_per_sec = 1.0;  // absurdly low
+  SimulatedExecutor exec(1, model);
+  WorkHint hint;
+  hint.bytes_touched = 1'000'000'000;
+  exec.ParallelFor(0, 16, 1, hint, [](int, size_t, size_t) { Spin(0.001); });
+  const auto& stats = exec.last_region();
+  // Clamped to serial CPU time: a 1-worker run is its own measurement.
+  EXPECT_LE(stats.charged_seconds, stats.serial_cpu_seconds * 1.5 + 0.01);
+}
+
+TEST(SimulatedExecutorTest, IoChargedInsideParallelRegionOverlaps) {
+  SimulatedExecutor exec(8, MachineModel::Default());
+  // 8 chunks each charging 10ms of I/O on a 8-channel device: overlaps to
+  // ~10ms, not 80ms.
+  exec.ParallelFor(0, 8, 1, WorkHint{}, [&](int, size_t, size_t) {
+    exec.ChargeIoTime(0.010, 8);
+  });
+  EXPECT_LT(exec.Now(), 0.03);
+  EXPECT_GE(exec.Now(), 0.010 - 1e-6);
+}
+
+TEST(SimulatedExecutorTest, IoSerializesOnSingleChannelDevice) {
+  SimulatedExecutor exec(8, MachineModel::Default());
+  exec.ParallelFor(0, 8, 1, WorkHint{}, [&](int, size_t, size_t) {
+    exec.ChargeIoTime(0.010, 1);
+  });
+  // Device capacity bound: 8 x 10ms / 1 channel = 80ms.
+  EXPECT_GE(exec.Now(), 0.080 - 1e-6);
+}
+
+TEST(SimulatedExecutorTest, SerialIoAddsDirectly) {
+  SimulatedExecutor exec(8, MachineModel::Default());
+  exec.RunSerial(WorkHint{}, [&] { exec.ChargeIoTime(0.05, 4); });
+  EXPECT_GE(exec.Now(), 0.05 - 1e-9);
+}
+
+TEST(SimulatedExecutorTest, IoOutsideRegionsAdvancesClock) {
+  SimulatedExecutor exec(4, MachineModel::Default());
+  exec.ChargeIoTime(0.5, 2);
+  EXPECT_DOUBLE_EQ(exec.Now(), 0.5);
+  EXPECT_DOUBLE_EQ(exec.total_io_seconds(), 0.5);
+}
+
+TEST(SimulatedExecutorTest, SpawnOverheadChargedPerChunk) {
+  MachineModel model;
+  model.spawn_overhead_sec = 0.001;  // exaggerated for visibility
+  SimulatedExecutor exec(1, model);
+  exec.ParallelFor(0, 100, 1, WorkHint{}, [](int, size_t, size_t) {});
+  // 100 chunks x 1ms overhead on one worker = 100ms of pure overhead.
+  EXPECT_GE(exec.Now(), 0.1 - 1e-6);
+}
+
+TEST(SimulatedExecutorTest, ResultsIdenticalToSerialExecution) {
+  SimulatedExecutor sim(16, MachineModel::Default());
+  SerialExecutor serial;
+  const size_t n = 10000;
+  std::vector<uint64_t> a(n), b(n);
+  auto body = [](std::vector<uint64_t>& out) {
+    return [&out](int, size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) out[i] = i * i + 1;
+    };
+  };
+  sim.ParallelFor(0, n, 13, WorkHint{}, body(a));
+  serial.ParallelFor(0, n, 13, WorkHint{}, body(b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(MachineModelTest, CalibrateProducesSaneOverhead) {
+  MachineModel m = MachineModel::Calibrate();
+  EXPECT_GT(m.spawn_overhead_sec, 0.0);
+  EXPECT_LT(m.spawn_overhead_sec, 1e-3);  // well under a millisecond
+}
+
+}  // namespace
+}  // namespace hpa::parallel

@@ -1,0 +1,121 @@
+#include "common/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hpa {
+namespace {
+
+// Builds a mutable argv from string literals for Parse().
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("prog"));
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+FlagSet MakeFlags() {
+  FlagSet flags("test", "flag parsing test");
+  flags.DefineString("name", "default", "a string");
+  flags.DefineInt("threads", 4, "an int");
+  flags.DefineDouble("scale", 0.1, "a double");
+  flags.DefineBool("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("threads"), 4);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale"), 0.1);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"--name=mix", "--threads=16", "--scale=1.0",
+                    "--verbose=true"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetString("name"), "mix");
+  EXPECT_EQ(flags.GetInt("threads"), 16);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale"), 1.0);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"--threads", "8"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt("threads"), 8);
+}
+
+TEST(FlagsTest, BareBoolEnables) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"--verbose"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"--bogus=1"});
+  Status s = flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MalformedIntRejected) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"--threads=lots"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, MalformedBoolRejected) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"--verbose=maybe"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"--threads"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, HelpRequested) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"--help"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.Help().find("--threads"), std::string::npos);
+}
+
+TEST(FlagsTest, PositionalArgsCollected) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"input.txt", "--threads=2", "output.txt"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"--threads=-1", "--scale=-0.5"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt("threads"), -1);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale"), -0.5);
+}
+
+}  // namespace
+}  // namespace hpa

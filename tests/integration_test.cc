@@ -1,0 +1,211 @@
+// End-to-end integration tests: optimizer-planned workflow runs, failure
+// injection, and cross-layer consistency between the operator API and the
+// workflow API.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/standard_ops.h"
+#include "core/workflow_executor.h"
+#include "io/file_io.h"
+#include "io/packed_corpus.h"
+#include "ops/kmeans.h"
+#include "ops/tfidf.h"
+#include "parallel/simulated_executor.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
+#include "text/vocab_stats.h"
+
+namespace hpa {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_integration_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    corpus_disk_ = std::make_unique<io::SimDisk>(
+        io::DiskOptions::CorpusStore(), dir_, nullptr);
+    scratch_disk_ = std::make_unique<io::SimDisk>(io::DiskOptions::LocalHdd(),
+                                                  dir_, nullptr);
+
+    text::CorpusProfile profile;
+    profile.name = "integration";
+    profile.num_documents = 150;
+    profile.target_bytes = 120000;
+    profile.target_distinct_words = 1200;
+    corpus_ = text::SynthCorpusGenerator(profile).Generate();
+    ASSERT_TRUE(
+        text::WriteCorpusPacked(corpus_, corpus_disk_.get(), "c.pack").ok());
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  core::Workflow MakeWorkflow(int k = 4) {
+    core::Workflow wf;
+    int src = wf.AddSource(core::Dataset(core::CorpusRef{"c.pack"}),
+                           "corpus");
+    auto tfidf = wf.Add(std::make_unique<core::TfidfOperator>(), {src});
+    ops::KMeansOptions kopts;
+    kopts.k = k;
+    kopts.max_iterations = 10;
+    wf.Add(std::make_unique<core::KMeansOperator>(kopts), {*tfidf}).value();
+    return wf;
+  }
+
+  core::RunEnv Env(parallel::Executor* exec) {
+    corpus_disk_->set_executor(exec);
+    scratch_disk_->set_executor(exec);
+    core::RunEnv env;
+    env.executor = exec;
+    env.corpus_disk = corpus_disk_.get();
+    env.scratch_disk = scratch_disk_.get();
+    return env;
+  }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> corpus_disk_;
+  std::unique_ptr<io::SimDisk> scratch_disk_;
+  text::Corpus corpus_;
+};
+
+TEST_F(IntegrationTest, OptimizerPlannedWorkflowRunsEndToEnd) {
+  core::Workflow wf = MakeWorkflow();
+
+  text::CorpusStats stats = text::ComputeStats(corpus_);
+  core::WorkloadStats workload;
+  workload.documents = stats.documents;
+  workload.total_tokens = stats.total_tokens;
+  workload.distinct_words = stats.distinct_words;
+  workload.avg_distinct_per_doc =
+      static_cast<double>(stats.total_tokens) / stats.documents * 0.6;
+
+  core::CostModel model(parallel::MachineModel::Default(), workload);
+  core::OptimizerOptions oopts;
+  oopts.workers = 8;
+  core::ExecutionPlan plan = core::OptimizeWorkflow(wf, model, oopts);
+
+  parallel::SimulatedExecutor exec(plan.workers,
+                                   parallel::MachineModel::Default());
+  auto result = core::RunWorkflow(wf, plan, Env(&exec));
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Optimizer fused the interior edge (no ARFF intermediate on disk) and
+  // materialized the sink (CSV exists).
+  EXPECT_FALSE(scratch_disk_->Exists(core::TfidfOperator::kArffPath));
+  EXPECT_TRUE(scratch_disk_->Exists(core::KMeansOperator::kCsvPath));
+
+  // The final CSV names every document exactly once.
+  auto csv = scratch_disk_->ReadFile(core::KMeansOperator::kCsvPath);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(csv->begin(), csv->end(), '\n')),
+            corpus_.size() + 1);  // header + one row per doc
+}
+
+TEST_F(IntegrationTest, WorkflowMatchesDirectOperatorCalls) {
+  // The workflow layer must add nothing but orchestration: running the
+  // operators by hand yields the same clustering.
+  parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+  ops::ExecContext ctx;
+  ctx.executor = &exec;
+  ctx.corpus_disk = corpus_disk_.get();
+  ctx.scratch_disk = scratch_disk_.get();
+  ctx.dict_backend = containers::DictBackend::kOpenHash;
+  corpus_disk_->set_executor(&exec);
+  scratch_disk_->set_executor(&exec);
+
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "c.pack");
+  ASSERT_TRUE(reader.ok());
+  auto tfidf = ops::TfidfInMemory(ctx, *reader);
+  ASSERT_TRUE(tfidf.ok());
+  ops::KMeansOptions kopts;
+  kopts.k = 4;
+  kopts.max_iterations = 10;
+  auto direct = ops::SparseKMeans(ctx, tfidf->matrix, kopts);
+  ASSERT_TRUE(direct.ok());
+
+  core::Workflow wf = MakeWorkflow(4);
+  core::ExecutionPlan plan;
+  plan.workers = 4;
+  plan.nodes.resize(wf.size());
+  for (auto& np : plan.nodes) {
+    np.dict_backend = containers::DictBackend::kOpenHash;
+  }
+  parallel::SimulatedExecutor exec2(4, parallel::MachineModel::Default());
+  auto result = core::RunWorkflow(wf, plan, Env(&exec2));
+  ASSERT_TRUE(result.ok());
+  const auto* clustering =
+      std::get_if<core::Clustering>(&result->outputs[0]);
+  ASSERT_NE(clustering, nullptr);
+  EXPECT_EQ(clustering->kmeans.assignment, direct->assignment);
+}
+
+TEST_F(IntegrationTest, MissingCorpusFailsCleanly) {
+  core::Workflow wf;
+  int src = wf.AddSource(core::Dataset(core::CorpusRef{"nope.pack"}),
+                         "corpus");
+  wf.Add(std::make_unique<core::TfidfOperator>(), {src}).value();
+  parallel::SimulatedExecutor exec(2, parallel::MachineModel::Default());
+  core::ExecutionPlan plan;
+  plan.workers = 2;
+  plan.nodes.resize(wf.size());
+  auto result = core::RunWorkflow(wf, plan, Env(&exec));
+  ASSERT_FALSE(result.ok());
+  // Error context names the failing node.
+  EXPECT_NE(result.status().message().find("tfidf"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, CorruptArffIntermediateFailsCleanly) {
+  core::Workflow wf = MakeWorkflow();
+  parallel::SimulatedExecutor exec(2, parallel::MachineModel::Default());
+  core::ExecutionPlan plan;
+  plan.workers = 2;
+  plan.nodes.resize(wf.size());
+  plan.nodes[1].output_boundary = core::Boundary::kMaterialized;
+
+  // Sabotage: run TF/IDF first so the ARFF exists, then corrupt it and run
+  // the full discrete workflow with a poisoned scratch file. The workflow
+  // rewrites it, so instead corrupt between the two operators by running
+  // them separately.
+  ops::ExecContext ctx;
+  ctx.executor = &exec;
+  ctx.corpus_disk = corpus_disk_.get();
+  ctx.scratch_disk = scratch_disk_.get();
+  corpus_disk_->set_executor(&exec);
+  scratch_disk_->set_executor(&exec);
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "c.pack");
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(ops::TfidfToArff(ctx, *reader, "t.arff").ok());
+  ASSERT_TRUE(scratch_disk_->WriteFile("t.arff", "@relation x\ngarbage\n")
+                  .ok());
+  auto loaded = ops::ReadTfidfArff(ctx, "t.arff");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IntegrationTest, RepeatedRunsOnSameEnvAreIdentical) {
+  core::Workflow wf = MakeWorkflow();
+  core::ExecutionPlan plan;
+  plan.workers = 4;
+  plan.nodes.resize(wf.size());
+  plan.nodes[2].output_boundary = core::Boundary::kFused;
+
+  std::vector<uint32_t> first;
+  for (int round = 0; round < 3; ++round) {
+    parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+    auto result = core::RunWorkflow(wf, plan, Env(&exec));
+    ASSERT_TRUE(result.ok());
+    const auto* clustering =
+        std::get_if<core::Clustering>(&result->outputs[0]);
+    ASSERT_NE(clustering, nullptr);
+    if (round == 0) {
+      first = clustering->kmeans.assignment;
+    } else {
+      EXPECT_EQ(clustering->kmeans.assignment, first) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpa

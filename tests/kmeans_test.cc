@@ -1,0 +1,401 @@
+#include "ops/kmeans.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "io/file_io.h"
+#include "ops/dense_kmeans.h"
+#include "parallel/simulated_executor.h"
+#include "parallel/thread_pool.h"
+
+namespace hpa::ops {
+namespace {
+
+using containers::SparseMatrix;
+using containers::SparseVector;
+
+// Three well-separated clusters in a 9-dimensional space: docs 0-9 live on
+// dims {0,1,2}, docs 10-19 on {3,4,5}, docs 20-29 on {6,7,8}.
+SparseMatrix SeparatedClusters() {
+  SparseMatrix m;
+  m.num_cols = 9;
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 10; ++i) {
+      float a = 0.5f + 0.05f * static_cast<float>(i % 3);
+      float b = 0.5f - 0.03f * static_cast<float>(i % 4);
+      SparseVector v = SparseVector::FromPairs(
+          {{static_cast<uint32_t>(3 * g), a},
+           {static_cast<uint32_t>(3 * g + 1), b},
+           {static_cast<uint32_t>(3 * g + 2), 0.4f}});
+      v.NormalizeL2();
+      m.rows.push_back(std::move(v));
+    }
+  }
+  return m;
+}
+
+ExecContext Ctx(parallel::Executor* exec, PhaseTimer* phases = nullptr) {
+  ExecContext ctx;
+  ctx.executor = exec;
+  ctx.phases = phases;
+  return ctx;
+}
+
+TEST(SparseKMeansTest, RecoversSeparatedClusters) {
+  parallel::SerialExecutor exec;
+  PhaseTimer phases;
+  ExecContext ctx = Ctx(&exec, &phases);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 20;
+  auto result = SparseKMeans(ctx, m, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // All docs in one group share a label; groups have distinct labels.
+  std::set<uint32_t> labels;
+  for (int g = 0; g < 3; ++g) {
+    uint32_t label = result->assignment[static_cast<size_t>(10 * g)];
+    labels.insert(label);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(result->assignment[static_cast<size_t>(10 * g + i)], label)
+          << "doc " << 10 * g + i;
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_TRUE(result->converged);
+  EXPECT_GT(phases.Seconds("kmeans"), 0.0);
+}
+
+TEST(SparseKMeansTest, RejectsInvalidArguments) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+
+  opts.k = 0;
+  EXPECT_EQ(SparseKMeans(ctx, m, opts).status().code(),
+            StatusCode::kInvalidArgument);
+
+  opts.k = 1000;  // more clusters than rows
+  EXPECT_EQ(SparseKMeans(ctx, m, opts).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SparseMatrix empty;
+  opts.k = 2;
+  EXPECT_EQ(SparseKMeans(ctx, empty, opts).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SparseKMeansTest, RespectsIterationCap) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 1;
+  opts.stop_on_convergence = false;
+  auto result = SparseKMeans(ctx, m, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations, 1);
+  EXPECT_FALSE(result->converged);
+}
+
+TEST(SparseKMeansTest, DeterministicForSeed) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  auto a = SparseKMeans(ctx, m, opts);
+  auto b = SparseKMeans(ctx, m, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(SparseKMeansTest, SameClusteringAcrossExecutors) {
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 20;
+
+  parallel::SerialExecutor serial;
+  parallel::ThreadPoolExecutor threads(4);
+  parallel::SimulatedExecutor sim(8, parallel::MachineModel::Default());
+
+  ExecContext c1 = Ctx(&serial), c2 = Ctx(&threads), c3 = Ctx(&sim);
+  auto a = SparseKMeans(c1, m, opts);
+  auto b = SparseKMeans(c2, m, opts);
+  auto c = SparseKMeans(c3, m, opts);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  // Well-separated clusters: assignments must agree exactly.
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->assignment, c->assignment);
+  EXPECT_NEAR(a->inertia, b->inertia, 1e-9);
+  EXPECT_NEAR(a->inertia, c->inertia, 1e-9);
+}
+
+TEST(SparseKMeansTest, RecyclingDoesNotChangeResults) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.recycle_buffers = true;
+  auto recycled = SparseKMeans(ctx, m, opts);
+  opts.recycle_buffers = false;
+  auto fresh = SparseKMeans(ctx, m, opts);
+  ASSERT_TRUE(recycled.ok() && fresh.ok());
+  EXPECT_EQ(recycled->assignment, fresh->assignment);
+  EXPECT_NEAR(recycled->inertia, fresh->inertia, 1e-9);
+}
+
+TEST(SparseKMeansTest, InertiaDecreasesMonotonically) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.stop_on_convergence = false;
+  double prev = 1e300;
+  for (int iters = 1; iters <= 5; ++iters) {
+    opts.max_iterations = iters;
+    auto result = SparseKMeans(ctx, m, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev + 1e-9) << "at iteration " << iters;
+    prev = result->inertia;
+  }
+}
+
+TEST(SparseKMeansTest, InertiaHistoryIsNonIncreasing) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 10;
+  opts.stop_on_convergence = false;
+  auto result = SparseKMeans(ctx, m, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->inertia_history.size(),
+            static_cast<size_t>(result->iterations));
+  for (size_t i = 1; i < result->inertia_history.size(); ++i) {
+    EXPECT_LE(result->inertia_history[i],
+              result->inertia_history[i - 1] + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(result->inertia_history.back(), result->inertia);
+}
+
+TEST(SparseKMeansTest, SingleClusterAssignsEverything) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 1;
+  auto result = SparseKMeans(ctx, m, opts);
+  ASSERT_TRUE(result.ok());
+  for (uint32_t a : result->assignment) EXPECT_EQ(a, 0u);
+}
+
+TEST(KMeansPlusPlusTest, RecoversSeparatedClusters) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.init = KMeansInit::kPlusPlus;
+  opts.max_iterations = 20;
+  auto result = SparseKMeans(ctx, m, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::set<uint32_t> labels;
+  for (int g = 0; g < 3; ++g) {
+    uint32_t label = result->assignment[static_cast<size_t>(10 * g)];
+    labels.insert(label);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(result->assignment[static_cast<size_t>(10 * g + i)], label);
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeansPlusPlusTest, DeterministicForSeed) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.init = KMeansInit::kPlusPlus;
+  auto a = SparseKMeans(ctx, m, opts);
+  auto b = SparseKMeans(ctx, m, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(KMeansPlusPlusTest, HandlesUnequalClusterSizes) {
+  // 3 docs in a tiny cluster, 40 in a big one: ++ seeding must still find
+  // the small far-away cluster (stratified sampling can easily miss it).
+  SparseMatrix m;
+  m.num_cols = 6;
+  for (int i = 0; i < 3; ++i) {
+    auto v = SparseVector::FromPairs({{0, 1.0f}, {1, 0.2f * (i + 1)}});
+    v.NormalizeL2();
+    m.rows.push_back(std::move(v));
+  }
+  for (int i = 0; i < 40; ++i) {
+    auto v = SparseVector::FromPairs(
+        {{3, 1.0f}, {4, 0.1f + 0.01f * static_cast<float>(i % 5)}});
+    v.NormalizeL2();
+    m.rows.push_back(std::move(v));
+  }
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  KMeansOptions opts;
+  opts.k = 2;
+  opts.init = KMeansInit::kPlusPlus;
+  opts.max_iterations = 20;
+  auto result = SparseKMeans(ctx, m, opts);
+  ASSERT_TRUE(result.ok());
+  // The two groups must get different labels.
+  EXPECT_NE(result->assignment[0], result->assignment[10]);
+  EXPECT_EQ(result->assignment[0], result->assignment[2]);
+  EXPECT_EQ(result->assignment[10], result->assignment[42]);
+}
+
+TEST(KMeansPlusPlusTest, SameResultsAcrossExecutors) {
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.init = KMeansInit::kPlusPlus;
+  parallel::SerialExecutor serial;
+  parallel::SimulatedExecutor sim(8, parallel::MachineModel::Default());
+  ExecContext c1 = Ctx(&serial), c2 = Ctx(&sim);
+  auto a = SparseKMeans(c1, m, opts);
+  auto b = SparseKMeans(c2, m, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(MiniBatchKMeansTest, RecoversSeparatedClusters) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 60;  // batches
+  auto result = MiniBatchKMeans(ctx, m, opts, /*batch_size=*/8);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::set<uint32_t> labels;
+  for (int g = 0; g < 3; ++g) {
+    uint32_t label = result->assignment[static_cast<size_t>(10 * g)];
+    labels.insert(label);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(result->assignment[static_cast<size_t>(10 * g + i)], label);
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(MiniBatchKMeansTest, DeterministicForSeed) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 30;
+  auto a = MiniBatchKMeans(ctx, m, opts, 8);
+  auto b = MiniBatchKMeans(ctx, m, opts, 8);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(MiniBatchKMeansTest, RejectsInvalidArguments) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  EXPECT_FALSE(MiniBatchKMeans(ctx, m, opts, 0).ok());  // batch_size 0
+  opts.k = 0;
+  EXPECT_FALSE(MiniBatchKMeans(ctx, m, opts, 8).ok());
+  SparseMatrix empty;
+  opts.k = 2;
+  EXPECT_FALSE(MiniBatchKMeans(ctx, empty, opts, 8).ok());
+}
+
+TEST(MiniBatchKMeansTest, OversizedBatchClampsToFullData) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 40;
+  auto result = MiniBatchKMeans(ctx, m, opts, 100000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment.size(), m.num_rows());
+}
+
+TEST(MiniBatchKMeansTest, QualityApproachesFullLloyd) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 20;
+  auto lloyd = SparseKMeans(ctx, m, opts);
+  opts.max_iterations = 80;
+  auto mini = MiniBatchKMeans(ctx, m, opts, 10);
+  ASSERT_TRUE(lloyd.ok() && mini.ok());
+  // On well-separated clusters the stochastic variant lands within 2x of
+  // the Lloyd optimum (usually much closer).
+  EXPECT_LE(mini->inertia, lloyd->inertia * 2.0 + 1e-6);
+}
+
+TEST(DenseKMeansTest, AgreesWithSparseOnSeparatedClusters) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix m = SeparatedClusters();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 20;
+  auto sparse = SparseKMeans(ctx, m, opts);
+  auto dense = DenseKMeans(ctx, m, opts);
+  ASSERT_TRUE(sparse.ok() && dense.ok());
+  // Same seeding => same clustering on well-separated data. Inertia can
+  // differ slightly: sparse stores centroids as float, dense as double.
+  EXPECT_EQ(sparse->assignment, dense->assignment);
+  EXPECT_NEAR(sparse->inertia, dense->inertia, 1e-4);
+}
+
+TEST(DenseKMeansTest, RejectsInvalidArguments) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = Ctx(&exec);
+  SparseMatrix empty;
+  KMeansOptions opts;
+  EXPECT_FALSE(DenseKMeans(ctx, empty, opts).ok());
+}
+
+TEST(WriteAssignmentsCsvTest, WritesNamedRows) {
+  auto dir = io::MakeTempDir("hpa_kmeans_csv_");
+  ASSERT_TRUE(dir.ok());
+  io::SimDisk disk(io::DiskOptions::LocalHdd(), *dir, nullptr);
+  parallel::SerialExecutor exec;
+  PhaseTimer phases;
+  ExecContext ctx = Ctx(&exec, &phases);
+  ctx.scratch_disk = &disk;
+
+  ASSERT_TRUE(WriteAssignmentsCsv(ctx, {"a", "b"}, {1, 0, 2}, "out.csv").ok());
+  auto contents = disk.ReadFile("out.csv");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "document,cluster\na,1\nb,0\nrow_2,2\n");
+  EXPECT_GT(phases.Seconds("output"), 0.0);
+  ASSERT_TRUE(io::RemoveDirRecursive(*dir).ok());
+}
+
+}  // namespace
+}  // namespace hpa::ops

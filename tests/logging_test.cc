@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace hpa {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetMinLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, MessagesAtOrAboveMinLevelPrint) {
+  SetMinLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  HPA_LOG(kInfo, "count=%d", 42);
+  HPA_LOG(kWarning, "warned");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO] count=42"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] warned"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessagesBelowMinLevelSuppressed) {
+  SetMinLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  HPA_LOG(kDebug, "quiet");
+  HPA_LOG(kInfo, "quiet");
+  HPA_LOG(kWarning, "quiet");
+  HPA_LOG(kError, "loud");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("quiet"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] loud"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugLevelEnablesEverything) {
+  SetMinLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  HPA_LOG(kDebug, "visible");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[DEBUG] visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  HPA_CHECK(1 + 1 == 2, "math works");
+  // Reaching this line is the assertion.
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFailure) {
+  EXPECT_DEATH(HPA_CHECK(false, "doom %d", 7), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace hpa

@@ -1,0 +1,160 @@
+// Edge cases across the operator pipeline: empty documents, empty
+// vocabularies, degenerate cluster counts, prune-everything options.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "io/file_io.h"
+#include "io/packed_corpus.h"
+#include "ops/kmeans.h"
+#include "ops/tfidf.h"
+#include "parallel/executor.h"
+#include "text/corpus_io.h"
+
+namespace hpa::ops {
+namespace {
+
+class OpsEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_ops_edge_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    disk_ = std::make_unique<io::SimDisk>(io::DiskOptions::CorpusStore(),
+                                          dir_, nullptr);
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  StatusOr<TfidfResult> Fit(const text::Corpus& corpus,
+                            const TfidfOptions& options = {}) {
+    std::string rel = "edge_" + std::to_string(counter_++) + ".pack";
+    HPA_RETURN_IF_ERROR(text::WriteCorpusPacked(corpus, disk_.get(), rel));
+    HPA_ASSIGN_OR_RETURN(auto reader,
+                         io::PackedCorpusReader::Open(disk_.get(), rel));
+    ExecContext ctx;
+    ctx.executor = &exec_;
+    ctx.corpus_disk = disk_.get();
+    return TfidfInMemory(ctx, reader, options);
+  }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> disk_;
+  parallel::SerialExecutor exec_;
+  int counter_ = 0;
+};
+
+TEST_F(OpsEdgeTest, AllEmptyDocumentsYieldEmptyVocabulary) {
+  text::Corpus corpus;
+  corpus.docs = {{"a", ""}, {"b", "   \n\t"}, {"c", "123 456 !!!"}};
+  auto result = Fit(corpus);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->terms.size(), 0u);
+  EXPECT_EQ(result->matrix.num_cols, 0u);
+  EXPECT_EQ(result->matrix.num_rows(), 3u);
+  for (const auto& row : result->matrix.rows) EXPECT_TRUE(row.empty());
+}
+
+TEST_F(OpsEdgeTest, PruneEverythingLeavesEmptyRows) {
+  text::Corpus corpus;
+  corpus.docs = {{"a", "solo words only here"}, {"b", "other text body"}};
+  TfidfOptions options;
+  options.min_df = 99;  // nothing survives
+  auto result = Fit(corpus, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->terms.size(), 0u);
+  for (const auto& row : result->matrix.rows) EXPECT_TRUE(row.empty());
+}
+
+TEST_F(OpsEdgeTest, SingleDocumentCorpus) {
+  text::Corpus corpus;
+  corpus.docs = {{"only", "alpha beta alpha"}};
+  auto result = Fit(corpus);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->matrix.num_rows(), 1u);
+  // With N=1 every idf is ln(1/1)=0: the row is all-zero scores.
+  for (size_t i = 0; i < result->matrix.rows[0].nnz(); ++i) {
+    EXPECT_FLOAT_EQ(result->matrix.rows[0].value_at(i), 0.0f);
+  }
+}
+
+TEST_F(OpsEdgeTest, KMeansWithKEqualToRows) {
+  text::Corpus corpus;
+  corpus.docs = {{"a", "apple fruit"}, {"b", "motor car"},
+                 {"c", "green tree"}};
+  auto fitted = Fit(corpus);
+  ASSERT_TRUE(fitted.ok());
+
+  ExecContext ctx;
+  ctx.executor = &exec_;
+  KMeansOptions opts;
+  opts.k = 3;  // == rows
+  opts.max_iterations = 5;
+  auto result = SparseKMeans(ctx, fitted->matrix, opts);
+  ASSERT_TRUE(result.ok());
+  // Each doc its own cluster (disjoint vocabularies).
+  EXPECT_NE(result->assignment[0], result->assignment[1]);
+  EXPECT_NE(result->assignment[1], result->assignment[2]);
+  EXPECT_NE(result->assignment[0], result->assignment[2]);
+}
+
+TEST_F(OpsEdgeTest, KMeansOnZeroWidthMatrixStillAssigns) {
+  // All-empty rows (vocabulary pruned away): every distance is 0; all docs
+  // land in cluster 0 and the run converges without dividing by zero.
+  containers::SparseMatrix m;
+  m.num_cols = 0;
+  m.rows.resize(5);
+  ExecContext ctx;
+  ctx.executor = &exec_;
+  KMeansOptions opts;
+  opts.k = 2;
+  auto result = SparseKMeans(ctx, m, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment.size(), 5u);
+  for (uint32_t a : result->assignment) EXPECT_EQ(a, 0u);
+  EXPECT_DOUBLE_EQ(result->inertia, 0.0);
+}
+
+TEST_F(OpsEdgeTest, DiscreteArffHandlesEmptyVocabulary) {
+  text::Corpus corpus;
+  corpus.docs = {{"a", "123"}, {"b", "456"}};
+  std::string rel = "empty_vocab.pack";
+  ASSERT_TRUE(text::WriteCorpusPacked(corpus, disk_.get(), rel).ok());
+  auto reader = io::PackedCorpusReader::Open(disk_.get(), rel);
+  ASSERT_TRUE(reader.ok());
+
+  ExecContext ctx;
+  ctx.executor = &exec_;
+  ctx.corpus_disk = disk_.get();
+  ctx.scratch_disk = disk_.get();
+  ASSERT_TRUE(TfidfToArff(ctx, *reader, "ev.arff").ok());
+  auto loaded = ReadTfidfArff(ctx, "ev.arff");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_cols, 0u);
+  EXPECT_EQ(loaded->num_rows(), 2u);
+}
+
+TEST_F(OpsEdgeTest, DocumentsWithIdenticalContentClusterTogether) {
+  text::Corpus corpus;
+  for (int i = 0; i < 6; ++i) {
+    corpus.docs.push_back({"dup" + std::to_string(i),
+                           i < 3 ? "apple fruit sweet" : "motor car fast"});
+  }
+  auto fitted = Fit(corpus);
+  ASSERT_TRUE(fitted.ok());
+  ExecContext ctx;
+  ctx.executor = &exec_;
+  KMeansOptions opts;
+  opts.k = 2;
+  opts.max_iterations = 10;
+  auto result = SparseKMeans(ctx, fitted->matrix, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment[0], result->assignment[1]);
+  EXPECT_EQ(result->assignment[0], result->assignment[2]);
+  EXPECT_EQ(result->assignment[3], result->assignment[4]);
+  EXPECT_EQ(result->assignment[3], result->assignment[5]);
+  EXPECT_NE(result->assignment[0], result->assignment[3]);
+}
+
+}  // namespace
+}  // namespace hpa::ops

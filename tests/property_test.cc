@@ -1,0 +1,273 @@
+// Property-based tests: randomized inputs, library-wide invariants.
+// Each property runs over several seeds (TEST_P) so regressions surface
+// even when a single lucky seed would hide them.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "io/arff.h"
+#include "io/file_io.h"
+#include "io/packed_corpus.h"
+#include "ops/kmeans.h"
+#include "ops/tfidf.h"
+#include "parallel/simulated_executor.h"
+#include "parallel/thread_pool.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
+#include "text/tokenizer.h"
+#include "text/vocab_stats.h"
+
+namespace hpa {
+namespace {
+
+class SeededPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// ---------------------------------------------------------------------------
+// Tokenizer: matches a trivially-correct reference implementation on
+// arbitrary byte strings.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> ReferenceTokenize(const std::string& body,
+                                           size_t min_len) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : body) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+      current += static_cast<char>(
+          c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+    } else if (!current.empty()) {
+      if (current.size() >= min_len && current.size() <= 64) {
+        out.push_back(current.substr(0, 64));
+      } else if (current.size() > 64) {
+        out.push_back(current.substr(0, 64));
+      }
+      current.clear();
+    }
+  }
+  if (!current.empty() && current.size() >= min_len) {
+    out.push_back(current.substr(0, 64));
+  }
+  return out;
+}
+
+TEST_P(SeededPropertyTest, TokenizerMatchesReferenceOnRandomBytes) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::string body;
+    size_t len = rng.NextBounded(500);
+    for (size_t i = 0; i < len; ++i) {
+      body += static_cast<char>(rng.NextBounded(256));
+    }
+    std::vector<std::string> got;
+    text::ForEachToken(body, [&](std::string_view t) {
+      got.emplace_back(t);
+    });
+    EXPECT_EQ(got, ReferenceTokenize(body, 1)) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ARFF: write/parse round-trip preserves random sparse matrices exactly
+// (9-significant-digit text round-trip of floats).
+// ---------------------------------------------------------------------------
+
+containers::SparseMatrix RandomMatrix(Rng& rng, size_t max_rows,
+                                      uint32_t cols) {
+  containers::SparseMatrix m;
+  m.num_cols = cols;
+  size_t rows = rng.NextBounded(max_rows) + 1;
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::pair<uint32_t, float>> entries;
+    size_t nnz = rng.NextBounded(15);
+    std::set<uint32_t> used;
+    for (size_t i = 0; i < nnz; ++i) {
+      uint32_t id = static_cast<uint32_t>(rng.NextBounded(cols));
+      if (!used.insert(id).second) continue;
+      float v = static_cast<float>((rng.NextDouble() - 0.5) *
+                                   std::pow(10.0, rng.NextInRange(-6, 6)));
+      entries.push_back({id, v});
+    }
+    std::sort(entries.begin(), entries.end());
+    m.rows.push_back(containers::SparseVector::FromPairs(std::move(entries)));
+  }
+  return m;
+}
+
+TEST_P(SeededPropertyTest, ArffRoundTripIsExact) {
+  auto dir = io::MakeTempDir("hpa_prop_arff_");
+  ASSERT_TRUE(dir.ok());
+  io::SimDisk disk(io::DiskOptions::LocalHdd(), *dir, nullptr);
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    uint32_t cols = static_cast<uint32_t>(rng.NextBounded(100)) + 1;
+    auto matrix = RandomMatrix(rng, 40, cols);
+    std::vector<std::string> attrs;
+    for (uint32_t i = 0; i < cols; ++i) attrs.push_back("a" + std::to_string(i));
+    ASSERT_TRUE(
+        io::WriteSparseArff(&disk, "p.arff", "prop", attrs, matrix).ok());
+    auto rel = io::ReadSparseArff(&disk, "p.arff");
+    ASSERT_TRUE(rel.ok()) << rel.status();
+    EXPECT_TRUE(rel->data == matrix) << "round " << round;
+  }
+  io::RemoveDirRecursive(*dir);
+}
+
+// ---------------------------------------------------------------------------
+// Packed corpus: arbitrary (even binary) documents survive a round trip.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededPropertyTest, PackedCorpusRoundTripsBinaryBodies) {
+  auto dir = io::MakeTempDir("hpa_prop_pack_");
+  ASSERT_TRUE(dir.ok());
+  io::SimDisk disk(io::DiskOptions::CorpusStore(), *dir, nullptr);
+  Rng rng(GetParam());
+
+  text::Corpus corpus;
+  corpus.name = "binary";
+  size_t docs = rng.NextBounded(40) + 1;
+  for (size_t d = 0; d < docs; ++d) {
+    text::Document doc;
+    doc.name = "doc" + std::to_string(d);
+    size_t len = rng.NextBounded(3000);
+    doc.body.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      doc.body += static_cast<char>(rng.NextBounded(256));
+    }
+    corpus.docs.push_back(std::move(doc));
+  }
+  ASSERT_TRUE(text::WriteCorpusPacked(corpus, &disk, "b.pack").ok());
+  auto loaded = text::ReadCorpusPacked(&disk, "b.pack");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), corpus.size());
+  for (size_t d = 0; d < docs; ++d) {
+    EXPECT_EQ(loaded->docs[d].name, corpus.docs[d].name);
+    EXPECT_EQ(loaded->docs[d].body, corpus.docs[d].body);
+  }
+  io::RemoveDirRecursive(*dir);
+}
+
+// ---------------------------------------------------------------------------
+// TF/IDF invariants on random corpora: rows normalized, ids sorted and in
+// range, term count == distinct words, identical across executors and
+// backends.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededPropertyTest, TfidfInvariantsOnRandomCorpus) {
+  auto dir = io::MakeTempDir("hpa_prop_tfidf_");
+  ASSERT_TRUE(dir.ok());
+  io::SimDisk disk(io::DiskOptions::CorpusStore(), *dir, nullptr);
+
+  text::CorpusProfile profile;
+  profile.name = "prop";
+  profile.seed = GetParam();
+  profile.num_documents = 60 + GetParam() % 40;
+  profile.target_bytes = 50000;
+  profile.target_distinct_words = 400 + GetParam() % 300;
+  text::Corpus corpus = text::SynthCorpusGenerator(profile).Generate();
+  ASSERT_TRUE(text::WriteCorpusPacked(corpus, &disk, "p.pack").ok());
+  auto reader = io::PackedCorpusReader::Open(&disk, "p.pack");
+  ASSERT_TRUE(reader.ok());
+
+  parallel::SimulatedExecutor exec(6, parallel::MachineModel::Default());
+  ops::ExecContext ctx;
+  ctx.executor = &exec;
+  ctx.corpus_disk = &disk;
+
+  auto result = ops::TfidfInMemory(ctx, *reader);
+  ASSERT_TRUE(result.ok());
+
+  text::CorpusStats stats = text::ComputeStats(corpus);
+  EXPECT_EQ(result->terms.size(), stats.distinct_words);
+  EXPECT_EQ(result->matrix.num_rows(), corpus.size());
+  EXPECT_LE(result->matrix.TotalNnz(), stats.total_tokens);
+
+  for (const auto& row : result->matrix.rows) {
+    if (!row.empty()) {
+      EXPECT_NEAR(row.SquaredL2Norm(), 1.0, 1e-4);
+    }
+    for (size_t i = 0; i < row.nnz(); ++i) {
+      EXPECT_LT(row.id_at(i), result->matrix.num_cols);
+      if (i > 0) {
+        EXPECT_LT(row.id_at(i - 1), row.id_at(i));
+      }
+    }
+  }
+  EXPECT_TRUE(std::is_sorted(result->terms.begin(), result->terms.end()));
+
+  // Same matrix under real threads.
+  parallel::ThreadPoolExecutor threads(3);
+  ops::ExecContext tctx;
+  tctx.executor = &threads;
+  tctx.corpus_disk = &disk;
+  auto threaded = ops::TfidfInMemory(tctx, *reader);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_TRUE(threaded->matrix == result->matrix);
+  EXPECT_EQ(threaded->terms, result->terms);
+
+  io::RemoveDirRecursive(*dir);
+}
+
+// ---------------------------------------------------------------------------
+// K-means invariants on random matrices: every row assigned to its actual
+// nearest centroid after the final iteration (local optimality of the
+// assignment step), inertia matches recomputation.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededPropertyTest, KMeansAssignsToNearestCentroid) {
+  Rng rng(GetParam() ^ 0xABCD);
+  auto matrix = RandomMatrix(rng, 80, 40);
+  for (auto& row : matrix.rows) row.NormalizeL2();
+  if (matrix.num_rows() < 5) return;
+
+  parallel::SerialExecutor exec;
+  ops::ExecContext ctx;
+  ctx.executor = &exec;
+  ops::KMeansOptions opts;
+  opts.k = 4;
+  opts.max_iterations = 30;
+  auto result = ops::SparseKMeans(ctx, matrix, opts);
+  ASSERT_TRUE(result.ok());
+
+  // Recompute: the reported assignment must point at the nearest centroid
+  // from the iteration it was produced in; after convergence this is the
+  // global nearest. Only check when converged.
+  if (!result->converged) return;
+  double inertia = 0.0;
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    double best = 1e300;
+    uint32_t best_c = 0;
+    for (int c = 0; c < opts.k; ++c) {
+      const auto& centroid = result->centroids[static_cast<size_t>(c)];
+      double sq = 0.0;
+      for (float v : centroid) sq += static_cast<double>(v) * v;
+      double d = containers::SquaredDistance(
+          matrix.rows[i], matrix.rows[i].SquaredL2Norm(), centroid, sq);
+      if (d < best) {
+        best = d;
+        best_c = static_cast<uint32_t>(c);
+      }
+    }
+    inertia += best;
+    // Allow ties within float noise.
+    const auto& assigned =
+        result->centroids[result->assignment[i]];
+    double asq = 0.0;
+    for (float v : assigned) asq += static_cast<double>(v) * v;
+    double ad = containers::SquaredDistance(
+        matrix.rows[i], matrix.rows[i].SquaredL2Norm(), assigned, asq);
+    EXPECT_LE(ad, best + 1e-6) << "row " << i << " cluster "
+                               << result->assignment[i] << " vs " << best_c;
+  }
+  EXPECT_NEAR(inertia, result->inertia, 1e-3 + inertia * 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Values(1ull, 7ull, 42ull, 1337ull,
+                                           0xDEADBEEFull));
+
+}  // namespace
+}  // namespace hpa

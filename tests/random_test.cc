@@ -1,0 +1,174 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hpa {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRoughlyUniformMean) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(99);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(5);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) seen[rng.NextBounded(10)]++;
+  for (int count : seen) EXPECT_GT(count, 800);  // each ~1000 expected
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, LogNormalIsPositiveAndHasExpectedMedian) {
+  Rng rng(13);
+  const int n = 100001;
+  std::vector<double> values;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextLogNormal(std::log(100.0), 0.5);
+    EXPECT_GT(v, 0.0);
+    values.push_back(v);
+  }
+  std::nth_element(values.begin(), values.begin() + n / 2, values.end());
+  // Median of log-normal is exp(mu) = 100.
+  EXPECT_NEAR(values[n / 2], 100.0, 5.0);
+}
+
+TEST(ZipfSamplerTest, SamplesWithinRange) {
+  Rng rng(17);
+  ZipfSampler zipf(1000, 1.1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 1000u);
+  }
+}
+
+TEST(ZipfSamplerTest, RankOneDominates) {
+  Rng rng(17);
+  ZipfSampler zipf(10000, 1.0);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(rng)]++;
+  // Under Zipf(1.0, n=10000), P(rank 0) = 1/H(10000) ~ 0.102.
+  EXPECT_GT(counts[0], n / 15);
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+TEST(ZipfSamplerTest, FrequenciesFollowPowerLaw) {
+  Rng rng(23);
+  const double s = 1.0;
+  ZipfSampler zipf(100000, s);
+  std::map<uint64_t, int> counts;
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(rng)]++;
+  // count(rank r) / count(rank 0) should be ~ (1/(r+1))^s.
+  double ratio10 = static_cast<double>(counts[9]) / counts[0];
+  EXPECT_NEAR(ratio10, std::pow(1.0 / 10.0, s), 0.03);
+}
+
+TEST(ZipfSamplerTest, SingleRankAlwaysZero) {
+  Rng rng(29);
+  ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfSamplerTest, HighSkewConcentratesMass) {
+  Rng rng(31);
+  ZipfSampler zipf(1000, 2.0);
+  int rank0 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) == 0) ++rank0;
+  }
+  // With s=2, P(rank 0) = 1/zeta(2) ~ 0.61.
+  EXPECT_GT(rank0, n / 2);
+}
+
+TEST(ShuffleTest, PermutesAllElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  Shuffle(v, rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(ShuffleTest, DeterministicForSeed) {
+  std::vector<int> a{1, 2, 3, 4, 5}, b{1, 2, 3, 4, 5};
+  Rng ra(41), rb(41);
+  Shuffle(a, ra);
+  Shuffle(b, rb);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace hpa

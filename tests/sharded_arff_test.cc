@@ -1,0 +1,186 @@
+#include "io/sharded_arff.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "io/file_io.h"
+#include "parallel/simulated_executor.h"
+#include "parallel/thread_pool.h"
+
+namespace hpa::io {
+namespace {
+
+containers::SparseMatrix RandomMatrix(size_t rows, uint32_t cols,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  containers::SparseMatrix m;
+  m.num_cols = cols;
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::pair<uint32_t, float>> entries;
+    size_t nnz = rng.NextBounded(20);
+    for (size_t i = 0; i < nnz; ++i) {
+      entries.push_back({static_cast<uint32_t>(rng.NextBounded(cols)),
+                         static_cast<float>(rng.NextDouble())});
+    }
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [](const auto& a, const auto& b) {
+                                return a.first == b.first;
+                              }),
+                  entries.end());
+    m.rows.push_back(containers::SparseVector::FromPairs(std::move(entries)));
+  }
+  return m;
+}
+
+std::vector<std::string> Attrs(uint32_t cols) {
+  std::vector<std::string> out;
+  for (uint32_t i = 0; i < cols; ++i) out.push_back("t" + std::to_string(i));
+  return out;
+}
+
+class ShardedArffTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("hpa_sharded_arff_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    disk_ = std::make_unique<SimDisk>(DiskOptions::LocalHdd(), dir_, nullptr);
+  }
+  void TearDown() override { RemoveDirRecursive(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<SimDisk> disk_;
+};
+
+TEST_P(ShardedArffTest, RoundTripsUnderEveryShardCount) {
+  const int shards = GetParam();
+  parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+  auto matrix = RandomMatrix(137, 50, 42);
+  ASSERT_TRUE(WriteShardedArff(disk_.get(), &exec, "data", "rt", Attrs(50),
+                               matrix, shards)
+                  .ok());
+  auto result = ReadShardedArff(disk_.get(), &exec, "data");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->relation_name, "rt");
+  EXPECT_EQ(result->attributes.size(), 50u);
+  ASSERT_EQ(result->data.num_rows(), matrix.num_rows());
+  for (size_t r = 0; r < matrix.num_rows(); ++r) {
+    ASSERT_EQ(result->data.rows[r].nnz(), matrix.rows[r].nnz()) << r;
+    for (size_t i = 0; i < matrix.rows[r].nnz(); ++i) {
+      EXPECT_EQ(result->data.rows[r].id_at(i), matrix.rows[r].id_at(i));
+      EXPECT_NEAR(result->data.rows[r].value_at(i),
+                  matrix.rows[r].value_at(i), 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedArffTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 137, 500));
+
+TEST_F(ShardedArffTest, RealThreadsRoundTrip) {
+  parallel::ThreadPoolExecutor exec(4);
+  auto matrix = RandomMatrix(200, 30, 7);
+  ASSERT_TRUE(WriteShardedArff(disk_.get(), &exec, "t", "threads", Attrs(30),
+                               matrix, 8)
+                  .ok());
+  auto result = ReadShardedArff(disk_.get(), &exec, "t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->data.num_rows(), matrix.num_rows());
+  for (size_t r = 0; r < matrix.num_rows(); ++r) {
+    ASSERT_EQ(result->data.rows[r].ids(), matrix.rows[r].ids()) << r;
+    for (size_t i = 0; i < matrix.rows[r].nnz(); ++i) {
+      EXPECT_NEAR(result->data.rows[r].value_at(i),
+                  matrix.rows[r].value_at(i), 1e-6);
+    }
+  }
+}
+
+TEST_F(ShardedArffTest, EmptyMatrixRoundTrips) {
+  parallel::SerialExecutor exec;
+  containers::SparseMatrix empty;
+  empty.num_cols = 3;
+  ASSERT_TRUE(WriteShardedArff(disk_.get(), &exec, "e", "empty", Attrs(3),
+                               empty, 4)
+                  .ok());
+  auto result = ReadShardedArff(disk_.get(), &exec, "e");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->data.num_rows(), 0u);
+  EXPECT_EQ(result->data.num_cols, 3u);
+}
+
+TEST_F(ShardedArffTest, AttributeMismatchRejected) {
+  parallel::SerialExecutor exec;
+  auto matrix = RandomMatrix(5, 10, 1);
+  EXPECT_EQ(WriteShardedArff(disk_.get(), &exec, "m", "x", Attrs(3), matrix,
+                             2)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardedArffTest, MissingManifestFails) {
+  parallel::SerialExecutor exec;
+  EXPECT_FALSE(ReadShardedArff(disk_.get(), &exec, "absent").ok());
+}
+
+TEST_F(ShardedArffTest, CorruptMagicRejected) {
+  parallel::SerialExecutor exec;
+  ASSERT_TRUE(disk_->WriteFile("bad.manifest", "NOT-THE-MAGIC\n").ok());
+  EXPECT_EQ(ReadShardedArff(disk_.get(), &exec, "bad").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(ShardedArffTest, MissingShardFileFails) {
+  parallel::SerialExecutor exec;
+  auto matrix = RandomMatrix(20, 5, 3);
+  ASSERT_TRUE(WriteShardedArff(disk_.get(), &exec, "gone", "x", Attrs(5),
+                               matrix, 4)
+                  .ok());
+  ASSERT_TRUE(disk_->Remove("gone.2").ok());
+  EXPECT_FALSE(ReadShardedArff(disk_.get(), &exec, "gone").ok());
+}
+
+TEST_F(ShardedArffTest, TruncatedShardDetected) {
+  parallel::SerialExecutor exec;
+  auto matrix = RandomMatrix(20, 5, 3);
+  ASSERT_TRUE(WriteShardedArff(disk_.get(), &exec, "trunc", "x", Attrs(5),
+                               matrix, 2)
+                  .ok());
+  // Replace shard 1 with fewer rows than the manifest declares.
+  ASSERT_TRUE(disk_->WriteFile("trunc.1", "{0 1}\n").ok());
+  EXPECT_EQ(ReadShardedArff(disk_.get(), &exec, "trunc").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(ShardedArffTest, ParallelWritesOverlapOnMultiChannelDevice) {
+  // The §3.2 open-challenge payoff: on a multi-channel device, sharded
+  // output time shrinks with workers; on the 1-channel HDD it cannot.
+  auto matrix = RandomMatrix(2000, 100, 9);
+
+  auto write_time = [&](int channels, int workers) {
+    DiskOptions opts;
+    opts.bandwidth_bytes_per_sec = 1e6;  // slow so I/O dominates
+    opts.latency_sec = 0.0;
+    opts.channels = channels;
+    parallel::SimulatedExecutor exec(workers,
+                                     parallel::MachineModel::Default());
+    SimDisk disk(opts, dir_, &exec);
+    EXPECT_TRUE(WriteShardedArff(&disk, &exec, "p", "x", Attrs(100), matrix,
+                                 workers)
+                    .ok());
+    return exec.Now();
+  };
+
+  double hdd_1 = write_time(1, 1);
+  double hdd_8 = write_time(1, 8);
+  double ssd_8 = write_time(8, 8);
+  // Single-channel: no win from parallel output (>= 90% of serial time).
+  EXPECT_GT(hdd_8, hdd_1 * 0.9);
+  // Multi-channel: large win.
+  EXPECT_LT(ssd_8, hdd_1 * 0.4);
+}
+
+}  // namespace
+}  // namespace hpa::io

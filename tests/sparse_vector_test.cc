@@ -1,0 +1,145 @@
+#include "containers/sparse_vector.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hpa::containers {
+namespace {
+
+TEST(SparseVectorTest, EmptyVector) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(v.SquaredL2Norm(), 0.0);
+  EXPECT_FLOAT_EQ(v.ValueOf(3), 0.0f);
+}
+
+TEST(SparseVectorTest, FromPairsSortsById) {
+  auto v = SparseVector::FromPairs({{5, 2.0f}, {1, 1.0f}, {9, 3.0f}});
+  ASSERT_EQ(v.nnz(), 3u);
+  EXPECT_EQ(v.id_at(0), 1u);
+  EXPECT_EQ(v.id_at(1), 5u);
+  EXPECT_EQ(v.id_at(2), 9u);
+  EXPECT_FLOAT_EQ(v.value_at(0), 1.0f);
+  EXPECT_FLOAT_EQ(v.value_at(2), 3.0f);
+}
+
+TEST(SparseVectorTest, ValueOfFindsPresentAndAbsent) {
+  auto v = SparseVector::FromPairs({{2, 4.0f}, {7, -1.0f}});
+  EXPECT_FLOAT_EQ(v.ValueOf(2), 4.0f);
+  EXPECT_FLOAT_EQ(v.ValueOf(7), -1.0f);
+  EXPECT_FLOAT_EQ(v.ValueOf(0), 0.0f);
+  EXPECT_FLOAT_EQ(v.ValueOf(5), 0.0f);
+  EXPECT_FLOAT_EQ(v.ValueOf(100), 0.0f);
+}
+
+TEST(SparseVectorTest, SquaredL2Norm) {
+  auto v = SparseVector::FromPairs({{0, 3.0f}, {4, 4.0f}});
+  EXPECT_DOUBLE_EQ(v.SquaredL2Norm(), 25.0);
+}
+
+TEST(SparseVectorTest, NormalizeL2MakesUnitNorm) {
+  auto v = SparseVector::FromPairs({{0, 3.0f}, {4, 4.0f}});
+  v.NormalizeL2();
+  EXPECT_NEAR(v.SquaredL2Norm(), 1.0, 1e-6);
+  EXPECT_NEAR(v.ValueOf(0), 0.6f, 1e-6);
+  EXPECT_NEAR(v.ValueOf(4), 0.8f, 1e-6);
+}
+
+TEST(SparseVectorTest, NormalizeZeroVectorIsNoop) {
+  SparseVector v;
+  v.NormalizeL2();  // must not crash or produce NaN
+  EXPECT_TRUE(v.empty());
+  auto z = SparseVector::FromPairs({{1, 0.0f}});
+  z.NormalizeL2();
+  EXPECT_FLOAT_EQ(z.ValueOf(1), 0.0f);
+}
+
+TEST(SparseVectorTest, ClearKeepsCapacity) {
+  auto v = SparseVector::FromPairs({{1, 1.0f}, {2, 2.0f}});
+  uint64_t bytes_before = v.ApproxMemoryBytes();
+  v.Clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.ApproxMemoryBytes(), bytes_before);  // recycling keeps buffers
+}
+
+TEST(SparseVectorTest, EqualityComparesContent) {
+  auto a = SparseVector::FromPairs({{1, 1.0f}, {2, 2.0f}});
+  auto b = SparseVector::FromPairs({{2, 2.0f}, {1, 1.0f}});
+  EXPECT_TRUE(a == b);
+  auto c = SparseVector::FromPairs({{1, 1.0f}});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SparseDotTest, SparseSparseOverlapsOnly) {
+  auto a = SparseVector::FromPairs({{1, 2.0f}, {3, 1.0f}, {8, 5.0f}});
+  auto b = SparseVector::FromPairs({{3, 4.0f}, {8, 2.0f}, {9, 7.0f}});
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0 * 4.0 + 5.0 * 2.0);
+}
+
+TEST(SparseDotTest, DisjointVectorsDotToZero) {
+  auto a = SparseVector::FromPairs({{1, 2.0f}});
+  auto b = SparseVector::FromPairs({{2, 4.0f}});
+  EXPECT_DOUBLE_EQ(Dot(a, b), 0.0);
+}
+
+TEST(SparseDotTest, SparseDenseDot) {
+  auto a = SparseVector::FromPairs({{0, 1.0f}, {2, 3.0f}});
+  std::vector<float> dense{2.0f, 9.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(Dot(a, dense), 1.0 * 2.0 + 3.0 * 4.0);
+}
+
+TEST(SparseDotTest, SparseDenseIgnoresOutOfRangeIds) {
+  auto a = SparseVector::FromPairs({{0, 1.0f}, {10, 3.0f}});
+  std::vector<float> dense{2.0f};
+  EXPECT_DOUBLE_EQ(Dot(a, dense), 2.0);
+}
+
+TEST(AddScaledTest, AccumulatesIntoDense) {
+  auto a = SparseVector::FromPairs({{0, 1.0f}, {2, 2.0f}});
+  std::vector<float> dense(4, 1.0f);
+  AddScaled(a, 2.0f, dense);
+  EXPECT_FLOAT_EQ(dense[0], 3.0f);
+  EXPECT_FLOAT_EQ(dense[1], 1.0f);
+  EXPECT_FLOAT_EQ(dense[2], 5.0f);
+  EXPECT_FLOAT_EQ(dense[3], 1.0f);
+}
+
+TEST(SquaredDistanceTest, MatchesDenseComputation) {
+  auto x = SparseVector::FromPairs({{0, 1.0f}, {2, 2.0f}});
+  std::vector<float> c{0.5f, 1.0f, 1.5f};
+  double c_sq = 0.25 + 1.0 + 2.25;
+  double expected = (1.0 - 0.5) * (1.0 - 0.5) + (0.0 - 1.0) * (0.0 - 1.0) +
+                    (2.0 - 1.5) * (2.0 - 1.5);
+  EXPECT_NEAR(SquaredDistance(x, x.SquaredL2Norm(), c, c_sq), expected, 1e-9);
+}
+
+TEST(SquaredDistanceTest, IdenticalVectorsAreZero) {
+  auto x = SparseVector::FromPairs({{1, 0.3f}, {5, 0.4f}});
+  std::vector<float> c(6, 0.0f);
+  c[1] = 0.3f;
+  c[5] = 0.4f;
+  double c_sq = 0.09 + 0.16;
+  EXPECT_NEAR(SquaredDistance(x, x.SquaredL2Norm(), c, c_sq), 0.0, 1e-9);
+}
+
+TEST(SquaredDistanceTest, NeverNegative) {
+  // Engineered rounding case: clamping must kick in.
+  auto x = SparseVector::FromPairs({{0, 1.0f}});
+  std::vector<float> c{1.0f};
+  double d = SquaredDistance(x, 1.0 - 1e-12, c, 1.0);
+  EXPECT_GE(d, 0.0);
+}
+
+TEST(SparseVectorTest, PushBackMaintainsOrderInvariant) {
+  SparseVector v;
+  v.PushBack(3, 1.0f);
+  v.PushBack(10, 2.0f);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_FLOAT_EQ(v.ValueOf(10), 2.0f);
+}
+
+}  // namespace
+}  // namespace hpa::containers

@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hpa {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.Add(3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+  EXPECT_DOUBLE_EQ(s.min(), 3.14);
+  EXPECT_DOUBLE_EQ(s.max(), 3.14);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextGaussian() * 3.0 + 10.0;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // empty right
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // empty left
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, GaussianMomentsRecovered) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.Add(rng.NextGaussian() * 2.0 + 5.0);
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(SampleSetTest, QuantilesOfKnownSet) {
+  SampleSet set;
+  for (int i = 1; i <= 100; ++i) set.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(set.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.Quantile(1.0), 100.0);
+  EXPECT_NEAR(set.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(set.Quantile(0.95), 95.05, 0.1);
+}
+
+TEST(SampleSetTest, EmptyAndSingle) {
+  SampleSet empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  SampleSet one;
+  one.Add(7.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(1.0), 7.0);
+}
+
+TEST(SampleSetTest, InterleavedAddAndQuery) {
+  SampleSet set;
+  set.Add(3.0);
+  set.Add(1.0);
+  EXPECT_DOUBLE_EQ(set.Median(), 2.0);
+  set.Add(100.0);  // must re-sort transparently
+  EXPECT_DOUBLE_EQ(set.Median(), 3.0);
+}
+
+TEST(SampleSetTest, SummaryMentionsAllFields) {
+  SampleSet set;
+  for (int i = 0; i < 10; ++i) set.Add(i);
+  std::string summary = set.Summary();
+  for (const char* key : {"n=10", "mean=", "stddev=", "min=", "p50=",
+                          "p95=", "max="}) {
+    EXPECT_NE(summary.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace hpa

@@ -1,0 +1,146 @@
+#include "common/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hpa {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("disk gone").message(), "disk gone");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::IoError("disk gone").ToString(), "io_error: disk gone");
+}
+
+TEST(StatusTest, WithContextPrependsForErrors) {
+  Status s = Status::NotFound("doc 7");
+  Status wrapped = s.WithContext("loading corpus");
+  EXPECT_EQ(wrapped.code(), StatusCode::kNotFound);
+  EXPECT_EQ(wrapped.message(), "loading corpus: doc 7");
+}
+
+TEST(StatusTest, WithContextKeepsOkUnchanged) {
+  Status s = Status::OK().WithContext("ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "corruption");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "unimplemented");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOrReturnsValueWhenOk) {
+  StatusOr<std::string> r = std::string("hello");
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace macro_helpers {
+
+Status FailIf(bool fail) {
+  if (fail) return Status::Internal("requested failure");
+  return Status::OK();
+}
+
+Status Caller(bool fail, bool* reached_end) {
+  HPA_RETURN_IF_ERROR(FailIf(fail));
+  *reached_end = true;
+  return Status::OK();
+}
+
+StatusOr<int> MakeInt(bool fail) {
+  if (fail) return Status::OutOfRange("no int");
+  return 7;
+}
+
+Status UseInt(bool fail, int* out) {
+  HPA_ASSIGN_OR_RETURN(int v, MakeInt(fail));
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace macro_helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  bool reached = false;
+  Status s = macro_helpers::Caller(true, &reached);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(reached);
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPassesThroughOnOk) {
+  bool reached = false;
+  Status s = macro_helpers::Caller(false, &reached);
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(reached);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnAssigns) {
+  int out = 0;
+  ASSERT_TRUE(macro_helpers::UseInt(false, &out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  int out = 0;
+  Status s = macro_helpers::UseInt(true, &out);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, 0);
+}
+
+}  // namespace
+}  // namespace hpa

@@ -1,0 +1,109 @@
+#include "text/stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace hpa::text {
+namespace {
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+// Canonical vectors from Porter's published test vocabulary.
+constexpr StemCase kStep1Cases[] = {
+    {"caresses", "caress"}, {"ponies", "poni"},   {"ties", "ti"},
+    {"caress", "caress"},   {"cats", "cat"},      {"feed", "feed"},
+    {"agreed", "agre"},     {"plastered", "plaster"},
+    {"bled", "bled"},       {"motoring", "motor"}, {"sing", "sing"},
+    {"conflated", "conflat"}, {"troubled", "troubl"}, {"sized", "size"},
+    {"hopping", "hop"},     {"tanned", "tan"},    {"falling", "fall"},
+    {"hissing", "hiss"},    {"fizzed", "fizz"},   {"failing", "fail"},
+    {"filing", "file"},     {"happy", "happi"},   {"sky", "sky"},
+};
+
+constexpr StemCase kStep2Cases[] = {
+    {"relational", "relat"},       {"conditional", "condit"},
+    {"rational", "ration"},        {"valenci", "valenc"},
+    {"hesitanci", "hesit"},        {"digitizer", "digit"},
+    {"radicalli", "radic"},        {"differentli", "differ"},
+    {"vileli", "vile"},            {"analogousli", "analog"},
+    {"vietnamization", "vietnam"}, {"predication", "predic"},
+    {"operator", "oper"},          {"feudalism", "feudal"},
+    {"decisiveness", "decis"},     {"hopefulness", "hope"},
+    {"callousness", "callous"},    {"formaliti", "formal"},
+    {"sensitiviti", "sensit"},     {"sensibiliti", "sensibl"},
+};
+
+constexpr StemCase kStep34Cases[] = {
+    {"triplicate", "triplic"}, {"formative", "form"},
+    {"formalize", "formal"},   {"electriciti", "electr"},
+    {"electrical", "electr"},  {"hopeful", "hope"},
+    {"goodness", "good"},      {"revival", "reviv"},
+    {"allowance", "allow"},    {"inference", "infer"},
+    {"airliner", "airlin"},    {"gyroscopic", "gyroscop"},
+    {"adjustable", "adjust"},  {"defensible", "defens"},
+    {"irritant", "irrit"},     {"replacement", "replac"},
+    {"adjustment", "adjust"},  {"dependent", "depend"},
+    {"adoption", "adopt"},     {"communism", "commun"},
+    {"activate", "activ"},     {"angulariti", "angular"},
+    {"homologous", "homolog"}, {"effective", "effect"},
+    {"bowdlerize", "bowdler"},
+};
+
+constexpr StemCase kStep5Cases[] = {
+    {"probate", "probat"}, {"rate", "rate"},       {"cease", "ceas"},
+    {"controll", "control"}, {"roll", "roll"},
+};
+
+class PorterVectorTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterVectorTest, MatchesPublishedStem) {
+  EXPECT_EQ(PorterStemCopy(GetParam().word), GetParam().stem)
+      << GetParam().word;
+}
+
+INSTANTIATE_TEST_SUITE_P(Step1, PorterVectorTest,
+                         ::testing::ValuesIn(kStep1Cases));
+INSTANTIATE_TEST_SUITE_P(Step2, PorterVectorTest,
+                         ::testing::ValuesIn(kStep2Cases));
+INSTANTIATE_TEST_SUITE_P(Step34, PorterVectorTest,
+                         ::testing::ValuesIn(kStep34Cases));
+INSTANTIATE_TEST_SUITE_P(Step5, PorterVectorTest,
+                         ::testing::ValuesIn(kStep5Cases));
+
+TEST(PorterStemTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStemCopy(""), "");
+  EXPECT_EQ(PorterStemCopy("a"), "a");
+  EXPECT_EQ(PorterStemCopy("is"), "is");
+  EXPECT_EQ(PorterStemCopy("be"), "be");
+}
+
+TEST(PorterStemTest, InPlaceViewPointsIntoBuffer) {
+  std::string buffer = "connections";
+  std::string_view stem = PorterStem(buffer);
+  EXPECT_EQ(stem, "connect");
+  EXPECT_EQ(static_cast<const void*>(stem.data()),
+            static_cast<const void*>(buffer.data()));
+}
+
+TEST(PorterStemTest, InflectionsFoldTogether) {
+  // The dictionary-shrinking property TF/IDF cares about.
+  EXPECT_EQ(PorterStemCopy("connect"), PorterStemCopy("connected"));
+  EXPECT_EQ(PorterStemCopy("connect"), PorterStemCopy("connecting"));
+  EXPECT_EQ(PorterStemCopy("connect"), PorterStemCopy("connection"));
+  EXPECT_EQ(PorterStemCopy("connect"), PorterStemCopy("connections"));
+}
+
+TEST(PorterStemTest, StemsNeverGrow) {
+  // (Porter is famously not idempotent — "decisiveness" -> "decis" ->
+  // "deci" — but a stem can never be longer than its input.)
+  for (const StemCase& c : kStep2Cases) {
+    EXPECT_LE(PorterStemCopy(c.word).size(), std::string(c.word).size());
+    std::string once = PorterStemCopy(c.word);
+    EXPECT_LE(PorterStemCopy(once).size(), once.size());
+  }
+}
+
+}  // namespace
+}  // namespace hpa::text

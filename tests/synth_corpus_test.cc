@@ -1,0 +1,170 @@
+#include "text/synth_corpus.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "containers/open_hash_map.h"
+#include "text/tokenizer.h"
+#include "text/vocab_stats.h"
+
+namespace hpa::text {
+namespace {
+
+CorpusProfile SmallProfile() {
+  CorpusProfile p;
+  p.name = "small";
+  p.num_documents = 200;
+  p.target_bytes = 200000;
+  p.target_distinct_words = 2000;
+  p.seed = 1234;
+  return p;
+}
+
+TEST(CorpusProfileTest, Table1ProfilesMatchPaper) {
+  CorpusProfile mix = CorpusProfile::Mix();
+  EXPECT_EQ(mix.num_documents, 23432u);
+  EXPECT_EQ(mix.target_distinct_words, 184743u);
+  EXPECT_NEAR(static_cast<double>(mix.target_bytes) / (1024.0 * 1024.0), 62.8,
+              0.1);
+
+  CorpusProfile nsf = CorpusProfile::NsfAbstracts();
+  EXPECT_EQ(nsf.num_documents, 101483u);
+  EXPECT_EQ(nsf.target_distinct_words, 267914u);
+  EXPECT_NEAR(static_cast<double>(nsf.target_bytes) / (1024.0 * 1024.0),
+              310.9, 0.1);
+}
+
+TEST(CorpusProfileTest, ProportionalScalingPreservesDocVocabRatio) {
+  CorpusProfile p = CorpusProfile::NsfAbstracts().Scaled(0.1);
+  EXPECT_NEAR(static_cast<double>(p.num_documents), 101483 * 0.1, 2);
+  EXPECT_NEAR(static_cast<double>(p.target_bytes), 326004736 * 0.1, 10);
+  EXPECT_NEAR(static_cast<double>(p.target_distinct_words), 267914 * 0.1, 2);
+}
+
+TEST(CorpusProfileTest, HeapsExponentShrinksVocabularySublinearly) {
+  CorpusProfile p = CorpusProfile::NsfAbstracts().Scaled(0.1, 0.7);
+  // Vocabulary scales by 0.1^0.7 ~ 0.1995.
+  EXPECT_NEAR(static_cast<double>(p.target_distinct_words), 267914 * 0.1995,
+              300);
+}
+
+TEST(CorpusProfileTest, ScaleOneIsIdentity) {
+  CorpusProfile p = CorpusProfile::Mix().Scaled(1.0);
+  EXPECT_EQ(p.num_documents, CorpusProfile::Mix().num_documents);
+  EXPECT_EQ(p.name, "Mix");
+}
+
+TEST(WordForRankTest, AllRanksDistinct) {
+  SynthCorpusGenerator gen(SmallProfile());
+  std::set<std::string> words;
+  for (uint64_t r = 0; r < 5000; ++r) {
+    auto [it, inserted] = words.insert(gen.WordForRank(r));
+    EXPECT_TRUE(inserted) << "duplicate word for rank " << r << ": " << *it;
+  }
+}
+
+TEST(WordForRankTest, DeterministicAcrossInstances) {
+  SynthCorpusGenerator a(SmallProfile()), b(SmallProfile());
+  for (uint64_t r : {0ull, 1ull, 99ull, 12345ull}) {
+    EXPECT_EQ(a.WordForRank(r), b.WordForRank(r));
+  }
+}
+
+TEST(WordForRankTest, WordsAreLowercaseAlpha) {
+  SynthCorpusGenerator gen(SmallProfile());
+  for (uint64_t r = 0; r < 1000; ++r) {
+    for (char c : gen.WordForRank(r)) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(WordForRankTest, HeadWordsAreShort) {
+  SynthCorpusGenerator gen(SmallProfile());
+  // Zipf-head words (rank < 128) have 2-4 letter prefixes; with suffix they
+  // stay comfortably below tail-word worst cases.
+  for (uint64_t r = 0; r < 50; ++r) {
+    EXPECT_LE(gen.WordForRank(r).size(), 8u);
+  }
+}
+
+class GeneratedCorpusTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new Corpus(SynthCorpusGenerator(SmallProfile()).Generate());
+    stats_ = new CorpusStats(ComputeStats(*corpus_));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete stats_;
+    corpus_ = nullptr;
+    stats_ = nullptr;
+  }
+
+  static Corpus* corpus_;
+  static CorpusStats* stats_;
+};
+
+Corpus* GeneratedCorpusTest::corpus_ = nullptr;
+CorpusStats* GeneratedCorpusTest::stats_ = nullptr;
+
+TEST_F(GeneratedCorpusTest, ExactDocumentCount) {
+  EXPECT_EQ(corpus_->size(), 200u);
+  EXPECT_EQ(stats_->documents, 200u);
+}
+
+TEST_F(GeneratedCorpusTest, ExactDistinctWordCount) {
+  // The vocabulary sweep guarantees every rank appears at least once.
+  EXPECT_EQ(stats_->distinct_words, 2000u);
+}
+
+TEST_F(GeneratedCorpusTest, BytesWithinTolerance) {
+  double ratio = static_cast<double>(stats_->bytes) / 200000.0;
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST_F(GeneratedCorpusTest, DocumentsHaveUniqueNames) {
+  std::set<std::string> names;
+  for (const Document& d : corpus_->docs) names.insert(d.name);
+  EXPECT_EQ(names.size(), corpus_->size());
+}
+
+TEST_F(GeneratedCorpusTest, DeterministicForSameSeed) {
+  Corpus again = SynthCorpusGenerator(SmallProfile()).Generate();
+  ASSERT_EQ(again.size(), corpus_->size());
+  EXPECT_EQ(again.docs[0].body, corpus_->docs[0].body);
+  EXPECT_EQ(again.docs[199].body, corpus_->docs[199].body);
+}
+
+TEST_F(GeneratedCorpusTest, DifferentSeedDiffers) {
+  CorpusProfile p = SmallProfile();
+  p.seed = 9999;
+  Corpus other = SynthCorpusGenerator(p).Generate();
+  EXPECT_NE(other.docs[0].body, corpus_->docs[0].body);
+}
+
+TEST_F(GeneratedCorpusTest, WordFrequenciesAreSkewed) {
+  // The most frequent token should cover several percent of all tokens —
+  // the Zipf head — while the median word is rare.
+  containers::OpenHashMap<std::string, uint32_t> counts(4096);
+  uint64_t total = 0;
+  for (const Document& d : corpus_->docs) {
+    ForEachToken(d.body, [&](std::string_view t) {
+      counts.FindOrInsert(t) += 1;
+      ++total;
+    });
+  }
+  uint32_t max_count = 0;
+  counts.ForEach([&](const std::string&, uint32_t c) {
+    if (c > max_count) max_count = c;
+  });
+  EXPECT_GT(static_cast<double>(max_count) / static_cast<double>(total),
+            0.02);
+}
+
+}  // namespace
+}  // namespace hpa::text

@@ -1,0 +1,297 @@
+#include "ops/tfidf.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/file_io.h"
+#include "parallel/simulated_executor.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
+
+namespace hpa::ops {
+namespace {
+
+using containers::DictBackend;
+
+text::Corpus TinyCorpus() {
+  text::Corpus corpus;
+  corpus.name = "tiny";
+  corpus.docs = {
+      {"d0", "apple banana apple"},
+      {"d1", "banana cherry"},
+      {"d2", "apple"},
+  };
+  return corpus;
+}
+
+class TfidfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_tfidf_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    corpus_disk_ = std::make_unique<io::SimDisk>(
+        io::DiskOptions::CorpusStore(), dir_, nullptr);
+    scratch_disk_ = std::make_unique<io::SimDisk>(
+        io::DiskOptions::LocalHdd(), dir_, nullptr);
+    ASSERT_TRUE(text::WriteCorpusPacked(TinyCorpus(), corpus_disk_.get(),
+                                        "tiny.pack").ok());
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  ExecContext MakeCtx(parallel::Executor* exec) {
+    ExecContext ctx;
+    ctx.executor = exec;
+    ctx.corpus_disk = corpus_disk_.get();
+    ctx.scratch_disk = scratch_disk_.get();
+    ctx.phases = &phases_;
+    return ctx;
+  }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> corpus_disk_;
+  std::unique_ptr<io::SimDisk> scratch_disk_;
+  PhaseTimer phases_;
+};
+
+TEST_F(TfidfTest, ScoresMatchHandComputation) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = MakeCtx(&exec);
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "tiny.pack");
+  ASSERT_TRUE(reader.ok());
+  auto result = TfidfInMemory(ctx, *reader);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Vocabulary sorted: apple(0), banana(1), cherry(2).
+  ASSERT_EQ(result->terms.size(), 3u);
+  EXPECT_EQ(result->terms[0], "apple");
+  EXPECT_EQ(result->terms[1], "banana");
+  EXPECT_EQ(result->terms[2], "cherry");
+  ASSERT_EQ(result->matrix.num_rows(), 3u);
+  EXPECT_EQ(result->matrix.num_cols, 3u);
+
+  // d0: apple tf=2 df=2 -> 2*ln(3/2); banana tf=1 df=2 -> ln(3/2).
+  // After L2 normalization the ratio apple:banana is 2:1.
+  const auto& row0 = result->matrix.rows[0];
+  ASSERT_EQ(row0.nnz(), 2u);
+  EXPECT_NEAR(row0.ValueOf(0) / row0.ValueOf(1), 2.0, 1e-5);
+  EXPECT_NEAR(row0.SquaredL2Norm(), 1.0, 1e-6);
+
+  // d1: banana df=2, cherry df=1 -> cherry idf ln(3) > banana idf ln(1.5).
+  const auto& row1 = result->matrix.rows[1];
+  ASSERT_EQ(row1.nnz(), 2u);
+  double expected_ratio = std::log(3.0) / std::log(1.5);
+  EXPECT_NEAR(row1.ValueOf(2) / row1.ValueOf(1), expected_ratio, 1e-5);
+
+  // d2: only apple; normalized single entry = 1.
+  const auto& row2 = result->matrix.rows[2];
+  ASSERT_EQ(row2.nnz(), 1u);
+  EXPECT_NEAR(row2.ValueOf(0), 1.0, 1e-6);
+}
+
+TEST_F(TfidfTest, DiscreteArffPathMatchesInMemory) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = MakeCtx(&exec);
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "tiny.pack");
+  ASSERT_TRUE(reader.ok());
+
+  // Fused path.
+  auto fused = TfidfInMemory(ctx, *reader);
+  ASSERT_TRUE(fused.ok());
+
+  // Discrete path: write ARFF, read back.
+  ASSERT_TRUE(TfidfToArff(ctx, *reader, "tfidf.arff").ok());
+  auto loaded = ReadTfidfArff(ctx, "tfidf.arff");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  ASSERT_EQ(loaded->num_rows(), fused->matrix.num_rows());
+  EXPECT_EQ(loaded->num_cols, fused->matrix.num_cols);
+  for (size_t r = 0; r < loaded->num_rows(); ++r) {
+    ASSERT_EQ(loaded->rows[r].nnz(), fused->matrix.rows[r].nnz()) << r;
+    for (size_t i = 0; i < loaded->rows[r].nnz(); ++i) {
+      EXPECT_EQ(loaded->rows[r].id_at(i), fused->matrix.rows[r].id_at(i));
+      EXPECT_NEAR(loaded->rows[r].value_at(i),
+                  fused->matrix.rows[r].value_at(i), 1e-5);
+    }
+  }
+
+  // The discrete path accrued the serial phases.
+  EXPECT_GT(phases_.Seconds("tfidf-output"), 0.0);
+  EXPECT_GT(phases_.Seconds("kmeans-input"), 0.0);
+}
+
+TEST_F(TfidfTest, AllBackendsProduceIdenticalMatrices) {
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "tiny.pack");
+  ASSERT_TRUE(reader.ok());
+
+  parallel::SerialExecutor exec;
+  ExecContext ctx = MakeCtx(&exec);
+  ctx.dict_backend = DictBackend::kStdMap;
+  auto baseline = TfidfInMemory(ctx, *reader);
+  ASSERT_TRUE(baseline.ok());
+
+  for (DictBackend b : containers::kAllDictBackends) {
+    ctx.dict_backend = b;
+    auto other = TfidfInMemory(ctx, *reader);
+    ASSERT_TRUE(other.ok()) << containers::DictBackendName(b);
+    EXPECT_EQ(other->terms, baseline->terms)
+        << containers::DictBackendName(b);
+    EXPECT_TRUE(other->matrix == baseline->matrix)
+        << containers::DictBackendName(b);
+  }
+}
+
+TEST_F(TfidfTest, SimulatedExecutorMatchesSerialResults) {
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "tiny.pack");
+  ASSERT_TRUE(reader.ok());
+
+  parallel::SerialExecutor serial;
+  ExecContext sctx = MakeCtx(&serial);
+  auto a = TfidfInMemory(sctx, *reader);
+  ASSERT_TRUE(a.ok());
+
+  parallel::SimulatedExecutor sim(8, parallel::MachineModel::Default());
+  ExecContext mctx = MakeCtx(&sim);
+  auto b = TfidfInMemory(mctx, *reader);
+  ASSERT_TRUE(b.ok());
+
+  EXPECT_EQ(a->terms, b->terms);
+  EXPECT_TRUE(a->matrix == b->matrix);
+}
+
+TEST_F(TfidfTest, MinDfPrunesRareTerms) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = MakeCtx(&exec);
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "tiny.pack");
+  ASSERT_TRUE(reader.ok());
+
+  // "cherry" occurs in one document only; min_df=2 removes it.
+  TfidfOptions options;
+  options.min_df = 2;
+  auto result = TfidfInMemory(ctx, *reader, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->terms.size(), 2u);
+  EXPECT_EQ(result->terms[0], "apple");
+  EXPECT_EQ(result->terms[1], "banana");
+  EXPECT_EQ(result->matrix.num_cols, 2u);
+  // d1 (banana cherry) keeps only banana.
+  EXPECT_EQ(result->matrix.rows[1].nnz(), 1u);
+}
+
+TEST_F(TfidfTest, MaxDfRatioPrunesUbiquitousTerms) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = MakeCtx(&exec);
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "tiny.pack");
+  ASSERT_TRUE(reader.ok());
+
+  // "apple" is in 2 of 3 documents (df ratio 0.67): cap at 0.5 drops it.
+  TfidfOptions options;
+  options.max_df_ratio = 0.5;
+  auto result = TfidfInMemory(ctx, *reader, options);
+  ASSERT_TRUE(result.ok());
+  for (const std::string& term : result->terms) {
+    EXPECT_NE(term, "apple");
+    EXPECT_NE(term, "banana");  // also df=2
+  }
+  ASSERT_EQ(result->terms.size(), 1u);
+  EXPECT_EQ(result->terms[0], "cherry");
+}
+
+TEST_F(TfidfTest, SublinearTfDampensRepeats) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = MakeCtx(&exec);
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "tiny.pack");
+  ASSERT_TRUE(reader.ok());
+
+  TfidfOptions raw;
+  raw.normalize = false;
+  TfidfOptions sublinear;
+  sublinear.normalize = false;
+  sublinear.sublinear_tf = true;
+  auto a = TfidfInMemory(ctx, *reader, raw);
+  auto b = TfidfInMemory(ctx, *reader, sublinear);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  // d0 has apple with tf=2: raw weight 2*idf, sublinear (1+ln2)*idf.
+  float raw_apple = a->matrix.rows[0].ValueOf(0);
+  float sub_apple = b->matrix.rows[0].ValueOf(0);
+  EXPECT_NEAR(sub_apple / raw_apple, (1.0 + std::log(2.0)) / 2.0, 1e-5);
+  // tf=1 terms are unchanged.
+  EXPECT_NEAR(a->matrix.rows[0].ValueOf(1), b->matrix.rows[0].ValueOf(1),
+              1e-6);
+}
+
+TEST_F(TfidfTest, NormalizeOffKeepsRawScores) {
+  parallel::SerialExecutor exec;
+  ExecContext ctx = MakeCtx(&exec);
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "tiny.pack");
+  ASSERT_TRUE(reader.ok());
+
+  TfidfOptions options;
+  options.normalize = false;
+  auto result = TfidfInMemory(ctx, *reader, options);
+  ASSERT_TRUE(result.ok());
+  // d0: apple tf=2, df=2, N=3 -> 2*ln(1.5).
+  EXPECT_NEAR(result->matrix.rows[0].ValueOf(0), 2.0 * std::log(1.5), 1e-5);
+}
+
+TEST_F(TfidfTest, PruningOptionsAgreeAcrossBackends) {
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "tiny.pack");
+  ASSERT_TRUE(reader.ok());
+  TfidfOptions options;
+  options.min_df = 2;
+  options.sublinear_tf = true;
+
+  parallel::SerialExecutor exec;
+  ExecContext ctx = MakeCtx(&exec);
+  ctx.dict_backend = DictBackend::kStdMap;
+  auto baseline = TfidfInMemory(ctx, *reader, options);
+  ASSERT_TRUE(baseline.ok());
+  for (DictBackend b : containers::kAllDictBackends) {
+    ctx.dict_backend = b;
+    auto other = TfidfInMemory(ctx, *reader, options);
+    ASSERT_TRUE(other.ok());
+    EXPECT_EQ(other->terms, baseline->terms);
+    EXPECT_TRUE(other->matrix == baseline->matrix)
+        << containers::DictBackendName(b);
+  }
+}
+
+TEST_F(TfidfTest, SyntheticCorpusEndToEnd) {
+  text::CorpusProfile profile;
+  profile.name = "synth";
+  profile.num_documents = 100;
+  profile.target_bytes = 60000;
+  profile.target_distinct_words = 800;
+  text::Corpus corpus = text::SynthCorpusGenerator(profile).Generate();
+  ASSERT_TRUE(
+      text::WriteCorpusPacked(corpus, corpus_disk_.get(), "synth.pack").ok());
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "synth.pack");
+  ASSERT_TRUE(reader.ok());
+
+  parallel::SimulatedExecutor sim(4, parallel::MachineModel::Default());
+  ExecContext ctx = MakeCtx(&sim);
+  auto result = TfidfInMemory(ctx, *reader);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_EQ(result->matrix.num_rows(), 100u);
+  EXPECT_EQ(result->terms.size(), 800u);
+  EXPECT_EQ(result->matrix.num_cols, 800u);
+  EXPECT_GT(result->dict_bytes, 0u);
+  // Every non-empty row is unit-normalized.
+  for (const auto& row : result->matrix.rows) {
+    if (!row.empty()) {
+      EXPECT_NEAR(row.SquaredL2Norm(), 1.0, 1e-5);
+    }
+  }
+  // Terms are sorted and unique.
+  for (size_t i = 1; i < result->terms.size(); ++i) {
+    EXPECT_LT(result->terms[i - 1], result->terms[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hpa::ops

@@ -1,0 +1,81 @@
+#include "common/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace hpa {
+namespace {
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer t;
+  double a = t.ElapsedSeconds();
+  double b = t.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimerTest, MeasuresSleep) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.ElapsedSeconds(), 0.015);
+  EXPECT_GE(t.ElapsedNanos(), 15'000'000);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), 0.015);
+}
+
+TEST(PhaseTimerTest, AccumulatesByName) {
+  PhaseTimer timer;
+  timer.Add("input+wc", 1.0);
+  timer.Add("kmeans", 2.0);
+  timer.Add("input+wc", 0.5);
+  EXPECT_DOUBLE_EQ(timer.Seconds("input+wc"), 1.5);
+  EXPECT_DOUBLE_EQ(timer.Seconds("kmeans"), 2.0);
+  EXPECT_DOUBLE_EQ(timer.Seconds("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 3.5);
+}
+
+TEST(PhaseTimerTest, PreservesFirstSeenOrder) {
+  PhaseTimer timer;
+  timer.Add("b", 1.0);
+  timer.Add("a", 1.0);
+  timer.Add("b", 1.0);
+  ASSERT_EQ(timer.phases().size(), 2u);
+  EXPECT_EQ(timer.phases()[0].name, "b");
+  EXPECT_EQ(timer.phases()[1].name, "a");
+}
+
+TEST(PhaseTimerTest, ClearEmpties) {
+  PhaseTimer timer;
+  timer.Add("x", 1.0);
+  timer.Clear();
+  EXPECT_TRUE(timer.phases().empty());
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.0);
+}
+
+TEST(PhaseTimerTest, MergeCombines) {
+  PhaseTimer a, b;
+  a.Add("x", 1.0);
+  b.Add("x", 2.0);
+  b.Add("y", 3.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Seconds("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.Seconds("y"), 3.0);
+}
+
+TEST(ScopedPhaseTest, RecordsScopeDuration) {
+  PhaseTimer timer;
+  {
+    ScopedPhase phase(&timer, "scoped");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(timer.Seconds("scoped"), 0.008);
+}
+
+}  // namespace
+}  // namespace hpa

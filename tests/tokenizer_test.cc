@@ -1,0 +1,86 @@
+#include "text/tokenizer.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hpa::text {
+namespace {
+
+std::vector<std::string> Tokens(std::string_view body,
+                                TokenizerOptions options = {}) {
+  std::vector<std::string> out;
+  ForEachToken(body, options, [&](std::string_view t) {
+    out.emplace_back(t);
+  });
+  return out;
+}
+
+TEST(TokenizerTest, SplitsOnNonLetters) {
+  EXPECT_EQ(Tokens("the cat, sat. on-the mat!"),
+            (std::vector<std::string>{"the", "cat", "sat", "on", "the",
+                                      "mat"}));
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  EXPECT_EQ(Tokens("Hello WORLD MiXeD"),
+            (std::vector<std::string>{"hello", "world", "mixed"}));
+}
+
+TEST(TokenizerTest, PreservesCaseWhenDisabled) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  EXPECT_EQ(Tokens("Hello WORLD", opts),
+            (std::vector<std::string>{"Hello", "WORLD"}));
+}
+
+TEST(TokenizerTest, DigitsArePunctuationNotLetters) {
+  EXPECT_EQ(Tokens("abc123def 42"),
+            (std::vector<std::string>{"abc", "def"}));
+}
+
+TEST(TokenizerTest, EmptyAndNonLetterInputsYieldNothing) {
+  EXPECT_TRUE(Tokens("").empty());
+  EXPECT_TRUE(Tokens("123 456 ... !!!").empty());
+}
+
+TEST(TokenizerTest, MinLengthFiltersShortTokens) {
+  TokenizerOptions opts;
+  opts.min_token_length = 3;
+  EXPECT_EQ(Tokens("I am the walrus", opts),
+            (std::vector<std::string>{"the", "walrus"}));
+}
+
+TEST(TokenizerTest, LongTokensAreTruncated) {
+  TokenizerOptions opts;
+  opts.max_token_length = 4;
+  EXPECT_EQ(Tokens("abcdefgh xy", opts),
+            (std::vector<std::string>{"abcd", "xy"}));
+}
+
+TEST(TokenizerTest, TokenAtEndOfInputIsEmitted) {
+  EXPECT_EQ(Tokens("ends with word"),
+            (std::vector<std::string>{"ends", "with", "word"}));
+}
+
+TEST(TokenizerTest, UnicodeBytesAreSeparators) {
+  // Non-ASCII bytes are treated as separators, not letters.
+  EXPECT_EQ(Tokens("caf\xC3\xA9 bar"),
+            (std::vector<std::string>{"caf", "bar"}));
+}
+
+TEST(TokenizerTest, NewlinesAndTabsSeparate) {
+  EXPECT_EQ(Tokens("one\ntwo\tthree"),
+            (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(CountTokensTest, MatchesForEachToken) {
+  TokenizerOptions opts;
+  EXPECT_EQ(CountTokens("a bb ccc dddd", opts), 4u);
+  opts.min_token_length = 2;
+  EXPECT_EQ(CountTokens("a bb ccc dddd", opts), 3u);
+}
+
+}  // namespace
+}  // namespace hpa::text

@@ -1,0 +1,99 @@
+#include "parallel/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+#include "parallel/simulated_executor.h"
+
+namespace hpa::parallel {
+namespace {
+
+void Spin(double seconds) {
+  WallTimer t;
+  volatile double x = 1.0;
+  while (t.ElapsedSeconds() < seconds) x = x * 1.0000001;
+}
+
+TEST(ExecutionTraceTest, RecordsChunkEventsPerWorkerLane) {
+  ExecutionTrace trace;
+  SimulatedExecutor exec(4, MachineModel::Default());
+  exec.set_trace(&trace);
+
+  WorkHint hint;
+  hint.label = "assign";
+  exec.ParallelFor(0, 16, 2, hint, [](int, size_t, size_t) { Spin(0.001); });
+
+  EXPECT_EQ(trace.events().size(), 8u);  // 16 items / grain 2
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_EQ(e.label, "assign");
+    EXPECT_GE(e.worker, 0);
+    EXPECT_LT(e.worker, 4);
+    EXPECT_GE(e.start_seconds, 0.0);
+    EXPECT_GT(e.duration_seconds, 0.0);
+  }
+}
+
+TEST(ExecutionTraceTest, RecordsSerialRegions) {
+  ExecutionTrace trace;
+  SimulatedExecutor exec(4, MachineModel::Default());
+  exec.set_trace(&trace);
+  WorkHint hint;
+  hint.label = "tfidf-output";
+  exec.RunSerial(hint, [] { Spin(0.002); });
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].label, "tfidf-output");
+  EXPECT_NEAR(trace.events()[0].duration_seconds, 0.002, 0.005);
+}
+
+TEST(ExecutionTraceTest, UnlabeledRegionsGetDefaults) {
+  ExecutionTrace trace;
+  SimulatedExecutor exec(2, MachineModel::Default());
+  exec.set_trace(&trace);
+  exec.ParallelFor(0, 2, 1, WorkHint{}, [](int, size_t, size_t) {});
+  exec.RunSerial(WorkHint{}, [] {});
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].label, "parallel-for");
+  EXPECT_EQ(trace.events()[2].label, "serial");
+}
+
+TEST(ExecutionTraceTest, EventsLieOnTheVirtualTimeline) {
+  ExecutionTrace trace;
+  SimulatedExecutor exec(2, MachineModel::Default());
+  exec.set_trace(&trace);
+  exec.RunSerial(WorkHint{}, [] { Spin(0.002); });
+  double after_first = exec.Now();
+  exec.ParallelFor(0, 4, 1, WorkHint{},
+                   [](int, size_t, size_t) { Spin(0.001); });
+  // Chunk events start at or after the first region's end.
+  for (size_t i = 1; i < trace.events().size(); ++i) {
+    EXPECT_GE(trace.events()[i].start_seconds, after_first - 1e-9);
+  }
+}
+
+TEST(ExecutionTraceTest, ChromeJsonShape) {
+  ExecutionTrace trace;
+  trace.Add("phase \"x\"", 0.5, 0.25, 3);
+  std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":500000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250000.000"), std::string::npos);
+  EXPECT_NE(json.find("\\\"x\\\""), std::string::npos);  // escaped quote
+}
+
+TEST(ExecutionTraceTest, ClearEmptiesAndDetachStops) {
+  ExecutionTrace trace;
+  SimulatedExecutor exec(2, MachineModel::Default());
+  exec.set_trace(&trace);
+  exec.RunSerial(WorkHint{}, [] {});
+  EXPECT_EQ(trace.events().size(), 1u);
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+  exec.set_trace(nullptr);
+  exec.RunSerial(WorkHint{}, [] {});
+  EXPECT_TRUE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace hpa::parallel

@@ -1,0 +1,315 @@
+// Tests for the workflow DAG, executor, and standard operators — including
+// the central workflow property: discrete and merged plans produce
+// identical clustering results while paying very different I/O costs.
+
+#include "core/workflow.h"
+
+#include <algorithm>
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/standard_ops.h"
+#include "core/workflow_executor.h"
+#include "io/file_io.h"
+#include "parallel/simulated_executor.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
+
+namespace hpa::core {
+namespace {
+
+class WorkflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_workflow_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    corpus_disk_ = std::make_unique<io::SimDisk>(
+        io::DiskOptions::CorpusStore(), dir_, nullptr);
+    scratch_disk_ = std::make_unique<io::SimDisk>(io::DiskOptions::LocalHdd(),
+                                                  dir_, nullptr);
+
+    text::CorpusProfile profile;
+    profile.name = "wf";
+    profile.num_documents = 120;
+    profile.target_bytes = 80000;
+    profile.target_distinct_words = 900;
+    text::Corpus corpus = text::SynthCorpusGenerator(profile).Generate();
+    ASSERT_TRUE(
+        text::WriteCorpusPacked(corpus, corpus_disk_.get(), "wf.pack").ok());
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  /// TF/IDF -> K-means over the test corpus.
+  Workflow MakeWorkflow() {
+    Workflow wf;
+    int src = wf.AddSource(Dataset(CorpusRef{"wf.pack"}), "corpus");
+    auto tfidf = wf.Add(std::make_unique<TfidfOperator>(), {src});
+    EXPECT_TRUE(tfidf.ok());
+    ops::KMeansOptions kopts;
+    kopts.k = 4;
+    kopts.max_iterations = 8;
+    auto kmeans = wf.Add(std::make_unique<KMeansOperator>(kopts), {*tfidf});
+    EXPECT_TRUE(kmeans.ok());
+    return wf;
+  }
+
+  RunEnv Env(parallel::Executor* exec) {
+    corpus_disk_->set_executor(exec);
+    scratch_disk_->set_executor(exec);
+    RunEnv env;
+    env.executor = exec;
+    env.corpus_disk = corpus_disk_.get();
+    env.scratch_disk = scratch_disk_.get();
+    return env;
+  }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> corpus_disk_;
+  std::unique_ptr<io::SimDisk> scratch_disk_;
+};
+
+TEST_F(WorkflowTest, AddRejectsForwardReferences) {
+  Workflow wf;
+  auto bad = wf.Add(std::make_unique<TfidfOperator>(), {5});
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorkflowTest, SinkDetection) {
+  Workflow wf = MakeWorkflow();
+  EXPECT_EQ(wf.size(), 3u);
+  std::vector<int> sinks = wf.SinkIds();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0], 2);
+  EXPECT_TRUE(wf.IsSource(0));
+  EXPECT_FALSE(wf.IsSource(1));
+  EXPECT_EQ(wf.label(1), "tfidf");
+}
+
+TEST_F(WorkflowTest, PlanSizeMismatchRejected) {
+  Workflow wf = MakeWorkflow();
+  parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+  ExecutionPlan plan;
+  plan.nodes.resize(1);  // wrong size
+  auto result = RunWorkflow(wf, plan, Env(&exec));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorkflowTest, MissingExecutorRejected) {
+  Workflow wf = MakeWorkflow();
+  ExecutionPlan plan;
+  plan.nodes.resize(wf.size());
+  RunEnv env;
+  EXPECT_EQ(RunWorkflow(wf, plan, env).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorkflowTest, FusedPlanProducesClusteringOutput) {
+  Workflow wf = MakeWorkflow();
+  parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+
+  ExecutionPlan plan;
+  plan.workers = 8;
+  plan.nodes.resize(wf.size());
+  plan.nodes[2].output_boundary = Boundary::kMaterialized;  // final output
+
+  auto result = RunWorkflow(wf, plan, Env(&exec));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->outputs.size(), 1u);
+  ASSERT_TRUE(std::holds_alternative<CsvRef>(result->outputs[0]));
+  EXPECT_TRUE(scratch_disk_->Exists(KMeansOperator::kCsvPath));
+
+  // Fused plan has no ARFF phases.
+  EXPECT_GT(result->phases.Seconds("input+wc"), 0.0);
+  EXPECT_GT(result->phases.Seconds("transform"), 0.0);
+  EXPECT_GT(result->phases.Seconds("kmeans"), 0.0);
+  EXPECT_GT(result->phases.Seconds("output"), 0.0);
+  EXPECT_DOUBLE_EQ(result->phases.Seconds("tfidf-output"), 0.0);
+  EXPECT_DOUBLE_EQ(result->phases.Seconds("kmeans-input"), 0.0);
+  EXPECT_GT(result->total_seconds, 0.0);
+}
+
+TEST_F(WorkflowTest, DiscretePlanGoesThroughArff) {
+  Workflow wf = MakeWorkflow();
+  parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+
+  ExecutionPlan plan;
+  plan.workers = 8;
+  plan.nodes.resize(wf.size());
+  plan.nodes[1].output_boundary = Boundary::kMaterialized;  // spill TF/IDF
+  plan.nodes[2].output_boundary = Boundary::kMaterialized;
+
+  auto result = RunWorkflow(wf, plan, Env(&exec));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(scratch_disk_->Exists(TfidfOperator::kArffPath));
+
+  // Discrete plan pays the serial ARFF phases.
+  EXPECT_GT(result->phases.Seconds("tfidf-output"), 0.0);
+  EXPECT_GT(result->phases.Seconds("kmeans-input"), 0.0);
+  EXPECT_DOUBLE_EQ(result->phases.Seconds("transform"), 0.0);
+}
+
+TEST_F(WorkflowTest, DiscreteAndMergedProduceIdenticalClusters) {
+  // Run fused with an in-memory sink so we can read the assignment, and
+  // discrete likewise; compare assignments.
+  auto run = [&](bool discrete) {
+    Workflow wf = MakeWorkflow();
+    parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+    ExecutionPlan plan;
+    plan.workers = 4;
+    plan.nodes.resize(wf.size());
+    if (discrete) plan.nodes[1].output_boundary = Boundary::kMaterialized;
+    plan.nodes[2].output_boundary = Boundary::kFused;  // keep in memory
+    auto result = RunWorkflow(wf, plan, Env(&exec));
+    EXPECT_TRUE(result.ok()) << result.status();
+    const auto* clustering = std::get_if<Clustering>(&result->outputs[0]);
+    EXPECT_NE(clustering, nullptr);
+    return clustering->kmeans.assignment;
+  };
+
+  auto merged = run(false);
+  auto discrete = run(true);
+  ASSERT_EQ(merged.size(), discrete.size());
+  // ARFF round-trips floats through %.7g text: identical decisions.
+  EXPECT_EQ(merged, discrete);
+}
+
+TEST_F(WorkflowTest, DiscreteCostsMoreVirtualTimeAtHighParallelism) {
+  auto run = [&](bool discrete) {
+    Workflow wf = MakeWorkflow();
+    parallel::SimulatedExecutor exec(16, parallel::MachineModel::Default());
+    ExecutionPlan plan;
+    plan.workers = 16;
+    plan.nodes.resize(wf.size());
+    if (discrete) plan.nodes[1].output_boundary = Boundary::kMaterialized;
+    plan.nodes[2].output_boundary = Boundary::kMaterialized;
+    auto result = RunWorkflow(wf, plan, Env(&exec));
+    EXPECT_TRUE(result.ok());
+    return result->total_seconds;
+  };
+  double merged_time = run(false);
+  double discrete_time = run(true);
+  EXPECT_GT(discrete_time, merged_time);
+}
+
+TEST_F(WorkflowTest, DiamondDagWithTwoConsumersOfTfidf) {
+  // corpus -> tfidf -> {kmeans, top-terms}: one fused intermediate feeding
+  // two sinks without recomputation.
+  Workflow wf;
+  int src = wf.AddSource(Dataset(CorpusRef{"wf.pack"}), "corpus");
+  auto tfidf = wf.Add(std::make_unique<TfidfOperator>(), {src});
+  ASSERT_TRUE(tfidf.ok());
+  ops::KMeansOptions kopts;
+  kopts.k = 3;
+  kopts.max_iterations = 5;
+  auto kmeans = wf.Add(std::make_unique<KMeansOperator>(kopts), {*tfidf});
+  ASSERT_TRUE(kmeans.ok());
+  auto top = wf.Add(std::make_unique<TopTermsOperator>(10), {*tfidf});
+  ASSERT_TRUE(top.ok());
+
+  std::vector<int> sinks = wf.SinkIds();
+  ASSERT_EQ(sinks.size(), 2u);
+
+  parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+  ExecutionPlan plan;
+  plan.workers = 4;
+  plan.nodes.resize(wf.size());
+  plan.nodes[static_cast<size_t>(*kmeans)].output_boundary =
+      Boundary::kFused;
+  plan.nodes[static_cast<size_t>(*top)].output_boundary = Boundary::kFused;
+
+  auto result = RunWorkflow(wf, plan, Env(&exec));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->outputs.size(), 2u);
+  const auto* clustering = std::get_if<Clustering>(&result->outputs[0]);
+  const auto* ranking = std::get_if<TermRanking>(&result->outputs[1]);
+  ASSERT_NE(clustering, nullptr);
+  ASSERT_NE(ranking, nullptr);
+  EXPECT_EQ(ranking->terms.size(), 10u);
+  // Ranked by descending total score.
+  for (size_t i = 1; i < ranking->terms.size(); ++i) {
+    EXPECT_GE(ranking->terms[i - 1].second, ranking->terms[i].second);
+  }
+  // input+wc ran once even with two consumers.
+  EXPECT_GT(result->phases.Seconds("top-terms"), 0.0);
+}
+
+TEST_F(WorkflowTest, TopTermsMaterializesCsv) {
+  Workflow wf;
+  int src = wf.AddSource(Dataset(CorpusRef{"wf.pack"}), "corpus");
+  auto tfidf = wf.Add(std::make_unique<TfidfOperator>(), {src});
+  auto top = wf.Add(std::make_unique<TopTermsOperator>(5), {*tfidf});
+  ASSERT_TRUE(top.ok());
+
+  parallel::SimulatedExecutor exec(2, parallel::MachineModel::Default());
+  ExecutionPlan plan;
+  plan.workers = 2;
+  plan.nodes.resize(wf.size());
+  plan.nodes[static_cast<size_t>(*top)].output_boundary =
+      Boundary::kMaterialized;
+
+  auto result = RunWorkflow(wf, plan, Env(&exec));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(std::holds_alternative<CsvRef>(result->outputs[0]));
+  auto csv = scratch_disk_->ReadFile(TopTermsOperator::kCsvPath);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv->rfind("term,total_score\n", 0), 0u);
+  // Header plus 5 rows.
+  EXPECT_EQ(std::count(csv->begin(), csv->end(), '\n'), 6);
+}
+
+TEST_F(WorkflowTest, TopTermsRejectsNonTfidfInput) {
+  Workflow wf;
+  int src = wf.AddSource(Dataset(CorpusRef{"wf.pack"}), "corpus");
+  auto top = wf.Add(std::make_unique<TopTermsOperator>(5), {src});
+  ASSERT_TRUE(top.ok());
+  parallel::SerialExecutor exec;
+  ExecutionPlan plan;
+  plan.workers = 1;
+  plan.nodes.resize(wf.size());
+  auto result = RunWorkflow(wf, plan, Env(&exec));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorkflowTest, ToDotRendersNodesAndBoundaries) {
+  Workflow wf = MakeWorkflow();
+  EXPECT_NE(wf.ToDot().find("digraph workflow"), std::string::npos);
+  EXPECT_NE(wf.ToDot().find("tfidf"), std::string::npos);
+  EXPECT_NE(wf.ToDot().find("n0 -> n1"), std::string::npos);
+
+  ExecutionPlan plan;
+  plan.nodes.resize(wf.size());
+  plan.nodes[1].output_boundary = Boundary::kMaterialized;
+  plan.nodes[1].dict_backend = containers::DictBackend::kStdMap;
+  std::string dot = wf.ToDot(&plan);
+  EXPECT_NE(dot.find("materialized"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST_F(WorkflowTest, SourceLabelAndDatasetKind) {
+  Workflow wf = MakeWorkflow();
+  EXPECT_EQ(wf.label(0), "corpus");
+  EXPECT_EQ(DatasetKindName(wf.source_dataset(0)), "corpus-ref");
+  EXPECT_EQ(DatasetKindName(Dataset{}), "none");
+}
+
+TEST_F(WorkflowTest, PlanToStringMentionsChoices) {
+  Workflow wf = MakeWorkflow();
+  ExecutionPlan plan;
+  plan.workers = 8;
+  plan.nodes.resize(wf.size());
+  plan.nodes[1].output_boundary = Boundary::kMaterialized;
+  plan.nodes[1].dict_backend = containers::DictBackend::kStdMap;
+  std::string dump = plan.ToString(wf);
+  EXPECT_NE(dump.find("workers=8"), std::string::npos);
+  EXPECT_NE(dump.find("tfidf"), std::string::npos);
+  EXPECT_NE(dump.find("materialized"), std::string::npos);
+  EXPECT_NE(dump.find("map"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpa::core
