@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_grain"
+  "../bench/ablation_grain.pdb"
+  "CMakeFiles/ablation_grain.dir/ablation_grain.cc.o"
+  "CMakeFiles/ablation_grain.dir/ablation_grain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

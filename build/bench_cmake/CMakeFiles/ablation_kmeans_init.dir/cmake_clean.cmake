@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kmeans_init"
+  "../bench/ablation_kmeans_init.pdb"
+  "CMakeFiles/ablation_kmeans_init.dir/ablation_kmeans_init.cc.o"
+  "CMakeFiles/ablation_kmeans_init.dir/ablation_kmeans_init.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kmeans_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

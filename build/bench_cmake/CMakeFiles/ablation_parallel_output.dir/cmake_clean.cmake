@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_parallel_output"
+  "../bench/ablation_parallel_output.pdb"
+  "CMakeFiles/ablation_parallel_output.dir/ablation_parallel_output.cc.o"
+  "CMakeFiles/ablation_parallel_output.dir/ablation_parallel_output.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_presize"
+  "../bench/ablation_presize.pdb"
+  "CMakeFiles/ablation_presize.dir/ablation_presize.cc.o"
+  "CMakeFiles/ablation_presize.dir/ablation_presize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_presize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

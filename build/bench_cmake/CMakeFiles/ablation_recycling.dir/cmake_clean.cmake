@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_recycling"
+  "../bench/ablation_recycling.pdb"
+  "CMakeFiles/ablation_recycling.dir/ablation_recycling.cc.o"
+  "CMakeFiles/ablation_recycling.dir/ablation_recycling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recycling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_kmeans_scalability"
+  "../bench/fig1_kmeans_scalability.pdb"
+  "CMakeFiles/fig1_kmeans_scalability.dir/fig1_kmeans_scalability.cc.o"
+  "CMakeFiles/fig1_kmeans_scalability.dir/fig1_kmeans_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_kmeans_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

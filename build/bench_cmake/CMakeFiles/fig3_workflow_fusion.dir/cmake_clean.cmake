@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_workflow_fusion"
+  "../bench/fig3_workflow_fusion.pdb"
+  "CMakeFiles/fig3_workflow_fusion.dir/fig3_workflow_fusion.cc.o"
+  "CMakeFiles/fig3_workflow_fusion.dir/fig3_workflow_fusion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_workflow_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_data_structures"
+  "../bench/fig4_data_structures.pdb"
+  "CMakeFiles/fig4_data_structures.dir/fig4_data_structures.cc.o"
+  "CMakeFiles/fig4_data_structures.dir/fig4_data_structures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_data_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/hpa_bench_util.dir/bench_util.cc.o.d"
+  "libhpa_bench_util.a"
+  "libhpa_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpa_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_dictionary"
+  "../bench/micro_dictionary.pdb"
+  "CMakeFiles/micro_dictionary.dir/micro_dictionary.cc.o"
+  "CMakeFiles/micro_dictionary.dir/micro_dictionary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_parallel"
+  "../bench/micro_parallel.pdb"
+  "CMakeFiles/micro_parallel.dir/micro_parallel.cc.o"
+  "CMakeFiles/micro_parallel.dir/micro_parallel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

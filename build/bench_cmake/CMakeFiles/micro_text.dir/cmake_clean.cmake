@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_text"
+  "../bench/micro_text.pdb"
+  "CMakeFiles/micro_text.dir/micro_text.cc.o"
+  "CMakeFiles/micro_text.dir/micro_text.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

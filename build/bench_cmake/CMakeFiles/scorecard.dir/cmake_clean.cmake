@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scorecard"
+  "../bench/scorecard.pdb"
+  "CMakeFiles/scorecard.dir/scorecard.cc.o"
+  "CMakeFiles/scorecard.dir/scorecard.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/weka_comparison"
+  "../bench/weka_comparison.pdb"
+  "CMakeFiles/weka_comparison.dir/weka_comparison.cc.o"
+  "CMakeFiles/weka_comparison.dir/weka_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weka_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dictionary_tuning.dir/dictionary_tuning.cpp.o"
+  "CMakeFiles/dictionary_tuning.dir/dictionary_tuning.cpp.o.d"
+  "dictionary_tuning"
+  "dictionary_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dictionary_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_and_classify.dir/fit_and_classify.cpp.o"
+  "CMakeFiles/fit_and_classify.dir/fit_and_classify.cpp.o.d"
+  "fit_and_classify"
+  "fit_and_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_and_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

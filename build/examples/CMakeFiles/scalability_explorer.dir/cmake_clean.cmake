@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_explorer.dir/scalability_explorer.cpp.o"
+  "CMakeFiles/scalability_explorer.dir/scalability_explorer.cpp.o.d"
+  "scalability_explorer"
+  "scalability_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_cli.dir/workflow_cli.cpp.o"
+  "CMakeFiles/workflow_cli.dir/workflow_cli.cpp.o.d"
+  "workflow_cli"
+  "workflow_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_fusion_demo.dir/workflow_fusion_demo.cpp.o"
+  "CMakeFiles/workflow_fusion_demo.dir/workflow_fusion_demo.cpp.o.d"
+  "workflow_fusion_demo"
+  "workflow_fusion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_fusion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arff_test.dir/arff_test.cc.o"
+  "CMakeFiles/arff_test.dir/arff_test.cc.o.d"
+  "arff_test"
+  "arff_test.pdb"
+  "arff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

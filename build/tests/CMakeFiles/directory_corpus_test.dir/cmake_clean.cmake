@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_corpus_test.dir/directory_corpus_test.cc.o"
+  "CMakeFiles/directory_corpus_test.dir/directory_corpus_test.cc.o.d"
+  "directory_corpus_test"
+  "directory_corpus_test.pdb"
+  "directory_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_tree_map_test.dir/rb_tree_map_test.cc.o"
+  "CMakeFiles/rb_tree_map_test.dir/rb_tree_map_test.cc.o.d"
+  "rb_tree_map_test"
+  "rb_tree_map_test.pdb"
+  "rb_tree_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_tree_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

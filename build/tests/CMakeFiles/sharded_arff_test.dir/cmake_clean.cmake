@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_arff_test.dir/sharded_arff_test.cc.o"
+  "CMakeFiles/sharded_arff_test.dir/sharded_arff_test.cc.o.d"
+  "sharded_arff_test"
+  "sharded_arff_test.pdb"
+  "sharded_arff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_arff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stemmer_test.dir/stemmer_test.cc.o"
+  "CMakeFiles/stemmer_test.dir/stemmer_test.cc.o.d"
+  "stemmer_test"
+  "stemmer_test.pdb"
+  "stemmer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stemmer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

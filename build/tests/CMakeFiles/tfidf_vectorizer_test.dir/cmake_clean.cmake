@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfidf_vectorizer_test.dir/tfidf_vectorizer_test.cc.o"
+  "CMakeFiles/tfidf_vectorizer_test.dir/tfidf_vectorizer_test.cc.o.d"
+  "tfidf_vectorizer_test"
+  "tfidf_vectorizer_test.pdb"
+  "tfidf_vectorizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfidf_vectorizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_count_test.dir/word_count_test.cc.o"
+  "CMakeFiles/word_count_test.dir/word_count_test.cc.o.d"
+  "word_count_test"
+  "word_count_test.pdb"
+  "word_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
