@@ -83,6 +83,7 @@ int Run(int argc, char** argv) {
       parallel::SerialExecutor exec;
       PhaseTimer phases;
       ops::ExecContext ctx;
+      ctx.serial_merge = flags.GetBool("serial-merge");
       ctx.executor = &exec;
       ctx.phases = &phases;
       ops::KMeansOptions kopts;

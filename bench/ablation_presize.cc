@@ -53,7 +53,7 @@ int Run(int argc, char** argv) {
   }
 
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({"backend", "presize", "input+wc", "transform",
+  rows.push_back({"backend", "presize", "input+wc", "df-merge", "transform",
                   "dict bytes"});
 
   for (containers::DictBackend backend :
@@ -69,6 +69,7 @@ int Run(int argc, char** argv) {
       env->SetExecutor(exec.get());
       PhaseTimer phases;
       ops::ExecContext ctx;
+      ctx.serial_merge = flags.GetBool("serial-merge");
       ctx.executor = exec.get();
       ctx.corpus_disk = env->corpus_disk();
       ctx.dict_backend = backend;
@@ -87,6 +88,7 @@ int Run(int argc, char** argv) {
       rows.push_back({std::string(containers::DictBackendName(backend)),
                       std::to_string(presize),
                       HumanDuration(phases.Seconds("input+wc")),
+                      HumanDuration(phases.Seconds("df-merge")),
                       HumanDuration(phases.Seconds("transform")),
                       HumanBytes(tfidf->dict_bytes)});
     }

@@ -81,6 +81,7 @@ int Run(int argc, char** argv) {
       for (int rep = 0; rep < flags.GetInt("repeats"); ++rep) {
         PhaseTimer phases;
         ops::ExecContext ctx;
+        ctx.serial_merge = flags.GetBool("serial-merge");
         ctx.executor = exec.get();
         ctx.phases = &phases;
         ops::KMeansOptions kopts;

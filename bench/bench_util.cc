@@ -31,6 +31,10 @@ void AddCommonFlags(FlagSet& flags) {
                   "repetitions per configuration; the minimum time is "
                   "reported (noise suppression)");
   flags.DefineInt("clusters", 8, "number of K-means clusters (paper: 8)");
+  flags.DefineBool("serial-merge", false,
+                   "fold reductions serially on one worker (the paper-era "
+                   "structure) instead of the parallel sharded/tree merges; "
+                   "results are byte-identical either way");
 }
 
 StatusOr<std::unique_ptr<BenchEnv>> BenchEnv::Create(const FlagSet& flags) {

@@ -71,6 +71,7 @@ int Run(int argc, char** argv) {
       env->SetExecutor(exec.get());
       PhaseTimer phases;
       ops::ExecContext ctx;
+      ctx.serial_merge = flags.GetBool("serial-merge");
       ctx.executor = exec.get();
       ctx.corpus_disk = env->corpus_disk();
       ctx.scratch_disk = env->scratch_disk();
@@ -83,9 +84,10 @@ int Run(int argc, char** argv) {
       curve.points.push_back({threads, phases.TotalSeconds()});
       if (threads == (*threads_or).front() ||
           threads == (*threads_or).back()) {
-        std::printf("  [%s, %2d threads] input+wc %.3fs, tfidf-output %.3fs\n",
+        std::printf("  [%s, %2d threads] input+wc %.3fs, df-merge %.3fs, "
+                    "tfidf-output %.3fs\n",
                     profile.name.c_str(), threads,
-                    phases.Seconds("input+wc"),
+                    phases.Seconds("input+wc"), phases.Seconds("df-merge"),
                     phases.Seconds("tfidf-output"));
       }
       // The executor dies at the end of this iteration; never leave the

@@ -75,8 +75,8 @@ int Run(int argc, char** argv) {
   };
 
   const std::vector<std::string> phase_order = {
-      "input+wc", "tfidf-output", "kmeans-input",
-      "transform", "kmeans",      "output"};
+      "input+wc", "df-merge", "tfidf-output", "kmeans-input",
+      "transform", "kmeans",  "output"};
 
   std::vector<core::BreakdownColumn> columns;
   double merged_total_1 = 0, discrete_total_1 = 0;

@@ -2,7 +2,7 @@
 // the Mix input using std::unordered_map (u-map, pre-sized to 4K entries
 // per document, as in the paper) versus std::map for the word-count
 // dictionaries, at 1/4/8/12/16 threads, with phase breakdown
-// (input+wc, transform, kmeans, output).
+// (input+wc, df-merge, transform, kmeans, output).
 //
 // Paper shape: input+wc is faster with the map (hash inserts pay resize +
 // memory pressure); transform is faster with the u-map at 1 thread (O(1)
@@ -40,6 +40,7 @@ StatusOr<RunOutcome> RunMergedWorkflow(BenchEnv& env, const FlagSet& flags,
 
   RunOutcome out;
   ops::ExecContext ctx;
+  ctx.serial_merge = flags.GetBool("serial-merge");
   ctx.executor = exec.get();
   ctx.corpus_disk = env.corpus_disk();
   ctx.scratch_disk = env.scratch_disk();
@@ -150,7 +151,8 @@ int Run(int argc, char** argv) {
               profile.name.c_str());
   std::printf("%s\n",
               core::FormatPhaseBreakdown(
-                  columns, {"input+wc", "transform", "kmeans", "output"})
+                  columns,
+                  {"input+wc", "df-merge", "transform", "kmeans", "output"})
                   .c_str());
   std::printf("dictionary footprint: u-map %s vs map %s (paper at full "
               "scale: 12.8 GB vs 420 MB)\n",

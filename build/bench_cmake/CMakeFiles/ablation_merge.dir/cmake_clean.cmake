@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_merge"
+  "../bench/ablation_merge.pdb"
+  "CMakeFiles/ablation_merge.dir/ablation_merge.cc.o"
+  "CMakeFiles/ablation_merge.dir/ablation_merge.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -258,7 +258,8 @@ bench_cmake/CMakeFiles/ablation_parallel_output.dir/ablation_parallel_output.cc.
  /root/repo/src/containers/chained_hash_map.h \
  /root/repo/src/containers/hash.h \
  /root/repo/src/containers/open_hash_map.h \
- /root/repo/src/containers/rb_tree_map.h /root/repo/src/text/tokenizer.h \
+ /root/repo/src/containers/rb_tree_map.h \
+ /root/repo/src/containers/sharded_dict.h /root/repo/src/text/tokenizer.h \
  /root/repo/src/ops/word_count.h /root/repo/src/parallel/parallel_ops.h \
  /root/repo/src/text/stemmer.h \
  /root/repo/src/parallel/simulated_executor.h \

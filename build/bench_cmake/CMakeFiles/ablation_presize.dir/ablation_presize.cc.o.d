@@ -257,6 +257,7 @@ bench_cmake/CMakeFiles/ablation_presize.dir/ablation_presize.cc.o: \
  /root/repo/src/containers/chained_hash_map.h \
  /root/repo/src/containers/hash.h \
  /root/repo/src/containers/open_hash_map.h \
- /root/repo/src/containers/rb_tree_map.h /root/repo/src/text/tokenizer.h \
+ /root/repo/src/containers/rb_tree_map.h \
+ /root/repo/src/containers/sharded_dict.h /root/repo/src/text/tokenizer.h \
  /root/repo/src/ops/word_count.h /root/repo/src/parallel/parallel_ops.h \
  /root/repo/src/text/stemmer.h

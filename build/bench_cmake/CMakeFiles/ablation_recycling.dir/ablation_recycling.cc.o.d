@@ -232,7 +232,8 @@ bench_cmake/CMakeFiles/ablation_recycling.dir/ablation_recycling.cc.o: \
  /root/repo/src/containers/chained_hash_map.h \
  /root/repo/src/containers/hash.h \
  /root/repo/src/containers/open_hash_map.h \
- /root/repo/src/containers/rb_tree_map.h /root/repo/src/text/tokenizer.h \
+ /root/repo/src/containers/rb_tree_map.h \
+ /root/repo/src/containers/sharded_dict.h /root/repo/src/text/tokenizer.h \
  /root/repo/src/ops/tfidf.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -224,6 +224,7 @@ bench_cmake/CMakeFiles/fig3_workflow_fusion.dir/fig3_workflow_fusion.cc.o: \
  /root/repo/src/containers/hash.h \
  /root/repo/src/containers/open_hash_map.h \
  /root/repo/src/containers/rb_tree_map.h \
+ /root/repo/src/containers/sharded_dict.h \
  /root/repo/src/parallel/machine_model.h /root/repo/src/core/plan.h \
  /root/repo/src/core/operator.h /root/repo/src/core/dataset.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \

@@ -214,4 +214,5 @@ bench_cmake/CMakeFiles/micro_dictionary.dir/micro_dictionary.cc.o: \
  /root/repo/src/containers/open_hash_map.h \
  /root/repo/src/containers/rb_tree_map.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /root/repo/src/containers/sharded_dict.h \
  /root/repo/src/text/synth_corpus.h /root/repo/src/text/document.h

@@ -183,6 +183,7 @@ examples/CMakeFiles/dictionary_tuning.dir/dictionary_tuning.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/containers/sharded_dict.h \
  /root/repo/src/parallel/machine_model.h /root/repo/src/core/report.h \
  /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \

@@ -221,6 +221,7 @@ examples/CMakeFiles/workflow_cli.dir/workflow_cli.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/containers/sharded_dict.h \
  /root/repo/src/parallel/machine_model.h /root/repo/src/core/plan.h \
  /root/repo/src/core/operator.h /root/repo/src/core/dataset.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \

@@ -230,7 +230,8 @@ examples/CMakeFiles/workflow_fusion_demo.dir/workflow_fusion_demo.cpp.o: \
  /root/repo/src/containers/chained_hash_map.h \
  /root/repo/src/containers/hash.h \
  /root/repo/src/containers/open_hash_map.h \
- /root/repo/src/containers/rb_tree_map.h /root/repo/src/io/sim_disk.h \
+ /root/repo/src/containers/rb_tree_map.h \
+ /root/repo/src/containers/sharded_dict.h /root/repo/src/io/sim_disk.h \
  /usr/include/c++/12/atomic /root/repo/src/parallel/executor.h \
  /root/repo/src/text/tokenizer.h /root/repo/src/ops/tfidf.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

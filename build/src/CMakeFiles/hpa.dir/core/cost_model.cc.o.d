@@ -181,6 +181,7 @@ src/CMakeFiles/hpa.dir/core/cost_model.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/containers/sharded_dict.h \
  /root/repo/src/parallel/machine_model.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \

@@ -190,7 +190,8 @@ src/CMakeFiles/hpa.dir/ops/kmeans.cc.o: /root/repo/src/ops/kmeans.cc \
  /root/repo/src/containers/chained_hash_map.h \
  /root/repo/src/containers/hash.h \
  /root/repo/src/containers/open_hash_map.h \
- /root/repo/src/containers/rb_tree_map.h /root/repo/src/io/sim_disk.h \
+ /root/repo/src/containers/rb_tree_map.h \
+ /root/repo/src/containers/sharded_dict.h /root/repo/src/io/sim_disk.h \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/hpa_tsan.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/hpa_tsan.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/hpa_tsan.dir/common/random.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/hpa_tsan.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hpa_tsan.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/hpa_tsan.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/common/string_util.cc.o.d"
+  "/root/repo/src/containers/dictionary.cc" "src/CMakeFiles/hpa_tsan.dir/containers/dictionary.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/containers/dictionary.cc.o.d"
+  "/root/repo/src/containers/sparse_vector.cc" "src/CMakeFiles/hpa_tsan.dir/containers/sparse_vector.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/containers/sparse_vector.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/hpa_tsan.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/hpa_tsan.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/plan_io.cc" "src/CMakeFiles/hpa_tsan.dir/core/plan_io.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/core/plan_io.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/hpa_tsan.dir/core/report.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/core/report.cc.o.d"
+  "/root/repo/src/core/standard_ops.cc" "src/CMakeFiles/hpa_tsan.dir/core/standard_ops.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/core/standard_ops.cc.o.d"
+  "/root/repo/src/core/workflow.cc" "src/CMakeFiles/hpa_tsan.dir/core/workflow.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/core/workflow.cc.o.d"
+  "/root/repo/src/core/workflow_executor.cc" "src/CMakeFiles/hpa_tsan.dir/core/workflow_executor.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/core/workflow_executor.cc.o.d"
+  "/root/repo/src/io/arff.cc" "src/CMakeFiles/hpa_tsan.dir/io/arff.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/io/arff.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/hpa_tsan.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/file_io.cc" "src/CMakeFiles/hpa_tsan.dir/io/file_io.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/io/file_io.cc.o.d"
+  "/root/repo/src/io/packed_corpus.cc" "src/CMakeFiles/hpa_tsan.dir/io/packed_corpus.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/io/packed_corpus.cc.o.d"
+  "/root/repo/src/io/sharded_arff.cc" "src/CMakeFiles/hpa_tsan.dir/io/sharded_arff.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/io/sharded_arff.cc.o.d"
+  "/root/repo/src/io/sim_disk.cc" "src/CMakeFiles/hpa_tsan.dir/io/sim_disk.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/io/sim_disk.cc.o.d"
+  "/root/repo/src/ops/dense_kmeans.cc" "src/CMakeFiles/hpa_tsan.dir/ops/dense_kmeans.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/ops/dense_kmeans.cc.o.d"
+  "/root/repo/src/ops/kmeans.cc" "src/CMakeFiles/hpa_tsan.dir/ops/kmeans.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/ops/kmeans.cc.o.d"
+  "/root/repo/src/ops/tfidf.cc" "src/CMakeFiles/hpa_tsan.dir/ops/tfidf.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/ops/tfidf.cc.o.d"
+  "/root/repo/src/ops/tfidf_vectorizer.cc" "src/CMakeFiles/hpa_tsan.dir/ops/tfidf_vectorizer.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/ops/tfidf_vectorizer.cc.o.d"
+  "/root/repo/src/parallel/executor.cc" "src/CMakeFiles/hpa_tsan.dir/parallel/executor.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/parallel/executor.cc.o.d"
+  "/root/repo/src/parallel/machine_model.cc" "src/CMakeFiles/hpa_tsan.dir/parallel/machine_model.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/parallel/machine_model.cc.o.d"
+  "/root/repo/src/parallel/simulated_executor.cc" "src/CMakeFiles/hpa_tsan.dir/parallel/simulated_executor.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/parallel/simulated_executor.cc.o.d"
+  "/root/repo/src/parallel/thread_pool.cc" "src/CMakeFiles/hpa_tsan.dir/parallel/thread_pool.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/parallel/thread_pool.cc.o.d"
+  "/root/repo/src/parallel/trace.cc" "src/CMakeFiles/hpa_tsan.dir/parallel/trace.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/parallel/trace.cc.o.d"
+  "/root/repo/src/text/corpus_io.cc" "src/CMakeFiles/hpa_tsan.dir/text/corpus_io.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/text/corpus_io.cc.o.d"
+  "/root/repo/src/text/directory_corpus.cc" "src/CMakeFiles/hpa_tsan.dir/text/directory_corpus.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/text/directory_corpus.cc.o.d"
+  "/root/repo/src/text/stemmer.cc" "src/CMakeFiles/hpa_tsan.dir/text/stemmer.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/text/stemmer.cc.o.d"
+  "/root/repo/src/text/synth_corpus.cc" "src/CMakeFiles/hpa_tsan.dir/text/synth_corpus.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/text/synth_corpus.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/hpa_tsan.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab_stats.cc" "src/CMakeFiles/hpa_tsan.dir/text/vocab_stats.cc.o" "gcc" "src/CMakeFiles/hpa_tsan.dir/text/vocab_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

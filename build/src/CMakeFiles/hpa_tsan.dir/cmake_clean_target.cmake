@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpa_tsan.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_test_tsan.dir/executor_test.cc.o"
+  "CMakeFiles/executor_test_tsan.dir/executor_test.cc.o.d"
+  "executor_test_tsan"
+  "executor_test_tsan.pdb"
+  "executor_test_tsan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_test_tsan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

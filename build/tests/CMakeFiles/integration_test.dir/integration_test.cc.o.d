@@ -299,6 +299,7 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/containers/hash.h \
  /root/repo/src/containers/open_hash_map.h \
  /root/repo/src/containers/rb_tree_map.h \
+ /root/repo/src/containers/sharded_dict.h \
  /root/repo/src/parallel/machine_model.h /root/repo/src/core/plan.h \
  /root/repo/src/core/operator.h /root/repo/src/core/dataset.h \
  /root/repo/src/containers/sparse_matrix.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_merge_test.dir/parallel_merge_test.cc.o"
+  "CMakeFiles/parallel_merge_test.dir/parallel_merge_test.cc.o.d"
+  "parallel_merge_test"
+  "parallel_merge_test.pdb"
+  "parallel_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_merge_test_tsan.dir/parallel_merge_test.cc.o"
+  "CMakeFiles/parallel_merge_test_tsan.dir/parallel_merge_test.cc.o.d"
+  "parallel_merge_test_tsan"
+  "parallel_merge_test_tsan.pdb"
+  "parallel_merge_test_tsan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_merge_test_tsan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -183,8 +183,9 @@ tests/CMakeFiles/plan_io_test.dir/plan_io_test.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/core/operator.h /root/repo/src/core/dataset.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/containers/sharded_dict.h /root/repo/src/core/operator.h \
+ /root/repo/src/core/dataset.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/containers/sparse_matrix.h \
  /root/repo/src/containers/sparse_vector.h /root/repo/src/ops/kmeans.h \
  /root/repo/src/ops/exec_context.h /root/repo/src/common/timer.h \

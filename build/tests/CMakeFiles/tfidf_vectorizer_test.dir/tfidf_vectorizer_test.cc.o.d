@@ -228,7 +228,8 @@ tests/CMakeFiles/tfidf_vectorizer_test.dir/tfidf_vectorizer_test.cc.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/containers/chained_hash_map.h \
- /root/repo/src/containers/rb_tree_map.h /root/repo/src/text/tokenizer.h \
+ /root/repo/src/containers/rb_tree_map.h \
+ /root/repo/src/containers/sharded_dict.h /root/repo/src/text/tokenizer.h \
  /root/repo/src/ops/tfidf.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

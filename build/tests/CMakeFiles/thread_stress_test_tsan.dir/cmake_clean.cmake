@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_stress_test_tsan.dir/thread_stress_test.cc.o"
+  "CMakeFiles/thread_stress_test_tsan.dir/thread_stress_test.cc.o.d"
+  "thread_stress_test_tsan"
+  "thread_stress_test_tsan.pdb"
+  "thread_stress_test_tsan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_stress_test_tsan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -182,6 +182,7 @@ tests/CMakeFiles/word_count_test.dir/word_count_test.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/containers/sharded_dict.h \
  /root/repo/src/io/packed_corpus.h /root/repo/src/io/sim_disk.h \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \

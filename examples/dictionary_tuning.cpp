@@ -82,7 +82,8 @@ int main(int argc, char** argv) {
 
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"backend", "predicted total", "measured input+wc",
-                    "measured transform", "measured total"});
+                    "measured df-merge", "measured transform",
+                    "measured total"});
     for (containers::DictBackend b : containers::kAllDictBackends) {
       core::PhaseCostEstimate est =
           model.Estimate(b, static_cast<int>(threads), presize);
@@ -109,6 +110,7 @@ int main(int argc, char** argv) {
       if (b == predicted) name += " *";
       rows.push_back({name, HumanDuration(est.TotalFused()),
                       HumanDuration(phases.Seconds("input+wc")),
+                      HumanDuration(phases.Seconds("df-merge")),
                       HumanDuration(phases.Seconds("transform")),
                       HumanDuration(phases.TotalSeconds())});
     }

@@ -112,7 +112,8 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n",
               core::FormatPhaseBreakdown(
-                  columns, {"input+wc", "transform", "kmeans", "output"})
+                  columns,
+                  {"input+wc", "df-merge", "transform", "kmeans", "output"})
                   .c_str());
   std::printf("reading: input+wc and transform shrink with workers; the "
               "serial output row\ndoes not — Amdahl in one table.\n");

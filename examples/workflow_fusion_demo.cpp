@@ -111,8 +111,8 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n",
               core::FormatPhaseBreakdown(
-                  columns, {"input+wc", "tfidf-output", "kmeans-input",
-                            "transform", "kmeans", "output"})
+                  columns, {"input+wc", "df-merge", "tfidf-output",
+                            "kmeans-input", "transform", "kmeans", "output"})
                   .c_str());
   std::printf("results identical: %s\n",
               assignments[0] == assignments[1] ? "yes" : "NO (bug!)");

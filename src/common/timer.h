@@ -42,7 +42,8 @@ class WallTimer {
 ///
 /// Phases may be re-entered; their durations accumulate. This is the unit in
 /// which the paper's Figures 3 and 4 report stacked execution-time bars
-/// (input+wc, tfidf-output, kmeans-input, transform, kmeans, output).
+/// (input+wc, df-merge, tfidf-output, kmeans-input, transform, kmeans,
+/// output).
 class PhaseTimer {
  public:
   /// One accumulated phase.

@@ -13,6 +13,7 @@
 #include "containers/hash.h"
 #include "containers/open_hash_map.h"
 #include "containers/rb_tree_map.h"
+#include "containers/sharded_dict.h"
 
 /// \file
 /// The dictionary abstraction at the heart of the paper's §3.4: word-count
@@ -110,7 +111,9 @@ template <typename V>
 class StdUnorderedDict {
  public:
   explicit StdUnorderedDict(size_t capacity_hint = 0) {
-    if (capacity_hint > 0) map_.rehash(capacity_hint);
+    // reserve() sizes for `capacity_hint` *elements* (accounting for
+    // max_load_factor); rehash() would interpret it as a bucket count.
+    if (capacity_hint > 0) map_.reserve(capacity_hint);
   }
 
   V& FindOrInsert(std::string_view key) {
@@ -132,7 +135,7 @@ class StdUnorderedDict {
   size_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }
   void Clear() { map_.clear(); }
-  void Reserve(size_t n) { map_.rehash(n); }
+  void Reserve(size_t n) { map_.reserve(n); }
 
   template <typename Fn>
   void ForEach(Fn fn) const {
@@ -186,6 +189,12 @@ template <typename V>
 struct DictFor<DictBackend::kOpenHash, V> {
   using type = OpenHashMap<std::string, V>;
 };
+
+/// Hash-partitioned composite of backend `B`: the output type of the
+/// parallel sharded reductions (parallel/parallel_ops.h). Same uniform
+/// surface as the plain backends, so it drops into the same pipelines.
+template <DictBackend B, typename V>
+using ShardedDictFor = ShardedDict<typename DictFor<B, V>::type>;
 
 /// Invokes `fn` with a `std::integral_constant<DictBackend, B>` matching the
 /// runtime `backend` — the bridge from runtime plan choices to the

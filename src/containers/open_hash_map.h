@@ -42,24 +42,32 @@ class OpenHashMap {
   size_t capacity() const { return slots_.size(); }
   uint64_t rehash_count() const { return rehash_count_; }
 
-  /// Returns the value for `key`, inserting a default if absent.
+  /// Returns the value for `key`, inserting a default if absent. Probes
+  /// before any rehash so a lookup hit never resizes — callers may update
+  /// values of existing keys mid-ForEach (the operators' id/df fix-up
+  /// pattern) without invalidating the iteration.
   template <typename K>
   Value& FindOrInsert(const K& key) {
-    if ((size_ + 1) * 8 > slots_.size() * 7) Rehash(slots_.size() * 2);
     size_t mask = slots_.size() - 1;
     size_t i = hash_(key) & mask;
     while (true) {
       Slot& s = slots_[i];
-      if (!s.occupied) {
-        s.occupied = true;
-        s.key = Key(key);
-        s.value = Value{};
-        ++size_;
-        return s.value;
-      }
+      if (!s.occupied) break;
       if (s.key == key) return s.value;
       i = (i + 1) & mask;
     }
+    if ((size_ + 1) * 8 > slots_.size() * 7) {
+      Rehash(slots_.size() * 2);
+      mask = slots_.size() - 1;
+      i = hash_(key) & mask;
+      while (slots_[i].occupied) i = (i + 1) & mask;
+    }
+    Slot& s = slots_[i];
+    s.occupied = true;
+    s.key = Key(key);
+    s.value = Value{};
+    ++size_;
+    return s.value;
   }
 
   template <typename K>

@@ -15,9 +15,11 @@ namespace hpa::core {
 
 /// TF/IDF over a packed corpus (input: CorpusRef).
 ///
-///  * fused output: in-memory TfidfResult — phases "input+wc", "transform";
+///  * fused output: in-memory TfidfResult — phases "input+wc", "df-merge",
+///    "transform";
 ///  * materialized output: streams scores to sparse ARFF — phases
-///    "input+wc", "tfidf-output" (serial, as in the paper's discrete mode).
+///    "input+wc", "df-merge", "tfidf-output" (the write itself stays serial,
+///    as in the paper's discrete mode).
 class TfidfOperator : public Operator {
  public:
   std::string_view name() const override { return "tfidf"; }

@@ -46,6 +46,12 @@ struct ExecContext {
   /// counts surface forms.
   bool stem_tokens = false;
 
+  /// Ablation escape hatch (--serial-merge in the harnesses): fold
+  /// reductions serially on the calling thread — the paper-era structure —
+  /// instead of the parallel sharded/tree merge paths. Results are
+  /// byte-identical either way; only the merge schedule changes.
+  bool serial_merge = false;
+
   /// Phase timer collecting named phase durations in *executor clock*
   /// time (virtual when simulated). May be null.
   PhaseTimer* phases = nullptr;

@@ -231,38 +231,63 @@ StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
             }
           });
 
-      // Pairwise tree reduction of the worker accumulators — the merge
-      // schedule of a Cilk reducer hyperobject: log2(workers) levels, the
-      // pairs of each level merged in parallel, the final pair serial.
-      // This k x vocabulary critical path (not the document loop) is what
-      // caps Figure 1's scalability, and it grows with the vocabulary —
-      // hence Mix saturating far below NSF.
-      const size_t nworkers = scratch->size();
-      for (size_t stride = 1; stride < nworkers; stride *= 2) {
-        size_t step = 2 * stride;
-        size_t pairs = 0;
-        for (size_t i = 0; i + stride < nworkers; i += step) ++pairs;
-        if (pairs == 0) continue;
+      // Merge of the worker accumulators — the k x vocabulary critical
+      // path (not the document loop) that caps Figure 1's scalability and
+      // grows with the vocabulary (hence Mix saturating far below NSF).
+      // The parallel path is a pairwise tree (the merge schedule of a Cilk
+      // reducer hyperobject) whose pair combines are further sliced over
+      // clusters x fixed shards of the centroid dimension, so even the
+      // final root combine — serial in a plain pairwise tree — spreads
+      // across all workers. Slicing is fixed (independent of the worker
+      // count), so the additions inside one slice always run in the same
+      // order.
+      if (ctx.serial_merge) {
+        // Ablation path: fold every worker accumulator serially.
+        ctx.executor->RunSerial(parallel::WorkHint{0, "kmeans-merge"}, [&] {
+          Accumulators& total = scratch->Get(0);
+          for (size_t w = 1; w < scratch->size(); ++w) {
+            Accumulators& from = scratch->Get(static_cast<int>(w));
+            total.changed += from.changed;
+            total.inertia += from.inertia;
+            for (int c = 0; c < k; ++c) {
+              total.counts[static_cast<size_t>(c)] +=
+                  from.counts[static_cast<size_t>(c)];
+              auto& t = total.sums[static_cast<size_t>(c)];
+              const auto& s = from.sums[static_cast<size_t>(c)];
+              for (uint32_t d = 0; d < dim; ++d) t[d] += s[d];
+            }
+          }
+        });
+      } else {
+        // Fixed sub-cluster slicing of the dimension range keeps per-task
+        // work contiguous and the FP addition order worker-count-free
+        // within a slice.
+        const size_t dim_shards =
+            dim == 0 ? 1 : std::min<size_t>(8, static_cast<size_t>(dim));
+        const size_t parts = static_cast<size_t>(k) * dim_shards;
         parallel::WorkHint merge_hint;
         merge_hint.label = "kmeans-merge";
-        merge_hint.bytes_touched = pairs * static_cast<uint64_t>(k) * dim *
-                                   2 * sizeof(double);
-        ctx.executor->ParallelFor(
-            0, pairs, 1, merge_hint, [&](int, size_t pb, size_t pe) {
-              for (size_t p = pb; p < pe; ++p) {
-                Accumulators& into = scratch->Get(static_cast<int>(p * step));
-                Accumulators& from =
-                    scratch->Get(static_cast<int>(p * step + stride));
+        merge_hint.bytes_touched =
+            static_cast<uint64_t>(k) * dim * 2 * sizeof(double);
+        parallel::ParallelTreeReduce(
+            *ctx.executor, *scratch, parts, merge_hint,
+            [&](Accumulators& into, Accumulators& from, size_t part,
+                size_t nparts) {
+              (void)nparts;
+              const size_t c = part / dim_shards;
+              const size_t ds = part % dim_shards;
+              if (part == 0) {
                 into.changed += from.changed;
                 into.inertia += from.inertia;
-                for (int c = 0; c < k; ++c) {
-                  into.counts[static_cast<size_t>(c)] +=
-                      from.counts[static_cast<size_t>(c)];
-                  auto& t = into.sums[static_cast<size_t>(c)];
-                  const auto& s = from.sums[static_cast<size_t>(c)];
-                  for (uint32_t d = 0; d < dim; ++d) t[d] += s[d];
-                }
               }
+              if (ds == 0) into.counts[c] += from.counts[c];
+              const uint32_t lo = static_cast<uint32_t>(
+                  static_cast<size_t>(dim) * ds / dim_shards);
+              const uint32_t hi = static_cast<uint32_t>(
+                  static_cast<size_t>(dim) * (ds + 1) / dim_shards);
+              auto& t = into.sums[c];
+              const auto& s = from.sums[c];
+              for (uint32_t d = lo; d < hi; ++d) t[d] += s[d];
             });
       }
 

@@ -16,8 +16,12 @@
 ///    sparse kernel ||x||² − 2·x·c + ||c||² (O(nnz) per cluster);
 ///  * accumulation: worker-local dense centroid sums, no allocation inside
 ///    iterations (the paper's buffer-recycling discipline);
-///  * merge + centroid finalize: serial, cost ∝ workers × k × vocabulary —
-///    the Amdahl term that caps the Mix corpus near 2.5x in Figure 1.
+///  * merge: pairwise tree over the worker accumulators with each pair
+///    combine sliced over clusters × dimension shards
+///    (parallel::ParallelTreeReduce), so the k × vocabulary merge work no
+///    longer serializes — `ctx.serial_merge` restores the serial fold whose
+///    Amdahl term caps the Mix corpus near 2.5x in Figure 1;
+///  * centroid finalize: serial, cost ∝ k × vocabulary.
 ///
 /// `recycle_buffers=false` switches to a deliberately naive mode that
 /// reallocates every iteration (the ablation for the paper's claim that

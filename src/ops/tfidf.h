@@ -26,9 +26,10 @@
 ///  * `TfidfToArff`   — the *discrete* operator: phase 2 is a single serial
 ///    pass that computes scores and writes them straight to a sparse ARFF
 ///    file ("the ARFF format does not facilitate parallel output").
-///    Phases: input+wc, tfidf-output.
+///    Phases: input+wc, df-merge, tfidf-output.
 ///  * `TfidfInMemory` — the *fused* form: phase 2 is a parallel in-memory
-///    transform producing a SparseMatrix. Phases: input+wc, transform.
+///    transform producing a SparseMatrix. Phases: input+wc, df-merge,
+///    transform.
 
 namespace hpa::ops {
 
@@ -80,12 +81,19 @@ namespace tfidf_internal {
 inline constexpr uint32_t kPrunedTermId = 0xFFFFFFFFu;
 
 /// Assigns term ids in sorted-word order inside `wc.doc_freq` and returns
-/// the sorted list of *kept* terms; pruned terms get kPrunedTermId. For
-/// tree-backed dictionaries the words come out already sorted; hash-backed
-/// ones pay an explicit sort — one of the §3.4 cost asymmetries.
-/// If `dfs` is non-null it receives the document frequency per term id.
+/// the sorted list of *kept* terms; pruned terms get kPrunedTermId. If
+/// `dfs` is non-null it receives the document frequency per term id.
+///
+/// Runs the sharded-parallel vocabulary sweep by default: kept terms are
+/// collected shard-by-shard in parallel, globally sorted once (the
+/// irreducible ordering step), and ids are written back per shard in a
+/// second parallel loop — each shard's task binary-searches the sorted
+/// vocabulary for its own keys, so no two tasks touch the same shard.
+/// `ctx.serial_merge` selects the paper-era single serial pass instead.
+/// Both paths produce identical ids (global lexicographic order).
 template <containers::DictBackend B>
-std::vector<std::string> AssignTermIds(WordCountResult<B>& wc,
+std::vector<std::string> AssignTermIds(ExecContext& ctx,
+                                       WordCountResult<B>& wc,
                                        const TfidfOptions& options,
                                        std::vector<uint32_t>* dfs = nullptr) {
   const uint32_t max_df = static_cast<uint32_t>(
@@ -95,27 +103,89 @@ std::vector<std::string> AssignTermIds(WordCountResult<B>& wc,
   };
 
   std::vector<std::string> terms;
-  terms.reserve(wc.doc_freq.size());
-  wc.doc_freq.ForEach([&](const std::string& word, const TermStat& stat) {
-    if (keep(stat)) terms.push_back(word);
-  });
-  using DfDict = typename WordCountResult<B>::DfDict;
-  if constexpr (!DfDict::kSortedIteration) {
-    std::sort(terms.begin(), terms.end());
+
+  if (ctx.serial_merge) {
+    // Ablation path: one serial region doing collect + sort + write-back.
+    ctx.executor->RunSerial(parallel::WorkHint{0, "term-ids"}, [&] {
+      terms.reserve(wc.doc_freq.size());
+      wc.doc_freq.ForEach([&](const std::string& word, const TermStat& stat) {
+        if (keep(stat)) terms.push_back(word);
+      });
+      std::sort(terms.begin(), terms.end());
+      wc.doc_freq.ForEach([&](const std::string& word, const TermStat& stat) {
+        if (!keep(stat)) {
+          // ForEach hands out const refs; fix up through the mutable handle.
+          wc.doc_freq.FindOrInsert(std::string_view(word)).id = kPrunedTermId;
+        }
+      });
+      if (dfs != nullptr) dfs->resize(terms.size());
+      for (uint32_t id = 0; id < terms.size(); ++id) {
+        TermStat& stat =
+            wc.doc_freq.FindOrInsert(std::string_view(terms[id]));
+        stat.id = id;
+        if (dfs != nullptr) (*dfs)[id] = stat.df;
+      }
+    });
+    return terms;
   }
-  // Mark everything pruned, then number the kept terms.
-  wc.doc_freq.ForEach([&](const std::string& word, const TermStat& stat) {
-    if (!keep(stat)) {
-      // ForEach hands out const refs; fix up through the mutable handle.
-      wc.doc_freq.FindOrInsert(std::string_view(word)).id = kPrunedTermId;
+
+  const size_t num_shards = wc.doc_freq.num_shards();
+
+  // Pass 1 (parallel over shards): collect each shard's kept terms.
+  std::vector<std::vector<std::string>> shard_terms(num_shards);
+  parallel::WorkHint collect_hint;
+  collect_hint.label = "term-ids-collect";
+  ctx.executor->ParallelFor(
+      0, num_shards, 0, collect_hint, [&](int, size_t b, size_t e) {
+        for (size_t s = b; s < e; ++s) {
+          wc.doc_freq.shard(s).ForEach(
+              [&](const std::string& word, const TermStat& stat) {
+                if (keep(stat)) shard_terms[s].push_back(word);
+              });
+        }
+      });
+
+  // Serial ordering step: concatenate and sort the global vocabulary.
+  // Hash partitioning interleaves the key space, so a global sort is
+  // unavoidable; it is O(V log V) over V strings vs the O(entries) sweeps
+  // that now run in parallel.
+  ctx.executor->RunSerial(parallel::WorkHint{0, "term-ids-sort"}, [&] {
+    size_t total = 0;
+    for (const auto& st : shard_terms) total += st.size();
+    terms.reserve(total);
+    for (auto& st : shard_terms) {
+      for (auto& word : st) terms.push_back(std::move(word));
+      st.clear();
     }
+    std::sort(terms.begin(), terms.end());
   });
+
+  // Pass 2 (parallel over shards): write ids back. Each task mutates only
+  // its own shards, and each kept term's global id comes from a binary
+  // search of the sorted vocabulary — race-free, deterministic.
   if (dfs != nullptr) dfs->resize(terms.size());
-  for (uint32_t id = 0; id < terms.size(); ++id) {
-    TermStat& stat = wc.doc_freq.FindOrInsert(std::string_view(terms[id]));
-    stat.id = id;
-    if (dfs != nullptr) (*dfs)[id] = stat.df;
-  }
+  parallel::WorkHint assign_hint;
+  assign_hint.label = "term-ids-assign";
+  ctx.executor->ParallelFor(
+      0, num_shards, 0, assign_hint, [&](int, size_t b, size_t e) {
+        for (size_t s = b; s < e; ++s) {
+          auto& shard = wc.doc_freq.shard(s);
+          shard.ForEach([&](const std::string& word, const TermStat& stat) {
+            // ForEach hands out const refs; values are fixed up through the
+            // mutable handle (key exists, so no structural change).
+            TermStat& mstat = shard.FindOrInsert(std::string_view(word));
+            if (!keep(stat)) {
+              mstat.id = kPrunedTermId;
+              return;
+            }
+            auto it = std::lower_bound(terms.begin(), terms.end(), word);
+            const uint32_t id =
+                static_cast<uint32_t>(it - terms.begin());
+            mstat.id = id;
+            if (dfs != nullptr) (*dfs)[id] = stat.df;
+          });
+        }
+      });
   return terms;
 }
 
@@ -159,11 +229,12 @@ TfidfResult TfidfTransformT(ExecContext& ctx, WordCountResult<B> wc,
   result.dict_bytes = wc.ApproxDictBytes();
 
   ctx.TimePhase("transform", [&] {
-    // Term-id assignment is serial: tree backends walk in order, hash
-    // backends collect + sort — charge it to the clock either way.
-    ctx.executor->RunSerial(parallel::WorkHint{0, "term-ids"}, [&] {
-      result.terms =
-          tfidf_internal::AssignTermIds(wc, options, &result.term_dfs);
+    // Term-id assignment: sharded-parallel vocabulary sweeps around one
+    // serial sort (or fully serial with ctx.serial_merge); it issues its
+    // own executor regions, so the clock charges it either way.
+    result.terms =
+        tfidf_internal::AssignTermIds(ctx, wc, options, &result.term_dfs);
+    ctx.executor->RunSerial(parallel::WorkHint{0, "transform-setup"}, [&] {
       result.matrix.num_cols = static_cast<uint32_t>(result.terms.size());
       result.matrix.rows.resize(wc.num_documents());
     });
@@ -204,7 +275,7 @@ StatusOr<TfidfResult> TfidfInMemoryT(ExecContext& ctx,
 
 /// Discrete-form TF/IDF: parallel input+wc, then one serial pass that
 /// scores documents and streams them to sparse ARFF at `arff_path` on
-/// ctx.scratch_disk. Phases: "input+wc", "tfidf-output".
+/// ctx.scratch_disk. Phases: "input+wc", "df-merge", "tfidf-output".
 template <containers::DictBackend B>
 Status TfidfToArffT(ExecContext& ctx, const io::PackedCorpusReader& corpus,
                     const std::string& arff_path,
@@ -213,10 +284,12 @@ Status TfidfToArffT(ExecContext& ctx, const io::PackedCorpusReader& corpus,
 
   Status status;
   ctx.TimePhase("tfidf-output", [&] {
+    // Term-id assignment runs its own (possibly parallel) regions; the
+    // ARFF streaming below stays one serial region, as the format demands.
+    std::vector<std::string> terms =
+        tfidf_internal::AssignTermIds(ctx, wc, options);
     ctx.executor->RunSerial(parallel::WorkHint{0, "tfidf-output"}, [&] {
       status = [&]() -> Status {
-        std::vector<std::string> terms =
-            tfidf_internal::AssignTermIds(wc, options);
         HPA_ASSIGN_OR_RETURN(auto writer,
                              ctx.scratch_disk->OpenWriter(arff_path));
 

@@ -20,9 +20,15 @@
 ///   * a per-document term-frequency table (word -> tf), and
 ///   * a corpus-wide document-frequency table (word -> #docs containing it).
 ///
-/// The whole phase is a single parallel loop over documents; per-worker
-/// document-frequency tables are merged serially afterwards, exactly the
-/// structure of the paper's Cilk implementation.
+/// The counting loop is a single parallel loop over documents, exactly the
+/// structure of the paper's Cilk implementation. The corpus-wide merge of
+/// the per-worker document-frequency tables — the serial Amdahl term that
+/// grows with the vocabulary while the parallel work grows with documents —
+/// runs as a *parallel hash-partitioned merge* (its own "df-merge" phase):
+/// every per-worker table is sharded by key hash, and shard s of the global
+/// table is merged from shard s of all partials by one task. Setting
+/// `ctx.serial_merge` restores the serial fold for ablation; the results
+/// are byte-identical either way.
 
 namespace hpa::ops {
 
@@ -38,7 +44,10 @@ struct TermStat {
 template <containers::DictBackend B>
 struct WordCountResult {
   using TfDict = typename containers::DictFor<B, uint32_t>::type;
-  using DfDict = typename containers::DictFor<B, TermStat>::type;
+
+  /// Global table: hash-partitioned shards of backend B, so the df merge
+  /// and every later vocabulary sweep can be parallelized shard-by-shard.
+  using DfDict = containers::ShardedDictFor<B, TermStat>;
 
   /// One term-frequency table per document (kept as live dictionaries
   /// until the transform phase, as in the paper — this is what makes the
@@ -64,9 +73,54 @@ struct WordCountResult {
   size_t num_documents() const { return doc_tfs.size(); }
 };
 
+namespace wc_internal {
+
+/// Merges the per-worker sharded df tables and token counters into
+/// `result` under its own "df-merge" phase: a parallel sharded merge by
+/// default, or one serial region when `ctx.serial_merge` is set. Both
+/// paths visit (shard-major, worker-slot order) — byte-identical output.
+template <containers::DictBackend B>
+void MergeDocFrequencies(
+    ExecContext& ctx,
+    parallel::WorkerLocal<typename WordCountResult<B>::DfDict>& worker_df,
+    parallel::WorkerLocal<uint64_t>& worker_tokens,
+    WordCountResult<B>& result) {
+  auto merge_entry = [](auto& dst, const std::string& word,
+                        const TermStat& stat) {
+    dst.FindOrInsert(std::string_view(word)).df += stat.df;
+  };
+  ctx.TimePhase("df-merge", [&] {
+    // Rough traffic estimate: every partial entry is read once and folded
+    // into the global table (key bytes + node overhead, ~64 B/entry). A
+    // precise ApproxMemoryBytes() walk would cost as much as the merge.
+    uint64_t entries = 0;
+    worker_df.ForEach([&](auto& df) { entries += df.size(); });
+    parallel::WorkHint hint;
+    hint.label = "df-merge";
+    hint.bytes_touched = entries * 64;
+    if (ctx.serial_merge) {
+      // Ablation path: the paper-era serial fold, one RunSerial region so
+      // the executor clock charges it against all workers.
+      ctx.executor->RunSerial(hint, [&] {
+        parallel::MergeShardRange(worker_df, result.doc_freq, 0,
+                                  result.doc_freq.num_shards(), merge_entry);
+      });
+    } else {
+      parallel::ParallelShardedMerge(*ctx.executor, worker_df,
+                                     result.doc_freq, hint, merge_entry);
+    }
+    ctx.executor->RunSerial(parallel::WorkHint{0, "token-merge"}, [&] {
+      worker_tokens.ForEach(
+          [&](uint64_t& tokens) { result.total_tokens += tokens; });
+    });
+  });
+}
+
+}  // namespace wc_internal
+
 /// Runs word count over a packed corpus on storage. Document reads are
 /// issued from inside the parallel loop (parallel input). Accrues the
-/// "input+wc" phase on ctx.phases.
+/// "input+wc" and "df-merge" phases on ctx.phases.
 template <containers::DictBackend B>
 StatusOr<WordCountResult<B>> RunWordCount(
     ExecContext& ctx, const io::PackedCorpusReader& corpus) {
@@ -118,19 +172,9 @@ StatusOr<WordCountResult<B>> RunWordCount(
             });
           }
         });
-
-    // Serial merge of per-worker document-frequency tables (a RunSerial
-    // region so the executor clock charges it).
-    ctx.executor->RunSerial(parallel::WorkHint{0, "df-merge"}, [&] {
-      worker_df.ForEach([&](typename WordCountResult<B>::DfDict& df) {
-        df.ForEach([&](const std::string& word, const TermStat& stat) {
-          result.doc_freq.FindOrInsert(std::string_view(word)).df += stat.df;
-        });
-      });
-      worker_tokens.ForEach(
-          [&](uint64_t& tokens) { result.total_tokens += tokens; });
-    });
   });
+
+  wc_internal::MergeDocFrequencies<B>(ctx, worker_df, worker_tokens, result);
 
   for (const Status& s : doc_errors) {
     if (!s.ok()) return s.WithContext("word count");
@@ -181,15 +225,9 @@ WordCountResult<B> RunWordCountInMemory(ExecContext& ctx,
             });
           }
         });
-
-    worker_df.ForEach([&](typename WordCountResult<B>::DfDict& df) {
-      df.ForEach([&](const std::string& word, const TermStat& stat) {
-        result.doc_freq.FindOrInsert(std::string_view(word)).df += stat.df;
-      });
-    });
-    worker_tokens.ForEach(
-        [&](uint64_t& tokens) { result.total_tokens += tokens; });
   });
+
+  wc_internal::MergeDocFrequencies<B>(ctx, worker_df, worker_tokens, result);
 
   return result;
 }

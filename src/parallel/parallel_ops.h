@@ -87,6 +87,120 @@ class WorkerLocal {
   std::vector<T> slots_;
 };
 
+/// Merges a contiguous shard range from all partial sharded dictionaries
+/// into `out`. Shard-major, then partials in slot order — the one merge
+/// order both the serial and the parallel paths use, so their results are
+/// byte-identical. `merge(out_shard, key, value)` folds one entry.
+///
+/// Shared by ParallelShardedMerge (each task gets a disjoint shard range)
+/// and by callers that want the serial ablation path (one call covering
+/// [0, num_shards) under RunSerial).
+template <typename Sharded, typename MergeFn>
+void MergeShardRange(WorkerLocal<Sharded>& partials, Sharded& out,
+                     size_t shard_begin, size_t shard_end, MergeFn merge) {
+  for (size_t s = shard_begin; s < shard_end; ++s) {
+    auto& dst = out.shard(s);
+    for (size_t w = 0; w < partials.size(); ++w) {
+      partials.Get(static_cast<int>(w))
+          .shard(s)
+          .ForEach([&](const auto& key, const auto& value) {
+            merge(dst, key, value);
+          });
+    }
+  }
+}
+
+/// Parallel hash-partitioned merge: the second parallel loop of a sharded
+/// reduction. Every per-worker partial dictionary is partitioned into the
+/// same S shards as `out` (see containers::ShardedDict); shard s of the
+/// result is produced by exactly one task that reads shard s of *all*
+/// partials. Tasks therefore write disjoint shards — race-free by
+/// construction, no locks or atomics — and the merge runs at O(keys / S)
+/// critical path instead of the serial O(keys).
+///
+/// Requirements: `out.num_shards() == partials.Get(w).num_shards()` for
+/// every w, and all dictionaries were populated with the same key routing
+/// (automatic when they are the same ShardedDict instantiation).
+///
+/// Results are independent of the worker count: the shard count is a fixed
+/// property of the container, each shard is merged in slot order, and the
+/// chunking of shards across workers never splits a shard.
+template <typename Sharded, typename MergeFn>
+void ParallelShardedMerge(Executor& exec, WorkerLocal<Sharded>& partials,
+                          Sharded& out, const WorkHint& hint, MergeFn merge) {
+  exec.ParallelFor(0, out.num_shards(), 0, hint,
+                   [&](int /*worker*/, size_t b, size_t e) {
+                     MergeShardRange(partials, out, b, e, merge);
+                   });
+}
+
+/// In-place pairwise tree reduction over the slots of a WorkerLocal — the
+/// merge schedule of a Cilk reducer hyperobject, but with every round's
+/// pair-combines *and* the interior of each combine parallelized. After the
+/// call, slot 0 holds the reduction of all slots; other slots are consumed.
+///
+/// `combine(into, from, part, parts)` must fold slice `part` (of `parts`
+/// disjoint slices) of `from` into the same slice of `into`; slices of one
+/// pair run as independent tasks, so a single pair combine — including the
+/// final root combine, which a plain pairwise tree leaves serial — can use
+/// every worker. Pass `parts == 1` for indivisible accumulators.
+///
+/// `hint.bytes_touched` describes ONE pair combine; each round's hint is
+/// scaled by the number of pairs in that round.
+///
+/// With log2(W) rounds of parallel slice-combines, the reduction's critical
+/// path is O(log W * cost(combine)/min(W, parts)) instead of the serial
+/// fold's O(W * cost(combine)).
+template <typename T, typename CombineFn>
+void ParallelTreeReduce(Executor& exec, WorkerLocal<T>& slots, size_t parts,
+                        const WorkHint& hint, CombineFn combine) {
+  if (parts == 0) parts = 1;
+  const size_t n = slots.size();
+  for (size_t stride = 1; stride < n; stride *= 2) {
+    const size_t step = 2 * stride;
+    size_t pairs = 0;
+    for (size_t i = 0; i + stride < n; i += step) ++pairs;
+    if (pairs == 0) continue;
+    WorkHint round_hint = hint;
+    round_hint.bytes_touched = hint.bytes_touched * pairs;
+    exec.ParallelFor(
+        0, pairs * parts, 0, round_hint,
+        [&](int /*worker*/, size_t b, size_t e) {
+          for (size_t task = b; task < e; ++task) {
+            const size_t pair = task / parts;
+            const size_t part = task % parts;
+            T& into = slots.Get(static_cast<int>(pair * step));
+            T& from = slots.Get(static_cast<int>(pair * step + stride));
+            combine(into, from, part, parts);
+          }
+        });
+  }
+}
+
+/// Tree-structured overload of ParallelReduce: same map phase, but the
+/// per-worker partials are combined pairwise in log2(W) parallel rounds
+/// instead of a serial fold on the calling thread. `combine` has the same
+/// `(into, from)` signature as ParallelReduce's. Prefer this when the
+/// accumulator is large (dictionaries, centroid sums) and W is high — the
+/// serial fold is exactly the Amdahl term that flattens scalability.
+template <typename Acc, typename MapFn, typename CombineFn>
+Acc ParallelTreeReduce(Executor& exec, size_t begin, size_t end, size_t grain,
+                       const WorkHint& hint, MapFn map, CombineFn combine) {
+  WorkerLocal<Acc> partials(exec);
+  exec.ParallelFor(begin, end, grain, hint,
+                   [&](int worker, size_t b, size_t e) {
+                     map(partials.Get(worker), b, e);
+                   });
+  ParallelTreeReduce(
+      exec, partials, 1, hint,
+      [&](Acc& into, Acc& from, size_t /*part*/, size_t /*parts*/) {
+        combine(into, from);
+      });
+  Acc result{};
+  combine(result, partials.Get(0));
+  return result;
+}
+
 }  // namespace hpa::parallel
 
 #endif  // HPA_PARALLEL_PARALLEL_OPS_H_
