@@ -35,6 +35,37 @@ void AddCommonFlags(FlagSet& flags) {
                    "fold reductions serially on one worker (the paper-era "
                    "structure) instead of the parallel sharded/tree merges; "
                    "results are byte-identical either way");
+  flags.DefineDouble("fault-rate", 0.0,
+                     "injected transient I/O error probability per read "
+                     "request (0 disables fault injection)");
+  flags.DefineDouble("fault-corruption", 0.0,
+                     "injected payload-corruption probability per read "
+                     "request (detected by the checksummed formats)");
+  flags.DefineInt("fault-seed", 1,
+                  "fault-schedule seed; the same seed faults the same "
+                  "requests regardless of worker count");
+  flags.DefineString("fault-policy", "retry-skip",
+                     "what to do after the retry budget: fail-fast | "
+                     "retry-skip (quarantine the item and continue)");
+}
+
+io::FaultProfile FaultProfileFromFlags(const FlagSet& flags) {
+  io::FaultProfile profile;
+  profile.transient_rate = flags.GetDouble("fault-rate");
+  profile.corruption_rate = flags.GetDouble("fault-corruption");
+  profile.seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+  return profile;
+}
+
+StatusOr<FaultPolicy> FaultPolicyFromFlags(const FlagSet& flags) {
+  FaultPolicy policy;
+  const std::string text = flags.GetString("fault-policy");
+  if (!ParseFaultPolicy(text, &policy)) {
+    return Status::InvalidArgument("--fault-policy must be fail-fast or "
+                                   "retry-skip, got '" +
+                                   text + "'");
+  }
+  return policy;
 }
 
 StatusOr<std::unique_ptr<BenchEnv>> BenchEnv::Create(const FlagSet& flags) {
@@ -72,8 +103,10 @@ StatusOr<std::string> BenchEnv::EnsureCorpus(
   for (char& c : key) {
     if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   }
+  // The "_c1" suffix marks the checksummed (v2) container format: bumping
+  // it invalidates caches packed without per-document CRCs.
   std::string rel = StrFormat(
-      "%s_s%llu_d%llu_v%llu.pack", key.c_str(),
+      "%s_s%llu_d%llu_v%llu_c1.pack", key.c_str(),
       static_cast<unsigned long long>(profile.seed),
       static_cast<unsigned long long>(profile.num_documents),
       static_cast<unsigned long long>(profile.target_distinct_words));
@@ -98,6 +131,18 @@ StatusOr<std::string> BenchEnv::EnsureCorpus(
 void BenchEnv::SetExecutor(parallel::Executor* executor) {
   corpus_disk_->set_executor(executor);
   scratch_disk_->set_executor(executor);
+}
+
+Status BenchEnv::ApplyFaultFlags(const FlagSet& flags) {
+  HPA_ASSIGN_OR_RETURN(fault_policy_, FaultPolicyFromFlags(flags));
+  io::FaultProfile profile = FaultProfileFromFlags(flags);
+  if (!profile.Enabled()) return Status::OK();
+  fault_injector_ = std::make_unique<io::FaultInjector>(profile);
+  corpus_disk_->set_fault_injector(fault_injector_.get());
+  // Recovery machinery on for both devices once any fault rate is nonzero.
+  corpus_disk_->set_retry_policy(RetryPolicy{});
+  scratch_disk_->set_retry_policy(RetryPolicy{});
+  return Status::OK();
 }
 
 std::unique_ptr<parallel::Executor> MakeBenchExecutor(const FlagSet& flags,

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/retry.h"
 #include "common/status.h"
+#include "io/fault_injection.h"
 #include "io/sim_disk.h"
 #include "parallel/executor.h"
 #include "text/synth_corpus.h"
@@ -20,6 +22,15 @@ namespace hpa::bench {
 
 /// Standard flags shared by every harness. Call before Parse().
 void AddCommonFlags(FlagSet& flags);
+
+/// Builds a fault profile from the --fault-rate / --fault-corruption /
+/// --fault-seed flags (transient rate = --fault-rate). All-zero rates give
+/// a disabled profile.
+io::FaultProfile FaultProfileFromFlags(const FlagSet& flags);
+
+/// Parses --fault-policy ("fail-fast" | "retry-skip"). Returns
+/// InvalidArgument on unknown spellings.
+StatusOr<FaultPolicy> FaultPolicyFromFlags(const FlagSet& flags);
 
 /// Workspace with a persistent corpus cache and a fresh scratch area.
 class BenchEnv {
@@ -45,6 +56,18 @@ class BenchEnv {
   /// Points both disks' time charging at `executor` (per run).
   void SetExecutor(parallel::Executor* executor);
 
+  /// Applies the --fault-* flags: attaches a deterministic fault injector
+  /// to the corpus disk and a bounded retry policy to both disks. With all
+  /// fault rates at zero this is a no-op (no injector, NoRetry policy —
+  /// byte-identical to the pre-fault-tolerance behavior).
+  Status ApplyFaultFlags(const FlagSet& flags);
+
+  /// The injector installed by ApplyFaultFlags (null when faults are off).
+  io::FaultInjector* fault_injector() { return fault_injector_.get(); }
+
+  /// The parsed --fault-policy (kFailFast when faults are off).
+  FaultPolicy fault_policy() const { return fault_policy_; }
+
   /// Scale factor applied to corpus profiles.
   double scale() const { return scale_; }
 
@@ -61,6 +84,8 @@ class BenchEnv {
   std::string workdir_;
   std::unique_ptr<io::SimDisk> corpus_disk_;
   std::unique_ptr<io::SimDisk> scratch_disk_;
+  std::unique_ptr<io::FaultInjector> fault_injector_;
+  FaultPolicy fault_policy_ = FaultPolicy::kFailFast;
 };
 
 /// Makes the executor selected by --executor/--threads flags ("simulated"

@@ -7,9 +7,12 @@
 // reproduction itself.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "common/string_util.h"
+#include "core/report.h"
+#include "io/fault_injection.h"
 #include "io/packed_corpus.h"
 #include "ops/dense_kmeans.h"
 #include "ops/kmeans.h"
@@ -297,6 +300,93 @@ int Run(int argc, char** argv) {
     } else {
       Check(false, "baseline comparison ran", "error");
     }
+  }
+
+  // --- PR 2: fault tolerance ---------------------------------------------
+  std::printf("\nRobustness (fault injection):\n");
+  {
+    struct FaultRun {
+      Status status = Status::OK();
+      std::vector<uint32_t> assignment;
+      QuarantineList quarantine;
+      uint64_t retries = 0;
+    };
+    // TF/IDF -> K-means on Mix with an optional injector on the corpus
+    // store. The injector attaches after Open so faults target the
+    // CRC-protected document read path, not the unprotected index.
+    auto fault_run = [&](const io::FaultProfile* profile,
+                         FaultPolicy policy) -> FaultRun {
+      FaultRun out;
+      parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+      env->SetExecutor(&exec);
+      auto reader =
+          io::PackedCorpusReader::Open(env->corpus_disk(), *mix_rel);
+      std::unique_ptr<io::FaultInjector> injector;
+      if (profile != nullptr && profile->Enabled()) {
+        injector = std::make_unique<io::FaultInjector>(*profile);
+      }
+      env->corpus_disk()->set_fault_injector(injector.get());
+      env->corpus_disk()->set_retry_policy(
+          injector != nullptr ? RetryPolicy{} : RetryPolicy::NoRetry());
+      const uint64_t before = env->corpus_disk()->total_retries();
+      out.status = [&]() -> Status {
+        HPA_RETURN_IF_ERROR(reader.status());
+        ops::ExecContext ctx;
+        ctx.executor = &exec;
+        ctx.corpus_disk = env->corpus_disk();
+        ctx.fault_policy = policy;
+        HPA_ASSIGN_OR_RETURN(auto tfidf, ops::TfidfInMemory(ctx, *reader));
+        out.quarantine = std::move(tfidf.quarantine);
+        ops::KMeansOptions kopts;
+        kopts.k = static_cast<int>(flags.GetInt("clusters"));
+        kopts.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+        kopts.stop_on_convergence = false;
+        HPA_ASSIGN_OR_RETURN(auto clusters,
+                             ops::SparseKMeans(ctx, tfidf.matrix, kopts));
+        out.assignment = std::move(clusters.assignment);
+        return Status::OK();
+      }();
+      out.retries = env->corpus_disk()->total_retries() - before;
+      env->corpus_disk()->set_fault_injector(nullptr);
+      env->corpus_disk()->set_retry_policy(RetryPolicy::NoRetry());
+      env->SetExecutor(nullptr);
+      return out;
+    };
+
+    FaultRun clean = fault_run(nullptr, FaultPolicy::kFailFast);
+    io::FaultProfile transient;
+    transient.transient_rate = 0.01;
+    transient.corruption_rate = 0.005;
+    FaultRun faulted = fault_run(&transient, FaultPolicy::kRetryThenSkip);
+    io::FaultProfile permanent;
+    permanent.permanent_rate = 0.01;
+    FaultRun degraded = fault_run(&permanent, FaultPolicy::kRetryThenSkip);
+
+    Check(clean.status.ok() && clean.retries == 0 &&
+              clean.quarantine.empty(),
+          "fault-free run performs no retries",
+          StrFormat("%llu retries, %zu quarantined",
+                    static_cast<unsigned long long>(clean.retries),
+                    clean.quarantine.size()));
+    Check(faulted.status.ok() && faulted.quarantine.empty() &&
+              !clean.assignment.empty() &&
+              faulted.assignment == clean.assignment,
+          "1% transient faults: clusters identical after recovery",
+          StrFormat("%zu docs, %zu quarantined", faulted.assignment.size(),
+                    faulted.quarantine.size()));
+    Check(faulted.retries > 0,
+          "recovery machinery exercised (retries observed)",
+          StrFormat("%llu device retries at 1%% fault rate",
+                    static_cast<unsigned long long>(faulted.retries)));
+    Check(degraded.status.ok() && !degraded.quarantine.empty(),
+          "permanent faults: retry-skip degrades gracefully",
+          StrFormat("%zu doc(s) quarantined, workflow completed",
+                    degraded.quarantine.size()));
+    std::printf("  degraded-mode %s",
+                core::FormatFaultSummary(degraded.quarantine,
+                                         degraded.assignment.size(),
+                                         degraded.retries)
+                    .c_str());
   }
 
   std::printf("\n%d/%d claims reproduced at --scale=%.3g\n",

@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/retry.h"
+#include "core/report.h"
+#include "io/fault_injection.h"
 #include "io/file_io.h"
 #include "io/packed_corpus.h"
 #include "ops/kmeans.h"
@@ -35,6 +38,12 @@ int main(int argc, char** argv) {
   flags.DefineInt("clusters", 6, "number of K-means clusters");
   flags.DefineInt("threads", 8, "virtual workers");
   flags.DefineInt("top_terms", 5, "terms to print per cluster");
+  flags.DefineDouble("fault-rate", 0.0,
+                     "injected transient I/O fault probability per corpus "
+                     "read (0 = no injection)");
+  flags.DefineInt("fault-seed", 1, "deterministic fault-schedule seed");
+  flags.DefineString("fault-policy", "retry-skip",
+                     "after the retry budget: fail-fast | retry-skip");
   if (auto s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 2;
@@ -48,10 +57,30 @@ int main(int argc, char** argv) {
   if (!workdir.ok()) return 1;
   io::SimDisk corpus_disk(io::DiskOptions::CorpusStore(), *workdir, nullptr);
 
+  FaultPolicy fault_policy;
+  if (!ParseFaultPolicy(flags.GetString("fault-policy"), &fault_policy)) {
+    std::fprintf(stderr, "bad --fault-policy '%s'\n",
+                 flags.GetString("fault-policy").c_str());
+    return 2;
+  }
+  io::FaultProfile fault_profile;
+  fault_profile.transient_rate = flags.GetDouble("fault-rate");
+  fault_profile.seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+  io::FaultInjector fault_injector(fault_profile);
+
   text::Corpus corpus;
   if (!flags.GetString("dir").empty()) {
-    // Real data: every .txt file under --dir becomes a document.
-    auto loaded = text::ReadCorpusFromDirectory(flags.GetString("dir"));
+    // Real data: every .txt file under --dir becomes a document. Unreadable
+    // files follow the --fault-policy: abort, or quarantine and keep going.
+    text::DirectoryCorpusOptions dopts;
+    dopts.fault_policy = fault_policy;
+    if (fault_profile.Enabled()) {
+      dopts.retry = RetryPolicy{};
+      dopts.fault_injector = &fault_injector;
+    }
+    QuarantineList dir_quarantine;
+    auto loaded = text::ReadCorpusFromDirectory(flags.GetString("dir"), dopts,
+                                                &dir_quarantine);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
@@ -59,6 +88,12 @@ int main(int argc, char** argv) {
     corpus = std::move(loaded).value();
     std::printf("loaded %zu documents from %s\n", corpus.size(),
                 flags.GetString("dir").c_str());
+    if (!dir_quarantine.empty()) {
+      std::printf("%s", core::FormatFaultSummary(
+                            dir_quarantine,
+                            corpus.size() + dir_quarantine.size(), 0)
+                            .c_str());
+    }
   } else {
     text::CorpusProfile profile;
     profile.name = "clustering-demo";
@@ -82,9 +117,16 @@ int main(int argc, char** argv) {
   ctx.executor = &exec;
   ctx.corpus_disk = &corpus_disk;
   ctx.phases = &phases;
+  ctx.fault_policy = fault_policy;
 
   auto reader = io::PackedCorpusReader::Open(&corpus_disk, "demo.pack");
   if (!reader.ok()) return 1;
+  // Faults attach after Open so injection hits the CRC-protected document
+  // reads; recovery (retries + quarantine) then follows --fault-policy.
+  if (fault_profile.Enabled()) {
+    corpus_disk.set_fault_injector(&fault_injector);
+    corpus_disk.set_retry_policy(RetryPolicy{});
+  }
   auto tfidf = ops::TfidfInMemory(ctx, *reader);
   if (!tfidf.ok()) {
     std::fprintf(stderr, "%s\n", tfidf.status().ToString().c_str());
@@ -95,6 +137,12 @@ int main(int argc, char** argv) {
               tfidf->matrix.num_rows(), tfidf->terms.size(),
               static_cast<unsigned long long>(tfidf->matrix.TotalNnz()),
               static_cast<unsigned long long>(tfidf->dict_bytes / 1024));
+  if (fault_profile.Enabled()) {
+    std::printf("%s", core::FormatFaultSummary(tfidf->quarantine,
+                                               tfidf->matrix.num_rows(),
+                                               corpus_disk.total_retries())
+                          .c_str());
+  }
 
   ops::KMeansOptions kopts;
   kopts.k = static_cast<int>(flags.GetInt("clusters"));

@@ -1,0 +1,54 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace hpa {
+
+namespace {
+
+/// Table for the reflected IEEE polynomial, built once at startup.
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t StableHash64(std::string_view data, uint64_t seed) {
+  // FNV-1a with the seed folded into the offset basis, then finalized with
+  // a SplitMix64-style avalanche so nearby seeds decorrelate.
+  uint64_t h = 0xCBF29CE484222325ULL ^ seed;
+  for (unsigned char byte : data) {
+    h ^= byte;
+    h *= 0x100000001B3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace hpa

@@ -1,0 +1,30 @@
+#ifndef HPA_COMMON_CHECKSUM_H_
+#define HPA_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+/// \file
+/// Data-integrity primitives for the storage layer: a CRC-32 used to
+/// checksum sharded-ARFF shards and packed-corpus document bodies, and a
+/// stable 64-bit string hash used to derive deterministic per-request
+/// fault/jitter decisions. Both are fixed algorithms (not std::hash), so
+/// checksums embedded in files and seed-driven fault schedules are
+/// identical across platforms and standard libraries.
+
+namespace hpa {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+///
+/// Streaming use: pass the previous return value as `crc` to extend the
+/// checksum, i.e. `Crc32(b, Crc32(a)) == Crc32(ab)`. The empty-prefix CRC
+/// is 0.
+uint32_t Crc32(std::string_view data, uint32_t crc = 0);
+
+/// Stable 64-bit FNV-1a hash of `data`, mixed with `seed`. Never changes
+/// across versions (fault-injection schedules depend on it).
+uint64_t StableHash64(std::string_view data, uint64_t seed = 0);
+
+}  // namespace hpa
+
+#endif  // HPA_COMMON_CHECKSUM_H_

@@ -1,0 +1,91 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/checksum.h"
+#include "common/string_util.h"
+
+namespace hpa {
+
+std::string_view FaultPolicyName(FaultPolicy policy) {
+  switch (policy) {
+    case FaultPolicy::kFailFast:
+      return "fail-fast";
+    case FaultPolicy::kRetryThenSkip:
+      return "retry-skip";
+  }
+  return "unknown";
+}
+
+bool ParseFaultPolicy(std::string_view text, FaultPolicy* out) {
+  if (text == "fail-fast" || text == "failfast") {
+    *out = FaultPolicy::kFailFast;
+    return true;
+  }
+  if (text == "retry-skip" || text == "retry-then-skip") {
+    *out = FaultPolicy::kRetryThenSkip;
+    return true;
+  }
+  return false;
+}
+
+bool RetryPolicy::IsRetryable(const Status& status) const {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kCorruption;
+}
+
+double RetryPolicy::BackoffSeconds(int attempt, uint64_t token) const {
+  if (attempt < 0) attempt = 0;
+  double nominal =
+      initial_backoff_sec * std::pow(backoff_multiplier, attempt);
+  nominal = std::min(nominal, max_backoff_sec);
+  if (jitter_fraction > 0.0) {
+    // Deterministic u in [-1, 1) from (seed, token, attempt): the same
+    // request retried in any thread interleaving waits the same time.
+    uint64_t mix = seed ^ (token * 0x9E3779B97F4A7C15ULL) ^
+                   (static_cast<uint64_t>(attempt) + 1) * 0xBF58476D1CE4E5B9ULL;
+    mix ^= mix >> 30;
+    mix *= 0x94D049BB133111EBULL;
+    mix ^= mix >> 27;
+    double u = static_cast<double>(mix >> 11) * 0x1.0p-53;  // [0, 1)
+    nominal *= 1.0 + jitter_fraction * (2.0 * u - 1.0);
+  }
+  return std::max(0.0, std::min(nominal, max_backoff_sec));
+}
+
+void QuarantineList::MergeFrom(QuarantineList&& other) {
+  retries += other.retries;
+  if (entries.empty()) {
+    entries = std::move(other.entries);
+  } else {
+    entries.reserve(entries.size() + other.entries.size());
+    for (QuarantineEntry& e : other.entries) entries.push_back(std::move(e));
+  }
+  other.entries.clear();
+  other.retries = 0;
+}
+
+void QuarantineList::SortById() {
+  std::sort(entries.begin(), entries.end(),
+            [](const QuarantineEntry& a, const QuarantineEntry& b) {
+              return a.id < b.id;
+            });
+}
+
+std::string QuarantineList::Summary(size_t max_entries) const {
+  if (entries.empty()) return "quarantine: empty";
+  std::string out = StrFormat("quarantine: %zu item(s)\n", entries.size());
+  size_t shown = std::min(entries.size(), max_entries);
+  for (size_t i = 0; i < shown; ++i) {
+    out += StrFormat("  %s (%d attempt(s)): %s\n", entries[i].id.c_str(),
+                     entries[i].attempts,
+                     entries[i].cause.ToString().c_str());
+  }
+  if (entries.size() > shown) {
+    out += StrFormat("  ... and %zu more\n", entries.size() - shown);
+  }
+  return out;
+}
+
+}  // namespace hpa

@@ -1,0 +1,170 @@
+#ifndef HPA_COMMON_RETRY_H_
+#define HPA_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Fault-tolerance primitives shared by the I/O and operator layers:
+///
+///  * `RetryPolicy`    — bounded attempts with exponential backoff and
+///    deterministic jitter. Backoff durations are a pure function of
+///    (policy seed, request token, attempt), so a simulated run charges
+///    exactly the same recovery time no matter how its worker threads
+///    interleave — recovery is *priced*, not just performed.
+///  * `FaultPolicy`    — what a bulk input operator does once retries are
+///    exhausted for one item: abort the whole run (`kFailFast`, the
+///    pre-fault-tolerance behavior) or quarantine the item and continue
+///    (`kRetryThenSkip`).
+///  * `QuarantineList` — the per-worker record of skipped items (document
+///    or shard id + the cause), merged after a parallel loop like any
+///    other sharded partial and surfaced in reports.
+///
+/// The paper's parallel-input optimization (§3.2) assumes every one of the
+/// corpus files reads cleanly; at the ROADMAP's production scale the
+/// storage layer must instead be treated as unreliable-but-recoverable
+/// (cf. Zhang & Yang, "Optimizing I/O for Big Array Analytics").
+
+namespace hpa {
+
+/// What a bulk operator does with an item whose reads keep failing.
+enum class FaultPolicy {
+  /// First unrecoverable item aborts the operator (and cooperatively
+  /// cancels the rest of the parallel region). The default.
+  kFailFast,
+
+  /// Unrecoverable items are quarantined (id + cause recorded) and the
+  /// operator completes on the remaining data.
+  kRetryThenSkip,
+};
+
+/// Stable lowercase name: "fail-fast" | "retry-skip".
+std::string_view FaultPolicyName(FaultPolicy policy);
+
+/// Parses "fail-fast" | "retry-skip" (the --fault-policy flag spellings).
+bool ParseFaultPolicy(std::string_view text, FaultPolicy* out);
+
+/// Bounded-retry policy with exponential backoff and deterministic jitter.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  int max_attempts = 4;
+
+  /// Backoff before the first retry.
+  double initial_backoff_sec = 0.002;
+
+  /// Growth factor per retry (exponential backoff).
+  double backoff_multiplier = 2.0;
+
+  /// Upper bound on a single backoff.
+  double max_backoff_sec = 0.250;
+
+  /// Jitter amplitude as a fraction of the nominal backoff: the actual
+  /// backoff is nominal * (1 + jitter_fraction * u) with u in [-1, 1)
+  /// derived deterministically from (seed, token, attempt).
+  double jitter_fraction = 0.25;
+
+  /// Stream seed for the jitter; two runs with the same seed charge
+  /// identical backoff schedules.
+  uint64_t seed = 0x9E3779B97F4A7C15ULL;
+
+  /// Policy that never retries (restores pre-retry error propagation).
+  static RetryPolicy NoRetry() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+
+  /// True for failure categories where a retry can plausibly succeed:
+  /// kIoError (transient device/OS failures) and kCorruption (a re-read
+  /// may return clean bytes after a transient transfer error). Permanent
+  /// conditions (kNotFound, kInvalidArgument, ...) are not retryable.
+  bool IsRetryable(const Status& status) const;
+
+  /// True iff attempt `attempt` (0-based) failed with a retryable status
+  /// and the attempt budget allows another try.
+  bool ShouldRetry(const Status& status, int attempt) const {
+    return attempt + 1 < max_attempts && IsRetryable(status);
+  }
+
+  /// Backoff to wait after failed attempt `attempt` (0-based), with
+  /// deterministic jitter derived from `token` (a stable identifier of the
+  /// request, e.g. a path hash). Non-negative; capped at max_backoff_sec.
+  double BackoffSeconds(int attempt, uint64_t token) const;
+};
+
+/// One quarantined item: the document/shard id, why it was given up on,
+/// and how many read attempts were spent before quarantining.
+struct QuarantineEntry {
+  std::string id;
+  Status cause;
+  int attempts = 1;
+};
+
+/// Accumulates quarantined items. Each parallel worker fills its own list
+/// (no synchronization), and the per-worker lists are merged after the
+/// loop in worker-slot order — the same discipline as the sharded
+/// dictionary partials. `SortById()` then makes the merged order
+/// independent of the timing-dependent worker assignment.
+struct QuarantineList {
+  std::vector<QuarantineEntry> entries;
+
+  /// Total retry attempts spent on items that were eventually quarantined
+  /// *or* recovered inside the operator that owns this list (operators
+  /// fold the device counters in where applicable).
+  uint64_t retries = 0;
+
+  void Add(std::string id, Status cause, int attempts = 1) {
+    entries.push_back(QuarantineEntry{std::move(id), std::move(cause), attempts});
+  }
+
+  /// Moves all of `other`'s entries and retry counts into this list.
+  void MergeFrom(QuarantineList&& other);
+
+  /// Sorts entries by id for run-to-run stable reporting.
+  void SortById();
+
+  size_t size() const { return entries.size(); }
+  bool empty() const { return entries.empty(); }
+
+  /// Human-readable one-line-per-entry summary (capped at `max_entries`
+  /// entries, with a "... and N more" tail).
+  std::string Summary(size_t max_entries = 5) const;
+};
+
+namespace retry_internal {
+inline const Status& AsStatus(const Status& s) { return s; }
+template <typename T>
+const Status& AsStatus(const StatusOr<T>& s) {
+  return s.status();
+}
+}  // namespace retry_internal
+
+/// Runs `fn` (returning Status or StatusOr<T>) up to policy.max_attempts
+/// times, invoking `on_backoff(seconds)` before each retry so the caller
+/// can charge the wait to its clock (virtual or real). Returns the first
+/// success or the last failure. `attempts_out`, if non-null, receives the
+/// number of tries performed.
+template <typename Fn, typename OnBackoff>
+auto RetryCall(const RetryPolicy& policy, uint64_t token, Fn fn,
+               OnBackoff on_backoff, int* attempts_out = nullptr)
+    -> decltype(fn(0)) {
+  int attempt = 0;
+  for (;; ++attempt) {
+    auto result = fn(attempt);
+    if (retry_internal::AsStatus(result).ok() ||
+        !policy.ShouldRetry(retry_internal::AsStatus(result), attempt)) {
+      if (attempts_out != nullptr) *attempts_out = attempt + 1;
+      return result;
+    }
+    on_backoff(policy.BackoffSeconds(attempt, token));
+  }
+}
+
+}  // namespace hpa
+
+#endif  // HPA_COMMON_RETRY_H_

@@ -6,6 +6,23 @@
 
 namespace hpa::core {
 
+std::string FormatFaultSummary(const QuarantineList& quarantine,
+                               size_t total_items, uint64_t device_retries) {
+  if (quarantine.empty()) {
+    return StrFormat("faults: none (%zu item(s) clean, %llu retr%s)\n",
+                     total_items,
+                     static_cast<unsigned long long>(device_retries),
+                     device_retries == 1 ? "y" : "ies");
+  }
+  std::string out =
+      StrFormat("faults: %zu of %zu item(s) quarantined, %llu device retr%s\n",
+                quarantine.size(), total_items,
+                static_cast<unsigned long long>(device_retries),
+                device_retries == 1 ? "y" : "ies");
+  out += quarantine.Summary();
+  return out;
+}
+
 std::string FormatTable(const std::vector<std::vector<std::string>>& rows) {
   if (rows.empty()) return "";
   size_t cols = 0;

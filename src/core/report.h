@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/timer.h"
 
 /// \file
@@ -44,6 +45,13 @@ std::string FormatSpeedupTable(const std::vector<SpeedupSeries>& series);
 /// Simple generic table: first row = header, remaining rows = data, all
 /// columns right-aligned except the first.
 std::string FormatTable(const std::vector<std::vector<std::string>>& rows);
+
+/// Renders the fault-tolerance outcome of a run: device retries performed
+/// and quarantined items out of `total_items` (with a capped per-item
+/// listing). Returns "faults: none (N items clean, 0 retries)"-style text
+/// when nothing went wrong, so reports always state the fault posture.
+std::string FormatFaultSummary(const QuarantineList& quarantine,
+                               size_t total_items, uint64_t device_retries);
 
 }  // namespace hpa::core
 

@@ -1,0 +1,119 @@
+#include "io/fault_injection.h"
+
+#include "common/checksum.h"
+
+namespace hpa::io {
+
+namespace {
+
+/// Maps a 64-bit hash to a uniform double in [0, 1).
+double ToUnit(uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+/// Hash of the request identity for one fault class. `salt` separates the
+/// per-class decision streams; `attempt` is folded in only for classes
+/// that may resolve differently on a retry.
+uint64_t RequestHash(uint64_t seed, uint64_t salt, std::string_view op,
+                     std::string_view key, uint64_t offset, uint64_t attempt) {
+  uint64_t h = StableHash64(op, seed ^ salt);
+  h = StableHash64(key, h);
+  h ^= (offset + 1) * 0x9E3779B97F4A7C15ULL;
+  h ^= (attempt + 1) * 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 30;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 27;
+  return h;
+}
+
+constexpr uint64_t kPermanentSalt = 0xA1;
+constexpr uint64_t kTransientSalt = 0xB2;
+constexpr uint64_t kCorruptionSalt = 0xC3;
+constexpr uint64_t kSpikeSalt = 0xD4;
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kPermanent:
+      return "permanent";
+    case FaultKind::kCorruption:
+      return "corruption";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+  }
+  return "unknown";
+}
+
+FaultDecision FaultInjector::Decide(std::string_view op, std::string_view key,
+                                    uint64_t offset, int attempt) {
+  FaultDecision decision;
+  if (!profile_.Enabled()) return decision;
+  const uint64_t a = static_cast<uint64_t>(attempt < 0 ? 0 : attempt);
+
+  // Permanent faults are decided WITHOUT the attempt number: once a request
+  // is chosen as permanently failed, every retry fails too.
+  if (profile_.permanent_rate > 0.0) {
+    uint64_t h = RequestHash(profile_.seed, kPermanentSalt, op, key, offset,
+                             /*attempt=*/0);
+    if (ToUnit(h) < profile_.permanent_rate) {
+      decision.kind = FaultKind::kPermanent;
+      permanent_.fetch_add(1, std::memory_order_relaxed);
+      return decision;
+    }
+  }
+
+  if (profile_.transient_rate > 0.0) {
+    uint64_t h =
+        RequestHash(profile_.seed, kTransientSalt, op, key, offset, a);
+    if (ToUnit(h) < profile_.transient_rate) {
+      decision.kind = FaultKind::kTransient;
+      transient_.fetch_add(1, std::memory_order_relaxed);
+      return decision;
+    }
+  }
+
+  if (profile_.corruption_rate > 0.0) {
+    uint64_t h =
+        RequestHash(profile_.seed, kCorruptionSalt, op, key, offset, a);
+    if (ToUnit(h) < profile_.corruption_rate) {
+      decision.kind = FaultKind::kCorruption;
+      decision.corrupt_at = RequestHash(profile_.seed, kCorruptionSalt ^ 0xFF,
+                                        op, key, offset, a);
+      corruption_.fetch_add(1, std::memory_order_relaxed);
+      return decision;
+    }
+  }
+
+  if (profile_.latency_spike_rate > 0.0) {
+    uint64_t h = RequestHash(profile_.seed, kSpikeSalt, op, key, offset, a);
+    if (ToUnit(h) < profile_.latency_spike_rate) {
+      decision.kind = FaultKind::kLatencySpike;
+      decision.extra_latency_sec = profile_.latency_spike_sec;
+      spikes_.fetch_add(1, std::memory_order_relaxed);
+      return decision;
+    }
+  }
+
+  return decision;
+}
+
+void FaultInjector::CorruptPayload(const FaultDecision& decision,
+                                   std::string* payload) {
+  if (payload == nullptr || payload->empty()) return;
+  size_t pos = static_cast<size_t>(decision.corrupt_at % payload->size());
+  // XOR with a non-zero mask always changes the byte, so corruption is
+  // never a silent no-op.
+  (*payload)[pos] = static_cast<char>((*payload)[pos] ^ 0x5A);
+}
+
+void FaultInjector::ResetCounters() {
+  transient_.store(0, std::memory_order_relaxed);
+  permanent_.store(0, std::memory_order_relaxed);
+  corruption_.store(0, std::memory_order_relaxed);
+  spikes_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hpa::io

@@ -1,0 +1,139 @@
+#ifndef HPA_IO_FAULT_INJECTION_H_
+#define HPA_IO_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file
+/// Deterministic, seed-driven I/O fault injection.
+///
+/// A `FaultInjector` wraps no state of its own around the file operations;
+/// instead, `SimDisk` (and the directory-corpus loader) consult it before
+/// each read request. Whether a given request faults is a *pure function*
+/// of (profile seed, operation, path, offset, attempt) — never of wall
+/// time, call order, or thread interleaving — so a fault schedule is
+/// bit-reproducible across worker counts and executor kinds. That is what
+/// makes "same seed => same faults" testable and lets benches ablate
+/// recovery cost without noise from the schedule itself.
+///
+/// Supported fault classes (independent per-request rates):
+///  * transient errors  — the request fails this attempt; a retry (which
+///    hashes with a different attempt number) almost surely succeeds;
+///  * permanent errors  — every attempt for the request fails (decided
+///    without the attempt number), modelling a lost/unreadable object;
+///  * payload corruption — the read succeeds but one byte is flipped;
+///    detected downstream by the CRC-32 checksums in the packed-corpus
+///    index and the sharded-ARFF manifest;
+///  * latency spikes    — the request succeeds but costs extra device
+///    time, charged to the SimDisk's virtual clock.
+
+namespace hpa::io {
+
+/// Per-request fault rates, all in [0, 1]. Default-constructed = no faults.
+struct FaultProfile {
+  /// Probability a given (request, attempt) fails with a transient error.
+  double transient_rate = 0.0;
+
+  /// Probability a given request is permanently unreadable (all attempts).
+  double permanent_rate = 0.0;
+
+  /// Probability a given (request, attempt) returns corrupted payload.
+  double corruption_rate = 0.0;
+
+  /// Probability a given (request, attempt) incurs a latency spike.
+  double latency_spike_rate = 0.0;
+
+  /// Extra device seconds charged per latency spike.
+  double latency_spike_sec = 0.050;
+
+  /// Schedule seed; two injectors with equal profiles make identical
+  /// decisions.
+  uint64_t seed = 1;
+
+  bool Enabled() const {
+    return transient_rate > 0.0 || permanent_rate > 0.0 ||
+           corruption_rate > 0.0 || latency_spike_rate > 0.0;
+  }
+};
+
+/// What a single decision resolved to.
+enum class FaultKind {
+  kNone,
+  kTransient,
+  kPermanent,
+  kCorruption,
+  kLatencySpike,
+};
+
+/// Stable lowercase name for `kind` (e.g. "transient").
+std::string_view FaultKindName(FaultKind kind);
+
+/// Outcome of consulting the injector for one request attempt.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+
+  /// For kLatencySpike: device seconds to charge on top of the request.
+  double extra_latency_sec = 0.0;
+
+  /// For kCorruption: pseudo-random value selecting which payload byte to
+  /// flip (reduced modulo the payload size at application).
+  uint64_t corrupt_at = 0;
+};
+
+/// Thread-safe fault oracle. Decisions are pure functions of the request
+/// identity; only the lifetime counters mutate (atomically), so the same
+/// injector can be consulted from inside parallel-region bodies.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultProfile& profile) : profile_(profile) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Decides the fate of attempt `attempt` (0-based) of request
+  /// (`op`, `key`, `offset`). `op` names the operation class ("read",
+  /// "range"); `key` is the path. Precedence when rates overlap:
+  /// permanent > transient > corruption > latency spike.
+  FaultDecision Decide(std::string_view op, std::string_view key,
+                       uint64_t offset, int attempt);
+
+  /// Flips one byte of `payload` as directed by a kCorruption decision.
+  /// No-op on empty payloads.
+  static void CorruptPayload(const FaultDecision& decision,
+                             std::string* payload);
+
+  const FaultProfile& profile() const { return profile_; }
+
+  /// Lifetime counters of injected events (safe to read concurrently).
+  uint64_t injected_transient() const {
+    return transient_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_permanent() const {
+    return permanent_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_corruption() const {
+    return corruption_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_latency_spikes() const {
+    return spikes_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_total() const {
+    return injected_transient() + injected_permanent() +
+           injected_corruption() + injected_latency_spikes();
+  }
+
+  void ResetCounters();
+
+ private:
+  FaultProfile profile_;
+  std::atomic<uint64_t> transient_{0};
+  std::atomic<uint64_t> permanent_{0};
+  std::atomic<uint64_t> corruption_{0};
+  std::atomic<uint64_t> spikes_{0};
+};
+
+}  // namespace hpa::io
+
+#endif  // HPA_IO_FAULT_INJECTION_H_

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "common/checksum.h"
+
 namespace hpa::io {
 
 namespace fs = std::filesystem;
@@ -51,13 +53,42 @@ StatusOr<std::string> ReadFileRange(const std::string& path, uint64_t offset,
   return out;
 }
 
+StatusOr<std::string> ReadWholeFile(const std::string& path,
+                                    const RetryPolicy& retry, int* attempts) {
+  return RetryCall(
+      retry, StableHash64(path),
+      [&](int) { return ReadWholeFile(path); }, [](double) {}, attempts);
+}
+
+StatusOr<std::string> ReadFileRange(const std::string& path, uint64_t offset,
+                                    uint64_t length, const RetryPolicy& retry,
+                                    int* attempts) {
+  return RetryCall(
+      retry, StableHash64(path) + offset,
+      [&](int) { return ReadFileRange(path, offset, length); }, [](double) {},
+      attempts);
+}
+
 Status WriteWholeFile(const std::string& path, std::string_view contents) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IoError(ErrnoMessage("create", path));
+  // Write-then-rename: fs::rename over an existing file is atomic on POSIX,
+  // so `path` never holds a partially written payload.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError(ErrnoMessage("create", tmp));
   size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
   bool close_failed = std::fclose(f) != 0;
   if (written != contents.size() || close_failed) {
-    return Status::IoError(ErrnoMessage("write", path));
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    return Status::IoError(ErrnoMessage("write", tmp));
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    return Status::IoError("rename '" + tmp + "' -> '" + path +
+                           "': " + ec.message());
   }
   return Status::OK();
 }

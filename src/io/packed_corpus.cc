@@ -2,11 +2,15 @@
 
 #include <cstring>
 
+#include "common/checksum.h"
+
 namespace hpa::io {
 
 namespace {
 
-constexpr char kMagic[8] = {'H', 'P', 'A', 'C', 'O', 'R', 'P', '1'};
+// v2 adds a u32 CRC-32 per index entry; v1 files stay readable.
+constexpr char kMagicV1[8] = {'H', 'P', 'A', 'C', 'O', 'R', 'P', '1'};
+constexpr char kMagicV2[8] = {'H', 'P', 'A', 'C', 'O', 'R', 'P', '2'};
 constexpr size_t kFooterBytes = 8 + 8 + 8;  // index_offset, doc_count, magic
 
 void AppendU32(std::string& out, uint32_t v) {
@@ -48,7 +52,8 @@ Status PackedCorpusWriter::Add(std::string_view name, std::string_view body) {
     return Status::FailedPrecondition("corpus already finalized");
   }
   HPA_RETURN_IF_ERROR(writer_->Append(body));
-  index_.push_back(IndexEntry{std::string(name), position_, body.size()});
+  index_.push_back(
+      IndexEntry{std::string(name), position_, body.size(), Crc32(body)});
   position_ += body.size();
   return Status::OK();
 }
@@ -65,10 +70,11 @@ Status PackedCorpusWriter::Finalize() {
     blob.append(e.name);
     AppendU64(blob, e.offset);
     AppendU64(blob, e.length);
+    AppendU32(blob, e.crc);
   }
   AppendU64(blob, index_offset);
   AppendU64(blob, index_.size());
-  blob.append(kMagic, sizeof(kMagic));
+  blob.append(kMagicV2, sizeof(kMagicV2));
   HPA_RETURN_IF_ERROR(writer_->Append(blob));
   return writer_->Close();
 }
@@ -82,7 +88,13 @@ StatusOr<PackedCorpusReader> PackedCorpusReader::Open(
   HPA_ASSIGN_OR_RETURN(
       std::string footer,
       disk->ReadRange(rel_path, file_size - kFooterBytes, kFooterBytes));
-  if (std::memcmp(footer.data() + 16, kMagic, sizeof(kMagic)) != 0) {
+  bool has_checksums;
+  if (std::memcmp(footer.data() + 16, kMagicV2, sizeof(kMagicV2)) == 0) {
+    has_checksums = true;
+  } else if (std::memcmp(footer.data() + 16, kMagicV1, sizeof(kMagicV1)) ==
+             0) {
+    has_checksums = false;
+  } else {
     return Status::Corruption("bad magic in packed corpus: " + rel_path);
   }
   size_t pos = 0;
@@ -113,13 +125,18 @@ StatusOr<PackedCorpusReader> PackedCorpusReader::Open(
         !ReadU64(index_blob, &pos, &e.length)) {
       return Status::Corruption("truncated index entry in " + rel_path);
     }
+    e.crc = 0;
+    if (has_checksums && !ReadU32(index_blob, &pos, &e.crc)) {
+      return Status::Corruption("truncated index entry in " + rel_path);
+    }
     if (e.offset + e.length > index_offset) {
       return Status::Corruption("document range out of bounds in " +
                                 rel_path);
     }
     entries.push_back(std::move(e));
   }
-  return PackedCorpusReader(disk, rel_path, std::move(entries));
+  return PackedCorpusReader(disk, rel_path, std::move(entries),
+                            has_checksums);
 }
 
 StatusOr<std::string> PackedCorpusReader::ReadBody(size_t i) const {
@@ -128,7 +145,27 @@ StatusOr<std::string> PackedCorpusReader::ReadBody(size_t i) const {
                               " out of range (corpus has " +
                               std::to_string(entries_.size()) + ")");
   }
-  return disk_->ReadRange(rel_path_, entries_[i].offset, entries_[i].length);
+  const Entry& e = entries_[i];
+  const RetryPolicy& retry = disk_->retry_policy();
+  const int max_attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  const uint64_t token = StableHash64(rel_path_) + e.offset;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      // A checksum-triggered re-read is priced like any other retry.
+      disk_->NoteRetry(retry.BackoffSeconds(attempt - 1, token));
+    }
+    // attempt_base shifts the fault injector's attempt numbering so the
+    // re-read is a genuinely new attempt, not a replay of the first.
+    HPA_ASSIGN_OR_RETURN(std::string body,
+                         disk_->ReadRange(rel_path_, e.offset, e.length,
+                                          /*attempt_base=*/attempt));
+    if (!has_checksums_ || Crc32(body) == e.crc) return body;
+    if (attempt + 1 >= max_attempts) {
+      return Status::Corruption("checksum mismatch for document '" + e.name +
+                                "' in " + rel_path_ + " after " +
+                                std::to_string(attempt + 1) + " attempt(s)");
+    }
+  }
 }
 
 uint64_t PackedCorpusReader::total_body_bytes() const {

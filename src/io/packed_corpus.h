@@ -16,10 +16,17 @@
 /// unit of parallel input in §3.2 ("reading independent files
 /// concurrently").
 ///
-/// Layout:
+/// Layout (v2, magic "HPACORP2"):
 ///   [body 0][body 1]...[body n-1]
-///   index: n records of (name_len u32, name bytes, offset u64, length u64)
-///   footer: index_offset u64, doc_count u64, magic "HPACORP1"
+///   index: n records of (name_len u32, name bytes, offset u64, length u64,
+///                        crc32 u32)
+///   footer: index_offset u64, doc_count u64, magic
+///
+/// The per-document CRC-32 lets ReadBody detect payload corruption (bit
+/// flips, torn transfers) instead of feeding bad bytes to the operators; a
+/// mismatch triggers a bounded re-read per the disk's retry policy and
+/// surfaces as kCorruption only if it persists. v1 files ("HPACORP1",
+/// no crc field) remain readable with verification disabled.
 
 namespace hpa::io {
 
@@ -47,6 +54,7 @@ class PackedCorpusWriter {
     std::string name;
     uint64_t offset;
     uint64_t length;
+    uint32_t crc;
   };
 
   explicit PackedCorpusWriter(std::unique_ptr<SimWriter> writer)
@@ -82,8 +90,18 @@ class PackedCorpusReader {
   uint64_t body_length(size_t i) const { return entries_[i].length; }
 
   /// Reads the body of document `i` (one simulated device request).
+  /// For v2 files the payload CRC is verified; a mismatch triggers a
+  /// bounded re-read per the disk's retry policy (backoff charged to the
+  /// clock) and returns kCorruption only if every attempt mismatches.
   /// Safe to call concurrently from parallel-region bodies.
   StatusOr<std::string> ReadBody(size_t i) const;
+
+  /// True for v2 files carrying per-document checksums.
+  bool has_checksums() const { return has_checksums_; }
+
+  /// The disk this reader reads from (callers consult its retry policy
+  /// when attributing quarantine attempt counts).
+  SimDisk* disk() const { return disk_; }
 
   /// Sum of all body lengths.
   uint64_t total_body_bytes() const;
@@ -93,16 +111,18 @@ class PackedCorpusReader {
     std::string name;
     uint64_t offset;
     uint64_t length;
+    uint32_t crc;
   };
 
   PackedCorpusReader(SimDisk* disk, std::string rel_path,
-                     std::vector<Entry> entries)
+                     std::vector<Entry> entries, bool has_checksums)
       : disk_(disk), rel_path_(std::move(rel_path)),
-        entries_(std::move(entries)) {}
+        entries_(std::move(entries)), has_checksums_(has_checksums) {}
 
   SimDisk* disk_;
   std::string rel_path_;
   std::vector<Entry> entries_;
+  bool has_checksums_;
 };
 
 }  // namespace hpa::io

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checksum.h"
 #include "common/string_util.h"
 #include "io/arff.h"
 
@@ -9,7 +10,9 @@ namespace hpa::io {
 
 namespace {
 
-constexpr std::string_view kManifestMagic = "HPA-SHARDED-ARFF 1";
+// v2 adds the per-shard "checksums" manifest line; v1 stays readable.
+constexpr std::string_view kManifestMagicV1 = "HPA-SHARDED-ARFF 1";
+constexpr std::string_view kManifestMagicV2 = "HPA-SHARDED-ARFF 2";
 
 std::string ManifestPath(const std::string& base) {
   return base + ".manifest";
@@ -46,35 +49,11 @@ Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
       1, std::min(shards, static_cast<int>(
                               std::max<size_t>(1, matrix.num_rows()))));
 
-  // Manifest (serial; it is small — header written once, not per shard).
-  Status manifest_status;
-  executor->RunSerial(parallel::WorkHint{}, [&] {
-    manifest_status = [&]() -> Status {
-      std::string manifest(kManifestMagic);
-      manifest += "\nrelation ";
-      manifest += relation_name;
-      manifest += "\nshards ";
-      AppendUint(manifest, static_cast<uint64_t>(shards));
-      for (int s = 0; s < shards; ++s) {
-        auto [b, e] = ShardRange(matrix.num_rows(), shards, s);
-        manifest += ' ';
-        AppendUint(manifest, e - b);
-      }
-      manifest += "\nattributes ";
-      AppendUint(manifest, attributes.size());
-      manifest += '\n';
-      for (const std::string& attr : attributes) {
-        manifest += attr;
-        manifest += '\n';
-      }
-      return disk->WriteFile(ManifestPath(base_path), manifest);
-    }();
-  });
-  HPA_RETURN_IF_ERROR(manifest_status);
-
-  // Shard bodies, one parallel chunk per shard. Whether this overlaps at
-  // the device is up to the disk's channel count.
+  // Shard bodies first, one parallel chunk per shard, computing each
+  // shard's CRC-32 as it streams out. Whether the writes overlap at the
+  // device is up to the disk's channel count.
   std::vector<Status> shard_status(static_cast<size_t>(shards));
+  std::vector<uint32_t> shard_crc(static_cast<size_t>(shards), 0);
   executor->ParallelFor(
       0, static_cast<size_t>(shards), 1, parallel::WorkHint{},
       [&](int, size_t sb, size_t se) {
@@ -87,13 +66,17 @@ Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
                 disk->OpenWriter(ShardPath(base_path, static_cast<int>(s))));
             std::string chunk;
             chunk.reserve(1 << 16);
+            uint32_t crc = 0;
             for (size_t r = begin; r < end; ++r) {
               arff_internal::AppendSparseRow(matrix.rows[r], chunk);
               if (chunk.size() >= (1 << 16)) {
+                crc = Crc32(chunk, crc);
                 HPA_RETURN_IF_ERROR(writer->Append(chunk));
                 chunk.clear();
               }
             }
+            crc = Crc32(chunk, crc);
+            shard_crc[s] = crc;
             HPA_RETURN_IF_ERROR(writer->Append(chunk));
             return writer->Close();
           }();
@@ -102,15 +85,50 @@ Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
   for (const Status& s : shard_status) {
     HPA_RETURN_IF_ERROR(s);
   }
-  return Status::OK();
+
+  // Manifest last (serial; it is small — header written once, not per
+  // shard). Writing it after the shards makes it the commit record: no
+  // manifest, no dataset.
+  Status manifest_status;
+  executor->RunSerial(parallel::WorkHint{}, [&] {
+    manifest_status = [&]() -> Status {
+      std::string manifest(kManifestMagicV2);
+      manifest += "\nrelation ";
+      manifest += relation_name;
+      manifest += "\nshards ";
+      AppendUint(manifest, static_cast<uint64_t>(shards));
+      for (int s = 0; s < shards; ++s) {
+        auto [b, e] = ShardRange(matrix.num_rows(), shards, s);
+        manifest += ' ';
+        AppendUint(manifest, e - b);
+      }
+      manifest += "\nchecksums";
+      for (int s = 0; s < shards; ++s) {
+        manifest += ' ';
+        AppendUint(manifest, shard_crc[static_cast<size_t>(s)]);
+      }
+      manifest += "\nattributes ";
+      AppendUint(manifest, attributes.size());
+      manifest += '\n';
+      for (const std::string& attr : attributes) {
+        manifest += attr;
+        manifest += '\n';
+      }
+      return disk->WriteFile(ManifestPath(base_path), manifest);
+    }();
+  });
+  return manifest_status;
 }
 
 StatusOr<ArffShardedResult> ReadShardedArff(SimDisk* disk,
                                             parallel::Executor* executor,
-                                            const std::string& base_path) {
+                                            const std::string& base_path,
+                                            FaultPolicy policy) {
   ArffShardedResult result;
   int shards = 0;
   std::vector<uint64_t> shard_rows;
+  std::vector<uint32_t> shard_crc;
+  bool has_checksums = false;
 
   Status manifest_status;
   executor->RunSerial(parallel::WorkHint{}, [&] {
@@ -119,7 +137,13 @@ StatusOr<ArffShardedResult> ReadShardedArff(SimDisk* disk,
                            disk->ReadFile(ManifestPath(base_path)));
       std::vector<std::string_view> lines = Split(manifest, '\n');
       size_t i = 0;
-      if (lines.empty() || Trim(lines[i]) != kManifestMagic) {
+      if (lines.empty()) {
+        return Status::Corruption("empty sharded-ARFF manifest in " +
+                                  base_path);
+      }
+      if (Trim(lines[i]) == kManifestMagicV2) {
+        has_checksums = true;
+      } else if (Trim(lines[i]) != kManifestMagicV1) {
         return Status::Corruption("bad sharded-ARFF magic in " + base_path);
       }
       ++i;
@@ -148,6 +172,24 @@ StatusOr<ArffShardedResult> ReadShardedArff(SimDisk* disk,
         }
       }
       ++i;
+      if (has_checksums) {
+        if (i >= lines.size() || !StartsWith(lines[i], "checksums")) {
+          return Status::Corruption("missing checksums line in " + base_path);
+        }
+        std::vector<std::string_view> parts = Split(Trim(lines[i]), ' ');
+        if (parts.size() != static_cast<size_t>(shards) + 1) {
+          return Status::Corruption("malformed checksums line in " +
+                                    base_path);
+        }
+        for (size_t p = 1; p < parts.size(); ++p) {
+          int64_t crc = 0;
+          if (!ParseInt64(parts[p], &crc) || crc < 0 || crc > 0xFFFFFFFFll) {
+            return Status::Corruption("bad shard checksum in " + base_path);
+          }
+          shard_crc.push_back(static_cast<uint32_t>(crc));
+        }
+        ++i;
+      }
       if (i >= lines.size() || !StartsWith(lines[i], "attributes ")) {
         return Status::Corruption("missing attributes line in " + base_path);
       }
@@ -178,19 +220,52 @@ StatusOr<ArffShardedResult> ReadShardedArff(SimDisk* disk,
   result.data.rows.resize(total_rows);
 
   std::vector<Status> shard_status(static_cast<size_t>(shards));
+  std::vector<int> shard_attempts(static_cast<size_t>(shards), 1);
   executor->ParallelFor(
       0, static_cast<size_t>(shards), 1, parallel::WorkHint{},
       [&](int, size_t sb, size_t se) {
         for (size_t s = sb; s < se; ++s) {
+          if (executor->stop_requested()) return;
           shard_status[s] = [&]() -> Status {
-            HPA_ASSIGN_OR_RETURN(
-                auto reader,
-                disk->OpenReader(ShardPath(base_path, static_cast<int>(s))));
+            const std::string shard_path =
+                ShardPath(base_path, static_cast<int>(s));
+
+            // Fetch the shard, verifying its CRC when the manifest carries
+            // one; a mismatch is re-read per the disk's retry policy (the
+            // attempt_base shifts the fault injector's attempt numbering so
+            // the re-read is a new attempt, not a replay).
+            std::string contents;
+            {
+              const RetryPolicy& retry = disk->retry_policy();
+              const int max_attempts = std::max(1, retry.max_attempts);
+              const uint64_t token = StableHash64(shard_path);
+              for (int attempt = 0;; ++attempt) {
+                shard_attempts[s] = attempt + 1;
+                if (attempt > 0) {
+                  disk->NoteRetry(retry.BackoffSeconds(attempt - 1, token));
+                }
+                HPA_ASSIGN_OR_RETURN(contents,
+                                     disk->ReadFile(shard_path, attempt));
+                if (!has_checksums || Crc32(contents) == shard_crc[s]) break;
+                if (attempt + 1 >= max_attempts) {
+                  return Status::Corruption(StrFormat(
+                      "checksum mismatch for shard '%s' after %d attempt(s)",
+                      shard_path.c_str(), attempt + 1));
+                }
+              }
+            }
+
             uint64_t row_index = shard_offset[s];
             uint64_t expected_end = shard_offset[s] + shard_rows[s];
-            std::string_view line;
             size_t line_number = 0;
-            while (reader->NextLine(&line)) {
+            size_t pos = 0;
+            while (pos < contents.size()) {
+              size_t nl = contents.find('\n', pos);
+              std::string_view line =
+                  nl == std::string::npos
+                      ? std::string_view(contents).substr(pos)
+                      : std::string_view(contents).substr(pos, nl - pos);
+              pos = nl == std::string::npos ? contents.size() : nl + 1;
               ++line_number;
               std::string_view trimmed = Trim(line);
               if (trimmed.empty()) continue;
@@ -213,11 +288,35 @@ StatusOr<ArffShardedResult> ReadShardedArff(SimDisk* disk,
             }
             return Status::OK();
           }();
+          if (!shard_status[s].ok() && policy == FaultPolicy::kFailFast) {
+            // Cancel the remaining shard chunks; the error is returned
+            // below in shard-index order.
+            executor->RequestStop();
+            return;
+          }
         }
       });
-  for (const Status& s : shard_status) {
-    HPA_RETURN_IF_ERROR(s);
+
+  if (policy == FaultPolicy::kFailFast) {
+    for (const Status& s : shard_status) {
+      HPA_RETURN_IF_ERROR(s);
+    }
+    return result;
   }
+
+  // kRetryThenSkip: quarantine failed shards, clearing any rows a shard
+  // managed to parse before failing so consumers see it as cleanly absent.
+  for (size_t s = 0; s < static_cast<size_t>(shards); ++s) {
+    if (shard_status[s].ok()) continue;
+    for (uint64_t r = shard_offset[s]; r < shard_offset[s] + shard_rows[s];
+         ++r) {
+      result.data.rows[r] = containers::SparseVector{};
+    }
+    result.rows_quarantined += shard_rows[s];
+    result.quarantine.Add(ShardPath(base_path, static_cast<int>(s)),
+                          shard_status[s], shard_attempts[s]);
+  }
+  result.quarantine.SortById();
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "containers/sparse_matrix.h"
 #include "io/sim_disk.h"
@@ -19,8 +20,15 @@
 /// instead of being duplicated per shard:
 ///
 ///   <base>.manifest   — text: magic, relation, shard count + row counts,
-///                       attribute list
+///                       per-shard CRC-32 checksums (v2), attribute list
 ///   <base>.0 ... <base>.N-1 — sparse data rows only ("{idx value,...}")
+///
+/// Shards are written (in parallel) *before* the manifest, so the manifest
+/// doubles as the commit record: a crash mid-write leaves either the old
+/// dataset or no manifest, never a manifest pointing at half-written
+/// shards. The v2 manifest ("HPA-SHARDED-ARFF 2") records each shard's
+/// CRC-32; the reader verifies it and re-reads per the disk's retry policy
+/// on mismatch. v1 manifests remain readable (verification disabled).
 ///
 /// Whether this actually helps depends on the storage device: on the
 /// single-channel local HDD of Figure 3 the shard writes serialize at the
@@ -35,6 +43,14 @@ struct ArffShardedResult {
   std::string relation_name;
   std::vector<std::string> attributes;
   containers::SparseMatrix data;
+
+  /// Shards skipped under FaultPolicy::kRetryThenSkip (empty otherwise).
+  /// Rows of a quarantined shard are present but empty, preserving row
+  /// numbering for the surviving shards.
+  QuarantineList quarantine;
+
+  /// Total data rows lost to quarantined shards.
+  uint64_t rows_quarantined = 0;
 };
 
 /// Writes `matrix` as a sharded sparse ARFF dataset rooted at `base_path`.
@@ -48,9 +64,15 @@ Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
 
 /// Reads a sharded dataset written by WriteShardedArff; shard reads and
 /// parses run as one parallel loop on `executor`. Row order is preserved.
-StatusOr<ArffShardedResult> ReadShardedArff(SimDisk* disk,
-                                            parallel::Executor* executor,
-                                            const std::string& base_path);
+///
+/// `policy` governs shards that stay unreadable after the disk's retry
+/// budget (I/O errors, persistent checksum mismatches, parse failures):
+/// kFailFast aborts the whole read (cancelling the remaining shard chunks
+/// cooperatively); kRetryThenSkip records the shard in
+/// `result.quarantine`, leaves its rows empty, and completes.
+StatusOr<ArffShardedResult> ReadShardedArff(
+    SimDisk* disk, parallel::Executor* executor, const std::string& base_path,
+    FaultPolicy policy = FaultPolicy::kFailFast);
 
 }  // namespace hpa::io
 

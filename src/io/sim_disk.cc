@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/checksum.h"
+#include "common/string_util.h"
 #include "io/file_io.h"
 
 namespace hpa::io {
@@ -35,6 +37,51 @@ void SimDisk::ChargeBytes(uint64_t bytes) {
   executor_->ChargeIoTime(seconds, options_.channels);
 }
 
+void SimDisk::NoteRetry(double backoff_sec) {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  if (executor_ != nullptr && backoff_sec > 0.0) {
+    executor_->ChargeIoTime(backoff_sec, options_.channels);
+  }
+}
+
+StatusOr<std::string> SimDisk::FaultAwareRead(
+    std::string_view op, const std::string& rel_path, uint64_t offset,
+    int attempt_base,
+    const std::function<StatusOr<std::string>()>& read_fn) {
+  const uint64_t token = StableHash64(rel_path) + offset;
+  return RetryCall(
+      retry_policy_, token,
+      [&](int attempt) -> StatusOr<std::string> {
+        attempt += attempt_base;
+        FaultDecision fault;
+        if (injector_ != nullptr) {
+          fault = injector_->Decide(op, rel_path, offset, attempt);
+        }
+        if (fault.kind == FaultKind::kTransient ||
+            fault.kind == FaultKind::kPermanent) {
+          // The failed request still costs a seek on the device.
+          ChargeRequest(0);
+          return Status::IoError(
+              StrFormat("injected %s fault reading '%s' @%llu (attempt %d)",
+                        std::string(FaultKindName(fault.kind)).c_str(),
+                        rel_path.c_str(),
+                        static_cast<unsigned long long>(offset), attempt));
+        }
+        HPA_ASSIGN_OR_RETURN(std::string contents, read_fn());
+        if (fault.kind == FaultKind::kLatencySpike && executor_ != nullptr) {
+          executor_->ChargeIoTime(fault.extra_latency_sec, options_.channels);
+        }
+        if (fault.kind == FaultKind::kCorruption) {
+          // Silent on this layer; checksummed formats detect it downstream.
+          FaultInjector::CorruptPayload(fault, &contents);
+        }
+        bytes_read_ += contents.size();
+        ChargeRequest(contents.size());
+        return contents;
+      },
+      [&](double backoff_sec) { NoteRetry(backoff_sec); });
+}
+
 Status SimDisk::WriteFile(const std::string& rel_path,
                           std::string_view contents) {
   HPA_RETURN_IF_ERROR(WriteWholeFile(AbsPath(rel_path), contents));
@@ -43,21 +90,18 @@ Status SimDisk::WriteFile(const std::string& rel_path,
   return Status::OK();
 }
 
-StatusOr<std::string> SimDisk::ReadFile(const std::string& rel_path) {
-  HPA_ASSIGN_OR_RETURN(std::string contents,
-                       ReadWholeFile(AbsPath(rel_path)));
-  bytes_read_ += contents.size();
-  ChargeRequest(contents.size());
-  return contents;
+StatusOr<std::string> SimDisk::ReadFile(const std::string& rel_path,
+                                        int attempt_base) {
+  return FaultAwareRead("read", rel_path, 0, attempt_base,
+                        [&] { return ReadWholeFile(AbsPath(rel_path)); });
 }
 
 StatusOr<std::string> SimDisk::ReadRange(const std::string& rel_path,
-                                         uint64_t offset, uint64_t length) {
-  HPA_ASSIGN_OR_RETURN(std::string contents,
-                       ReadFileRange(AbsPath(rel_path), offset, length));
-  bytes_read_ += contents.size();
-  ChargeRequest(contents.size());
-  return contents;
+                                         uint64_t offset, uint64_t length,
+                                         int attempt_base) {
+  return FaultAwareRead("range", rel_path, offset, attempt_base, [&] {
+    return ReadFileRange(AbsPath(rel_path), offset, length);
+  });
 }
 
 StatusOr<std::unique_ptr<SimWriter>> SimDisk::OpenWriter(
@@ -72,10 +116,10 @@ StatusOr<std::unique_ptr<SimWriter>> SimDisk::OpenWriter(
 
 StatusOr<std::unique_ptr<SimReader>> SimDisk::OpenReader(
     const std::string& rel_path) {
-  HPA_ASSIGN_OR_RETURN(std::string contents,
-                       ReadWholeFile(AbsPath(rel_path)));
-  bytes_read_ += contents.size();
-  ChargeRequest(contents.size());
+  HPA_ASSIGN_OR_RETURN(
+      std::string contents,
+      FaultAwareRead("read", rel_path, 0, /*attempt_base=*/0,
+                     [&] { return ReadWholeFile(AbsPath(rel_path)); }));
   return std::unique_ptr<SimReader>(new SimReader(std::move(contents)));
 }
 

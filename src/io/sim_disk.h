@@ -3,11 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 
+#include "common/retry.h"
 #include "common/status.h"
+#include "io/fault_injection.h"
 #include "parallel/executor.h"
 
 /// \file
@@ -76,15 +79,44 @@ class SimDisk {
   const DiskOptions& options() const { return options_; }
   const std::string& root() const { return root_; }
 
+  /// Attaches a fault injector consulted before every read request (not
+  /// owned; may be null = no faults). Injected latency is charged to the
+  /// executor's clock like any other device time.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Retry policy applied to read requests that fail (injected or real
+  /// transient errors). Defaults to NoRetry, which preserves the exact
+  /// pre-fault-tolerance behavior. Backoff waits are charged to the
+  /// executor's clock — recovery costs simulated time, not wall time.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Charges one backoff wait to the clock and counts the retry. Also used
+  /// by readers (e.g. PackedCorpus) that re-read after a checksum mismatch.
+  void NoteRetry(double backoff_sec);
+
+  /// Lifetime count of retry attempts performed through this disk.
+  uint64_t total_retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
   /// Writes a whole file; charges one request plus the byte cost.
   Status WriteFile(const std::string& rel_path, std::string_view contents);
 
   /// Reads a whole file; charges one request plus the byte cost.
-  StatusOr<std::string> ReadFile(const std::string& rel_path);
+  /// See ReadRange for the meaning of `attempt_base`.
+  StatusOr<std::string> ReadFile(const std::string& rel_path,
+                                 int attempt_base = 0);
 
   /// Reads `length` bytes at `offset`; charges one request plus byte cost.
+  /// `attempt_base` offsets the attempt numbers seen by the fault injector:
+  /// a caller that re-reads after detecting corruption passes its own retry
+  /// count so the injected-fault decision can differ from the first read
+  /// (decisions are pure functions of (request, attempt)).
   StatusOr<std::string> ReadRange(const std::string& rel_path,
-                                  uint64_t offset, uint64_t length);
+                                  uint64_t offset, uint64_t length,
+                                  int attempt_base = 0);
 
   /// Opens a buffered, append-only stream writer. One request latency is
   /// charged at open; bytes are charged as they are appended.
@@ -118,11 +150,23 @@ class SimDisk {
   /// Charges only the byte cost (for streaming appends after open).
   void ChargeBytes(uint64_t bytes);
 
+  /// Shared read path: consults the fault injector per attempt, retries
+  /// per `retry_policy_` (charging backoff to the clock), applies payload
+  /// corruption / latency spikes to successful reads, and does the byte
+  /// accounting.
+  StatusOr<std::string> FaultAwareRead(
+      std::string_view op, const std::string& rel_path, uint64_t offset,
+      int attempt_base,
+      const std::function<StatusOr<std::string>()>& read_fn);
+
   DiskOptions options_;
   std::string root_;
   parallel::Executor* executor_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_policy_ = RetryPolicy::NoRetry();
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> retries_{0};
 };
 
 /// Buffered append-only writer on a SimDisk file.

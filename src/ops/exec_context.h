@@ -4,6 +4,7 @@
 #include <functional>
 #include <string>
 
+#include "common/retry.h"
 #include "common/timer.h"
 #include "containers/dictionary.h"
 #include "io/sim_disk.h"
@@ -45,6 +46,13 @@ struct ExecContext {
   /// shrinking the dictionaries §3.4 studies). Off by default — the paper
   /// counts surface forms.
   bool stem_tokens = false;
+
+  /// What input operators do with a document whose reads stay failed after
+  /// the owning disk's retry budget: abort the run (kFailFast, the default
+  /// and the pre-fault-tolerance behavior) or quarantine the document and
+  /// continue on the rest (kRetryThenSkip). Quarantined ids surface on the
+  /// operator results and in Report.
+  FaultPolicy fault_policy = FaultPolicy::kFailFast;
 
   /// Ablation escape hatch (--serial-merge in the harnesses): fold
   /// reductions serially on the calling thread — the paper-era structure —

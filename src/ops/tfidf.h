@@ -67,6 +67,10 @@ struct TfidfResult {
   /// Document names, index = row.
   std::vector<std::string> doc_names;
 
+  /// Documents skipped during word count under FaultPolicy::kRetryThenSkip
+  /// (their rows are present but empty). Empty under kFailFast.
+  QuarantineList quarantine;
+
   size_t num_documents() const { return matrix.num_rows(); }
 
   /// Dictionary heap footprint observed before the tables were dropped.
@@ -227,6 +231,7 @@ TfidfResult TfidfTransformT(ExecContext& ctx, WordCountResult<B> wc,
   TfidfResult result;
   result.total_tokens = wc.total_tokens;
   result.dict_bytes = wc.ApproxDictBytes();
+  result.quarantine = std::move(wc.quarantine);
 
   ctx.TimePhase("transform", [&] {
     // Term-id assignment: sharded-parallel vocabulary sweeps around one

@@ -60,6 +60,12 @@ struct WordCountResult {
   /// Global word -> {document frequency, term id} table.
   DfDict doc_freq;
 
+  /// Documents skipped under FaultPolicy::kRetryThenSkip (empty under
+  /// kFailFast). A quarantined document keeps its slot in doc_tfs /
+  /// doc_names with an empty term table, so ids and row numbering are
+  /// unaffected.
+  QuarantineList quarantine;
+
   uint64_t total_tokens = 0;
 
   /// Approximate heap footprint of all dictionaries (the paper's 420 MB vs
@@ -132,10 +138,12 @@ StatusOr<WordCountResult<B>> RunWordCount(
   // Each document writes only its own error slot, so the parallel loop
   // needs no synchronization; the first failure wins after the loop.
   std::vector<Status> doc_errors(n);
+  const bool skip_mode = ctx.fault_policy == FaultPolicy::kRetryThenSkip;
 
   parallel::WorkerLocal<typename WordCountResult<B>::DfDict> worker_df(
       *ctx.executor);
   parallel::WorkerLocal<uint64_t> worker_tokens(*ctx.executor);
+  parallel::WorkerLocal<QuarantineList> worker_quarantine(*ctx.executor);
 
   ctx.TimePhase("input+wc", [&] {
     parallel::WorkHint hint;
@@ -147,9 +155,28 @@ StatusOr<WordCountResult<B>> RunWordCount(
           uint64_t& tokens = worker_tokens.Get(worker);
           std::string stem_buf;  // recycled across tokens/documents
           for (size_t i = begin; i < end; ++i) {
+            if (ctx.executor->stop_requested()) return;
             auto body = corpus.ReadBody(i);
             if (!body.ok()) {
-              doc_errors[i] = body.status();
+              if (skip_mode) {
+                // Quarantine: record id + cause, leave the tf table empty
+                // (the slot keeps the corpus numbering), keep going.
+                int attempts = 1;
+                if (corpus.disk() != nullptr &&
+                    corpus.disk()->retry_policy().IsRetryable(body.status())) {
+                  const RetryPolicy& p = corpus.disk()->retry_policy();
+                  attempts = p.max_attempts < 1 ? 1 : p.max_attempts;
+                }
+                QuarantineList& q = worker_quarantine.Get(worker);
+                q.retries += static_cast<uint64_t>(attempts - 1);
+                q.Add(corpus.name(i), body.status(), attempts);
+                result.doc_names[i] = corpus.name(i);
+              } else {
+                doc_errors[i] = body.status();
+                // Fail fast: no point paying for documents whose result
+                // this run will discard.
+                ctx.executor->RequestStop();
+              }
               continue;
             }
             result.doc_names[i] = corpus.name(i);
@@ -174,11 +201,22 @@ StatusOr<WordCountResult<B>> RunWordCount(
         });
   });
 
-  wc_internal::MergeDocFrequencies<B>(ctx, worker_df, worker_tokens, result);
-
+  // Fail fast before paying for the merge: the loop above cancelled its
+  // remaining chunks, so any recorded error aborts here.
   for (const Status& s : doc_errors) {
     if (!s.ok()) return s.WithContext("word count");
   }
+
+  wc_internal::MergeDocFrequencies<B>(ctx, worker_df, worker_tokens, result);
+
+  // Merge per-worker quarantine lists in slot order (like the df partials),
+  // then sort by id so the report order is independent of which worker
+  // happened to own each document.
+  for (size_t w = 0; w < worker_quarantine.size(); ++w) {
+    result.quarantine.MergeFrom(
+        std::move(worker_quarantine.Get(static_cast<int>(w))));
+  }
+  result.quarantine.SortById();
   return result;
 }
 

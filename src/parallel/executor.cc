@@ -25,9 +25,11 @@ void SerialExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
   // Chunked execution (not one big call) so that grain-dependent behaviour,
   // e.g. per-chunk scratch reuse, is identical across executors.
   for (size_t b = begin; b < end; b += grain) {
+    if (stop_requested()) break;
     size_t e = b + grain < end ? b + grain : end;
     body(0, b, e);
   }
+  ResetStop();
 }
 
 void SerialExecutor::RunSerial(const WorkHint& hint,

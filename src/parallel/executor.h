@@ -1,6 +1,7 @@
 #ifndef HPA_PARALLEL_EXECUTOR_H_
 #define HPA_PARALLEL_EXECUTOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -82,6 +83,29 @@ class Executor {
     size_t grain = (items + chunks - 1) / (chunks == 0 ? 1 : chunks);
     return grain == 0 ? 1 : grain;
   }
+
+  /// Cooperative cancellation of the *current* parallel region. A chunk
+  /// body that hits an unrecoverable error calls RequestStop(); chunks not
+  /// yet started are then skipped (already-running chunks finish — there is
+  /// no preemption), so a fail-fast operator stops paying for work whose
+  /// result it will discard. ParallelFor still blocks until in-flight
+  /// chunks drain, and the flag is cleared when the region ends, so one
+  /// aborted region never poisons the next. Callers are responsible for
+  /// recording *why* they stopped (see ops::FirstError).
+  void RequestStop() { stop_requested_.store(true, std::memory_order_release); }
+
+  /// True once RequestStop() was called inside the current region. Chunk
+  /// bodies poll this between items to quit early.
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  /// Implementations call this as the region ends (after all chunks drain).
+  void ResetStop() { stop_requested_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_requested_{false};
 };
 
 /// Single-worker executor: direct, in-order execution. The baseline against

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/status.h"
 #include "parallel/executor.h"
 
 /// \file
@@ -12,6 +13,41 @@
 /// use (per-worker accumulators merged after a parallel loop).
 
 namespace hpa::parallel {
+
+/// Deterministic first-error capture for fail-fast parallel loops.
+///
+/// Each worker records at most one error into its own slot (no locks); the
+/// recording worker also requests cooperative cancellation so pending
+/// chunks are skipped. After the loop, `First()` picks the error from the
+/// lowest worker slot — a stable choice, though which errors were recorded
+/// at all can depend on chunk timing under real threads.
+class FirstError {
+ public:
+  explicit FirstError(const Executor& exec)
+      : slots_(static_cast<size_t>(exec.num_workers())) {}
+
+  /// Records `status` into `worker`'s slot (first error wins per worker)
+  /// and cancels the remaining chunks of the current region.
+  void Record(Executor& exec, int worker, Status status) {
+    if (status.ok()) return;
+    Status& slot = slots_[static_cast<size_t>(worker)];
+    if (slot.ok()) slot = std::move(status);
+    exec.RequestStop();
+  }
+
+  /// The recorded error from the lowest worker slot, or OK if none.
+  Status First() const {
+    for (const Status& s : slots_) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  bool ok() const { return First().ok(); }
+
+ private:
+  std::vector<Status> slots_;
+};
 
 /// Parallel reduction over [begin, end).
 ///

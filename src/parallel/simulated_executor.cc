@@ -26,6 +26,7 @@ void SimulatedExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
   size_t num_chunks = 0;
 
   for (size_t b = begin; b < end; b += grain) {
+    if (stop_requested()) break;
     size_t e = b + grain < end ? b + grain : end;
 
     // Greedy earliest-finish assignment: the next chunk goes to the worker
@@ -87,6 +88,7 @@ void SimulatedExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
   total_parallel_ += charged;
   total_io_ += region_io_seconds_;
   in_region_ = false;
+  ResetStop();
 }
 
 void SimulatedExecutor::RunSerial(const WorkHint& hint,

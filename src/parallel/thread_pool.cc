@@ -45,14 +45,18 @@ void ThreadPoolExecutor::WorkerLoop(int worker_index) {
       job = current_job_;
       ++workers_inside_;
     }
-    // Self-schedule chunks until the job is drained.
+    // Self-schedule chunks until the job is drained. Once a stop has been
+    // requested, remaining chunks are claimed but skipped — they still
+    // count as done so the submitter's completion wait is unchanged.
     while (true) {
       size_t chunk = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= job->num_chunks) break;
-      size_t b = job->begin + chunk * job->grain;
-      size_t e = b + job->grain;
-      if (e > job->end) e = job->end;
-      (*job->body)(worker_index, b, e);
+      if (!stop_requested()) {
+        size_t b = job->begin + chunk * job->grain;
+        size_t e = b + job->grain;
+        if (e > job->end) e = job->end;
+        (*job->body)(worker_index, b, e);
+      }
       job->chunks_done.fetch_add(1, std::memory_order_acq_rel);
     }
     {
@@ -97,6 +101,7 @@ void ThreadPoolExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
     // late worker can pick the job up between the check and the clear.
     current_job_ = nullptr;
   }
+  ResetStop();
 }
 
 void ThreadPoolExecutor::RunSerial(const WorkHint& hint,

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "common/checksum.h"
 #include "io/file_io.h"
 
 namespace hpa::text {
@@ -28,7 +29,8 @@ bool MatchesExtension(const fs::path& path,
 }  // namespace
 
 StatusOr<Corpus> ReadCorpusFromDirectory(
-    const std::string& dir, const DirectoryCorpusOptions& options) {
+    const std::string& dir, const DirectoryCorpusOptions& options,
+    QuarantineList* quarantine) {
   std::error_code ec;
   if (!fs::exists(dir, ec)) {
     return Status::NotFound("directory not found: " + dir);
@@ -70,6 +72,37 @@ StatusOr<Corpus> ReadCorpusFromDirectory(
     }
   }
 
+  // One file read with injected faults and bounded retry. The injector is
+  // keyed by the document's relative name, so a given seed faults the same
+  // documents regardless of where the corpus directory lives.
+  auto read_file = [&](const std::string& abs_path, const std::string& key,
+                       int* attempts) -> StatusOr<std::string> {
+    return RetryCall(
+        options.retry, StableHash64(key),
+        [&](int attempt) -> StatusOr<std::string> {
+          io::FaultDecision fault;
+          if (options.fault_injector != nullptr) {
+            fault = options.fault_injector->Decide("read", key, 0, attempt);
+          }
+          if (fault.kind == io::FaultKind::kTransient ||
+              fault.kind == io::FaultKind::kPermanent) {
+            return Status::IoError("injected " +
+                                   std::string(io::FaultKindName(fault.kind)) +
+                                   " fault reading '" + key + "'");
+          }
+          HPA_ASSIGN_OR_RETURN(std::string body,
+                               io::ReadWholeFile(abs_path));
+          // Loose text files carry no checksums, so injected corruption is
+          // silent here — which is precisely the exposure the packed-corpus
+          // v2 format closes. (Latency spikes have no clock to charge.)
+          if (fault.kind == io::FaultKind::kCorruption) {
+            io::FaultInjector::CorruptPayload(fault, &body);
+          }
+          return body;
+        },
+        [](double) {}, attempts);
+  };
+
   Corpus corpus;
   corpus.name = dir;
   std::sort(paths.begin(), paths.end());
@@ -78,9 +111,22 @@ StatusOr<Corpus> ReadCorpusFromDirectory(
     Document doc;
     doc.name = fs::relative(path, dir, ec).generic_string();
     if (ec) doc.name = path.filename().string();
-    HPA_ASSIGN_OR_RETURN(doc.body, io::ReadWholeFile(path.string()));
+    int attempts = 1;
+    StatusOr<std::string> body = read_file(path.string(), doc.name, &attempts);
+    if (!body.ok()) {
+      if (options.fault_policy == FaultPolicy::kRetryThenSkip) {
+        if (quarantine != nullptr) {
+          quarantine->retries += static_cast<uint64_t>(attempts - 1);
+          quarantine->Add(doc.name, body.status(), attempts);
+        }
+        continue;
+      }
+      return body.status().WithContext("reading corpus from " + dir);
+    }
+    doc.body = std::move(*body);
     corpus.docs.push_back(std::move(doc));
   }
+  if (quarantine != nullptr) quarantine->SortById();
   return corpus;
 }
 

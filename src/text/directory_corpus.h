@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
+#include "io/fault_injection.h"
 #include "text/document.h"
 
 /// \file
@@ -26,6 +28,21 @@ struct DirectoryCorpusOptions {
 
   /// Skip files larger than this many bytes (0 = no limit).
   uint64_t max_file_bytes = 0;
+
+  /// Bounded retry for per-file read failures. Defaults to no retries (the
+  /// pre-fault-tolerance behavior). Backoff here is accounted, not slept —
+  /// loose-file corpora have no virtual clock to charge.
+  RetryPolicy retry = RetryPolicy::NoRetry();
+
+  /// What to do with a file whose reads stay failed after the retry
+  /// budget: kFailFast aborts the load; kRetryThenSkip records the file in
+  /// the caller's quarantine list and loads the rest.
+  FaultPolicy fault_policy = FaultPolicy::kFailFast;
+
+  /// Optional fault injector consulted per file read (keyed by the
+  /// document's relative path, so schedules are stable across hosts).
+  /// Not owned; null = no injected faults.
+  io::FaultInjector* fault_injector = nullptr;
 };
 
 /// Reads every matching file under `dir` into a Corpus. Document names are
@@ -33,8 +50,13 @@ struct DirectoryCorpusOptions {
 /// corpus is deterministic regardless of directory-iteration order.
 /// Returns NotFound if `dir` does not exist and InvalidArgument if it is
 /// not a directory.
+///
+/// Under FaultPolicy::kRetryThenSkip, unreadable files are omitted from
+/// the corpus and recorded in `quarantine` (if non-null) instead of
+/// failing the load.
 StatusOr<Corpus> ReadCorpusFromDirectory(
-    const std::string& dir, const DirectoryCorpusOptions& options = {});
+    const std::string& dir, const DirectoryCorpusOptions& options = {},
+    QuarantineList* quarantine = nullptr);
 
 }  // namespace hpa::text
 

@@ -1,0 +1,190 @@
+// Cooperative-cancellation tests: RequestStop() observed from inside
+// parallel-region bodies must cause not-yet-started chunks to be skipped,
+// the region must still complete (the submitter's completion accounting is
+// unchanged), and the flag must clear at region end so the executor stays
+// usable. Run under both the simulated and real-thread executors; the
+// real-thread cases double as the TSan stress twin (`ctest -L tsan`).
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "parallel/executor.h"
+#include "parallel/parallel_ops.h"
+#include "parallel/simulated_executor.h"
+#include "parallel/thread_pool.h"
+
+namespace hpa::parallel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stop semantics across executor kinds
+// ---------------------------------------------------------------------------
+
+struct Config {
+  std::string kind;
+  int workers;
+};
+
+class CancellationTest : public ::testing::TestWithParam<Config> {
+ protected:
+  std::unique_ptr<Executor> Make() {
+    return MakeExecutor(GetParam().kind, GetParam().workers);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllExecutors, CancellationTest,
+    ::testing::Values(Config{"serial", 1}, Config{"simulated", 4},
+                      Config{"simulated", 16}, Config{"threads", 4}),
+    [](const auto& info) {
+      return info.param.kind + "_" + std::to_string(info.param.workers);
+    });
+
+TEST_P(CancellationTest, StopSkipsRemainingChunksButRegionCompletes) {
+  auto exec = Make();
+  ASSERT_NE(exec, nullptr);
+  const size_t n = 1000;
+  std::atomic<size_t> processed{0};
+  // Grain 1: every index is its own chunk, so a stop must leave some
+  // chunks unexecuted (the region has far more chunks than workers).
+  exec->ParallelFor(0, n, 1, WorkHint{}, [&](int, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      if (processed.fetch_add(1, std::memory_order_relaxed) + 1 == 10) {
+        exec->RequestStop();
+      }
+    }
+  });
+  // The call returned (no deadlock), some work ran, and the stop pruned
+  // the tail. A worker finishes its in-flight chunk, so the exact count is
+  // schedule-dependent — but it cannot reach all n chunks.
+  size_t done = processed.load();
+  EXPECT_GE(done, 10u);
+  EXPECT_LT(done, n);
+}
+
+TEST_P(CancellationTest, StopFlagClearsAtRegionEnd) {
+  auto exec = Make();
+  ASSERT_NE(exec, nullptr);
+  exec->ParallelFor(0, 100, 1, WorkHint{},
+                    [&](int, size_t, size_t) { exec->RequestStop(); });
+  EXPECT_FALSE(exec->stop_requested());
+
+  // The next region is unaffected: every index runs.
+  std::atomic<size_t> processed{0};
+  exec->ParallelFor(0, 100, 1, WorkHint{}, [&](int, size_t b, size_t e) {
+    processed.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(processed.load(), 100u);
+}
+
+TEST_P(CancellationTest, StopBeforeRegionSkipsEverything) {
+  auto exec = Make();
+  ASSERT_NE(exec, nullptr);
+  exec->RequestStop();
+  EXPECT_TRUE(exec->stop_requested());
+  std::atomic<size_t> processed{0};
+  exec->ParallelFor(0, 100, 1, WorkHint{}, [&](int, size_t b, size_t e) {
+    processed.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  // All chunks observed the pre-set flag; the region still returned and
+  // reset the flag for the next one.
+  EXPECT_EQ(processed.load(), 0u);
+  EXPECT_FALSE(exec->stop_requested());
+}
+
+TEST_P(CancellationTest, FirstErrorRecordsLowestWorkerSlotAndStops) {
+  auto exec = Make();
+  ASSERT_NE(exec, nullptr);
+  FirstError errors(*exec);
+  EXPECT_TRUE(errors.ok());
+  exec->ParallelFor(0, 200, 1, WorkHint{}, [&](int worker, size_t b, size_t) {
+    if (b % 3 == 0) {
+      errors.Record(*exec, worker,
+                    Status::IoError("fault in chunk " + std::to_string(b)));
+    }
+  });
+  EXPECT_FALSE(errors.ok());
+  Status first = errors.First();
+  EXPECT_EQ(first.code(), StatusCode::kIoError);
+  EXPECT_FALSE(exec->stop_requested());  // cleared at region end
+}
+
+TEST_P(CancellationTest, FirstErrorKeepsFirstPerWorker) {
+  auto exec = Make();
+  ASSERT_NE(exec, nullptr);
+  FirstError errors(*exec);
+  exec->RunSerial(WorkHint{}, [&] {
+    errors.Record(*exec, 0, Status::IoError("first"));
+    errors.Record(*exec, 0, Status::IoError("second"));
+  });
+  EXPECT_EQ(errors.First().message(), "first");
+}
+
+// ---------------------------------------------------------------------------
+// Real-thread stress (TSan twin exercises these under -fsanitize=thread)
+// ---------------------------------------------------------------------------
+
+TEST(CancellationStressTest, ConcurrentStopsFromManyWorkers) {
+  ThreadPoolExecutor exec(8);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> processed{0};
+    exec.ParallelFor(0, 400, 1, WorkHint{}, [&](int, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        processed.fetch_add(1, std::memory_order_relaxed);
+        // Several workers race to request the stop around the same time.
+        if (i % 37 == 5) exec.RequestStop();
+      }
+    });
+    EXPECT_GT(processed.load(), 0u);
+    EXPECT_FALSE(exec.stop_requested());
+  }
+}
+
+TEST(CancellationStressTest, AlternatingCancelledAndCleanRegions) {
+  ThreadPoolExecutor exec(8);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> processed{0};
+    if (round % 2 == 0) {
+      exec.ParallelFor(0, 600, 1, WorkHint{}, [&](int, size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          if (processed.fetch_add(1, std::memory_order_relaxed) == 20) {
+            exec.RequestStop();
+          }
+        }
+      });
+      EXPECT_LT(processed.load(), 600u) << "round " << round;
+    } else {
+      // A clean region right after a cancelled one must run to completion.
+      exec.ParallelFor(0, 600, 1, WorkHint{}, [&](int, size_t b, size_t e) {
+        processed.fetch_add(e - b, std::memory_order_relaxed);
+      });
+      EXPECT_EQ(processed.load(), 600u) << "round " << round;
+    }
+  }
+}
+
+TEST(CancellationStressTest, FirstErrorUnderRealThreads) {
+  ThreadPoolExecutor exec(8);
+  for (int round = 0; round < 30; ++round) {
+    FirstError errors(exec);
+    std::atomic<size_t> recorded{0};
+    exec.ParallelFor(0, 300, 1, WorkHint{}, [&](int worker, size_t b, size_t) {
+      if (b % 7 == 0) {
+        recorded.fetch_add(1, std::memory_order_relaxed);
+        errors.Record(exec, worker, Status::Corruption("bad chunk"));
+      }
+    });
+    // At least one recorder ran before the stop propagated, and the
+    // surviving status is well-formed.
+    EXPECT_GT(recorded.load(), 0u);
+    EXPECT_FALSE(errors.ok());
+    EXPECT_EQ(errors.First().code(), StatusCode::kCorruption);
+  }
+}
+
+}  // namespace
+}  // namespace hpa::parallel

@@ -1,0 +1,472 @@
+// Tests for the deterministic fault injector: schedule reproducibility
+// (the "same seed => same faults" contract, including across worker
+// counts), fault-class semantics, and the SimDisk retry/quarantine
+// integration that the fault-tolerant operators build on.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/fault_injection.h"
+#include "io/file_io.h"
+#include "io/packed_corpus.h"
+#include "io/sim_disk.h"
+#include "ops/word_count.h"
+#include "parallel/executor.h"
+#include "parallel/simulated_executor.h"
+
+namespace hpa::io {
+namespace {
+
+std::string Key(int i) { return "doc_" + std::to_string(i); }
+
+// ---------------------------------------------------------------------------
+// FaultInjector decision function
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, DefaultProfileIsDisabledAndInjectsNothing) {
+  FaultProfile profile;
+  EXPECT_FALSE(profile.Enabled());
+  FaultInjector injector(profile);
+  for (int i = 0; i < 200; ++i) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      EXPECT_EQ(injector.Decide("read", Key(i), 0, attempt).kind,
+                FaultKind::kNone);
+    }
+  }
+  EXPECT_EQ(injector.injected_total(), 0u);
+}
+
+TEST(FaultInjectorTest, DecisionsAreReproducibleAcrossInstances) {
+  FaultProfile profile;
+  profile.transient_rate = 0.3;
+  profile.corruption_rate = 0.2;
+  profile.latency_spike_rate = 0.1;
+  profile.seed = 7;
+  FaultInjector a(profile);
+  FaultInjector b(profile);
+  for (int i = 0; i < 300; ++i) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      FaultDecision da = a.Decide("read", Key(i), 17, attempt);
+      FaultDecision db = b.Decide("read", Key(i), 17, attempt);
+      EXPECT_EQ(da.kind, db.kind);
+      EXPECT_EQ(da.corrupt_at, db.corrupt_at);
+      EXPECT_EQ(da.extra_latency_sec, db.extra_latency_sec);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfTheRequest) {
+  // Query order must not matter: forward and reverse sweeps agree.
+  FaultProfile profile;
+  profile.transient_rate = 0.4;
+  profile.seed = 11;
+  FaultInjector fwd(profile);
+  FaultInjector rev(profile);
+  std::vector<FaultKind> forward;
+  for (int i = 0; i < 200; ++i) {
+    forward.push_back(fwd.Decide("read", Key(i), 0, 0).kind);
+  }
+  for (int i = 199; i >= 0; --i) {
+    EXPECT_EQ(rev.Decide("read", Key(i), 0, 0).kind, forward[i]);
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsGiveDifferentSchedules) {
+  FaultProfile pa, pb;
+  pa.transient_rate = pb.transient_rate = 0.5;
+  pa.seed = 1;
+  pb.seed = 2;
+  FaultInjector a(pa);
+  FaultInjector b(pb);
+  int differ = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.Decide("read", Key(i), 0, 0).kind !=
+        b.Decide("read", Key(i), 0, 0).kind) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjectorTest, PermanentFaultsPersistAcrossAttempts) {
+  FaultProfile profile;
+  profile.permanent_rate = 0.3;
+  profile.seed = 3;
+  FaultInjector injector(profile);
+  int permanent_keys = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (injector.Decide("read", Key(i), 0, 0).kind != FaultKind::kPermanent) {
+      continue;
+    }
+    ++permanent_keys;
+    for (int attempt = 1; attempt < 6; ++attempt) {
+      EXPECT_EQ(injector.Decide("read", Key(i), 0, attempt).kind,
+                FaultKind::kPermanent)
+          << "key " << i << " attempt " << attempt;
+    }
+  }
+  EXPECT_GT(permanent_keys, 0);
+}
+
+TEST(FaultInjectorTest, TransientFaultsClearOnRetry) {
+  // A transient fault hashes with the attempt number, so for at least some
+  // faulted requests a later attempt must come back clean — that is what
+  // makes the bounded retry budget effective.
+  FaultProfile profile;
+  profile.transient_rate = 0.5;
+  profile.seed = 5;
+  FaultInjector injector(profile);
+  int recovered = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (injector.Decide("read", Key(i), 0, 0).kind != FaultKind::kTransient) {
+      continue;
+    }
+    for (int attempt = 1; attempt < 4; ++attempt) {
+      if (injector.Decide("read", Key(i), 0, attempt).kind ==
+          FaultKind::kNone) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(recovered, 0);
+}
+
+TEST(FaultInjectorTest, RatesAreApproximatelyHonored) {
+  FaultProfile profile;
+  profile.transient_rate = 0.1;
+  profile.seed = 9;
+  FaultInjector injector(profile);
+  int faulted = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (injector.Decide("read", Key(i), 0, 0).kind == FaultKind::kTransient) {
+      ++faulted;
+    }
+  }
+  double rate = static_cast<double>(faulted) / n;
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.15);
+}
+
+TEST(FaultInjectorTest, CorruptPayloadFlipsExactlyOneByte) {
+  FaultDecision decision;
+  decision.kind = FaultKind::kCorruption;
+  decision.corrupt_at = 1234567;
+  std::string payload(4096, 'a');
+  std::string corrupted = payload;
+  FaultInjector::CorruptPayload(decision, &corrupted);
+  int diffs = 0;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] != corrupted[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+
+  std::string empty;
+  FaultInjector::CorruptPayload(decision, &empty);  // must not crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(FaultInjectorTest, CountersTrackInjectedEvents) {
+  FaultProfile profile;
+  profile.transient_rate = 0.5;
+  profile.seed = 13;
+  FaultInjector injector(profile);
+  for (int i = 0; i < 100; ++i) (void)injector.Decide("read", Key(i), 0, 0);
+  EXPECT_GT(injector.injected_transient(), 0u);
+  EXPECT_EQ(injector.injected_total(), injector.injected_transient());
+  injector.ResetCounters();
+  EXPECT_EQ(injector.injected_total(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SimDisk integration
+// ---------------------------------------------------------------------------
+
+class FaultDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("hpa_fault_test_");
+    ASSERT_TRUE(dir.ok()) << dir.status();
+    dir_ = *dir;
+  }
+  void TearDown() override { RemoveDirRecursive(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(FaultDiskTest, TransientFaultRecoversViaRetryAndChargesBackoff) {
+  parallel::SimulatedExecutor exec(2, parallel::MachineModel::Default());
+  SimDisk disk(DiskOptions::CorpusStore(), dir_, &exec);
+  ASSERT_TRUE(disk.WriteFile("f", "payload").ok());
+
+  // Find a file whose first read attempt faults transiently but recovers.
+  FaultProfile profile;
+  profile.transient_rate = 0.5;
+  profile.seed = 21;
+  FaultInjector oracle(profile);
+  std::string victim;
+  for (int i = 0; i < 200; ++i) {
+    std::string name = Key(i);
+    if (oracle.Decide("read", name, 0, 0).kind == FaultKind::kTransient &&
+        oracle.Decide("read", name, 0, 1).kind == FaultKind::kNone) {
+      victim = name;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  ASSERT_TRUE(disk.WriteFile(victim, "payload").ok());
+
+  FaultInjector injector(profile);
+  disk.set_fault_injector(&injector);
+  disk.set_retry_policy(RetryPolicy{});
+  double before = exec.Now();
+  auto got = disk.ReadFile(victim);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, "payload");
+  EXPECT_EQ(disk.total_retries(), 1u);
+  // The backoff wait was charged to the virtual clock on top of the
+  // device time for both attempts.
+  EXPECT_GT(exec.Now() - before, disk.retry_policy().initial_backoff_sec / 2);
+}
+
+TEST_F(FaultDiskTest, PermanentFaultExhaustsRetryBudget) {
+  SimDisk disk(DiskOptions::CorpusStore(), dir_, nullptr);
+  FaultProfile profile;
+  profile.permanent_rate = 0.4;
+  profile.seed = 23;
+  FaultInjector oracle(profile);
+  std::string victim;
+  for (int i = 0; i < 200; ++i) {
+    if (oracle.Decide("read", Key(i), 0, 0).kind == FaultKind::kPermanent) {
+      victim = Key(i);
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  ASSERT_TRUE(disk.WriteFile(victim, "payload").ok());
+
+  FaultInjector injector(profile);
+  disk.set_fault_injector(&injector);
+  RetryPolicy retry;
+  disk.set_retry_policy(retry);
+  auto got = disk.ReadFile(victim);
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+  // All attempts were spent: max_attempts tries = max_attempts - 1 retries.
+  EXPECT_EQ(disk.total_retries(),
+            static_cast<uint64_t>(retry.max_attempts - 1));
+  EXPECT_EQ(injector.injected_permanent(),
+            static_cast<uint64_t>(retry.max_attempts));
+}
+
+TEST_F(FaultDiskTest, LatencySpikeChargesVirtualClock) {
+  parallel::SimulatedExecutor exec(2, parallel::MachineModel::Default());
+  SimDisk disk(DiskOptions::CorpusStore(), dir_, &exec);
+  ASSERT_TRUE(disk.WriteFile("f", "x").ok());
+  FaultProfile profile;
+  profile.latency_spike_rate = 1.0;
+  profile.latency_spike_sec = 0.5;
+  FaultInjector injector(profile);
+  disk.set_fault_injector(&injector);
+  double before = exec.Now();
+  ASSERT_TRUE(disk.ReadFile("f").ok());
+  EXPECT_GE(exec.Now() - before, 0.5);
+  EXPECT_EQ(injector.injected_latency_spikes(), 1u);
+}
+
+TEST_F(FaultDiskTest, SameSeedSameFaultsAcrossWorkerCounts) {
+  // The fault schedule must depend only on request identity, never on how
+  // the parallel loop's chunks land on workers.
+  const int kFiles = 64;
+  SimDisk setup(DiskOptions::CorpusStore(), dir_, nullptr);
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_TRUE(setup.WriteFile(Key(i), "body " + Key(i)).ok());
+  }
+
+  FaultProfile profile;
+  profile.transient_rate = 0.3;
+  profile.permanent_rate = 0.1;
+  profile.seed = 77;
+
+  auto outcomes = [&](int workers) {
+    parallel::SimulatedExecutor exec(workers,
+                                     parallel::MachineModel::Default());
+    SimDisk disk(DiskOptions::CorpusStore(), dir_, &exec);
+    FaultInjector injector(profile);
+    disk.set_fault_injector(&injector);
+    disk.set_retry_policy(RetryPolicy::NoRetry());
+    std::vector<int> codes(kFiles);
+    exec.ParallelFor(0, kFiles, 0, parallel::WorkHint{},
+                     [&](int, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         auto got = disk.ReadFile(Key(static_cast<int>(i)));
+                         codes[i] = static_cast<int>(got.status().code());
+                       }
+                     });
+    return codes;
+  };
+
+  std::vector<int> serial = outcomes(1);
+  EXPECT_EQ(outcomes(4), serial);
+  EXPECT_EQ(outcomes(16), serial);
+  // And the schedule is non-trivial: some reads failed, some succeeded.
+  int failures = 0;
+  for (int c : serial) {
+    if (c != static_cast<int>(StatusCode::kOk)) ++failures;
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, kFiles);
+}
+
+TEST_F(FaultDiskTest, PackedCorpusChecksumCatchesCorruptionAndRereads) {
+  SimDisk disk(DiskOptions::CorpusStore(), dir_, nullptr);
+  auto writer = PackedCorpusWriter::Create(&disk, "c.pack");
+  ASSERT_TRUE(writer.ok());
+  const int kDocs = 50;
+  for (int i = 0; i < kDocs; ++i) {
+    ASSERT_TRUE(writer->Add(Key(i), "document body number " + Key(i)).ok());
+  }
+  ASSERT_TRUE(writer->Finalize().ok());
+  auto reader = PackedCorpusReader::Open(&disk, "c.pack");
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_TRUE(reader->has_checksums());
+
+  // Inject corruption after Open (the index itself carries no CRC). Every
+  // document must still read back correctly: the checksum detects the flip
+  // and the re-read (with a fresh attempt number) returns clean bytes.
+  // Rate chosen so some reads corrupt (detection exercised) while the
+  // chance of one document corrupting on all max_attempts re-reads stays
+  // negligible (the schedule is deterministic either way).
+  FaultProfile profile;
+  profile.corruption_rate = 0.15;
+  profile.seed = 31;
+  FaultInjector injector(profile);
+  disk.set_fault_injector(&injector);
+  disk.set_retry_policy(RetryPolicy{});
+  for (int i = 0; i < kDocs; ++i) {
+    auto body = reader->ReadBody(i);
+    ASSERT_TRUE(body.ok()) << body.status();
+    EXPECT_EQ(*body, "document body number " + Key(i));
+  }
+  EXPECT_GT(injector.injected_corruption(), 0u);
+  EXPECT_GT(disk.total_retries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry exhaustion -> quarantine (word count fault policies)
+// ---------------------------------------------------------------------------
+
+class FaultWordCountTest : public FaultDiskTest {
+ protected:
+  void PackCorpus(SimDisk* disk, int docs) {
+    auto writer = PackedCorpusWriter::Create(disk, "wc.pack");
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < docs; ++i) {
+      ASSERT_TRUE(
+          writer->Add(Key(i), "alpha beta gamma delta word" + Key(i)).ok());
+    }
+    ASSERT_TRUE(writer->Finalize().ok());
+  }
+};
+
+TEST_F(FaultWordCountTest, RetryExhaustionQuarantinesUnderRetryThenSkip) {
+  parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+  SimDisk disk(DiskOptions::CorpusStore(), dir_, &exec);
+  PackCorpus(&disk, 60);
+  auto reader = PackedCorpusReader::Open(&disk, "wc.pack");
+  ASSERT_TRUE(reader.ok());
+
+  FaultProfile profile;
+  profile.permanent_rate = 0.15;
+  profile.seed = 41;
+  FaultInjector injector(profile);
+  disk.set_fault_injector(&injector);
+  disk.set_retry_policy(RetryPolicy{});
+
+  ops::ExecContext ctx;
+  ctx.executor = &exec;
+  ctx.corpus_disk = &disk;
+  ctx.fault_policy = FaultPolicy::kRetryThenSkip;
+  auto result =
+      ops::RunWordCount<containers::DictBackend::kOpenHash>(ctx, *reader);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->quarantine.size(), 0u);
+  EXPECT_LT(result->quarantine.size(), 60u);
+  EXPECT_GT(result->quarantine.retries, 0u);
+  // Quarantined documents keep their slots (numbering preserved) but have
+  // empty term tables; clean documents counted normally.
+  EXPECT_EQ(result->num_documents(), 60u);
+  for (const auto& entry : result->quarantine.entries) {
+    EXPECT_EQ(entry.cause.code(), StatusCode::kIoError);
+    EXPECT_GT(entry.attempts, 1);
+  }
+  EXPECT_GT(result->total_tokens, 0u);
+}
+
+TEST_F(FaultWordCountTest, FailFastAbortsOnUnrecoverableFault) {
+  parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+  SimDisk disk(DiskOptions::CorpusStore(), dir_, &exec);
+  PackCorpus(&disk, 60);
+  auto reader = PackedCorpusReader::Open(&disk, "wc.pack");
+  ASSERT_TRUE(reader.ok());
+
+  FaultProfile profile;
+  profile.permanent_rate = 0.15;
+  profile.seed = 41;
+  FaultInjector injector(profile);
+  disk.set_fault_injector(&injector);
+  disk.set_retry_policy(RetryPolicy{});
+
+  ops::ExecContext ctx;
+  ctx.executor = &exec;
+  ctx.corpus_disk = &disk;
+  ctx.fault_policy = FaultPolicy::kFailFast;
+  auto result =
+      ops::RunWordCount<containers::DictBackend::kOpenHash>(ctx, *reader);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  // The abort cleared the stop flag: the executor remains usable.
+  EXPECT_FALSE(exec.stop_requested());
+}
+
+TEST_F(FaultWordCountTest, QuarantineIsDeterministicAcrossWorkerCounts) {
+  SimDisk setup(DiskOptions::CorpusStore(), dir_, nullptr);
+  PackCorpus(&setup, 80);
+
+  FaultProfile profile;
+  profile.permanent_rate = 0.1;
+  profile.seed = 53;
+
+  auto quarantined_ids = [&](int workers) {
+    parallel::SimulatedExecutor exec(workers,
+                                     parallel::MachineModel::Default());
+    SimDisk disk(DiskOptions::CorpusStore(), dir_, &exec);
+    auto reader = PackedCorpusReader::Open(&disk, "wc.pack");
+    EXPECT_TRUE(reader.ok());
+    FaultInjector injector(profile);
+    disk.set_fault_injector(&injector);
+    disk.set_retry_policy(RetryPolicy{});
+    ops::ExecContext ctx;
+    ctx.executor = &exec;
+    ctx.corpus_disk = &disk;
+    ctx.fault_policy = FaultPolicy::kRetryThenSkip;
+    auto result =
+        ops::RunWordCount<containers::DictBackend::kOpenHash>(ctx, *reader);
+    EXPECT_TRUE(result.ok());
+    std::vector<std::string> ids;
+    for (const auto& entry : result->quarantine.entries) {
+      ids.push_back(entry.id);
+    }
+    return ids;
+  };
+
+  std::vector<std::string> serial = quarantined_ids(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(quarantined_ids(4), serial);
+  EXPECT_EQ(quarantined_ids(16), serial);
+}
+
+}  // namespace
+}  // namespace hpa::io

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/checksum.h"
+#include "common/retry.h"
 #include "io/file_io.h"
 #include "io/packed_corpus.h"
 #include "io/sim_disk.h"
@@ -86,6 +88,58 @@ TEST_F(FileIoTest, MakeDirsCreatesNestedPath) {
   std::string nested = dir_ + "/a/b/c";
   ASSERT_TRUE(MakeDirs(nested).ok());
   ASSERT_TRUE(WriteWholeFile(nested + "/f", "x").ok());
+}
+
+TEST_F(FileIoTest, WriteWholeFileReplacesAtomically) {
+  std::string path = dir_ + "/atomic.txt";
+  ASSERT_TRUE(WriteWholeFile(path, "old contents").ok());
+  ASSERT_TRUE(WriteWholeFile(path, "new").ok());
+  EXPECT_EQ(*ReadWholeFile(path), "new");
+  // The temp file used for the write+rename protocol must not survive.
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST_F(FileIoTest, RetryOverloadSucceedsFirstTryOnHealthyFile) {
+  std::string path = dir_ + "/ok.txt";
+  ASSERT_TRUE(WriteWholeFile(path, "content").ok());
+  RetryPolicy retry;
+  int attempts = 0;
+  auto got = ReadWholeFile(path, retry, &attempts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "content");
+  EXPECT_EQ(attempts, 1);
+
+  auto range = ReadFileRange(path, 2, 3, retry, &attempts);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(*range, "nte");
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST_F(FileIoTest, RetryOverloadExhaustsBudgetOnMissingFile) {
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_sec = 0.0;  // keep the test instant
+  retry.max_backoff_sec = 0.0;
+  int attempts = 0;
+  auto got = ReadWholeFile(dir_ + "/missing", retry, &attempts);
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(attempts, 3);
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectorAndComposability) {
+  // The standard IEEE 802.3 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Streaming: feeding in pieces matches one shot, so writers can checksum
+  // chunk-by-chunk as they stream shards out.
+  std::string a = "hello, ";
+  std::string b = "world";
+  EXPECT_EQ(Crc32(b, Crc32(a)), Crc32(a + b));
+  EXPECT_NE(Crc32("hello, worle"), Crc32(a + b));
 }
 
 // ---------------------------------------------------------------------------
@@ -279,6 +333,43 @@ TEST_F(PackedCorpusTest, RejectsTruncatedFile) {
   ASSERT_TRUE(disk.WriteFile("tiny.pack", "abc").ok());
   EXPECT_EQ(PackedCorpusReader::Open(&disk, "tiny.pack").status().code(),
             StatusCode::kCorruption);
+}
+
+TEST_F(PackedCorpusTest, V2FormatCarriesChecksums) {
+  SimDisk disk(DiskOptions::CorpusStore(), dir_, nullptr);
+  auto writer = PackedCorpusWriter::Create(&disk, "v2.pack");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Add("d", "body").ok());
+  ASSERT_TRUE(writer->Finalize().ok());
+  auto reader = PackedCorpusReader::Open(&disk, "v2.pack");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->has_checksums());
+  EXPECT_EQ(*reader->ReadBody(0), "body");
+}
+
+TEST_F(PackedCorpusTest, BitFlipInBodyDetectedByChecksum) {
+  SimDisk disk(DiskOptions::CorpusStore(), dir_, nullptr);
+  auto writer = PackedCorpusWriter::Create(&disk, "flip.pack");
+  ASSERT_TRUE(writer.ok());
+  const std::string body = "the quick brown fox jumps over the lazy dog";
+  ASSERT_TRUE(writer->Add("victim", body).ok());
+  ASSERT_TRUE(writer->Finalize().ok());
+
+  // Damage one byte of the stored body (bodies precede the index, so the
+  // body bytes are findable verbatim in the container).
+  auto raw = disk.ReadFile("flip.pack");
+  ASSERT_TRUE(raw.ok());
+  size_t pos = raw->find("quick");
+  ASSERT_NE(pos, std::string::npos);
+  std::string damaged = *raw;
+  damaged[pos] ^= 0x20;  // 'q' -> 'Q': content differs, length intact
+  ASSERT_TRUE(disk.WriteFile("flip.pack", damaged).ok());
+
+  auto reader = PackedCorpusReader::Open(&disk, "flip.pack");
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  // No retry budget: the single damaged read surfaces as corruption.
+  auto got = reader->ReadBody(0);
+  EXPECT_EQ(got.status().code(), StatusCode::kCorruption);
 }
 
 TEST_F(PackedCorpusTest, ParallelReadsFromSimulatedRegionWork) {

@@ -154,6 +154,100 @@ TEST_F(ShardedArffTest, TruncatedShardDetected) {
             StatusCode::kCorruption);
 }
 
+TEST_F(ShardedArffTest, ManifestCarriesPerShardChecksums) {
+  parallel::SerialExecutor exec;
+  auto matrix = RandomMatrix(30, 8, 5);
+  ASSERT_TRUE(WriteShardedArff(disk_.get(), &exec, "ck", "x", Attrs(8),
+                               matrix, 3)
+                  .ok());
+  auto manifest = disk_->ReadFile("ck.manifest");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_NE(manifest->find("HPA-SHARDED-ARFF 2"), std::string::npos);
+  EXPECT_NE(manifest->find("\nchecksums "), std::string::npos);
+}
+
+TEST_F(ShardedArffTest, BitFlipInShardDetectedUnderFailFast) {
+  parallel::SerialExecutor exec;
+  auto matrix = RandomMatrix(40, 8, 11);
+  ASSERT_TRUE(WriteShardedArff(disk_.get(), &exec, "bf", "x", Attrs(8),
+                               matrix, 4)
+                  .ok());
+  auto shard = disk_->ReadFile("bf.1");
+  ASSERT_TRUE(shard.ok());
+  ASSERT_FALSE(shard->empty());
+  std::string damaged = *shard;
+  damaged[damaged.size() / 2] ^= 0x01;
+  ASSERT_TRUE(disk_->WriteFile("bf.1", damaged).ok());
+  EXPECT_EQ(ReadShardedArff(disk_.get(), &exec, "bf").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(ShardedArffTest, BitFlipQuarantinesShardUnderRetrySkip) {
+  parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+  auto matrix = RandomMatrix(40, 8, 11);
+  ASSERT_TRUE(WriteShardedArff(disk_.get(), &exec, "q", "x", Attrs(8),
+                               matrix, 4)
+                  .ok());
+  auto shard = disk_->ReadFile("q.2");
+  ASSERT_TRUE(shard.ok());
+  std::string damaged = *shard;
+  damaged[0] ^= 0x40;
+  ASSERT_TRUE(disk_->WriteFile("q.2", damaged).ok());
+
+  auto result = ReadShardedArff(disk_.get(), &exec, "q",
+                                FaultPolicy::kRetryThenSkip);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->quarantine.size(), 1u);
+  EXPECT_EQ(result->quarantine.entries[0].id, "q.2");
+  EXPECT_EQ(result->quarantine.entries[0].cause.code(),
+            StatusCode::kCorruption);
+  EXPECT_GT(result->rows_quarantined, 0u);
+
+  // Row numbering preserved: the damaged shard's contiguous row range is
+  // empty, every other row matches the original matrix.
+  ASSERT_EQ(result->data.num_rows(), matrix.num_rows());
+  size_t empty_rows = 0;
+  for (size_t r = 0; r < matrix.num_rows(); ++r) {
+    if (result->data.rows[r].nnz() == 0 && matrix.rows[r].nnz() != 0) {
+      ++empty_rows;
+      continue;
+    }
+    ASSERT_EQ(result->data.rows[r].nnz(), matrix.rows[r].nnz()) << r;
+    for (size_t i = 0; i < matrix.rows[r].nnz(); ++i) {
+      EXPECT_EQ(result->data.rows[r].id_at(i), matrix.rows[r].id_at(i));
+    }
+  }
+  EXPECT_GT(empty_rows, 0u);
+  EXPECT_EQ(result->rows_quarantined, matrix.num_rows() / 4);
+}
+
+TEST_F(ShardedArffTest, V1ManifestWithoutChecksumsStillReads) {
+  parallel::SerialExecutor exec;
+  auto matrix = RandomMatrix(20, 5, 13);
+  ASSERT_TRUE(WriteShardedArff(disk_.get(), &exec, "v1", "old", Attrs(5),
+                               matrix, 2)
+                  .ok());
+  // Rewrite the manifest as the pre-checksum v1 format.
+  auto manifest = disk_->ReadFile("v1.manifest");
+  ASSERT_TRUE(manifest.ok());
+  std::string v1 = *manifest;
+  size_t magic_end = v1.find('\n');
+  ASSERT_NE(magic_end, std::string::npos);
+  size_t ck_begin = v1.find("\nchecksums ");
+  ASSERT_NE(ck_begin, std::string::npos);
+  size_t ck_end = v1.find('\n', ck_begin + 1);
+  v1 = "HPA-SHARDED-ARFF 1" + v1.substr(magic_end, ck_begin - magic_end) +
+       v1.substr(ck_end);
+  ASSERT_TRUE(disk_->WriteFile("v1.manifest", v1).ok());
+
+  auto result = ReadShardedArff(disk_.get(), &exec, "v1");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->data.num_rows(), matrix.num_rows());
+  for (size_t r = 0; r < matrix.num_rows(); ++r) {
+    ASSERT_EQ(result->data.rows[r].ids(), matrix.rows[r].ids()) << r;
+  }
+}
+
 TEST_F(ShardedArffTest, ParallelWritesOverlapOnMultiChannelDevice) {
   // The §3.2 open-challenge payoff: on a multi-channel device, sharded
   // output time shrinks with workers; on the 1-channel HDD it cannot.
