@@ -47,6 +47,13 @@ void AddCommonFlags(FlagSet& flags) {
   flags.DefineString("fault-policy", "retry-skip",
                      "what to do after the retry budget: fail-fast | "
                      "retry-skip (quarantine the item and continue)");
+  flags.DefineInt("crash-after-node", -1,
+                  "deterministically abort the workflow right after this "
+                  "node id completes (and its checkpoint commits); -1 "
+                  "disables the crash hook");
+  flags.DefineString("checkpoint-dir", "",
+                     "scratch-relative directory for workflow checkpoint "
+                     "manifests; empty disables checkpoint/restart");
 }
 
 io::FaultProfile FaultProfileFromFlags(const FlagSet& flags) {

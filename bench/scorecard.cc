@@ -12,6 +12,8 @@
 #include "bench_util.h"
 #include "common/string_util.h"
 #include "core/report.h"
+#include "core/standard_ops.h"
+#include "core/workflow_executor.h"
 #include "io/fault_injection.h"
 #include "io/packed_corpus.h"
 #include "ops/dense_kmeans.h"
@@ -387,6 +389,88 @@ int Run(int argc, char** argv) {
                                          degraded.assignment.size(),
                                          degraded.retries)
                     .c_str());
+  }
+
+  // --- PR 3: workflow checkpoint/restart ---------------------------------
+  std::printf("\nCheckpoint/restart (crash + resume at materialized edges):\n");
+  {
+    // Discrete TF/IDF -> K-means on Mix, both edges materialized and
+    // therefore checkpointed.
+    auto ckpt_run = [&](const std::string& dir, int crash_after,
+                        core::WorkflowRunResult* out) -> Status {
+      parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+      env->SetExecutor(&exec);
+      core::Workflow wf;
+      int src =
+          wf.AddSource(core::Dataset(core::CorpusRef{*mix_rel}), "corpus");
+      auto tfidf = wf.Add(std::make_unique<core::TfidfOperator>(), {src});
+      ops::KMeansOptions kopts;
+      kopts.k = static_cast<int>(flags.GetInt("clusters"));
+      kopts.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+      kopts.stop_on_convergence = false;
+      auto kmeans =
+          wf.Add(std::make_unique<core::KMeansOperator>(kopts), {*tfidf});
+      core::ExecutionPlan plan;
+      plan.workers = 8;
+      plan.nodes.resize(wf.size());
+      plan.nodes[static_cast<size_t>(*tfidf)].output_boundary =
+          core::Boundary::kMaterialized;
+      plan.nodes[static_cast<size_t>(*kmeans)].output_boundary =
+          core::Boundary::kMaterialized;
+      core::RunEnv renv;
+      renv.executor = &exec;
+      renv.corpus_disk = env->corpus_disk();
+      renv.scratch_disk = env->scratch_disk();
+      renv.checkpoint_dir = dir;
+      renv.crash_after_node = crash_after;
+      auto r = core::RunWorkflow(wf, plan, renv);
+      env->SetExecutor(nullptr);
+      HPA_RETURN_IF_ERROR(r.status());
+      if (out != nullptr) *out = std::move(*r);
+      return Status::OK();
+    };
+    const std::string csv_path = core::KMeansOperator::kCsvPath;
+
+    core::WorkflowRunResult full;
+    Status full_status = ckpt_run("sc-ckpt-full", -1, &full);
+    auto ref_csv = env->scratch_disk()->ReadFile(csv_path);
+
+    Status crash_status = ckpt_run("sc-ckpt", 1, nullptr);  // die after tfidf
+    core::WorkflowRunResult resumed;
+    Status resume_status = ckpt_run("sc-ckpt", -1, &resumed);
+    auto res_csv = env->scratch_disk()->ReadFile(csv_path);
+
+    Check(full_status.ok() &&
+              crash_status.code() == StatusCode::kInternal,
+          "crash hook aborts the workflow after the TF/IDF node",
+          crash_status.ok() ? "crash did not fire"
+                            : crash_status.ToString());
+    Check(resume_status.ok() && resumed.resumed_nodes == 1 &&
+              resumed.replayed_nodes == 1,
+          "resume restores TF/IDF from checkpoint, replays only K-means",
+          StrFormat("resumed=%zu replayed=%zu (want 1/1)",
+                    resumed.resumed_nodes, resumed.replayed_nodes));
+    Check(ref_csv.ok() && res_csv.ok() && *res_csv == *ref_csv,
+          "resumed clustering byte-identical to uninterrupted run",
+          ref_csv.ok() && res_csv.ok()
+              ? StrFormat("%zu bytes", res_csv->size())
+              : "CSV unreadable");
+
+    // Corrupt the K-means artifact: its checkpoint must be rejected (CRC)
+    // and the node replayed from the still-valid TF/IDF checkpoint.
+    Status corrupt =
+        env->scratch_disk()->WriteFile(csv_path, "doc,cluster\ngarbage,0\n");
+    core::WorkflowRunResult repaired;
+    Status repair_status = ckpt_run("sc-ckpt", -1, &repaired);
+    auto rep_csv = env->scratch_disk()->ReadFile(csv_path);
+    Check(corrupt.ok() && repair_status.ok() &&
+              !repaired.checkpoint_rejections.empty() &&
+              repaired.resumed_nodes == 1 && repaired.replayed_nodes == 1 &&
+              rep_csv.ok() && *rep_csv == *ref_csv,
+          "corrupted artifact rejected by CRC; node replayed to same bytes",
+          StrFormat("%zu rejection(s), resumed=%zu replayed=%zu",
+                    repaired.checkpoint_rejections.size(),
+                    repaired.resumed_nodes, repaired.replayed_nodes));
   }
 
   std::printf("\n%d/%d claims reproduced at --scale=%.3g\n",

@@ -1,0 +1,302 @@
+#include "core/checkpoint.h"
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/checksum.h"
+#include "common/string_util.h"
+#include "core/workflow_executor.h"
+#include "io/file_io.h"
+
+namespace hpa::core {
+
+namespace {
+
+constexpr std::string_view kMagic = "hpa-checkpoint v1";
+
+/// Inverse of StatusCodeName over the codes a quarantine cause can carry.
+StatusCode CodeFromName(std::string_view name) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    if (StatusCodeName(static_cast<StatusCode>(c)) == name) {
+      return static_cast<StatusCode>(c);
+    }
+  }
+  return StatusCode::kInternal;
+}
+
+bool ParseU64(std::string_view s, int base, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::string tmp(s);
+  uint64_t v = std::strtoull(tmp.c_str(), &end, base);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+uint64_t PlanFingerprint(const Workflow& workflow, const ExecutionPlan& plan,
+                         const RunEnv& env) {
+  // Canonical description of everything that determines artifact bytes:
+  // DAG structure, source identities, materialization choices, and the
+  // text-processing environment. Workers / dictionary backends / presize
+  // are result-invariant and excluded on purpose.
+  std::string canon = "hpa-fingerprint v1\n";
+  for (size_t i = 0; i < workflow.size(); ++i) {
+    int id = static_cast<int>(i);
+    canon += "node ";
+    AppendUint(canon, static_cast<uint64_t>(id));
+    canon += ' ';
+    canon += workflow.label(id);
+    if (workflow.IsSource(id)) {
+      const Dataset& src = workflow.source_dataset(id);
+      canon += " source ";
+      canon += DatasetKindName(src);
+      canon += ' ';
+      canon += DatasetRefPath(src);
+    } else {
+      canon += " inputs";
+      for (int input : workflow.node(id).inputs) {
+        canon += ' ';
+        AppendUint(canon, static_cast<uint64_t>(input));
+      }
+      canon += " boundary ";
+      canon += BoundaryName(plan.nodes[i].output_boundary);
+    }
+    canon += '\n';
+  }
+  canon += StrFormat("tokenizer min=%zu max=%zu lower=%d stem=%d\n",
+                     env.tokenizer.min_token_length,
+                     env.tokenizer.max_token_length,
+                     env.tokenizer.lowercase ? 1 : 0,
+                     env.stem_tokens ? 1 : 0);
+  return StableHash64(canon);
+}
+
+std::string CheckpointManifestPath(const std::string& checkpoint_dir,
+                                   int node_id) {
+  std::string path = checkpoint_dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "node-";
+  AppendUint(path, static_cast<uint64_t>(node_id));
+  path += ".ckpt";
+  return path;
+}
+
+std::string SerializeManifest(const CheckpointManifest& manifest) {
+  std::string out(kMagic);
+  out += '\n';
+  out += StrFormat("fingerprint %016llx\n",
+                   static_cast<unsigned long long>(manifest.fingerprint));
+  out += StrFormat("node %d\n", manifest.node_id);
+  out += "op " + manifest.op_name + "\n";
+  out += "kind " + manifest.dataset_kind + "\n";
+  out += "artifact " + manifest.artifact_path + "\n";
+  out += StrFormat("bytes %llu\n",
+                   static_cast<unsigned long long>(manifest.artifact_bytes));
+  out += StrFormat("crc32 %08x\n", manifest.artifact_crc32);
+  for (const QuarantineEntry& q : manifest.quarantine.entries) {
+    out += StrFormat("quarantine %d %s ", q.attempts,
+                     std::string(StatusCodeName(q.cause.code())).c_str());
+    out += q.id;
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+StatusOr<CheckpointManifest> ParseManifest(std::string_view text) {
+  CheckpointManifest m;
+  bool saw_end = false;
+  bool saw_crc = false, saw_bytes = false, saw_fp = false, saw_node = false;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      if (pos < text.size()) {
+        return Status::Corruption("checkpoint manifest: missing final newline");
+      }
+      break;
+    }
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (line_no == 1) {
+      if (line != kMagic) {
+        return Status::Corruption("checkpoint manifest: bad magic '" +
+                                  std::string(line) + "'");
+      }
+      continue;
+    }
+    if (saw_end) {
+      return Status::Corruption("checkpoint manifest: content after 'end'");
+    }
+    if (line == "end") {
+      saw_end = true;
+      continue;
+    }
+    size_t sp = line.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::Corruption(StrFormat(
+          "checkpoint manifest line %zu: no key/value separator", line_no));
+    }
+    std::string_view key = line.substr(0, sp);
+    std::string_view value = line.substr(sp + 1);
+    uint64_t u = 0;
+    if (key == "fingerprint") {
+      if (!ParseU64(value, 16, &m.fingerprint)) {
+        return Status::Corruption("checkpoint manifest: bad fingerprint");
+      }
+      saw_fp = true;
+    } else if (key == "node") {
+      if (!ParseU64(value, 10, &u)) {
+        return Status::Corruption("checkpoint manifest: bad node id");
+      }
+      m.node_id = static_cast<int>(u);
+      saw_node = true;
+    } else if (key == "op") {
+      m.op_name = std::string(value);
+    } else if (key == "kind") {
+      m.dataset_kind = std::string(value);
+    } else if (key == "artifact") {
+      m.artifact_path = std::string(value);
+    } else if (key == "bytes") {
+      if (!ParseU64(value, 10, &m.artifact_bytes)) {
+        return Status::Corruption("checkpoint manifest: bad byte count");
+      }
+      saw_bytes = true;
+    } else if (key == "crc32") {
+      if (!ParseU64(value, 16, &u) || u > 0xFFFFFFFFull) {
+        return Status::Corruption("checkpoint manifest: bad crc32");
+      }
+      m.artifact_crc32 = static_cast<uint32_t>(u);
+      saw_crc = true;
+    } else if (key == "quarantine") {
+      // "quarantine <attempts> <code> <id>"; causes are summarized to
+      // their code on restore (messages are not round-tripped).
+      size_t sp2 = value.find(' ');
+      size_t sp3 = sp2 == std::string_view::npos
+                       ? std::string_view::npos
+                       : value.find(' ', sp2 + 1);
+      if (sp3 == std::string_view::npos ||
+          !ParseU64(value.substr(0, sp2), 10, &u)) {
+        return Status::Corruption("checkpoint manifest: bad quarantine line");
+      }
+      StatusCode code =
+          CodeFromName(value.substr(sp2 + 1, sp3 - sp2 - 1));
+      m.quarantine.Add(std::string(value.substr(sp3 + 1)),
+                       Status(code, "restored from checkpoint"),
+                       static_cast<int>(u));
+    } else {
+      return Status::Corruption("checkpoint manifest: unknown key '" +
+                                std::string(key) + "'");
+    }
+  }
+  if (!saw_end) {
+    return Status::Corruption(
+        "checkpoint manifest: truncated (no 'end' terminator)");
+  }
+  if (!saw_fp || !saw_node || !saw_crc || !saw_bytes ||
+      m.dataset_kind.empty() || m.artifact_path.empty()) {
+    return Status::Corruption("checkpoint manifest: missing required field");
+  }
+  return m;
+}
+
+StatusOr<uint32_t> ChecksumArtifact(io::SimDisk* disk,
+                                    const std::string& rel_path) {
+  HPA_ASSIGN_OR_RETURN(std::string contents, disk->ReadFile(rel_path));
+  return Crc32(contents);
+}
+
+Status WriteNodeCheckpoint(io::SimDisk* disk,
+                           const std::string& checkpoint_dir,
+                           CheckpointManifest manifest) {
+  HPA_ASSIGN_OR_RETURN(std::string contents,
+                       disk->ReadFile(manifest.artifact_path));
+  manifest.artifact_bytes = contents.size();
+  manifest.artifact_crc32 = Crc32(contents);
+  HPA_RETURN_IF_ERROR(io::MakeDirs(disk->AbsPath(checkpoint_dir)));
+  // SimDisk::WriteFile commits via the atomic temp+rename path, so the
+  // manifest appears complete or not at all.
+  return disk->WriteFile(CheckpointManifestPath(checkpoint_dir,
+                                                manifest.node_id),
+                         SerializeManifest(manifest));
+}
+
+CheckpointLoadResult LoadNodeCheckpoint(io::SimDisk* disk,
+                                        const std::string& checkpoint_dir,
+                                        int node_id,
+                                        uint64_t expected_fingerprint) {
+  CheckpointLoadResult out;
+  const std::string path = CheckpointManifestPath(checkpoint_dir, node_id);
+  if (!disk->Exists(path)) return out;  // fresh run, nothing to reject
+
+  auto reject = [&](std::string reason) {
+    out.valid = false;
+    out.reject_reason = StrFormat("node %d: %s", node_id, reason.c_str());
+    return out;
+  };
+
+  auto text = disk->ReadFile(path);
+  if (!text.ok()) {
+    return reject("manifest unreadable: " + text.status().ToString());
+  }
+  auto manifest = ParseManifest(*text);
+  if (!manifest.ok()) {
+    return reject(manifest.status().ToString());
+  }
+  if (manifest->node_id != node_id) {
+    return reject(StrFormat("manifest names node %d", manifest->node_id));
+  }
+  if (manifest->dataset_kind != "arff-ref" &&
+      manifest->dataset_kind != "csv-ref") {
+    return reject("kind '" + manifest->dataset_kind +
+                  "' is not a rehydratable file reference");
+  }
+  if (manifest->fingerprint != expected_fingerprint) {
+    return reject(StrFormat(
+        "plan fingerprint mismatch (checkpoint %016llx, plan %016llx) — "
+        "stale plan or corpus",
+        static_cast<unsigned long long>(manifest->fingerprint),
+        static_cast<unsigned long long>(expected_fingerprint)));
+  }
+  if (!disk->Exists(manifest->artifact_path)) {
+    return reject("artifact '" + manifest->artifact_path + "' missing");
+  }
+  auto size = disk->FileSize(manifest->artifact_path);
+  if (!size.ok() || *size != manifest->artifact_bytes) {
+    return reject(StrFormat(
+        "artifact size %llu != recorded %llu",
+        static_cast<unsigned long long>(size.ok() ? *size : 0),
+        static_cast<unsigned long long>(manifest->artifact_bytes)));
+  }
+  auto crc = ChecksumArtifact(disk, manifest->artifact_path);
+  if (!crc.ok()) {
+    return reject("artifact unreadable: " + crc.status().ToString());
+  }
+  if (*crc != manifest->artifact_crc32) {
+    return reject(StrFormat("artifact CRC-32 %08x != recorded %08x", *crc,
+                            manifest->artifact_crc32));
+  }
+  out.valid = true;
+  out.manifest = std::move(*manifest);
+  return out;
+}
+
+StatusOr<Dataset> RehydrateDataset(const CheckpointManifest& manifest) {
+  if (manifest.dataset_kind == "arff-ref") {
+    return Dataset(ArffRef{manifest.artifact_path});
+  }
+  if (manifest.dataset_kind == "csv-ref") {
+    return Dataset(CsvRef{manifest.artifact_path});
+  }
+  return Status::Corruption("checkpoint manifest: kind '" +
+                            manifest.dataset_kind +
+                            "' is not a file-reference dataset");
+}
+
+}  // namespace hpa::core

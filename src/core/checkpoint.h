@@ -1,0 +1,136 @@
+#ifndef HPA_CORE_CHECKPOINT_H_
+#define HPA_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/plan.h"
+#include "core/workflow.h"
+#include "io/sim_disk.h"
+
+/// \file
+/// Workflow checkpoint/restart at materialized edges.
+///
+/// The optimizer already decides which edges materialize to the scratch
+/// disk (§3.3); those artifacts are free checkpoints — the same idea as
+/// MapReduce re-execution from materialized map output and Spark's
+/// lineage cut at persisted RDDs. After a materialized node completes,
+/// the executor writes a small *manifest* next to the artifact recording
+/// what was produced and how to trust it:
+///
+///   hpa-checkpoint v1
+///   fingerprint <hex64>        — plan/corpus identity (see PlanFingerprint)
+///   node <id>
+///   op <operator name>
+///   kind <dataset kind>        — "arff-ref" | "csv-ref"
+///   artifact <scratch path>
+///   bytes <artifact size>
+///   crc32 <hex32>              — CRC-32 over the artifact bytes
+///   quarantine <attempts> <code> <id>   — zero or more restored entries
+///   end
+///
+/// Manifests are written via the atomic whole-file path (temp + rename),
+/// so a crash mid-checkpoint leaves either no manifest or a complete one —
+/// never a torn record. On restart, `LoadNodeCheckpoint` re-validates
+/// everything (parse, fingerprint, artifact presence, CRC) and the
+/// executor resumes after the last complete checkpoint, re-running only
+/// the DAG suffix. A checkpoint that fails validation for any reason is
+/// *rejected with a logged reason* and its node re-executes — stale or
+/// corrupt state is never silently loaded.
+///
+/// Fused edges have no on-disk artifact and are therefore never
+/// checkpointed; a crash inside a fused chain resumes from the nearest
+/// upstream materialized edge (or the source).
+
+namespace hpa::core {
+
+struct RunEnv;  // workflow_executor.h
+
+/// One node's checkpoint record (the parsed manifest).
+struct CheckpointManifest {
+  int node_id = -1;
+  std::string op_name;        ///< producing operator (label for sources)
+  std::string dataset_kind;   ///< DatasetKindName of the artifact ref
+  std::string artifact_path;  ///< scratch-disk-relative artifact path
+  uint64_t artifact_bytes = 0;
+  uint32_t artifact_crc32 = 0;
+  uint64_t fingerprint = 0;   ///< PlanFingerprint at write time
+
+  /// Items the producing operator quarantined; restored on resume so the
+  /// workflow-level quarantine list is identical whether or not the node
+  /// was replayed.
+  QuarantineList quarantine;
+};
+
+/// Stable identity of (workflow structure, source datasets, materialization
+/// choices, text-processing knobs) — everything that determines the *bytes*
+/// of a materialized artifact. Worker count and dictionary backend are
+/// deliberately excluded: results are invariant to both, so a checkpoint
+/// taken at 8 workers resumes correctly at 1 (and vice versa). A manifest
+/// whose fingerprint differs was written by a different plan or corpus and
+/// is rejected.
+uint64_t PlanFingerprint(const Workflow& workflow, const ExecutionPlan& plan,
+                         const RunEnv& env);
+
+/// Scratch-disk-relative manifest path for `node_id` under `checkpoint_dir`.
+std::string CheckpointManifestPath(const std::string& checkpoint_dir,
+                                   int node_id);
+
+/// Serializes `manifest` in the line-oriented v1 format.
+std::string SerializeManifest(const CheckpointManifest& manifest);
+
+/// Parses a v1 manifest. Fails with Corruption on truncated or malformed
+/// text (including a missing `end` terminator, which is how a torn append
+/// would present — though the atomic write path should make that
+/// impossible).
+StatusOr<CheckpointManifest> ParseManifest(std::string_view text);
+
+/// Computes the CRC-32 of the artifact at `rel_path` by streaming it back
+/// through `disk` (the read is priced on the disk's clock — validation is
+/// part of the measured checkpoint cost).
+StatusOr<uint32_t> ChecksumArtifact(io::SimDisk* disk,
+                                    const std::string& rel_path);
+
+/// Writes the manifest for a just-completed materialized node: checksums
+/// the artifact, fills in `fingerprint`, and commits the manifest
+/// atomically to `disk` under `checkpoint_dir`.
+Status WriteNodeCheckpoint(io::SimDisk* disk,
+                           const std::string& checkpoint_dir,
+                           CheckpointManifest manifest);
+
+/// Outcome of trying to restore one node from its checkpoint.
+struct CheckpointLoadResult {
+  /// Set iff the checkpoint validated end-to-end; the node can be skipped
+  /// and its output edge rehydrated from `manifest.artifact_path`.
+  bool valid = false;
+
+  /// The validated manifest (meaningful only when valid).
+  CheckpointManifest manifest;
+
+  /// Why the checkpoint was rejected (empty when valid, or when there was
+  /// simply no manifest on disk — a fresh run is not a rejection).
+  std::string reject_reason;
+};
+
+/// Validates node `node_id`'s checkpoint under `checkpoint_dir` against
+/// `expected_fingerprint`: manifest present and well-formed, fingerprint
+/// match, artifact present with matching size and CRC-32. Never fails the
+/// caller — every problem degrades to `valid == false` (plus a reason when
+/// a manifest existed but could not be trusted).
+CheckpointLoadResult LoadNodeCheckpoint(io::SimDisk* disk,
+                                        const std::string& checkpoint_dir,
+                                        int node_id,
+                                        uint64_t expected_fingerprint);
+
+/// Rehydrates the dataset reference a skipped node hands downstream.
+/// Only file-reference kinds are checkpointable ("arff-ref", "csv-ref");
+/// anything else is Corruption (a hand-edited manifest).
+StatusOr<Dataset> RehydrateDataset(const CheckpointManifest& manifest);
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_CHECKPOINT_H_

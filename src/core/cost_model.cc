@@ -109,6 +109,25 @@ PhaseCostEstimate CostModel::Estimate(containers::DictBackend backend,
   return e;
 }
 
+uint64_t CostModel::EstimateArtifactBytes() const {
+  // Sparse ARFF: one "{id value," cell (~14 bytes) per stored score plus
+  // one "@attribute <word> numeric" header line (~24 bytes) per term.
+  const double doc_entries =
+      static_cast<double>(stats_.documents) * stats_.avg_distinct_per_doc;
+  return static_cast<uint64_t>(doc_entries * 14.0 +
+                               static_cast<double>(stats_.distinct_words) *
+                                   24.0);
+}
+
+double CostModel::CheckpointCommitSeconds(uint64_t bytes) const {
+  // The commit reads the artifact back for the CRC-32 and writes a
+  // manifest of a few hundred bytes; both land on the single-channel
+  // scratch HDD (~100 MB/s sequential, ~5 ms of seeks per commit).
+  constexpr double kScratchBytesPerSec = 100.0e6;
+  constexpr double kSeekSeconds = 0.005;
+  return static_cast<double>(bytes) / kScratchBytesPerSec + kSeekSeconds;
+}
+
 containers::DictBackend CostModel::BestBackend(
     int workers, uint64_t per_doc_presize) const {
   containers::DictBackend best = containers::DictBackend::kStdMap;

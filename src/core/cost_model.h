@@ -69,6 +69,18 @@ class CostModel {
   containers::DictBackend BestBackend(int workers,
                                       uint64_t per_doc_presize) const;
 
+  /// Predicted size of the sparse-ARFF artifact a materialized edge leaves
+  /// on the scratch disk (score rows + attribute header).
+  uint64_t EstimateArtifactBytes() const;
+
+  /// Seconds to *commit* a checkpoint for an artifact of `bytes`: the
+  /// CRC-32 read-back of the artifact plus the manifest write, priced at
+  /// the scratch device's single-channel bandwidth. This is the overhead a
+  /// checkpointed edge pays on top of materialization itself; the
+  /// optimizer weighs it against expected replay savings
+  /// (OptimizerOptions::failure_probability).
+  double CheckpointCommitSeconds(uint64_t bytes) const;
+
   const WorkloadStats& stats() const { return stats_; }
 
  private:

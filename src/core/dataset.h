@@ -54,6 +54,10 @@ using Dataset =
 /// and plan dumps.
 std::string_view DatasetKindName(const Dataset& dataset);
 
+/// On-disk path of a file-reference dataset (CorpusRef/ArffRef/CsvRef);
+/// empty for in-memory kinds. Used by plan fingerprints and checkpoints.
+std::string_view DatasetRefPath(const Dataset& dataset);
+
 }  // namespace hpa::core
 
 #endif  // HPA_CORE_DATASET_H_

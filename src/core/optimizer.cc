@@ -1,10 +1,31 @@
 #include "core/optimizer.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace hpa::core {
 
 namespace {
+
+/// Number of operator (non-source) nodes in the ancestor closure of `id`,
+/// including `id` itself — the work a resume skips when this edge holds a
+/// valid checkpoint.
+int AncestorOperatorCount(const Workflow& workflow, int id) {
+  std::vector<bool> seen(workflow.size(), false);
+  std::vector<int> stack = {id};
+  int count = 0;
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<size_t>(n)]) continue;
+    seen[static_cast<size_t>(n)] = true;
+    if (!workflow.IsSource(n)) {
+      ++count;
+      for (int input : workflow.node(n).inputs) stack.push_back(input);
+    }
+  }
+  return count;
+}
 
 containers::DictBackend BestPaperBackend(const CostModel& model, int workers,
                                          uint64_t presize) {
@@ -47,10 +68,30 @@ ExecutionPlan OptimizeWorkflow(const Workflow& workflow,
                              static_cast<int>(i)) != sinks.end();
     // Rule 3: fuse interior edges; materialize sinks (and everything, when
     // the discrete baseline is requested).
+    bool materialize = is_sink || options.force_materialize_intermediates;
+
+    // Checkpoint placement rule: with a non-zero failure probability, an
+    // interior edge is worth materializing when the expected replay time a
+    // restart would save exceeds what the checkpoint costs — the extra
+    // serial output pass over the fused transform plus the commit itself
+    // (CRC read-back + manifest write).
+    if (!materialize && options.failure_probability > 0.0 &&
+        !workflow.IsSource(static_cast<int>(i))) {
+      PhaseCostEstimate est = cost_model.Estimate(
+          backend, plan.workers, options.per_doc_dict_presize);
+      double saved = options.failure_probability *
+                     static_cast<double>(AncestorOperatorCount(
+                         workflow, static_cast<int>(i))) *
+                     est.TotalFused();
+      double overhead =
+          std::max(0.0, est.output_seconds - est.transform_seconds) +
+          cost_model.CheckpointCommitSeconds(
+              cost_model.EstimateArtifactBytes());
+      materialize = saved > overhead;
+    }
+
     np.output_boundary =
-        (is_sink || options.force_materialize_intermediates)
-            ? Boundary::kMaterialized
-            : Boundary::kFused;
+        materialize ? Boundary::kMaterialized : Boundary::kFused;
   }
   return plan;
 }

@@ -38,6 +38,15 @@ struct OptimizerOptions {
   /// Restrict the dictionary choice to the paper's two backends
   /// (std::map / std::unordered_map) instead of all five.
   bool paper_backends_only = false;
+
+  /// Probability that a run dies mid-dag (environment knowledge, e.g.
+  /// observed fault rates). > 0 enables the checkpoint placement rule: an
+  /// interior edge is materialized — and therefore checkpointed by the
+  /// executor — when the expected replay time saved on a restart
+  /// (failure_probability x cost of the edge's ancestor operators) exceeds
+  /// the materialization + checkpoint-commit overhead
+  /// (CostModel::CheckpointCommitSeconds). 0 leaves rule 3 untouched.
+  double failure_probability = 0.0;
 };
 
 /// Produces a plan for `workflow` using `cost_model` and `options`.

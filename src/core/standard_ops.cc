@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "io/csv.h"
 #include "io/packed_corpus.h"
+#include "io/sharded_arff.h"
 #include "ops/tfidf.h"
 #include "parallel/parallel_ops.h"
 
@@ -48,6 +49,10 @@ StatusOr<Dataset> TfidfOperator::Run(ops::ExecContext& ctx,
     return Dataset(ArffRef{kArffPath});
   }
   HPA_ASSIGN_OR_RETURN(auto result, ops::TfidfInMemory(ctx, reader));
+  if (ctx.quarantine != nullptr && !result.quarantine.empty()) {
+    QuarantineList copy = result.quarantine;
+    ctx.quarantine->MergeFrom(std::move(copy));
+  }
   return Dataset(std::move(result));
 }
 
@@ -73,7 +78,28 @@ StatusOr<Dataset> KMeansOperator::Run(ops::ExecContext& ctx,
       return Status::FailedPrecondition(
           "ARFF input requires a scratch disk");
     }
-    HPA_ASSIGN_OR_RETURN(loaded, ops::ReadTfidfArff(ctx, arff->path));
+    if (ctx.scratch_disk->Exists(arff->path + ".manifest")) {
+      // Sharded dataset (parallel reader); a rehydrated checkpoint edge
+      // lands here when the upstream writer sharded its output.
+      io::ArffShardedResult sharded;
+      Status read;
+      ctx.TimePhase("kmeans-input", [&] {
+        auto r = io::ReadShardedArff(ctx.scratch_disk, ctx.executor,
+                                     arff->path, ctx.fault_policy);
+        if (r.ok()) {
+          sharded = std::move(r).value();
+        } else {
+          read = r.status();
+        }
+      });
+      HPA_RETURN_IF_ERROR(read);
+      if (ctx.quarantine != nullptr) {
+        ctx.quarantine->MergeFrom(std::move(sharded.quarantine));
+      }
+      loaded = std::move(sharded.data);
+    } else {
+      HPA_ASSIGN_OR_RETURN(loaded, ops::ReadTfidfArff(ctx, arff->path));
+    }
     matrix = &loaded;
   } else {
     return WrongInput("kmeans", *inputs[0], "tfidf/sparse-matrix/arff-ref");

@@ -29,6 +29,19 @@ std::string_view DatasetKindName(const Dataset& dataset) {
   return "unknown";
 }
 
+std::string_view DatasetRefPath(const Dataset& dataset) {
+  if (const auto* corpus = std::get_if<CorpusRef>(&dataset)) {
+    return corpus->path;
+  }
+  if (const auto* arff = std::get_if<ArffRef>(&dataset)) {
+    return arff->path;
+  }
+  if (const auto* csv = std::get_if<CsvRef>(&dataset)) {
+    return csv->path;
+  }
+  return {};
+}
+
 std::string_view BoundaryName(Boundary boundary) {
   return boundary == Boundary::kFused ? "fused" : "materialized";
 }

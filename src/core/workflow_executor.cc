@@ -2,7 +2,10 @@
 
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
+#include "core/checkpoint.h"
+#include "io/file_io.h"
 #include "ops/exec_context.h"
 
 namespace hpa::core {
@@ -41,27 +44,130 @@ StatusOr<WorkflowRunResult> RunWorkflow(const Workflow& workflow,
                   plan.nodes.size(), workflow.size()));
   }
 
+  const bool checkpointing = !env.checkpoint_dir.empty();
+  if (checkpointing && env.scratch_disk == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint_dir set but RunEnv has no scratch disk");
+  }
+
   WorkflowRunResult result;
   double start = env.executor->Now();
 
-  // Reference counts so intermediates are dropped after their last use.
+  uint64_t fingerprint = 0;
+  std::vector<CheckpointLoadResult> ckpts(workflow.size());
+  if (checkpointing) {
+    fingerprint = PlanFingerprint(workflow, plan, env);
+    HPA_RETURN_IF_ERROR(
+        io::MakeDirs(env.scratch_disk->AbsPath(env.checkpoint_dir)));
+    // Probe every node's checkpoint up front (validation reads are priced
+    // on the scratch disk's clock). Rejection is never fatal: log why the
+    // checkpoint cannot be used and fall back to re-executing the node.
+    // Determinism makes the re-run reproduce the artifact any *later*
+    // valid checkpoint depends on, so those remain usable.
+    for (size_t i = 0; i < workflow.size(); ++i) {
+      int id = static_cast<int>(i);
+      if (workflow.IsSource(id)) continue;
+      ckpts[i] = LoadNodeCheckpoint(env.scratch_disk, env.checkpoint_dir,
+                                    id, fingerprint);
+      if (!ckpts[i].valid && !ckpts[i].reject_reason.empty()) {
+        HPA_LOG(kWarning, "checkpoint rejected, re-running %s: %s",
+                std::string(workflow.label(id)).c_str(),
+                ckpts[i].reject_reason.c_str());
+        result.checkpoint_rejections.push_back(ckpts[i].reject_reason);
+      }
+    }
+  }
+
+  // Backward pass from the sinks: which edges must carry data this run?
+  // A needed node with a valid checkpoint rehydrates from its artifact
+  // and pulls in none of its inputs; one without must execute, making all
+  // of its inputs needed. Everything else is skipped outright — resuming
+  // a fully-checkpointed dag executes nothing.
+  std::vector<bool> need_data(workflow.size(), false);
+  for (int sink : workflow.SinkIds()) {
+    need_data[static_cast<size_t>(sink)] = true;
+  }
+  for (size_t r = workflow.size(); r-- > 0;) {
+    int id = static_cast<int>(r);
+    if (!need_data[r] || workflow.IsSource(id) || ckpts[r].valid) continue;
+    for (int input : workflow.node(id).inputs) {
+      need_data[static_cast<size_t>(input)] = true;
+    }
+  }
+
+  // Reference counts so intermediates are dropped after their last use —
+  // counting only consumers that will actually execute.
   std::vector<int> remaining_uses(workflow.size(), 0);
   for (size_t i = 0; i < workflow.size(); ++i) {
-    for (int input : workflow.node(static_cast<int>(i)).inputs) {
+    int id = static_cast<int>(i);
+    if (!need_data[i] || workflow.IsSource(id) || ckpts[i].valid) continue;
+    for (int input : workflow.node(id).inputs) {
       ++remaining_uses[static_cast<size_t>(input)];
     }
   }
 
   std::vector<Dataset> datasets(workflow.size());
 
+  // The crash hook fires after the node's checkpoint (if any) commits, so
+  // a crashed run leaves exactly the manifests a real mid-dag failure
+  // would: every node up to and including the crash point.
+  auto maybe_crash = [&](int id) -> Status {
+    if (env.crash_after_node != id) return Status::OK();
+    return Status::Internal(
+        StrFormat("simulated crash after node %d (%s)", id,
+                  std::string(workflow.label(id)).c_str()));
+  };
+
+  // Drop inputs whose last consumer has now run.
+  auto release_inputs = [&](const Workflow::Node& node) {
+    for (int input : node.inputs) {
+      if (--remaining_uses[static_cast<size_t>(input)] == 0) {
+        datasets[static_cast<size_t>(input)] = Dataset{};
+      }
+    }
+  };
+
   for (size_t i = 0; i < workflow.size(); ++i) {
     int id = static_cast<int>(i);
+    if (!need_data[i]) {
+      // Every consumer of this edge resumes from its own checkpoint; the
+      // node is skipped without touching data or devices. Its recorded
+      // quarantine still counts — the aggregate list must match an
+      // uninterrupted run no matter how much of the dag was skipped.
+      if (ckpts[i].valid) {
+        result.quarantine.MergeFrom(std::move(ckpts[i].manifest.quarantine));
+      }
+      HPA_RETURN_IF_ERROR(maybe_crash(id));
+      continue;
+    }
     if (workflow.IsSource(id)) {
       datasets[i] = workflow.source_dataset(id);
+      HPA_RETURN_IF_ERROR(maybe_crash(id));
       continue;
     }
     const Workflow::Node& node = workflow.node(id);
     const NodePlan& np = plan.nodes[i];
+
+    if (ckpts[i].valid) {
+      auto rehydrated = RehydrateDataset(ckpts[i].manifest);
+      if (!rehydrated.ok()) {
+        // Unknown dataset kind in a validated manifest: hand-edited state
+        // with a correct CRC. Refuse rather than guess.
+        return rehydrated.status().WithContext(
+            "node " + std::to_string(id) + " (" +
+            std::string(workflow.label(id)) + ")");
+      }
+      datasets[i] = std::move(rehydrated).value();
+      result.quarantine.MergeFrom(std::move(ckpts[i].manifest.quarantine));
+      ++result.resumed_nodes;
+      HPA_RETURN_IF_ERROR(maybe_crash(id));
+      continue;
+    }
+
+    // Per-node quarantine sink: feeds both the aggregate result list and
+    // this node's checkpoint manifest (so a resumed run still reports the
+    // documents a skipped node quarantined).
+    QuarantineList node_quarantine;
 
     ops::ExecContext ctx;
     ctx.executor = env.executor;
@@ -71,6 +177,9 @@ StatusOr<WorkflowRunResult> RunWorkflow(const Workflow& workflow,
     ctx.per_doc_dict_presize = np.per_doc_dict_presize;
     ctx.tokenizer = env.tokenizer;
     ctx.stem_tokens = env.stem_tokens;
+    ctx.fault_policy = env.fault_policy;
+    ctx.quarantine = &node_quarantine;
+    ctx.crash_after_node = env.crash_after_node;
     ctx.phases = &result.phases;
 
     std::vector<const Dataset*> inputs;
@@ -86,13 +195,34 @@ StatusOr<WorkflowRunResult> RunWorkflow(const Workflow& workflow,
           std::string(workflow.label(id)) + ")");
     }
     datasets[i] = std::move(output).value();
+    ++result.replayed_nodes;
 
-    // Drop inputs whose last consumer has now run.
-    for (int input : node.inputs) {
-      if (--remaining_uses[static_cast<size_t>(input)] == 0) {
-        datasets[static_cast<size_t>(input)] = Dataset{};
+    if (checkpointing) {
+      // Only file-reference outputs are checkpointable: a fused edge has
+      // no artifact to validate or rehydrate from, so it is re-derived on
+      // resume like any other in-memory state.
+      std::string_view kind = DatasetKindName(datasets[i]);
+      if (kind == "arff-ref" || kind == "csv-ref") {
+        CheckpointManifest manifest;
+        manifest.node_id = id;
+        manifest.op_name = std::string(workflow.label(id));
+        manifest.dataset_kind = std::string(kind);
+        manifest.artifact_path = std::string(DatasetRefPath(datasets[i]));
+        manifest.fingerprint = fingerprint;
+        manifest.quarantine = node_quarantine;
+        Status written = WriteNodeCheckpoint(
+            env.scratch_disk, env.checkpoint_dir, std::move(manifest));
+        if (!written.ok()) {
+          return written.WithContext(
+              StrFormat("checkpointing node %d (%s)", id,
+                        std::string(workflow.label(id)).c_str()));
+        }
       }
     }
+    result.quarantine.MergeFrom(std::move(node_quarantine));
+
+    release_inputs(node);
+    HPA_RETURN_IF_ERROR(maybe_crash(id));
   }
 
   for (int sink : workflow.SinkIds()) {

@@ -1,8 +1,10 @@
 #ifndef HPA_CORE_WORKFLOW_EXECUTOR_H_
 #define HPA_CORE_WORKFLOW_EXECUTOR_H_
 
+#include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/plan.h"
@@ -13,7 +15,9 @@
 
 /// \file
 /// Executes a workflow under an execution plan, collecting the per-phase
-/// timing breakdown that Figures 3 and 4 report.
+/// timing breakdown that Figures 3 and 4 report. With a checkpoint
+/// directory configured, materialized nodes commit restart manifests and
+/// a re-run resumes from the last complete one (core/checkpoint.h).
 
 namespace hpa::core {
 
@@ -27,6 +31,24 @@ struct RunEnv {
   /// environment/corpus properties, not per-node plan decisions).
   text::TokenizerOptions tokenizer;
   bool stem_tokens = false;
+
+  /// Fault policy threaded into every operator context (fail-fast by
+  /// default; retry-skip quarantines unreadable items and the aggregate
+  /// list lands on WorkflowRunResult::quarantine).
+  FaultPolicy fault_policy = FaultPolicy::kFailFast;
+
+  /// Scratch-disk-relative directory for checkpoint manifests. Empty
+  /// disables checkpointing entirely (the pre-checkpoint behavior, zero
+  /// cost). Non-empty: every materialized node commits a manifest after
+  /// completing, and the run first tries to *resume* — nodes whose
+  /// manifests validate (fingerprint + artifact CRC) are skipped and their
+  /// output edges rehydrated from the on-disk artifact; invalid manifests
+  /// are rejected with a logged reason and the node re-executes.
+  std::string checkpoint_dir;
+
+  /// Crash hook (see ops::ExecContext::crash_after_node): abort the run
+  /// right after this node id completes (and checkpoints). -1 disables.
+  int crash_after_node = -1;
 };
 
 /// Result of one workflow execution.
@@ -39,6 +61,23 @@ struct WorkflowRunResult {
 
   /// Final datasets, one per sink node (same order as Workflow::SinkIds).
   std::vector<Dataset> outputs;
+
+  /// Nodes skipped because a valid checkpoint covered them (0 on a fresh
+  /// run or when checkpointing is disabled).
+  size_t resumed_nodes = 0;
+
+  /// Operator nodes actually executed this run (sources excluded).
+  size_t replayed_nodes = 0;
+
+  /// Why checkpoints that existed were *not* used (stale fingerprint,
+  /// CRC mismatch, truncation, ...). Also logged at warning level. Empty
+  /// means every manifest found was either used or absent.
+  std::vector<std::string> checkpoint_rejections;
+
+  /// Aggregate quarantine across all operators in the run, including
+  /// entries restored from the checkpoints of skipped nodes (causes of
+  /// restored entries are summarized to their status code).
+  QuarantineList quarantine;
 };
 
 /// Runs `workflow` under `plan` in `env`. The plan must have one NodePlan

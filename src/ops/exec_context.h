@@ -54,6 +54,22 @@ struct ExecContext {
   /// operator results and in Report.
   FaultPolicy fault_policy = FaultPolicy::kFailFast;
 
+  /// Workflow-level quarantine sink. When non-null, operators merge the
+  /// items they quarantined under kRetryThenSkip into this list (in
+  /// addition to surfacing them on their own results), so a workflow run
+  /// can report one aggregate quarantine list — and persist it in
+  /// checkpoint manifests. May be null (operators then only report
+  /// per-result).
+  QuarantineList* quarantine = nullptr;
+
+  /// Crash hook for the checkpoint/restart tests and benches: when >= 0,
+  /// the workflow executor aborts the run (Status kInternal) immediately
+  /// after node `crash_after_node` completes — *after* its checkpoint
+  /// manifest is committed. Deterministic and simulated-clock friendly: no
+  /// signals, no wall time, so it composes with the fault injector and
+  /// with virtual-time executors. -1 disables.
+  int crash_after_node = -1;
+
   /// Ablation escape hatch (--serial-merge in the harnesses): fold
   /// reductions serially on the calling thread — the paper-era structure —
   /// instead of the parallel sharded/tree merge paths. Results are

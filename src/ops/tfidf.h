@@ -286,6 +286,11 @@ Status TfidfToArffT(ExecContext& ctx, const io::PackedCorpusReader& corpus,
                     const std::string& arff_path,
                     const TfidfOptions& options = {}) {
   HPA_ASSIGN_OR_RETURN(auto wc, RunWordCount<B>(ctx, corpus));
+  if (ctx.quarantine != nullptr) {
+    // The discrete form's result is the file, so the word-count quarantine
+    // would otherwise be dropped on the floor; surface it to the workflow.
+    ctx.quarantine->MergeFrom(std::move(wc.quarantine));
+  }
 
   Status status;
   ctx.TimePhase("tfidf-output", [&] {

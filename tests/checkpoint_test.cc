@@ -1,0 +1,564 @@
+// Crash/resume test harness for workflow checkpoint/restart.
+//
+// The executor checkpoints every materialized edge (manifest + CRC next to
+// the artifact); these tests kill the workflow after each node with the
+// deterministic --crash-after-node hook, resume from the manifests, and
+// require the final outputs to be *byte-identical* to an uninterrupted
+// run — at every crash point, under simulated and real-thread executors.
+// Negative paths (truncated manifest, CRC-mismatched artifact, stale plan
+// fingerprint) must reject the checkpoint with a logged reason and fall
+// back to re-execution, never silently load bad state.
+
+#include "core/checkpoint.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/standard_ops.h"
+#include "core/workflow_executor.h"
+#include "io/file_io.h"
+#include "io/sharded_arff.h"
+#include "ops/tfidf.h"
+#include "parallel/simulated_executor.h"
+#include "parallel/thread_pool.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
+
+namespace hpa::core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_checkpoint_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    corpus_disk_ = std::make_unique<io::SimDisk>(
+        io::DiskOptions::CorpusStore(), dir_, nullptr);
+    scratch_disk_ = std::make_unique<io::SimDisk>(io::DiskOptions::LocalHdd(),
+                                                  dir_, nullptr);
+
+    text::CorpusProfile profile;
+    profile.name = "ckpt";
+    profile.num_documents = 100;
+    profile.target_bytes = 60000;
+    profile.target_distinct_words = 700;
+    text::Corpus corpus = text::SynthCorpusGenerator(profile).Generate();
+    ASSERT_TRUE(
+        text::WriteCorpusPacked(corpus, corpus_disk_.get(), "ckpt.pack").ok());
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  /// Linear discrete chain: corpus -> tfidf (materialized) -> kmeans
+  /// (materialized). Both interior artifacts are checkpointable.
+  Workflow MakeChain() {
+    Workflow wf;
+    int src = wf.AddSource(Dataset(CorpusRef{"ckpt.pack"}), "corpus");
+    auto tfidf = wf.Add(std::make_unique<TfidfOperator>(), {src});
+    EXPECT_TRUE(tfidf.ok());
+    ops::KMeansOptions kopts;
+    kopts.k = 4;
+    kopts.max_iterations = 6;
+    kopts.stop_on_convergence = false;
+    auto kmeans = wf.Add(std::make_unique<KMeansOperator>(kopts), {*tfidf});
+    EXPECT_TRUE(kmeans.ok());
+    return wf;
+  }
+
+  ExecutionPlan ChainPlan(int workers) {
+    ExecutionPlan plan;
+    plan.workers = workers;
+    plan.nodes.resize(3);
+    plan.nodes[1].output_boundary = Boundary::kMaterialized;
+    plan.nodes[2].output_boundary = Boundary::kMaterialized;
+    return plan;
+  }
+
+  /// 4-node diamond: corpus -> tfidf (fused) -> {kmeans, top-terms}, both
+  /// sinks materialized. The fused TF/IDF edge is never checkpointed; the
+  /// two sink artifacts are.
+  Workflow MakeDiamond() {
+    Workflow wf;
+    int src = wf.AddSource(Dataset(CorpusRef{"ckpt.pack"}), "corpus");
+    auto tfidf = wf.Add(std::make_unique<TfidfOperator>(), {src});
+    EXPECT_TRUE(tfidf.ok());
+    ops::KMeansOptions kopts;
+    kopts.k = 4;
+    kopts.max_iterations = 6;
+    kopts.stop_on_convergence = false;
+    auto kmeans = wf.Add(std::make_unique<KMeansOperator>(kopts), {*tfidf});
+    EXPECT_TRUE(kmeans.ok());
+    auto top = wf.Add(std::make_unique<TopTermsOperator>(10), {*tfidf});
+    EXPECT_TRUE(top.ok());
+    return wf;
+  }
+
+  ExecutionPlan DiamondPlan(int workers) {
+    ExecutionPlan plan;
+    plan.workers = workers;
+    plan.nodes.resize(4);
+    plan.nodes[1].output_boundary = Boundary::kFused;
+    plan.nodes[2].output_boundary = Boundary::kMaterialized;
+    plan.nodes[3].output_boundary = Boundary::kMaterialized;
+    return plan;
+  }
+
+  RunEnv Env(parallel::Executor* exec, const std::string& ckpt_dir,
+             int crash_after = -1) {
+    corpus_disk_->set_executor(exec);
+    scratch_disk_->set_executor(exec);
+    RunEnv env;
+    env.executor = exec;
+    env.corpus_disk = corpus_disk_.get();
+    env.scratch_disk = scratch_disk_.get();
+    env.checkpoint_dir = ckpt_dir;
+    env.crash_after_node = crash_after;
+    return env;
+  }
+
+  StatusOr<WorkflowRunResult> RunSim(const Workflow& wf,
+                                     const ExecutionPlan& plan,
+                                     const std::string& ckpt_dir,
+                                     int crash_after = -1, int workers = 4) {
+    parallel::SimulatedExecutor exec(workers,
+                                     parallel::MachineModel::Default());
+    auto result = RunWorkflow(wf, plan, Env(&exec, ckpt_dir, crash_after));
+    // The executor dies with this frame; detach it so later direct disk
+    // reads don't charge a dangling clock.
+    corpus_disk_->set_executor(nullptr);
+    scratch_disk_->set_executor(nullptr);
+    return result;
+  }
+
+  std::string ReadOrDie(const char* path) {
+    auto text = scratch_disk_->ReadFile(path);
+    EXPECT_TRUE(text.ok()) << path;
+    return text.ok() ? *text : std::string();
+  }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> corpus_disk_;
+  std::unique_ptr<io::SimDisk> scratch_disk_;
+};
+
+TEST_F(CheckpointTest, ManifestRoundTrips) {
+  CheckpointManifest m;
+  m.node_id = 3;
+  m.op_name = "tfidf";
+  m.dataset_kind = "arff-ref";
+  m.artifact_path = "tfidf.arff";
+  m.artifact_bytes = 12345;
+  m.artifact_crc32 = 0xDEADBEEF;
+  m.fingerprint = 0x0123456789ABCDEFull;
+  m.quarantine.Add("doc-7", Status::IoError("lost"), 4);
+
+  auto parsed = ParseManifest(SerializeManifest(m));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->node_id, 3);
+  EXPECT_EQ(parsed->op_name, "tfidf");
+  EXPECT_EQ(parsed->dataset_kind, "arff-ref");
+  EXPECT_EQ(parsed->artifact_path, "tfidf.arff");
+  EXPECT_EQ(parsed->artifact_bytes, 12345u);
+  EXPECT_EQ(parsed->artifact_crc32, 0xDEADBEEFu);
+  EXPECT_EQ(parsed->fingerprint, 0x0123456789ABCDEFull);
+  ASSERT_EQ(parsed->quarantine.size(), 1u);
+  EXPECT_EQ(parsed->quarantine.entries[0].id, "doc-7");
+  EXPECT_EQ(parsed->quarantine.entries[0].attempts, 4);
+  // Causes are summarized to their status code on restore.
+  EXPECT_EQ(parsed->quarantine.entries[0].cause.code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(CheckpointTest, ParseRejectsMalformedManifests) {
+  EXPECT_EQ(ParseManifest("").status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(ParseManifest("not-a-manifest\nend\n").status().code(),
+            StatusCode::kCorruption);
+  // Truncation: no 'end' terminator.
+  CheckpointManifest m;
+  m.node_id = 0;
+  m.dataset_kind = "csv-ref";
+  m.artifact_path = "x.csv";
+  std::string good = SerializeManifest(m);
+  std::string truncated = good.substr(0, good.size() - 4);
+  EXPECT_EQ(ParseManifest(truncated).status().code(),
+            StatusCode::kCorruption);
+  // Garbage after 'end'.
+  EXPECT_EQ(ParseManifest(good + "trailing junk\n").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(CheckpointTest, FingerprintTracksPlanAndEnvironment) {
+  Workflow wf = MakeChain();
+  ExecutionPlan plan = ChainPlan(4);
+  RunEnv env;
+  const uint64_t base = PlanFingerprint(wf, plan, env);
+
+  // Worker count and dictionary backend are result-invariant: excluded.
+  ExecutionPlan other_workers = ChainPlan(16);
+  other_workers.nodes[1].dict_backend = containers::DictBackend::kStdMap;
+  EXPECT_EQ(PlanFingerprint(wf, other_workers, env), base);
+
+  // Boundary decisions, source identity, and tokenizer knobs are included.
+  ExecutionPlan fused = ChainPlan(4);
+  fused.nodes[1].output_boundary = Boundary::kFused;
+  EXPECT_NE(PlanFingerprint(wf, fused, env), base);
+
+  RunEnv stemmed;
+  stemmed.stem_tokens = true;
+  EXPECT_NE(PlanFingerprint(wf, plan, stemmed), base);
+
+  Workflow other_src;
+  other_src.AddSource(Dataset(CorpusRef{"other.pack"}), "corpus");
+  ASSERT_TRUE(other_src.Add(std::make_unique<TfidfOperator>(), {0}).ok());
+  ops::KMeansOptions kopts;
+  kopts.k = 4;
+  ASSERT_TRUE(
+      other_src.Add(std::make_unique<KMeansOperator>(kopts), {1}).ok());
+  EXPECT_NE(PlanFingerprint(other_src, plan, env), base);
+}
+
+TEST_F(CheckpointTest, ChainCrashAfterEachNodeResumesByteIdentical) {
+  Workflow wf = MakeChain();
+  ExecutionPlan plan = ChainPlan(4);
+
+  // Uninterrupted golden run (checkpointing on, its own directory).
+  auto golden = RunSim(wf, plan, "ckpt-golden");
+  ASSERT_TRUE(golden.ok()) << golden.status();
+  EXPECT_EQ(golden->resumed_nodes, 0u);
+  EXPECT_EQ(golden->replayed_nodes, 2u);
+  const std::string golden_csv = ReadOrDie(KMeansOperator::kCsvPath);
+  const std::string golden_arff = ReadOrDie(TfidfOperator::kArffPath);
+  ASSERT_FALSE(golden_csv.empty());
+
+  struct Expect {
+    size_t resumed, replayed;
+  };
+  // k=0: source only — nothing checkpointed, full replay.
+  // k=1: tfidf checkpointed — resume restores it, replays kmeans.
+  // k=2: everything checkpointed — resume replays nothing.
+  const Expect expect[] = {{0, 2}, {1, 1}, {1, 0}};
+
+  for (int k = 0; k < 3; ++k) {
+    SCOPED_TRACE("crash after node " + std::to_string(k));
+    const std::string ckpt_dir = "ckpt-chain-" + std::to_string(k);
+
+    auto crashed = RunSim(wf, plan, ckpt_dir, k);
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_EQ(crashed.status().code(), StatusCode::kInternal)
+        << crashed.status();
+
+    auto resumed = RunSim(wf, plan, ckpt_dir);
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    EXPECT_EQ(resumed->resumed_nodes, expect[k].resumed);
+    EXPECT_EQ(resumed->replayed_nodes, expect[k].replayed);
+    EXPECT_TRUE(resumed->checkpoint_rejections.empty());
+    EXPECT_EQ(ReadOrDie(KMeansOperator::kCsvPath), golden_csv);
+    EXPECT_EQ(ReadOrDie(TfidfOperator::kArffPath), golden_arff);
+  }
+}
+
+TEST_F(CheckpointTest, DiamondCrashAfterEachNodeResumesByteIdentical) {
+  Workflow wf = MakeDiamond();
+  ExecutionPlan plan = DiamondPlan(4);
+
+  auto golden = RunSim(wf, plan, "ckpt-dgold");
+  ASSERT_TRUE(golden.ok()) << golden.status();
+  const std::string golden_clusters = ReadOrDie(KMeansOperator::kCsvPath);
+  const std::string golden_terms = ReadOrDie(TopTermsOperator::kCsvPath);
+
+  struct Expect {
+    size_t resumed, replayed;
+  };
+  // The fused TF/IDF edge (node 1) is never checkpointed, so crashes at or
+  // before it replay the full dag. After the materialized kmeans (node 2),
+  // resume restores it but must re-derive the fused edge for top-terms.
+  // After node 3, both sinks restore and nothing replays — not even the
+  // fused TF/IDF, whose consumers are all covered.
+  const Expect expect[] = {{0, 3}, {0, 3}, {1, 2}, {2, 0}};
+
+  for (int k = 0; k < 4; ++k) {
+    SCOPED_TRACE("crash after node " + std::to_string(k));
+    const std::string ckpt_dir = "ckpt-diamond-" + std::to_string(k);
+
+    auto crashed = RunSim(wf, plan, ckpt_dir, k);
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_EQ(crashed.status().code(), StatusCode::kInternal);
+
+    auto resumed = RunSim(wf, plan, ckpt_dir);
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    EXPECT_EQ(resumed->resumed_nodes, expect[k].resumed);
+    EXPECT_EQ(resumed->replayed_nodes, expect[k].replayed);
+    EXPECT_EQ(ReadOrDie(KMeansOperator::kCsvPath), golden_clusters);
+    EXPECT_EQ(ReadOrDie(TopTermsOperator::kCsvPath), golden_terms);
+  }
+}
+
+TEST_F(CheckpointTest, ResumeAcrossWorkerCountsIsByteIdentical) {
+  // Crash at 8 workers, resume at 1: the fingerprint excludes the worker
+  // count, so the checkpoint is accepted and the bytes still match.
+  Workflow wf = MakeChain();
+
+  auto golden = RunSim(wf, ChainPlan(4), "ckpt-wgold", -1, 4);
+  ASSERT_TRUE(golden.ok()) << golden.status();
+  const std::string golden_csv = ReadOrDie(KMeansOperator::kCsvPath);
+
+  auto crashed = RunSim(wf, ChainPlan(8), "ckpt-w", 1, 8);
+  ASSERT_FALSE(crashed.ok());
+  auto resumed = RunSim(wf, ChainPlan(1), "ckpt-w", -1, 1);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->resumed_nodes, 1u);
+  EXPECT_EQ(resumed->replayed_nodes, 1u);
+  EXPECT_EQ(ReadOrDie(KMeansOperator::kCsvPath), golden_csv);
+}
+
+TEST_F(CheckpointTest, CrashResumeUnderThreadPoolExecutor) {
+  // Same protocol on real threads (and the TSan twin of this binary).
+  Workflow wf = MakeChain();
+  ExecutionPlan plan = ChainPlan(4);
+
+  parallel::ThreadPoolExecutor golden_exec(4);
+  auto golden = RunWorkflow(wf, plan, Env(&golden_exec, "ckpt-tgold"));
+  ASSERT_TRUE(golden.ok()) << golden.status();
+  const std::string golden_csv = ReadOrDie(KMeansOperator::kCsvPath);
+
+  parallel::ThreadPoolExecutor crash_exec(4);
+  auto crashed = RunWorkflow(wf, plan, Env(&crash_exec, "ckpt-t", 1));
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_EQ(crashed.status().code(), StatusCode::kInternal);
+
+  parallel::ThreadPoolExecutor resume_exec(4);
+  auto resumed = RunWorkflow(wf, plan, Env(&resume_exec, "ckpt-t"));
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->resumed_nodes, 1u);
+  EXPECT_EQ(ReadOrDie(KMeansOperator::kCsvPath), golden_csv);
+}
+
+TEST_F(CheckpointTest, TruncatedManifestRejectedWithFallback) {
+  Workflow wf = MakeChain();
+  ExecutionPlan plan = ChainPlan(4);
+  const std::string ckpt_dir = "ckpt-trunc";
+
+  auto golden = RunSim(wf, plan, "ckpt-tgold2");
+  ASSERT_TRUE(golden.ok());
+  const std::string golden_csv = ReadOrDie(KMeansOperator::kCsvPath);
+
+  auto crashed = RunSim(wf, plan, ckpt_dir, 1);
+  ASSERT_FALSE(crashed.ok());
+
+  // Truncate the tfidf manifest mid-record.
+  const std::string manifest_path = CheckpointManifestPath(ckpt_dir, 1);
+  auto manifest = scratch_disk_->ReadFile(manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(scratch_disk_
+                  ->WriteFile(manifest_path,
+                              manifest->substr(0, manifest->size() / 2))
+                  .ok());
+
+  auto resumed = RunSim(wf, plan, ckpt_dir);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->resumed_nodes, 0u);
+  EXPECT_EQ(resumed->replayed_nodes, 2u);  // full re-execution
+  ASSERT_EQ(resumed->checkpoint_rejections.size(), 1u);
+  EXPECT_NE(resumed->checkpoint_rejections[0].find("node 1"),
+            std::string::npos);
+  EXPECT_EQ(ReadOrDie(KMeansOperator::kCsvPath), golden_csv);
+}
+
+TEST_F(CheckpointTest, CorruptedArtifactRejectedByCrc) {
+  Workflow wf = MakeChain();
+  ExecutionPlan plan = ChainPlan(4);
+  const std::string ckpt_dir = "ckpt-crc";
+
+  auto golden = RunSim(wf, plan, "ckpt-cgold");
+  ASSERT_TRUE(golden.ok());
+  const std::string golden_csv = ReadOrDie(KMeansOperator::kCsvPath);
+
+  auto crashed = RunSim(wf, plan, ckpt_dir, 1);
+  ASSERT_FALSE(crashed.ok());
+
+  // Flip bytes in the ARFF artifact without changing its size: only the
+  // CRC can catch this.
+  auto arff = scratch_disk_->ReadFile(TfidfOperator::kArffPath);
+  ASSERT_TRUE(arff.ok());
+  std::string tampered = *arff;
+  tampered[tampered.size() / 2] ^= 0x5A;
+  ASSERT_TRUE(
+      scratch_disk_->WriteFile(TfidfOperator::kArffPath, tampered).ok());
+
+  auto resumed = RunSim(wf, plan, ckpt_dir);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->resumed_nodes, 0u);
+  EXPECT_EQ(resumed->replayed_nodes, 2u);
+  ASSERT_EQ(resumed->checkpoint_rejections.size(), 1u);
+  EXPECT_NE(resumed->checkpoint_rejections[0].find("CRC-32"),
+            std::string::npos);
+  EXPECT_EQ(ReadOrDie(KMeansOperator::kCsvPath), golden_csv);
+}
+
+TEST_F(CheckpointTest, StaleFingerprintRejected) {
+  Workflow wf = MakeChain();
+  ExecutionPlan plan = ChainPlan(4);
+  const std::string ckpt_dir = "ckpt-stale";
+
+  auto crashed = RunSim(wf, plan, ckpt_dir, 1);
+  ASSERT_FALSE(crashed.ok());
+
+  // Resume under a *different environment* (stemming changes every
+  // artifact): the old checkpoints must be rejected as stale, not loaded.
+  parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+  RunEnv env = Env(&exec, ckpt_dir);
+  env.stem_tokens = true;
+  auto resumed = RunWorkflow(wf, plan, env);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->resumed_nodes, 0u);
+  EXPECT_EQ(resumed->replayed_nodes, 2u);
+  ASSERT_EQ(resumed->checkpoint_rejections.size(), 1u);
+  EXPECT_NE(resumed->checkpoint_rejections[0].find("fingerprint mismatch"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointTest, MissingArtifactRejected) {
+  Workflow wf = MakeChain();
+  ExecutionPlan plan = ChainPlan(4);
+  const std::string ckpt_dir = "ckpt-missing";
+
+  auto crashed = RunSim(wf, plan, ckpt_dir, 1);
+  ASSERT_FALSE(crashed.ok());
+  ASSERT_TRUE(scratch_disk_->Remove(TfidfOperator::kArffPath).ok());
+
+  auto resumed = RunSim(wf, plan, ckpt_dir);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->resumed_nodes, 0u);
+  ASSERT_EQ(resumed->checkpoint_rejections.size(), 1u);
+  EXPECT_NE(resumed->checkpoint_rejections[0].find("missing"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointTest, LaterCheckpointSurvivesEarlierRejection) {
+  // Corrupt only the *tfidf* artifact after a complete run: the kmeans
+  // checkpoint is still valid and is the only one a resume needs — the
+  // damaged upstream edge is not re-read at all.
+  Workflow wf = MakeChain();
+  ExecutionPlan plan = ChainPlan(4);
+  const std::string ckpt_dir = "ckpt-partial";
+
+  auto golden = RunSim(wf, plan, ckpt_dir);
+  ASSERT_TRUE(golden.ok());
+  const std::string golden_csv = ReadOrDie(KMeansOperator::kCsvPath);
+
+  auto arff = scratch_disk_->ReadFile(TfidfOperator::kArffPath);
+  ASSERT_TRUE(arff.ok());
+  std::string tampered = *arff;
+  tampered[0] ^= 0xFF;
+  ASSERT_TRUE(
+      scratch_disk_->WriteFile(TfidfOperator::kArffPath, tampered).ok());
+
+  auto resumed = RunSim(wf, plan, ckpt_dir);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->resumed_nodes, 1u);   // kmeans restored
+  EXPECT_EQ(resumed->replayed_nodes, 0u);  // nothing re-ran
+  ASSERT_EQ(resumed->checkpoint_rejections.size(), 1u);
+  EXPECT_EQ(ReadOrDie(KMeansOperator::kCsvPath), golden_csv);
+}
+
+TEST_F(CheckpointTest, RehydratedShardedArffFeedsKMeans) {
+  // A rehydrated ArffRef can point at a *sharded* dataset (manifest + N
+  // shard files); the K-means operator dispatches to the parallel sharded
+  // reader when <path>.manifest exists, and to the serial single-file
+  // reader otherwise. Both must produce the same clustering.
+  parallel::SimulatedExecutor exec(4, parallel::MachineModel::Default());
+  corpus_disk_->set_executor(&exec);
+  scratch_disk_->set_executor(&exec);
+
+  // Build a TF/IDF matrix in memory, then write it both ways.
+  ops::ExecContext ctx;
+  ctx.executor = &exec;
+  ctx.corpus_disk = corpus_disk_.get();
+  ctx.scratch_disk = scratch_disk_.get();
+  auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "ckpt.pack");
+  ASSERT_TRUE(reader.ok());
+  auto tfidf = ops::TfidfInMemory(ctx, *reader);
+  ASSERT_TRUE(tfidf.ok());
+  ASSERT_TRUE(io::WriteShardedArff(scratch_disk_.get(), &exec, "sharded.arff",
+                                   "tfidf", tfidf->terms, tfidf->matrix, 4)
+                  .ok());
+  ASSERT_TRUE(scratch_disk_->Exists("sharded.arff.manifest"));
+  ASSERT_TRUE(ops::TfidfToArff(ctx, *reader, "single.arff").ok());
+
+  auto cluster_from = [&](const std::string& path) {
+    Workflow wf;
+    int src = wf.AddSource(Dataset(ArffRef{path}), "arff");
+    ops::KMeansOptions kopts;
+    kopts.k = 4;
+    kopts.max_iterations = 6;
+    kopts.stop_on_convergence = false;
+    auto kmeans = wf.Add(std::make_unique<KMeansOperator>(kopts), {src});
+    EXPECT_TRUE(kmeans.ok());
+    ExecutionPlan plan;
+    plan.workers = 4;
+    plan.nodes.resize(wf.size());
+    plan.nodes[1].output_boundary = Boundary::kFused;
+    parallel::SimulatedExecutor run_exec(4,
+                                         parallel::MachineModel::Default());
+    auto result = RunWorkflow(wf, plan, Env(&run_exec, ""));
+    EXPECT_TRUE(result.ok()) << result.status();
+    const auto* clustering = std::get_if<Clustering>(&result->outputs[0]);
+    EXPECT_NE(clustering, nullptr);
+    return clustering != nullptr ? clustering->kmeans.assignment
+                                 : std::vector<uint32_t>();
+  };
+
+  auto sharded = cluster_from("sharded.arff");
+  auto single = cluster_from("single.arff");
+  ASSERT_FALSE(sharded.empty());
+  EXPECT_EQ(sharded, single);
+}
+
+TEST_F(CheckpointTest, CheckpointingOffLeavesNoManifests) {
+  Workflow wf = MakeChain();
+  auto result = RunSim(wf, ChainPlan(4), "");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->resumed_nodes, 0u);
+  EXPECT_EQ(result->replayed_nodes, 2u);
+  EXPECT_FALSE(scratch_disk_->Exists(CheckpointManifestPath("", 1)));
+  EXPECT_FALSE(scratch_disk_->Exists("node-1.ckpt"));
+}
+
+TEST_F(CheckpointTest, OptimizerPlacesCheckpointUnderFailureRisk) {
+  // With a failure probability the optimizer materializes the interior
+  // TF/IDF edge (its replay cost dwarfs the commit cost); at zero it
+  // keeps the edge fused — rule 3 untouched.
+  // High-repetition workload: replaying the word count (every token an
+  // insert) costs far more than the modest serial ARFF pass + CRC commit,
+  // so insurance is worth buying once failure risk is on the table.
+  Workflow wf = MakeChain();
+  WorkloadStats stats;
+  stats.documents = 50000;
+  stats.total_tokens = 200000000;
+  stats.distinct_words = 50000;
+  stats.avg_distinct_per_doc = 20.0;
+  CostModel model(parallel::MachineModel::Default(), stats);
+
+  OptimizerOptions opts;
+  opts.workers = 16;
+  ExecutionPlan no_risk = OptimizeWorkflow(wf, model, opts);
+  EXPECT_EQ(no_risk.nodes[1].output_boundary, Boundary::kFused);
+
+  opts.failure_probability = 0.5;
+  ExecutionPlan risky = OptimizeWorkflow(wf, model, opts);
+  EXPECT_EQ(risky.nodes[1].output_boundary, Boundary::kMaterialized);
+  // Sinks stay materialized regardless.
+  EXPECT_EQ(risky.nodes[2].output_boundary, Boundary::kMaterialized);
+
+  // The commit cost itself is monotone in artifact size and nonzero.
+  EXPECT_GT(model.CheckpointCommitSeconds(0), 0.0);
+  EXPECT_GT(model.CheckpointCommitSeconds(model.EstimateArtifactBytes()),
+            model.CheckpointCommitSeconds(1));
+}
+
+}  // namespace
+}  // namespace hpa::core

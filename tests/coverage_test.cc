@@ -2,12 +2,17 @@
 // module-focused suites.
 
 #include <memory>
+#include <string>
+#include <variant>
 
 #include <gtest/gtest.h>
 
 #include "common/string_util.h"
+#include "core/checkpoint.h"
+#include "core/cost_model.h"
 #include "core/standard_ops.h"
 #include "core/workflow.h"
+#include "io/file_io.h"
 #include "io/sim_disk.h"
 #include "parallel/executor.h"
 #include "parallel/simulated_executor.h"
@@ -93,6 +98,80 @@ TEST(OperatorPreconditionTest, MissingDisksReported) {
   EXPECT_EQ(
       kmeans.Run(ctx, {&arff}, core::Boundary::kFused).status().code(),
       StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointApiTest, ManifestPathAndMissingLoad) {
+  EXPECT_EQ(core::CheckpointManifestPath("ckpt", 7), "ckpt/node-7.ckpt");
+  EXPECT_EQ(core::CheckpointManifestPath("ckpt/", 7), "ckpt/node-7.ckpt");
+  EXPECT_EQ(core::CheckpointManifestPath("", 0), "node-0.ckpt");
+
+  // A missing manifest is a fresh run, not a rejection: invalid with an
+  // empty reason, so the executor logs nothing.
+  auto dir = io::MakeTempDir("hpa_coverage_ckpt_");
+  ASSERT_TRUE(dir.ok());
+  io::SimDisk disk(io::DiskOptions::LocalHdd(), *dir, nullptr);
+  core::CheckpointLoadResult load =
+      core::LoadNodeCheckpoint(&disk, "ckpt", 3, 0xABCDu);
+  EXPECT_FALSE(load.valid);
+  EXPECT_TRUE(load.reject_reason.empty());
+  io::RemoveDirRecursive(*dir);
+}
+
+TEST(CheckpointApiTest, ParseManifestRejectsBadFields) {
+  using core::ParseManifest;
+  const std::string head = "hpa-checkpoint v1\n";
+  // Every required field missing but well-formed otherwise.
+  EXPECT_EQ(ParseManifest(head + "end\n").status().code(),
+            StatusCode::kCorruption);
+  // Malformed numbers and unknown keys.
+  EXPECT_EQ(ParseManifest(head + "fingerprint zz\nend\n").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseManifest(head + "node -x\nend\n").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseManifest(head + "crc32 123456789\nend\n").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseManifest(head + "mystery 1\nend\n").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseManifest(head + "quarantine 1\nend\n").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseManifest(head + "noseparator\nend\n").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CheckpointApiTest, RehydrateRejectsNonFileKinds) {
+  core::CheckpointManifest m;
+  m.dataset_kind = "arff-ref";
+  m.artifact_path = "a.arff";
+  auto arff = core::RehydrateDataset(m);
+  ASSERT_TRUE(arff.ok());
+  EXPECT_TRUE(std::holds_alternative<core::ArffRef>(*arff));
+
+  m.dataset_kind = "csv-ref";
+  m.artifact_path = "c.csv";
+  auto csv = core::RehydrateDataset(m);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_TRUE(std::holds_alternative<core::CsvRef>(*csv));
+
+  m.dataset_kind = "tfidf";  // in-memory kinds have no artifact to load
+  EXPECT_EQ(core::RehydrateDataset(m).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CostModelCheckpointTest, CommitCostScalesWithArtifact) {
+  core::WorkloadStats stats;
+  stats.documents = 10000;
+  stats.total_tokens = 2000000;
+  stats.distinct_words = 40000;
+  stats.avg_distinct_per_doc = 50.0;
+  core::CostModel model(parallel::MachineModel::Default(), stats);
+
+  const uint64_t bytes = model.EstimateArtifactBytes();
+  // ~14 bytes per stored score + ~24 per attribute line.
+  EXPECT_EQ(bytes, static_cast<uint64_t>(10000 * 50.0 * 14.0 + 40000 * 24.0));
+  // Commit = CRC read-back at scratch bandwidth + a constant seek floor.
+  EXPECT_GT(model.CheckpointCommitSeconds(0), 0.0);
+  EXPECT_GT(model.CheckpointCommitSeconds(bytes),
+            model.CheckpointCommitSeconds(bytes / 2));
 }
 
 TEST(SimulatedExecutorStatsTest, TotalsAccumulateByCategory) {

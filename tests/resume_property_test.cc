@@ -1,0 +1,260 @@
+// Property test for checkpoint/restart under fault injection: everything a
+// resumed run reports — output bytes, resumed/replayed counters, and the
+// quarantine list — must be invariant to the worker count, because both
+// the fault schedule (pure function of seed/request/attempt) and the plan
+// fingerprint (workers excluded by design) are. The sweep crashes at one
+// worker count and resumes at another to prove checkpoints are portable
+// across parallelism levels, not just across process restarts.
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/standard_ops.h"
+#include "core/workflow_executor.h"
+#include "io/fault_injection.h"
+#include "io/file_io.h"
+#include "ops/kmeans.h"
+#include "parallel/simulated_executor.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
+
+namespace hpa::core {
+namespace {
+
+/// Worker-count-comparable digest of one crash+resume cycle. Two runs of
+/// the same seed at different worker counts must produce equal records —
+/// including the failure case: a deterministic abort (e.g. a permanently
+/// unreadable corpus footer) must abort identically everywhere.
+struct CycleRecord {
+  StatusCode crash_code = StatusCode::kOk;
+  bool resume_ok = false;
+  StatusCode resume_code = StatusCode::kOk;
+  size_t resumed_nodes = 0;
+  size_t replayed_nodes = 0;
+  std::string clusters_csv;
+  std::string tfidf_arff;
+  /// (id, attempts, cause code) per quarantined item, sorted by id; cause
+  /// messages are excluded because restored entries summarize them.
+  std::vector<std::tuple<std::string, int, StatusCode>> quarantine;
+
+  bool operator==(const CycleRecord& o) const {
+    return crash_code == o.crash_code && resume_ok == o.resume_ok &&
+           resume_code == o.resume_code && resumed_nodes == o.resumed_nodes &&
+           replayed_nodes == o.replayed_nodes &&
+           clusters_csv == o.clusters_csv && tfidf_arff == o.tfidf_arff &&
+           quarantine == o.quarantine;
+  }
+};
+
+class ResumePropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_resume_property_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    corpus_disk_ = std::make_unique<io::SimDisk>(
+        io::DiskOptions::CorpusStore(), dir_, nullptr);
+    scratch_disk_ = std::make_unique<io::SimDisk>(io::DiskOptions::LocalHdd(),
+                                                  dir_, nullptr);
+
+    text::CorpusProfile profile;
+    profile.name = "prop";
+    profile.num_documents = 90;
+    profile.target_bytes = 50000;
+    profile.target_distinct_words = 600;
+    text::Corpus corpus = text::SynthCorpusGenerator(profile).Generate();
+    ASSERT_TRUE(
+        text::WriteCorpusPacked(corpus, corpus_disk_.get(), "prop.pack").ok());
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  Workflow MakeChain() {
+    Workflow wf;
+    int src = wf.AddSource(Dataset(CorpusRef{"prop.pack"}), "corpus");
+    auto tfidf = wf.Add(std::make_unique<TfidfOperator>(), {src});
+    EXPECT_TRUE(tfidf.ok());
+    ops::KMeansOptions kopts;
+    kopts.k = 3;
+    kopts.max_iterations = 5;
+    kopts.stop_on_convergence = false;
+    auto kmeans = wf.Add(std::make_unique<KMeansOperator>(kopts), {*tfidf});
+    EXPECT_TRUE(kmeans.ok());
+    return wf;
+  }
+
+  ExecutionPlan ChainPlan(int workers) {
+    ExecutionPlan plan;
+    plan.workers = workers;
+    plan.nodes.resize(3);
+    plan.nodes[1].output_boundary = Boundary::kMaterialized;
+    plan.nodes[2].output_boundary = Boundary::kMaterialized;
+    return plan;
+  }
+
+  StatusOr<WorkflowRunResult> Run(const Workflow& wf, int workers,
+                                  const std::string& ckpt_dir,
+                                  int crash_after) {
+    parallel::SimulatedExecutor exec(workers,
+                                     parallel::MachineModel::Default());
+    corpus_disk_->set_executor(&exec);
+    scratch_disk_->set_executor(&exec);
+    RunEnv env;
+    env.executor = &exec;
+    env.corpus_disk = corpus_disk_.get();
+    env.scratch_disk = scratch_disk_.get();
+    env.fault_policy = FaultPolicy::kRetryThenSkip;
+    env.checkpoint_dir = ckpt_dir;
+    env.crash_after_node = crash_after;
+    auto result = RunWorkflow(wf, ChainPlan(workers), env);
+    // The executor dies with this frame; detach it so later direct disk
+    // reads don't charge a dangling clock.
+    corpus_disk_->set_executor(nullptr);
+    scratch_disk_->set_executor(nullptr);
+    return result;
+  }
+
+  /// One crash-at-`crash_workers` / resume-at-`resume_workers` cycle under
+  /// fault seed `seed`, in its own checkpoint directory.
+  CycleRecord RunCycle(uint64_t seed, int crash_workers, int resume_workers,
+                       int crash_after, const std::string& ckpt_dir) {
+    io::FaultProfile profile;
+    profile.transient_rate = 0.30;  // recovered by retries (priced, benign)
+    profile.permanent_rate = 0.02;  // quarantines ~2 docs per run
+    profile.seed = seed;
+    io::FaultInjector injector(profile);
+    corpus_disk_->set_fault_injector(&injector);
+    corpus_disk_->set_retry_policy(RetryPolicy{});
+    scratch_disk_->set_retry_policy(RetryPolicy{});
+
+    Workflow wf = MakeChain();
+    CycleRecord rec;
+    auto crashed = Run(wf, crash_workers, ckpt_dir, crash_after);
+    rec.crash_code = crashed.status().code();
+
+    auto resumed = Run(wf, resume_workers, ckpt_dir, -1);
+    rec.resume_ok = resumed.ok();
+    rec.resume_code = resumed.status().code();
+    if (resumed.ok()) {
+      rec.resumed_nodes = resumed->resumed_nodes;
+      rec.replayed_nodes = resumed->replayed_nodes;
+      QuarantineList q = std::move(resumed->quarantine);
+      q.SortById();
+      for (const QuarantineEntry& e : q.entries) {
+        rec.quarantine.emplace_back(e.id, e.attempts, e.cause.code());
+      }
+      auto csv = scratch_disk_->ReadFile(KMeansOperator::kCsvPath);
+      auto arff = scratch_disk_->ReadFile(TfidfOperator::kArffPath);
+      EXPECT_TRUE(csv.ok());
+      EXPECT_TRUE(arff.ok());
+      if (csv.ok()) rec.clusters_csv = std::move(*csv);
+      if (arff.ok()) rec.tfidf_arff = std::move(*arff);
+    }
+
+    corpus_disk_->set_fault_injector(nullptr);
+    corpus_disk_->set_retry_policy(RetryPolicy::NoRetry());
+    scratch_disk_->set_retry_policy(RetryPolicy::NoRetry());
+    return rec;
+  }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> corpus_disk_;
+  std::unique_ptr<io::SimDisk> scratch_disk_;
+};
+
+constexpr int kWorkerCounts[] = {1, 2, 4, 8};
+
+TEST_F(ResumePropertyTest, CycleInvariantToWorkerCount) {
+  // Crash after the TF/IDF node and resume, at every worker count, under
+  // several fault seeds. Each seed's record at w>1 must equal its w=1
+  // record: same outputs, same counters, same quarantine — or the same
+  // deterministic failure.
+  size_t completed = 0, quarantined = 0;
+  for (uint64_t seed : {3u, 5u, 11u}) {
+    CycleRecord reference;
+    for (size_t wi = 0; wi < std::size(kWorkerCounts); ++wi) {
+      const int w = kWorkerCounts[wi];
+      SCOPED_TRACE("seed " + std::to_string(seed) + " workers " +
+                   std::to_string(w));
+      std::string ckpt_dir = "prop-s" + std::to_string(seed) + "-w" +
+                             std::to_string(w);
+      CycleRecord rec = RunCycle(seed, w, w, /*crash_after=*/1, ckpt_dir);
+      if (wi == 0) {
+        reference = rec;
+      } else {
+        EXPECT_TRUE(rec == reference);
+      }
+    }
+    if (reference.resume_ok) {
+      ++completed;
+      if (!reference.quarantine.empty()) ++quarantined;
+      // A valid resume restored TF/IDF from its checkpoint (the crash run
+      // committed it before aborting) and only replayed K-means.
+      EXPECT_EQ(reference.resumed_nodes, 1u);
+      EXPECT_EQ(reference.replayed_nodes, 1u);
+    } else {
+      // A permanently unreadable critical read (e.g. the corpus footer)
+      // aborts before any checkpoint commits: same code both runs.
+      EXPECT_EQ(reference.crash_code, reference.resume_code);
+    }
+  }
+  // The property must not hold vacuously: the chosen seeds/rates have to
+  // exercise both a completed resume and a nonempty quarantine.
+  EXPECT_GE(completed, 1u);
+  EXPECT_GE(quarantined, 1u);
+}
+
+TEST_F(ResumePropertyTest, CrashAtEightWorkersResumesAtAnyWidth) {
+  // Cross-parallelism restart: the manifest written by an 8-worker run is
+  // accepted by 1/2/4/8-worker resumes (the fingerprint excludes worker
+  // count), and every resume converges on identical bytes and quarantine.
+  CycleRecord reference;
+  for (size_t wi = 0; wi < std::size(kWorkerCounts); ++wi) {
+    const int w = kWorkerCounts[wi];
+    SCOPED_TRACE("resume workers " + std::to_string(w));
+    std::string ckpt_dir = "prop-x8-to-" + std::to_string(w);
+    CycleRecord rec = RunCycle(/*seed=*/3u, /*crash_workers=*/8, w,
+                               /*crash_after=*/1, ckpt_dir);
+    if (wi == 0) {
+      reference = rec;
+    } else {
+      EXPECT_TRUE(rec == reference);
+    }
+  }
+  ASSERT_TRUE(reference.resume_ok);
+  EXPECT_EQ(reference.resumed_nodes, 1u);
+  EXPECT_EQ(reference.replayed_nodes, 1u);
+  EXPECT_FALSE(reference.clusters_csv.empty());
+}
+
+TEST_F(ResumePropertyTest, CrashPointSweepUnderFaults) {
+  // Sweep the crash point across the whole chain at a fixed seed: every
+  // resume must land on the same output bytes and quarantine regardless of
+  // where the crash hit (earlier crashes just replay more).
+  CycleRecord reference;
+  bool have_reference = false;
+  for (int crash_after = 0; crash_after < 3; ++crash_after) {
+    SCOPED_TRACE("crash after node " + std::to_string(crash_after));
+    std::string ckpt_dir = "prop-cp" + std::to_string(crash_after);
+    CycleRecord rec =
+        RunCycle(/*seed=*/3u, 4, 4, crash_after, ckpt_dir);
+    ASSERT_TRUE(rec.resume_ok) << static_cast<int>(rec.resume_code);
+    if (!have_reference) {
+      reference = rec;
+      have_reference = true;
+      continue;
+    }
+    // Counters legitimately differ by crash point; bytes and quarantine
+    // must not.
+    EXPECT_EQ(rec.clusters_csv, reference.clusters_csv);
+    EXPECT_EQ(rec.tfidf_arff, reference.tfidf_arff);
+    EXPECT_TRUE(rec.quarantine == reference.quarantine);
+  }
+}
+
+}  // namespace
+}  // namespace hpa::core
