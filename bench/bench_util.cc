@@ -35,6 +35,11 @@ void AddCommonFlags(FlagSet& flags) {
                    "fold reductions serially on one worker (the paper-era "
                    "structure) instead of the parallel sharded/tree merges; "
                    "results are byte-identical either way");
+  flags.DefineBool("flat-parallelism", false,
+                   "keep every parallel region flat (barrier-per-stride "
+                   "tree reductions, serial vocabulary sort) instead of "
+                   "the nested work-stealing spawn paths; results are "
+                   "byte-identical either way");
   flags.DefineDouble("fault-rate", 0.0,
                      "injected transient I/O error probability per read "
                      "request (0 disables fault injection)");

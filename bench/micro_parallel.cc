@@ -42,8 +42,42 @@ void BM_ThreadPoolParallelFor(benchmark::State& state) {
     benchmark::DoNotOptimize(sum.load());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  const SchedulerStats stats = exec.scheduler_stats();
+  state.counters["spawned"] = static_cast<double>(stats.tasks_spawned);
+  state.counters["steals"] = static_cast<double>(stats.steals);
 }
 BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ThreadPoolNestedParallelFor(benchmark::State& state) {
+  // Fork/join dispatch cost: every outer chunk spawns an inner region, so
+  // this prices the nested-region machinery (deque pushes, help-first
+  // joins) rather than the loop body. Scheduler counters are reported so
+  // regressions in stealing behaviour show up next to the timing.
+  ThreadPoolExecutor exec(static_cast<int>(state.range(0)));
+  const size_t outer = 64;
+  const size_t inner = 1 << 12;
+  for (auto _ : state) {
+    std::atomic<uint64_t> sum{0};
+    exec.ParallelFor(0, outer, 1, WorkHint{}, [&](int, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        exec.ParallelFor(0, inner, 256, WorkHint{},
+                         [&](int, size_t cb, size_t ce) {
+                           uint64_t local = 0;
+                           for (size_t j = cb; j < ce; ++j) local += j;
+                           sum.fetch_add(local, std::memory_order_relaxed);
+                         });
+      }
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(outer * inner));
+  const SchedulerStats stats = exec.scheduler_stats();
+  state.counters["spawned"] = static_cast<double>(stats.tasks_spawned);
+  state.counters["steals"] = static_cast<double>(stats.steals);
+  state.counters["max_depth"] = static_cast<double>(stats.max_task_depth);
+}
+BENCHMARK(BM_ThreadPoolNestedParallelFor)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SimulatedExecutorBookkeeping(benchmark::State& state) {
   // Chunks of trivial work: measures the scheduler+timer overhead per

@@ -76,6 +76,14 @@ struct ExecContext {
   /// byte-identical either way; only the merge schedule changes.
   bool serial_merge = false;
 
+  /// Ablation escape hatch (--flat-parallelism in the harnesses): keep
+  /// every parallel region flat — tree reductions barrier between strides
+  /// (ParallelTreeReduceFlat) and AssignTermIds sorts the kept-term
+  /// concatenation serially — instead of the nested work-stealing spawn
+  /// paths. Results are byte-identical either way; only the schedule
+  /// changes. Ignored when serial_merge is set (serial subsumes flat).
+  bool flat_parallelism = false;
+
   /// Phase timer collecting named phase durations in *executor clock*
   /// time (virtual when simulated). May be null.
   PhaseTimer* phases = nullptr;

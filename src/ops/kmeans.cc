@@ -269,26 +269,35 @@ StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
         merge_hint.label = "kmeans-merge";
         merge_hint.bytes_touched =
             static_cast<uint64_t>(k) * dim * 2 * sizeof(double);
-        parallel::ParallelTreeReduce(
-            *ctx.executor, *scratch, parts, merge_hint,
-            [&](Accumulators& into, Accumulators& from, size_t part,
-                size_t nparts) {
-              (void)nparts;
-              const size_t c = part / dim_shards;
-              const size_t ds = part % dim_shards;
-              if (part == 0) {
-                into.changed += from.changed;
-                into.inertia += from.inertia;
-              }
-              if (ds == 0) into.counts[c] += from.counts[c];
-              const uint32_t lo = static_cast<uint32_t>(
-                  static_cast<size_t>(dim) * ds / dim_shards);
-              const uint32_t hi = static_cast<uint32_t>(
-                  static_cast<size_t>(dim) * (ds + 1) / dim_shards);
-              auto& t = into.sums[c];
-              const auto& s = from.sums[c];
-              for (uint32_t d = lo; d < hi; ++d) t[d] += s[d];
-            });
+        auto combine = [&](Accumulators& into, Accumulators& from,
+                           size_t part, size_t nparts) {
+          (void)nparts;
+          const size_t c = part / dim_shards;
+          const size_t ds = part % dim_shards;
+          if (part == 0) {
+            into.changed += from.changed;
+            into.inertia += from.inertia;
+          }
+          if (ds == 0) into.counts[c] += from.counts[c];
+          const uint32_t lo = static_cast<uint32_t>(
+              static_cast<size_t>(dim) * ds / dim_shards);
+          const uint32_t hi = static_cast<uint32_t>(
+              static_cast<size_t>(dim) * (ds + 1) / dim_shards);
+          auto& t = into.sums[c];
+          const auto& s = from.sums[c];
+          for (uint32_t d = lo; d < hi; ++d) t[d] += s[d];
+        };
+        // Nested spawn tree by default: a pair combine starts the moment
+        // its two inputs are ready. --flat-parallelism keeps the
+        // barrier-per-stride schedule; both run the same combines in the
+        // same per-slot order, so the centroids are bit-identical.
+        if (ctx.flat_parallelism) {
+          parallel::ParallelTreeReduceFlat(*ctx.executor, *scratch, parts,
+                                           merge_hint, combine);
+        } else {
+          parallel::ParallelTreeReduce(*ctx.executor, *scratch, parts,
+                                       merge_hint, combine);
+        }
       }
 
       // Serial centroid finalize from the fully merged accumulator.

@@ -84,17 +84,58 @@ namespace tfidf_internal {
 /// Sentinel id for terms pruned by min_df/max_df_ratio.
 inline constexpr uint32_t kPrunedTermId = 0xFFFFFFFFu;
 
+/// Recursive pairwise merge of per-shard *sorted* kept-term lists into
+/// `lists[lo]`, as a nested fork/join spawn tree: the two halves merge as
+/// sibling tasks, then their roots merge pairwise. Hash shards hold
+/// disjoint keys, so the result is exactly the sorted global vocabulary the
+/// serial concat+sort produces. Replaces the O(V log V) serial sort on the
+/// term-id critical path with O(V) merges of depth log(shards).
+inline void MergeSortedTermLists(parallel::Executor& exec,
+                                 std::vector<std::vector<std::string>>& lists,
+                                 size_t lo, size_t n) {
+  if (n <= 1) return;
+  size_t split = 1;
+  while (split * 2 < n) split *= 2;
+  if (split > 1 || n - split > 1) {
+    parallel::WorkHint hint;
+    hint.label = "term-ids-merge";
+    exec.ParallelFor(0, 2, 1, hint, [&](int, size_t b, size_t e) {
+      for (size_t side = b; side < e; ++side) {
+        if (side == 0) {
+          MergeSortedTermLists(exec, lists, lo, split);
+        } else {
+          MergeSortedTermLists(exec, lists, lo + split, n - split);
+        }
+      }
+    });
+  }
+  std::vector<std::string>& left = lists[lo];
+  std::vector<std::string>& right = lists[lo + split];
+  std::vector<std::string> merged;
+  merged.reserve(left.size() + right.size());
+  std::merge(std::make_move_iterator(left.begin()),
+             std::make_move_iterator(left.end()),
+             std::make_move_iterator(right.begin()),
+             std::make_move_iterator(right.end()), std::back_inserter(merged));
+  left = std::move(merged);
+  right.clear();
+  right.shrink_to_fit();
+}
+
 /// Assigns term ids in sorted-word order inside `wc.doc_freq` and returns
 /// the sorted list of *kept* terms; pruned terms get kPrunedTermId. If
 /// `dfs` is non-null it receives the document frequency per term id.
 ///
 /// Runs the sharded-parallel vocabulary sweep by default: kept terms are
-/// collected shard-by-shard in parallel, globally sorted once (the
-/// irreducible ordering step), and ids are written back per shard in a
-/// second parallel loop — each shard's task binary-searches the sorted
-/// vocabulary for its own keys, so no two tasks touch the same shard.
-/// `ctx.serial_merge` selects the paper-era single serial pass instead.
-/// Both paths produce identical ids (global lexicographic order).
+/// collected and sorted shard-by-shard in parallel, the sorted per-shard
+/// lists are combined by a nested pairwise-merge spawn tree (work-stealing
+/// executors overlap merges across subtrees), and ids are written back per
+/// shard in a second parallel loop — each shard's task binary-searches the
+/// sorted vocabulary for its own keys, so no two tasks touch the same
+/// shard. `ctx.flat_parallelism` replaces the merge tree with the serial
+/// concat+sort between the two shard loops; `ctx.serial_merge` selects the
+/// paper-era single serial pass. All paths produce identical ids (global
+/// lexicographic order).
 template <containers::DictBackend B>
 std::vector<std::string> AssignTermIds(ExecContext& ctx,
                                        WordCountResult<B>& wc,
@@ -134,8 +175,11 @@ std::vector<std::string> AssignTermIds(ExecContext& ctx,
   }
 
   const size_t num_shards = wc.doc_freq.num_shards();
+  const bool nested = !ctx.flat_parallelism;
 
-  // Pass 1 (parallel over shards): collect each shard's kept terms.
+  // Pass 1 (parallel over shards): collect each shard's kept terms. On the
+  // nested path each shard also sorts its own list inside the task, feeding
+  // the merge tree below.
   std::vector<std::vector<std::string>> shard_terms(num_shards);
   parallel::WorkHint collect_hint;
   collect_hint.label = "term-ids-collect";
@@ -146,23 +190,34 @@ std::vector<std::string> AssignTermIds(ExecContext& ctx,
               [&](const std::string& word, const TermStat& stat) {
                 if (keep(stat)) shard_terms[s].push_back(word);
               });
+          if (nested) std::sort(shard_terms[s].begin(), shard_terms[s].end());
         }
       });
 
-  // Serial ordering step: concatenate and sort the global vocabulary.
-  // Hash partitioning interleaves the key space, so a global sort is
-  // unavoidable; it is O(V log V) over V strings vs the O(entries) sweeps
-  // that now run in parallel.
-  ctx.executor->RunSerial(parallel::WorkHint{0, "term-ids-sort"}, [&] {
-    size_t total = 0;
-    for (const auto& st : shard_terms) total += st.size();
-    terms.reserve(total);
-    for (auto& st : shard_terms) {
-      for (auto& word : st) terms.push_back(std::move(word));
-      st.clear();
-    }
-    std::sort(terms.begin(), terms.end());
-  });
+  if (nested) {
+    // Ordering step, work-stealing form: pairwise sorted-merge spawn tree
+    // over the per-shard lists. Shards hold disjoint keys, so this yields
+    // exactly the global lexicographic order of the serial sort — but the
+    // O(V log V) serial comparison sort is gone from the critical path.
+    tfidf_internal::MergeSortedTermLists(*ctx.executor, shard_terms, 0,
+                                         num_shards);
+    terms = std::move(shard_terms[0]);
+  } else {
+    // Flat ablation path (--flat-parallelism): serial ordering step —
+    // concatenate and sort the global vocabulary between the two shard
+    // loops, the shape the flat executor contract forced. O(V log V) over
+    // V strings on the calling thread.
+    ctx.executor->RunSerial(parallel::WorkHint{0, "term-ids-sort"}, [&] {
+      size_t total = 0;
+      for (const auto& st : shard_terms) total += st.size();
+      terms.reserve(total);
+      for (auto& st : shard_terms) {
+        for (auto& word : st) terms.push_back(std::move(word));
+        st.clear();
+      }
+      std::sort(terms.begin(), terms.end());
+    });
+  }
 
   // Pass 2 (parallel over shards): write ids back. Each task mutates only
   // its own shards, and each kept term's global id comes from a binary

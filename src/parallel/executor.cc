@@ -1,5 +1,6 @@
 #include "parallel/executor.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "parallel/simulated_executor.h"
@@ -15,21 +16,31 @@ double MonotonicSeconds() {
 }
 }  // namespace
 
-SerialExecutor::SerialExecutor() : start_time_(MonotonicSeconds()) {}
+SerialExecutor::SerialExecutor() : start_time_(MonotonicSeconds()) {
+  stats_.per_worker_tasks.assign(1, 0);
+}
 
 void SerialExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
                                  const WorkHint& hint, const RangeBody& body) {
   (void)hint;
   if (begin >= end) return;
   if (grain == 0) grain = AutoGrain(end - begin);
+  stops_.EnterRegion();
+  ++stats_.regions;
+  stats_.max_task_depth = std::max<uint64_t>(stats_.max_task_depth,
+                                             stops_.depth());
   // Chunked execution (not one big call) so that grain-dependent behaviour,
-  // e.g. per-chunk scratch reuse, is identical across executors.
+  // e.g. per-chunk scratch reuse, is identical across executors. Nested
+  // ParallelFor calls from `body` re-enter here and run inline, with their
+  // own stop scope.
   for (size_t b = begin; b < end; b += grain) {
-    if (stop_requested()) break;
+    if (stops_.StopRequested()) break;
     size_t e = b + grain < end ? b + grain : end;
+    ++stats_.tasks_spawned;
+    ++stats_.per_worker_tasks[0];
     body(0, b, e);
   }
-  ResetStop();
+  stops_.ExitRegion();
 }
 
 void SerialExecutor::RunSerial(const WorkHint& hint,
@@ -46,6 +57,8 @@ void SerialExecutor::ChargeIoTime(double seconds, int channels) {
 double SerialExecutor::Now() const {
   return (MonotonicSeconds() - start_time_) + charged_io_;
 }
+
+SchedulerStats SerialExecutor::scheduler_stats() const { return stats_; }
 
 std::unique_ptr<Executor> MakeExecutor(const std::string& kind, int workers) {
   if (workers < 1) workers = 1;

@@ -1,12 +1,12 @@
 #ifndef HPA_PARALLEL_EXECUTOR_H_
 #define HPA_PARALLEL_EXECUTOR_H_
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 /// \file
 /// The fork/join execution abstraction that stands in for the paper's
@@ -14,13 +14,26 @@
 /// this interface, which has three interchangeable implementations:
 ///
 ///  * `SerialExecutor`    — one worker, direct execution.
-///  * `ThreadPoolExecutor`— real OS threads, dynamic self-scheduling.
+///  * `ThreadPoolExecutor`— real OS threads with per-worker work-stealing
+///    deques (Chase-Lev: owner LIFO, thieves FIFO).
 ///  * `SimulatedExecutor` — executes the work for real on the calling
 ///    thread while maintaining a deterministic *virtual clock* that models
 ///    P workers (greedy scheduling + roofline bandwidth + simulated I/O).
 ///
 /// The simulated executor is what reproduces the paper's scalability
 /// figures on hosts with fewer cores than the authors' testbed.
+///
+/// Nested parallelism: `ParallelFor` is legally re-entrant from inside a
+/// chunk body on every executor — a chunk may spawn a sub-region (or a
+/// whole spawn tree), matching Cilkplus where any task can `cilk_spawn`.
+/// The region stack is per logical task, and cancellation is region-scoped:
+/// `RequestStop()` issued inside a nested region cancels that region (and
+/// its descendants) only; the enclosing region keeps running. A stop
+/// requested in an outer region is visible inside all of its nested
+/// regions. The one remaining restriction is that a ThreadPoolExecutor
+/// accepts at most one *root* region at a time from non-pool threads (the
+/// historical "one logical stream" contract); violating it aborts with a
+/// diagnostic instead of the old silent deadlock.
 
 namespace hpa::parallel {
 
@@ -35,9 +48,31 @@ struct WorkHint {
   const char* label = "";
 };
 
+/// Scheduler observability counters, accumulated since executor
+/// construction. Cheap enough to keep always-on; surfaced by
+/// `bench/micro_parallel` and the ablation harness JSON tails.
+struct SchedulerStats {
+  /// Parallel regions entered (root and nested).
+  uint64_t regions = 0;
+
+  /// Tasks (loop chunks, or stealable splits of them) created.
+  uint64_t tasks_spawned = 0;
+
+  /// Tasks executed by a worker other than the one that spawned them. Real
+  /// steals for the thread pool; modelled steals (greedy placement on a
+  /// different virtual worker) for the simulated executor; 0 when serial.
+  uint64_t steals = 0;
+
+  /// Deepest nesting of parallel regions observed (1 = flat).
+  uint64_t max_task_depth = 0;
+
+  /// Chunks executed per worker, index = worker id.
+  std::vector<uint64_t> per_worker_tasks;
+};
+
 /// Abstract fork/join executor. Thread-compatible: one logical stream of
-/// ParallelFor / RunSerial calls at a time (no nested parallel regions),
-/// matching how the paper's operators are structured.
+/// root ParallelFor / RunSerial calls at a time, but chunk bodies may
+/// re-enter ParallelFor to spawn nested regions (see file comment).
 class Executor {
  public:
   /// Chunk body: receives the worker index executing the chunk (in
@@ -50,15 +85,19 @@ class Executor {
   virtual int num_workers() const = 0;
 
   /// Runs `body` over [begin, end) in chunks of at most `grain` items.
-  /// Chunks are distributed across workers by dynamic self-scheduling.
-  /// Blocks until the whole range is processed. `grain == 0` selects an
-  /// automatic grain of roughly 8 chunks per worker.
+  /// Chunk boundaries are grain-aligned and deterministic; chunks are
+  /// distributed across workers by work-stealing self-scheduling. Blocks
+  /// until the whole range is processed. `grain == 0` selects an automatic
+  /// grain of roughly 8 chunks per worker. May be called from inside a
+  /// chunk body (nested region): the calling task's worker helps execute
+  /// the sub-region, and idle workers steal its tasks.
   virtual void ParallelFor(size_t begin, size_t end, size_t grain,
                            const WorkHint& hint, const RangeBody& body) = 0;
 
   /// Runs `fn` on the calling thread as a serial region (it occupies all
   /// workers from the virtual clock's point of view — e.g. the ARFF output
-  /// phase the paper cannot parallelize).
+  /// phase the paper cannot parallelize). Inside a chunk body this is just
+  /// task-local work (it does not stall the other workers).
   virtual void RunSerial(const WorkHint& hint,
                          const std::function<void()>& fn) = 0;
 
@@ -77,6 +116,9 @@ class Executor {
   /// Executor kind, for reports ("serial", "threads", "simulated").
   virtual const char* name() const = 0;
 
+  /// Scheduler counters accumulated since construction.
+  virtual SchedulerStats scheduler_stats() const = 0;
+
   /// Convenience: automatic grain used when callers pass grain == 0.
   size_t AutoGrain(size_t items) const {
     size_t chunks = static_cast<size_t>(num_workers()) * 8;
@@ -84,32 +126,74 @@ class Executor {
     return grain == 0 ? 1 : grain;
   }
 
-  /// Cooperative cancellation of the *current* parallel region. A chunk
-  /// body that hits an unrecoverable error calls RequestStop(); chunks not
-  /// yet started are then skipped (already-running chunks finish — there is
-  /// no preemption), so a fail-fast operator stops paying for work whose
-  /// result it will discard. ParallelFor still blocks until in-flight
-  /// chunks drain, and the flag is cleared when the region ends, so one
-  /// aborted region never poisons the next. Callers are responsible for
-  /// recording *why* they stopped (see ops::FirstError).
-  void RequestStop() { stop_requested_.store(true, std::memory_order_release); }
+  /// Cooperative cancellation of the *innermost* parallel region enclosing
+  /// the caller. A chunk body that hits an unrecoverable error calls
+  /// RequestStop(); chunks of that region (and of regions nested inside it)
+  /// not yet started are then skipped (already-running chunks finish —
+  /// there is no preemption), so a fail-fast operator stops paying for work
+  /// whose result it will discard. ParallelFor still blocks until in-flight
+  /// chunks drain, and the flag dies with its region, so an aborted nested
+  /// region never poisons its parent and an aborted region never poisons
+  /// the next one. Called outside any region, the request is latched and
+  /// poisons the next root region (legacy fail-fast-before-start shape).
+  /// Callers are responsible for recording *why* they stopped (see
+  /// ops::FirstError).
+  virtual void RequestStop() = 0;
 
-  /// True once RequestStop() was called inside the current region. Chunk
-  /// bodies poll this between items to quit early.
-  bool stop_requested() const {
-    return stop_requested_.load(std::memory_order_acquire);
-  }
-
- protected:
-  /// Implementations call this as the region ends (after all chunks drain).
-  void ResetStop() { stop_requested_.store(false, std::memory_order_relaxed); }
-
- private:
-  std::atomic<bool> stop_requested_{false};
+  /// True once RequestStop() was called against the innermost region
+  /// enclosing the caller, or against any of its ancestors. Chunk bodies
+  /// poll this between items to quit early.
+  virtual bool stop_requested() const = 0;
 };
 
-/// Single-worker executor: direct, in-order execution. The baseline against
-/// which self-relative speedups are computed.
+/// Region-scoped cooperative-stop state for the single-threaded executors
+/// (serial, simulated): a stack of per-region flags plus the latched
+/// outside-any-region request. Not thread-safe by design — those executors
+/// run everything on the calling thread.
+class ScopedStopFlags {
+ public:
+  /// Opens a region. The root region inherits (and consumes) a pending
+  /// outside-region stop request; nested regions start clean.
+  void EnterRegion() {
+    bool poisoned = flags_.empty() && pending_;
+    if (poisoned) pending_ = false;
+    flags_.push_back(poisoned ? 1 : 0);
+  }
+
+  /// Closes the innermost region, discarding its flag.
+  void ExitRegion() { flags_.pop_back(); }
+
+  /// Flags the innermost open region, or latches the request for the next
+  /// root region when none is open.
+  void RequestStop() {
+    if (flags_.empty()) {
+      pending_ = true;
+    } else {
+      flags_.back() = 1;
+    }
+  }
+
+  /// True if the innermost region or any ancestor was flagged (a parent's
+  /// stop is visible inside its nested regions, not vice versa).
+  bool StopRequested() const {
+    if (flags_.empty()) return pending_;
+    for (char f : flags_) {
+      if (f != 0) return true;
+    }
+    return false;
+  }
+
+  /// Current nesting depth (0 = outside all regions).
+  size_t depth() const { return flags_.size(); }
+
+ private:
+  std::vector<char> flags_;
+  bool pending_ = false;
+};
+
+/// Single-worker executor: direct, in-order execution (nested regions
+/// simply run inline). The baseline against which self-relative speedups
+/// are computed.
 class SerialExecutor : public Executor {
  public:
   SerialExecutor();
@@ -122,10 +206,15 @@ class SerialExecutor : public Executor {
   void ChargeIoTime(double seconds, int channels) override;
   double Now() const override;
   const char* name() const override { return "serial"; }
+  SchedulerStats scheduler_stats() const override;
+  void RequestStop() override { stops_.RequestStop(); }
+  bool stop_requested() const override { return stops_.StopRequested(); }
 
  private:
   double start_time_;
   double charged_io_ = 0.0;
+  ScopedStopFlags stops_;
+  SchedulerStats stats_;
 };
 
 /// Factory helpers returning the three executor kinds by name

@@ -170,26 +170,22 @@ void ParallelShardedMerge(Executor& exec, WorkerLocal<Sharded>& partials,
                    });
 }
 
-/// In-place pairwise tree reduction over the slots of a WorkerLocal — the
-/// merge schedule of a Cilk reducer hyperobject, but with every round's
-/// pair-combines *and* the interior of each combine parallelized. After the
-/// call, slot 0 holds the reduction of all slots; other slots are consumed.
+/// Flat (barrier-per-round) pairwise tree reduction over the slots of a
+/// WorkerLocal: round r combines pairs at stride 2^r, and every round is one
+/// ParallelFor — all pair-combines of a round must finish before any combine
+/// of the next round starts. Kept as the ablation baseline for the
+/// work-stealing `ParallelTreeReduce` below, which runs the *same* combines
+/// in the same per-slot order without the inter-round barrier.
 ///
 /// `combine(into, from, part, parts)` must fold slice `part` (of `parts`
 /// disjoint slices) of `from` into the same slice of `into`; slices of one
-/// pair run as independent tasks, so a single pair combine — including the
-/// final root combine, which a plain pairwise tree leaves serial — can use
-/// every worker. Pass `parts == 1` for indivisible accumulators.
-///
-/// `hint.bytes_touched` describes ONE pair combine; each round's hint is
-/// scaled by the number of pairs in that round.
-///
-/// With log2(W) rounds of parallel slice-combines, the reduction's critical
-/// path is O(log W * cost(combine)/min(W, parts)) instead of the serial
-/// fold's O(W * cost(combine)).
+/// pair run as independent tasks. Pass `parts == 1` for indivisible
+/// accumulators. `hint.bytes_touched` describes ONE pair combine; each
+/// round's hint is scaled by the number of pairs in that round.
 template <typename T, typename CombineFn>
-void ParallelTreeReduce(Executor& exec, WorkerLocal<T>& slots, size_t parts,
-                        const WorkHint& hint, CombineFn combine) {
+void ParallelTreeReduceFlat(Executor& exec, WorkerLocal<T>& slots,
+                            size_t parts, const WorkHint& hint,
+                            CombineFn combine) {
   if (parts == 0) parts = 1;
   const size_t n = slots.size();
   for (size_t stride = 1; stride < n; stride *= 2) {
@@ -211,6 +207,81 @@ void ParallelTreeReduce(Executor& exec, WorkerLocal<T>& slots, size_t parts,
           }
         });
   }
+}
+
+namespace detail {
+
+/// Recursive fork/join reduction of slots [lo, lo+n): both halves reduce as
+/// sibling tasks of a nested region, then the right root folds into the
+/// left root. The split point is the largest power of two below n, which
+/// makes the set of pair-combines — and the order each destination slot
+/// receives them — identical to the strided schedule of
+/// ParallelTreeReduceFlat, so results are bit-exact across the two.
+template <typename T, typename CombineFn>
+void TreeReduceRange(Executor& exec, WorkerLocal<T>& slots, size_t lo,
+                     size_t n, size_t parts, const WorkHint& hint,
+                     CombineFn& combine) {
+  if (n <= 1) return;
+  size_t split = 1;
+  while (split * 2 < n) split *= 2;
+  if (split > 1 || n - split > 1) {
+    // Fork: each half's interior combines start as soon as its own inputs
+    // are ready — no barrier against the other half. The spawn region
+    // carries no bytes hint of its own; nested combine regions price their
+    // own traffic.
+    WorkHint spawn_hint;
+    spawn_hint.label = hint.label;
+    exec.ParallelFor(0, 2, 1, spawn_hint, [&](int, size_t b, size_t e) {
+      for (size_t side = b; side < e; ++side) {
+        if (side == 0) {
+          TreeReduceRange(exec, slots, lo, split, parts, hint, combine);
+        } else {
+          TreeReduceRange(exec, slots, lo + split, n - split, parts, hint,
+                          combine);
+        }
+      }
+    });
+  }
+  // Join: both halves reduced; fold the right root into the left root,
+  // slices in parallel when the accumulator is divisible.
+  T& into = slots.Get(static_cast<int>(lo));
+  T& from = slots.Get(static_cast<int>(lo + split));
+  if (parts <= 1) {
+    combine(into, from, 0, 1);
+  } else {
+    exec.ParallelFor(0, parts, 1, hint, [&](int, size_t b, size_t e) {
+      for (size_t part = b; part < e; ++part) combine(into, from, part, parts);
+    });
+  }
+}
+
+}  // namespace detail
+
+/// In-place pairwise tree reduction over the slots of a WorkerLocal — the
+/// merge schedule of a Cilk reducer hyperobject, run as a nested fork/join
+/// spawn tree: a pair-combine starts the moment its two inputs are ready,
+/// instead of barriering after every stride like ParallelTreeReduceFlat.
+/// After the call, slot 0 holds the reduction of all slots; other slots are
+/// consumed.
+///
+/// `combine(into, from, part, parts)` must fold slice `part` (of `parts`
+/// disjoint slices) of `from` into the same slice of `into`; slices of one
+/// pair run as independent tasks, so a single pair combine — including the
+/// final root combine, which a plain pairwise tree leaves serial — can use
+/// every worker. Pass `parts == 1` for indivisible accumulators.
+/// `hint.bytes_touched` describes ONE pair combine.
+///
+/// Performs exactly the same combines in the same per-destination order as
+/// the flat version (both follow the binary-counter schedule: slot 0
+/// receives slots 1, 2, 4, ... in sequence), so the two are bit-identical —
+/// only the schedule differs. Critical path is
+/// O(log W * cost(combine)/min(W, parts)) without the per-round
+/// straggler wait the barrier adds.
+template <typename T, typename CombineFn>
+void ParallelTreeReduce(Executor& exec, WorkerLocal<T>& slots, size_t parts,
+                        const WorkHint& hint, CombineFn combine) {
+  if (parts == 0) parts = 1;
+  detail::TreeReduceRange(exec, slots, 0, slots.size(), parts, hint, combine);
 }
 
 /// Tree-structured overload of ParallelReduce: same map phase, but the

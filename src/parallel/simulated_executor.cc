@@ -1,59 +1,101 @@
 #include "parallel/simulated_executor.h"
 
 #include <algorithm>
-#include <cassert>
-
-#include "common/timer.h"
 
 namespace hpa::parallel {
 
 SimulatedExecutor::SimulatedExecutor(int workers, const MachineModel& model)
-    : workers_(workers < 1 ? 1 : workers), model_(model) {}
+    : workers_(workers < 1 ? 1 : workers),
+      model_(model),
+      avail_(static_cast<size_t>(workers_), 0.0) {
+  stats_.per_worker_tasks.assign(static_cast<size_t>(workers_), 0);
+}
 
 void SimulatedExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
                                     const WorkHint& hint,
                                     const RangeBody& body) {
   if (begin >= end) return;
   if (grain == 0) grain = AutoGrain(end - begin);
-  assert(!in_region_ && "nested parallel regions are not supported");
-  in_region_ = true;
-  region_io_seconds_ = 0.0;
-  region_io_channels_ = 1;
 
-  // Virtual availability time of each worker, relative to region start.
-  std::vector<double> avail(static_cast<size_t>(workers_), 0.0);
+  RegionFrame fr;
+  if (!chunk_stack_.empty()) {
+    // Nested region: the spawning chunk suspends at its current virtual
+    // position. Fold its running CPU segment, then free its worker — a
+    // joining worker helps run the sub-region instead of idling.
+    ChunkFrame& pc = chunk_stack_.back();
+    pc.cpu += pc.timer.ElapsedSeconds();
+    fr.ready = pc.start + pc.cpu + pc.wait;
+    fr.parent_worker = pc.worker;
+    avail_[static_cast<size_t>(pc.worker)] = fr.ready;
+  } else {
+    fr.ready = virtual_now_;
+    fr.parent_worker = 0;
+  }
+  fr.finish_max = fr.ready;
+  region_stack_.push_back(fr);
+  stops_.EnterRegion();
+  ++stats_.regions;
+  stats_.max_task_depth =
+      std::max<uint64_t>(stats_.max_task_depth, region_stack_.size());
+
   double serial_cpu = 0.0;
   size_t num_chunks = 0;
 
   for (size_t b = begin; b < end; b += grain) {
-    if (stop_requested()) break;
+    if (stops_.StopRequested()) break;
     size_t e = b + grain < end ? b + grain : end;
 
-    // Greedy earliest-finish assignment: the next chunk goes to the worker
-    // that frees up first — the schedule dynamic self-scheduling yields.
+    // Greedy earliest-start assignment over the *shared* worker timeline:
+    // the chunk goes to whichever worker frees up first (never before the
+    // region is ready) — the placement a work-stealing loop converges to.
+    RegionFrame& rf = region_stack_.back();
     size_t w = 0;
-    for (size_t i = 1; i < avail.size(); ++i) {
-      if (avail[i] < avail[w]) w = i;
+    double best = std::max(avail_[0], rf.ready);
+    for (size_t i = 1; i < avail_.size(); ++i) {
+      double t = std::max(avail_[i], rf.ready);
+      if (t < best) {
+        best = t;
+        w = i;
+      }
     }
 
-    double io_before = region_io_seconds_;
-    WallTimer chunk_timer;
+    {
+      ChunkFrame cf;
+      cf.worker = static_cast<int>(w);
+      cf.start = best + model_.spawn_overhead_sec;
+      chunk_stack_.push_back(cf);
+    }
+    chunk_stack_.back().timer.Restart();
     body(static_cast<int>(w), b, e);
-    double cpu = chunk_timer.ElapsedSeconds();
-    double chunk_io = region_io_seconds_ - io_before;
+    // Re-resolve: a nested ParallelFor inside the body grows chunk_stack_,
+    // which may reallocate and invalidate any reference taken before it.
+    ChunkFrame& cf = chunk_stack_.back();
+    cf.cpu += cf.timer.ElapsedSeconds();
+    double finish = cf.start + cf.cpu + cf.wait;
+    serial_cpu += cf.cpu;
 
-    serial_cpu += cpu;
-    double chunk_start = avail[w] + model_.spawn_overhead_sec;
-    avail[w] += model_.spawn_overhead_sec + cpu + chunk_io;
-    ++num_chunks;
+    ++stats_.tasks_spawned;
+    ++stats_.per_worker_tasks[w];
+    if (static_cast<int>(w) != region_stack_.back().parent_worker) {
+      ++stats_.steals;  // modelled steal: ran away from the spawning worker
+    }
     if (trace_ != nullptr) {
       trace_->Add(hint.label[0] != '\0' ? hint.label : "parallel-for",
-                  virtual_now_ + chunk_start, cpu + chunk_io,
-                  static_cast<int>(w));
+                  cf.start, cf.cpu + cf.wait, static_cast<int>(w));
     }
+    chunk_stack_.pop_back();
+
+    RegionFrame& rf2 = region_stack_.back();
+    avail_[w] = finish;
+    rf2.finish_max = std::max(rf2.finish_max, finish);
+    ++num_chunks;
   }
 
-  double makespan = *std::max_element(avail.begin(), avail.end());
+  RegionFrame done = region_stack_.back();
+  region_stack_.pop_back();
+  stops_.ExitRegion();
+
+  double makespan = done.finish_max - done.ready;
 
   // Roofline: all P workers together cannot stream more than the machine's
   // bandwidth ceiling; a subset of workers reaches a proportional share.
@@ -70,10 +112,11 @@ void SimulatedExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
 
   // Device capacity: I/O issued inside the region can overlap across
   // workers, but not beyond the device's channel count.
-  double io_bound = region_io_seconds_ /
-                    static_cast<double>(std::max(1, region_io_channels_));
+  double io_bound =
+      done.io_seconds / static_cast<double>(std::max(1, done.io_channels));
 
   double charged = std::max({makespan, bandwidth_seconds, io_bound});
+  double region_end = done.ready + charged;
 
   last_region_ = RegionStats{};
   last_region_.serial_cpu_seconds = serial_cpu;
@@ -84,25 +127,41 @@ void SimulatedExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
   last_region_.num_chunks = num_chunks;
   last_region_.bandwidth_bound = bandwidth_seconds > makespan;
 
-  virtual_now_ += charged;
-  total_parallel_ += charged;
-  total_io_ += region_io_seconds_;
-  in_region_ = false;
-  ResetStop();
+  if (!chunk_stack_.empty()) {
+    // Resume the spawning chunk at the sub-region's end: the join gap
+    // counts as wait (not CPU), and the parent re-occupies its worker.
+    ChunkFrame& pc = chunk_stack_.back();
+    pc.wait += region_end - (pc.start + pc.cpu + pc.wait);
+    avail_[static_cast<size_t>(pc.worker)] = region_end;
+    pc.timer.Restart();
+  } else {
+    virtual_now_ = region_end;
+    total_parallel_ += charged;
+  }
 }
 
 void SimulatedExecutor::RunSerial(const WorkHint& hint,
                                   const std::function<void()>& fn) {
-  assert(!in_region_ && "serial region inside a parallel region");
-  in_region_ = true;
-  region_io_seconds_ = 0.0;
-  region_io_channels_ = 1;
+  if (!chunk_stack_.empty()) {
+    // Inside a chunk body this is just task-local work: the enclosing
+    // chunk's timer keeps running, so the cost is already accounted.
+    fn();
+    return;
+  }
+
+  RegionFrame fr;
+  fr.ready = virtual_now_;
+  region_stack_.push_back(fr);
 
   WallTimer timer;
   fn();
   double cpu = timer.ElapsedSeconds();
+
+  RegionFrame done = region_stack_.back();
+  region_stack_.pop_back();
+
   // Serial I/O cannot overlap with anything: it adds directly.
-  double charged = cpu + region_io_seconds_;
+  double charged = cpu + done.io_seconds;
   if (trace_ != nullptr) {
     trace_->Add(hint.label[0] != '\0' ? hint.label : "serial", virtual_now_,
                 charged, 0);
@@ -111,25 +170,34 @@ void SimulatedExecutor::RunSerial(const WorkHint& hint,
   last_region_ = RegionStats{};
   last_region_.serial_cpu_seconds = cpu;
   last_region_.makespan_seconds = cpu;
-  last_region_.io_seconds = region_io_seconds_;
+  last_region_.io_seconds = done.io_seconds;
   last_region_.charged_seconds = charged;
   last_region_.num_chunks = 1;
 
   virtual_now_ += charged;
   total_serial_ += cpu;
-  total_io_ += region_io_seconds_;
-  in_region_ = false;
 }
 
 void SimulatedExecutor::ChargeIoTime(double seconds, int channels) {
   if (seconds < 0) seconds = 0;
-  if (in_region_) {
-    region_io_seconds_ += seconds;
-    region_io_channels_ = std::max(region_io_channels_, channels);
+  total_io_ += seconds;
+  if (!chunk_stack_.empty()) {
+    // Charged from inside a chunk: extends this chunk (the issuing worker
+    // is occupied) and feeds the owning region's device-capacity bound.
+    chunk_stack_.back().wait += seconds;
+    RegionFrame& rf = region_stack_.back();
+    rf.io_seconds += seconds;
+    rf.io_channels = std::max(rf.io_channels, channels);
+  } else if (!region_stack_.empty()) {
+    // Inside RunSerial.
+    RegionFrame& rf = region_stack_.back();
+    rf.io_seconds += seconds;
+    rf.io_channels = std::max(rf.io_channels, channels);
   } else {
     virtual_now_ += seconds;
-    total_io_ += seconds;
   }
 }
+
+SchedulerStats SimulatedExecutor::scheduler_stats() const { return stats_; }
 
 }  // namespace hpa::parallel

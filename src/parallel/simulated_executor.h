@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/timer.h"
 #include "parallel/executor.h"
 #include "parallel/machine_model.h"
 #include "parallel/trace.h"
@@ -24,20 +25,29 @@ namespace hpa::parallel {
 ///    `d` (plus any simulated I/O charged during it).
 ///  * A parallel region's chunks are measured individually and laid onto P
 ///    virtual workers by greedy earliest-finish scheduling — the schedule a
-///    dynamic self-scheduled (Cilk-style) loop converges to — with a
-///    calibrated per-chunk spawn overhead. The region's virtual duration is
-///    the makespan, subject to two lower bounds:
+///    work-stealing (Cilk-style) loop converges to — with a calibrated
+///    per-chunk spawn overhead. The region's virtual duration is the
+///    makespan, subject to two lower bounds:
 ///      - roofline: `hint.bytes_touched / mem_bandwidth` (a memory-bound
 ///        region cannot go faster than DRAM feeds all cores), softened so a
 ///        single worker is never penalized;
 ///      - I/O: total simulated device time charged inside the region,
 ///        divided by the device's channel count (requests can overlap
 ///        across workers but not beyond device concurrency).
+///  * Nested regions (a chunk body calling ParallelFor) are priced on the
+///    same shared worker timeline: the spawning chunk suspends at its
+///    current virtual position, freeing its worker to "help"; the nested
+///    region's chunks are greedily placed on whichever workers free up
+///    first (idle workers model thieves); the parent chunk resumes when the
+///    nested region's virtual end is reached. The whole spawn tree is thus
+///    scheduled deterministically — same chunk durations in, same virtual
+///    makespan out.
 ///  * The worker index passed to chunk bodies is the virtual worker chosen
 ///    by the scheduler, so worker-indexed scratch behaves exactly as it
 ///    would under real threads (P accumulators, merged afterwards).
 ///
-/// Not reentrant: regions must not nest (HPA operators never nest them).
+/// Cancellation is region-scoped exactly as on the other executors: a stop
+/// requested inside a nested region dies with that region.
 class SimulatedExecutor : public Executor {
  public:
   /// Per-region accounting record, useful for tests and traces.
@@ -61,12 +71,17 @@ class SimulatedExecutor : public Executor {
   void ChargeIoTime(double seconds, int channels) override;
   double Now() const override { return virtual_now_; }
   const char* name() const override { return "simulated"; }
+  SchedulerStats scheduler_stats() const override;
+  void RequestStop() override { stops_.RequestStop(); }
+  bool stop_requested() const override { return stops_.StopRequested(); }
 
-  /// Stats of the most recently completed region.
+  /// Stats of the most recently completed *top-level* region (a nested
+  /// region's cost is folded into its parent's chunk, and its stats are
+  /// overwritten when the parent region completes).
   const RegionStats& last_region() const { return last_region_; }
 
-  /// Total virtual seconds spent in parallel regions / serial regions /
-  /// charged as I/O since construction, for breakdown reporting.
+  /// Total virtual seconds spent in top-level parallel regions / serial
+  /// regions / charged as I/O since construction, for breakdown reporting.
   double total_parallel_seconds() const { return total_parallel_; }
   double total_serial_seconds() const { return total_serial_; }
   double total_io_seconds() const { return total_io_; }
@@ -79,18 +94,41 @@ class SimulatedExecutor : public Executor {
   void set_trace(ExecutionTrace* trace) { trace_ = trace; }
 
  private:
+  /// The chunk currently executing (innermost, when regions nest). Its
+  /// virtual position is `start + cpu + wait` plus the running timer.
+  struct ChunkFrame {
+    int worker = 0;
+    double start = 0.0;  ///< absolute virtual start (after spawn overhead)
+    double cpu = 0.0;    ///< folded CPU from segments before a nested spawn
+    double wait = 0.0;   ///< I/O charged + time joined on nested regions
+    WallTimer timer;     ///< running CPU segment
+  };
+
+  /// An open parallel region (root or nested).
+  struct RegionFrame {
+    double ready = 0.0;       ///< absolute virtual time the region starts
+    double finish_max = 0.0;  ///< latest chunk finish seen so far (absolute)
+    double io_seconds = 0.0;  ///< I/O charged directly in this region
+    int io_channels = 1;      ///< widest channel count seen in this region
+    int parent_worker = 0;    ///< worker of the spawning chunk (0 for root)
+  };
+
   int workers_;
   MachineModel model_;
   double virtual_now_ = 0.0;
 
-  // Region bookkeeping (single-threaded use; see class comment).
-  bool in_region_ = false;
-  double region_io_seconds_ = 0.0;   // sum of charged I/O inside region
-  int region_io_channels_ = 1;       // widest channel count seen in region
+  /// Absolute virtual time each worker becomes free; shared across the
+  /// whole spawn tree so nested regions compete for the same P workers.
+  std::vector<double> avail_;
+
+  std::vector<RegionFrame> region_stack_;
+  std::vector<ChunkFrame> chunk_stack_;
+  ScopedStopFlags stops_;
 
   ExecutionTrace* trace_ = nullptr;
 
   RegionStats last_region_;
+  SchedulerStats stats_;
   double total_parallel_ = 0.0;
   double total_serial_ = 0.0;
   double total_io_ = 0.0;

@@ -42,7 +42,10 @@ TEST(ExecutionTraceTest, RecordsSerialRegions) {
   exec.RunSerial(hint, [] { Spin(0.002); });
   ASSERT_EQ(trace.events().size(), 1u);
   EXPECT_EQ(trace.events()[0].label, "tfidf-output");
-  EXPECT_NEAR(trace.events()[0].duration_seconds, 0.002, 0.005);
+  // One-sided: the spin cannot undershoot, but host preemption under a
+  // parallel ctest run can stretch the measured duration arbitrarily.
+  EXPECT_GE(trace.events()[0].duration_seconds, 0.002 - 1e-4);
+  EXPECT_LT(trace.events()[0].duration_seconds, 0.5);
 }
 
 TEST(ExecutionTraceTest, UnlabeledRegionsGetDefaults) {
