@@ -6,7 +6,9 @@
 // non-zero if any hard claim fails — a regression harness for the
 // reproduction itself.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "bench_util.h"
@@ -23,6 +25,9 @@
 #include "ops/word_count.h"
 #include "parallel/executor.h"
 #include "parallel/simulated_executor.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
 
 namespace hpa::bench {
 namespace {
@@ -590,6 +595,165 @@ int Run(int argc, char** argv) {
           StrFormat("%zu rejection(s), resumed=%zu replayed=%zu",
                     repaired.checkpoint_rejections.size(),
                     repaired.resumed_nodes, repaired.replayed_nodes));
+  }
+
+  std::printf("\nServing layer (registry + admission + micro-batching):\n");
+  {
+    parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+    env->SetExecutor(&exec);
+    auto reader = io::PackedCorpusReader::Open(env->corpus_disk(), *mix_rel);
+    if (!reader.ok()) return 1;
+    ops::ExecContext ctx;
+    ctx.executor = &exec;
+    ctx.corpus_disk = env->corpus_disk();
+    ctx.scratch_disk = env->scratch_disk();
+    serve::ModelConfig config;
+    config.clusters = static_cast<int>(flags.GetInt("clusters"));
+    // A fresh subdirectory per invocation is unnecessary — versions are
+    // append-only, so re-running just publishes the next version.
+    serve::ModelRegistry registry(env->scratch_disk(), "sc-models");
+    ops::KMeansOptions kopts;
+    kopts.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+    auto fitted = registry.Fit(ctx, *reader, config, kopts);
+    serve::ModelRegistry reloader(env->scratch_disk(), "sc-models");
+    auto loaded = fitted.ok() ? reloader.Load(config, fitted->version())
+                              : fitted.status();
+
+    // Claim: a published snapshot reloads to a bit-identical classifier.
+    size_t compared = 0, agreed = 0;
+    if (fitted.ok() && loaded.ok()) {
+      for (size_t i = 0; i < std::min<size_t>(reader->size(), 64); ++i) {
+        auto body = reader->ReadBody(i);
+        if (!body.ok()) break;
+        double d1 = 0, d2 = 0;
+        uint32_t c1 = fitted->Classify(*body, &d1);
+        uint32_t c2 = loaded->Classify(*body, &d2);
+        ++compared;
+        if (c1 == c2 && std::memcmp(&d1, &d2, sizeof(d1)) == 0) ++agreed;
+      }
+    }
+    Check(fitted.ok() && loaded.ok() && compared > 0 && agreed == compared,
+          "registry snapshot reloads to a bit-identical classifier",
+          fitted.ok() && loaded.ok()
+              ? StrFormat("%zu/%zu documents agree (v%llu)", agreed,
+                          compared,
+                          static_cast<unsigned long long>(loaded->version()))
+              : (fitted.ok() ? loaded.status() : fitted.status())
+                    .ToString());
+
+    // Claim: config drift and corrupt artifacts are rejected, never
+    // silently served.
+    serve::ModelConfig drifted = config;
+    drifted.stem_tokens = !drifted.stem_tokens;
+    auto drift_load = reloader.Load(drifted);
+    std::string centroid_path =
+        fitted.ok() ? StrFormat("sc-models/model-%llu.centroids",
+                                static_cast<unsigned long long>(
+                                    fitted->version()))
+                    : "";
+    bool corrupted_rejected = false;
+    if (fitted.ok()) {
+      auto bytes = env->scratch_disk()->ReadFile(centroid_path);
+      if (bytes.ok()) {
+        std::string bad = *bytes;
+        bad[bad.size() / 2] ^= 0x10;
+        if (env->scratch_disk()->WriteFile(centroid_path, bad).ok()) {
+          corrupted_rejected = reloader.Load(config).status().code() ==
+                               StatusCode::kCorruption;
+          // Restore the artifact for any later scorecard run.
+          (void)env->scratch_disk()->WriteFile(centroid_path, *bytes);
+        }
+      }
+    }
+    Check(!drift_load.ok() &&
+              drift_load.status().code() == StatusCode::kFailedPrecondition &&
+              corrupted_rejected,
+          "snapshot integrity: config drift + bad CRC both rejected",
+          StrFormat("drift=%s corrupt=%s",
+                    StatusCodeName(drift_load.status().code()).data(),
+                    corrupted_rejected ? "corruption" : "NOT REJECTED"));
+
+    if (fitted.ok()) {
+      std::vector<std::string> bodies;
+      for (size_t i = 0; i < std::min<size_t>(reader->size(), 48); ++i) {
+        auto body = reader->ReadBody(i);
+        if (body.ok()) bodies.push_back(std::move(*body));
+      }
+
+      // Claim: micro-batched scoring is bit-identical to one-at-a-time.
+      auto run_batched = [&](size_t max_batch) {
+        serve::ServerOptions options;
+        options.max_batch = max_batch;
+        options.queue_capacity = bodies.size();
+        serve::ServeMetrics metrics(8);
+        serve::AnalyticsServer server(ctx, &*fitted, options, &metrics);
+        std::vector<std::pair<uint32_t, double>> results(bodies.size());
+        auto absorb = [&](std::vector<serve::Response> rs) {
+          for (const serve::Response& r : rs) {
+            results[r.id] = {r.cluster, r.distance};
+          }
+        };
+        for (size_t i = 0; i < bodies.size(); ++i) {
+          (void)server.Submit(i, bodies[i]);
+          absorb(server.Poll());
+        }
+        absorb(server.Drain());
+        return results;
+      };
+      auto singles = run_batched(1);
+      auto batched = run_batched(8);
+      bool identical = singles.size() == batched.size();
+      for (size_t i = 0; identical && i < singles.size(); ++i) {
+        // Compare the double's bit pattern, not through pair padding bytes.
+        uint64_t a = 0, b = 0;
+        std::memcpy(&a, &singles[i].second, sizeof(a));
+        std::memcpy(&b, &batched[i].second, sizeof(b));
+        identical = singles[i].first == batched[i].first && a == b;
+      }
+      Check(identical, "micro-batched scoring bit-identical to sequential",
+            StrFormat("%zu requests, batch 8 vs 1", bodies.size()));
+
+      // Claim: overload is rejected at the admission queue with bounded
+      // depth and exact accounting.
+      serve::ServerOptions tight;
+      tight.queue_capacity = 8;
+      tight.max_batch = 4;
+      serve::ServeMetrics metrics(8);
+      serve::AnalyticsServer server(ctx, &*fitted, tight, &metrics);
+      for (size_t i = 0; i < bodies.size(); ++i) {
+        (void)server.Submit(i, bodies[i]);  // no Poll: force overload
+      }
+      size_t answered = server.Drain().size();
+      serve::ServeMetrics::Snapshot snap = metrics.Scrape();
+      Check(snap.rejected > 0 && snap.max_queue_depth <= tight.queue_capacity &&
+                snap.completed + snap.rejected == bodies.size() &&
+                answered == snap.completed,
+            "overload rejected at the queue with exact accounting",
+            StrFormat("%llu rejected, depth<=%llu, %llu answered",
+                      static_cast<unsigned long long>(snap.rejected),
+                      static_cast<unsigned long long>(snap.max_queue_depth),
+                      static_cast<unsigned long long>(snap.completed)));
+
+      // Claim: deadline misses are accounted, and fully-expired batches
+      // are cancelled without scoring anything.
+      serve::ServerOptions slo;
+      slo.max_batch = 8;
+      serve::ServeMetrics mslo(8);
+      serve::AnalyticsServer deadline_server(ctx, &*fitted, slo, &mslo);
+      for (size_t i = 0; i < 8; ++i) {
+        (void)deadline_server.Submit(i, bodies[i], exec.Now() + 1e-9);
+      }
+      exec.ChargeIoTime(0.010, 1);  // deadlines lapse before the flush
+      size_t deadline_responses = deadline_server.Drain().size();
+      serve::ServeMetrics::Snapshot dsnap = mslo.Scrape();
+      Check(deadline_responses == 8 && dsnap.deadline_misses == 8 &&
+                dsnap.docs_scored == 0,
+            "expired batch cancelled; all 8 counted as deadline misses",
+            StrFormat("misses=%llu scored=%llu",
+                      static_cast<unsigned long long>(dsnap.deadline_misses),
+                      static_cast<unsigned long long>(dsnap.docs_scored)));
+    }
+    env->SetExecutor(nullptr);
   }
 
   std::printf("\n%d/%d claims reproduced at --scale=%.3g\n",

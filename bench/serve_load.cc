@@ -1,0 +1,435 @@
+// Serving-layer load generator: drives an AnalyticsServer over a model
+// fitted from the bench corpus and enforces the serving contract at exit:
+//
+//  1. identity  — batched scoring is bit-identical to one-at-a-time
+//     (cluster AND distance bits), for every batch ceiling swept;
+//  2. SLO       — at a calibrated operating point (deadline = a generous
+//     multiple of the measured single-request latency) the closed-loop
+//     p99 stays under the deadline and no request misses;
+//  3. overload  — a burst far beyond queue capacity is rejected with
+//     bounded queue depth, and every offered request is accounted for
+//     exactly once (completed + rejected + missed + failed == offered).
+//
+// After the gates, an open-loop sweep (Poisson arrivals priced on the
+// executor clock) reports throughput and tail latency per offered load x
+// batch ceiling x worker count. Output ends with one machine-readable
+// JSON document; exits non-zero if any gate fails.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "io/packed_corpus.h"
+#include "ops/exec_context.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/request.h"
+#include "serve/server.h"
+
+namespace hpa::bench {
+namespace {
+
+struct SweepRow {
+  int threads = 0;
+  size_t batch = 0;
+  double lambda = 0.0;  // offered req/s on the virtual clock (0 = closed)
+  serve::ServeMetrics::Snapshot metrics;
+  double wall_sec = 0.0;
+  double throughput = 0.0;
+  uint64_t spawns_suppressed = 0;
+};
+
+/// Bit-exact fingerprint of a response stream (order-normalized by id).
+std::string Fingerprint(std::vector<serve::Response> responses) {
+  std::sort(responses.begin(), responses.end(),
+            [](const serve::Response& a, const serve::Response& b) {
+              return a.id < b.id;
+            });
+  std::string fp;
+  for (const serve::Response& r : responses) {
+    fp += StrFormat("%llu:%s:%u:%a\n",
+                    static_cast<unsigned long long>(r.id),
+                    std::string(RequestOutcomeName(r.outcome)).c_str(),
+                    r.cluster, r.distance);
+  }
+  return fp;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags("serve_load",
+                "closed- and open-loop load generation against the "
+                "hpa-serve engine, with exit-enforced identity/SLO/"
+                "overload gates");
+  AddCommonFlags(flags);
+  flags.DefineInt("serve_docs", 400, "fit-corpus document count");
+  flags.DefineInt("serve_requests", 256,
+                  "requests per closed-loop run and per open-loop sweep");
+  flags.DefineString("serve_batches", "1,4,8",
+                     "batch ceilings to sweep (first is the identity "
+                     "reference)");
+  flags.DefineString("serve_lambdas", "200,1000",
+                     "open-loop offered loads, requests per virtual "
+                     "second");
+  flags.DefineInt("serve_queue", 16,
+                  "admission queue capacity for the overload gate");
+  flags.DefineDouble("serve_deadline_mult", 200.0,
+                     "SLO deadline as a multiple of the measured "
+                     "single-request latency (generous: virtual chunk "
+                     "timings wobble run to run)");
+  flags.DefineInt("serve_inline", 2,
+                  "executor inline threshold while serving (batches at or "
+                  "below it run their chunks without spawning); 0 keeps "
+                  "spawning");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  PrintBanner("Serving engine: load, SLOs, overload", flags);
+
+  auto threads_or = ParseIntList(flags.GetString("threads"));
+  auto batches_or = ParseIntList(flags.GetString("serve_batches"));
+  auto lambdas_or = ParseIntList(flags.GetString("serve_lambdas"));
+  if (!threads_or.ok() || !batches_or.ok() || !lambdas_or.ok()) {
+    std::fprintf(stderr, "bad --threads/--serve_batches/--serve_lambdas\n");
+    return 2;
+  }
+  const size_t num_requests =
+      static_cast<size_t>(flags.GetInt("serve_requests"));
+  const size_t queue_capacity =
+      static_cast<size_t>(flags.GetInt("serve_queue"));
+  const double deadline_mult = flags.GetDouble("serve_deadline_mult");
+  const size_t inline_threshold =
+      static_cast<size_t>(flags.GetInt("serve_inline"));
+
+  auto env_or = BenchEnv::Create(flags);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+    return 2;
+  }
+  BenchEnv& env = **env_or;
+
+  text::CorpusProfile profile;
+  profile.name = "serve-synth";
+  profile.num_documents = static_cast<uint64_t>(flags.GetInt("serve_docs"));
+  profile.target_distinct_words = 12000;
+  profile.target_bytes = profile.num_documents * 1200;
+  auto rel_or = env.EnsureCorpus(profile);
+  if (!rel_or.ok()) {
+    std::fprintf(stderr, "%s\n", rel_or.status().ToString().c_str());
+    return 2;
+  }
+
+  // Fit + publish once; the handle is executor-independent (scoring is
+  // pure), so every serving run below shares it.
+  serve::ModelConfig config;
+  config.clusters = static_cast<int>(flags.GetInt("clusters"));
+  std::unique_ptr<serve::ModelHandle> model;
+  std::vector<std::string> bodies;
+  {
+    auto exec = MakeBenchExecutor(flags, 8);
+    if (exec == nullptr) {
+      std::fprintf(stderr, "unknown --executor\n");
+      return 2;
+    }
+    env.SetExecutor(exec.get());
+    auto reader = io::PackedCorpusReader::Open(env.corpus_disk(), *rel_or);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+      return 2;
+    }
+    ops::ExecContext ctx;
+    ctx.executor = exec.get();
+    ctx.corpus_disk = env.corpus_disk();
+    ctx.scratch_disk = env.scratch_disk();
+    serve::ModelRegistry registry(env.scratch_disk(), "models");
+    ops::KMeansOptions kmeans;
+    kmeans.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+    auto fitted = registry.Fit(ctx, *reader, config, kmeans);
+    if (!fitted.ok()) {
+      std::fprintf(stderr, "fit failed: %s\n",
+                   fitted.status().ToString().c_str());
+      return 2;
+    }
+    model = std::make_unique<serve::ModelHandle>(std::move(*fitted));
+
+    // Request bodies: the corpus documents themselves, reused round-robin.
+    size_t pool = std::min<size_t>(reader->size(), 128);
+    for (size_t i = 0; i < pool; ++i) {
+      auto body = reader->ReadBody(i);
+      if (!body.ok()) {
+        std::fprintf(stderr, "%s\n", body.status().ToString().c_str());
+        return 2;
+      }
+      bodies.push_back(std::move(*body));
+    }
+    env.SetExecutor(nullptr);
+  }
+  std::printf("model v%llu: %zu terms, %zu centroids, %zu request bodies\n\n",
+              static_cast<unsigned long long>(model->version()),
+              model->vectorizer().vocabulary_size(),
+              model->centroids().size(), bodies.size());
+
+  // One closed-loop run: submit in waves, drain, return all responses.
+  // `rel_deadline` > 0 stamps submit-relative deadlines.
+  auto closed_loop = [&](int threads, size_t max_batch, double rel_deadline,
+                         size_t requests, size_t capacity,
+                         bool burst, serve::ServeMetrics* metrics,
+                         SweepRow* row) -> std::vector<serve::Response> {
+    auto exec = MakeBenchExecutor(flags, threads);
+    env.SetExecutor(exec.get());
+    ops::ExecContext ctx;
+    ctx.executor = exec.get();
+    serve::ServerOptions options;
+    options.queue_capacity = capacity;
+    options.max_batch = max_batch;
+    options.inline_threshold = inline_threshold;
+    serve::AnalyticsServer server(ctx, model.get(), options, metrics);
+    std::vector<serve::Response> all;
+    double start = exec->Now();
+    for (size_t i = 0; i < requests; ++i) {
+      double deadline =
+          rel_deadline > 0 ? exec->Now() + rel_deadline : 0.0;
+      Status st = server.Submit(i, bodies[i % bodies.size()], deadline);
+      if (!st.ok()) continue;  // rejected: metrics counted it
+      if (!burst) {
+        std::vector<serve::Response> out = server.Poll();
+        all.insert(all.end(), std::make_move_iterator(out.begin()),
+                   std::make_move_iterator(out.end()));
+      }
+    }
+    std::vector<serve::Response> out = server.Drain();
+    all.insert(all.end(), std::make_move_iterator(out.begin()),
+               std::make_move_iterator(out.end()));
+    if (row != nullptr) {
+      row->wall_sec = exec->Now() - start;
+      row->spawns_suppressed = exec->scheduler_stats().spawns_suppressed;
+    }
+    env.SetExecutor(nullptr);
+    return all;
+  };
+
+  bool ok = true;
+  const int gate_threads = threads_or->back();
+
+  // --- Gate 1: batched == one-at-a-time, bit for bit -----------------
+  std::string reference;
+  size_t reference_batch = 0;
+  for (int batch : *batches_or) {
+    serve::ServeMetrics metrics(gate_threads);
+    std::string fp = Fingerprint(closed_loop(
+        gate_threads, static_cast<size_t>(batch), /*rel_deadline=*/0.0,
+        num_requests, /*capacity=*/num_requests, /*burst=*/false, &metrics,
+        nullptr));
+    if (reference.empty()) {
+      reference = fp;
+      reference_batch = static_cast<size_t>(batch);
+    } else if (fp != reference) {
+      std::fprintf(stderr,
+                   "FAIL[identity]: batch=%d responses differ from "
+                   "batch=%zu\n",
+                   batch, reference_batch);
+      ok = false;
+    }
+  }
+  std::printf("identity: %zu requests, batches {%s} -> %s\n", num_requests,
+              flags.GetString("serve_batches").c_str(),
+              ok ? "bit-identical" : "MISMATCH");
+
+  // --- Gate 2: p99 under deadline at the calibrated point ------------
+  double single_latency = 0.0;
+  {
+    serve::ServeMetrics metrics(gate_threads);
+    closed_loop(gate_threads, 1, 0.0, 8, 8, false, &metrics, nullptr);
+    single_latency = metrics.Scrape().latency_max_sec;
+  }
+  double deadline_sec = std::max(single_latency, 1e-9) * deadline_mult;
+  serve::ServeMetrics::Snapshot slo;
+  {
+    serve::ServeMetrics metrics(gate_threads);
+    closed_loop(gate_threads, batches_or->back() > 0
+                    ? static_cast<size_t>(batches_or->back())
+                    : 8,
+                deadline_sec, num_requests, num_requests, false, &metrics,
+                nullptr);
+    slo = metrics.Scrape();
+  }
+  if (slo.deadline_misses != 0 || slo.latency_p99_sec > deadline_sec) {
+    std::fprintf(stderr,
+                 "FAIL[slo]: misses=%llu p99=%.6g deadline=%.6g\n",
+                 static_cast<unsigned long long>(slo.deadline_misses),
+                 slo.latency_p99_sec, deadline_sec);
+    ok = false;
+  }
+  std::printf(
+      "slo: single-request latency %.6gs, deadline %.6gs -> p99 %.6gs, "
+      "%llu misses\n",
+      single_latency, deadline_sec, slo.latency_p99_sec,
+      static_cast<unsigned long long>(slo.deadline_misses));
+
+  // --- Gate 3: overload rejects, bounded queue, full accounting ------
+  serve::ServeMetrics::Snapshot overload;
+  {
+    serve::ServeMetrics metrics(gate_threads);
+    std::vector<serve::Response> responses =
+        closed_loop(gate_threads, batches_or->back() > 0
+                        ? static_cast<size_t>(batches_or->back())
+                        : 8,
+                    0.0, num_requests, queue_capacity, /*burst=*/true,
+                    &metrics, nullptr);
+    overload = metrics.Scrape();
+    uint64_t accounted = overload.rejected + overload.completed +
+                         overload.deadline_misses + overload.failed;
+    if (overload.rejected == 0) {
+      std::fprintf(stderr, "FAIL[overload]: burst of %zu into a %zu-slot "
+                           "queue produced no rejects\n",
+                   num_requests, queue_capacity);
+      ok = false;
+    }
+    if (overload.max_queue_depth > queue_capacity) {
+      std::fprintf(stderr, "FAIL[overload]: queue depth %llu exceeded "
+                           "capacity %zu\n",
+                   static_cast<unsigned long long>(overload.max_queue_depth),
+                   queue_capacity);
+      ok = false;
+    }
+    if (accounted != num_requests) {
+      std::fprintf(stderr, "FAIL[overload]: %llu of %zu requests "
+                           "accounted for\n",
+                   static_cast<unsigned long long>(accounted), num_requests);
+      ok = false;
+    }
+    if (responses.size() != num_requests - overload.rejected) {
+      std::fprintf(stderr, "FAIL[overload]: %zu responses for %llu "
+                           "admitted requests\n",
+                   responses.size(),
+                   static_cast<unsigned long long>(num_requests -
+                                                   overload.rejected));
+      ok = false;
+    }
+  }
+  std::printf(
+      "overload: %zu offered into %zu slots -> %llu rejected, max depth "
+      "%llu, conservation %s\n\n",
+      num_requests, queue_capacity,
+      static_cast<unsigned long long>(overload.rejected),
+      static_cast<unsigned long long>(overload.max_queue_depth),
+      ok ? "holds" : "BROKEN");
+
+  // --- Open-loop sweep: Poisson arrivals on the executor clock -------
+  std::vector<SweepRow> rows;
+  for (int threads : *threads_or) {
+    for (int batch : *batches_or) {
+      for (int lambda : *lambdas_or) {
+        SweepRow row;
+        row.threads = threads;
+        row.batch = static_cast<size_t>(batch);
+        row.lambda = static_cast<double>(lambda);
+
+        auto exec = MakeBenchExecutor(flags, threads);
+        env.SetExecutor(exec.get());
+        ops::ExecContext ctx;
+        ctx.executor = exec.get();
+        serve::ServerOptions options;
+        options.queue_capacity = queue_capacity;
+        options.max_batch = static_cast<size_t>(batch);
+        options.inline_threshold = inline_threshold;
+        serve::ServeMetrics metrics(threads);
+        serve::AnalyticsServer server(ctx, model.get(), options, &metrics);
+
+        Rng rng(0xC0FFEEULL + static_cast<uint64_t>(lambda) * 1000 +
+                static_cast<uint64_t>(threads));
+        double start = exec->Now();
+        for (size_t i = 0; i < num_requests; ++i) {
+          // Exponential interarrival gap, charged as idle device time so
+          // the virtual clock advances between submissions.
+          double gap = -std::log(1.0 - rng.NextDouble()) /
+                       static_cast<double>(lambda);
+          exec->ChargeIoTime(gap, 1);
+          (void)server.Submit(i, bodies[i % bodies.size()],
+                              exec->Now() + deadline_sec);
+          (void)server.Poll();
+        }
+        (void)server.Drain();
+        row.wall_sec = exec->Now() - start;
+        row.metrics = metrics.Scrape();
+        row.throughput =
+            row.wall_sec > 0
+                ? static_cast<double>(row.metrics.completed) / row.wall_sec
+                : 0.0;
+        row.spawns_suppressed = exec->scheduler_stats().spawns_suppressed;
+        env.SetExecutor(nullptr);
+        rows.push_back(row);
+      }
+    }
+  }
+
+  std::printf("%-8s %-6s %-8s %-10s %-9s %-8s %-10s %-10s %-10s\n",
+              "threads", "batch", "lambda", "completed", "rejected",
+              "misses", "p50", "p99", "req/s");
+  for (const SweepRow& row : rows) {
+    std::printf("%-8d %-6zu %-8.0f %-10llu %-9llu %-8llu %-10.3g %-10.3g "
+                "%-10.1f\n",
+                row.threads, row.batch, row.lambda,
+                static_cast<unsigned long long>(row.metrics.completed),
+                static_cast<unsigned long long>(row.metrics.rejected),
+                static_cast<unsigned long long>(row.metrics.deadline_misses),
+                row.metrics.latency_p50_sec, row.metrics.latency_p99_sec,
+                row.throughput);
+  }
+  std::printf(
+      "\nexpected shape: larger batch ceilings raise throughput at high "
+      "offered\nload (region setup amortizes) at some cost in p50; when "
+      "the offered load\nexceeds service capacity the bounded queue "
+      "converts the excess into\nrejects instead of unbounded latency.\n\n");
+
+  std::string json = StrFormat(
+      "{\"bench\":\"serve_load\",\"requests\":%zu,\"identity\":%s,"
+      "\"slo_deadline\":%.6g,\"slo_p99\":%.6g,\"slo_misses\":%llu,"
+      "\"overload_rejected\":%llu,\"rows\":[",
+      num_requests, ok ? "true" : "false", deadline_sec,
+      slo.latency_p99_sec,
+      static_cast<unsigned long long>(slo.deadline_misses),
+      static_cast<unsigned long long>(overload.rejected));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    if (i > 0) json += ",";
+    json += StrFormat(
+        "{\"threads\":%d,\"batch\":%zu,\"lambda\":%.0f,"
+        "\"completed\":%llu,\"rejected\":%llu,\"misses\":%llu,"
+        "\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g,\"throughput\":%.1f,"
+        "\"occupancy\":%.2f,\"spawns_suppressed\":%llu}",
+        row.threads, row.batch, row.lambda,
+        static_cast<unsigned long long>(row.metrics.completed),
+        static_cast<unsigned long long>(row.metrics.rejected),
+        static_cast<unsigned long long>(row.metrics.deadline_misses),
+        row.metrics.latency_p50_sec, row.metrics.latency_p95_sec,
+        row.metrics.latency_p99_sec, row.throughput,
+        row.metrics.mean_batch_occupancy,
+        static_cast<unsigned long long>(row.spawns_suppressed));
+  }
+  json += "]}";
+  std::printf("%s\n", json.c_str());
+
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: serving gates violated\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpa::bench
+
+int main(int argc, char** argv) { return hpa::bench::Run(argc, argv); }

@@ -17,6 +17,11 @@
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "core/optimizer.h"
+#include "io/packed_corpus.h"
+#include "ops/exec_context.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
 #include "core/plan_io.h"
 #include "core/report.h"
 #include "core/standard_ops.h"
@@ -58,6 +63,15 @@ int main(int argc, char** argv) {
   flags.DefineString("output_dir", "",
                      "where results land (default: <tmp>/hpa_cli)");
   flags.DefineBool("stem", false, "Porter-stem tokens before counting");
+  flags.DefineInt("serve", 0,
+                  "serve mode: fit a model from the corpus, publish it to "
+                  "the registry, then answer this many classification "
+                  "requests (skips the batch workflow)");
+  flags.DefineInt("serve_batch", 8, "serve mode: micro-batch ceiling");
+  flags.DefineDouble("serve_deadline_ms", 0.0,
+                     "serve mode: per-request deadline in virtual "
+                     "milliseconds (0 = none)");
+  flags.DefineInt("serve_queue", 64, "serve mode: admission queue slots");
   if (auto s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 2;
@@ -103,6 +117,81 @@ int main(int argc, char** argv) {
               corpus.name.c_str(), WithThousands(stats.documents).c_str(),
               HumanBytes(stats.bytes).c_str(),
               WithThousands(stats.distinct_words).c_str());
+
+  // --- serve mode ----------------------------------------------------------
+  // Fit -> publish -> serve, instead of running the batch DAG: the online
+  // half of the same workflow, answering "which cluster is this document?"
+  // against a registry snapshot.
+  if (flags.GetInt("serve") > 0) {
+    const size_t requests = static_cast<size_t>(flags.GetInt("serve"));
+    parallel::SimulatedExecutor exec(
+        static_cast<int>(flags.GetInt("workers")),
+        parallel::MachineModel::Default());
+    corpus_disk.set_executor(&exec);
+    scratch_disk.set_executor(&exec);
+    auto reader = io::PackedCorpusReader::Open(&corpus_disk, "corpus.pack");
+    if (!reader.ok()) return Fail(reader.status());
+
+    ops::ExecContext ctx;
+    ctx.executor = &exec;
+    ctx.corpus_disk = &corpus_disk;
+    ctx.scratch_disk = &scratch_disk;
+    serve::ModelConfig config;
+    config.stem_tokens = flags.GetBool("stem");
+    config.clusters = static_cast<int>(flags.GetInt("clusters"));
+    serve::ModelRegistry registry(&scratch_disk, "models");
+    ops::KMeansOptions kmeans;
+    kmeans.max_iterations = 25;
+    auto model = registry.Fit(ctx, *reader, config, kmeans);
+    if (!model.ok()) return Fail(model.status());
+    std::printf(
+        "model: v%llu published to %s/models (fingerprint %016llx, %s "
+        "terms, %d clusters)\n",
+        static_cast<unsigned long long>(model->version()), out_dir.c_str(),
+        static_cast<unsigned long long>(model->fingerprint()),
+        WithThousands(model->vectorizer().vocabulary_size()).c_str(),
+        config.clusters);
+
+    serve::ServerOptions sopts;
+    sopts.queue_capacity = static_cast<size_t>(flags.GetInt("serve_queue"));
+    sopts.max_batch = static_cast<size_t>(flags.GetInt("serve_batch"));
+    const double deadline_sec =
+        flags.GetDouble("serve_deadline_ms") / 1000.0;
+    serve::ServeMetrics metrics(static_cast<int>(flags.GetInt("workers")));
+    serve::AnalyticsServer server(ctx, &*model, sopts, &metrics);
+
+    std::vector<uint64_t> cluster_counts(
+        static_cast<size_t>(config.clusters), 0);
+    auto absorb = [&](std::vector<serve::Response> responses) {
+      for (const serve::Response& r : responses) {
+        if (r.outcome == serve::RequestOutcome::kOk) {
+          ++cluster_counts[r.cluster];
+        }
+      }
+    };
+    for (size_t i = 0; i < requests; ++i) {
+      auto body = reader->ReadBody(i % reader->size());
+      if (!body.ok()) return Fail(body.status());
+      double deadline =
+          deadline_sec > 0 ? exec.Now() + deadline_sec : 0.0;
+      (void)server.Submit(i, std::move(*body), deadline);
+      absorb(server.Poll());
+    }
+    absorb(server.Drain());
+
+    serve::ServeMetrics::Snapshot snap = metrics.Scrape();
+    std::printf("\nserved %zu requests (batch<=%zu):\n  %s\n", requests,
+                sopts.max_batch, snap.Summary().c_str());
+    std::printf("cluster occupancy:");
+    for (size_t c = 0; c < cluster_counts.size(); ++c) {
+      std::printf(" %zu:%llu", c,
+                  static_cast<unsigned long long>(cluster_counts[c]));
+    }
+    std::printf("\nmodel registry: %s/models (reload with the same "
+                "config; fingerprint-checked)\n",
+                out_dir.c_str());
+    return 0;
+  }
 
   // --- workflow ------------------------------------------------------------
   core::Workflow wf;

@@ -27,6 +27,77 @@ void RunningStats::Merge(const RunningStats& other) {
   n_ = total;
 }
 
+LogHistogram::LogHistogram(double min_value, double growth, size_t buckets)
+    : min_value_(min_value > 0.0 ? min_value : 1e-9),
+      growth_(growth > 1.0 ? growth : 1.5),
+      inv_log_growth_(1.0 / std::log(growth > 1.0 ? growth : 1.5)),
+      counts_(buckets < 2 ? 2 : buckets, 0) {}
+
+size_t LogHistogram::BucketFor(double x) const {
+  if (!(x > min_value_)) return 0;
+  double b = std::log(x / min_value_) * inv_log_growth_;
+  size_t i = static_cast<size_t>(b) + 1;
+  return i < counts_.size() ? i : counts_.size() - 1;
+}
+
+double LogHistogram::BucketLowerBound(size_t i) const {
+  if (i == 0) return 0.0;
+  return min_value_ * std::pow(growth_, static_cast<double>(i - 1));
+}
+
+void LogHistogram::Add(double x) {
+  if (x < 0.0) x = 0.0;
+  ++counts_[BucketFor(x)];
+  if (n_ == 0 || x < min_) min_ = x;
+  if (n_ == 0 || x > max_) max_ = x;
+  sum_ += x;
+  ++n_;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.n_ == 0) return;
+  if (counts_.size() != other.counts_.size() ||
+      min_value_ != other.min_value_ || growth_ != other.growth_) {
+    return;  // geometry mismatch: refuse rather than mis-bucket
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (n_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (n_ == 0 || other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Target rank in [1, n]; walk the cumulative counts to its bucket.
+  double rank = q * static_cast<double>(n_);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    double lo = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= rank) {
+      // Interpolate linearly inside the bucket by rank fraction.
+      double frac = (rank - lo) / static_cast<double>(counts_[i]);
+      double lower = BucketLowerBound(i);
+      double upper = i + 1 < counts_.size()
+                         ? BucketLowerBound(i + 1)
+                         : max_;  // overflow bucket: cap at observed max
+      double v = lower + (upper - lower) * frac;
+      return std::min(std::max(v, min_), max_);
+    }
+  }
+  return max_;
+}
+
+std::string LogHistogram::Summary() const {
+  return StrFormat("n=%llu mean=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g",
+                   static_cast<unsigned long long>(n_), mean(),
+                   Quantile(0.5), Quantile(0.95), Quantile(0.99), max());
+}
+
 void SampleSet::EnsureSorted() {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -48,6 +48,69 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Fixed-bucket log-scale histogram: O(1) insert, O(buckets) quantile,
+/// constant memory, mergeable across workers. Bucket i covers
+/// [min_value * growth^i, min_value * growth^(i+1)); values below the
+/// first boundary land in bucket 0, values past the last in the final
+/// (overflow) bucket. Exact min/max are tracked on the side so the tails
+/// never report outside the observed range.
+///
+/// This is the shared tail-reporting primitive: serve/metrics prices
+/// request latencies into it on the executor's (virtual) clock, and the
+/// bench JSON tails quote its p50/p95/p99 — so a server scrape and a bench
+/// report mean the same thing by construction. Quantiles are a pure
+/// function of the bucket counts (rank walk + linear interpolation inside
+/// the bucket), so equal sample multisets give equal read-outs regardless
+/// of arrival order or worker interleaving.
+class LogHistogram {
+ public:
+  /// Default geometry spans ~1us .. ~5e5s in 64 buckets (growth 1.5x,
+  /// ~7% worst-case relative rounding at the bucket midpoint) — wide
+  /// enough for both micro-benchmark latencies and whole-run durations.
+  explicit LogHistogram(double min_value = 1e-6, double growth = 1.5,
+                        size_t buckets = 64);
+
+  /// Adds one sample (negative values clamp to zero => bucket 0).
+  void Add(double x);
+
+  /// Folds `other` into this histogram. Geometries must match (same
+  /// min_value/growth/bucket count); mismatch is a programming error and
+  /// the merge is skipped.
+  void Merge(const LogHistogram& other);
+
+  uint64_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+
+  /// Quantile in [0, 1]: rank walk over the cumulative counts with linear
+  /// interpolation inside the containing bucket, clamped to the exact
+  /// observed [min, max]. Returns 0 on an empty histogram.
+  double Quantile(double q) const;
+
+  /// "n=… mean=… p50=… p95=… p99=… max=…" (for logs and JSON tails).
+  std::string Summary() const;
+
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+
+  /// Inclusive lower bound of bucket `i` (0 for bucket 0).
+  double BucketLowerBound(size_t i) const;
+
+ private:
+  size_t BucketFor(double x) const;
+
+  double min_value_;
+  double growth_;
+  double inv_log_growth_;
+  std::vector<uint64_t> counts_;
+  uint64_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
 /// Collects samples and answers exact quantile queries. For bench-scale
 /// sample counts (<= millions) exactness beats sketching.
 class SampleSet {

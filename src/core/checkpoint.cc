@@ -212,11 +212,24 @@ StatusOr<uint32_t> ChecksumArtifact(io::SimDisk* disk,
   return Crc32(contents);
 }
 
+/// A sharded-ARFF artifact has no single file at its base path; its own
+/// manifest is the commit record and carries every shard's CRC-32, so
+/// checkpoint integrity checks target that file instead. Checksumming it
+/// transitively covers the shard bytes (the sharded reader re-verifies
+/// each shard against the recorded CRCs on load).
+std::string ChecksumTargetPath(io::SimDisk* disk, const std::string& rel_path) {
+  if (!disk->Exists(rel_path) && disk->Exists(rel_path + ".manifest")) {
+    return rel_path + ".manifest";
+  }
+  return rel_path;
+}
+
 Status WriteNodeCheckpoint(io::SimDisk* disk,
                            const std::string& checkpoint_dir,
                            CheckpointManifest manifest) {
-  HPA_ASSIGN_OR_RETURN(std::string contents,
-                       disk->ReadFile(manifest.artifact_path));
+  HPA_ASSIGN_OR_RETURN(
+      std::string contents,
+      disk->ReadFile(ChecksumTargetPath(disk, manifest.artifact_path)));
   manifest.artifact_bytes = contents.size();
   manifest.artifact_crc32 = Crc32(contents);
   HPA_RETURN_IF_ERROR(io::MakeDirs(disk->AbsPath(checkpoint_dir)));
@@ -264,17 +277,18 @@ CheckpointLoadResult LoadNodeCheckpoint(io::SimDisk* disk,
         static_cast<unsigned long long>(manifest->fingerprint),
         static_cast<unsigned long long>(expected_fingerprint)));
   }
-  if (!disk->Exists(manifest->artifact_path)) {
+  const std::string target = ChecksumTargetPath(disk, manifest->artifact_path);
+  if (!disk->Exists(target)) {
     return reject("artifact '" + manifest->artifact_path + "' missing");
   }
-  auto size = disk->FileSize(manifest->artifact_path);
+  auto size = disk->FileSize(target);
   if (!size.ok() || *size != manifest->artifact_bytes) {
     return reject(StrFormat(
         "artifact size %llu != recorded %llu",
         static_cast<unsigned long long>(size.ok() ? *size : 0),
         static_cast<unsigned long long>(manifest->artifact_bytes)));
   }
-  auto crc = ChecksumArtifact(disk, manifest->artifact_path);
+  auto crc = ChecksumArtifact(disk, target);
   if (!crc.ok()) {
     return reject("artifact unreadable: " + crc.status().ToString());
   }

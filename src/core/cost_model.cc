@@ -48,8 +48,8 @@ DictCostParams DictCostParams::Defaults(containers::DictBackend backend,
 }
 
 PhaseCostEstimate CostModel::Estimate(containers::DictBackend backend,
-                                      int workers,
-                                      uint64_t per_doc_presize) const {
+                                      int workers, uint64_t per_doc_presize,
+                                      int output_channels) const {
   if (workers < 1) workers = 1;
   const DictCostParams p = DictCostParams::Defaults(backend, per_doc_presize);
   const double tokens = static_cast<double>(stats_.total_tokens);
@@ -96,14 +96,24 @@ PhaseCostEstimate CostModel::Estimate(containers::DictBackend backend,
         sort_seconds + std::max(cpu_seconds / w, bandwidth_seconds);
   }
 
-  // discrete output: the same scoring work, strictly serial, plus
-  // formatting (~90ns/score) — disk time comes on top from the disk model.
+  // discrete output: the same scoring work plus formatting (~90ns/score)
+  // — disk time comes on top from the disk model. Strictly serial on a
+  // single-channel device (the ARFF single-file constraint); with a
+  // multi-channel scratch device the operator writes sharded ARFF, so the
+  // scoring+formatting pass parallelizes like the transform, under the
+  // same roofline.
   {
     double sort_seconds =
         p.sorted_iteration ? vocab * 30.0e-9
                            : vocab * std::log2(std::max(2.0, vocab)) * 15.0e-9;
-    e.output_seconds =
-        sort_seconds + doc_entries * (p.lookup_ns + 60.0 + 90.0) * 1e-9;
+    double cpu_seconds = doc_entries * (p.lookup_ns + 60.0 + 90.0) * 1e-9;
+    if (output_channels > 1) {
+      double bandwidth_seconds = e.dict_bytes / bw;
+      e.output_seconds =
+          sort_seconds + std::max(cpu_seconds / w, bandwidth_seconds);
+    } else {
+      e.output_seconds = sort_seconds + cpu_seconds;
+    }
   }
 
   return e;

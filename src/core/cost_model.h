@@ -48,7 +48,10 @@ struct DictCostParams {
 struct PhaseCostEstimate {
   double input_wc_seconds = 0.0;
   double transform_seconds = 0.0;
-  double output_seconds = 0.0;   ///< serial ARFF scoring+write (discrete)
+  /// Discrete ARFF scoring+write: strictly serial on single-channel
+  /// scratch (the classic format constraint), parallel when the estimate
+  /// was made for a multi-channel device (sharded-ARFF output).
+  double output_seconds = 0.0;
   double dict_bytes = 0.0;       ///< predicted dictionary footprint
 
   double TotalFused() const { return input_wc_seconds + transform_seconds; }
@@ -61,9 +64,15 @@ class CostModel {
       : machine_(machine), stats_(stats) {}
 
   /// Predicts phase times for `backend` with `workers` parallel workers and
-  /// the given per-document table pre-size.
+  /// the given per-document table pre-size. `output_channels` is the
+  /// scratch device's channel count: 1 models the serial single-file ARFF
+  /// pass, > 1 the sharded-ARFF output whose scoring+formatting work
+  /// parallelizes across workers (shard writes overlap at the device, so
+  /// only the CPU side remains in this estimate — disk time comes from the
+  /// disk model, as ever).
   PhaseCostEstimate Estimate(containers::DictBackend backend, int workers,
-                             uint64_t per_doc_presize) const;
+                             uint64_t per_doc_presize,
+                             int output_channels = 1) const;
 
   /// The backend minimizing fused workflow time at `workers`.
   containers::DictBackend BestBackend(int workers,

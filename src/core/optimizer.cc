@@ -78,7 +78,8 @@ ExecutionPlan OptimizeWorkflow(const Workflow& workflow,
     if (!materialize && options.failure_probability > 0.0 &&
         !workflow.IsSource(static_cast<int>(i))) {
       PhaseCostEstimate est = cost_model.Estimate(
-          backend, plan.workers, options.per_doc_dict_presize);
+          backend, plan.workers, options.per_doc_dict_presize,
+          options.scratch_channels);
       double saved = options.failure_probability *
                      static_cast<double>(AncestorOperatorCount(
                          workflow, static_cast<int>(i))) *

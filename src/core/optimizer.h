@@ -39,6 +39,12 @@ struct OptimizerOptions {
   /// (std::map / std::unordered_map) instead of all five.
   bool paper_backends_only = false;
 
+  /// Channel count of the scratch device the plan will run against.
+  /// > 1 means materialized edges use sharded-ARFF output, whose
+  /// scoring+formatting pass parallelizes — which lowers the overhead
+  /// side of the checkpoint placement rule below.
+  int scratch_channels = 1;
+
   /// Probability that a run dies mid-dag (environment knowledge, e.g.
   /// observed fault rates). > 0 enables the checkpoint placement rule: an
   /// interior edge is materialized — and therefore checkpointed by the

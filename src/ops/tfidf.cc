@@ -22,6 +22,28 @@ StatusOr<containers::SparseMatrix> ReadTfidfArff(
     ExecContext& ctx, const std::string& arff_path) {
   StatusOr<containers::SparseMatrix> result =
       Status::Internal("kmeans-input never ran");
+
+  // A sharded intermediate announces itself by its manifest (the commit
+  // record); read it back with the parallel multi-shard path, honoring
+  // the run's fault policy. Otherwise fall through to the serial
+  // single-file parse the format classically demands.
+  if (ctx.scratch_disk != nullptr &&
+      ctx.scratch_disk->Exists(arff_path + ".manifest")) {
+    ctx.TimePhase("kmeans-input", [&] {
+      auto sharded = io::ReadShardedArff(ctx.scratch_disk, ctx.executor,
+                                         arff_path, ctx.fault_policy);
+      if (!sharded.ok()) {
+        result = sharded.status();
+        return;
+      }
+      if (ctx.quarantine != nullptr) {
+        ctx.quarantine->MergeFrom(std::move(sharded->quarantine));
+      }
+      result = std::move(sharded->data);
+    });
+    return result;
+  }
+
   ctx.TimePhase("kmeans-input", [&] {
     ctx.executor->RunSerial(parallel::WorkHint{0, "kmeans-input"}, [&] {
       auto rel = io::ReadSparseArff(ctx.scratch_disk, arff_path);

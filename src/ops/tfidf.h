@@ -13,6 +13,7 @@
 #include "containers/sparse_matrix.h"
 #include "io/arff.h"
 #include "io/packed_corpus.h"
+#include "io/sharded_arff.h"
 #include "ops/exec_context.h"
 #include "ops/word_count.h"
 
@@ -345,6 +346,47 @@ Status TfidfToArffT(ExecContext& ctx, const io::PackedCorpusReader& corpus,
     // The discrete form's result is the file, so the word-count quarantine
     // would otherwise be dropped on the floor; surface it to the workflow.
     ctx.quarantine->MergeFrom(std::move(wc.quarantine));
+  }
+
+  // Device-aware output: the serial single-file pass below exists because
+  // "the ARFF format does not facilitate parallel output" — but on a
+  // multi-channel scratch device that format choice, not the device, is
+  // the bottleneck. There the operator writes the sharded-ARFF v2 layout
+  // instead (one shard per channel, parallel transform + parallel shard
+  // writes, manifest as commit record); downstream readers dispatch on
+  // the manifest's presence, so the switch is transparent.
+  if (ctx.scratch_disk != nullptr &&
+      ctx.scratch_disk->options().channels > 1) {
+    Status status;
+    ctx.TimePhase("tfidf-output", [&] {
+      std::vector<std::string> terms =
+          tfidf_internal::AssignTermIds(ctx, wc, options);
+      containers::SparseMatrix matrix;
+      ctx.executor->RunSerial(parallel::WorkHint{0, "tfidf-output-setup"},
+                              [&] {
+                                matrix.num_cols =
+                                    static_cast<uint32_t>(terms.size());
+                                matrix.rows.resize(wc.num_documents());
+                              });
+      parallel::WorkerLocal<std::vector<std::pair<uint32_t, float>>> scratch(
+          *ctx.executor);
+      parallel::WorkHint hint;
+      hint.bytes_touched = wc.ApproxDictBytes();
+      hint.label = "tfidf-output-rows";
+      ctx.executor->ParallelFor(
+          0, wc.num_documents(), 0, hint,
+          [&](int worker, size_t begin, size_t end) {
+            auto& pairs = scratch.Get(worker);
+            for (size_t i = begin; i < end; ++i) {
+              tfidf_internal::BuildScoreRow(wc, i, options, pairs,
+                                            matrix.rows[i]);
+            }
+          });
+      status = io::WriteShardedArff(ctx.scratch_disk, ctx.executor,
+                                    arff_path, "tfidf", terms, matrix,
+                                    ctx.scratch_disk->options().channels);
+    });
+    return status;
   }
 
   Status status;

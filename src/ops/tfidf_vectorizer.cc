@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "text/stemmer.h"
 #include "text/tokenizer.h"
 
 namespace hpa::ops {
@@ -25,10 +26,16 @@ void TfidfVectorizer::BuildIndex() {
 }
 
 containers::SparseVector TfidfVectorizer::Score(
-    std::string_view body, const text::TokenizerOptions& tokenizer) const {
+    std::string_view body, const text::TokenizerOptions& tokenizer,
+    bool stem_tokens) const {
   // Per-document term frequencies over known terms only.
   containers::OpenHashMap<uint32_t, uint32_t> tf(64);
+  std::string stem_buf;
   text::ForEachToken(body, tokenizer, [&](std::string_view token) {
+    if (stem_tokens) {
+      stem_buf.assign(token);
+      token = text::PorterStem(stem_buf);
+    }
     const uint32_t* id = index_.Find(token);
     if (id != nullptr) tf.FindOrInsert(*id) += 1;
   });

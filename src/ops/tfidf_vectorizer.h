@@ -33,9 +33,12 @@ class TfidfVectorizer {
 
   /// Scores one document body: tokenize (with `tokenizer`), look up each
   /// term, weight by tf * ln(N/df), sort by id, normalize per options.
-  containers::SparseVector Score(
-      std::string_view body,
-      const text::TokenizerOptions& tokenizer = {}) const;
+  /// `stem_tokens` must match the fit: a model fitted from a stemming
+  /// workflow has stemmed terms in its vocabulary, so raw tokens would
+  /// silently miss.
+  containers::SparseVector Score(std::string_view body,
+                                 const text::TokenizerOptions& tokenizer = {},
+                                 bool stem_tokens = false) const;
 
   /// Number of terms in the vocabulary.
   size_t vocabulary_size() const { return terms_.size(); }

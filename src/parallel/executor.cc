@@ -33,10 +33,16 @@ void SerialExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
   // e.g. per-chunk scratch reuse, is identical across executors. Nested
   // ParallelFor calls from `body` re-enter here and run inline, with their
   // own stop scope.
+  const bool suppress =
+      inline_threshold_ > 0 && end - begin <= inline_threshold_;
   for (size_t b = begin; b < end; b += grain) {
     if (stops_.StopRequested()) break;
     size_t e = b + grain < end ? b + grain : end;
-    ++stats_.tasks_spawned;
+    if (suppress) {
+      ++stats_.spawns_suppressed;
+    } else {
+      ++stats_.tasks_spawned;
+    }
     ++stats_.per_worker_tasks[0];
     body(0, b, e);
   }

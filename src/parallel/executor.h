@@ -66,6 +66,12 @@ struct SchedulerStats {
   /// Deepest nesting of parallel regions observed (1 = flat).
   uint64_t max_task_depth = 0;
 
+  /// Chunks that would have been spawned as stealable tasks but ran inline
+  /// in the calling context because their region fell at or below the
+  /// executor's inline threshold (see Executor::set_inline_threshold).
+  /// 0 unless the depth-bounded sequential fallback is enabled.
+  uint64_t spawns_suppressed = 0;
+
   /// Chunks executed per worker, index = worker id.
   std::vector<uint64_t> per_worker_tasks;
 };
@@ -144,6 +150,27 @@ class Executor {
   /// enclosing the caller, or against any of its ancestors. Chunk bodies
   /// poll this between items to quit early.
   virtual bool stop_requested() const = 0;
+
+  /// Depth-bounded sequential fallback: a region whose total item count is
+  /// at or below this threshold runs its chunks inline in the calling
+  /// context instead of spawning stealable tasks — spawn/steal overhead
+  /// (and, on the simulated executor, per-chunk spawn pricing) is skipped,
+  /// and SchedulerStats::spawns_suppressed counts the chunks involved.
+  /// Chunk boundaries, worker-visible results, and region-scoped
+  /// cancellation semantics are unchanged; only the schedule is. 0 (the
+  /// default) disables the fallback entirely, preserving the historical
+  /// behavior bit-for-bit. The knob exists for callers that issue many
+  /// tiny regions (e.g. the serving path's micro-batches), where spawn
+  /// overhead would dominate the work.
+  ///
+  /// Thread-compatibility matches the executor itself: set it from the
+  /// submitting thread between regions, not from inside chunk bodies.
+  void set_inline_threshold(size_t items) { inline_threshold_ = items; }
+  size_t inline_threshold() const { return inline_threshold_; }
+
+ protected:
+  /// Item-count threshold at or below which ParallelFor runs inline.
+  size_t inline_threshold_ = 0;
 };
 
 /// Region-scoped cooperative-stop state for the single-threaded executors

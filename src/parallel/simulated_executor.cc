@@ -16,6 +16,10 @@ void SimulatedExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
                                     const RangeBody& body) {
   if (begin >= end) return;
   if (grain == 0) grain = AutoGrain(end - begin);
+  if (inline_threshold_ > 0 && end - begin <= inline_threshold_) {
+    InlineRegion(begin, end, grain, hint, body);
+    return;
+  }
 
   RegionFrame fr;
   if (!chunk_stack_.empty()) {
@@ -138,6 +142,84 @@ void SimulatedExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
     virtual_now_ = region_end;
     total_parallel_ += charged;
   }
+}
+
+void SimulatedExecutor::InlineRegion(size_t begin, size_t end, size_t grain,
+                                     const WorkHint& hint,
+                                     const RangeBody& body) {
+  stops_.EnterRegion();
+  ++stats_.regions;
+
+  if (!chunk_stack_.empty()) {
+    // Nested: fold the whole region into the spawning chunk. The chunk's
+    // running timer keeps measuring, so the inline work's CPU accrues to
+    // the parent chunk with no spawn pricing or placement; I/O charged by
+    // the body lands on the parent chunk/region as task-local work. The
+    // worker index is the parent's — the work really runs there.
+    const int w = chunk_stack_.back().worker;
+    for (size_t b = begin; b < end; b += grain) {
+      if (stops_.StopRequested()) break;
+      size_t e = b + grain < end ? b + grain : end;
+      ++stats_.spawns_suppressed;
+      ++stats_.per_worker_tasks[static_cast<size_t>(w)];
+      body(w, b, e);
+    }
+    stops_.ExitRegion();
+    return;
+  }
+
+  // Root: price the region as one worker-0 chunk with no per-chunk spawn
+  // overhead (the run really is sequential). RegionFrame + ChunkFrame are
+  // opened normally so that I/O charges and further-nested regions inside
+  // the body behave exactly as in the spawning path.
+  RegionFrame fr;
+  fr.ready = virtual_now_;
+  fr.finish_max = fr.ready;
+  fr.parent_worker = 0;
+  region_stack_.push_back(fr);
+  {
+    ChunkFrame cf;
+    cf.worker = 0;
+    cf.start = fr.ready;
+    chunk_stack_.push_back(cf);
+  }
+  chunk_stack_.back().timer.Restart();
+  size_t num_chunks = 0;
+  for (size_t b = begin; b < end; b += grain) {
+    if (stops_.StopRequested()) break;
+    size_t e = b + grain < end ? b + grain : end;
+    ++stats_.spawns_suppressed;
+    ++stats_.per_worker_tasks[0];
+    body(0, b, e);
+    ++num_chunks;
+  }
+  ChunkFrame& cf = chunk_stack_.back();
+  cf.cpu += cf.timer.ElapsedSeconds();
+  double finish = cf.start + cf.cpu + cf.wait;
+  double serial_cpu = cf.cpu;
+  if (trace_ != nullptr) {
+    trace_->Add(hint.label[0] != '\0' ? hint.label : "parallel-for", cf.start,
+                cf.cpu + cf.wait, 0);
+  }
+  chunk_stack_.pop_back();
+  RegionFrame done = region_stack_.back();
+  region_stack_.pop_back();
+  stops_.ExitRegion();
+
+  avail_[0] = std::max(avail_[0], finish);
+  double io_bound =
+      done.io_seconds / static_cast<double>(std::max(1, done.io_channels));
+  double charged = std::max(finish - done.ready, io_bound);
+
+  last_region_ = RegionStats{};
+  last_region_.serial_cpu_seconds = serial_cpu;
+  last_region_.makespan_seconds = finish - done.ready;
+  last_region_.io_seconds = io_bound;
+  last_region_.charged_seconds = charged;
+  last_region_.num_chunks = num_chunks;
+
+  virtual_now_ = done.ready + charged;
+  total_parallel_ += charged;
 }
 
 void SimulatedExecutor::RunSerial(const WorkHint& hint,

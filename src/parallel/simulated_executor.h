@@ -113,6 +113,13 @@ class SimulatedExecutor : public Executor {
     int parent_worker = 0;    ///< worker of the spawning chunk (0 for root)
   };
 
+  /// Depth-bounded fallback body (Executor::set_inline_threshold): runs the
+  /// region's chunks inline. Nested, it folds into the spawning chunk (the
+  /// chunk's running timer absorbs the CPU; no spawn pricing); at root it
+  /// is priced as a single worker-0 chunk with no per-chunk spawn overhead.
+  void InlineRegion(size_t begin, size_t end, size_t grain,
+                    const WorkHint& hint, const RangeBody& body);
+
   int workers_;
   MachineModel model_;
   double virtual_now_ = 0.0;

@@ -35,6 +35,12 @@ double MonotonicSeconds() {
 thread_local ThreadPoolExecutor* tl_pool = nullptr;
 thread_local int tl_worker = -1;
 
+// Set while a non-pool thread is running an *inline* root region of this
+// pool (it holds the one-root-submitter slot for the duration). Nested
+// ParallelFor calls from that thread must be treated as nested regions,
+// not as competing root submissions.
+thread_local ThreadPoolExecutor* tl_inline_root = nullptr;
+
 }  // namespace
 
 thread_local ThreadPoolExecutor::Region*
@@ -331,6 +337,38 @@ void ThreadPoolExecutor::JoinAsWorker(Region* region, int worker) {
 
 // --- Public interface -------------------------------------------------------
 
+void ThreadPoolExecutor::RunRegionInline(Region* region, int worker) {
+  // Depth-bounded fallback: the calling thread executes every chunk itself
+  // in order. Nothing is pushed, so there is no spawn or steal traffic; the
+  // region still gets its own stop scope (cancellation semantics are
+  // unchanged) and the usual regions/max-depth accounting.
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t depth = region->depth;
+  uint64_t seen = max_depth_.load(std::memory_order_relaxed);
+  while (depth > seen && !max_depth_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+  Region* prev_region = tl_current_region_;
+  tl_current_region_ = region;
+  size_t num_chunks = (region->end - region->begin + region->grain - 1) /
+                      region->grain;
+  const bool pool_thread = tl_pool == this;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (region->StopRequested()) break;
+    size_t b = region->begin + c * region->grain;
+    size_t e = std::min(b + region->grain, region->end);
+    (*region->body)(worker, b, e);
+    if (pool_thread) {
+      WorkerState& ws = *workers_[static_cast<size_t>(worker)];
+      ws.executed.fetch_add(1, std::memory_order_relaxed);
+      ws.suppressed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      suppressed_external_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  tl_current_region_ = prev_region;
+}
+
 void ThreadPoolExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
                                      const WorkHint& hint,
                                      const RangeBody& body) {
@@ -345,14 +383,79 @@ void ThreadPoolExecutor::ParallelFor(size_t begin, size_t end, size_t grain,
   region.end = end;
   region.grain = grain;
 
+  const bool inline_region =
+      inline_threshold_ > 0 && end - begin <= inline_threshold_;
+
   if (tl_pool == this) {
     // Nested region spawned from inside a chunk body of this pool.
     region.parent = tl_current_region_;
     region.depth = region.parent != nullptr ? region.parent->depth + 1 : 1;
+    if (inline_region) {
+      // Below the task-size threshold the spawning worker just runs the
+      // chunks itself — it would have executed most of them anyway (help-
+      // first join), and the deque/steal traffic costs more than the work.
+      RunRegionInline(&region, tl_worker);
+      return;
+    }
     active_regions_.fetch_add(1, std::memory_order_acq_rel);
     SeedRegion(&region, num_chunks, tl_worker);
     JoinAsWorker(&region, tl_worker);
     active_regions_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+
+  if (tl_inline_root == this) {
+    // Nested region from inside an inline root region running on the
+    // submitting (non-pool) thread. That thread already holds the
+    // one-root-submitter slot, so this is a nested region, not a second
+    // root. Small ones run inline right here; bigger ones are seeded
+    // through the injection queue (this thread owns no deque) and joined
+    // by blocking — pool workers execute the chunks.
+    region.parent = tl_current_region_;
+    region.depth = region.parent != nullptr ? region.parent->depth + 1 : 1;
+    if (inline_region) {
+      RunRegionInline(&region, /*worker=*/0);
+      return;
+    }
+    region.notify_on_done = true;
+    active_regions_.fetch_add(1, std::memory_order_acq_rel);
+    SeedRegion(&region, num_chunks, /*worker=*/-1);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&region] {
+        return region.tasks_outstanding.load(std::memory_order_acquire) == 0;
+      });
+    }
+    active_regions_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+
+  if (inline_region) {
+    // Tiny root region from a non-pool thread: claim the one-root-submitter
+    // slot (the contract still holds — a second submitter aborts below, as
+    // ever), then run the chunks on the calling thread as worker 0. No pool
+    // worker executes anything while the slot is held and no tasks are
+    // seeded, so worker-indexed scratch under index 0 stays race-free.
+    bool expected_inline = false;
+    if (!external_active_.compare_exchange_strong(
+            expected_inline, true, std::memory_order_acq_rel)) {
+      std::fprintf(stderr,
+                   "ThreadPoolExecutor: ParallelFor called from a second "
+                   "non-pool thread while a root region is active. The "
+                   "executor accepts one logical stream of root regions; "
+                   "use nested ParallelFor from inside a chunk body "
+                   "instead.\n");
+      std::abort();
+    }
+    region.stop.store(
+        pending_stop_.exchange(false, std::memory_order_acq_rel),
+        std::memory_order_release);
+    root_region_.store(&region, std::memory_order_release);
+    tl_inline_root = this;
+    RunRegionInline(&region, /*worker=*/0);
+    tl_inline_root = nullptr;
+    root_region_.store(nullptr, std::memory_order_release);
+    external_active_.store(false, std::memory_order_release);
     return;
   }
 
@@ -418,16 +521,19 @@ SchedulerStats ThreadPoolExecutor::scheduler_stats() const {
   s.regions = regions_.load(std::memory_order_relaxed);
   s.max_task_depth = max_depth_.load(std::memory_order_relaxed);
   s.per_worker_tasks.reserve(workers_.size());
+  s.spawns_suppressed = suppressed_external_.load(std::memory_order_relaxed);
   for (const auto& ws : workers_) {
     s.tasks_spawned += ws->spawned.load(std::memory_order_relaxed);
     s.steals += ws->steals.load(std::memory_order_relaxed);
+    s.spawns_suppressed += ws->suppressed.load(std::memory_order_relaxed);
     s.per_worker_tasks.push_back(ws->executed.load(std::memory_order_relaxed));
   }
   return s;
 }
 
 void ThreadPoolExecutor::RequestStop() {
-  if (tl_pool == this && tl_current_region_ != nullptr) {
+  if ((tl_pool == this || tl_inline_root == this) &&
+      tl_current_region_ != nullptr) {
     // From inside a chunk body: stop the innermost region only.
     tl_current_region_->stop.store(true, std::memory_order_release);
     return;
@@ -443,7 +549,8 @@ void ThreadPoolExecutor::RequestStop() {
 }
 
 bool ThreadPoolExecutor::stop_requested() const {
-  if (tl_pool == this && tl_current_region_ != nullptr) {
+  if ((tl_pool == this || tl_inline_root == this) &&
+      tl_current_region_ != nullptr) {
     return tl_current_region_->StopRequested();
   }
   Region* root = root_region_.load(std::memory_order_acquire);

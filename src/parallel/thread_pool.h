@@ -115,6 +115,7 @@ class ThreadPoolExecutor : public Executor {
     std::atomic<uint64_t> executed{0};  // chunks run on this worker
     std::atomic<uint64_t> steals{0};
     std::atomic<uint64_t> spawned{0};
+    std::atomic<uint64_t> suppressed{0};  // chunks run inline (no spawn)
   };
 
   /// Innermost region whose task this thread is currently executing; used
@@ -148,8 +149,15 @@ class ThreadPoolExecutor : public Executor {
   std::atomic<Region*> root_region_{nullptr};
   std::atomic<bool> pending_stop_{false};  // RequestStop outside any region
 
+  /// Runs `region`'s chunks inline on the calling thread as `worker` (the
+  /// depth-bounded fallback; no tasks are pushed, nothing is stealable).
+  void RunRegionInline(Region* region, int worker);
+
   std::atomic<uint64_t> regions_{0};
   std::atomic<uint64_t> max_depth_{0};
+  /// Chunks suppressed by inline root regions run on non-pool threads
+  /// (which have no WorkerState slot of their own).
+  std::atomic<uint64_t> suppressed_external_{0};
 
   double start_time_;
   std::atomic<int64_t> charged_io_picos_{0};

@@ -1,0 +1,101 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace hpa::serve {
+
+ServeMetrics::ServeMetrics(int workers) {
+  if (workers < 1) workers = 1;
+  slots_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+}
+
+void ServeMetrics::OnSubmitted(size_t queue_depth_after) {
+  ++submitted_;
+  max_queue_depth_ = std::max<uint64_t>(max_queue_depth_, queue_depth_after);
+}
+
+void ServeMetrics::OnCompleted(double latency_sec) {
+  ++completed_;
+  latency_.Add(latency_sec);
+}
+
+void ServeMetrics::OnDeadlineMiss(double latency_sec) {
+  ++deadline_misses_;
+  latency_.Add(latency_sec);
+}
+
+void ServeMetrics::OnFailed(double latency_sec) {
+  ++failed_;
+  latency_.Add(latency_sec);
+}
+
+void ServeMetrics::OnDocScored(int worker) {
+  slots_[static_cast<size_t>(worker)]->docs_scored.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::OnRetries(int worker, uint64_t attempts) {
+  if (attempts == 0) return;
+  slots_[static_cast<size_t>(worker)]->retries.fetch_add(
+      attempts, std::memory_order_relaxed);
+}
+
+void ServeMetrics::OnFault(int worker) {
+  slots_[static_cast<size_t>(worker)]->faults.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+ServeMetrics::Snapshot ServeMetrics::Scrape() const {
+  Snapshot s;
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.deadline_misses = deadline_misses_;
+  s.failed = failed_;
+  s.batches = batches_;
+  s.batched_requests = batched_requests_;
+  s.max_queue_depth = max_queue_depth_;
+  for (const auto& slot : slots_) {
+    s.docs_scored += slot->docs_scored.load(std::memory_order_relaxed);
+    s.retries += slot->retries.load(std::memory_order_relaxed);
+    s.faults += slot->faults.load(std::memory_order_relaxed);
+  }
+  s.mean_batch_occupancy =
+      batches_ > 0 ? static_cast<double>(batched_requests_) /
+                         static_cast<double>(batches_)
+                   : 0.0;
+  s.latency_count = latency_.count();
+  if (s.latency_count > 0) {
+    s.latency_p50_sec = latency_.Quantile(0.50);
+    s.latency_p95_sec = latency_.Quantile(0.95);
+    s.latency_p99_sec = latency_.Quantile(0.99);
+    s.latency_max_sec = latency_.max();
+    s.latency_mean_sec = latency_.mean();
+  }
+  return s;
+}
+
+std::string ServeMetrics::Snapshot::Summary() const {
+  return StrFormat(
+      "submitted=%llu rejected=%llu completed=%llu misses=%llu failed=%llu "
+      "batches=%llu occupancy=%.2f max_queue=%llu docs=%llu retries=%llu "
+      "faults=%llu p50=%.6g p95=%.6g p99=%.6g max=%.6g",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(deadline_misses),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(batches), mean_batch_occupancy,
+      static_cast<unsigned long long>(max_queue_depth),
+      static_cast<unsigned long long>(docs_scored),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(faults), latency_p50_sec,
+      latency_p95_sec, latency_p99_sec, latency_max_sec);
+}
+
+}  // namespace hpa::serve

@@ -1,0 +1,112 @@
+#ifndef HPA_SERVE_METRICS_H_
+#define HPA_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+/// \file
+/// Serving-side observability. Counters touched inside the batch's
+/// parallel region live in cache-line-separated per-worker slots (no
+/// synchronization on the hot path, same discipline as the sharded
+/// dictionary partials) and are folded on scrape; counters touched only
+/// by the submitting thread are plain fields. Latencies land in a shared
+/// log-bucket histogram (common/stats.h LogHistogram) priced on the
+/// executor clock, so percentiles are virtual-time deterministic on the
+/// simulated executor and directly comparable with bench JSON tails.
+
+namespace hpa::serve {
+
+/// Metrics sink for one AnalyticsServer. Submit/record calls follow the
+/// server's threading contract: everything except the per-worker hooks is
+/// called from the single submitting thread.
+class ServeMetrics {
+ public:
+  /// `workers` sizes the per-worker slot array (executor worker count).
+  explicit ServeMetrics(int workers);
+
+  // --- submitting-thread hooks ---------------------------------------
+
+  /// A request arrived at admission (before the queue-full check).
+  void OnSubmitted(size_t queue_depth_after);
+
+  /// A request bounced off the full queue.
+  void OnRejected() { ++rejected_; }
+
+  /// A batch was cut: `size` requests left the queue together.
+  void OnBatchFlushed(size_t size) {
+    ++batches_;
+    batched_requests_ += size;
+  }
+
+  /// Terminal accounting; `latency_sec` is finish - submit on the
+  /// executor clock. Failed requests also record latency (time to give
+  /// up is real time the client waited).
+  void OnCompleted(double latency_sec);
+  void OnDeadlineMiss(double latency_sec);
+  void OnFailed(double latency_sec);
+
+  // --- parallel-region hooks (worker-indexed, wait-free) --------------
+
+  void OnDocScored(int worker);
+  void OnRetries(int worker, uint64_t attempts);
+  void OnFault(int worker);
+
+  /// Point-in-time fold of every counter. Cheap; callable while the
+  /// server is live (per-worker slots are read with relaxed loads).
+  struct Snapshot {
+    uint64_t submitted = 0;  ///< admission attempts (admitted + rejected)
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    uint64_t deadline_misses = 0;
+    uint64_t failed = 0;
+    uint64_t batches = 0;
+    uint64_t batched_requests = 0;
+    uint64_t max_queue_depth = 0;
+    uint64_t docs_scored = 0;  ///< scoring executions inside batch regions
+    uint64_t retries = 0;      ///< extra scoring attempts beyond the first
+    uint64_t faults = 0;       ///< requests that exhausted the retry budget
+    double mean_batch_occupancy = 0.0;  ///< batched_requests / batches
+
+    double latency_p50_sec = 0.0;
+    double latency_p95_sec = 0.0;
+    double latency_p99_sec = 0.0;
+    double latency_max_sec = 0.0;
+    double latency_mean_sec = 0.0;
+    uint64_t latency_count = 0;
+
+    /// One line, stable field order — the serving twin of a bench tail.
+    std::string Summary() const;
+  };
+  Snapshot Scrape() const;
+
+  /// The underlying latency histogram (for merging across servers or
+  /// quantiles beyond the snapshot's fixed three).
+  const LogHistogram& latency_histogram() const { return latency_; }
+
+ private:
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> docs_scored{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> faults{0};
+  };
+
+  uint64_t submitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t deadline_misses_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t batched_requests_ = 0;
+  uint64_t max_queue_depth_ = 0;
+  LogHistogram latency_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+};
+
+}  // namespace hpa::serve
+
+#endif  // HPA_SERVE_METRICS_H_

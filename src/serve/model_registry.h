@@ -1,0 +1,152 @@
+#ifndef HPA_SERVE_MODEL_REGISTRY_H_
+#define HPA_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "containers/sparse_vector.h"
+#include "io/packed_corpus.h"
+#include "io/sim_disk.h"
+#include "ops/exec_context.h"
+#include "ops/kmeans.h"
+#include "ops/tfidf.h"
+#include "ops/tfidf_vectorizer.h"
+#include "text/tokenizer.h"
+
+/// \file
+/// Versioned registry of fitted serving artifacts: the frozen vocabulary +
+/// document frequencies (the TF/IDF model) and the final K-means centroid
+/// matrix. Fit once with the batch workflow, snapshot, classify forever.
+///
+/// Snapshots reuse the checkpoint discipline (core/checkpoint.h): every
+/// artifact is CRC-32'd, the per-version *manifest* is the commit record
+/// listing artifact paths, sizes, and checksums, and all files go through
+/// the disk's atomic whole-file path (temp + rename) — a crash mid-publish
+/// leaves either no manifest or a complete one, never a torn version. The
+/// `latest` pointer is written only after the manifest commits.
+///
+///   hpa-model-registry v1
+///   version <V>
+///   fingerprint <hex64>        — ModelFingerprint of the fit config
+///   tfidf <path> <bytes> <crc32 hex8>
+///   centroids <path> <bytes> <crc32 hex8>
+///   terms <T>
+///   clusters <K>
+///   documents <N>
+///   end
+///
+/// The fingerprint covers everything that determines what a score vector
+/// *means*: tokenizer shape, stemming, TF/IDF weighting options, and the
+/// cluster count. Load() recomputes it from the caller's serving config
+/// and rejects the snapshot (kFailedPrecondition) on any drift — a model
+/// fitted with stemming is never silently served without it. Artifacts
+/// whose bytes fail the manifest CRC are rejected as kCorruption; nothing
+/// is ever silently loaded.
+///
+/// Centroid floats are serialized as IEEE-754 bit patterns (8 hex digits
+/// each), so a reloaded model classifies bit-identically to the fitted
+/// in-memory handle — the round-trip guarantee the serve tests pin down.
+
+namespace hpa::serve {
+
+/// Everything that must match between fit time and serving time.
+struct ModelConfig {
+  text::TokenizerOptions tokenizer;
+
+  /// Porter-stem tokens (must match the fit's ExecContext::stem_tokens).
+  bool stem_tokens = false;
+
+  ops::TfidfOptions tfidf;
+
+  /// Number of K-means clusters (the paper uses 8).
+  int clusters = 8;
+};
+
+/// Stable identity of `config` (StableHash64 over its canonical text).
+uint64_t ModelFingerprint(const ModelConfig& config);
+
+/// A loaded model: frozen vectorizer + dense centroids, ready to score.
+/// Immutable after construction; safe to share across parallel chunks.
+class ModelHandle {
+ public:
+  ModelHandle(uint64_t version, ModelConfig config,
+              ops::TfidfVectorizer vectorizer,
+              std::vector<std::vector<float>> centroids);
+
+  /// Scores `body` with the frozen vocabulary and returns the nearest
+  /// centroid (ties to the lowest index). `distance_out`, if non-null,
+  /// receives the squared L2 distance. Pure: no mutable state, so batched
+  /// and one-at-a-time calls are bit-identical.
+  uint32_t Classify(std::string_view body, double* distance_out = nullptr) const;
+
+  /// The TF/IDF score vector alone (what Classify computes internally).
+  containers::SparseVector Vectorize(std::string_view body) const;
+
+  uint64_t version() const { return version_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  const ModelConfig& config() const { return config_; }
+  const ops::TfidfVectorizer& vectorizer() const { return vectorizer_; }
+  const std::vector<std::vector<float>>& centroids() const {
+    return centroids_;
+  }
+
+ private:
+  uint64_t version_;
+  uint64_t fingerprint_;
+  ModelConfig config_;
+  ops::TfidfVectorizer vectorizer_;
+  std::vector<std::vector<float>> centroids_;
+  /// ||c||² per centroid, precomputed once (NearestCentroid recomputes
+  /// them per call — at serving rates that is the dominant cost).
+  std::vector<double> centroid_sq_norms_;
+};
+
+/// Versioned snapshot store rooted at `dir` on one disk. Versions are
+/// dense from 1; publishing never mutates an existing version's files.
+class ModelRegistry {
+ public:
+  ModelRegistry(io::SimDisk* disk, std::string dir);
+
+  /// Fits the fused workflow (TF/IDF transform -> sparse K-means) on
+  /// `corpus` under `config`, publishes the artifacts as the next version,
+  /// and returns the live handle. The context's tokenizer/stemming fields
+  /// are overridden from `config` so the snapshot's fingerprint is the
+  /// truth about how the model was fitted; `kmeans.k` is likewise forced
+  /// to `config.clusters`.
+  StatusOr<ModelHandle> Fit(const ops::ExecContext& ctx,
+                            const io::PackedCorpusReader& corpus,
+                            const ModelConfig& config,
+                            ops::KMeansOptions kmeans = {});
+
+  /// Loads `version` (0 = latest), validating the manifest, the config
+  /// fingerprint, and every artifact CRC. kNotFound when the version (or
+  /// any registry state) does not exist, kFailedPrecondition when
+  /// `config` differs from the fit config, kCorruption on bad bytes.
+  StatusOr<ModelHandle> Load(const ModelConfig& config,
+                             uint64_t version = 0) const;
+
+  /// Highest published version, or kNotFound for an empty registry.
+  StatusOr<uint64_t> LatestVersion() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string ManifestPath(uint64_t version) const;
+  std::string LatestPath() const;
+
+  /// Writes artifacts, then the manifest, then the latest pointer.
+  Status Publish(uint64_t version, const ModelConfig& config,
+                 const ops::TfidfVectorizer& vectorizer,
+                 const std::vector<std::vector<float>>& centroids,
+                 uint64_t num_documents);
+
+  io::SimDisk* disk_;
+  std::string dir_;
+};
+
+}  // namespace hpa::serve
+
+#endif  // HPA_SERVE_MODEL_REGISTRY_H_

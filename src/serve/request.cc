@@ -1,0 +1,19 @@
+#include "serve/request.h"
+
+namespace hpa::serve {
+
+std::string_view RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kPending:
+      return "pending";
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kDeadlineMiss:
+      return "deadline-miss";
+    case RequestOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace hpa::serve

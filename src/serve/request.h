@@ -1,0 +1,74 @@
+#ifndef HPA_SERVE_REQUEST_H_
+#define HPA_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+/// \file
+/// Request/response types of the serving engine (serve/server.h). A
+/// request carries one raw document body to classify against a fitted
+/// model; the response reports the chosen cluster or why no answer was
+/// produced (rejected at admission, deadline missed, scoring failed).
+
+namespace hpa::serve {
+
+/// Terminal state of a classify request.
+enum class RequestOutcome {
+  /// Not yet decided (internal; never returned to callers).
+  kPending,
+
+  /// Scored in time: `cluster`/`distance` are valid.
+  kOk,
+
+  /// Scored, but after the request's deadline — the answer is stale by
+  /// SLO and counted as a miss, though cluster/distance are still filled.
+  kDeadlineMiss,
+
+  /// Per-document scoring failed after the retry budget (injected or real
+  /// fault). Under FaultPolicy::kRetryThenSkip only this request fails;
+  /// under kFailFast the rest of the batch aborts too.
+  kFailed,
+};
+
+/// Stable lowercase name: "pending" | "ok" | "deadline-miss" | "failed".
+std::string_view RequestOutcomeName(RequestOutcome outcome);
+
+/// One admitted classify request, as queued.
+struct Request {
+  /// Caller-chosen identifier, echoed on the response.
+  uint64_t id = 0;
+
+  /// Raw document text (tokenized with the model's frozen config).
+  std::string body;
+
+  /// Absolute executor-clock deadline in seconds; <= 0 means none. A
+  /// request whose deadline has passed when its batch starts is not
+  /// scored at all; one that finishes late is scored but counted missed.
+  double deadline_sec = 0.0;
+};
+
+/// One completed classify request.
+struct Response {
+  uint64_t id = 0;
+  RequestOutcome outcome = RequestOutcome::kPending;
+
+  /// Nearest centroid index (valid for kOk and kDeadlineMiss-when-scored).
+  uint32_t cluster = 0;
+
+  /// Squared L2 distance to that centroid.
+  double distance = 0.0;
+
+  /// Executor-clock submit/finish times; latency = finish - submit.
+  double submit_time_sec = 0.0;
+  double finish_time_sec = 0.0;
+
+  /// Cause for kFailed (and for expired-unscored deadline misses).
+  Status status;
+};
+
+}  // namespace hpa::serve
+
+#endif  // HPA_SERVE_REQUEST_H_

@@ -1,0 +1,207 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/checksum.h"
+#include "common/string_util.h"
+
+namespace hpa::serve {
+
+AnalyticsServer::AnalyticsServer(const ops::ExecContext& ctx,
+                                 const ModelHandle* model,
+                                 const ServerOptions& options,
+                                 ServeMetrics* metrics)
+    : ctx_(ctx), model_(model), options_(options), metrics_(metrics) {
+  if (options_.inline_threshold > 0) {
+    ctx_.executor->set_inline_threshold(options_.inline_threshold);
+  }
+}
+
+Status AnalyticsServer::Submit(uint64_t id, std::string body,
+                               double deadline_sec) {
+  if (queue_.size() >= options_.queue_capacity) {
+    if (metrics_ != nullptr) {
+      metrics_->OnSubmitted(queue_.size());
+      metrics_->OnRejected();
+    }
+    return Status::FailedPrecondition(
+        StrFormat("admission queue full (%zu/%zu): request %llu rejected",
+                  queue_.size(), options_.queue_capacity,
+                  static_cast<unsigned long long>(id)));
+  }
+  queue_.push_back(Pending{id, std::move(body), deadline_sec,
+                           ctx_.executor->Now()});
+  if (metrics_ != nullptr) metrics_->OnSubmitted(queue_.size());
+  return Status::OK();
+}
+
+std::vector<Response> AnalyticsServer::Poll() {
+  if (queue_.empty()) return {};
+  bool at_ceiling = queue_.size() >= options_.max_batch;
+  bool stale = ctx_.executor->Now() - queue_.front().submit_time_sec >=
+               options_.max_wait_sec;
+  if (!at_ceiling && !stale) return {};
+  return FlushBatch();
+}
+
+std::vector<Response> AnalyticsServer::Drain() {
+  std::vector<Response> all;
+  while (!queue_.empty()) {
+    std::vector<Response> batch = FlushBatch();
+    all.insert(all.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  return all;
+}
+
+std::vector<Response> AnalyticsServer::FlushBatch() {
+  size_t n = std::min(queue_.size(), options_.max_batch);
+  if (n == 0) return {};
+  std::vector<Pending> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  if (metrics_ != nullptr) metrics_->OnBatchFlushed(n);
+
+  // Deadline triage happens serially *before* the region on the
+  // pre-region clock: inside a region the simulated executor's Now() is
+  // frozen, so evaluating deadlines there would diverge across executors.
+  double batch_start = ctx_.executor->Now();
+  std::vector<char> expired(n, 0);
+  size_t live = 0;
+  std::vector<Response> responses(n);
+  for (size_t i = 0; i < n; ++i) {
+    responses[i].id = batch[i].id;
+    responses[i].submit_time_sec = batch[i].submit_time_sec;
+    if (batch[i].deadline_sec > 0 && batch_start > batch[i].deadline_sec) {
+      expired[i] = 1;
+      responses[i].outcome = RequestOutcome::kDeadlineMiss;
+      responses[i].status = Status::FailedPrecondition(
+          "deadline expired before the batch started");
+    } else {
+      ++live;
+    }
+  }
+
+  // One region for the whole batch; per-worker quarantine lists merged in
+  // slot order afterwards (the sharded-reduction discipline).
+  int workers = ctx_.executor->num_workers();
+  std::vector<QuarantineList> worker_quarantine(
+      static_cast<size_t>(workers < 1 ? 1 : workers));
+  parallel::WorkHint hint{0, "serve-batch"};
+  ctx_.executor->ParallelFor(0, n, 1, hint, [&](int worker, size_t b,
+                                                size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      if (expired[i] != 0) {
+        // Nothing to score. If *no* request in the batch is live the
+        // region itself is wasted motion — cancel the remaining chunks.
+        if (live == 0) ctx_.executor->RequestStop();
+        continue;
+      }
+      const Pending& p = batch[i];
+      std::string key = StrFormat("req-%llu",
+                                  static_cast<unsigned long long>(p.id));
+      uint64_t token = StableHash64(key);
+      int attempts = 1;
+      Status s = RetryCall(
+          options_.retry, token,
+          [&](int attempt) -> Status {
+            if (options_.injector != nullptr) {
+              io::FaultDecision d = options_.injector->Decide(
+                  "serve-score", key, /*offset=*/0, attempt);
+              switch (d.kind) {
+                case io::FaultKind::kTransient:
+                case io::FaultKind::kPermanent:
+                  return Status::IoError("injected scoring fault on " + key);
+                case io::FaultKind::kCorruption:
+                  return Status::Corruption("injected score corruption on " +
+                                            key);
+                case io::FaultKind::kLatencySpike:
+                  ctx_.executor->ChargeIoTime(d.extra_latency_sec, 1);
+                  break;
+                case io::FaultKind::kNone:
+                  break;
+              }
+            }
+            double distance = 0.0;
+            responses[i].cluster = model_->Classify(p.body, &distance);
+            responses[i].distance = distance;
+            return Status::OK();
+          },
+          [&](double backoff_sec) {
+            ctx_.executor->ChargeIoTime(backoff_sec, 1);
+          },
+          &attempts);
+      if (metrics_ != nullptr && attempts > 1) {
+        metrics_->OnRetries(worker, static_cast<uint64_t>(attempts - 1));
+      }
+      if (s.ok()) {
+        responses[i].outcome = RequestOutcome::kOk;
+        if (metrics_ != nullptr) metrics_->OnDocScored(worker);
+      } else {
+        responses[i].outcome = RequestOutcome::kFailed;
+        responses[i].status = s;
+        if (metrics_ != nullptr) metrics_->OnFault(worker);
+        if (options_.fault_policy == FaultPolicy::kRetryThenSkip) {
+          worker_quarantine[static_cast<size_t>(worker)].Add(key, s,
+                                                             attempts);
+        } else {
+          // Fail fast: poison the rest of the batch region.
+          ctx_.executor->RequestStop();
+        }
+      }
+      if (ctx_.executor->stop_requested()) return;
+    }
+  });
+
+  double finish = ctx_.executor->Now();
+
+  QuarantineList merged;
+  for (QuarantineList& q : worker_quarantine) merged.MergeFrom(std::move(q));
+  merged.SortById();
+  if (ctx_.quarantine != nullptr) {
+    for (const QuarantineEntry& entry : merged.entries) {
+      ctx_.quarantine->Add(entry.id, entry.cause, entry.attempts);
+    }
+  }
+  quarantine_.MergeFrom(std::move(merged));
+
+  for (size_t i = 0; i < n; ++i) {
+    Response& r = responses[i];
+    r.finish_time_sec = finish;
+    if (r.outcome == RequestOutcome::kPending) {
+      // A live request whose chunk never ran: the region was cancelled
+      // (fail-fast fault) before reaching it.
+      r.outcome = RequestOutcome::kFailed;
+      r.status = Status::Internal("batch aborted before this request ran");
+    } else if (r.outcome == RequestOutcome::kOk &&
+               batch[i].deadline_sec > 0 &&
+               finish > batch[i].deadline_sec) {
+      // Scored, but the answer came back after the SLO: still returned,
+      // but accounted as a miss.
+      r.outcome = RequestOutcome::kDeadlineMiss;
+    }
+    if (metrics_ != nullptr) {
+      double latency = finish - r.submit_time_sec;
+      switch (r.outcome) {
+        case RequestOutcome::kOk:
+          metrics_->OnCompleted(latency);
+          break;
+        case RequestOutcome::kDeadlineMiss:
+          metrics_->OnDeadlineMiss(latency);
+          break;
+        case RequestOutcome::kFailed:
+          metrics_->OnFailed(latency);
+          break;
+        case RequestOutcome::kPending:
+          break;
+      }
+    }
+  }
+  return responses;
+}
+
+}  // namespace hpa::serve

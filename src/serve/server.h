@@ -1,0 +1,133 @@
+#ifndef HPA_SERVE_SERVER_H_
+#define HPA_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "io/fault_injection.h"
+#include "ops/exec_context.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/request.h"
+
+/// \file
+/// The request-serving engine: raw text in, cluster assignment out,
+/// against a frozen ModelHandle. Three mechanisms make it a *server*
+/// rather than a loop around Classify():
+///
+///  * Admission control — a bounded queue with an explicit overload
+///    policy. When the queue is full, Submit() rejects immediately
+///    (kFailedPrecondition) instead of queueing unboundedly; the caller
+///    sees backpressure, not silent latency collapse.
+///  * Micro-batching — admitted requests coalesce and execute as ONE
+///    ParallelFor region per batch (flush on batch-size ceiling or
+///    max-wait, whichever first), amortizing region setup the same way
+///    the batch operators amortize spawns. Scoring is pure per document,
+///    so batched results are bit-identical to one-at-a-time execution.
+///  * Latency SLOs — each request may carry an absolute executor-clock
+///    deadline. Requests already expired when their batch starts are not
+///    scored (and if the whole batch expired, the region is cancelled via
+///    region-scoped RequestStop); requests scored but finishing late are
+///    answered yet counted as deadline misses.
+///
+/// Per-document scoring faults go through the fault-tolerance layer:
+/// RetryPolicy with deterministic backoff (charged to the executor clock),
+/// then — under FaultPolicy::kRetryThenSkip — quarantine of that one
+/// request while the rest of the batch completes. kFailFast instead
+/// cancels the remainder of the batch region, the pre-fault-tolerance
+/// behavior.
+///
+/// Threading contract: Submit/Poll/Drain are driven by one thread (the
+/// event loop); parallelism happens *inside* a batch, not across calls.
+/// On the simulated executor the whole serving timeline is therefore
+/// virtual-time deterministic.
+
+namespace hpa::serve {
+
+/// Serving policy knobs.
+struct ServerOptions {
+  /// Admission queue bound; Submit() rejects when the queue holds this
+  /// many pending requests.
+  size_t queue_capacity = 64;
+
+  /// Batch ceiling: Poll() flushes as soon as this many are queued.
+  size_t max_batch = 8;
+
+  /// Staleness bound: Poll() flushes a sub-ceiling batch once the oldest
+  /// queued request has waited this long (executor-clock seconds).
+  double max_wait_sec = 0.010;
+
+  /// Retry budget for transient per-document scoring faults.
+  RetryPolicy retry = RetryPolicy::NoRetry();
+
+  /// What to do with a request that exhausts the retry budget: fail just
+  /// that request (kRetryThenSkip, the serving default — one poisoned
+  /// document must not fail its whole batch) or cancel the batch
+  /// (kFailFast).
+  FaultPolicy fault_policy = FaultPolicy::kRetryThenSkip;
+
+  /// Optional scoring-fault oracle (op "serve-score", key = request id);
+  /// not owned. Null = no injected faults.
+  io::FaultInjector* injector = nullptr;
+
+  /// When > 0, Executor::set_inline_threshold is set to this at server
+  /// construction: batches at or below the threshold run their chunks
+  /// inline instead of spawning stealable tasks — the right call when
+  /// micro-batches are smaller than the spawn overhead pays for.
+  size_t inline_threshold = 0;
+};
+
+/// Single-model serving engine. Borrows the context's executor/disks and
+/// the model handle; both must outlive the server.
+class AnalyticsServer {
+ public:
+  /// `metrics` may be null (no accounting). The context's executor is
+  /// required; its quarantine sink, if set, receives scoring quarantines.
+  AnalyticsServer(const ops::ExecContext& ctx, const ModelHandle* model,
+                  const ServerOptions& options, ServeMetrics* metrics);
+
+  /// Admission: enqueues or rejects. `deadline_sec` is an absolute
+  /// executor-clock time (<= 0 = no deadline). Rejection is
+  /// kFailedPrecondition with the queue bound in the message.
+  Status Submit(uint64_t id, std::string body, double deadline_sec = 0.0);
+
+  /// Flush-policy tick: cuts and executes at most one batch if the
+  /// ceiling or the wait bound says so. Returns that batch's responses
+  /// (empty when nothing flushed).
+  std::vector<Response> Poll();
+
+  /// Force-flushes everything queued, batch by batch.
+  std::vector<Response> Drain();
+
+  size_t queue_depth() const { return queue_.size(); }
+
+  /// Scoring quarantine accumulated under kRetryThenSkip (also merged
+  /// into ctx.quarantine when that sink is set).
+  const QuarantineList& quarantine() const { return quarantine_; }
+
+ private:
+  struct Pending {
+    uint64_t id;
+    std::string body;
+    double deadline_sec;
+    double submit_time_sec;
+  };
+
+  /// Cuts up to max_batch requests and runs them as one parallel region.
+  std::vector<Response> FlushBatch();
+
+  ops::ExecContext ctx_;
+  const ModelHandle* model_;
+  ServerOptions options_;
+  ServeMetrics* metrics_;
+  std::deque<Pending> queue_;
+  QuarantineList quarantine_;
+};
+
+}  // namespace hpa::serve
+
+#endif  // HPA_SERVE_SERVER_H_

@@ -419,6 +419,84 @@ TEST(SchedulerStatsTest, SimulatedNestedSpawnTreeScales) {
   EXPECT_LT(t8, t1 * 0.45) << "t1=" << t1 << " t8=" << t8;
 }
 
+// Depth-bounded inline fallback: regions at or under the threshold run
+// their chunks inline (counted in spawns_suppressed) with results, chunk
+// boundaries, and worker indices identical to the spawning schedule.
+class InlineThresholdTest : public ::testing::TestWithParam<ExecutorParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Executors, InlineThresholdTest,
+    ::testing::Values(ExecutorParam{"serial", 1}, ExecutorParam{"threads", 4},
+                      ExecutorParam{"simulated", 4}),
+    [](const ::testing::TestParamInfo<ExecutorParam>& info) {
+      return std::string(info.param.kind) + "_" +
+             std::to_string(info.param.workers);
+    });
+
+TEST_P(InlineThresholdTest, SmallRegionsInlineWithIdenticalResults) {
+  auto run = [&](size_t threshold, uint64_t* suppressed) {
+    auto exec = MakeExecutor(GetParam().kind, GetParam().workers);
+    exec->set_inline_threshold(threshold);
+    std::vector<std::atomic<uint64_t>> hits(48);
+    // Nested shape: outer region over 6 items, each spawning an 8-item
+    // inner region — with threshold 8 every inner region runs inline.
+    exec->ParallelFor(0, 6, 1, WorkHint{}, [&](int, size_t ob, size_t oe) {
+      for (size_t o = ob; o < oe; ++o) {
+        exec->ParallelFor(0, 8, 1, WorkHint{},
+                          [&](int, size_t b, size_t e) {
+                            for (size_t i = b; i < e; ++i) {
+                              hits[o * 8 + i].fetch_add(1);
+                            }
+                          });
+      }
+    });
+    *suppressed = exec->scheduler_stats().spawns_suppressed;
+    uint64_t total = 0;
+    for (auto& h : hits) {
+      EXPECT_EQ(h.load(), 1u);
+      total += h.load();
+    }
+    return total;
+  };
+  uint64_t suppressed_off = 0, suppressed_on = 0;
+  EXPECT_EQ(run(0, &suppressed_off), 48u);
+  EXPECT_EQ(run(8, &suppressed_on), 48u);
+  EXPECT_EQ(suppressed_off, 0u) << "threshold 0 must be the legacy schedule";
+  // Every inner chunk (6 regions x 8 unit chunks) ran without a spawn.
+  EXPECT_GE(suppressed_on, 48u);
+}
+
+TEST_P(InlineThresholdTest, LargeRegionsStillSpawnAboveThreshold) {
+  auto exec = MakeExecutor(GetParam().kind, GetParam().workers);
+  exec->set_inline_threshold(4);
+  std::atomic<uint64_t> sum{0};
+  exec->ParallelFor(0, 64, 1, WorkHint{}, [&](int, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+  EXPECT_EQ(exec->scheduler_stats().spawns_suppressed, 0u)
+      << "a 64-item region is above the threshold and must spawn";
+}
+
+TEST_P(InlineThresholdTest, InlineRegionsKeepRegionScopedCancellation) {
+  auto exec = MakeExecutor(GetParam().kind, GetParam().workers);
+  exec->set_inline_threshold(8);
+  std::atomic<uint64_t> outer_done{0};
+  exec->ParallelFor(0, 4, 1, WorkHint{}, [&](int, size_t ob, size_t oe) {
+    for (size_t o = ob; o < oe; ++o) {
+      (void)o;
+      // Inline nested region cancels itself; the stop must not leak into
+      // the parent region.
+      exec->ParallelFor(0, 8, 1, WorkHint{}, [&](int, size_t, size_t) {
+        exec->RequestStop();
+      });
+      outer_done.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(outer_done.load(), 4u) << "nested stop poisoned the parent";
+  EXPECT_FALSE(exec->stop_requested());
+}
+
 #if !defined(HPA_TSAN_BUILD) && defined(GTEST_HAS_DEATH_TEST)
 // Legacy-path guard: a second non-pool thread submitting a root region
 // mid-region must abort with a diagnostic instead of silently deadlocking.

@@ -1,0 +1,413 @@
+// Serving-layer suite (ctest label "serve", with a TSan twin): registry
+// snapshot integrity (fit -> publish -> reload bit-identical; fingerprint
+// and CRC rejection), admission control under overload, micro-batch
+// identity with one-at-a-time execution, deadline accounting (expired
+// batches are cancelled, scored-but-late requests count as misses), and
+// per-request fault handling through the retry/quarantine layer.
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "io/fault_injection.h"
+#include "io/file_io.h"
+#include "io/packed_corpus.h"
+#include "io/sim_disk.h"
+#include "ops/exec_context.h"
+#include "parallel/machine_model.h"
+#include "parallel/simulated_executor.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "text/corpus_io.h"
+
+namespace hpa::serve {
+namespace {
+
+/// (cluster, distance-bits) — bitwise identity of one classification.
+using Verdict = std::pair<uint32_t, uint64_t>;
+
+Verdict ClassifyBits(const ModelHandle& model, const std::string& body) {
+  double distance = 0.0;
+  uint32_t cluster = model.Classify(body, &distance);
+  uint64_t bits = 0;
+  std::memcpy(&bits, &distance, sizeof(bits));
+  return {cluster, bits};
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_serve_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    corpus_disk_ = std::make_unique<io::SimDisk>(
+        io::DiskOptions::CorpusStore(), dir_, nullptr);
+    scratch_disk_ = std::make_unique<io::SimDisk>(io::DiskOptions::LocalHdd(),
+                                                  dir_, nullptr);
+    exec_ = std::make_unique<parallel::SimulatedExecutor>(
+        4, parallel::MachineModel::Default());
+    corpus_disk_->set_executor(exec_.get());
+    scratch_disk_->set_executor(exec_.get());
+
+    // Three well-separated topics, eight documents each.
+    const char* topics[3][4] = {
+        {"apple", "banana", "cherry", "fruit"},
+        {"engine", "piston", "gear", "motor"},
+        {"violin", "cello", "sonata", "quartet"},
+    };
+    text::Corpus corpus;
+    corpus.name = "serve-fixture";
+    for (int doc = 0; doc < 24; ++doc) {
+      const char** words = topics[doc % 3];
+      std::string body;
+      for (int w = 0; w < 6; ++w) {
+        body += words[(doc / 3 + w) % 4];
+        body += ' ';
+      }
+      bodies_.push_back(body);
+      corpus.docs.push_back({"d" + std::to_string(doc), std::move(body)});
+    }
+    ASSERT_TRUE(
+        text::WriteCorpusPacked(corpus, corpus_disk_.get(), "c.pack").ok());
+    auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "c.pack");
+    ASSERT_TRUE(reader.ok());
+    reader_ = std::make_unique<io::PackedCorpusReader>(std::move(*reader));
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  ops::ExecContext Ctx() {
+    ops::ExecContext ctx;
+    ctx.executor = exec_.get();
+    ctx.corpus_disk = corpus_disk_.get();
+    ctx.scratch_disk = scratch_disk_.get();
+    return ctx;
+  }
+
+  ModelConfig Config() const {
+    ModelConfig config;
+    config.clusters = 3;
+    return config;
+  }
+
+  StatusOr<ModelHandle> FitModel() {
+    ModelRegistry registry(scratch_disk_.get(), "models");
+    return registry.Fit(Ctx(), *reader_, Config());
+  }
+
+  /// Runs every body through `server` (optionally with a per-request
+  /// deadline offset) and returns responses keyed by request id.
+  std::map<uint64_t, Response> ServeAll(AnalyticsServer& server,
+                                        double rel_deadline = 0.0,
+                                        size_t count = 0) {
+    if (count == 0) count = bodies_.size();
+    std::map<uint64_t, Response> by_id;
+    auto absorb = [&](std::vector<Response> batch) {
+      for (Response& r : batch) by_id.emplace(r.id, std::move(r));
+    };
+    for (size_t i = 0; i < count; ++i) {
+      double deadline =
+          rel_deadline > 0 ? exec_->Now() + rel_deadline : 0.0;
+      EXPECT_TRUE(
+          server.Submit(i, bodies_[i % bodies_.size()], deadline).ok());
+      absorb(server.Poll());
+    }
+    absorb(server.Drain());
+    return by_id;
+  }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> corpus_disk_;
+  std::unique_ptr<io::SimDisk> scratch_disk_;
+  std::unique_ptr<parallel::SimulatedExecutor> exec_;
+  std::unique_ptr<io::PackedCorpusReader> reader_;
+  std::vector<std::string> bodies_;
+};
+
+// ---------------------------------------------------------------- registry
+
+TEST_F(ServeTest, FitThenReloadClassifiesBitIdentically) {
+  auto fitted = FitModel();
+  ASSERT_TRUE(fitted.ok());
+  // A fresh registry object = a fresh process: everything must come off
+  // the snapshot files.
+  ModelRegistry reloader(scratch_disk_.get(), "models");
+  auto loaded = reloader.Load(Config());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->version(), fitted->version());
+  EXPECT_EQ(loaded->fingerprint(), fitted->fingerprint());
+  for (const std::string& body : bodies_) {
+    EXPECT_EQ(ClassifyBits(*fitted, body), ClassifyBits(*loaded, body));
+  }
+}
+
+TEST_F(ServeTest, VersionsAreDenseAndLatestPointerTracksThem) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  auto v1 = registry.Fit(Ctx(), *reader_, Config());
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->version(), 1u);
+  auto v2 = registry.Fit(Ctx(), *reader_, Config());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->version(), 2u);
+  auto latest = registry.LatestVersion();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 2u);
+  // Older versions stay loadable by explicit number.
+  EXPECT_TRUE(registry.Load(Config(), 1).ok());
+  auto by_default = registry.Load(Config());
+  ASSERT_TRUE(by_default.ok());
+  EXPECT_EQ(by_default->version(), 2u);
+}
+
+TEST_F(ServeTest, ConfigDriftIsRejectedByFingerprint) {
+  ASSERT_TRUE(FitModel().ok());
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  ModelConfig drifted = Config();
+  drifted.stem_tokens = true;  // would change what score vectors mean
+  auto loaded = registry.Load(drifted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+
+  ModelConfig reclustered = Config();
+  reclustered.clusters = 5;
+  auto loaded2 = registry.Load(reclustered);
+  ASSERT_FALSE(loaded2.ok());
+  EXPECT_EQ(loaded2.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeTest, CorruptArtifactIsRejectedByCrc) {
+  ASSERT_TRUE(FitModel().ok());
+  // Clobber the centroid artifact; the manifest CRC must catch it.
+  auto original = scratch_disk_->ReadFile("models/model-1.centroids");
+  ASSERT_TRUE(original.ok());
+  std::string bad = *original;
+  bad[bad.size() / 2] ^= 0x40;
+  ASSERT_TRUE(
+      scratch_disk_->WriteFile("models/model-1.centroids", bad).ok());
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  auto loaded = registry.Load(Config());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(ServeTest, MissingRegistryAndMissingVersionAreNotFound) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  auto empty = registry.Load(Config());
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(FitModel().ok());
+  auto missing = registry.Load(Config(), 7);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------------ server
+
+TEST_F(ServeTest, FullQueueRejectsAndDepthStaysBounded) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  ServerOptions options;
+  options.queue_capacity = 2;
+  options.max_batch = 8;
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*model, options, &metrics);
+  int rejected = 0;
+  for (uint64_t i = 0; i < 5; ++i) {
+    Status s = server.Submit(i, bodies_[i]);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+      ++rejected;
+    }
+    EXPECT_LE(server.queue_depth(), options.queue_capacity);
+  }
+  EXPECT_EQ(rejected, 3);
+  std::vector<Response> responses = server.Drain();
+  EXPECT_EQ(responses.size(), 2u);
+  ServeMetrics::Snapshot snap = metrics.Scrape();
+  EXPECT_EQ(snap.submitted, 5u);
+  EXPECT_EQ(snap.rejected, 3u);
+  EXPECT_EQ(snap.completed, 2u);
+  EXPECT_LE(snap.max_queue_depth, options.queue_capacity);
+}
+
+TEST_F(ServeTest, BatchedExecutionIsBitIdenticalToOneAtATime) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  ServerOptions one;
+  one.max_batch = 1;
+  ServeMetrics m1(4);
+  AnalyticsServer unbatched(Ctx(), &*model, one, &m1);
+  auto singles = ServeAll(unbatched);
+
+  ServerOptions eight;
+  eight.max_batch = 8;
+  ServeMetrics m8(4);
+  AnalyticsServer batched(Ctx(), &*model, eight, &m8);
+  auto batches = ServeAll(batched);
+
+  ASSERT_EQ(singles.size(), batches.size());
+  for (const auto& [id, single] : singles) {
+    const Response& batch = batches.at(id);
+    EXPECT_EQ(single.outcome, RequestOutcome::kOk);
+    EXPECT_EQ(batch.outcome, RequestOutcome::kOk);
+    EXPECT_EQ(single.cluster, batch.cluster);
+    uint64_t a = 0, b = 0;
+    std::memcpy(&a, &single.distance, sizeof(a));
+    std::memcpy(&b, &batch.distance, sizeof(b));
+    EXPECT_EQ(a, b) << "distance bits differ for request " << id;
+  }
+  EXPECT_GT(m8.Scrape().mean_batch_occupancy, 1.0);
+}
+
+TEST_F(ServeTest, FullyExpiredBatchIsCancelledWithoutScoring) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  ServerOptions options;
+  options.max_batch = 4;
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*model, options, &metrics);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        server.Submit(i, bodies_[i], exec_->Now() + 1e-9).ok());
+  }
+  // Let the deadlines lapse before the batch starts.
+  exec_->ChargeIoTime(0.010, 1);
+  std::vector<Response> responses = server.Drain();
+  ASSERT_EQ(responses.size(), 4u);
+  for (const Response& r : responses) {
+    EXPECT_EQ(r.outcome, RequestOutcome::kDeadlineMiss);
+  }
+  ServeMetrics::Snapshot snap = metrics.Scrape();
+  EXPECT_EQ(snap.deadline_misses, 4u);
+  EXPECT_EQ(snap.docs_scored, 0u) << "expired requests must not be scored";
+  EXPECT_EQ(snap.completed, 0u);
+}
+
+TEST_F(ServeTest, ScoredButLateRequestsCountAsMisses) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  ServerOptions options;
+  options.max_batch = 2;
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*model, options, &metrics);
+  // Alive when the batch starts, but far tighter than any service time.
+  for (uint64_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        server.Submit(i, bodies_[i], exec_->Now() + 1e-12).ok());
+  }
+  std::vector<Response> responses = server.Drain();
+  ASSERT_EQ(responses.size(), 2u);
+  for (const Response& r : responses) {
+    EXPECT_EQ(r.outcome, RequestOutcome::kDeadlineMiss);
+  }
+  ServeMetrics::Snapshot snap = metrics.Scrape();
+  EXPECT_EQ(snap.docs_scored, 2u) << "late-but-live requests are scored";
+  EXPECT_EQ(snap.deadline_misses, 2u);
+}
+
+// ------------------------------------------------------------------ faults
+
+TEST_F(ServeTest, TransientScoringFaultsRetryToIdenticalAnswers) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  ServerOptions clean;
+  clean.max_batch = 4;
+  ServeMetrics mclean(4);
+  AnalyticsServer reference(Ctx(), &*model, clean, &mclean);
+  auto expected = ServeAll(reference, 0.0, 12);
+
+  io::FaultProfile profile;
+  profile.transient_rate = 0.3;
+  profile.seed = 7;
+  io::FaultInjector injector(profile);
+  ServerOptions faulty = clean;
+  faulty.injector = &injector;
+  faulty.retry.max_attempts = 6;
+  ServeMetrics mfaulty(4);
+  AnalyticsServer server(Ctx(), &*model, faulty, &mfaulty);
+  auto actual = ServeAll(server, 0.0, 12);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [id, want] : expected) {
+    const Response& got = actual.at(id);
+    EXPECT_EQ(got.outcome, RequestOutcome::kOk);
+    EXPECT_EQ(got.cluster, want.cluster);
+  }
+  ServeMetrics::Snapshot snap = mfaulty.Scrape();
+  EXPECT_GT(snap.retries, 0u);
+  EXPECT_EQ(snap.failed, 0u);
+}
+
+TEST_F(ServeTest, PermanentFaultQuarantinesOnlyThatRequest) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  ServerOptions clean;
+  clean.max_batch = 4;
+  ServeMetrics mclean(4);
+  AnalyticsServer reference(Ctx(), &*model, clean, &mclean);
+  auto expected = ServeAll(reference, 0.0, 12);
+
+  io::FaultProfile profile;
+  profile.permanent_rate = 0.25;
+  profile.seed = 3;
+  io::FaultInjector injector(profile);
+  ServerOptions faulty = clean;
+  faulty.injector = &injector;
+  faulty.retry.max_attempts = 2;
+  faulty.fault_policy = FaultPolicy::kRetryThenSkip;
+  ServeMetrics mfaulty(4);
+  AnalyticsServer server(Ctx(), &*model, faulty, &mfaulty);
+  auto actual = ServeAll(server, 0.0, 12);
+
+  size_t failed = 0;
+  for (const auto& [id, got] : actual) {
+    if (got.outcome == RequestOutcome::kFailed) {
+      ++failed;
+      continue;
+    }
+    EXPECT_EQ(got.outcome, RequestOutcome::kOk);
+    EXPECT_EQ(got.cluster, expected.at(id).cluster)
+        << "an unrelated request changed its answer";
+  }
+  ASSERT_GT(failed, 0u) << "profile should poison at least one request";
+  EXPECT_LT(failed, actual.size()) << "the batch must survive one bad doc";
+  EXPECT_EQ(server.quarantine().size(), failed);
+  ServeMetrics::Snapshot snap = mfaulty.Scrape();
+  EXPECT_EQ(snap.failed, failed);
+  EXPECT_EQ(snap.completed, actual.size() - failed);
+}
+
+TEST_F(ServeTest, FailFastCancelsTheRestOfTheBatch) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  io::FaultProfile profile;
+  profile.permanent_rate = 1.0;
+  profile.seed = 1;
+  io::FaultInjector injector(profile);
+  ServerOptions options;
+  options.max_batch = 8;
+  options.injector = &injector;
+  options.fault_policy = FaultPolicy::kFailFast;
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*model, options, &metrics);
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(server.Submit(i, bodies_[i]).ok());
+  }
+  std::vector<Response> responses = server.Drain();
+  ASSERT_EQ(responses.size(), 8u);
+  for (const Response& r : responses) {
+    EXPECT_EQ(r.outcome, RequestOutcome::kFailed);
+  }
+  ServeMetrics::Snapshot snap = metrics.Scrape();
+  EXPECT_EQ(snap.docs_scored, 0u);
+  EXPECT_EQ(snap.failed, 8u);
+  EXPECT_GE(snap.faults, 1u);
+}
+
+}  // namespace
+}  // namespace hpa::serve

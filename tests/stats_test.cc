@@ -108,5 +108,56 @@ TEST(SampleSetTest, SummaryMentionsAllFields) {
   }
 }
 
+TEST(LogHistogramTest, EmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(LogHistogramTest, QuantilesStayWithinBucketError) {
+  // Log buckets with growth 1.5 bound relative rounding error; exact
+  // quantiles of a known uniform grid must land within one bucket.
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i) * 1e-3);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.5 * 0.5);
+  EXPECT_NEAR(h.Quantile(0.99), 0.99, 0.99 * 0.5);
+  // Extremes clamp to exact observed values, not bucket boundaries.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+}
+
+TEST(LogHistogramTest, MergeMatchesSingleHistogram) {
+  LogHistogram a, b, all;
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    double x = std::exp(rng.NextDouble() * 6.0 - 3.0) * 1e-3;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.sum(), all.sum(), all.sum() * 1e-12);  // fp add order
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), all.Quantile(q));
+  }
+}
+
+TEST(LogHistogramTest, SummaryMentionsAllFields) {
+  LogHistogram h;
+  h.Add(0.001);
+  h.Add(0.010);
+  std::string s = h.Summary();
+  for (const char* field : {"n=", "mean=", "p50=", "p95=", "p99=", "max="}) {
+    EXPECT_NE(s.find(field), std::string::npos) << field;
+  }
+}
+
 }  // namespace
 }  // namespace hpa
