@@ -8,8 +8,11 @@
 // grows with documents — Mix has few documents relative to its vocabulary.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/string_util.h"
 #include "core/report.h"
 #include "io/packed_corpus.h"
 #include "ops/kmeans.h"
@@ -45,6 +48,16 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", threads_or.status().ToString().c_str());
     return 2;
   }
+
+  // One JSON row per (corpus, threads) point, pruning telemetry included.
+  struct JsonRow {
+    std::string corpus;
+    int threads = 0;
+    double seconds = 0.0;
+    uint64_t kernels_evaluated = 0;
+    uint64_t kernels_skipped = 0;
+  };
+  std::vector<JsonRow> json_rows;
 
   std::vector<core::SpeedupSeries> series;
   for (const text::CorpusProfile& base :
@@ -92,11 +105,13 @@ int Run(int argc, char** argv) {
       }
       env->SetExecutor(exec.get());
       double best = 0.0;
+      uint64_t kernels_evaluated = 0, kernels_skipped = 0;
       for (int rep = 0; rep < flags.GetInt("repeats"); ++rep) {
         PhaseTimer phases;
         ops::ExecContext ctx;
         ctx.serial_merge = flags.GetBool("serial-merge");
         ctx.flat_parallelism = flags.GetBool("flat-parallelism");
+        ctx.no_prune = flags.GetBool("no-prune");
         ctx.executor = exec.get();
         ctx.phases = &phases;
         auto result = ops::SparseKMeans(ctx, tfidf->matrix, kopts);
@@ -106,10 +121,22 @@ int Run(int argc, char** argv) {
         }
         double t = phases.Seconds("kmeans");
         if (rep == 0 || t < best) best = t;
+        kernels_evaluated = result->distance_kernels_evaluated;
+        kernels_skipped = result->distance_kernels_skipped;
       }
       curve.points.push_back({threads, best});
+      json_rows.push_back({base.name, threads, best, kernels_evaluated,
+                           kernels_skipped});
       env->SetExecutor(nullptr);
     }
+    const uint64_t evaluated = json_rows.back().kernels_evaluated;
+    const uint64_t skipped = json_rows.back().kernels_skipped;
+    const double total = static_cast<double>(evaluated + skipped);
+    std::printf("  pruning: %llu of %llu distance kernels skipped (%.1f%%)\n",
+                static_cast<unsigned long long>(skipped),
+                static_cast<unsigned long long>(evaluated + skipped),
+                total > 0 ? 100.0 * static_cast<double>(skipped) / total
+                          : 0.0);
     series.push_back(std::move(curve));
   }
 
@@ -118,6 +145,24 @@ int Run(int argc, char** argv) {
               "Mix ~2.5x;\nexpected shape: NSF scales further than Mix, both "
               "saturate as the serial\ncentroid merge grows with the worker "
               "count.\n");
+
+  // Machine-readable tail for driver scripts, pruning counters included.
+  std::string json = StrFormat(
+      "{\"bench\":\"fig1_kmeans_scalability\",\"prune\":%s,\"rows\":[",
+      flags.GetBool("no-prune") ? "false" : "true");
+  for (size_t i = 0; i < json_rows.size(); ++i) {
+    const JsonRow& row = json_rows[i];
+    if (i > 0) json += ",";
+    json += StrFormat(
+        "{\"corpus\":\"%s\",\"threads\":%d,\"seconds\":%.6f,"
+        "\"distance_kernels_evaluated\":%llu,"
+        "\"distance_kernels_skipped\":%llu}",
+        row.corpus.c_str(), row.threads, row.seconds,
+        static_cast<unsigned long long>(row.kernels_evaluated),
+        static_cast<unsigned long long>(row.kernels_skipped));
+  }
+  json += "]}";
+  std::printf("%s\n", json.c_str());
   return 0;
 }
 

@@ -38,6 +38,10 @@ int main(int argc, char** argv) {
   flags.DefineInt("clusters", 6, "number of K-means clusters");
   flags.DefineInt("threads", 8, "virtual workers");
   flags.DefineInt("top_terms", 5, "terms to print per cluster");
+  flags.DefineBool("no-prune", false,
+                   "disable the triangle-inequality-pruned assignment "
+                   "step (full k-way distance scan every iteration; "
+                   "results are identical either way)");
   flags.DefineDouble("fault-rate", 0.0,
                      "injected transient I/O fault probability per corpus "
                      "read (0 = no injection)");
@@ -118,6 +122,7 @@ int main(int argc, char** argv) {
   ctx.corpus_disk = &corpus_disk;
   ctx.phases = &phases;
   ctx.fault_policy = fault_policy;
+  ctx.no_prune = flags.GetBool("no-prune");
 
   auto reader = io::PackedCorpusReader::Open(&corpus_disk, "demo.pack");
   if (!reader.ok()) return 1;
@@ -153,9 +158,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("K-means: %d iterations, %sconverged, inertia %.4f\n\n",
+  const uint64_t kernels_total = clusters->distance_kernels_evaluated +
+                                 clusters->distance_kernels_skipped;
+  std::printf("K-means: %d iterations, %sconverged, inertia %.4f\n"
+              "         %llu of %llu distance kernels pruned (%.1f%%)\n\n",
               clusters->iterations, clusters->converged ? "" : "not ",
-              clusters->inertia);
+              clusters->inertia,
+              static_cast<unsigned long long>(
+                  clusters->distance_kernels_skipped),
+              static_cast<unsigned long long>(kernels_total),
+              kernels_total > 0
+                  ? 100.0 * static_cast<double>(
+                                clusters->distance_kernels_skipped) /
+                        static_cast<double>(kernels_total)
+                  : 0.0);
 
   // Top terms per cluster: the highest-weight centroid coordinates.
   const int top = static_cast<int>(flags.GetInt("top_terms"));

@@ -63,6 +63,9 @@ int main(int argc, char** argv) {
   flags.DefineString("output_dir", "",
                      "where results land (default: <tmp>/hpa_cli)");
   flags.DefineBool("stem", false, "Porter-stem tokens before counting");
+  flags.DefineBool("no-prune", false,
+                   "disable the triangle-inequality-pruned K-means "
+                   "assignment step (results are identical either way)");
   flags.DefineInt("serve", 0,
                   "serve mode: fit a model from the corpus, publish it to "
                   "the registry, then answer this many classification "
@@ -136,6 +139,7 @@ int main(int argc, char** argv) {
     ctx.executor = &exec;
     ctx.corpus_disk = &corpus_disk;
     ctx.scratch_disk = &scratch_disk;
+    ctx.no_prune = flags.GetBool("no-prune");
     serve::ModelConfig config;
     config.stem_tokens = flags.GetBool("stem");
     config.clusters = static_cast<int>(flags.GetInt("clusters"));
@@ -257,6 +261,7 @@ int main(int argc, char** argv) {
   env.scratch_disk = &scratch_disk;
 
   env.stem_tokens = flags.GetBool("stem");
+  env.no_prune = flags.GetBool("no-prune");
 
   auto result = core::RunWorkflow(wf, plan, env);
   if (!result.ok()) return Fail(result.status());

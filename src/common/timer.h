@@ -46,21 +46,44 @@ class WallTimer {
 /// output).
 class PhaseTimer {
  public:
-  /// One accumulated phase.
+  /// One accumulated phase: seconds plus optional named integer counters
+  /// (operation telemetry riding along with the timing, e.g. the K-means
+  /// phase's distance_kernels_evaluated / distance_kernels_skipped).
   struct Phase {
     std::string name;
     double seconds = 0.0;
+    std::vector<std::pair<std::string, uint64_t>> counters;
   };
 
   /// Adds `seconds` to the phase named `name`, creating it if new.
   void Add(const std::string& name, double seconds) {
-    for (Phase& p : phases_) {
-      if (p.name == name) {
-        p.seconds += seconds;
+    FindOrCreate(name).seconds += seconds;
+  }
+
+  /// Adds `delta` to counter `counter` of phase `name`, creating either if
+  /// new (a counter-only phase carries 0 seconds).
+  void AddCount(const std::string& name, const std::string& counter,
+                uint64_t delta) {
+    Phase& p = FindOrCreate(name);
+    for (auto& c : p.counters) {
+      if (c.first == counter) {
+        c.second += delta;
         return;
       }
     }
-    phases_.push_back(Phase{name, seconds});
+    p.counters.emplace_back(counter, delta);
+  }
+
+  /// Accumulated value of `counter` on phase `name`; 0 if either is
+  /// unknown.
+  uint64_t Count(const std::string& name, const std::string& counter) const {
+    for (const Phase& p : phases_) {
+      if (p.name != name) continue;
+      for (const auto& c : p.counters) {
+        if (c.first == counter) return c.second;
+      }
+    }
+    return 0;
   }
 
   /// Accumulated seconds for `name`; 0 if the phase was never recorded.
@@ -84,12 +107,23 @@ class PhaseTimer {
   /// Discards all recorded phases.
   void Clear() { phases_.clear(); }
 
-  /// Merges another timer's phases into this one.
+  /// Merges another timer's phases (seconds and counters) into this one.
   void Merge(const PhaseTimer& other) {
-    for (const Phase& p : other.phases_) Add(p.name, p.seconds);
+    for (const Phase& p : other.phases_) {
+      Add(p.name, p.seconds);
+      for (const auto& c : p.counters) AddCount(p.name, c.first, c.second);
+    }
   }
 
  private:
+  Phase& FindOrCreate(const std::string& name) {
+    for (Phase& p : phases_) {
+      if (p.name == name) return p;
+    }
+    phases_.push_back(Phase{name, 0.0, {}});
+    return phases_.back();
+  }
+
   std::vector<Phase> phases_;
 };
 

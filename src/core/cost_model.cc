@@ -119,6 +119,43 @@ PhaseCostEstimate CostModel::Estimate(containers::DictBackend backend,
   return e;
 }
 
+double CostModel::PrunedExactFraction(int iteration) {
+  if (iteration <= 0) return 1.0;
+  // Geometric decay toward a floor: a few percent of documents sit near a
+  // cluster boundary and keep failing the bound test no matter how small
+  // the drift gets.
+  constexpr double kDecay = 0.5;
+  constexpr double kFloor = 0.05;
+  double f = std::pow(kDecay, static_cast<double>(iteration));
+  return f < kFloor ? kFloor : f;
+}
+
+double CostModel::EstimateKMeansSeconds(int k, int iterations, int workers,
+                                        bool prune) const {
+  if (workers < 1) workers = 1;
+  if (k < 1) k = 1;
+  if (iterations < 0) iterations = 0;
+  const double docs = static_cast<double>(stats_.documents);
+  const double nnz = stats_.avg_distinct_per_doc;
+  const double vocab = static_cast<double>(stats_.distinct_words);
+  // Sparse kernel: one merge-join multiply-add per stored nonzero.
+  constexpr double kKernelNsPerNnz = 4.0;
+  // Serial merge/finalize: a handful of double ops per (cluster, term).
+  constexpr double kMergeNsPerCell = 6.0;
+  double seconds = 0.0;
+  for (int t = 0; t < iterations; ++t) {
+    double kernels_per_doc = static_cast<double>(k);
+    if (prune) {
+      double f = PrunedExactFraction(t);
+      kernels_per_doc = f * static_cast<double>(k) + (1.0 - f) * 1.0;
+    }
+    seconds += docs * kernels_per_doc * nnz * kKernelNsPerNnz * 1e-9 /
+               static_cast<double>(workers);
+    seconds += static_cast<double>(k) * vocab * kMergeNsPerCell * 1e-9;
+  }
+  return seconds;
+}
+
 uint64_t CostModel::EstimateArtifactBytes() const {
   // Sparse ARFF: one "{id value," cell (~14 bytes) per stored score plus
   // one "@attribute <word> numeric" header line (~24 bytes) per term.

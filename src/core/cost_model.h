@@ -82,6 +82,26 @@ class CostModel {
   /// on the scratch disk (score rows + attribute header).
   uint64_t EstimateArtifactBytes() const;
 
+  /// Expected fraction of documents whose pruned assignment step still
+  /// pays the full k-way kernel scan in (0-based) iteration `iteration`.
+  /// Iteration 0 is always exact (no bounds exist yet); after that the
+  /// exact fraction decays geometrically toward a floor as centroids
+  /// settle and drift-loosened bounds keep holding — the measured shape of
+  /// bench/ablation_kmeans_prune on both corpora.
+  static double PrunedExactFraction(int iteration);
+
+  /// Predicted seconds for a K-means run over this workload: `iterations`
+  /// assignment sweeps (each document × k sparse kernels of
+  /// ~avg_distinct_per_doc nonzeros, parallel over documents) plus the
+  /// serial per-iteration merge/finalize term (k × vocabulary, the Amdahl
+  /// term of Figure 1). With `prune` the per-document kernel count drops
+  /// to f·k + (1−f)·1 at exact fraction f = PrunedExactFraction(t) —
+  /// skipped documents still pay one kernel to their assigned centroid
+  /// (the bit-identity discipline). Used by the optimizer to price the
+  /// replay a checkpoint under a K-means node would save.
+  double EstimateKMeansSeconds(int k, int iterations, int workers,
+                               bool prune) const;
+
   /// Seconds to *commit* a checkpoint for an artifact of `bytes`: the
   /// CRC-32 read-back of the artifact plus the manifest write, priced at
   /// the scratch device's single-channel bandwidth. This is the overhead a

@@ -3,28 +3,41 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/standard_ops.h"
+
 namespace hpa::core {
 
 namespace {
 
-/// Number of operator (non-source) nodes in the ancestor closure of `id`,
-/// including `id` itself — the work a resume skips when this edge holds a
-/// valid checkpoint.
-int AncestorOperatorCount(const Workflow& workflow, int id) {
+/// Replay seconds a resume from a checkpoint at `id` would skip: the
+/// ancestor closure of `id` (including itself), with each generic operator
+/// priced at the fused phase estimate and K-means operators priced by the
+/// dedicated estimate — pruning-aware, so plan costs stay honest now that
+/// the pruned assignment step does a decaying fraction of the kernel work.
+double AncestorReplaySeconds(const Workflow& workflow, int id,
+                             const CostModel& cost_model,
+                             const PhaseCostEstimate& est, int workers) {
   std::vector<bool> seen(workflow.size(), false);
   std::vector<int> stack = {id};
-  int count = 0;
+  double seconds = 0.0;
   while (!stack.empty()) {
     int n = stack.back();
     stack.pop_back();
     if (seen[static_cast<size_t>(n)]) continue;
     seen[static_cast<size_t>(n)] = true;
-    if (!workflow.IsSource(n)) {
-      ++count;
-      for (int input : workflow.node(n).inputs) stack.push_back(input);
+    if (workflow.IsSource(n)) continue;
+    const auto* kmeans =
+        dynamic_cast<const KMeansOperator*>(workflow.node(n).op.get());
+    if (kmeans != nullptr) {
+      const ops::KMeansOptions& kopts = kmeans->options();
+      seconds += cost_model.EstimateKMeansSeconds(
+          kopts.k, kopts.max_iterations, workers, kopts.prune);
+    } else {
+      seconds += est.TotalFused();
     }
+    for (int input : workflow.node(n).inputs) stack.push_back(input);
   }
-  return count;
+  return seconds;
 }
 
 containers::DictBackend BestPaperBackend(const CostModel& model, int workers,
@@ -81,9 +94,8 @@ ExecutionPlan OptimizeWorkflow(const Workflow& workflow,
           backend, plan.workers, options.per_doc_dict_presize,
           options.scratch_channels);
       double saved = options.failure_probability *
-                     static_cast<double>(AncestorOperatorCount(
-                         workflow, static_cast<int>(i))) *
-                     est.TotalFused();
+                     AncestorReplaySeconds(workflow, static_cast<int>(i),
+                                           cost_model, est, plan.workers);
       double overhead =
           std::max(0.0, est.output_seconds - est.transform_seconds) +
           cost_model.CheckpointCommitSeconds(

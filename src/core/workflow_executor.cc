@@ -177,6 +177,7 @@ StatusOr<WorkflowRunResult> RunWorkflow(const Workflow& workflow,
     ctx.per_doc_dict_presize = np.per_doc_dict_presize;
     ctx.tokenizer = env.tokenizer;
     ctx.stem_tokens = env.stem_tokens;
+    ctx.no_prune = env.no_prune;
     ctx.fault_policy = env.fault_policy;
     ctx.quarantine = &node_quarantine;
     ctx.crash_after_node = env.crash_after_node;

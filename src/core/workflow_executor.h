@@ -32,6 +32,12 @@ struct RunEnv {
   text::TokenizerOptions tokenizer;
   bool stem_tokens = false;
 
+  /// Disable the triangle-inequality-pruned K-means assignment step
+  /// (ops::ExecContext::no_prune). Deliberately NOT part of checkpoint
+  /// fingerprints: pruning is bit-identical, so artifacts stay valid
+  /// across the toggle.
+  bool no_prune = false;
+
   /// Fault policy threaded into every operator context (fail-fast by
   /// default; retry-skip quarantines unreadable items and the aggregate
   /// list lands on WorkflowRunResult::quarantine).

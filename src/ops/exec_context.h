@@ -84,6 +84,14 @@ struct ExecContext {
   /// changes. Ignored when serial_merge is set (serial subsumes flat).
   bool flat_parallelism = false;
 
+  /// Ablation escape hatch (--no-prune in the harnesses): disable the
+  /// triangle-inequality pruning of the K-means assignment step even when
+  /// KMeansOptions::prune asks for it, restoring the full n×k kernel scan
+  /// every iteration. Results are bit-identical either way (pruning only
+  /// skips kernels whose outcome the bounds already prove); only the
+  /// amount of distance work changes.
+  bool no_prune = false;
+
   /// Phase timer collecting named phase durations in *executor clock*
   /// time (virtual when simulated). May be null.
   PhaseTimer* phases = nullptr;

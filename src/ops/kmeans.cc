@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "common/random.h"
@@ -17,26 +18,45 @@ namespace {
 /// Allocated once and recycled across iterations when recycling is on.
 struct Accumulators {
   // sums[c] has vocabulary dimension; doubles so merge order effects stay
-  // far below assignment-decision thresholds.
+  // far below assignment-decision thresholds. The inertia sum is NOT here:
+  // which worker runs which chunk depends on scheduling (steals, measured
+  // chunk times), so worker-keyed doubles are not reproducible bit-for-bit
+  // across runs — inertia accumulates per *chunk* instead (the chunk grid
+  // is a pure function of n and the worker count) and reduces in chunk
+  // order, which is what lets the pruning ablation demand bit-identical
+  // inertia histories. The integer fields are order-insensitive.
   std::vector<std::vector<double>> sums;
   std::vector<uint64_t> counts;
   uint64_t changed = 0;
-  double inertia = 0.0;
+  // Pruning telemetry, merged like the other fields: kernels actually
+  // computed vs skipped by the bound test this iteration.
+  uint64_t kernels = 0;
+  uint64_t skipped = 0;
 
   void Init(int k, uint32_t dim) {
     sums.assign(static_cast<size_t>(k), std::vector<double>(dim, 0.0));
     counts.assign(static_cast<size_t>(k), 0);
     changed = 0;
-    inertia = 0.0;
+    kernels = 0;
+    skipped = 0;
   }
 
   void Reset() {
     for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);
     changed = 0;
-    inertia = 0.0;
+    kernels = 0;
+    skipped = 0;
   }
 };
+
+/// Absolute slack (in distance units; rows are L2-normalized so distances
+/// are O(1)) applied to the skip test and the drift estimates. It absorbs
+/// the floating-point rounding of the sparse kernel and the sqrt so a skip
+/// is only taken when the assigned centroid is the unique nearest by a
+/// margin no rounding can cross — which is what keeps pruned assignments
+/// bit-identical to the full scan.
+constexpr double kBoundSafety = 1e-7;
 
 /// Picks k well-spread distinct rows as initial centroids,
 /// deterministically in (seed, n).
@@ -106,6 +126,30 @@ std::vector<size_t> SeedRowsPlusPlus(const containers::SparseMatrix& matrix,
 
 }  // namespace
 
+int NearestCentroid(const containers::SparseVector& row, double row_sq,
+                    const std::vector<std::vector<float>>& centroids,
+                    const std::vector<double>& centroid_sq, double* best_d,
+                    double* second_d) {
+  int best = 0;
+  double bd = containers::SquaredDistance(row, row_sq, centroids[0],
+                                          centroid_sq[0]);
+  double sd = std::numeric_limits<double>::infinity();
+  for (size_t c = 1; c < centroids.size(); ++c) {
+    double d =
+        containers::SquaredDistance(row, row_sq, centroids[c], centroid_sq[c]);
+    if (d < bd) {
+      sd = bd;
+      bd = d;
+      best = static_cast<int>(c);
+    } else if (d < sd) {
+      sd = d;
+    }
+  }
+  *best_d = bd;
+  if (second_d != nullptr) *second_d = sd;
+  return best;
+}
+
 StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
                                     const containers::SparseMatrix& matrix,
                                     const KMeansOptions& options) {
@@ -170,11 +214,50 @@ StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
       });
     }
 
+    // Triangle-inequality pruning state (Hamerly 2010): one upper bound
+    // (distance to the assigned centroid) and one lower bound (distance to
+    // the runner-up) per document, plus the per-centroid drift of the last
+    // finalize. All of it is O(n + k) — never n×k (Elkan) or k×vocabulary
+    // — and, like the assignment vector, it is persistent iteration state,
+    // so it is allocated once even in the naive-allocation ablation.
+    const bool prune = options.prune && !ctx.no_prune;
+    std::vector<double> upper, lower, drift;
+    double max_drift = 0.0, second_drift = 0.0;
+    int argmax_drift = -1;
+    if (prune) {
+      ctx.executor->RunSerial(parallel::WorkHint{0, "kmeans-init"}, [&] {
+        upper.assign(n, 0.0);
+        lower.assign(n, 0.0);
+        drift.assign(static_cast<size_t>(k), 0.0);
+      });
+    }
+    std::unique_ptr<parallel::WorkerLocal<uint64_t>> violations;
+    if (prune && options.validate_bounds) {
+      ctx.executor->RunSerial(parallel::WorkHint{}, [&] {
+        violations =
+            std::make_unique<parallel::WorkerLocal<uint64_t>>(*ctx.executor);
+        violations->ForEach([](uint64_t& v) { v = 0; });
+      });
+    }
+
     parallel::WorkHint assign_hint;
     assign_hint.label = "kmeans-assign";
     assign_hint.bytes_touched =
         matrix.ApproxMemoryBytes() +
         static_cast<uint64_t>(k) * dim * sizeof(float);
+
+    // The assignment grain is pinned to the executor's automatic choice so
+    // the chunk grid is a pure function of (n, workers) — each chunk owns
+    // one slot of `chunk_inertia`, making the inertia reduction (chunk
+    // order, below in finalize) independent of which worker actually runs
+    // the chunk. Allocated once: persistent iteration state, like the
+    // assignment vector.
+    const size_t assign_grain = ctx.executor->AutoGrain(n);
+    const size_t assign_chunks = (n + assign_grain - 1) / assign_grain;
+    std::vector<double> chunk_inertia;
+    ctx.executor->RunSerial(parallel::WorkHint{}, [&] {
+      chunk_inertia.assign(assign_chunks, 0.0);
+    });
 
     // --- Lloyd iterations --------------------------------------------------
     for (int iter = 0; iter < options.max_iterations; ++iter) {
@@ -199,29 +282,60 @@ StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
         });
       }
 
-      // Parallel assignment + accumulation over documents.
+      // Parallel assignment + accumulation over documents. With pruning
+      // on, a document whose loosened bounds prove the assigned centroid
+      // is still the unique nearest pays one kernel (to that centroid,
+      // which keeps the inertia sum and the upper bound exact — hence the
+      // bit-identical guarantee) instead of k. Timed separately (the
+      // "assign_ns" counter on the kmeans phase): this loop is what
+      // pruning accelerates, while merge and finalize are identical in
+      // both modes.
+      const double assign_t0 = ctx.executor->Now();
       ctx.executor->ParallelFor(
-          0, n, 0, assign_hint, [&](int worker, size_t b, size_t e) {
+          0, n, assign_grain, assign_hint,
+          [&](int worker, size_t b, size_t e) {
             Accumulators& acc = scratch->Get(worker);
+            double local_inertia = 0.0;
             for (size_t i = b; i < e; ++i) {
               const containers::SparseVector& row = matrix.rows[i];
-              int best = 0;
-              double best_d = containers::SquaredDistance(
-                  row, row_sq[i], centroids[0], centroid_sq[0]);
-              for (int c = 1; c < k; ++c) {
-                double d = containers::SquaredDistance(
-                    row, row_sq[i], centroids[static_cast<size_t>(c)],
-                    centroid_sq[static_cast<size_t>(c)]);
-                if (d < best_d) {
-                  best_d = d;
-                  best = c;
+              if (prune && iter > 0) {
+                const uint32_t a = result.assignment[i];
+                const double loosen_other =
+                    static_cast<int>(a) == argmax_drift ? second_drift
+                                                        : max_drift;
+                const double u = upper[i] + drift[a];
+                const double l = lower[i] - loosen_other;
+                if (u + kBoundSafety < l) {
+                  double d = containers::SquaredDistance(
+                      row, row_sq[i], centroids[a], centroid_sq[a]);
+                  upper[i] = std::sqrt(std::max(0.0, d));
+                  lower[i] = l;
+                  acc.kernels += 1;
+                  acc.skipped += static_cast<uint64_t>(k - 1);
+                  local_inertia += d;
+                  acc.counts[a] += 1;
+                  auto& sum = acc.sums[a];
+                  for (size_t t = 0; t < row.nnz(); ++t) {
+                    sum[row.id_at(t)] += row.value_at(t);
+                  }
+                  continue;
                 }
+              }
+              double best_d = 0.0;
+              double second_d = 0.0;
+              int best =
+                  NearestCentroid(row, row_sq[i], centroids, centroid_sq,
+                                  &best_d, prune ? &second_d : nullptr);
+              acc.kernels += static_cast<uint64_t>(k);
+              if (prune) {
+                upper[i] = std::sqrt(std::max(0.0, best_d));
+                lower[i] = std::sqrt(std::max(0.0, second_d));
               }
               if (result.assignment[i] != static_cast<uint32_t>(best)) {
                 result.assignment[i] = static_cast<uint32_t>(best);
                 ++acc.changed;
               }
-              acc.inertia += best_d;
+              local_inertia += best_d;
               acc.counts[static_cast<size_t>(best)] += 1;
               // Sparse scatter into the worker's dense sum.
               auto& sum = acc.sums[static_cast<size_t>(best)];
@@ -229,7 +343,49 @@ StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
                 sum[row.id_at(t)] += row.value_at(t);
               }
             }
+            chunk_inertia[b / assign_grain] = local_inertia;
           });
+      if (ctx.phases != nullptr) {
+        // Recorded as a counter (integer nanoseconds) rather than a phase
+        // of its own so the Figure-3/4 stacked breakdowns, which sum all
+        // phases, do not double-count the time already inside "kmeans".
+        ctx.phases->AddCount(
+            "kmeans", "assign_ns",
+            static_cast<uint64_t>(
+                std::max(0.0, ctx.executor->Now() - assign_t0) * 1e9 + 0.5));
+      }
+
+      // Bound-invariant audit (test hook): every document's upper bound
+      // must dominate its true distance and its lower bound must stay
+      // below the true runner-up distance, up to the safety slack.
+      if (prune && options.validate_bounds) {
+        ctx.executor->ParallelFor(
+            0, n, 0, parallel::WorkHint{0, "kmeans-validate"},
+            [&](int worker, size_t b, size_t e) {
+              uint64_t bad = 0;
+              for (size_t i = b; i < e; ++i) {
+                const containers::SparseVector& row = matrix.rows[i];
+                const uint32_t a = result.assignment[i];
+                double min_other = std::numeric_limits<double>::infinity();
+                double d_assigned = 0.0;
+                for (int c = 0; c < k; ++c) {
+                  double d = containers::SquaredDistance(
+                      row, row_sq[i], centroids[static_cast<size_t>(c)],
+                      centroid_sq[static_cast<size_t>(c)]);
+                  if (static_cast<uint32_t>(c) == a) {
+                    d_assigned = d;
+                  } else if (d < min_other) {
+                    min_other = d;
+                  }
+                }
+                double true_u = std::sqrt(std::max(0.0, d_assigned));
+                double true_l = std::sqrt(std::max(0.0, min_other));
+                if (upper[i] < true_u - kBoundSafety) ++bad;
+                if (lower[i] > true_l + kBoundSafety) ++bad;
+              }
+              violations->Get(worker) += bad;
+            });
+      }
 
       // Merge of the worker accumulators — the k x vocabulary critical
       // path (not the document loop) that caps Figure 1's scalability and
@@ -248,7 +404,8 @@ StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
           for (size_t w = 1; w < scratch->size(); ++w) {
             Accumulators& from = scratch->Get(static_cast<int>(w));
             total.changed += from.changed;
-            total.inertia += from.inertia;
+            total.kernels += from.kernels;
+            total.skipped += from.skipped;
             for (int c = 0; c < k; ++c) {
               total.counts[static_cast<size_t>(c)] +=
                   from.counts[static_cast<size_t>(c)];
@@ -276,7 +433,8 @@ StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
           const size_t ds = part % dim_shards;
           if (part == 0) {
             into.changed += from.changed;
-            into.inertia += from.inertia;
+            into.kernels += from.kernels;
+            into.skipped += from.skipped;
           }
           if (ds == 0) into.counts[c] += from.counts[c];
           const uint32_t lo = static_cast<uint32_t>(
@@ -300,35 +458,98 @@ StatusOr<KMeansResult> SparseKMeans(ExecContext& ctx,
         }
       }
 
-      // Serial centroid finalize from the fully merged accumulator.
+      // Serial centroid finalize from the fully merged accumulator. The
+      // drift of each centroid — the L2 norm of its dense float-space
+      // delta, the loosening the next iteration's bound tests need — comes
+      // out of this same pass by reading each coordinate before it is
+      // overwritten: no extra k×vocabulary buffer exists at any point.
       uint64_t changed = 0;
       double inertia = 0.0;
+      uint64_t iter_kernels = 0;
+      uint64_t iter_skipped = 0;
       ctx.executor->RunSerial(parallel::WorkHint{0, "kmeans-finalize"}, [&] {
         Accumulators& total = scratch->Get(0);
         changed = total.changed;
-        inertia = total.inertia;
+        iter_kernels = total.kernels;
+        iter_skipped = total.skipped;
+        // Chunk-order inertia reduction: deterministic for a given
+        // (n, workers) no matter where the scheduler placed each chunk.
+        for (double v : chunk_inertia) inertia += v;
         for (int c = 0; c < k; ++c) {
           auto& centroid = centroids[static_cast<size_t>(c)];
           uint64_t count = total.counts[static_cast<size_t>(c)];
-          if (count == 0) continue;  // empty cluster keeps its centroid
+          if (count == 0) {
+            // Empty cluster keeps its centroid — zero drift.
+            if (prune) drift[static_cast<size_t>(c)] = 0.0;
+            continue;
+          }
           const auto& t = total.sums[static_cast<size_t>(c)];
           double inv = 1.0 / static_cast<double>(count);
           double sq = 0.0;
+          double drift_sq = 0.0;
           for (uint32_t d = 0; d < dim; ++d) {
             double v = t[d] * inv;
-            centroid[d] = static_cast<float>(v);
+            float fnew = static_cast<float>(v);
+            double delta = static_cast<double>(fnew) -
+                           static_cast<double>(centroid[d]);
+            drift_sq += delta * delta;
+            centroid[d] = fnew;
             sq += v * v;
           }
           centroid_sq[static_cast<size_t>(c)] = sq;
+          if (prune) {
+            // Slight inflation keeps the drift a true upper bound on the
+            // real movement despite the rounding of the sum above.
+            drift[static_cast<size_t>(c)] =
+                std::sqrt(drift_sq) * (1.0 + 1e-9) + kBoundSafety * 1e-3;
+          }
+        }
+        if (prune) {
+          // Max and runner-up drift over all centroids: the lower bound of
+          // a document assigned to the argmax centroid only needs to yield
+          // to the second-largest drift.
+          max_drift = 0.0;
+          second_drift = 0.0;
+          argmax_drift = -1;
+          for (int c = 0; c < k; ++c) {
+            double dr = drift[static_cast<size_t>(c)];
+            if (dr > max_drift) {
+              second_drift = max_drift;
+              max_drift = dr;
+              argmax_drift = c;
+            } else if (dr > second_drift) {
+              second_drift = dr;
+            }
+          }
         }
       });
 
       result.inertia = inertia;
       result.inertia_history.push_back(inertia);
+      result.distance_kernels_evaluated += iter_kernels;
+      result.distance_kernels_skipped += iter_skipped;
+      const double iter_total =
+          static_cast<double>(iter_kernels + iter_skipped);
+      result.skip_rate_history.push_back(
+          iter_total > 0 ? static_cast<double>(iter_skipped) / iter_total
+                         : 0.0);
       if (options.stop_on_convergence && changed == 0) {
         result.converged = true;
         break;
       }
+    }
+
+    if (violations != nullptr) {
+      ctx.executor->RunSerial(parallel::WorkHint{}, [&] {
+        violations->ForEach(
+            [&](uint64_t& v) { result.bound_violations += v; });
+      });
+    }
+    if (ctx.phases != nullptr) {
+      ctx.phases->AddCount("kmeans", "distance_kernels_evaluated",
+                           result.distance_kernels_evaluated);
+      ctx.phases->AddCount("kmeans", "distance_kernels_skipped",
+                           result.distance_kernels_skipped);
     }
 
     result.centroids = std::move(centroids);
@@ -395,19 +616,9 @@ StatusOr<KMeansResult> MiniBatchKMeans(ExecContext& ctx,
         }
         for (size_t b = 0; b < batch_size; ++b) {
           const containers::SparseVector& row = matrix.rows[batch[b]];
-          double row_sq = row.SquaredL2Norm();
-          int best = 0;
-          double best_d = containers::SquaredDistance(
-              row, row_sq, centroids[0], centroid_sq[0]);
-          for (int c = 1; c < k; ++c) {
-            double d = containers::SquaredDistance(
-                row, row_sq, centroids[static_cast<size_t>(c)],
-                centroid_sq[static_cast<size_t>(c)]);
-            if (d < best_d) {
-              best_d = d;
-              best = c;
-            }
-          }
+          double best_d = 0.0;
+          int best = NearestCentroid(row, row.SquaredL2Norm(), centroids,
+                                     centroid_sq, &best_d);
           batch_best[b] = static_cast<uint32_t>(best);
         }
         for (size_t b = 0; b < batch_size; ++b) {
@@ -436,19 +647,9 @@ StatusOr<KMeansResult> MiniBatchKMeans(ExecContext& ctx,
           double& acc = partial_inertia.Get(worker);
           for (size_t i = b; i < e; ++i) {
             const containers::SparseVector& row = matrix.rows[i];
-            double row_sq = row.SquaredL2Norm();
-            int best = 0;
-            double best_d = containers::SquaredDistance(
-                row, row_sq, centroids[0], centroid_sq[0]);
-            for (int c = 1; c < k; ++c) {
-              double d = containers::SquaredDistance(
-                  row, row_sq, centroids[static_cast<size_t>(c)],
-                  centroid_sq[static_cast<size_t>(c)]);
-              if (d < best_d) {
-                best_d = d;
-                best = c;
-              }
-            }
+            double best_d = 0.0;
+            int best = NearestCentroid(row, row.SquaredL2Norm(), centroids,
+                                       centroid_sq, &best_d);
             result.assignment[i] = static_cast<uint32_t>(best);
             acc += best_d;
           }

@@ -62,6 +62,23 @@ struct KMeansOptions {
   /// Reuse accumulators/assignment buffers across iterations (paper
   /// optimisation (ii)); false = allocate fresh objects each iteration.
   bool recycle_buffers = true;
+
+  /// Triangle-inequality pruning of the assignment step (Hamerly 2010):
+  /// one upper bound (distance to the assigned centroid) and one lower
+  /// bound (distance to the runner-up) per document, loosened by centroid
+  /// drift after each finalize. A document whose upper bound stays below
+  /// its lower bound skips the k-way kernel scan entirely — it still pays
+  /// one kernel (to its assigned centroid, which keeps the inertia sum and
+  /// the upper bound exact), so results are bit-identical to the unpruned
+  /// scan. O(n) extra memory, never O(n×k). Overridden off by
+  /// ExecContext::no_prune (the --no-prune ablation).
+  bool prune = true;
+
+  /// Test hook: after every assignment step, re-scan all k centroids per
+  /// document and count documents whose bounds bracket the true distances
+  /// incorrectly (upper < d(x, a(x)) or lower > min over other centroids).
+  /// Expensive (defeats pruning); off outside the bound-invariant tests.
+  bool validate_bounds = false;
 };
 
 /// Clustering output.
@@ -85,7 +102,34 @@ struct KMeansResult {
 
   /// True if the run stopped because assignments stabilized.
   bool converged = false;
+
+  /// Pruning telemetry: sparse distance kernels actually computed vs
+  /// skipped by the bound test, summed over all iterations. Their sum is
+  /// always n × k × iterations (the unpruned kernel count), so the skip
+  /// fraction is skipped / (evaluated + skipped). Counted in both modes;
+  /// skipped stays 0 with pruning off.
+  uint64_t distance_kernels_evaluated = 0;
+  uint64_t distance_kernels_skipped = 0;
+
+  /// Fraction of kernels skipped in each iteration (size == iterations;
+  /// all zeros with pruning off). Iteration 0 is always 0 (no bounds yet).
+  std::vector<double> skip_rate_history;
+
+  /// Bound-invariant violations found by options.validate_bounds (always 0
+  /// unless the implementation is broken); 0 when validation is off.
+  uint64_t bound_violations = 0;
 };
+
+/// Index of the centroid nearest to `row` (ties break to the lowest
+/// index, matching the scan order of the unpruned assignment step).
+/// `best_d` receives the squared distance to the winner; `second_d`, when
+/// non-null, the squared distance to the runner-up (meaningful only for
+/// k >= 2). This is the shared exact-kernel helper used by SparseKMeans'
+/// fallback path, MiniBatchKMeans, and the serving classify path.
+int NearestCentroid(const containers::SparseVector& row, double row_sq,
+                    const std::vector<std::vector<float>>& centroids,
+                    const std::vector<double>& centroid_sq, double* best_d,
+                    double* second_d = nullptr);
 
 /// Sparse parallel K-means over TF/IDF rows. Accrues the "kmeans" phase on
 /// ctx.phases. Rows should be L2-normalized (the operator does not

@@ -138,19 +138,13 @@ containers::SparseVector ModelHandle::Vectorize(std::string_view body) const {
 uint32_t ModelHandle::Classify(std::string_view body,
                                double* distance_out) const {
   containers::SparseVector v = Vectorize(body);
-  double v_sq = v.SquaredL2Norm();
-  uint32_t best = 0;
   double best_d = 0.0;
-  for (size_t c = 0; c < centroids_.size(); ++c) {
-    double d = containers::SquaredDistance(v, v_sq, centroids_[c],
-                                           centroid_sq_norms_[c]);
-    if (c == 0 || d < best_d) {
-      best_d = d;
-      best = static_cast<uint32_t>(c);
-    }
-  }
+  // Shared exact-kernel helper — the same scan (and tie-break order) the
+  // K-means assignment step falls back to when a bound test fails.
+  int best = ops::NearestCentroid(v, v.SquaredL2Norm(), centroids_,
+                                  centroid_sq_norms_, &best_d);
   if (distance_out != nullptr) *distance_out = best_d;
-  return best;
+  return static_cast<uint32_t>(best);
 }
 
 ModelRegistry::ModelRegistry(io::SimDisk* disk, std::string dir)
