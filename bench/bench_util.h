@@ -71,6 +71,11 @@ class BenchEnv {
   /// Scale factor applied to corpus profiles.
   double scale() const { return scale_; }
 
+  /// The workspace root (corpus cache and scratch live under it). For
+  /// harnesses that must start from empty state — e.g. the chaos soak's
+  /// registry churn — and need to clear their scratch subtree first.
+  const std::string& workdir() const { return workdir_; }
+
   /// Applies the --scale/--vocab_exp flags to a full-size profile.
   text::CorpusProfile ScaleProfile(const text::CorpusProfile& base) const {
     return base.Scaled(scale_, vocab_exp_);

@@ -1,0 +1,728 @@
+// Chaos soak for the serving robustness layer: a seeded fleet of
+// scenarios, each composing injected scoring faults, crash-mid-publish,
+// registry GC, hot-swap under live traffic, artifact corruption, and
+// overload bursts against one AnalyticsServer on the virtual clock. The
+// point is not throughput — it is that under arbitrary composed failure
+// the serving contract never cracks. Five invariants are enforced at
+// exit (any violation returns non-zero):
+//
+//  1. torn-serve   — no response ever carries a model version whose
+//     manifest was never committed (Response.model_version audited
+//     against the set of committed registry versions);
+//  2. disposition  — every admitted request surfaces in exactly one
+//     Poll/FlushAll/Drain return with a terminal outcome, and the metric
+//     counters conserve (completed + misses + failed + shed == admitted,
+//     queue depth bounded by capacity);
+//  3. scoring bits — for requests scored kOk at both worker counts
+//     {1, 8}, cluster AND distance bits are identical (scoring purity
+//     survives the chaos), with a nonzero overlap across the soak;
+//  4. breaker bound — with the circuit breaker enabled, error responses
+//     are bounded by its state machine: failed <= (opens + 1) *
+//     (failure_threshold + half_open_probes);
+//  5. replay       — re-running a scenario with the same seed and worker
+//     count reproduces bit-identical dispositions, metrics, GC reports,
+//     and breaker counters.
+//
+// Every scenario parameter (queue bound, batch ceiling, lanes, breaker
+// tuning, fault rates, event mix) is derived from --chaos_seed, and every
+// event-loop decision is drawn from a per-run Rng stream that never
+// depends on scoring outcomes or the clock — so the schedule is identical
+// across worker counts and reruns by construction, and the invariants do
+// the judging. Output ends with one machine-readable JSON document.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/retry.h"
+#include "common/string_util.h"
+#include "io/fault_injection.h"
+#include "io/packed_corpus.h"
+#include "ops/exec_context.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/registry_gc.h"
+#include "serve/request.h"
+#include "serve/server.h"
+
+namespace hpa::bench {
+namespace {
+
+/// Everything one scenario does differently from the next, derived from
+/// (--chaos_seed, scenario index) before any run starts.
+struct ScenarioCfg {
+  int index = 0;
+  uint64_t rng_seed = 0;  ///< event-loop stream (same at every worker count)
+  int events = 0;
+  size_t queue_capacity = 16;
+  size_t max_batch = 4;
+  double max_wait_sec = 0.005;
+  bool lanes = false;
+  bool breaker = false;
+  bool storm = false;  ///< total permanent-fault storm (breaker bound holds)
+  CircuitBreakerOptions breaker_opts;
+  double canary_min_agree = 1.0;
+  io::FaultProfile faults;
+  RetryPolicy retry = RetryPolicy::NoRetry();
+};
+
+/// One run of one scenario at one worker count.
+struct RunResult {
+  bool harness_error = false;  ///< setup failed (not an invariant breach)
+  std::string error;
+  std::vector<serve::Response> responses;
+  uint64_t submit_attempts = 0;
+  std::vector<uint64_t> admitted;          ///< ids, submit order
+  std::set<uint64_t> committed_versions;   ///< manifests ever observed
+  serve::ServeMetrics::Snapshot metrics;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_closes = 0;
+  uint64_t breaker_sheds = 0;
+  uint64_t gc_runs = 0;
+  std::vector<std::string> gc_summaries;
+  std::string digest;  ///< full disposition+metrics fingerprint (replay)
+};
+
+ScenarioCfg MakeScenario(uint64_t chaos_seed, int index, int events) {
+  ScenarioCfg cfg;
+  cfg.index = index;
+  cfg.events = events;
+  // All knobs come from one derivation stream; the event loop later uses
+  // an independent stream (rng_seed) so adding a knob here never shifts
+  // the event schedule of existing scenarios at the same seed.
+  Rng rng(chaos_seed * 0x9E3779B97F4A7C15ULL +
+          static_cast<uint64_t>(index) * 0x2545F4914F6CDD1DULL);
+  cfg.rng_seed = rng.Next();
+  cfg.queue_capacity = 8 + rng.NextBounded(17);  // 8..24
+  cfg.max_batch = 1 + rng.NextBounded(8);        // 1..8
+  cfg.max_wait_sec = 0.002 + 0.010 * rng.NextDouble();
+  cfg.lanes = rng.NextDouble() < 0.6;
+  cfg.breaker = rng.NextDouble() < 0.6;
+  cfg.breaker_opts.failure_threshold = 2 + static_cast<int>(rng.NextBounded(3));
+  cfg.breaker_opts.open_sec = 0.002 + 0.020 * rng.NextDouble();
+  cfg.breaker_opts.half_open_probes = 1 + static_cast<int>(rng.NextBounded(2));
+  cfg.breaker_opts.half_open_successes =
+      1 + static_cast<int>(rng.NextBounded(2));
+  cfg.breaker_opts.probe_fraction = 1.0;
+  cfg.breaker_opts.seed = rng.Next();
+  cfg.canary_min_agree = rng.NextDouble() < 0.25 ? 1.1 : 1.0;
+  cfg.faults.transient_rate = 0.20 * rng.NextDouble();
+  cfg.faults.permanent_rate =
+      rng.NextDouble() < 0.5 ? 0.0 : 0.10 * rng.NextDouble();
+  cfg.faults.latency_spike_rate = 0.10 * rng.NextDouble();
+  cfg.faults.latency_spike_sec = 0.002;
+  cfg.faults.seed = rng.Next();
+  cfg.retry.max_attempts = 1 + static_cast<int>(rng.NextBounded(3));
+  cfg.retry.initial_backoff_sec = 0.0005;
+  cfg.retry.max_backoff_sec = 0.004;
+  cfg.retry.seed = rng.Next();
+  // Guaranteed coverage on top of the draws: every 5th scenario is
+  // fault-free (a large kOk overlap for the cross-worker bit check), and
+  // every 4th runs a *total* permanent-fault storm with the breaker
+  // forced on. Totality matters for the bound invariant: only when every
+  // scored request fails are the failures consecutive, which is what the
+  // breaker's closed-state counter (and hence the bound formula) counts.
+  // Scenarios with partial fault rates still exercise the breaker, but
+  // interleaved successes reset the consecutive count, so no closed-form
+  // failure bound exists for them.
+  if (index % 5 == 0) {
+    cfg.faults = io::FaultProfile{};
+  }
+  if (index % 4 == 3) {
+    cfg.faults.transient_rate = 0.0;
+    cfg.faults.permanent_rate = 1.0;
+    cfg.faults.latency_spike_rate = 0.0;
+    cfg.breaker = true;
+    cfg.storm = true;
+  }
+  return cfg;
+}
+
+/// Order-normalized fingerprint of every terminal response plus the run's
+/// metrics/GC/breaker tail — what the replay invariant compares.
+std::string Digest(const RunResult& rr) {
+  std::vector<serve::Response> sorted = rr.responses;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const serve::Response& a, const serve::Response& b) {
+              return a.id < b.id;
+            });
+  std::string out;
+  for (const serve::Response& r : sorted) {
+    out += StrFormat("%llu:%s:%s:v%llu:%u:%a\n",
+                     static_cast<unsigned long long>(r.id),
+                     std::string(serve::RequestOutcomeName(r.outcome)).c_str(),
+                     std::string(serve::LaneName(r.lane)).c_str(),
+                     static_cast<unsigned long long>(r.model_version),
+                     r.cluster, r.distance);
+  }
+  // Counters only: the simulated executor *measures* real chunk CPU time
+  // to price regions, so latency quantiles legitimately wobble between
+  // identical runs. Every discrete decision — dispositions, sheds, swaps,
+  // batch cuts — must still replay exactly.
+  const serve::ServeMetrics::Snapshot& m = rr.metrics;
+  out += StrFormat(
+      "counters submitted=%llu rejected=%llu completed=%llu misses=%llu "
+      "failed=%llu shed=%llu breaker_shed=%llu swaps=%llu rollbacks=%llu "
+      "batches=%llu batched=%llu max_queue=%llu "
+      "lanes=%llu/%llu/%llu/%llu/%llu/%llu,%llu/%llu/%llu/%llu/%llu/%llu\n",
+      static_cast<unsigned long long>(m.submitted),
+      static_cast<unsigned long long>(m.rejected),
+      static_cast<unsigned long long>(m.completed),
+      static_cast<unsigned long long>(m.deadline_misses),
+      static_cast<unsigned long long>(m.failed),
+      static_cast<unsigned long long>(m.shed),
+      static_cast<unsigned long long>(m.breaker_shed),
+      static_cast<unsigned long long>(m.hot_swaps),
+      static_cast<unsigned long long>(m.swap_rollbacks),
+      static_cast<unsigned long long>(m.batches),
+      static_cast<unsigned long long>(m.batched_requests),
+      static_cast<unsigned long long>(m.max_queue_depth),
+      static_cast<unsigned long long>(m.lane_submitted[0]),
+      static_cast<unsigned long long>(m.lane_rejected[0]),
+      static_cast<unsigned long long>(m.lane_completed[0]),
+      static_cast<unsigned long long>(m.lane_misses[0]),
+      static_cast<unsigned long long>(m.lane_failed[0]),
+      static_cast<unsigned long long>(m.lane_shed[0]),
+      static_cast<unsigned long long>(m.lane_submitted[1]),
+      static_cast<unsigned long long>(m.lane_rejected[1]),
+      static_cast<unsigned long long>(m.lane_completed[1]),
+      static_cast<unsigned long long>(m.lane_misses[1]),
+      static_cast<unsigned long long>(m.lane_failed[1]),
+      static_cast<unsigned long long>(m.lane_shed[1]));
+  for (const std::string& s : rr.gc_summaries) out += "gc " + s + "\n";
+  out += StrFormat("breaker opens=%llu closes=%llu sheds=%llu\n",
+                   static_cast<unsigned long long>(rr.breaker_opens),
+                   static_cast<unsigned long long>(rr.breaker_closes),
+                   static_cast<unsigned long long>(rr.breaker_sheds));
+  out += "committed";
+  for (uint64_t v : rr.committed_versions) {
+    out += StrFormat(" %llu", static_cast<unsigned long long>(v));
+  }
+  out += "\n";
+  return out;
+}
+
+/// Drives one scenario to completion at `workers` workers. `rep`
+/// disambiguates the registry directory between the replay twins.
+RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
+                      BenchEnv& env, const FlagSet& flags,
+                      const serve::ModelConfig& config,
+                      const std::string& corpus_rel,
+                      const std::vector<std::string>& bodies) {
+  RunResult rr;
+  auto fail = [&rr](const std::string& what, const Status& s) {
+    rr.harness_error = true;
+    rr.error = what + ": " + s.ToString();
+  };
+
+  auto exec = MakeBenchExecutor(flags, workers);
+  if (exec == nullptr) {
+    rr.harness_error = true;
+    rr.error = "unknown --executor";
+    return rr;
+  }
+  env.SetExecutor(exec.get());
+  auto reader = io::PackedCorpusReader::Open(env.corpus_disk(), corpus_rel);
+  if (!reader.ok()) {
+    fail("corpus open", reader.status());
+    env.SetExecutor(nullptr);
+    return rr;
+  }
+
+  ops::ExecContext fit_ctx;
+  fit_ctx.executor = exec.get();
+  fit_ctx.corpus_disk = env.corpus_disk();
+  fit_ctx.scratch_disk = env.scratch_disk();
+
+  const std::string dir =
+      StrFormat("chaos/s%02d-w%d-r%d", cfg.index, workers, rep);
+  serve::ModelRegistry registry(env.scratch_disk(), dir);
+  ops::KMeansOptions kmeans;
+  kmeans.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+
+  auto fitted = registry.Fit(fit_ctx, *reader, config, kmeans);
+  if (!fitted.ok()) {
+    fail("initial fit", fitted.status());
+    env.SetExecutor(nullptr);
+    return rr;
+  }
+  serve::ModelHandle model = std::move(*fitted);
+
+  // Upper bound on any version number a publish may have touched; the
+  // committed-set audit probes manifests up to it after every attempt.
+  uint64_t version_cap = 1;
+  auto note_committed = [&] {
+    for (uint64_t v = 1; v <= version_cap; ++v) {
+      if (env.scratch_disk()->Exists(registry.ManifestPath(v))) {
+        rr.committed_versions.insert(v);
+      }
+    }
+  };
+  note_committed();
+
+  std::unique_ptr<io::FaultInjector> injector;
+  if (cfg.faults.Enabled()) {
+    injector = std::make_unique<io::FaultInjector>(cfg.faults);
+  }
+
+  serve::ServerOptions options;
+  options.queue_capacity = cfg.queue_capacity;
+  options.max_batch = cfg.max_batch;
+  options.max_wait_sec = cfg.max_wait_sec;
+  options.retry = cfg.retry;
+  options.fault_policy = FaultPolicy::kRetryThenSkip;
+  options.injector = injector.get();
+  options.priority_lanes = cfg.lanes;
+  options.breaker_enabled = cfg.breaker;
+  options.breaker = cfg.breaker_opts;
+  options.canary_min_agree = cfg.canary_min_agree;
+
+  serve::ServeMetrics metrics(workers);
+  ops::ExecContext serve_ctx;
+  serve_ctx.executor = exec.get();
+  serve::AnalyticsServer server(serve_ctx, &model, options, &metrics);
+
+  std::vector<std::string> canary(
+      bodies.begin(), bodies.begin() + std::min<size_t>(bodies.size(), 5));
+
+  // Event-loop stream. Draw counts per event depend only on earlier draws
+  // (never on outcomes, registry state, or the clock), so the schedule is
+  // identical across worker counts and replays.
+  Rng rng(cfg.rng_seed);
+  uint64_t next_id = 0;
+
+  auto submit_one = [&](serve::Lane lane, double rel_deadline) {
+    double deadline = rel_deadline > 0 ? exec->Now() + rel_deadline : 0.0;
+    uint64_t id = next_id++;
+    ++rr.submit_attempts;
+    Status st = server.Submit(id, bodies[id % bodies.size()], deadline, lane);
+    if (st.ok()) rr.admitted.push_back(id);
+  };
+  auto collect = [&](std::vector<serve::Response> out) {
+    rr.responses.insert(rr.responses.end(),
+                        std::make_move_iterator(out.begin()),
+                        std::make_move_iterator(out.end()));
+  };
+  auto run_gc = [&]() -> bool {
+    serve::RegistryGc gc(env.scratch_disk(), dir);
+    auto report = gc.Run();
+    if (!report.ok()) {
+      fail("gc", report.status());
+      return false;
+    }
+    ++rr.gc_runs;
+    rr.gc_summaries.push_back(report->Summary());
+    return true;
+  };
+
+  for (int e = 0; e < cfg.events && !rr.harness_error; ++e) {
+    double a = rng.NextDouble();
+    if (a < 0.55) {
+      // Steady traffic: a small wave, polled between arrivals.
+      int n = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int i = 0; i < n; ++i) {
+        serve::Lane lane = rng.NextDouble() < 0.5 ? serve::Lane::kInteractive
+                                                  : serve::Lane::kBatch;
+        double d = rng.NextDouble();
+        double rel_deadline = d < 0.4 ? 0.005 + 0.050 * d : 0.0;
+        submit_one(lane, rel_deadline);
+        collect(server.Poll());
+      }
+    } else if (a < 0.68) {
+      // Overload burst: well past the queue bound, then a full flush.
+      size_t n = cfg.queue_capacity + 4 + rng.NextBounded(cfg.queue_capacity);
+      for (size_t i = 0; i < n; ++i) {
+        serve::Lane lane = rng.NextDouble() < 0.5 ? serve::Lane::kInteractive
+                                                  : serve::Lane::kBatch;
+        submit_one(lane, 0.0);
+      }
+      collect(server.FlushAll());
+    } else if (a < 0.78) {
+      // Publish under live traffic, possibly crashing mid-commit; GC the
+      // wreckage; then follow the latest pointer with the canary gate.
+      int draw = static_cast<int>(rng.NextBounded(6));
+      int crash_step = draw <= 3 ? draw : -1;
+      registry.set_crash_after_publish_step(crash_step);
+      ++version_cap;
+      auto refit = registry.Fit(fit_ctx, *reader, config, kmeans);
+      registry.set_crash_after_publish_step(-1);
+      if (!refit.ok() && crash_step < 0) {
+        fail("refit", refit.status());
+        break;
+      }
+      note_committed();
+      if (!run_gc()) break;
+      // Rollbacks (canary gate, quarantined/corrupt candidate) are
+      // expected outcomes here, counted by the swap metrics.
+      (void)server.TryHotSwap(registry, config, canary);
+    } else if (a < 0.86) {
+      // Flip one byte in an older committed version's centroid artifact;
+      // the next GC pass must quarantine it with a logged reason. The
+      // newest version is left alone so the latest pointer stays sane.
+      std::vector<uint64_t> committed_now;
+      for (uint64_t v = 1; v <= version_cap; ++v) {
+        if (env.scratch_disk()->Exists(registry.ManifestPath(v)) &&
+            !env.scratch_disk()->Exists(registry.QuarantinePath(v))) {
+          committed_now.push_back(v);
+        }
+      }
+      if (committed_now.size() >= 2) {
+        uint64_t victim = committed_now[committed_now.size() - 2];
+        std::string path = registry.CentroidsPath(victim);
+        auto bytes = env.scratch_disk()->ReadFile(path);
+        if (bytes.ok() && !bytes->empty()) {
+          (*bytes)[bytes->size() / 2] ^= 0x20;
+          Status w = env.scratch_disk()->WriteFile(path, *bytes);
+          if (!w.ok()) {
+            fail("corrupt write", w);
+            break;
+          }
+        }
+        if (!run_gc()) break;
+      }
+    } else {
+      // Idle gap: let the virtual clock move (staleness flushes, breaker
+      // open windows elapse), then tick the flush policy.
+      double gap = 0.001 + 0.010 * rng.NextDouble();
+      exec->ChargeIoTime(gap, 1);
+      collect(server.Poll());
+    }
+  }
+
+  collect(server.Drain());
+  note_committed();
+  if (!rr.harness_error) run_gc();
+
+  rr.metrics = metrics.Scrape();
+  rr.breaker_opens = server.breaker().opens();
+  rr.breaker_closes = server.breaker().closes();
+  rr.breaker_sheds = server.breaker().sheds();
+  env.SetExecutor(nullptr);
+  rr.digest = Digest(rr);
+  return rr;
+}
+
+/// Per-run invariant checks 1, 2, and 4. Prints FAIL lines; returns false
+/// on any breach.
+bool CheckRun(const ScenarioCfg& cfg, int workers, const RunResult& rr) {
+  bool ok = true;
+  auto breach = [&](const char* invariant, const std::string& detail) {
+    std::fprintf(stderr, "FAIL[%s]: s%02d w%d: %s\n", invariant, cfg.index,
+                 workers, detail.c_str());
+    ok = false;
+  };
+
+  // 2. disposition: admitted ids == response ids, exactly once, terminal.
+  std::vector<uint64_t> admitted = rr.admitted;
+  std::vector<uint64_t> answered;
+  answered.reserve(rr.responses.size());
+  for (const serve::Response& r : rr.responses) {
+    answered.push_back(r.id);
+    if (r.outcome == serve::RequestOutcome::kPending) {
+      breach("disposition", StrFormat("request %llu returned kPending",
+                                      static_cast<unsigned long long>(r.id)));
+    }
+  }
+  std::sort(admitted.begin(), admitted.end());
+  std::sort(answered.begin(), answered.end());
+  if (admitted != answered) {
+    breach("disposition",
+           StrFormat("%zu admitted vs %zu answered (or id mismatch)",
+                     admitted.size(), answered.size()));
+  }
+  const serve::ServeMetrics::Snapshot& m = rr.metrics;
+  if (m.submitted != rr.submit_attempts ||
+      m.rejected != rr.submit_attempts - rr.admitted.size()) {
+    breach("disposition", "admission counters disagree with the driver");
+  }
+  uint64_t terminal = m.completed + m.deadline_misses + m.failed + m.shed;
+  if (terminal != rr.admitted.size()) {
+    breach("disposition",
+           StrFormat("completed+misses+failed+shed=%llu != admitted=%zu",
+                     static_cast<unsigned long long>(terminal),
+                     rr.admitted.size()));
+  }
+  if (m.max_queue_depth > cfg.queue_capacity) {
+    breach("disposition",
+           StrFormat("queue depth %llu exceeded capacity %zu",
+                     static_cast<unsigned long long>(m.max_queue_depth),
+                     cfg.queue_capacity));
+  }
+
+  // 1. torn-serve: every served version has a committed manifest.
+  for (const serve::Response& r : rr.responses) {
+    if (r.model_version != 0 &&
+        rr.committed_versions.count(r.model_version) == 0) {
+      breach("torn-serve",
+             StrFormat("request %llu served uncommitted version %llu",
+                       static_cast<unsigned long long>(r.id),
+                       static_cast<unsigned long long>(r.model_version)));
+    }
+  }
+
+  // 4. breaker bound: under a total storm each open epoch admits at most
+  // threshold closed failures plus the half-open probe budget.
+  if (cfg.breaker && cfg.storm) {
+    uint64_t bound =
+        (rr.breaker_opens + 1) *
+        static_cast<uint64_t>(cfg.breaker_opts.failure_threshold +
+                              cfg.breaker_opts.half_open_probes);
+    if (m.failed > bound) {
+      breach("breaker-bound",
+             StrFormat("failed=%llu > (opens=%llu + 1) * (threshold=%d + "
+                       "probes=%d) = %llu",
+                       static_cast<unsigned long long>(m.failed),
+                       static_cast<unsigned long long>(rr.breaker_opens),
+                       cfg.breaker_opts.failure_threshold,
+                       cfg.breaker_opts.half_open_probes,
+                       static_cast<unsigned long long>(bound)));
+    }
+  }
+  return ok;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags("chaos_soak",
+                "seeded chaos scenarios against the serving layer with "
+                "exit-enforced torn-serve/disposition/bit-identity/"
+                "breaker-bound/replay invariants");
+  AddCommonFlags(flags);
+  flags.DefineInt("chaos_seed", 42, "scenario derivation seed");
+  flags.DefineInt("chaos_scenarios", 24,
+                  "number of seeded scenarios (the soak contract expects "
+                  ">= 20)");
+  flags.DefineInt("chaos_events", 40, "chaos events per scenario");
+  flags.DefineInt("chaos_docs", 120, "fit-corpus document count");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  PrintBanner("Chaos soak: serving robustness invariants", flags);
+
+  const uint64_t chaos_seed = static_cast<uint64_t>(flags.GetInt("chaos_seed"));
+  const int scenarios = static_cast<int>(flags.GetInt("chaos_scenarios"));
+  const int events = static_cast<int>(flags.GetInt("chaos_events"));
+  if (scenarios < 20) {
+    std::printf("note: %d scenarios is below the soak contract's 20 "
+                "(fine for a quick look, not for sign-off)\n",
+                scenarios);
+  }
+
+  auto env_or = BenchEnv::Create(flags);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+    return 2;
+  }
+  BenchEnv& env = **env_or;
+
+  // Registry version numbers are dense per directory, and the scratch
+  // workspace survives across invocations: a stale chaos/ tree would make
+  // this run's fits publish versions past the committed-set audit. Every
+  // soak starts from an empty registry universe.
+  std::error_code ec;
+  std::filesystem::remove_all(
+      std::filesystem::path(env.workdir()) / "scratch" / "chaos", ec);
+
+  text::CorpusProfile profile;
+  profile.name = "chaos-synth";
+  profile.num_documents = static_cast<uint64_t>(flags.GetInt("chaos_docs"));
+  profile.target_distinct_words = 6000;
+  profile.target_bytes = profile.num_documents * 900;
+  auto rel_or = env.EnsureCorpus(profile);
+  if (!rel_or.ok()) {
+    std::fprintf(stderr, "%s\n", rel_or.status().ToString().c_str());
+    return 2;
+  }
+
+  serve::ModelConfig config;
+  config.clusters = static_cast<int>(flags.GetInt("clusters"));
+
+  // Request-body pool, read once (scoring input is identical in every
+  // run; the executor on the corpus disk at this point is irrelevant to
+  // the bytes returned).
+  std::vector<std::string> bodies;
+  {
+    auto exec = MakeBenchExecutor(flags, 1);
+    env.SetExecutor(exec.get());
+    auto reader = io::PackedCorpusReader::Open(env.corpus_disk(), *rel_or);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+      return 2;
+    }
+    size_t pool = std::min<size_t>(reader->size(), 64);
+    for (size_t i = 0; i < pool; ++i) {
+      auto body = reader->ReadBody(i);
+      if (!body.ok()) {
+        std::fprintf(stderr, "%s\n", body.status().ToString().c_str());
+        return 2;
+      }
+      bodies.push_back(std::move(*body));
+    }
+    env.SetExecutor(nullptr);
+  }
+
+  bool ok = true;
+  uint64_t total_requests = 0;
+  uint64_t total_completed = 0;
+  uint64_t total_shed = 0;
+  uint64_t total_swaps = 0;
+  uint64_t total_rollbacks = 0;
+  uint64_t total_opens = 0;
+  uint64_t total_gc_runs = 0;
+  uint64_t overlap_total = 0;
+
+  std::printf("%-4s %-5s %-5s %-7s %-9s %-9s %-6s %-6s %-5s %-5s %-7s %s\n",
+              "scn", "lanes", "brkr", "perm%", "admitted", "completed",
+              "shed", "fail", "swap", "open", "overlap", "verdict");
+
+  for (int i = 0; i < scenarios; ++i) {
+    ScenarioCfg cfg = MakeScenario(chaos_seed, i, events);
+    RunResult w1 =
+        RunScenario(cfg, 1, 0, env, flags, config, *rel_or, bodies);
+    RunResult w8 =
+        RunScenario(cfg, 8, 0, env, flags, config, *rel_or, bodies);
+    RunResult w8r =
+        RunScenario(cfg, 8, 1, env, flags, config, *rel_or, bodies);
+    bool scn_ok = true;
+    for (const RunResult* rr : {&w1, &w8, &w8r}) {
+      if (rr->harness_error) {
+        std::fprintf(stderr, "FAIL[harness]: s%02d: %s\n", i,
+                     rr->error.c_str());
+        scn_ok = false;
+      }
+    }
+    if (scn_ok) {
+      scn_ok = CheckRun(cfg, 1, w1) && scn_ok;
+      scn_ok = CheckRun(cfg, 8, w8) && scn_ok;
+
+      // 3. scoring bits across worker counts: ids kOk in both runs must
+      // carry identical cluster and distance bits.
+      std::map<uint64_t, std::pair<uint32_t, double>> w1_ok;
+      for (const serve::Response& r : w1.responses) {
+        if (r.outcome == serve::RequestOutcome::kOk) {
+          w1_ok.emplace(r.id, std::make_pair(r.cluster, r.distance));
+        }
+      }
+      uint64_t overlap = 0;
+      for (const serve::Response& r : w8.responses) {
+        if (r.outcome != serve::RequestOutcome::kOk) continue;
+        auto it = w1_ok.find(r.id);
+        if (it == w1_ok.end()) continue;
+        ++overlap;
+        if (it->second.first != r.cluster || it->second.second != r.distance) {
+          std::fprintf(stderr,
+                       "FAIL[scoring-bits]: s%02d request %llu scored "
+                       "(%u, %a) at w=1 but (%u, %a) at w=8\n",
+                       i, static_cast<unsigned long long>(r.id),
+                       it->second.first, it->second.second, r.cluster,
+                       r.distance);
+          scn_ok = false;
+        }
+      }
+      overlap_total += overlap;
+
+      // 5. replay: same seed, same worker count, fresh registry ->
+      // bit-identical digest (dispositions, metrics, GC, breaker).
+      if (w8.digest != w8r.digest) {
+        std::vector<std::string_view> a = Split(w8.digest, '\n');
+        std::vector<std::string_view> b = Split(w8r.digest, '\n');
+        std::string where = "line counts differ";
+        for (size_t k = 0; k < std::min(a.size(), b.size()); ++k) {
+          if (a[k] != b[k]) {
+            where = StrFormat("first diff at line %zu: \"%s\" vs \"%s\"", k,
+                              std::string(a[k]).c_str(),
+                              std::string(b[k]).c_str());
+            break;
+          }
+        }
+        std::fprintf(stderr, "FAIL[replay]: s%02d w=8 rerun diverged: %s\n",
+                     i, where.c_str());
+        scn_ok = false;
+      }
+
+      total_requests += w8.submit_attempts;
+      total_completed += w8.metrics.completed;
+      total_shed += w8.metrics.shed;
+      total_swaps += w8.metrics.hot_swaps;
+      total_rollbacks += w8.metrics.swap_rollbacks;
+      total_opens += w8.breaker_opens;
+      total_gc_runs += w8.gc_runs;
+      std::printf(
+          "s%02d  %-5s %-5s %-7.2f %-9zu %-9llu %-6llu %-6llu %-5llu %-5llu "
+          "%-7llu %s\n",
+          i, cfg.lanes ? "on" : "off", cfg.breaker ? "on" : "off",
+          100.0 * cfg.faults.permanent_rate, w8.admitted.size(),
+          static_cast<unsigned long long>(w8.metrics.completed),
+          static_cast<unsigned long long>(w8.metrics.shed),
+          static_cast<unsigned long long>(w8.metrics.failed),
+          static_cast<unsigned long long>(w8.metrics.hot_swaps),
+          static_cast<unsigned long long>(w8.breaker_opens),
+          static_cast<unsigned long long>(overlap), scn_ok ? "ok" : "FAIL");
+    }
+    ok = ok && scn_ok;
+  }
+
+  // A soak whose cross-worker check never compared a scored request
+  // proved nothing; demand real overlap.
+  if (overlap_total == 0) {
+    std::fprintf(stderr,
+                 "FAIL[scoring-bits]: zero kOk overlap between worker "
+                 "counts across the whole soak\n");
+    ok = false;
+  }
+
+  std::printf(
+      "\nsoak: %d scenarios x 3 runs, %llu requests offered (w=8 runs), "
+      "%llu completed, %llu shed, %llu hot-swaps, %llu rollbacks, %llu "
+      "breaker opens, %llu GC passes, %llu cross-worker scored overlaps\n",
+      scenarios, static_cast<unsigned long long>(total_requests),
+      static_cast<unsigned long long>(total_completed),
+      static_cast<unsigned long long>(total_shed),
+      static_cast<unsigned long long>(total_swaps),
+      static_cast<unsigned long long>(total_rollbacks),
+      static_cast<unsigned long long>(total_opens),
+      static_cast<unsigned long long>(total_gc_runs),
+      static_cast<unsigned long long>(overlap_total));
+
+  std::string json = StrFormat(
+      "{\"bench\":\"chaos_soak\",\"seed\":%llu,\"scenarios\":%d,"
+      "\"events\":%d,\"requests\":%llu,\"completed\":%llu,\"shed\":%llu,"
+      "\"hot_swaps\":%llu,\"rollbacks\":%llu,\"breaker_opens\":%llu,"
+      "\"gc_runs\":%llu,\"scored_overlap\":%llu,\"invariants\":%s}",
+      static_cast<unsigned long long>(chaos_seed), scenarios, events,
+      static_cast<unsigned long long>(total_requests),
+      static_cast<unsigned long long>(total_completed),
+      static_cast<unsigned long long>(total_shed),
+      static_cast<unsigned long long>(total_swaps),
+      static_cast<unsigned long long>(total_rollbacks),
+      static_cast<unsigned long long>(total_opens),
+      static_cast<unsigned long long>(total_gc_runs),
+      static_cast<unsigned long long>(overlap_total),
+      ok ? "\"held\"" : "\"VIOLATED\"");
+  std::printf("%s\n", json.c_str());
+
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: chaos soak invariants violated\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpa::bench
+
+int main(int argc, char** argv) { return hpa::bench::Run(argc, argv); }

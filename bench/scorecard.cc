@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 
 #include "bench_util.h"
@@ -27,6 +28,7 @@
 #include "parallel/simulated_executor.h"
 #include "serve/metrics.h"
 #include "serve/model_registry.h"
+#include "serve/registry_gc.h"
 #include "serve/server.h"
 
 namespace hpa::bench {
@@ -752,6 +754,159 @@ int Run(int argc, char** argv) {
             StrFormat("misses=%llu scored=%llu",
                       static_cast<unsigned long long>(dsnap.deadline_misses),
                       static_cast<unsigned long long>(dsnap.docs_scored)));
+    }
+    env->SetExecutor(nullptr);
+  }
+
+  std::printf("\nServing robustness (breaker + hot-swap + registry GC):\n");
+  {
+    // This section does version arithmetic, so it starts from an empty
+    // registry every invocation (unlike sc-models, which is append-only).
+    std::error_code ec;
+    std::filesystem::remove_all(
+        std::filesystem::path(env->workdir()) / "scratch" / "sc-chaos", ec);
+
+    parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+    env->SetExecutor(&exec);
+    auto reader = io::PackedCorpusReader::Open(env->corpus_disk(), *mix_rel);
+    if (!reader.ok()) return 1;
+    ops::ExecContext ctx;
+    ctx.executor = &exec;
+    ctx.corpus_disk = env->corpus_disk();
+    ctx.scratch_disk = env->scratch_disk();
+    serve::ModelConfig config;
+    config.clusters = static_cast<int>(flags.GetInt("clusters"));
+    serve::ModelRegistry registry(env->scratch_disk(), "sc-chaos");
+    ops::KMeansOptions kopts;
+    kopts.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+    auto fitted = registry.Fit(ctx, *reader, config, kopts);
+    if (!fitted.ok()) {
+      Check(false, "robustness section fit ran", fitted.status().ToString());
+    } else {
+      std::vector<std::string> bodies;
+      for (size_t i = 0; i < std::min<size_t>(reader->size(), 24); ++i) {
+        auto body = reader->ReadBody(i);
+        if (body.ok()) bodies.push_back(std::move(*body));
+      }
+
+      // Claim: a permanent-fault storm is bounded by the breaker — after
+      // `failure_threshold` consecutive failures the breaker opens and
+      // every further request is shed with a bounded error, not scored
+      // into another failure.
+      io::FaultProfile storm;
+      storm.permanent_rate = 1.0;
+      storm.seed = 7;
+      io::FaultInjector storm_injector(storm);
+      serve::ServerOptions guarded;
+      guarded.max_batch = 1;
+      guarded.queue_capacity = 64;
+      guarded.injector = &storm_injector;
+      guarded.breaker_enabled = true;
+      guarded.breaker.failure_threshold = 3;
+      guarded.breaker.half_open_probes = 2;
+      guarded.breaker.open_sec = 1e6;  // never re-probes within this run
+      serve::ServeMetrics storm_metrics(8);
+      serve::AnalyticsServer guarded_server(ctx, &*fitted, guarded,
+                                            &storm_metrics);
+      for (size_t i = 0; i < 20; ++i) {
+        (void)guarded_server.Submit(i, bodies[i % bodies.size()]);
+        (void)guarded_server.Poll();
+      }
+      (void)guarded_server.Drain();
+      serve::ServeMetrics::Snapshot ssnap = storm_metrics.Scrape();
+      uint64_t opens = guarded_server.breaker().opens();
+      uint64_t bound = (opens + 1) * static_cast<uint64_t>(
+                                         guarded.breaker.failure_threshold +
+                                         guarded.breaker.half_open_probes);
+      Check(ssnap.failed == 3 && ssnap.breaker_shed == 17 && opens == 1 &&
+                ssnap.failed <= bound,
+            "fault storm: breaker bounds errors, sheds the rest",
+            StrFormat("failed=%llu shed=%llu opens=%llu bound=%llu",
+                      static_cast<unsigned long long>(ssnap.failed),
+                      static_cast<unsigned long long>(ssnap.breaker_shed),
+                      static_cast<unsigned long long>(opens),
+                      static_cast<unsigned long long>(bound)));
+
+      // Claim: a crash between manifest commit and pointer move leaves a
+      // committed-but-unadvertised version; GC detects it, rolls the
+      // latest pointer forward, and a second pass is a no-op. A crash
+      // before the manifest leaves a torn version that GC deletes.
+      serve::RegistryGc gc(env->scratch_disk(), "sc-chaos");
+      registry.set_crash_after_publish_step(0);  // torn: artifact only
+      auto torn = registry.Fit(ctx, *reader, config, kopts);
+      registry.set_crash_after_publish_step(-1);
+      auto gc_torn = gc.Run();  // deletes the orphan artifact
+      registry.set_crash_after_publish_step(2);  // committed, stale pointer
+      auto stale = registry.Fit(ctx, *reader, config, kopts);
+      registry.set_crash_after_publish_step(-1);
+      auto gc_fwd = gc.Run();   // rolls the latest pointer forward
+      auto gc_idem = gc.Run();  // and is then a no-op
+      auto recovered = registry.Load(config);
+      Check(!torn.ok() && !stale.ok() && gc_torn.ok() && gc_fwd.ok() &&
+                gc_idem.ok() && gc_torn->torn_versions.size() == 1 &&
+                !gc_torn->latest_repaired && gc_fwd->latest_repaired &&
+                gc_fwd->torn_versions.empty() && !gc_idem->latest_repaired &&
+                recovered.ok() &&
+                recovered->version() == fitted->version() + 1,
+            "torn publish cleaned, committed version rolled forward",
+            gc_torn.ok() && gc_fwd.ok()
+                ? StrFormat("torn [%s], forward [%s]",
+                            gc_torn->Summary().c_str(),
+                            gc_fwd->Summary().c_str())
+                : "gc error");
+
+      // Claim: retain-N compaction keeps the newest N intact versions and
+      // the newest still loads bit-identically after the sweep.
+      auto v3 = registry.Fit(ctx, *reader, config, kopts);
+      auto v4 = registry.Fit(ctx, *reader, config, kopts);
+      serve::GcOptions retain_two;
+      retain_two.retain = 2;
+      serve::RegistryGc compactor(env->scratch_disk(), "sc-chaos",
+                                  retain_two);
+      auto swept = compactor.Run();
+      auto newest = registry.Load(config);
+      bool oldest_gone =
+          swept.ok() &&
+          !env->scratch_disk()->Exists(registry.ManifestPath(1));
+      Check(v3.ok() && v4.ok() && swept.ok() &&
+                swept->removed_versions.size() == 2 && oldest_gone &&
+                newest.ok() && newest->version() == v4->version(),
+            "retain-2 sweep removes old versions, newest still loads",
+            swept.ok() ? swept->Summary() : "gc error");
+
+      // Claim: hot-swap follows the registry under live traffic, and the
+      // canary gate rolls a candidate back without touching the live
+      // model. (An unreachable agreement bar stands in for a bad
+      // candidate: even a bit-identical refit must be rejected.)
+      serve::ServerOptions swap_opts;
+      swap_opts.max_batch = 4;
+      swap_opts.queue_capacity = 64;
+      serve::ServeMetrics swap_metrics(8);
+      serve::AnalyticsServer swapper(ctx, &*fitted, swap_opts,
+                                     &swap_metrics);
+      uint64_t before = swapper.model_version();
+      Status up = swapper.TryHotSwap(registry, config, bodies);
+      uint64_t after_swap = swapper.model_version();
+      serve::ServerOptions picky = swap_opts;
+      picky.canary_min_agree = 1.1;
+      serve::ServeMetrics picky_metrics(8);
+      serve::AnalyticsServer gatekeeper(ctx, &*fitted, picky,
+                                        &picky_metrics);
+      Status rolled = gatekeeper.TryHotSwap(registry, config, bodies);
+      serve::ServeMetrics::Snapshot up_snap = swap_metrics.Scrape();
+      serve::ServeMetrics::Snapshot gate_snap = picky_metrics.Scrape();
+      Check(up.ok() && before == fitted->version() &&
+                after_swap == v4->version() && up_snap.hot_swaps == 1 &&
+                !rolled.ok() &&
+                rolled.code() == StatusCode::kFailedPrecondition &&
+                gatekeeper.model_version() == fitted->version() &&
+                gate_snap.swap_rollbacks == 1,
+            "hot-swap upgrades to latest; canary failure rolls back",
+            StrFormat("v%llu -> v%llu, rollback kept v%llu",
+                      static_cast<unsigned long long>(before),
+                      static_cast<unsigned long long>(after_swap),
+                      static_cast<unsigned long long>(
+                          gatekeeper.model_version())));
     }
     env->SetExecutor(nullptr);
   }

@@ -87,6 +87,12 @@ int Run(int argc, char** argv) {
                   "executor inline threshold while serving (batches at or "
                   "below it run their chunks without spawning); 0 keeps "
                   "spawning");
+  flags.DefineBool("priority_lanes", false,
+                   "two-class admission: interactive arrivals preempt the "
+                   "newest queued batch request under overload");
+  flags.DefineBool("breaker", false,
+                   "feed scoring outcomes into the circuit breaker and "
+                   "shed while it is open (default tuning)");
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -195,6 +201,8 @@ int Run(int argc, char** argv) {
     options.queue_capacity = capacity;
     options.max_batch = max_batch;
     options.inline_threshold = inline_threshold;
+    options.priority_lanes = flags.GetBool("priority_lanes");
+    options.breaker_enabled = flags.GetBool("breaker");
     serve::AnalyticsServer server(ctx, model.get(), options, metrics);
     std::vector<serve::Response> all;
     double start = exec->Now();
@@ -345,6 +353,8 @@ int Run(int argc, char** argv) {
         options.queue_capacity = queue_capacity;
         options.max_batch = static_cast<size_t>(batch);
         options.inline_threshold = inline_threshold;
+        options.priority_lanes = flags.GetBool("priority_lanes");
+        options.breaker_enabled = flags.GetBool("breaker");
         serve::ServeMetrics metrics(threads);
         serve::AnalyticsServer server(ctx, model.get(), options, &metrics);
 

@@ -1,0 +1,114 @@
+#include "common/circuit_breaker.h"
+
+#include "common/checksum.h"
+
+namespace hpa {
+
+namespace {
+
+/// Maps a 64-bit hash to a uniform double in [0, 1) (the fault injector's
+/// mapping, reused so rate semantics match).
+double ToUnit(uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+/// Probe-selection hash: (seed, open-epoch, token) -> stream value. The
+/// epoch folds in so each half-open round samples a fresh subset.
+uint64_t ProbeHash(uint64_t seed, uint64_t epoch, uint64_t token) {
+  uint64_t h = seed ^ (epoch + 1) * 0x9E3779B97F4A7C15ULL;
+  h ^= (token + 1) * 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 30;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 27;
+  return h;
+}
+
+}  // namespace
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options) {
+  if (options_.failure_threshold < 1) options_.failure_threshold = 1;
+  if (options_.half_open_probes < 1) options_.half_open_probes = 1;
+  if (options_.half_open_successes < 1) options_.half_open_successes = 1;
+  if (options_.open_sec < 0.0) options_.open_sec = 0.0;
+}
+
+void CircuitBreaker::TripOpen(double now_sec) {
+  state_ = BreakerState::kOpen;
+  open_until_sec_ = now_sec + options_.open_sec;
+  consecutive_failures_ = 0;
+  round_probes_ = 0;
+  round_successes_ = 0;
+  ++opens_;
+}
+
+bool CircuitBreaker::Allow(uint64_t token, double now_sec) {
+  if (state_ == BreakerState::kOpen) {
+    if (now_sec < open_until_sec_) {
+      ++sheds_;
+      return false;
+    }
+    // Window elapsed: start a half-open probing round.
+    state_ = BreakerState::kHalfOpen;
+    round_probes_ = 0;
+    round_successes_ = 0;
+  }
+  if (state_ == BreakerState::kHalfOpen) {
+    if (round_probes_ >= options_.half_open_probes) {
+      ++sheds_;
+      return false;
+    }
+    // Seeded-hash selection: which tokens probe is a pure function of
+    // (seed, open epoch, token), not of arrival order.
+    if (options_.probe_fraction < 1.0 &&
+        ToUnit(ProbeHash(options_.seed, opens_, token)) >=
+            options_.probe_fraction) {
+      ++sheds_;
+      return false;
+    }
+    ++round_probes_;
+    ++probes_admitted_;
+    return true;
+  }
+  return true;  // closed
+}
+
+void CircuitBreaker::OnSuccess(double now_sec) {
+  (void)now_sec;
+  if (state_ == BreakerState::kHalfOpen) {
+    ++round_successes_;
+    if (round_successes_ >= options_.half_open_successes) {
+      state_ = BreakerState::kClosed;
+      consecutive_failures_ = 0;
+      round_probes_ = 0;
+      round_successes_ = 0;
+      ++closes_;
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::OnFailure(double now_sec) {
+  if (state_ == BreakerState::kHalfOpen) {
+    // A failed probe re-opens immediately: the dependency is still sick.
+    TripOpen(now_sec);
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // outcome raced a trip
+  if (++consecutive_failures_ >= options_.failure_threshold) {
+    TripOpen(now_sec);
+  }
+}
+
+}  // namespace hpa

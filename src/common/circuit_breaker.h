@@ -1,0 +1,112 @@
+#ifndef HPA_COMMON_CIRCUIT_BREAKER_H_
+#define HPA_COMMON_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <string_view>
+
+/// \file
+/// Deterministic circuit breaker: the failure-isolation primitive of the
+/// serving-robustness layer (and reusable anywhere a dependency can enter
+/// a fault storm).
+///
+/// Classic closed -> open -> half-open state machine, with one twist that
+/// matters in this repo: every transition is a *pure function of the call
+/// sequence and the caller-supplied clock*. Time is the executor's
+/// (virtual) clock passed into each call — never wall time — and the
+/// half-open probe selection hashes the request token against a seeded
+/// stream instead of racing "first caller wins". Two breakers fed the
+/// same (Allow/OnSuccess/OnFailure, now) sequence are therefore in
+/// bit-identical states, which is what lets the chaos soak re-run a
+/// scenario from its seed and demand identical shed sets.
+///
+/// Threading contract: like the AnalyticsServer that owns one, a breaker
+/// is driven from a single thread (decisions before a parallel region,
+/// outcomes folded after it, both in slot order). It is deliberately NOT
+/// internally synchronized — determinism, not lock-freedom, is the point.
+
+namespace hpa {
+
+/// Tuning knobs. Defaults suit per-request scoring: trip after a short
+/// run of consecutive failures, back off for a bounded window, then let a
+/// few hashed probes through before trusting the dependency again.
+struct CircuitBreakerOptions {
+  /// Consecutive failures (while closed) that trip the breaker open.
+  int failure_threshold = 5;
+
+  /// How long the breaker stays open before probing, in caller-clock
+  /// seconds (executor/virtual time, never wall time).
+  double open_sec = 0.250;
+
+  /// Probe budget per half-open round: at most this many requests are
+  /// admitted before the round must resolve (close or re-open).
+  int half_open_probes = 2;
+
+  /// Consecutive probe successes required to close from half-open.
+  int half_open_successes = 2;
+
+  /// Fraction of tokens eligible as probes while half-open, selected by
+  /// seeded hash of (seed, open-epoch, token) — which requests probe is
+  /// unbiased and reproducible, not "whoever arrived first". 1.0 admits
+  /// any token up to the probe budget.
+  double probe_fraction = 0.5;
+
+  /// Probe-selection stream seed.
+  uint64_t seed = 0xB4EAC0DE5EEDULL;
+};
+
+/// Breaker state, in the classic sense.
+enum class BreakerState {
+  kClosed,    ///< healthy: everything admitted
+  kOpen,      ///< tripped: everything shed until the window elapses
+  kHalfOpen,  ///< probing: hash-selected requests admitted, rest shed
+};
+
+/// Stable lowercase name: "closed" | "open" | "half-open".
+std::string_view BreakerStateName(BreakerState state);
+
+/// Deterministic circuit breaker (see file comment for the contract).
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerOptions& options);
+
+  /// Admission decision for the request identified by `token` at caller
+  /// time `now_sec`. Returns false when the request must be shed (the
+  /// caller answers it with a bounded error instead of doing the work).
+  /// May transition open -> half-open when the open window has elapsed.
+  bool Allow(uint64_t token, double now_sec);
+
+  /// Outcome feedback for an admitted request. Callers fold outcomes in
+  /// a deterministic order (the server uses batch slot order).
+  void OnSuccess(double now_sec);
+  void OnFailure(double now_sec);
+
+  BreakerState state() const { return state_; }
+  const CircuitBreakerOptions& options() const { return options_; }
+
+  /// When open: the caller-clock time at which probing may begin.
+  double open_until_sec() const { return open_until_sec_; }
+
+  // Lifetime counters (single-threaded, plain fields).
+  uint64_t sheds() const { return sheds_; }        ///< Allow() == false
+  uint64_t opens() const { return opens_; }        ///< trips to kOpen
+  uint64_t closes() const { return closes_; }      ///< recoveries to kClosed
+  uint64_t probes_admitted() const { return probes_admitted_; }
+
+ private:
+  void TripOpen(double now_sec);
+
+  CircuitBreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  double open_until_sec_ = 0.0;
+  int consecutive_failures_ = 0;
+  int round_probes_ = 0;     ///< probes admitted this half-open round
+  int round_successes_ = 0;  ///< probe successes this half-open round
+  uint64_t sheds_ = 0;
+  uint64_t opens_ = 0;
+  uint64_t closes_ = 0;
+  uint64_t probes_admitted_ = 0;
+};
+
+}  // namespace hpa
+
+#endif  // HPA_COMMON_CIRCUIT_BREAKER_H_

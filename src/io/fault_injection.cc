@@ -1,6 +1,8 @@
 #include "io/fault_injection.h"
 
 #include "common/checksum.h"
+#include "common/logging.h"
+#include "common/string_util.h"
 
 namespace hpa::io {
 
@@ -30,6 +32,37 @@ constexpr uint64_t kCorruptionSalt = 0xC3;
 constexpr uint64_t kSpikeSalt = 0xD4;
 
 }  // namespace
+
+Status FaultProfile::Validate() const {
+  struct RateField {
+    const char* name;
+    double value;
+  };
+  const RateField rates[] = {
+      {"transient_rate", transient_rate},
+      {"permanent_rate", permanent_rate},
+      {"corruption_rate", corruption_rate},
+      {"latency_spike_rate", latency_spike_rate},
+  };
+  for (const RateField& r : rates) {
+    // Also rejects NaN: !(x >= 0 && x <= 1) holds for NaN.
+    if (!(r.value >= 0.0 && r.value <= 1.0)) {
+      return Status::InvalidArgument(
+          StrFormat("FaultProfile.%s = %g is outside [0, 1]", r.name,
+                    r.value));
+    }
+  }
+  if (!(latency_spike_sec >= 0.0)) {
+    return Status::InvalidArgument(StrFormat(
+        "FaultProfile.latency_spike_sec = %g is negative", latency_spike_sec));
+  }
+  return Status::OK();
+}
+
+FaultInjector::FaultInjector(const FaultProfile& profile) : profile_(profile) {
+  Status s = profile_.Validate();
+  HPA_CHECK(s.ok(), "%s", s.ToString().c_str());
+}
 
 std::string_view FaultKindName(FaultKind kind) {
   switch (kind) {

@@ -6,6 +6,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/status.h"
+
 /// \file
 /// Deterministic, seed-driven I/O fault injection.
 ///
@@ -56,6 +58,13 @@ struct FaultProfile {
     return transient_rate > 0.0 || permanent_rate > 0.0 ||
            corruption_rate > 0.0 || latency_spike_rate > 0.0;
   }
+
+  /// Rejects profiles whose rates fall outside [0, 1] or whose spike
+  /// latency is negative (kInvalidArgument naming the bad field). A rate
+  /// outside the unit interval would not fault "more" — it would silently
+  /// compare garbage against the unit-mapped hash — so constructing a
+  /// FaultInjector from an invalid profile is a hard CHECK failure.
+  Status Validate() const;
 };
 
 /// What a single decision resolved to.
@@ -87,7 +96,8 @@ struct FaultDecision {
 /// injector can be consulted from inside parallel-region bodies.
 class FaultInjector {
  public:
-  explicit FaultInjector(const FaultProfile& profile) : profile_(profile) {}
+  /// CHECK-fails on an invalid profile (see FaultProfile::Validate).
+  explicit FaultInjector(const FaultProfile& profile);
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;

@@ -14,23 +14,27 @@ ServeMetrics::ServeMetrics(int workers) {
   }
 }
 
-void ServeMetrics::OnSubmitted(size_t queue_depth_after) {
+void ServeMetrics::OnSubmitted(size_t queue_depth_after, Lane lane) {
   ++submitted_;
+  ++lane_submitted_[LaneIndex(lane)];
   max_queue_depth_ = std::max<uint64_t>(max_queue_depth_, queue_depth_after);
 }
 
-void ServeMetrics::OnCompleted(double latency_sec) {
+void ServeMetrics::OnCompleted(double latency_sec, Lane lane) {
   ++completed_;
+  ++lane_completed_[LaneIndex(lane)];
   latency_.Add(latency_sec);
 }
 
-void ServeMetrics::OnDeadlineMiss(double latency_sec) {
+void ServeMetrics::OnDeadlineMiss(double latency_sec, Lane lane) {
   ++deadline_misses_;
+  ++lane_misses_[LaneIndex(lane)];
   latency_.Add(latency_sec);
 }
 
-void ServeMetrics::OnFailed(double latency_sec) {
+void ServeMetrics::OnFailed(double latency_sec, Lane lane) {
   ++failed_;
+  ++lane_failed_[LaneIndex(lane)];
   latency_.Add(latency_sec);
 }
 
@@ -57,6 +61,18 @@ ServeMetrics::Snapshot ServeMetrics::Scrape() const {
   s.completed = completed_;
   s.deadline_misses = deadline_misses_;
   s.failed = failed_;
+  s.shed = shed_;
+  s.breaker_shed = breaker_shed_;
+  s.hot_swaps = hot_swaps_;
+  s.swap_rollbacks = swap_rollbacks_;
+  for (size_t lane = 0; lane < 2; ++lane) {
+    s.lane_submitted[lane] = lane_submitted_[lane];
+    s.lane_rejected[lane] = lane_rejected_[lane];
+    s.lane_completed[lane] = lane_completed_[lane];
+    s.lane_misses[lane] = lane_misses_[lane];
+    s.lane_failed[lane] = lane_failed_[lane];
+    s.lane_shed[lane] = lane_shed_[lane];
+  }
   s.batches = batches_;
   s.batched_requests = batched_requests_;
   s.max_queue_depth = max_queue_depth_;
@@ -81,7 +97,7 @@ ServeMetrics::Snapshot ServeMetrics::Scrape() const {
 }
 
 std::string ServeMetrics::Snapshot::Summary() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "submitted=%llu rejected=%llu completed=%llu misses=%llu failed=%llu "
       "batches=%llu occupancy=%.2f max_queue=%llu docs=%llu retries=%llu "
       "faults=%llu p50=%.6g p95=%.6g p99=%.6g max=%.6g",
@@ -96,6 +112,20 @@ std::string ServeMetrics::Snapshot::Summary() const {
       static_cast<unsigned long long>(retries),
       static_cast<unsigned long long>(faults), latency_p50_sec,
       latency_p95_sec, latency_p99_sec, latency_max_sec);
+  out += StrFormat(
+      " shed=%llu breaker_shed=%llu swaps=%llu rollbacks=%llu "
+      "lane_int=%llu/%llu/%llu lane_batch=%llu/%llu/%llu",
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(breaker_shed),
+      static_cast<unsigned long long>(hot_swaps),
+      static_cast<unsigned long long>(swap_rollbacks),
+      static_cast<unsigned long long>(lane_submitted[0]),
+      static_cast<unsigned long long>(lane_completed[0]),
+      static_cast<unsigned long long>(lane_shed[0]),
+      static_cast<unsigned long long>(lane_submitted[1]),
+      static_cast<unsigned long long>(lane_completed[1]),
+      static_cast<unsigned long long>(lane_shed[1]));
+  return out;
 }
 
 }  // namespace hpa::serve

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "serve/request.h"
 
 /// \file
 /// Serving-side observability. Counters touched inside the batch's
@@ -32,10 +33,31 @@ class ServeMetrics {
   // --- submitting-thread hooks ---------------------------------------
 
   /// A request arrived at admission (before the queue-full check).
-  void OnSubmitted(size_t queue_depth_after);
+  void OnSubmitted(size_t queue_depth_after,
+                   Lane lane = Lane::kInteractive);
 
   /// A request bounced off the full queue.
-  void OnRejected() { ++rejected_; }
+  void OnRejected(Lane lane = Lane::kInteractive) {
+    ++rejected_;
+    ++lane_rejected_[LaneIndex(lane)];
+  }
+
+  /// An admitted request was dropped with a bounded error response:
+  /// preempted out of the batch lane by an interactive arrival, or cut
+  /// into a batch while the circuit breaker was open.
+  void OnShed(Lane lane) {
+    ++shed_;
+    ++lane_shed_[LaneIndex(lane)];
+  }
+
+  /// A shed decided by the open circuit breaker (subset of OnShed calls;
+  /// callers invoke both).
+  void OnBreakerShed() { ++breaker_shed_; }
+
+  /// Hot-swap accounting: a validated snapshot replaced the live model /
+  /// a candidate failed its canary gate and was rolled back.
+  void OnHotSwap() { ++hot_swaps_; }
+  void OnSwapRollback() { ++swap_rollbacks_; }
 
   /// A batch was cut: `size` requests left the queue together.
   void OnBatchFlushed(size_t size) {
@@ -45,10 +67,12 @@ class ServeMetrics {
 
   /// Terminal accounting; `latency_sec` is finish - submit on the
   /// executor clock. Failed requests also record latency (time to give
-  /// up is real time the client waited).
-  void OnCompleted(double latency_sec);
-  void OnDeadlineMiss(double latency_sec);
-  void OnFailed(double latency_sec);
+  /// up is real time the client waited). Shed requests do NOT land in
+  /// the latency histogram — it measures served work, and a shed is a
+  /// refusal — they are counted by OnShed above.
+  void OnCompleted(double latency_sec, Lane lane = Lane::kInteractive);
+  void OnDeadlineMiss(double latency_sec, Lane lane = Lane::kInteractive);
+  void OnFailed(double latency_sec, Lane lane = Lane::kInteractive);
 
   // --- parallel-region hooks (worker-indexed, wait-free) --------------
 
@@ -71,6 +95,20 @@ class ServeMetrics {
     uint64_t retries = 0;      ///< extra scoring attempts beyond the first
     uint64_t faults = 0;       ///< requests that exhausted the retry budget
     double mean_batch_occupancy = 0.0;  ///< batched_requests / batches
+
+    // Robustness-layer counters (all zero when lanes/breaker/hot-swap are
+    // not in play, so pre-existing consumers see unchanged numbers).
+    uint64_t shed = 0;          ///< admitted then dropped with an error
+    uint64_t breaker_shed = 0;  ///< sheds decided by the open breaker
+    uint64_t hot_swaps = 0;     ///< live-model replacements
+    uint64_t swap_rollbacks = 0;  ///< canary-failed candidates rejected
+    /// Per-lane splits, indexed by Lane (0 = interactive, 1 = batch).
+    uint64_t lane_submitted[2] = {0, 0};
+    uint64_t lane_rejected[2] = {0, 0};
+    uint64_t lane_completed[2] = {0, 0};
+    uint64_t lane_misses[2] = {0, 0};
+    uint64_t lane_failed[2] = {0, 0};
+    uint64_t lane_shed[2] = {0, 0};
 
     double latency_p50_sec = 0.0;
     double latency_p95_sec = 0.0;
@@ -95,14 +133,28 @@ class ServeMetrics {
     std::atomic<uint64_t> faults{0};
   };
 
+  static size_t LaneIndex(Lane lane) {
+    return lane == Lane::kBatch ? 1 : 0;
+  }
+
   uint64_t submitted_ = 0;
   uint64_t rejected_ = 0;
   uint64_t completed_ = 0;
   uint64_t deadline_misses_ = 0;
   uint64_t failed_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t breaker_shed_ = 0;
+  uint64_t hot_swaps_ = 0;
+  uint64_t swap_rollbacks_ = 0;
   uint64_t batches_ = 0;
   uint64_t batched_requests_ = 0;
   uint64_t max_queue_depth_ = 0;
+  uint64_t lane_submitted_[2] = {0, 0};
+  uint64_t lane_rejected_[2] = {0, 0};
+  uint64_t lane_completed_[2] = {0, 0};
+  uint64_t lane_misses_[2] = {0, 0};
+  uint64_t lane_failed_[2] = {0, 0};
+  uint64_t lane_shed_[2] = {0, 0};
   LogHistogram latency_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
 };

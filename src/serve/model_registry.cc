@@ -160,6 +160,21 @@ std::string ModelRegistry::ManifestPath(uint64_t version) const {
                    static_cast<unsigned long long>(version));
 }
 
+std::string ModelRegistry::TfidfPath(uint64_t version) const {
+  return StrFormat("%s/model-%llu.tfidf", dir_.c_str(),
+                   static_cast<unsigned long long>(version));
+}
+
+std::string ModelRegistry::CentroidsPath(uint64_t version) const {
+  return StrFormat("%s/model-%llu.centroids", dir_.c_str(),
+                   static_cast<unsigned long long>(version));
+}
+
+std::string ModelRegistry::QuarantinePath(uint64_t version) const {
+  return StrFormat("%s/model-%llu.quarantined", dir_.c_str(),
+                   static_cast<unsigned long long>(version));
+}
+
 std::string ModelRegistry::LatestPath() const { return dir_ + "/latest"; }
 
 StatusOr<uint64_t> ModelRegistry::LatestVersion() const {
@@ -215,20 +230,28 @@ Status ModelRegistry::Publish(uint64_t version, const ModelConfig& config,
                               const ops::TfidfVectorizer& vectorizer,
                               const std::vector<std::vector<float>>& centroids,
                               uint64_t num_documents) {
-  std::string tfidf_path = StrFormat("%s/model-%llu.tfidf", dir_.c_str(),
-                                     static_cast<unsigned long long>(version));
-  std::string cent_path =
-      StrFormat("%s/model-%llu.centroids", dir_.c_str(),
-                static_cast<unsigned long long>(version));
+  std::string tfidf_path = TfidfPath(version);
+  std::string cent_path = CentroidsPath(version);
+  // Deterministic torn-publish hook: abort between commit-sequence steps
+  // exactly where a real crash could land. Each step's writes are atomic
+  // (temp + rename), so the abort point is the only degree of freedom.
+  auto crash_after = [this](int step) {
+    return crash_after_publish_step_ == step
+               ? Status::Internal(StrFormat(
+                     "injected crash after publish step %d", step))
+               : Status::OK();
+  };
 
   // Artifacts first. Save() goes through the atomic whole-file path; the
   // re-read below prices the CRC honestly on the simulated device and
   // checksums the exact bytes a future Load() will see.
   HPA_RETURN_IF_ERROR(vectorizer.Save(disk_, tfidf_path));
   HPA_ASSIGN_OR_RETURN(std::string tfidf_bytes, disk_->ReadFile(tfidf_path));
+  HPA_RETURN_IF_ERROR(crash_after(0));
 
   std::string cent_bytes = SerializeCentroids(centroids);
   HPA_RETURN_IF_ERROR(disk_->WriteFile(cent_path, cent_bytes));
+  HPA_RETURN_IF_ERROR(crash_after(1));
 
   // Manifest is the commit record: until it lands (atomically), the
   // version does not exist.
@@ -251,19 +274,59 @@ Status ModelRegistry::Publish(uint64_t version, const ModelConfig& config,
   AppendUint(manifest, num_documents);
   manifest += "\nend\n";
   HPA_RETURN_IF_ERROR(disk_->WriteFile(ManifestPath(version), manifest));
+  HPA_RETURN_IF_ERROR(crash_after(2));
 
   // The latest pointer moves only after the manifest commits; a crash
   // between the two leaves the new version loadable by explicit number.
   std::string latest;
   AppendUint(latest, version);
   latest += '\n';
-  return disk_->WriteFile(LatestPath(), latest);
+  HPA_RETURN_IF_ERROR(disk_->WriteFile(LatestPath(), latest));
+  return crash_after(3);
 }
 
 StatusOr<ModelHandle> ModelRegistry::Load(const ModelConfig& config,
                                           uint64_t version) const {
+  if (load_breaker_ == nullptr) return LoadUnguarded(config, version);
+
+  // Breaker time is the disk's executor clock; a detached disk serves a
+  // frozen clock (0.0), which still yields deterministic transitions.
+  double now =
+      disk_->executor() != nullptr ? disk_->executor()->Now() : 0.0;
+  uint64_t token = StableHash64(
+      StrFormat("registry-load %s %llu", dir_.c_str(),
+                static_cast<unsigned long long>(version)));
+  if (!load_breaker_->Allow(token, now)) {
+    return Status::Unavailable(StrFormat(
+        "registry %s load breaker open until t=%.6f", dir_.c_str(),
+        load_breaker_->open_until_sec()));
+  }
+  StatusOr<ModelHandle> result = LoadUnguarded(config, version);
+  if (result.ok()) {
+    load_breaker_->OnSuccess(now);
+  } else {
+    StatusCode code = result.status().code();
+    // Only store-health failures trip the breaker. kNotFound (empty
+    // registry) and kFailedPrecondition (config drift / quarantine) are
+    // caller errors the store cannot heal from, so shedding future loads
+    // would mask them rather than protect anything.
+    if (code == StatusCode::kCorruption || code == StatusCode::kIoError) {
+      load_breaker_->OnFailure(now);
+    }
+  }
+  return result;
+}
+
+StatusOr<ModelHandle> ModelRegistry::LoadUnguarded(const ModelConfig& config,
+                                                   uint64_t version) const {
   if (version == 0) {
     HPA_ASSIGN_OR_RETURN(version, LatestVersion());
+  }
+  if (disk_->Exists(QuarantinePath(version))) {
+    return Status::FailedPrecondition(StrFormat(
+        "model version %llu in %s is quarantined (see %s)",
+        static_cast<unsigned long long>(version), dir_.c_str(),
+        QuarantinePath(version).c_str()));
   }
   std::string manifest_path = ManifestPath(version);
   if (!disk_->Exists(manifest_path)) {

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/circuit_breaker.h"
 #include "common/status.h"
 #include "containers/sparse_vector.h"
 #include "io/packed_corpus.h"
@@ -124,18 +125,48 @@ class ModelRegistry {
   /// Loads `version` (0 = latest), validating the manifest, the config
   /// fingerprint, and every artifact CRC. kNotFound when the version (or
   /// any registry state) does not exist, kFailedPrecondition when
-  /// `config` differs from the fit config, kCorruption on bad bytes.
+  /// `config` differs from the fit config or the version carries a GC
+  /// quarantine marker, kCorruption on bad bytes, kUnavailable when the
+  /// attached load breaker is open.
   StatusOr<ModelHandle> Load(const ModelConfig& config,
                              uint64_t version = 0) const;
 
   /// Highest published version, or kNotFound for an empty registry.
   StatusOr<uint64_t> LatestVersion() const;
 
+  /// Circuit breaker consulted by Load (not owned; null = no breaker).
+  /// A registry whose backing store is corrupting or erroring repeatedly
+  /// then sheds load attempts for the breaker's open window instead of
+  /// re-reading (and re-CRC-ing) doomed artifacts on every poll tick.
+  /// Breaker time comes from the disk's executor clock (0.0 when the
+  /// disk has no executor attached).
+  void set_load_breaker(CircuitBreaker* breaker) { load_breaker_ = breaker; }
+  CircuitBreaker* load_breaker() const { return load_breaker_; }
+
+  /// Crash hook for the torn-publish tests and the chaos harness, in the
+  /// spirit of ExecContext::crash_after_node: when >= 0, Publish aborts
+  /// (Status kInternal) immediately after completing step N of its
+  /// commit sequence — 0 = tfidf artifact written, 1 = centroid artifact
+  /// written, 2 = manifest committed, 3 = latest pointer moved (i.e. a
+  /// crash after a fully successful publish). Deterministic, no signals,
+  /// virtual-clock friendly. -1 disables.
+  void set_crash_after_publish_step(int step) {
+    crash_after_publish_step_ = step;
+  }
+
   const std::string& dir() const { return dir_; }
 
- private:
+  // Path helpers shared with RegistryGc (all relative to the disk root).
   std::string ManifestPath(uint64_t version) const;
+  std::string TfidfPath(uint64_t version) const;
+  std::string CentroidsPath(uint64_t version) const;
+  std::string QuarantinePath(uint64_t version) const;
   std::string LatestPath() const;
+
+ private:
+  /// Load minus the breaker wrapper (the actual manifest/CRC work).
+  StatusOr<ModelHandle> LoadUnguarded(const ModelConfig& config,
+                                      uint64_t version) const;
 
   /// Writes artifacts, then the manifest, then the latest pointer.
   Status Publish(uint64_t version, const ModelConfig& config,
@@ -145,6 +176,8 @@ class ModelRegistry {
 
   io::SimDisk* disk_;
   std::string dir_;
+  CircuitBreaker* load_breaker_ = nullptr;
+  int crash_after_publish_step_ = -1;
 };
 
 }  // namespace hpa::serve

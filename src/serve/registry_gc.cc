@@ -1,0 +1,213 @@
+#include "serve/registry_gc.h"
+
+#include <algorithm>
+#include <charconv>
+#include <utility>
+
+#include "common/checksum.h"
+#include "common/string_util.h"
+
+namespace hpa::serve {
+
+namespace {
+
+bool ParseHex32Local(std::string_view s, uint32_t* out) {
+  uint64_t v = 0;
+  if (s.empty()) return false;
+  auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), v, /*base=*/16);
+  if (ec != std::errc() || ptr != s.data() + s.size() || v > 0xFFFFFFFFull) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+/// One artifact entry from a manifest: path + expected size + CRC.
+struct ArtifactRef {
+  std::string path;
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+};
+
+}  // namespace
+
+std::string GcReport::Summary() const {
+  std::string out = StrFormat(
+      "scanned=%llu intact=%llu torn=%zu quarantined=%zu removed=%zu "
+      "latest=%llu->%llu repaired=%d",
+      static_cast<unsigned long long>(scanned_versions),
+      static_cast<unsigned long long>(intact_versions), torn_versions.size(),
+      quarantined.size(), removed_versions.size(),
+      static_cast<unsigned long long>(latest_before),
+      static_cast<unsigned long long>(latest_after),
+      latest_repaired ? 1 : 0);
+  return out;
+}
+
+RegistryGc::RegistryGc(io::SimDisk* disk, std::string dir, GcOptions options)
+    : disk_(disk), options_(options), paths_(disk, std::move(dir)) {
+  if (options_.retain < 1) options_.retain = 1;
+}
+
+Status RegistryGc::ValidateVersion(uint64_t version) {
+  std::string manifest_path = paths_.ManifestPath(version);
+  StatusOr<std::string> text = disk_->ReadFile(manifest_path);
+  if (!text.ok()) return text.status();
+
+  // Minimal manifest parse: artifact lines + the `end` commit marker.
+  // Fingerprint/terms/documents are serving-time concerns; GC only asks
+  // "are the bytes this manifest committed actually here and whole?".
+  std::vector<ArtifactRef> artifacts;
+  bool saw_end = false;
+  std::vector<std::string_view> lines = Split(*text, '\n');
+  if (lines.empty() || Trim(lines[0]) != "hpa-model-registry v1") {
+    return Status::Corruption("bad manifest header");
+  }
+  for (size_t i = 1; i < lines.size() && !saw_end; ++i) {
+    std::string_view line = Trim(lines[i]);
+    if (line.empty()) continue;
+    if (line == "end") {
+      saw_end = true;
+    } else if (StartsWith(line, "tfidf ") || StartsWith(line, "centroids ")) {
+      std::vector<std::string_view> parts = Split(line, ' ');
+      int64_t bytes = 0;
+      uint32_t crc = 0;
+      if (parts.size() != 4 || !ParseInt64(parts[2], &bytes) || bytes < 0 ||
+          !ParseHex32Local(parts[3], &crc)) {
+        return Status::Corruption("bad artifact line in manifest");
+      }
+      artifacts.push_back(ArtifactRef{std::string(parts[1]),
+                                      static_cast<uint64_t>(bytes), crc});
+    }
+  }
+  if (!saw_end || artifacts.size() != 2) {
+    return Status::Corruption("manifest truncated (no end marker)");
+  }
+  for (const ArtifactRef& a : artifacts) {
+    if (!disk_->Exists(a.path)) {
+      return Status::Corruption("missing artifact " + a.path);
+    }
+    StatusOr<std::string> bytes = disk_->ReadFile(a.path);
+    if (!bytes.ok()) return bytes.status();
+    if (bytes->size() != a.bytes || Crc32(*bytes) != a.crc) {
+      return Status::Corruption("artifact failed checksum: " + a.path);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<GcReport> RegistryGc::Run() {
+  GcReport report;
+
+  // Record the incoming latest pointer (tolerating absence/garbage —
+  // that is precisely the damage this pass repairs).
+  if (disk_->Exists(paths_.LatestPath())) {
+    StatusOr<std::string> text = disk_->ReadFile(paths_.LatestPath());
+    if (text.ok()) {
+      int64_t v = 0;
+      if (ParseInt64(Trim(*text), &v) && v >= 1) {
+        report.latest_before = static_cast<uint64_t>(v);
+      }
+    }
+  }
+
+  // Upward scan over the dense version space. A version leaves a trace
+  // if any of its four files exists. The horizon starts past the latest
+  // pointer (so a prefix removed by earlier retain-N passes cannot end
+  // the scan early) and extends kScanGapLimit beyond every trace found;
+  // the scan ends when the horizon is exhausted.
+  std::vector<uint64_t> intact;
+  uint64_t horizon = report.latest_before + kScanGapLimit;
+  for (uint64_t v = 1; v <= horizon; ++v) {
+    bool has_manifest = disk_->Exists(paths_.ManifestPath(v));
+    bool has_tfidf = disk_->Exists(paths_.TfidfPath(v));
+    bool has_cent = disk_->Exists(paths_.CentroidsPath(v));
+    bool has_marker = disk_->Exists(paths_.QuarantinePath(v));
+    if (!has_manifest && !has_tfidf && !has_cent && !has_marker) {
+      continue;
+    }
+    if (v + kScanGapLimit > horizon) horizon = v + kScanGapLimit;
+    ++report.scanned_versions;
+
+    if (has_marker) {
+      // Already quarantined by a previous pass: evidence is preserved,
+      // Load refuses it, nothing further to do.
+      continue;
+    }
+    if (!has_manifest) {
+      // Torn publish: the commit record never landed, so by discipline
+      // this version never existed. Delete the orphan artifacts.
+      report.torn_versions.push_back(v);
+      if (has_tfidf) {
+        HPA_RETURN_IF_ERROR(disk_->Remove(paths_.TfidfPath(v)));
+      }
+      if (has_cent) {
+        HPA_RETURN_IF_ERROR(disk_->Remove(paths_.CentroidsPath(v)));
+      }
+      continue;
+    }
+    Status valid = ValidateVersion(v);
+    if (valid.ok()) {
+      intact.push_back(v);
+      continue;
+    }
+    if (valid.code() != StatusCode::kCorruption) return valid;
+    // Corrupt committed version: quarantine with the logged reason. The
+    // marker write is atomic, so a crash here either leaves the marker
+    // (done) or not (next pass re-detects the same corruption).
+    report.quarantined.push_back(v);
+    report.quarantine_reasons.push_back(valid.message());
+    HPA_RETURN_IF_ERROR(disk_->WriteFile(
+        paths_.QuarantinePath(v),
+        StrFormat("hpa-quarantine v1\nversion %llu\nreason %s\n",
+                  static_cast<unsigned long long>(v),
+                  valid.message().c_str())));
+  }
+
+  // Repair the latest pointer BEFORE any retain-N removal: a reader that
+  // races a crash between repair and removal must still find a committed
+  // version at the pointer. The manifest is the commit record, so repair
+  // also rolls *forward*: a crash between manifest commit and pointer
+  // move left a committed version the pointer must catch up to.
+  uint64_t newest_intact = intact.empty() ? 0 : intact.back();
+  bool latest_ok = newest_intact != 0 && report.latest_before == newest_intact;
+  if (!latest_ok) {
+    report.latest_repaired = true;
+    if (newest_intact != 0) {
+      std::string text;
+      AppendUint(text, newest_intact);
+      text += '\n';
+      HPA_RETURN_IF_ERROR(disk_->WriteFile(paths_.LatestPath(), text));
+      report.latest_after = newest_intact;
+    } else if (disk_->Exists(paths_.LatestPath())) {
+      // Nothing intact to point at: remove the dangling pointer so
+      // LatestVersion() reports an honestly empty registry.
+      HPA_RETURN_IF_ERROR(disk_->Remove(paths_.LatestPath()));
+      report.latest_after = 0;
+    }
+  } else {
+    report.latest_after = report.latest_before;
+  }
+
+  // Retain-N compaction over intact versions only (quarantined versions
+  // are evidence and stay). Removal order is manifest first: a crash
+  // mid-removal leaves a torn version, which the next pass deletes.
+  size_t keep = static_cast<size_t>(options_.retain);
+  size_t remove_count = intact.size() > keep ? intact.size() - keep : 0;
+  for (size_t i = 0; i < remove_count; ++i) {
+    uint64_t v = intact[i];
+    HPA_RETURN_IF_ERROR(disk_->Remove(paths_.ManifestPath(v)));
+    if (disk_->Exists(paths_.TfidfPath(v))) {
+      HPA_RETURN_IF_ERROR(disk_->Remove(paths_.TfidfPath(v)));
+    }
+    if (disk_->Exists(paths_.CentroidsPath(v))) {
+      HPA_RETURN_IF_ERROR(disk_->Remove(paths_.CentroidsPath(v)));
+    }
+    report.removed_versions.push_back(v);
+  }
+  report.intact_versions = intact.size() - remove_count;
+  return report;
+}
+
+}  // namespace hpa::serve

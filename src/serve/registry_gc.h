@@ -1,0 +1,94 @@
+#ifndef HPA_SERVE_REGISTRY_GC_H_
+#define HPA_SERVE_REGISTRY_GC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/sim_disk.h"
+#include "serve/model_registry.h"
+
+/// \file
+/// Garbage collection / compaction for a ModelRegistry directory. A
+/// registry accumulates damage in exactly three shapes, all of which a
+/// crash mid-publish (or bit rot on the backing store) can produce:
+///
+///   * **torn publishes** — artifact files without a committed manifest
+///     (a crash before the manifest landed). The version never existed
+///     by commit discipline; its orphan artifacts are deleted.
+///   * **corrupt versions** — a committed manifest whose artifacts are
+///     missing, truncated, or fail their CRC. These are *quarantined*,
+///     not deleted: a `model-<V>.quarantined` marker (with the reason)
+///     blocks future Loads while preserving the evidence.
+///   * **stale latest pointer** — `latest` missing, unparsable, or
+///     pointing at a torn/quarantined version. Repaired to the newest
+///     intact committed version.
+///
+/// On top of repair, GC applies a retain-N policy: only the newest
+/// `retain` intact versions are kept; older intact versions are removed
+/// manifest-first, so a crash mid-removal degrades to a torn publish the
+/// next GC run cleans up. Every mutation goes through the disk's atomic
+/// whole-file path or single-file Remove, making GC itself crash-safe
+/// and idempotent: running it twice is a no-op the second time.
+///
+/// Versions are dense from 1 (the registry never skips numbers), so the
+/// scan probes upward with no directory listing: the horizon starts at
+/// the latest pointer (so prefixes removed by earlier passes cannot end
+/// the scan early) and extends `kScanGapLimit` past every trace found.
+
+namespace hpa::serve {
+
+struct GcOptions {
+  /// Newest intact versions to keep. Minimum 1 (the serving model must
+  /// survive); values below 1 are clamped.
+  uint64_t retain = 2;
+};
+
+/// What one GC pass found and did. All version lists are ascending.
+struct GcReport {
+  uint64_t scanned_versions = 0;   ///< version numbers with any trace
+  uint64_t intact_versions = 0;    ///< committed + valid after this pass
+  std::vector<uint64_t> torn_versions;     ///< orphan artifacts deleted
+  std::vector<uint64_t> quarantined;       ///< corrupt, marker written
+  std::vector<std::string> quarantine_reasons;  ///< parallel to above
+  std::vector<uint64_t> removed_versions;  ///< retired by retain-N
+  uint64_t latest_before = 0;  ///< latest pointer on entry (0 = none/bad)
+  uint64_t latest_after = 0;   ///< latest pointer on exit (0 = none)
+  bool latest_repaired = false;
+
+  /// One line, stable field order, for logs and the chaos harness.
+  std::string Summary() const;
+};
+
+/// One-shot collector for a registry directory. Single-threaded; run it
+/// from the same thread that owns the registry (typically between
+/// batches or after a crash-recovery Load fails).
+class RegistryGc {
+ public:
+  RegistryGc(io::SimDisk* disk, std::string dir, GcOptions options = {});
+
+  /// Scans, repairs, and compacts. Returns the report; a non-ok status
+  /// means the pass could not complete (I/O error mid-scan) and the
+  /// directory is still safe — everything already done was atomic.
+  StatusOr<GcReport> Run();
+
+ private:
+  /// How far past the last trace (and the latest pointer) the upward
+  /// scan probes before concluding the version space is exhausted.
+  static constexpr uint64_t kScanGapLimit = 2;
+
+  /// Validates version's committed manifest + artifacts. Returns OK when
+  /// intact, kCorruption (with the reason) when the version must be
+  /// quarantined, other codes on unexpected I/O failure.
+  Status ValidateVersion(uint64_t version);
+
+  io::SimDisk* disk_;
+  GcOptions options_;
+  /// Path scheme only; GC never loads models.
+  ModelRegistry paths_;
+};
+
+}  // namespace hpa::serve
+
+#endif  // HPA_SERVE_REGISTRY_GC_H_

@@ -12,6 +12,18 @@ std::string_view RequestOutcomeName(RequestOutcome outcome) {
       return "deadline-miss";
     case RequestOutcome::kFailed:
       return "failed";
+    case RequestOutcome::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+std::string_view LaneName(Lane lane) {
+  switch (lane) {
+    case Lane::kInteractive:
+      return "interactive";
+    case Lane::kBatch:
+      return "batch";
   }
   return "unknown";
 }

@@ -31,10 +31,28 @@ enum class RequestOutcome {
   /// fault). Under FaultPolicy::kRetryThenSkip only this request fails;
   /// under kFailFast the rest of the batch aborts too.
   kFailed,
+
+  /// Dropped without scoring, with a bounded error response: either the
+  /// circuit breaker was open when the request's batch was cut, or an
+  /// interactive arrival preempted this already-queued batch-lane request
+  /// under overload. Terminal — a shed request is answered exactly once,
+  /// like every other admitted request.
+  kShed,
 };
 
-/// Stable lowercase name: "pending" | "ok" | "deadline-miss" | "failed".
+/// Stable lowercase name:
+/// "pending" | "ok" | "deadline-miss" | "failed" | "shed".
 std::string_view RequestOutcomeName(RequestOutcome outcome);
+
+/// Admission class of a request. Interactive is the latency-sensitive
+/// foreground lane; batch is backfill that yields under overload.
+enum class Lane {
+  kInteractive,
+  kBatch,
+};
+
+/// Stable lowercase name: "interactive" | "batch".
+std::string_view LaneName(Lane lane);
 
 /// One admitted classify request, as queued.
 struct Request {
@@ -48,12 +66,25 @@ struct Request {
   /// request whose deadline has passed when its batch starts is not
   /// scored at all; one that finishes late is scored but counted missed.
   double deadline_sec = 0.0;
+
+  /// Admission class (only meaningful when the server runs priority
+  /// lanes; otherwise recorded but ignored).
+  Lane lane = Lane::kInteractive;
 };
 
 /// One completed classify request.
 struct Response {
   uint64_t id = 0;
   RequestOutcome outcome = RequestOutcome::kPending;
+
+  /// Admission class the request was queued under (echoed).
+  Lane lane = Lane::kInteractive;
+
+  /// Version of the model snapshot this request was scored against (0 for
+  /// requests that never reached a model: shed, expired, aborted). The
+  /// chaos harness audits this against the set of committed registry
+  /// versions — the "no torn version ever served" invariant.
+  uint64_t model_version = 0;
 
   /// Nearest centroid index (valid for kOk and kDeadlineMiss-when-scored).
   uint32_t cluster = 0;

@@ -12,78 +12,218 @@ AnalyticsServer::AnalyticsServer(const ops::ExecContext& ctx,
                                  const ModelHandle* model,
                                  const ServerOptions& options,
                                  ServeMetrics* metrics)
-    : ctx_(ctx), model_(model), options_(options), metrics_(metrics) {
+    : ctx_(ctx),
+      // Borrowed handle: aliasing shared_ptr with a no-op deleter, so the
+      // hot-swap path can later replace it with an owned handle without
+      // changing the batch-snapshot discipline.
+      model_(model, [](const ModelHandle*) {}),
+      options_(options),
+      metrics_(metrics),
+      breaker_(options.breaker) {
   if (options_.inline_threshold > 0) {
     ctx_.executor->set_inline_threshold(options_.inline_threshold);
   }
 }
 
 Status AnalyticsServer::Submit(uint64_t id, std::string body,
-                               double deadline_sec) {
-  if (queue_.size() >= options_.queue_capacity) {
-    if (metrics_ != nullptr) {
-      metrics_->OnSubmitted(queue_.size());
-      metrics_->OnRejected();
-    }
-    return Status::FailedPrecondition(
-        StrFormat("admission queue full (%zu/%zu): request %llu rejected",
-                  queue_.size(), options_.queue_capacity,
-                  static_cast<unsigned long long>(id)));
+                               double deadline_sec, Lane lane) {
+  if (state_ == State::kStopped) {
+    return Status::FailedPrecondition(StrFormat(
+        "server is drained: request %llu rejected (Submit after Drain)",
+        static_cast<unsigned long long>(id)));
   }
-  queue_.push_back(Pending{id, std::move(body), deadline_sec,
-                           ctx_.executor->Now()});
-  if (metrics_ != nullptr) metrics_->OnSubmitted(queue_.size());
+  if (!options_.priority_lanes) lane = Lane::kInteractive;
+  size_t depth = queue_depth();
+  if (depth >= options_.queue_capacity) {
+    // Overload. An interactive arrival may reclaim a slot by preempting
+    // the NEWEST queued batch request (newest = least sunk wait time);
+    // the victim gets a terminal kShed response on the next delivery.
+    // Everything else bounces.
+    bool preempt = options_.priority_lanes && lane == Lane::kInteractive &&
+                   !batch_queue_.empty();
+    if (!preempt) {
+      if (metrics_ != nullptr) {
+        metrics_->OnSubmitted(depth, lane);
+        metrics_->OnRejected(lane);
+      }
+      return Status::FailedPrecondition(
+          StrFormat("admission queue full (%zu/%zu): request %llu rejected",
+                    depth, options_.queue_capacity,
+                    static_cast<unsigned long long>(id)));
+    }
+    Pending victim = std::move(batch_queue_.back());
+    batch_queue_.pop_back();
+    Response shed;
+    shed.id = victim.id;
+    shed.outcome = RequestOutcome::kShed;
+    shed.lane = victim.lane;
+    shed.submit_time_sec = victim.submit_time_sec;
+    shed.finish_time_sec = ctx_.executor->Now();
+    shed.status = Status::Unavailable(
+        "preempted by an interactive arrival under overload");
+    pending_sheds_.push_back(std::move(shed));
+    if (metrics_ != nullptr) metrics_->OnShed(victim.lane);
+  }
+  Pending p{id, std::move(body), deadline_sec, ctx_.executor->Now(), lane};
+  if (options_.priority_lanes && lane == Lane::kBatch) {
+    batch_queue_.push_back(std::move(p));
+  } else {
+    queue_.push_back(std::move(p));
+  }
+  if (metrics_ != nullptr) metrics_->OnSubmitted(queue_depth(), lane);
   return Status::OK();
 }
 
-std::vector<Response> AnalyticsServer::Poll() {
-  if (queue_.empty()) return {};
-  bool at_ceiling = queue_.size() >= options_.max_batch;
-  bool stale = ctx_.executor->Now() - queue_.front().submit_time_sec >=
-               options_.max_wait_sec;
-  if (!at_ceiling && !stale) return {};
-  return FlushBatch();
+void AnalyticsServer::TakePendingSheds(std::vector<Response>* out) {
+  if (pending_sheds_.empty()) return;
+  out->insert(out->begin(), std::make_move_iterator(pending_sheds_.begin()),
+              std::make_move_iterator(pending_sheds_.end()));
+  pending_sheds_.clear();
 }
 
-std::vector<Response> AnalyticsServer::Drain() {
+std::vector<Response> AnalyticsServer::Poll() {
+  std::vector<Response> out;
+  if (state_ == State::kStopped || queue_depth() == 0) {
+    TakePendingSheds(&out);
+    return out;
+  }
+  bool at_ceiling = queue_depth() >= options_.max_batch;
+  double now = ctx_.executor->Now();
+  bool stale = false;
+  if (!queue_.empty() &&
+      now - queue_.front().submit_time_sec >= options_.max_wait_sec) {
+    stale = true;
+  }
+  if (!batch_queue_.empty() &&
+      now - batch_queue_.front().submit_time_sec >= options_.max_wait_sec) {
+    stale = true;
+  }
+  if (at_ceiling || stale) out = FlushBatch();
+  TakePendingSheds(&out);
+  return out;
+}
+
+std::vector<Response> AnalyticsServer::FlushAll() {
   std::vector<Response> all;
-  while (!queue_.empty()) {
+  while (queue_depth() > 0) {
     std::vector<Response> batch = FlushBatch();
     all.insert(all.end(), std::make_move_iterator(batch.begin()),
                std::make_move_iterator(batch.end()));
   }
+  TakePendingSheds(&all);
   return all;
 }
 
+std::vector<Response> AnalyticsServer::Drain() {
+  std::vector<Response> all = FlushAll();
+  state_ = State::kStopped;
+  return all;
+}
+
+Status AnalyticsServer::TryHotSwap(
+    const ModelRegistry& registry, const ModelConfig& config,
+    const std::vector<std::string>& canary_bodies) {
+  StatusOr<uint64_t> latest = registry.LatestVersion();
+  if (!latest.ok()) return latest.status();
+  if (*latest <= model_->version()) return Status::OK();  // already current
+
+  StatusOr<ModelHandle> candidate = registry.Load(config, *latest);
+  if (!candidate.ok()) {
+    // Torn, corrupt, quarantined, or drifted candidate: the live model
+    // keeps serving. This IS the rollback — nothing was swapped in.
+    if (metrics_ != nullptr) metrics_->OnSwapRollback();
+    return candidate.status();
+  }
+
+  // Canary gate: the candidate must agree with the live model on the
+  // probe set. Distances are not compared — centroid geometry legitimately
+  // differs between fits; assignment agreement is the serving contract.
+  size_t agree = 0;
+  for (const std::string& body : canary_bodies) {
+    if (candidate->Classify(body) == model_->Classify(body)) ++agree;
+  }
+  double agreement =
+      canary_bodies.empty()
+          ? 1.0
+          : static_cast<double>(agree) /
+                static_cast<double>(canary_bodies.size());
+  if (agreement < options_.canary_min_agree) {
+    if (metrics_ != nullptr) metrics_->OnSwapRollback();
+    return Status::FailedPrecondition(StrFormat(
+        "hot-swap canary failed for version %llu: agreement %.4f < %.4f "
+        "on %zu probes; rolled back to version %llu",
+        static_cast<unsigned long long>(*latest), agreement,
+        options_.canary_min_agree, canary_bodies.size(),
+        static_cast<unsigned long long>(model_->version())));
+  }
+
+  // Swap: future batches snapshot the new handle; any batch mid-flight
+  // holds its own refcount on the old one.
+  model_ = std::make_shared<const ModelHandle>(std::move(*candidate));
+  if (metrics_ != nullptr) metrics_->OnHotSwap();
+  return Status::OK();
+}
+
 std::vector<Response> AnalyticsServer::FlushBatch() {
-  size_t n = std::min(queue_.size(), options_.max_batch);
+  size_t n = std::min(queue_depth(), options_.max_batch);
   if (n == 0) return {};
+  // Interactive lane drains first; batch backfills the remaining slots.
   std::vector<Pending> batch;
   batch.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
+  while (batch.size() < n && !queue_.empty()) {
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
+  while (batch.size() < n && !batch_queue_.empty()) {
+    batch.push_back(std::move(batch_queue_.front()));
+    batch_queue_.pop_front();
+  }
   if (metrics_ != nullptr) metrics_->OnBatchFlushed(n);
+
+  // Per-batch model snapshot: a hot-swap during (or between) batches
+  // never changes the model a cut batch scores against.
+  std::shared_ptr<const ModelHandle> model = model_;
 
   // Deadline triage happens serially *before* the region on the
   // pre-region clock: inside a region the simulated executor's Now() is
   // frozen, so evaluating deadlines there would diverge across executors.
   double batch_start = ctx_.executor->Now();
-  std::vector<char> expired(n, 0);
+  std::vector<char> skip(n, 0);  ///< 1 = expired, 2 = breaker-shed
   size_t live = 0;
   std::vector<Response> responses(n);
   for (size_t i = 0; i < n; ++i) {
     responses[i].id = batch[i].id;
+    responses[i].lane = batch[i].lane;
     responses[i].submit_time_sec = batch[i].submit_time_sec;
     if (batch[i].deadline_sec > 0 && batch_start > batch[i].deadline_sec) {
-      expired[i] = 1;
+      skip[i] = 1;
       responses[i].outcome = RequestOutcome::kDeadlineMiss;
       responses[i].status = Status::FailedPrecondition(
           "deadline expired before the batch started");
-    } else {
-      ++live;
     }
+  }
+  // Breaker admission, serial and in slot order, on the batch-start
+  // clock — after triage so expired requests never consume probe budget.
+  if (options_.breaker_enabled) {
+    for (size_t i = 0; i < n; ++i) {
+      if (skip[i] != 0) continue;
+      uint64_t token = StableHash64(StrFormat(
+          "req-%llu", static_cast<unsigned long long>(batch[i].id)));
+      if (!breaker_.Allow(token, batch_start)) {
+        skip[i] = 2;
+        responses[i].outcome = RequestOutcome::kShed;
+        responses[i].status = Status::Unavailable(StrFormat(
+            "circuit breaker %s: request shed",
+            std::string(BreakerStateName(breaker_.state())).c_str()));
+        if (metrics_ != nullptr) {
+          metrics_->OnShed(batch[i].lane);
+          metrics_->OnBreakerShed();
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (skip[i] == 0) ++live;
   }
 
   // One region for the whole batch; per-worker quarantine lists merged in
@@ -95,7 +235,7 @@ std::vector<Response> AnalyticsServer::FlushBatch() {
   ctx_.executor->ParallelFor(0, n, 1, hint, [&](int worker, size_t b,
                                                 size_t e) {
     for (size_t i = b; i < e; ++i) {
-      if (expired[i] != 0) {
+      if (skip[i] != 0) {
         // Nothing to score. If *no* request in the batch is live the
         // region itself is wasted motion — cancel the remaining chunks.
         if (live == 0) ctx_.executor->RequestStop();
@@ -127,7 +267,7 @@ std::vector<Response> AnalyticsServer::FlushBatch() {
               }
             }
             double distance = 0.0;
-            responses[i].cluster = model_->Classify(p.body, &distance);
+            responses[i].cluster = model->Classify(p.body, &distance);
             responses[i].distance = distance;
             return Status::OK();
           },
@@ -184,20 +324,36 @@ std::vector<Response> AnalyticsServer::FlushBatch() {
       // but accounted as a miss.
       r.outcome = RequestOutcome::kDeadlineMiss;
     }
+    // Only answers actually produced by a model carry its version (the
+    // chaos harness audits served versions against committed ones).
+    if (skip[i] == 0 && (r.outcome == RequestOutcome::kOk ||
+                         r.outcome == RequestOutcome::kDeadlineMiss)) {
+      r.model_version = model->version();
+    }
+    // Outcome feedback to the breaker, serially in slot order: expired
+    // and shed slots never report (they were not admitted attempts).
+    if (options_.breaker_enabled && skip[i] == 0) {
+      if (r.outcome == RequestOutcome::kFailed) {
+        breaker_.OnFailure(finish);
+      } else {
+        breaker_.OnSuccess(finish);
+      }
+    }
     if (metrics_ != nullptr) {
       double latency = finish - r.submit_time_sec;
       switch (r.outcome) {
         case RequestOutcome::kOk:
-          metrics_->OnCompleted(latency);
+          metrics_->OnCompleted(latency, r.lane);
           break;
         case RequestOutcome::kDeadlineMiss:
-          metrics_->OnDeadlineMiss(latency);
+          metrics_->OnDeadlineMiss(latency, r.lane);
           break;
         case RequestOutcome::kFailed:
-          metrics_->OnFailed(latency);
+          metrics_->OnFailed(latency, r.lane);
           break;
+        case RequestOutcome::kShed:
         case RequestOutcome::kPending:
-          break;
+          break;  // sheds were counted at decision time
       }
     }
   }

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/circuit_breaker.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "io/fault_injection.h"
@@ -22,7 +24,11 @@
 ///  * Admission control — a bounded queue with an explicit overload
 ///    policy. When the queue is full, Submit() rejects immediately
 ///    (kFailedPrecondition) instead of queueing unboundedly; the caller
-///    sees backpressure, not silent latency collapse.
+///    sees backpressure, not silent latency collapse. With priority
+///    lanes enabled the bound is shared between an interactive and a
+///    batch class, and an interactive arrival that finds the bound full
+///    preempts the newest queued batch request (which is answered with
+///    a terminal kShed response) rather than bouncing.
 ///  * Micro-batching — admitted requests coalesce and execute as ONE
 ///    ParallelFor region per batch (flush on batch-size ceiling or
 ///    max-wait, whichever first), amortizing region setup the same way
@@ -33,6 +39,24 @@
 ///    scored (and if the whole batch expired, the region is cancelled via
 ///    region-scoped RequestStop); requests scored but finishing late are
 ///    answered yet counted as deadline misses.
+///
+/// Robustness layer (all off by default, all deterministic on the
+/// executor clock):
+///
+///  * Circuit breaker — when enabled, scoring outcomes feed a
+///    CircuitBreaker; while it is open, requests cut into a batch are
+///    shed (kShed / kUnavailable) instead of scored, bounding the error
+///    responses a fault storm can produce. Allow() decisions are made
+///    serially before the parallel region and outcomes are fed serially
+///    after it in slot order, so breaker transitions are identical at
+///    any worker count's interleaving (virtual times may still differ
+///    across worker counts).
+///  * Health-gated hot-swap — TryHotSwap() follows the registry's
+///    `latest` pointer: the candidate is CRC- and fingerprint-validated
+///    by Load, then canary-probed against the live model; on failure the
+///    live model keeps serving (rollback). The live handle is refcounted
+///    and snapshotted per batch, so in-flight batches finish on the
+///    model they started with — zero downtime, no torn reads.
 ///
 /// Per-document scoring faults go through the fault-tolerance layer:
 /// RetryPolicy with deterministic backoff (charged to the executor clock),
@@ -45,13 +69,19 @@
 /// event loop); parallelism happens *inside* a batch, not across calls.
 /// On the simulated executor the whole serving timeline is therefore
 /// virtual-time deterministic.
+///
+/// Lifecycle: a server is kServing from construction until Drain(),
+/// which flushes everything and transitions to kStopped — terminally.
+/// Submit() on a stopped server is a deterministic kFailedPrecondition;
+/// Poll()/Drain() on one return empty. Use FlushAll() for a
+/// non-terminal force-flush (the chaos driver's barrier between phases).
 
 namespace hpa::serve {
 
 /// Serving policy knobs.
 struct ServerOptions {
   /// Admission queue bound; Submit() rejects when the queue holds this
-  /// many pending requests.
+  /// many pending requests (summed across both lanes when enabled).
   size_t queue_capacity = 64;
 
   /// Batch ceiling: Poll() flushes as soon as this many are queued.
@@ -79,12 +109,34 @@ struct ServerOptions {
   /// inline instead of spawning stealable tasks — the right call when
   /// micro-batches are smaller than the spawn overhead pays for.
   size_t inline_threshold = 0;
+
+  /// Two-class admission: interactive requests preempt the newest queued
+  /// batch request when the shared queue bound is full. Off = the
+  /// original single FIFO lane (Lane on Submit is recorded but inert).
+  bool priority_lanes = false;
+
+  /// Feed scoring outcomes into a circuit breaker and shed batch slots
+  /// while it is open.
+  bool breaker_enabled = false;
+
+  /// Breaker tuning (used only when breaker_enabled).
+  CircuitBreakerOptions breaker;
+
+  /// Hot-swap canary gate: minimum fraction of canary probes on which
+  /// the candidate must agree with the live model. 1.0 = bit-for-bit
+  /// cluster agreement on every probe (the right bar when the candidate
+  /// is a refit of the same corpus/config); lower it when model updates
+  /// are expected to move assignments.
+  double canary_min_agree = 1.0;
 };
 
 /// Single-model serving engine. Borrows the context's executor/disks and
-/// the model handle; both must outlive the server.
+/// the model handle; both must outlive the server (hot-swapped
+/// replacement models are owned by the server's refcounted handle).
 class AnalyticsServer {
  public:
+  enum class State { kServing, kStopped };
+
   /// `metrics` may be null (no accounting). The context's executor is
   /// required; its quarantine sink, if set, receives scoring quarantines.
   AnalyticsServer(const ops::ExecContext& ctx, const ModelHandle* model,
@@ -92,18 +144,46 @@ class AnalyticsServer {
 
   /// Admission: enqueues or rejects. `deadline_sec` is an absolute
   /// executor-clock time (<= 0 = no deadline). Rejection is
-  /// kFailedPrecondition with the queue bound in the message.
-  Status Submit(uint64_t id, std::string body, double deadline_sec = 0.0);
+  /// kFailedPrecondition with the queue bound in the message; submitting
+  /// to a drained server is kFailedPrecondition naming the lifecycle.
+  Status Submit(uint64_t id, std::string body, double deadline_sec = 0.0,
+                Lane lane = Lane::kInteractive);
 
   /// Flush-policy tick: cuts and executes at most one batch if the
   /// ceiling or the wait bound says so. Returns that batch's responses
-  /// (empty when nothing flushed).
+  /// (empty when nothing flushed) plus any preemption sheds that
+  /// happened since the last call — every admitted request surfaces in
+  /// exactly one Poll/FlushAll/Drain return.
   std::vector<Response> Poll();
 
-  /// Force-flushes everything queued, batch by batch.
+  /// Force-flushes everything queued, batch by batch. Non-terminal.
+  std::vector<Response> FlushAll();
+
+  /// FlushAll, then transition to kStopped: the terminal flush. Further
+  /// Submits are rejected; further Polls/Drains return empty.
   std::vector<Response> Drain();
 
-  size_t queue_depth() const { return queue_.size(); }
+  /// Health-gated zero-downtime model replacement. Follows `registry`'s
+  /// latest pointer; if it names a version newer than the live model,
+  /// validates it (manifest + fingerprint + CRCs via Load) and scores
+  /// `canary_bodies` against both models. On agreement >=
+  /// options.canary_min_agree the candidate atomically becomes the live
+  /// model (OnHotSwap); otherwise the live model keeps serving and the
+  /// candidate is dropped (OnSwapRollback, kFailedPrecondition). Load
+  /// failures (torn/corrupt/drifted candidate) also roll back with their
+  /// own status. OK with no metrics change = already current.
+  Status TryHotSwap(const ModelRegistry& registry, const ModelConfig& config,
+                    const std::vector<std::string>& canary_bodies);
+
+  size_t queue_depth() const { return queue_.size() + batch_queue_.size(); }
+  State state() const { return state_; }
+
+  /// Version of the model currently being served.
+  uint64_t model_version() const { return model_->version(); }
+
+  /// The scoring-path breaker (state/counter inspection; meaningful only
+  /// when options.breaker_enabled).
+  const CircuitBreaker& breaker() const { return breaker_; }
 
   /// Scoring quarantine accumulated under kRetryThenSkip (also merged
   /// into ctx.quarantine when that sink is set).
@@ -115,16 +195,26 @@ class AnalyticsServer {
     std::string body;
     double deadline_sec;
     double submit_time_sec;
+    Lane lane;
   };
 
-  /// Cuts up to max_batch requests and runs them as one parallel region.
+  /// Cuts up to max_batch requests (interactive lane first) and runs
+  /// them as one parallel region.
   std::vector<Response> FlushBatch();
 
+  /// Moves preemption sheds accumulated since the last delivery into
+  /// `out` (front), stamping finish times.
+  void TakePendingSheds(std::vector<Response>* out);
+
   ops::ExecContext ctx_;
-  const ModelHandle* model_;
+  std::shared_ptr<const ModelHandle> model_;
   ServerOptions options_;
   ServeMetrics* metrics_;
-  std::deque<Pending> queue_;
+  State state_ = State::kServing;
+  std::deque<Pending> queue_;        ///< interactive (or the only) lane
+  std::deque<Pending> batch_queue_;  ///< batch lane (priority_lanes only)
+  std::vector<Response> pending_sheds_;
+  CircuitBreaker breaker_;
   QuarantineList quarantine_;
 };
 

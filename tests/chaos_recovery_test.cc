@@ -1,0 +1,352 @@
+// Crash-recovery suite for the serving registry (ctest label "chaos",
+// with a TSan twin). Pins the torn-publish recovery story end to end:
+// a deterministic crash injected at every point of the publish commit
+// sequence (after each artifact, after the manifest, after the latest
+// move), across worker counts {1,2,4,8}, must leave the registry
+// loadable at the last *committed* version — and one RegistryGc pass
+// must converge the directory to a clean state whose report is
+// identical at every worker count. Also covers GC quarantine of
+// corrupt versions, retain-N compaction, latest-pointer repair,
+// crash-mid-GC degradation, and the Load-path circuit breaker.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "common/circuit_breaker.h"
+#include "io/file_io.h"
+#include "io/packed_corpus.h"
+#include "io/sim_disk.h"
+#include "ops/exec_context.h"
+#include "parallel/machine_model.h"
+#include "parallel/simulated_executor.h"
+#include "serve/model_registry.h"
+#include "serve/registry_gc.h"
+#include "text/corpus_io.h"
+
+namespace hpa::serve {
+namespace {
+
+class ChaosRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_chaos_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    corpus_disk_ = std::make_unique<io::SimDisk>(
+        io::DiskOptions::CorpusStore(), dir_, nullptr);
+    scratch_disk_ = std::make_unique<io::SimDisk>(io::DiskOptions::LocalHdd(),
+                                                  dir_, nullptr);
+    UseWorkers(4);
+
+    const char* topics[3][4] = {
+        {"apple", "banana", "cherry", "fruit"},
+        {"engine", "piston", "gear", "motor"},
+        {"violin", "cello", "sonata", "quartet"},
+    };
+    text::Corpus corpus;
+    corpus.name = "chaos-fixture";
+    for (int doc = 0; doc < 24; ++doc) {
+      const char** words = topics[doc % 3];
+      std::string body;
+      for (int w = 0; w < 6; ++w) {
+        body += words[(doc / 3 + w) % 4];
+        body += ' ';
+      }
+      corpus.docs.push_back({"d" + std::to_string(doc), std::move(body)});
+    }
+    ASSERT_TRUE(
+        text::WriteCorpusPacked(corpus, corpus_disk_.get(), "c.pack").ok());
+    auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "c.pack");
+    ASSERT_TRUE(reader.ok());
+    reader_ = std::make_unique<io::PackedCorpusReader>(std::move(*reader));
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  /// Swaps in a fresh simulated executor with `workers` workers and
+  /// re-points both disks at its clock.
+  void UseWorkers(int workers) {
+    exec_ = std::make_unique<parallel::SimulatedExecutor>(
+        workers, parallel::MachineModel::Default());
+    corpus_disk_->set_executor(exec_.get());
+    scratch_disk_->set_executor(exec_.get());
+  }
+
+  ops::ExecContext Ctx() {
+    ops::ExecContext ctx;
+    ctx.executor = exec_.get();
+    ctx.corpus_disk = corpus_disk_.get();
+    ctx.scratch_disk = scratch_disk_.get();
+    return ctx;
+  }
+
+  ModelConfig Config() const {
+    ModelConfig config;
+    config.clusters = 3;
+    return config;
+  }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> corpus_disk_;
+  std::unique_ptr<io::SimDisk> scratch_disk_;
+  std::unique_ptr<parallel::SimulatedExecutor> exec_;
+  std::unique_ptr<io::PackedCorpusReader> reader_;
+};
+
+// ------------------------------------------------------- torn publishes
+
+TEST_F(ChaosRecoveryTest, CrashSweepRecoversToLastCommittedVersion) {
+  // One registry directory per (crash step, worker count) cell; the
+  // recovered version and GC report text must depend on the step only.
+  const int kWorkerCounts[] = {1, 2, 4, 8};
+  for (int step = 0; step <= 3; ++step) {
+    uint64_t want_version = step >= 2 ? 2u : 1u;
+    std::string reference_report;
+    for (int workers : kWorkerCounts) {
+      UseWorkers(workers);
+      std::string reg_dir =
+          "models-s" + std::to_string(step) + "-w" + std::to_string(workers);
+      ModelRegistry registry(scratch_disk_.get(), reg_dir);
+      ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+
+      registry.set_crash_after_publish_step(step);
+      auto crashed = registry.Fit(Ctx(), *reader_, Config());
+      ASSERT_FALSE(crashed.ok());
+      EXPECT_EQ(crashed.status().code(), StatusCode::kInternal);
+      registry.set_crash_after_publish_step(-1);
+
+      // Commit discipline before any repair: a crash before the manifest
+      // landed (steps 0-1) means version 2 never existed; after it
+      // (steps 2-3) version 2 is committed and loadable by number.
+      EXPECT_EQ(scratch_disk_->Exists(registry.ManifestPath(2)), step >= 2);
+      auto live = registry.Load(Config());
+      ASSERT_TRUE(live.ok()) << live.status().ToString();
+      EXPECT_EQ(live->version(), step >= 3 ? 2u : 1u)
+          << "latest pointer must lag until the final commit step";
+
+      // One GC pass converges the directory; the report is a pure
+      // function of the crash step, not the worker count.
+      RegistryGc gc(scratch_disk_.get(), reg_dir);
+      auto report = gc.Run();
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      if (step <= 1) {
+        ASSERT_EQ(report->torn_versions.size(), 1u);
+        EXPECT_EQ(report->torn_versions[0], 2u);
+        EXPECT_FALSE(scratch_disk_->Exists(registry.TfidfPath(2)));
+        EXPECT_FALSE(scratch_disk_->Exists(registry.CentroidsPath(2)));
+      } else {
+        EXPECT_TRUE(report->torn_versions.empty());
+      }
+      EXPECT_EQ(report->latest_repaired, step == 2)
+          << "only the manifest-committed-but-latest-stale crash needs "
+             "pointer repair";
+      EXPECT_TRUE(report->quarantined.empty());
+
+      auto recovered = registry.Load(Config());
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      EXPECT_EQ(recovered->version(), want_version);
+
+      // A second pass is a no-op: recovery is idempotent.
+      auto again = RegistryGc(scratch_disk_.get(), reg_dir).Run();
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(again->torn_versions.empty());
+      EXPECT_FALSE(again->latest_repaired);
+
+      if (reference_report.empty()) {
+        reference_report = report->Summary();
+      } else {
+        EXPECT_EQ(report->Summary(), reference_report)
+            << "GC outcome diverged at " << workers << " workers";
+      }
+    }
+  }
+}
+
+TEST_F(ChaosRecoveryTest, CrashMidGcRemovalDegradesToTornAndReconverges) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+  }
+  // Simulate a crash between GC's manifest delete and artifact deletes
+  // for version 1 (GC removes manifest-first for exactly this reason).
+  ASSERT_TRUE(scratch_disk_->Remove(registry.ManifestPath(1)).ok());
+  ASSERT_TRUE(scratch_disk_->Exists(registry.TfidfPath(1)));
+
+  GcOptions options;
+  options.retain = 2;
+  auto report = RegistryGc(scratch_disk_.get(), "models", options).Run();
+  ASSERT_TRUE(report.ok());
+  // The half-removed version reads as torn and is finished off.
+  ASSERT_EQ(report->torn_versions.size(), 1u);
+  EXPECT_EQ(report->torn_versions[0], 1u);
+  EXPECT_FALSE(scratch_disk_->Exists(registry.TfidfPath(1)));
+  EXPECT_FALSE(scratch_disk_->Exists(registry.CentroidsPath(1)));
+  auto live = registry.Load(Config());
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->version(), 3u);
+}
+
+// --------------------------------------------------------- quarantining
+
+TEST_F(ChaosRecoveryTest, GcQuarantinesCorruptVersionAndRepairsLatest) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+  ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+  // Flip a byte in v2's centroids: committed but no longer trustworthy.
+  auto bytes = scratch_disk_->ReadFile(registry.CentroidsPath(2));
+  ASSERT_TRUE(bytes.ok());
+  std::string bad = *bytes;
+  bad[bad.size() / 2] ^= 0x20;
+  ASSERT_TRUE(
+      scratch_disk_->WriteFile(registry.CentroidsPath(2), bad).ok());
+
+  auto report = RegistryGc(scratch_disk_.get(), "models").Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->quarantined.size(), 1u);
+  EXPECT_EQ(report->quarantined[0], 2u);
+  ASSERT_EQ(report->quarantine_reasons.size(), 1u);
+  EXPECT_NE(report->quarantine_reasons[0].find("checksum"),
+            std::string::npos);
+  EXPECT_TRUE(scratch_disk_->Exists(registry.QuarantinePath(2)));
+  // Latest pointed at the corrupt version; it must fall back to v1.
+  EXPECT_TRUE(report->latest_repaired);
+  EXPECT_EQ(report->latest_after, 1u);
+
+  // Load refuses the quarantined version explicitly and by default.
+  auto quarantined = registry.Load(Config(), 2);
+  ASSERT_FALSE(quarantined.ok());
+  EXPECT_EQ(quarantined.status().code(), StatusCode::kFailedPrecondition);
+  auto live = registry.Load(Config());
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->version(), 1u);
+
+  // Idempotent: the marker survives, nothing is re-quarantined.
+  auto again = RegistryGc(scratch_disk_.get(), "models").Run();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->quarantined.empty());
+  EXPECT_TRUE(scratch_disk_->Exists(registry.QuarantinePath(2)));
+}
+
+// ------------------------------------------------------------- retain-N
+
+TEST_F(ChaosRecoveryTest, RetainPolicyKeepsNewestVersionsManifestFirst) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+  }
+  GcOptions options;
+  options.retain = 2;
+  auto report = RegistryGc(scratch_disk_.get(), "models", options).Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->removed_versions, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(report->intact_versions, 2u);
+  EXPECT_FALSE(report->latest_repaired);
+  for (uint64_t v : {1u, 2u, 3u}) {
+    EXPECT_FALSE(scratch_disk_->Exists(registry.ManifestPath(v)));
+    EXPECT_FALSE(scratch_disk_->Exists(registry.TfidfPath(v)));
+  }
+  auto gone = registry.Load(Config(), 1);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(registry.Load(Config(), 4).ok());
+  auto live = registry.Load(Config());
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->version(), 5u);
+
+  // A second pass must still find the survivors past the removed prefix
+  // (the scan is anchored by the latest pointer, not version 1).
+  auto again = RegistryGc(scratch_disk_.get(), "models", options).Run();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->scanned_versions, 2u);
+  EXPECT_TRUE(again->removed_versions.empty());
+  EXPECT_FALSE(again->latest_repaired);
+  EXPECT_TRUE(registry.Load(Config(), 5).ok());
+}
+
+// --------------------------------------------------------- latest repair
+
+TEST_F(ChaosRecoveryTest, GcRepairsGarbageAndDanglingLatestPointers) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+
+  for (const char* garbage : {"not-a-number\n", "7\n"}) {
+    ASSERT_TRUE(
+        scratch_disk_->WriteFile(registry.LatestPath(), garbage).ok());
+    auto report = RegistryGc(scratch_disk_.get(), "models").Run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->latest_repaired) << garbage;
+    EXPECT_EQ(report->latest_after, 1u);
+    auto live = registry.Load(Config());
+    ASSERT_TRUE(live.ok());
+    EXPECT_EQ(live->version(), 1u);
+  }
+}
+
+TEST_F(ChaosRecoveryTest, GcOnEmptyAndAllTornRegistriesIsSafe) {
+  auto empty = RegistryGc(scratch_disk_.get(), "models").Run();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->scanned_versions, 0u);
+  EXPECT_EQ(empty->latest_after, 0u);
+
+  // A registry whose only version crashed pre-manifest: after GC the
+  // directory is honestly empty again (no dangling latest).
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  registry.set_crash_after_publish_step(0);
+  ASSERT_FALSE(registry.Fit(Ctx(), *reader_, Config()).ok());
+  auto report = RegistryGc(scratch_disk_.get(), "models").Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->torn_versions.size(), 1u);
+  auto load = registry.Load(Config());
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------- load breaker
+
+TEST_F(ChaosRecoveryTest, LoadBreakerShedsRepeatedCorruptLoadsThenHeals) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+  auto good_bytes = scratch_disk_->ReadFile(registry.CentroidsPath(1));
+  ASSERT_TRUE(good_bytes.ok());
+  std::string bad = *good_bytes;
+  bad[bad.size() / 2] ^= 0x04;
+  ASSERT_TRUE(
+      scratch_disk_->WriteFile(registry.CentroidsPath(1), bad).ok());
+
+  CircuitBreakerOptions bopts;
+  bopts.failure_threshold = 2;
+  bopts.open_sec = 0.050;
+  bopts.half_open_successes = 1;
+  bopts.probe_fraction = 1.0;
+  CircuitBreaker breaker(bopts);
+  registry.set_load_breaker(&breaker);
+
+  // Two honest corruption errors trip the breaker; further loads are
+  // shed as kUnavailable without touching (or re-CRC-ing) the disk.
+  for (int i = 0; i < 2; ++i) {
+    auto r = registry.Load(Config());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  for (int i = 0; i < 3; ++i) {
+    auto r = registry.Load(Config());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_GE(breaker.sheds(), 3u);
+
+  // Repair the artifact, advance the virtual clock past the window: the
+  // probe load succeeds and closes the breaker.
+  ASSERT_TRUE(
+      scratch_disk_->WriteFile(registry.CentroidsPath(1), *good_bytes).ok());
+  exec_->ChargeIoTime(0.100, 1);
+  auto healed = registry.Load(Config());
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.closes(), 1u);
+}
+
+}  // namespace
+}  // namespace hpa::serve

@@ -3,6 +3,7 @@
 // counts), fault-class semantics, and the SimDisk retry/quarantine
 // integration that the fault-tolerant operators build on.
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -466,6 +467,64 @@ TEST_F(FaultWordCountTest, QuarantineIsDeterministicAcrossWorkerCounts) {
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(quarantined_ids(4), serial);
   EXPECT_EQ(quarantined_ids(16), serial);
+}
+
+// ---------------------------------------------------------------------------
+// FaultProfile validation
+// ---------------------------------------------------------------------------
+
+TEST(FaultProfileValidateTest, DefaultAndFullRateProfilesAreValid) {
+  EXPECT_TRUE(FaultProfile{}.Validate().ok());
+  FaultProfile full;
+  full.transient_rate = 1.0;
+  full.permanent_rate = 1.0;
+  full.corruption_rate = 1.0;
+  full.latency_spike_rate = 1.0;
+  full.latency_spike_sec = 0.0;
+  EXPECT_TRUE(full.Validate().ok());
+}
+
+TEST(FaultProfileValidateTest, OutOfRangeRatesAreRejectedByName) {
+  struct Case {
+    const char* field;
+    void (*set)(FaultProfile*, double);
+  };
+  const Case cases[] = {
+      {"transient_rate",
+       [](FaultProfile* p, double v) { p->transient_rate = v; }},
+      {"permanent_rate",
+       [](FaultProfile* p, double v) { p->permanent_rate = v; }},
+      {"corruption_rate",
+       [](FaultProfile* p, double v) { p->corruption_rate = v; }},
+      {"latency_spike_rate",
+       [](FaultProfile* p, double v) { p->latency_spike_rate = v; }},
+  };
+  for (const Case& c : cases) {
+    for (double bad : {-0.1, 1.5, std::numeric_limits<double>::quiet_NaN()}) {
+      FaultProfile p;
+      c.set(&p, bad);
+      Status s = p.Validate();
+      ASSERT_FALSE(s.ok()) << c.field << " = " << bad;
+      EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+      EXPECT_NE(s.message().find(c.field), std::string::npos)
+          << "message must name the bad field: " << s.message();
+    }
+  }
+}
+
+TEST(FaultProfileValidateTest, NegativeLatencySpikeIsRejected) {
+  FaultProfile p;
+  p.latency_spike_sec = -0.001;
+  Status s = p.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("latency_spike_sec"), std::string::npos);
+}
+
+TEST(FaultProfileValidateDeathTest, InjectorConstructionChecksTheProfile) {
+  FaultProfile p;
+  p.transient_rate = 2.0;
+  EXPECT_DEATH({ FaultInjector injector(p); }, "transient_rate");
 }
 
 }  // namespace

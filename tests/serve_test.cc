@@ -409,5 +409,297 @@ TEST_F(ServeTest, FailFastCancelsTheRestOfTheBatch) {
   EXPECT_GE(snap.faults, 1u);
 }
 
+// --------------------------------------------------------------- lifecycle
+
+TEST_F(ServeTest, SubmitAfterDrainIsDeterministicFailedPrecondition) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  ServerOptions options;
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*model, options, &metrics);
+  ASSERT_TRUE(server.Submit(0, bodies_[0]).ok());
+  EXPECT_EQ(server.state(), AnalyticsServer::State::kServing);
+  std::vector<Response> drained = server.Drain();
+  EXPECT_EQ(drained.size(), 1u);
+  EXPECT_EQ(server.state(), AnalyticsServer::State::kStopped);
+
+  // The stopped state is terminal and observable on every entry point.
+  for (int round = 0; round < 3; ++round) {
+    Status s = server.Submit(100 + static_cast<uint64_t>(round), bodies_[1]);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+    EXPECT_TRUE(server.Poll().empty());
+    EXPECT_TRUE(server.Drain().empty());
+  }
+  // Lifecycle rejections are not admission rejections: counters froze at
+  // the drain.
+  ServeMetrics::Snapshot snap = metrics.Scrape();
+  EXPECT_EQ(snap.submitted, 1u);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.completed, 1u);
+}
+
+TEST_F(ServeTest, FlushAllIsNonTerminal) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  ServerOptions options;
+  AnalyticsServer server(Ctx(), &*model, options, nullptr);
+  ASSERT_TRUE(server.Submit(0, bodies_[0]).ok());
+  EXPECT_EQ(server.FlushAll().size(), 1u);
+  EXPECT_EQ(server.state(), AnalyticsServer::State::kServing);
+  EXPECT_TRUE(server.Submit(1, bodies_[1]).ok());
+  EXPECT_EQ(server.Drain().size(), 1u);
+}
+
+// ------------------------------------------------------------------- lanes
+
+TEST_F(ServeTest, InteractivePreemptsNewestBatchUnderOverload) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  ServerOptions options;
+  options.priority_lanes = true;
+  options.queue_capacity = 4;
+  options.max_batch = 4;
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*model, options, &metrics);
+
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server.Submit(i, bodies_[i], 0.0, Lane::kBatch).ok());
+  }
+  EXPECT_EQ(server.queue_depth(), 4u);
+  // Overload: each interactive arrival evicts the NEWEST queued batch
+  // request (ids 3 then 2) instead of bouncing.
+  ASSERT_TRUE(server.Submit(10, bodies_[4], 0.0, Lane::kInteractive).ok());
+  ASSERT_TRUE(server.Submit(11, bodies_[5], 0.0, Lane::kInteractive).ok());
+  EXPECT_EQ(server.queue_depth(), 4u);
+  // A batch arrival under overload still bounces — no symmetric theft.
+  Status s = server.Submit(12, bodies_[6], 0.0, Lane::kBatch);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+
+  std::map<uint64_t, Response> by_id;
+  for (Response& r : server.Drain()) by_id.emplace(r.id, std::move(r));
+  ASSERT_EQ(by_id.size(), 6u);  // 4 scored + 2 preemption sheds
+  for (uint64_t id : {3u, 2u}) {
+    const Response& shed = by_id.at(id);
+    EXPECT_EQ(shed.outcome, RequestOutcome::kShed);
+    EXPECT_EQ(shed.lane, Lane::kBatch);
+    EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(shed.model_version, 0u);
+  }
+  for (uint64_t id : {0u, 1u, 10u, 11u}) {
+    EXPECT_EQ(by_id.at(id).outcome, RequestOutcome::kOk);
+  }
+  EXPECT_EQ(by_id.at(10).lane, Lane::kInteractive);
+  EXPECT_EQ(by_id.at(0).lane, Lane::kBatch);
+
+  ServeMetrics::Snapshot snap = metrics.Scrape();
+  EXPECT_EQ(snap.shed, 2u);
+  EXPECT_EQ(snap.breaker_shed, 0u);
+  EXPECT_EQ(snap.lane_shed[1], 2u);
+  EXPECT_EQ(snap.lane_completed[0], 2u);
+  EXPECT_EQ(snap.lane_completed[1], 2u);
+  EXPECT_EQ(snap.lane_rejected[1], 1u);
+  // Conservation: every admitted request got exactly one disposition.
+  EXPECT_EQ(snap.submitted - snap.rejected,
+            snap.completed + snap.deadline_misses + snap.failed + snap.shed);
+}
+
+TEST_F(ServeTest, LanesOffPreservesSingleFifoBehavior) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  ServerOptions options;
+  options.queue_capacity = 2;
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*model, options, &metrics);
+  // Batch-lane submissions to a lanes-off server behave exactly like the
+  // original single queue: bound + reject, no preemption.
+  ASSERT_TRUE(server.Submit(0, bodies_[0], 0.0, Lane::kBatch).ok());
+  ASSERT_TRUE(server.Submit(1, bodies_[1], 0.0, Lane::kInteractive).ok());
+  EXPECT_FALSE(server.Submit(2, bodies_[2], 0.0, Lane::kInteractive).ok());
+  EXPECT_EQ(server.Drain().size(), 2u);
+  EXPECT_EQ(metrics.Scrape().shed, 0u);
+}
+
+// ----------------------------------------------------------------- breaker
+
+TEST_F(ServeTest, BreakerOpensAfterThresholdAndShedsBoundErrors) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  io::FaultProfile profile;
+  profile.permanent_rate = 1.0;  // every scoring attempt fails
+  io::FaultInjector injector(profile);
+  ServerOptions options;
+  options.max_batch = 1;
+  options.injector = &injector;
+  options.breaker_enabled = true;
+  options.breaker.failure_threshold = 3;
+  options.breaker.open_sec = 1e6;  // never re-probes within this test
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*model, options, &metrics);
+
+  std::vector<Response> all;
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server.Submit(i, bodies_[i]).ok());
+    for (Response& r : server.FlushAll()) all.push_back(std::move(r));
+  }
+  ASSERT_EQ(all.size(), 10u);
+  // Exactly failure_threshold error responses, then the breaker bounds
+  // the storm: everything after is shed, not scored-and-failed.
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].outcome, i < 3 ? RequestOutcome::kFailed
+                                    : RequestOutcome::kShed)
+        << "request " << i;
+  }
+  EXPECT_EQ(server.breaker().state(), BreakerState::kOpen);
+  EXPECT_EQ(server.breaker().opens(), 1u);
+  ServeMetrics::Snapshot snap = metrics.Scrape();
+  EXPECT_EQ(snap.failed, 3u);
+  EXPECT_EQ(snap.shed, 7u);
+  EXPECT_EQ(snap.breaker_shed, 7u);
+  // The headline bound: error responses <= (opens + 1) * (threshold +
+  // probe budget).
+  EXPECT_LE(snap.failed,
+            (server.breaker().opens() + 1) *
+                static_cast<uint64_t>(options.breaker.failure_threshold +
+                                      options.breaker.half_open_probes));
+}
+
+TEST_F(ServeTest, BreakerReprobesAfterOpenWindowOnVirtualClock) {
+  auto model = FitModel();
+  ASSERT_TRUE(model.ok());
+  io::FaultProfile profile;
+  profile.permanent_rate = 1.0;
+  io::FaultInjector injector(profile);
+  ServerOptions options;
+  options.max_batch = 1;
+  options.injector = &injector;
+  options.breaker_enabled = true;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_sec = 0.001;
+  options.breaker.probe_fraction = 1.0;  // every token may probe
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*model, options, &metrics);
+
+  for (uint64_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(server.Submit(i, bodies_[i]).ok());
+    server.FlushAll();
+  }
+  ASSERT_EQ(server.breaker().state(), BreakerState::kOpen);
+  // Advance virtual time past the open window: the next request is
+  // admitted as a half-open probe, fails, and re-trips the breaker.
+  exec_->ChargeIoTime(0.002, 1);
+  ASSERT_TRUE(server.Submit(2, bodies_[2]).ok());
+  std::vector<Response> probe = server.FlushAll();
+  ASSERT_EQ(probe.size(), 1u);
+  EXPECT_EQ(probe[0].outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(server.breaker().state(), BreakerState::kOpen);
+  EXPECT_EQ(server.breaker().opens(), 2u);
+  EXPECT_GE(server.breaker().probes_admitted(), 1u);
+}
+
+// ---------------------------------------------------------------- hot-swap
+
+TEST_F(ServeTest, HotSwapFollowsLatestAndServesNewVersion) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  auto v1 = registry.Fit(Ctx(), *reader_, Config());
+  ASSERT_TRUE(v1.ok());
+  ServerOptions options;
+  options.max_batch = 4;
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*v1, options, &metrics);
+
+  // Traffic against v1.
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server.Submit(i, bodies_[i]).ok());
+  }
+  std::vector<Response> before = server.FlushAll();
+  for (const Response& r : before) {
+    EXPECT_EQ(r.model_version, 1u);
+  }
+
+  // Same config + same seed refit = bit-identical model as version 2.
+  ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+  EXPECT_EQ(server.model_version(), 1u);
+  std::vector<std::string> canaries(bodies_.begin(), bodies_.begin() + 8);
+  Status swap = server.TryHotSwap(registry, Config(), canaries);
+  ASSERT_TRUE(swap.ok()) << swap.ToString();
+  EXPECT_EQ(server.model_version(), 2u);
+
+  // Traffic after the swap is stamped with (and scored by) v2, and the
+  // answers match v1's — the canary gate proved agreement.
+  for (uint64_t i = 10; i < 14; ++i) {
+    ASSERT_TRUE(server.Submit(i, bodies_[i - 10]).ok());
+  }
+  std::vector<Response> after = server.FlushAll();
+  ASSERT_EQ(after.size(), 4u);
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].model_version, 2u);
+    EXPECT_EQ(after[i].cluster, before[i].cluster);
+  }
+  // Re-running with no newer version is a no-op.
+  ASSERT_TRUE(server.TryHotSwap(registry, Config(), canaries).ok());
+  EXPECT_EQ(server.model_version(), 2u);
+  ServeMetrics::Snapshot snap = metrics.Scrape();
+  EXPECT_EQ(snap.hot_swaps, 1u);
+  EXPECT_EQ(snap.swap_rollbacks, 0u);
+}
+
+TEST_F(ServeTest, CanaryFailureRollsBackToLiveModel) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  auto v1 = registry.Fit(Ctx(), *reader_, Config());
+  ASSERT_TRUE(v1.ok());
+  ServerOptions options;
+  // An unreachable agreement bar forces the canary gate shut: even a
+  // bit-identical candidate (agreement 1.0) must roll back, making the
+  // rollback path deterministic regardless of K-means init.
+  options.canary_min_agree = 1.1;
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*v1, options, &metrics);
+  ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+
+  std::vector<std::string> canaries(bodies_.begin(), bodies_.begin() + 8);
+  Status swap = server.TryHotSwap(registry, Config(), canaries);
+  ASSERT_FALSE(swap.ok());
+  EXPECT_EQ(swap.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.model_version(), 1u) << "live model must keep serving";
+
+  // Service continues on v1 after the rollback.
+  ASSERT_TRUE(server.Submit(0, bodies_[0]).ok());
+  std::vector<Response> r = server.Drain();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].outcome, RequestOutcome::kOk);
+  EXPECT_EQ(r[0].model_version, 1u);
+  ServeMetrics::Snapshot snap = metrics.Scrape();
+  EXPECT_EQ(snap.hot_swaps, 0u);
+  EXPECT_EQ(snap.swap_rollbacks, 1u);
+}
+
+TEST_F(ServeTest, TornCandidateRollsBackWithoutDowntime) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  auto v1 = registry.Fit(Ctx(), *reader_, Config());
+  ASSERT_TRUE(v1.ok());
+  ServerOptions options;
+  ServeMetrics metrics(4);
+  AnalyticsServer server(Ctx(), &*v1, options, &metrics);
+
+  // Publish v2, then corrupt its centroid artifact: latest says 2 but
+  // the candidate cannot validate.
+  ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+  auto bytes = scratch_disk_->ReadFile("models/model-2.centroids");
+  ASSERT_TRUE(bytes.ok());
+  std::string bad = *bytes;
+  bad[bad.size() / 2] ^= 0x10;
+  ASSERT_TRUE(scratch_disk_->WriteFile("models/model-2.centroids", bad).ok());
+
+  Status swap = server.TryHotSwap(registry, Config(), {});
+  ASSERT_FALSE(swap.ok());
+  EXPECT_EQ(swap.code(), StatusCode::kCorruption);
+  EXPECT_EQ(server.model_version(), 1u);
+  EXPECT_EQ(metrics.Scrape().swap_rollbacks, 1u);
+  ASSERT_TRUE(server.Submit(0, bodies_[0]).ok());
+  EXPECT_EQ(server.Drain()[0].outcome, RequestOutcome::kOk);
+}
+
 }  // namespace
 }  // namespace hpa::serve
