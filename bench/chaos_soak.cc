@@ -53,6 +53,8 @@
 #include "serve/registry_gc.h"
 #include "serve/request.h"
 #include "serve/server.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
 
 namespace hpa::bench {
 namespace {
@@ -69,6 +71,10 @@ struct ScenarioCfg {
   bool lanes = false;
   bool breaker = false;
   bool storm = false;  ///< total permanent-fault storm (breaker bound holds)
+  /// Heterogeneous registry: a Naive Bayes server shares the scenario's
+  /// registry directory (and its GC / corruption churn) with the K-means
+  /// server; each follows its own lineage through LatestVersionMatching.
+  bool heterogeneous = false;
   CircuitBreakerOptions breaker_opts;
   double canary_min_agree = 1.0;
   io::FaultProfile faults;
@@ -89,6 +95,12 @@ struct RunResult {
   uint64_t breaker_sheds = 0;
   uint64_t gc_runs = 0;
   std::vector<std::string> gc_summaries;
+  /// Naive Bayes co-server state (heterogeneous scenarios only).
+  bool nb_active = false;
+  std::vector<serve::Response> nb_responses;
+  uint64_t nb_submit_attempts = 0;
+  std::vector<uint64_t> nb_admitted;
+  serve::ServeMetrics::Snapshot nb_metrics;
   std::string digest;  ///< full disposition+metrics fingerprint (replay)
 };
 
@@ -144,6 +156,9 @@ ScenarioCfg MakeScenario(uint64_t chaos_seed, int index, int events) {
     cfg.breaker = true;
     cfg.storm = true;
   }
+  // Every 3rd scenario serves a heterogeneous registry (decided from the
+  // index alone, so existing scenarios' knob/event streams are unshifted).
+  cfg.heterogeneous = index % 3 == 1;
   return cfg;
 }
 
@@ -198,6 +213,31 @@ std::string Digest(const RunResult& rr) {
       static_cast<unsigned long long>(m.lane_misses[1]),
       static_cast<unsigned long long>(m.lane_failed[1]),
       static_cast<unsigned long long>(m.lane_shed[1]));
+  if (rr.nb_active) {
+    std::vector<serve::Response> nb_sorted = rr.nb_responses;
+    std::sort(nb_sorted.begin(), nb_sorted.end(),
+              [](const serve::Response& a, const serve::Response& b) {
+                return a.id < b.id;
+              });
+    for (const serve::Response& r : nb_sorted) {
+      out += StrFormat(
+          "nb %llu:%s:v%llu:%u\n", static_cast<unsigned long long>(r.id),
+          std::string(serve::RequestOutcomeName(r.outcome)).c_str(),
+          static_cast<unsigned long long>(r.model_version), r.cluster);
+    }
+    const serve::ServeMetrics::Snapshot& n = rr.nb_metrics;
+    out += StrFormat(
+        "nb-counters submitted=%llu rejected=%llu completed=%llu "
+        "misses=%llu failed=%llu shed=%llu swaps=%llu rollbacks=%llu\n",
+        static_cast<unsigned long long>(n.submitted),
+        static_cast<unsigned long long>(n.rejected),
+        static_cast<unsigned long long>(n.completed),
+        static_cast<unsigned long long>(n.deadline_misses),
+        static_cast<unsigned long long>(n.failed),
+        static_cast<unsigned long long>(n.shed),
+        static_cast<unsigned long long>(n.hot_swaps),
+        static_cast<unsigned long long>(n.swap_rollbacks));
+  }
   for (const std::string& s : rr.gc_summaries) out += "gc " + s + "\n";
   out += StrFormat("breaker opens=%llu closes=%llu sheds=%llu\n",
                    static_cast<unsigned long long>(rr.breaker_opens),
@@ -216,7 +256,9 @@ std::string Digest(const RunResult& rr) {
 RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
                       BenchEnv& env, const FlagSet& flags,
                       const serve::ModelConfig& config,
+                      const serve::ModelConfig& nb_config,
                       const std::string& corpus_rel,
+                      const std::string& labeled_rel,
                       const std::vector<std::string>& bodies) {
   RunResult rr;
   auto fail = [&rr](const std::string& what, const Status& s) {
@@ -257,9 +299,34 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
   }
   serve::ModelHandle model = std::move(*fitted);
 
+  // Heterogeneous scenarios interleave a Naive Bayes lineage into the
+  // SAME registry directory: version 2 is an NB fit on the labeled twin
+  // corpus, and a second server serves it alongside the K-means one
+  // through all the publish/GC/corruption churn below.
+  std::unique_ptr<io::PackedCorpusReader> labeled_reader;
+  std::unique_ptr<serve::ModelHandle> nb_model;
+  if (cfg.heterogeneous) {
+    auto lr = io::PackedCorpusReader::Open(env.corpus_disk(), labeled_rel);
+    if (!lr.ok()) {
+      fail("labeled corpus open", lr.status());
+      env.SetExecutor(nullptr);
+      return rr;
+    }
+    labeled_reader =
+        std::make_unique<io::PackedCorpusReader>(std::move(*lr));
+    auto nb_fitted = registry.Fit(fit_ctx, *labeled_reader, nb_config);
+    if (!nb_fitted.ok()) {
+      fail("initial nb fit", nb_fitted.status());
+      env.SetExecutor(nullptr);
+      return rr;
+    }
+    nb_model = std::make_unique<serve::ModelHandle>(std::move(*nb_fitted));
+    rr.nb_active = true;
+  }
+
   // Upper bound on any version number a publish may have touched; the
   // committed-set audit probes manifests up to it after every attempt.
-  uint64_t version_cap = 1;
+  uint64_t version_cap = cfg.heterogeneous ? 2 : 1;
   auto note_committed = [&] {
     for (uint64_t v = 1; v <= version_cap; ++v) {
       if (env.scratch_disk()->Exists(registry.ManifestPath(v))) {
@@ -291,6 +358,15 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
   serve_ctx.executor = exec.get();
   serve::AnalyticsServer server(serve_ctx, &model, options, &metrics);
 
+  // The NB co-server shares the scenario's knobs (queue bound, batching,
+  // lanes, scoring faults) but keeps its own metrics and breaker.
+  serve::ServeMetrics nb_metrics(workers);
+  std::unique_ptr<serve::AnalyticsServer> nb_server;
+  if (cfg.heterogeneous) {
+    nb_server = std::make_unique<serve::AnalyticsServer>(
+        serve_ctx, nb_model.get(), options, &nb_metrics);
+  }
+
   std::vector<std::string> canary(
       bodies.begin(), bodies.begin() + std::min<size_t>(bodies.size(), 5));
 
@@ -311,6 +387,19 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
     rr.responses.insert(rr.responses.end(),
                         std::make_move_iterator(out.begin()),
                         std::make_move_iterator(out.end()));
+  };
+  // NB twin traffic: ids come from the shared counter (so the two
+  // servers' id sets are disjoint), accounting stays separate.
+  auto nb_submit_one = [&](serve::Lane lane) {
+    uint64_t id = next_id++;
+    ++rr.nb_submit_attempts;
+    Status st = nb_server->Submit(id, bodies[id % bodies.size()], 0.0, lane);
+    if (st.ok()) rr.nb_admitted.push_back(id);
+  };
+  auto nb_collect = [&](std::vector<serve::Response> out) {
+    rr.nb_responses.insert(rr.nb_responses.end(),
+                           std::make_move_iterator(out.begin()),
+                           std::make_move_iterator(out.end()));
   };
   auto run_gc = [&]() -> bool {
     serve::RegistryGc gc(env.scratch_disk(), dir);
@@ -336,6 +425,10 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
         double rel_deadline = d < 0.4 ? 0.005 + 0.050 * d : 0.0;
         submit_one(lane, rel_deadline);
         collect(server.Poll());
+        if (nb_server != nullptr) {
+          nb_submit_one(lane);
+          nb_collect(nb_server->Poll());
+        }
       }
     } else if (a < 0.68) {
       // Overload burst: well past the queue bound, then a full flush.
@@ -364,6 +457,22 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
       // Rollbacks (canary gate, quarantined/corrupt candidate) are
       // expected outcomes here, counted by the swap metrics.
       (void)server.TryHotSwap(registry, config, canary);
+      if (cfg.heterogeneous) {
+        // Sometimes advance the NB lineage too, then let both servers
+        // follow the latest pointer: each TryHotSwap below runs against a
+        // registry whose newest version may belong to the OTHER kind, so
+        // the per-kind lineage filter is exercised on every publish.
+        if (rng.NextDouble() < 0.5) {
+          ++version_cap;
+          auto nb_refit = registry.Fit(fit_ctx, *labeled_reader, nb_config);
+          if (!nb_refit.ok()) {
+            fail("nb refit", nb_refit.status());
+            break;
+          }
+          note_committed();
+        }
+        (void)nb_server->TryHotSwap(registry, nb_config, canary);
+      }
     } else if (a < 0.86) {
       // Flip one byte in an older committed version's centroid artifact;
       // the next GC pass must quarantine it with a logged reason. The
@@ -395,10 +504,15 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
       double gap = 0.001 + 0.010 * rng.NextDouble();
       exec->ChargeIoTime(gap, 1);
       collect(server.Poll());
+      if (nb_server != nullptr) nb_collect(nb_server->Poll());
     }
   }
 
   collect(server.Drain());
+  if (nb_server != nullptr) {
+    nb_collect(nb_server->Drain());
+    rr.nb_metrics = nb_metrics.Scrape();
+  }
   note_committed();
   if (!rr.harness_error) run_gc();
 
@@ -466,6 +580,49 @@ bool CheckRun(const ScenarioCfg& cfg, int workers, const RunResult& rr) {
              StrFormat("request %llu served uncommitted version %llu",
                        static_cast<unsigned long long>(r.id),
                        static_cast<unsigned long long>(r.model_version)));
+    }
+  }
+
+  // 1+2 again for the NB co-server (heterogeneous scenarios): the second
+  // kind gets the same disposition and torn-serve guarantees, audited
+  // against the SAME committed-version set (one registry, two lineages).
+  if (rr.nb_active) {
+    std::vector<uint64_t> nb_admitted = rr.nb_admitted;
+    std::vector<uint64_t> nb_answered;
+    nb_answered.reserve(rr.nb_responses.size());
+    for (const serve::Response& r : rr.nb_responses) {
+      nb_answered.push_back(r.id);
+      if (r.outcome == serve::RequestOutcome::kPending) {
+        breach("disposition",
+               StrFormat("nb request %llu returned kPending",
+                         static_cast<unsigned long long>(r.id)));
+      }
+      if (r.model_version != 0 &&
+          rr.committed_versions.count(r.model_version) == 0) {
+        breach("torn-serve",
+               StrFormat("nb request %llu served uncommitted version %llu",
+                         static_cast<unsigned long long>(r.id),
+                         static_cast<unsigned long long>(r.model_version)));
+      }
+    }
+    std::sort(nb_admitted.begin(), nb_admitted.end());
+    std::sort(nb_answered.begin(), nb_answered.end());
+    if (nb_admitted != nb_answered) {
+      breach("disposition",
+             StrFormat("nb: %zu admitted vs %zu answered (or id mismatch)",
+                       nb_admitted.size(), nb_answered.size()));
+    }
+    const serve::ServeMetrics::Snapshot& n = rr.nb_metrics;
+    if (n.submitted != rr.nb_submit_attempts ||
+        n.rejected != rr.nb_submit_attempts - rr.nb_admitted.size()) {
+      breach("disposition", "nb admission counters disagree with the driver");
+    }
+    uint64_t nb_terminal = n.completed + n.deadline_misses + n.failed + n.shed;
+    if (nb_terminal != rr.nb_admitted.size()) {
+      breach("disposition",
+             StrFormat("nb completed+misses+failed+shed=%llu != admitted=%zu",
+                       static_cast<unsigned long long>(nb_terminal),
+                       rr.nb_admitted.size()));
     }
   }
 
@@ -550,11 +707,15 @@ int Run(int argc, char** argv) {
 
   serve::ModelConfig config;
   config.clusters = static_cast<int>(flags.GetInt("clusters"));
+  serve::ModelConfig nb_config;
+  nb_config.kind = serve::ModelKind::kNaiveBayes;
 
   // Request-body pool, read once (scoring input is identical in every
   // run; the executor on the corpus disk at this point is irrelevant to
-  // the bytes returned).
+  // the bytes returned). The same pass writes the labeled twin pack the
+  // heterogeneous scenarios fit their Naive Bayes lineage from.
   std::vector<std::string> bodies;
+  const std::string labeled_rel = "chaos-labeled.pack";
   {
     auto exec = MakeBenchExecutor(flags, 1);
     env.SetExecutor(exec.get());
@@ -572,6 +733,17 @@ int Run(int argc, char** argv) {
       }
       bodies.push_back(std::move(*body));
     }
+    auto corpus = text::ReadCorpusPacked(env.corpus_disk(), *rel_or);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+      return 2;
+    }
+    text::AssignSyntheticLabels(&*corpus, 3, chaos_seed);
+    Status w = text::WriteCorpusPacked(*corpus, env.corpus_disk(), labeled_rel);
+    if (!w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 2;
+    }
     env.SetExecutor(nullptr);
   }
 
@@ -584,6 +756,9 @@ int Run(int argc, char** argv) {
   uint64_t total_opens = 0;
   uint64_t total_gc_runs = 0;
   uint64_t overlap_total = 0;
+  uint64_t nb_overlap_total = 0;
+  uint64_t total_nb_completed = 0;
+  int hetero_scenarios = 0;
 
   std::printf("%-4s %-5s %-5s %-7s %-9s %-9s %-6s %-6s %-5s %-5s %-7s %s\n",
               "scn", "lanes", "brkr", "perm%", "admitted", "completed",
@@ -591,12 +766,12 @@ int Run(int argc, char** argv) {
 
   for (int i = 0; i < scenarios; ++i) {
     ScenarioCfg cfg = MakeScenario(chaos_seed, i, events);
-    RunResult w1 =
-        RunScenario(cfg, 1, 0, env, flags, config, *rel_or, bodies);
-    RunResult w8 =
-        RunScenario(cfg, 8, 0, env, flags, config, *rel_or, bodies);
-    RunResult w8r =
-        RunScenario(cfg, 8, 1, env, flags, config, *rel_or, bodies);
+    RunResult w1 = RunScenario(cfg, 1, 0, env, flags, config, nb_config,
+                               *rel_or, labeled_rel, bodies);
+    RunResult w8 = RunScenario(cfg, 8, 0, env, flags, config, nb_config,
+                               *rel_or, labeled_rel, bodies);
+    RunResult w8r = RunScenario(cfg, 8, 1, env, flags, config, nb_config,
+                                *rel_or, labeled_rel, bodies);
     bool scn_ok = true;
     for (const RunResult* rr : {&w1, &w8, &w8r}) {
       if (rr->harness_error) {
@@ -635,6 +810,33 @@ int Run(int argc, char** argv) {
       }
       overlap_total += overlap;
 
+      // Same bit check for the NB co-server's traffic: class id and score
+      // must be worker-count-invariant for the second kind too.
+      if (w1.nb_active && w8.nb_active) {
+        std::map<uint64_t, std::pair<uint32_t, double>> nb_w1_ok;
+        for (const serve::Response& r : w1.nb_responses) {
+          if (r.outcome == serve::RequestOutcome::kOk) {
+            nb_w1_ok.emplace(r.id, std::make_pair(r.cluster, r.distance));
+          }
+        }
+        for (const serve::Response& r : w8.nb_responses) {
+          if (r.outcome != serve::RequestOutcome::kOk) continue;
+          auto it = nb_w1_ok.find(r.id);
+          if (it == nb_w1_ok.end()) continue;
+          ++nb_overlap_total;
+          if (it->second.first != r.cluster ||
+              it->second.second != r.distance) {
+            std::fprintf(stderr,
+                         "FAIL[scoring-bits]: s%02d nb request %llu scored "
+                         "(%u, %a) at w=1 but (%u, %a) at w=8\n",
+                         i, static_cast<unsigned long long>(r.id),
+                         it->second.first, it->second.second, r.cluster,
+                         r.distance);
+            scn_ok = false;
+          }
+        }
+      }
+
       // 5. replay: same seed, same worker count, fresh registry ->
       // bit-identical digest (dispositions, metrics, GC, breaker).
       if (w8.digest != w8r.digest) {
@@ -661,6 +863,10 @@ int Run(int argc, char** argv) {
       total_rollbacks += w8.metrics.swap_rollbacks;
       total_opens += w8.breaker_opens;
       total_gc_runs += w8.gc_runs;
+      if (w8.nb_active) {
+        ++hetero_scenarios;
+        total_nb_completed += w8.nb_metrics.completed;
+      }
       std::printf(
           "s%02d  %-5s %-5s %-7.2f %-9zu %-9llu %-6llu %-6llu %-5llu %-5llu "
           "%-7llu %s\n",
@@ -684,6 +890,12 @@ int Run(int argc, char** argv) {
                  "counts across the whole soak\n");
     ok = false;
   }
+  if (hetero_scenarios > 0 && nb_overlap_total == 0) {
+    std::fprintf(stderr,
+                 "FAIL[scoring-bits]: heterogeneous scenarios ran but the "
+                 "NB cross-worker check never compared a scored request\n");
+    ok = false;
+  }
 
   std::printf(
       "\nsoak: %d scenarios x 3 runs, %llu requests offered (w=8 runs), "
@@ -697,12 +909,19 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(total_opens),
       static_cast<unsigned long long>(total_gc_runs),
       static_cast<unsigned long long>(overlap_total));
+  std::printf(
+      "heterogeneous: %d scenarios served K-means + Naive Bayes from one "
+      "registry, %llu NB completions, %llu NB cross-worker overlaps\n",
+      hetero_scenarios, static_cast<unsigned long long>(total_nb_completed),
+      static_cast<unsigned long long>(nb_overlap_total));
 
   std::string json = StrFormat(
       "{\"bench\":\"chaos_soak\",\"seed\":%llu,\"scenarios\":%d,"
       "\"events\":%d,\"requests\":%llu,\"completed\":%llu,\"shed\":%llu,"
       "\"hot_swaps\":%llu,\"rollbacks\":%llu,\"breaker_opens\":%llu,"
-      "\"gc_runs\":%llu,\"scored_overlap\":%llu,\"invariants\":%s}",
+      "\"gc_runs\":%llu,\"scored_overlap\":%llu,"
+      "\"hetero_scenarios\":%d,\"nb_completed\":%llu,"
+      "\"nb_scored_overlap\":%llu,\"invariants\":%s}",
       static_cast<unsigned long long>(chaos_seed), scenarios, events,
       static_cast<unsigned long long>(total_requests),
       static_cast<unsigned long long>(total_completed),
@@ -712,6 +931,8 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(total_opens),
       static_cast<unsigned long long>(total_gc_runs),
       static_cast<unsigned long long>(overlap_total),
+      hetero_scenarios, static_cast<unsigned long long>(total_nb_completed),
+      static_cast<unsigned long long>(nb_overlap_total),
       ok ? "\"held\"" : "\"VIOLATED\"");
   std::printf("%s\n", json.c_str());
 

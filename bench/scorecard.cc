@@ -22,6 +22,8 @@
 #include "io/packed_corpus.h"
 #include "ops/dense_kmeans.h"
 #include "ops/kmeans.h"
+#include "ops/knn.h"
+#include "ops/naive_bayes.h"
 #include "ops/tfidf.h"
 #include "ops/word_count.h"
 #include "parallel/executor.h"
@@ -30,6 +32,8 @@
 #include "serve/model_registry.h"
 #include "serve/registry_gc.h"
 #include "serve/server.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
 
 namespace hpa::bench {
 namespace {
@@ -978,6 +982,150 @@ int Run(int argc, char** argv) {
                           static_cast<unsigned long long>(
                               one_p->distance_kernels_evaluated))
               : "error");
+  }
+
+  // --- PR 8: classifier family over the shared sparse core ----------------
+  std::printf("\nClassifier family (Naive Bayes + k-NN):\n");
+  {
+    // Labeled twin of the Mix corpus: three planted marker classes in the
+    // v3 label column.
+    const std::string labeled_rel = "sc-labeled.pack";
+    bool setup_ok = false;
+    std::vector<std::string> labels;
+    StatusOr<ops::TfidfResult> ltfidf = Status::Internal("unset");
+    {
+      parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+      env->SetExecutor(&exec);
+      auto corpus = text::ReadCorpusPacked(env->corpus_disk(), *mix_rel);
+      if (corpus.ok()) {
+        text::AssignSyntheticLabels(&*corpus, 3, /*seed=*/29);
+        if (text::WriteCorpusPacked(*corpus, env->corpus_disk(), labeled_rel)
+                .ok()) {
+          auto reader =
+              io::PackedCorpusReader::Open(env->corpus_disk(), labeled_rel);
+          if (reader.ok()) {
+            ops::ExecContext ctx;
+            ctx.executor = &exec;
+            ctx.corpus_disk = env->corpus_disk();
+            ltfidf = ops::TfidfInMemory(ctx, *reader);
+            if (ltfidf.ok()) {
+              for (size_t i = 0; i < reader->size(); ++i) {
+                labels.push_back(reader->label(i));
+              }
+              setup_ok = true;
+            }
+          }
+        }
+      }
+      env->SetExecutor(nullptr);
+    }
+    if (!setup_ok) {
+      Check(false, "classifier fixture (labeled Mix twin) built", "error");
+    } else {
+      auto train_nb = [&](int workers) -> StatusOr<ops::NaiveBayesModel> {
+        parallel::SimulatedExecutor exec(workers,
+                                         parallel::MachineModel::Default());
+        ops::ExecContext ctx;
+        ctx.executor = &exec;
+        return ops::TrainNaiveBayes(ctx, ltfidf->matrix, labels);
+      };
+      auto nb1 = train_nb(1);
+      auto nb8 = train_nb(8);
+
+      // Claim: NB training and prediction are schedule-invariant — the
+      // merge discipline makes w=1 and w=8 produce the same bits.
+      std::vector<uint32_t> pred1, pred8;
+      if (nb1.ok() && nb8.ok()) {
+        for (int workers : {1, 8}) {
+          parallel::SimulatedExecutor exec(workers,
+                                           parallel::MachineModel::Default());
+          ops::ExecContext ctx;
+          ctx.executor = &exec;
+          (workers == 1 ? pred1 : pred8) =
+              ops::PredictNaiveBayes(ctx, *nb8, ltfidf->matrix);
+        }
+      }
+      Check(nb1.ok() && nb8.ok() && *nb1 == *nb8 && !pred1.empty() &&
+                pred1 == pred8,
+            "Naive Bayes bits invariant to worker count",
+            nb1.ok() && nb8.ok()
+                ? StrFormat("%llu docs trained, %zu classes, %zu predictions",
+                            static_cast<unsigned long long>(
+                                nb8->documents_trained),
+                            nb8->num_classes(), pred8.size())
+                : (nb1.ok() ? nb8.status() : nb1.status()).ToString());
+
+      // Claim: the planted class structure is learnable — training
+      // accuracy on the marker classes is near-perfect.
+      if (nb8.ok() && !pred8.empty()) {
+        uint64_t labeled = 0, correct = 0;
+        for (size_t i = 0; i < pred8.size(); ++i) {
+          if (labels[i].empty()) continue;
+          ++labeled;
+          if (pred8[i] < nb8->num_classes() &&
+              nb8->labels[pred8[i]] == labels[i]) {
+            ++correct;
+          }
+        }
+        double acc = labeled > 0
+                         ? static_cast<double>(correct) /
+                               static_cast<double>(labeled)
+                         : 0.0;
+        Check(labeled > 0 && acc > 0.9,
+              "NB recovers the planted classes (accuracy > 0.9)",
+              StrFormat("%llu/%llu correct (%.1f%%)",
+                        static_cast<unsigned long long>(correct),
+                        static_cast<unsigned long long>(labeled),
+                        100.0 * acc));
+      } else {
+        Check(false, "NB recovers the planted classes (accuracy > 0.9)",
+              "no model");
+      }
+
+      // Claim: k-NN prediction (bounded worst-at-top heap, document-id
+      // tie-breaks) is invariant to worker count.
+      ops::KnnOptions knn_opts;
+      knn_opts.k = 5;
+      StatusOr<ops::KnnModel> knn = Status::Internal("unset");
+      std::vector<uint32_t> kpred1, kpred8;
+      {
+        for (int workers : {1, 8}) {
+          parallel::SimulatedExecutor exec(workers,
+                                           parallel::MachineModel::Default());
+          ops::ExecContext ctx;
+          ctx.executor = &exec;
+          if (workers == 1) {
+            knn = ops::TrainKnn(ctx, ltfidf->matrix, labels, knn_opts);
+            if (!knn.ok()) break;
+          }
+          (workers == 1 ? kpred1 : kpred8) =
+              ops::PredictKnn(ctx, *knn, ltfidf->matrix);
+        }
+      }
+      Check(knn.ok() && !kpred1.empty() && kpred1 == kpred8,
+            "k-NN (k=5) bits invariant to worker count",
+            knn.ok() ? StrFormat("%zu training rows, %zu predictions",
+                                 knn->train.num_rows(), kpred8.size())
+                     : knn.status().ToString());
+
+      // Claim: both model artifacts round-trip bit-exactly through their
+      // text serializations (the checkpoint/registry contract).
+      bool nb_roundtrip = false, knn_roundtrip = false;
+      if (nb8.ok()) {
+        auto parsed = ops::ParseNaiveBayesModel(
+            ops::SerializeNaiveBayesModel(*nb8), "scorecard");
+        nb_roundtrip = parsed.ok() && *parsed == *nb8;
+      }
+      if (knn.ok()) {
+        auto parsed =
+            ops::ParseKnnModel(ops::SerializeKnnModel(*knn), "scorecard");
+        knn_roundtrip = parsed.ok() && *parsed == *knn;
+      }
+      Check(nb_roundtrip && knn_roundtrip,
+            "classifier artifacts round-trip bit-exactly",
+            StrFormat("nb=%s knn=%s", nb_roundtrip ? "ok" : "DIFFERS",
+                      knn_roundtrip ? "ok" : "DIFFERS"));
+    }
   }
 
   std::printf("\n%d/%d claims reproduced at --scale=%.3g\n",

@@ -266,7 +266,8 @@ CheckpointLoadResult LoadNodeCheckpoint(io::SimDisk* disk,
     return reject(StrFormat("manifest names node %d", manifest->node_id));
   }
   if (manifest->dataset_kind != "arff-ref" &&
-      manifest->dataset_kind != "csv-ref") {
+      manifest->dataset_kind != "csv-ref" &&
+      manifest->dataset_kind != "model-ref") {
     return reject("kind '" + manifest->dataset_kind +
                   "' is not a rehydratable file reference");
   }
@@ -307,6 +308,9 @@ StatusOr<Dataset> RehydrateDataset(const CheckpointManifest& manifest) {
   }
   if (manifest.dataset_kind == "csv-ref") {
     return Dataset(CsvRef{manifest.artifact_path});
+  }
+  if (manifest.dataset_kind == "model-ref") {
+    return Dataset(ModelRef{manifest.artifact_path});
   }
   return Status::Corruption("checkpoint manifest: kind '" +
                             manifest.dataset_kind +

@@ -1,0 +1,368 @@
+#include "core/classifier_ops.h"
+
+#include <utility>
+#include <variant>
+
+#include "common/string_util.h"
+#include "io/csv.h"
+#include "io/packed_corpus.h"
+#include "io/sharded_arff.h"
+#include "ops/tfidf.h"
+
+namespace hpa::core {
+
+namespace {
+
+Status WrongInput(std::string_view op, const Dataset& got,
+                  std::string_view expected) {
+  return Status::InvalidArgument(std::string(op) + ": expected " +
+                                 std::string(expected) + " input, got " +
+                                 std::string(DatasetKindName(got)));
+}
+
+/// Feature-input dispatch shared by the trainers and the predictor —
+/// the same three shapes KMeansOperator accepts. On ArffRef input the
+/// parse is timed under "<op>-input"; sharded artifacts use the parallel
+/// reader and merge their quarantine into ctx.
+Status ResolveFeatures(ops::ExecContext& ctx, std::string_view op,
+                       const Dataset& input,
+                       const containers::SparseMatrix** matrix,
+                       containers::SparseMatrix* storage,
+                       std::vector<std::string>* doc_names) {
+  if (const auto* tfidf = std::get_if<ops::TfidfResult>(&input)) {
+    *matrix = &tfidf->matrix;
+    if (doc_names != nullptr) *doc_names = tfidf->doc_names;
+    return Status::OK();
+  }
+  if (const auto* m = std::get_if<containers::SparseMatrix>(&input)) {
+    *matrix = m;
+    return Status::OK();
+  }
+  if (const auto* arff = std::get_if<ArffRef>(&input)) {
+    if (ctx.scratch_disk == nullptr) {
+      return Status::FailedPrecondition("ARFF input requires a scratch disk");
+    }
+    if (ctx.scratch_disk->Exists(arff->path + ".manifest")) {
+      io::ArffShardedResult sharded;
+      Status read;
+      ctx.TimePhase(std::string(op) + "-input", [&] {
+        auto r = io::ReadShardedArff(ctx.scratch_disk, ctx.executor,
+                                     arff->path, ctx.fault_policy);
+        if (r.ok()) {
+          sharded = std::move(r).value();
+        } else {
+          read = r.status();
+        }
+      });
+      HPA_RETURN_IF_ERROR(read);
+      if (ctx.quarantine != nullptr) {
+        ctx.quarantine->MergeFrom(std::move(sharded.quarantine));
+      }
+      *storage = std::move(sharded.data);
+    } else {
+      HPA_ASSIGN_OR_RETURN(*storage, ops::ReadTfidfArff(ctx, arff->path));
+    }
+    *matrix = storage;
+    return Status::OK();
+  }
+  return WrongInput(op, input, "tfidf/sparse-matrix/arff-ref");
+}
+
+/// Reads the per-document label column off the packed corpus index (body
+/// bytes are never touched). Row i of the feature matrix is document i —
+/// the invariant every feature pipeline preserves — so a count mismatch
+/// means the features came from a different corpus.
+StatusOr<std::vector<std::string>> ReadRowLabels(ops::ExecContext& ctx,
+                                                 std::string_view op,
+                                                 const CorpusRef& corpus_ref,
+                                                 size_t expected_rows) {
+  if (ctx.corpus_disk == nullptr) {
+    return Status::FailedPrecondition(std::string(op) +
+                                      " requires a corpus disk for labels");
+  }
+  HPA_ASSIGN_OR_RETURN(
+      auto reader,
+      io::PackedCorpusReader::Open(ctx.corpus_disk, corpus_ref.path));
+  if (reader.size() != expected_rows) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: corpus '%s' has %zu documents for %zu feature rows",
+        std::string(op).c_str(), corpus_ref.path.c_str(), reader.size(),
+        expected_rows));
+  }
+  std::vector<std::string> labels(reader.size());
+  for (size_t i = 0; i < reader.size(); ++i) labels[i] = reader.label(i);
+  return labels;
+}
+
+/// Serializes a trained model to the scratch disk under the "output"
+/// phase (serial, like every materialized artifact write).
+Status WriteModelArtifact(ops::ExecContext& ctx, const std::string& path,
+                          std::string serialized) {
+  if (ctx.scratch_disk == nullptr) {
+    return Status::FailedPrecondition(
+        "materialized trainer output requires a scratch disk");
+  }
+  Status status;
+  ctx.TimePhase("output", [&] {
+    ctx.executor->RunSerial(parallel::WorkHint{0, "output"}, [&] {
+      status = ctx.scratch_disk->WriteFile(path, serialized);
+    });
+  });
+  return status;
+}
+
+}  // namespace
+
+StatusOr<Dataset> NaiveBayesTrainOperator::Run(
+    ops::ExecContext& ctx, const std::vector<const Dataset*>& inputs,
+    Boundary output_boundary) {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument(
+        "nb-train takes exactly two inputs (features, labeled corpus)");
+  }
+  const containers::SparseMatrix* matrix = nullptr;
+  containers::SparseMatrix loaded;
+  HPA_RETURN_IF_ERROR(ResolveFeatures(ctx, "nb-train", *inputs[0], &matrix,
+                                      &loaded, nullptr));
+  const auto* corpus_ref = std::get_if<CorpusRef>(inputs[1]);
+  if (corpus_ref == nullptr) {
+    return WrongInput("nb-train", *inputs[1], "corpus-ref");
+  }
+  HPA_ASSIGN_OR_RETURN(
+      auto labels,
+      ReadRowLabels(ctx, "nb-train", *corpus_ref, matrix->num_rows()));
+  HPA_ASSIGN_OR_RETURN(auto model,
+                       ops::TrainNaiveBayes(ctx, *matrix, labels, options_));
+  if (output_boundary == Boundary::kMaterialized) {
+    HPA_RETURN_IF_ERROR(WriteModelArtifact(
+        ctx, kModelPath, ops::SerializeNaiveBayesModel(model)));
+    return Dataset(ModelRef{kModelPath});
+  }
+  return Dataset(std::move(model));
+}
+
+StatusOr<Dataset> KnnTrainOperator::Run(
+    ops::ExecContext& ctx, const std::vector<const Dataset*>& inputs,
+    Boundary output_boundary) {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument(
+        "knn-train takes exactly two inputs (features, labeled corpus)");
+  }
+  const containers::SparseMatrix* matrix = nullptr;
+  containers::SparseMatrix loaded;
+  HPA_RETURN_IF_ERROR(ResolveFeatures(ctx, "knn-train", *inputs[0], &matrix,
+                                      &loaded, nullptr));
+  const auto* corpus_ref = std::get_if<CorpusRef>(inputs[1]);
+  if (corpus_ref == nullptr) {
+    return WrongInput("knn-train", *inputs[1], "corpus-ref");
+  }
+  HPA_ASSIGN_OR_RETURN(
+      auto labels,
+      ReadRowLabels(ctx, "knn-train", *corpus_ref, matrix->num_rows()));
+  HPA_ASSIGN_OR_RETURN(auto model,
+                       ops::TrainKnn(ctx, *matrix, labels, options_));
+  if (output_boundary == Boundary::kMaterialized) {
+    HPA_RETURN_IF_ERROR(
+        WriteModelArtifact(ctx, kModelPath, ops::SerializeKnnModel(model)));
+    return Dataset(ModelRef{kModelPath});
+  }
+  return Dataset(std::move(model));
+}
+
+StatusOr<Dataset> ClassifierPredictOperator::Run(
+    ops::ExecContext& ctx, const std::vector<const Dataset*>& inputs,
+    Boundary output_boundary) {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument(
+        "classify takes exactly two inputs (model, features)");
+  }
+
+  // Model input: in-memory, or a ModelRef whose artifact header line
+  // ("hpa-nb-model v1" / "hpa-knn-model v1") selects the kind.
+  const ops::NaiveBayesModel* nb = std::get_if<ops::NaiveBayesModel>(inputs[0]);
+  const ops::KnnModel* knn = std::get_if<ops::KnnModel>(inputs[0]);
+  ops::NaiveBayesModel nb_loaded;
+  ops::KnnModel knn_loaded;
+  if (const auto* ref = std::get_if<ModelRef>(inputs[0])) {
+    if (ctx.scratch_disk == nullptr) {
+      return Status::FailedPrecondition(
+          "model-ref input requires a scratch disk");
+    }
+    Status status;
+    ctx.TimePhase("classify-input", [&] {
+      ctx.executor->RunSerial(parallel::WorkHint{0, "classify-input"}, [&] {
+        auto text = ctx.scratch_disk->ReadFile(ref->path);
+        if (!text.ok()) {
+          status = text.status();
+          return;
+        }
+        if (StartsWith(*text, "hpa-nb-model ")) {
+          auto parsed = ops::ParseNaiveBayesModel(*text, ref->path);
+          if (parsed.ok()) {
+            nb_loaded = std::move(parsed).value();
+            nb = &nb_loaded;
+          } else {
+            status = parsed.status();
+          }
+        } else if (StartsWith(*text, "hpa-knn-model ")) {
+          auto parsed = ops::ParseKnnModel(*text, ref->path);
+          if (parsed.ok()) {
+            knn_loaded = std::move(parsed).value();
+            knn = &knn_loaded;
+          } else {
+            status = parsed.status();
+          }
+        } else {
+          status = Status::Corruption("unrecognized model artifact '" +
+                                      ref->path + "'");
+        }
+      });
+    });
+    HPA_RETURN_IF_ERROR(status);
+  }
+  if (nb == nullptr && knn == nullptr) {
+    return WrongInput("classify", *inputs[0], "nb-model/knn-model/model-ref");
+  }
+
+  const containers::SparseMatrix* matrix = nullptr;
+  containers::SparseMatrix loaded;
+  std::vector<std::string> doc_names;
+  HPA_RETURN_IF_ERROR(ResolveFeatures(ctx, "classify", *inputs[1], &matrix,
+                                      &loaded, &doc_names));
+
+  Predictions predictions;
+  predictions.doc_names = std::move(doc_names);
+  if (nb != nullptr) {
+    predictions.class_labels = nb->labels;
+    predictions.predicted = ops::PredictNaiveBayes(ctx, *nb, *matrix);
+  } else {
+    predictions.class_labels = knn->labels;
+    predictions.predicted = ops::PredictKnn(ctx, *knn, *matrix);
+  }
+
+  if (output_boundary == Boundary::kMaterialized) {
+    if (ctx.scratch_disk == nullptr) {
+      return Status::FailedPrecondition(
+          "materialized classify requires a scratch disk");
+    }
+    Status status;
+    ctx.TimePhase("output", [&] {
+      ctx.executor->RunSerial(parallel::WorkHint{0, "output"}, [&] {
+        std::string csv = "document,predicted_label\n";
+        for (size_t i = 0; i < predictions.predicted.size(); ++i) {
+          if (i < predictions.doc_names.size()) {
+            csv += io::CsvEscape(predictions.doc_names[i]);
+          } else {
+            AppendUint(csv, i);
+          }
+          csv += ',';
+          csv += io::CsvEscape(predictions.PredictedLabel(i));
+          csv += '\n';
+        }
+        status = ctx.scratch_disk->WriteFile(kCsvPath, csv);
+      });
+    });
+    HPA_RETURN_IF_ERROR(status);
+    return Dataset(CsvRef{kCsvPath});
+  }
+  return Dataset(std::move(predictions));
+}
+
+StatusOr<Dataset> EvaluateOperator::Run(
+    ops::ExecContext& ctx, const std::vector<const Dataset*>& inputs,
+    Boundary output_boundary) {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument(
+        "evaluate takes exactly two inputs (predictions, labeled corpus)");
+  }
+
+  // Predicted label per row, from memory or a materialized predictions CSV
+  // (the rehydrated-checkpoint path). Row order is the document order.
+  std::vector<std::string> predicted;
+  if (const auto* preds = std::get_if<Predictions>(inputs[0])) {
+    predicted.reserve(preds->predicted.size());
+    for (size_t i = 0; i < preds->predicted.size(); ++i) {
+      predicted.push_back(preds->PredictedLabel(i));
+    }
+  } else if (const auto* csv_ref = std::get_if<CsvRef>(inputs[0])) {
+    if (ctx.scratch_disk == nullptr) {
+      return Status::FailedPrecondition(
+          "csv-ref input requires a scratch disk");
+    }
+    Status status;
+    ctx.TimePhase("evaluate-input", [&] {
+      ctx.executor->RunSerial(parallel::WorkHint{0, "evaluate-input"}, [&] {
+        auto table = io::ReadCsv(ctx.scratch_disk, csv_ref->path);
+        if (!table.ok()) {
+          status = table.status();
+          return;
+        }
+        int col = table->ColumnIndex("predicted_label");
+        if (col < 0) {
+          status = Status::Corruption("predictions CSV '" + csv_ref->path +
+                                      "' has no predicted_label column");
+          return;
+        }
+        for (size_t r = 1; r < table->num_rows(); ++r) {
+          predicted.push_back(table->rows[r][static_cast<size_t>(col)]);
+        }
+      });
+    });
+    HPA_RETURN_IF_ERROR(status);
+  } else {
+    return WrongInput("evaluate", *inputs[0], "predictions/csv-ref");
+  }
+
+  const auto* corpus_ref = std::get_if<CorpusRef>(inputs[1]);
+  if (corpus_ref == nullptr) {
+    return WrongInput("evaluate", *inputs[1], "corpus-ref");
+  }
+  HPA_ASSIGN_OR_RETURN(
+      auto truth,
+      ReadRowLabels(ctx, "evaluate", *corpus_ref, predicted.size()));
+
+  Evaluation eval;
+  ctx.TimePhase("evaluate", [&] {
+    ctx.executor->RunSerial(parallel::WorkHint{0, "evaluate"}, [&] {
+      for (size_t i = 0; i < predicted.size(); ++i) {
+        if (truth[i].empty()) {
+          ++eval.unlabeled;
+          continue;
+        }
+        ++eval.documents;
+        if (predicted[i] == truth[i]) ++eval.correct;
+      }
+      eval.accuracy = eval.documents == 0
+                          ? 0.0
+                          : static_cast<double>(eval.correct) /
+                                static_cast<double>(eval.documents);
+    });
+  });
+
+  if (output_boundary == Boundary::kMaterialized) {
+    if (ctx.scratch_disk == nullptr) {
+      return Status::FailedPrecondition(
+          "materialized evaluate requires a scratch disk");
+    }
+    Status status;
+    ctx.TimePhase("output", [&] {
+      ctx.executor->RunSerial(parallel::WorkHint{0, "output"}, [&] {
+        std::string csv = "metric,value\ndocuments,";
+        AppendUint(csv, eval.documents);
+        csv += "\ncorrect,";
+        AppendUint(csv, eval.correct);
+        csv += "\nunlabeled,";
+        AppendUint(csv, eval.unlabeled);
+        csv += "\naccuracy,";
+        AppendDouble(csv, eval.accuracy);
+        csv += '\n';
+        status = ctx.scratch_disk->WriteFile(kCsvPath, csv);
+      });
+    });
+    HPA_RETURN_IF_ERROR(status);
+    return Dataset(CsvRef{kCsvPath});
+  }
+  return Dataset(eval);
+}
+
+}  // namespace hpa::core

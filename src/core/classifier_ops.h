@@ -1,0 +1,117 @@
+#ifndef HPA_CORE_CLASSIFIER_OPS_H_
+#define HPA_CORE_CLASSIFIER_OPS_H_
+
+#include <string>
+
+#include "core/operator.h"
+#include "ops/knn.h"
+#include "ops/naive_bayes.h"
+
+/// \file
+/// The supervised-classification operator family: Naive Bayes and k-NN
+/// trainers, a kind-dispatching predictor, and an accuracy evaluator.
+/// Together with TfidfOperator they form the train → predict → evaluate
+/// workflow the optimizer plans like any other: a shared TF/IDF edge can
+/// feed K-means *and* a classifier trainer, producing a branching plan
+/// whose materialization decision the checkpoint placement rule prices by
+/// consumer count.
+///
+/// All four operators follow the KMeansOperator conventions: feature
+/// inputs may arrive fused (TfidfResult / SparseMatrix) or materialized
+/// (ArffRef — sharded or single-file); ground-truth labels ride the packed
+/// corpus (v3 label column) referenced by a CorpusRef input, read from the
+/// index without touching document bodies; quarantined documents keep
+/// empty feature rows upstream and are skipped by the trainers, so
+/// fault-policy runs train on exactly the surviving documents.
+
+namespace hpa::core {
+
+/// Trains multinomial Naive Bayes (inputs: {features, CorpusRef}).
+///
+///  * fused output: in-memory NaiveBayesModel — phase "nb-train";
+///  * materialized output: also serializes the model ("hpa-nb-model v1")
+///    to the scratch disk — phase "output" — and returns a ModelRef.
+class NaiveBayesTrainOperator : public Operator {
+ public:
+  explicit NaiveBayesTrainOperator(ops::NaiveBayesOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "nb-train"; }
+  StatusOr<Dataset> Run(ops::ExecContext& ctx,
+                        const std::vector<const Dataset*>& inputs,
+                        Boundary output_boundary) override;
+
+  const ops::NaiveBayesOptions& options() const { return options_; }
+
+  static constexpr const char* kModelPath = "nb_model.txt";
+
+ private:
+  ops::NaiveBayesOptions options_;
+};
+
+/// Freezes a k-NN model (inputs: {features, CorpusRef}).
+///
+///  * fused output: in-memory KnnModel — phase "knn-train";
+///  * materialized output: also serializes the model ("hpa-knn-model v1")
+///    to the scratch disk — phase "output" — and returns a ModelRef.
+class KnnTrainOperator : public Operator {
+ public:
+  explicit KnnTrainOperator(ops::KnnOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "knn-train"; }
+  StatusOr<Dataset> Run(ops::ExecContext& ctx,
+                        const std::vector<const Dataset*>& inputs,
+                        Boundary output_boundary) override;
+
+  const ops::KnnOptions& options() const { return options_; }
+
+  static constexpr const char* kModelPath = "knn_model.txt";
+
+ private:
+  ops::KnnOptions options_;
+};
+
+/// Scores feature rows with a trained classifier (inputs: {model,
+/// features}). The model input may be an in-memory NaiveBayesModel /
+/// KnnModel or a ModelRef, whose artifact header line selects the kind —
+/// one operator serves the whole family, so a resumed run rehydrates the
+/// model checkpoint without knowing what the trainer was.
+///
+///  * fused output: in-memory Predictions — phase "nb-predict" or
+///    "knn-predict" (plus "classify-input" when the model or features
+///    arrive materialized);
+///  * materialized output: also writes "document,predicted_label" CSV —
+///    phase "output" — and returns a CsvRef.
+class ClassifierPredictOperator : public Operator {
+ public:
+  std::string_view name() const override { return "classify"; }
+  StatusOr<Dataset> Run(ops::ExecContext& ctx,
+                        const std::vector<const Dataset*>& inputs,
+                        Boundary output_boundary) override;
+
+  static constexpr const char* kCsvPath = "predictions.csv";
+};
+
+/// Scores predictions against corpus ground truth (inputs: {Predictions
+/// or CsvRef, CorpusRef}). Rows match documents by position — row i is
+/// document i, the invariant every feature pipeline preserves (quarantined
+/// documents keep empty rows). Documents without a ground-truth label are
+/// counted as `unlabeled`, not wrong.
+///
+///  * fused output: in-memory Evaluation — phase "evaluate";
+///  * materialized output: also writes "metric,value" CSV — phase
+///    "output" — and returns a CsvRef.
+class EvaluateOperator : public Operator {
+ public:
+  std::string_view name() const override { return "evaluate"; }
+  StatusOr<Dataset> Run(ops::ExecContext& ctx,
+                        const std::vector<const Dataset*>& inputs,
+                        Boundary output_boundary) override;
+
+  static constexpr const char* kCsvPath = "evaluation.csv";
+};
+
+}  // namespace hpa::core
+
+#endif  // HPA_CORE_CLASSIFIER_OPS_H_

@@ -156,6 +156,39 @@ double CostModel::EstimateKMeansSeconds(int k, int iterations, int workers,
   return seconds;
 }
 
+double CostModel::EstimateNbTrainSeconds(int num_classes, int workers) const {
+  if (workers < 1) workers = 1;
+  if (num_classes < 1) num_classes = 1;
+  const double doc_entries =
+      static_cast<double>(stats_.documents) * stats_.avg_distinct_per_doc;
+  const double vocab = static_cast<double>(stats_.distinct_words);
+  // Quantize + int64 add per stored nonzero; cheaper than the K-means
+  // kernel (no merge-join against a second vector).
+  constexpr double kAccumNsPerNnz = 3.0;
+  // Serial tree-merge fold plus the log()-heavy finalize, per
+  // (class, term) cell.
+  constexpr double kMergeNsPerCell = 6.0;
+  constexpr double kFinalizeNsPerCell = 12.0;
+  return doc_entries * kAccumNsPerNnz * 1e-9 / static_cast<double>(workers) +
+         static_cast<double>(num_classes) * vocab *
+             (kMergeNsPerCell + kFinalizeNsPerCell) * 1e-9;
+}
+
+double CostModel::EstimateKnnPredictSeconds(double train_fraction,
+                                            int workers) const {
+  if (workers < 1) workers = 1;
+  train_fraction = std::clamp(train_fraction, 0.0, 1.0);
+  const double docs = static_cast<double>(stats_.documents);
+  const double nnz = stats_.avg_distinct_per_doc;
+  // Same sparse merge-join kernel K-means assignment uses, but the "k" is
+  // the training-row count: quadratic in documents, embarrassingly
+  // parallel over queries, with no serial merge term at all — the exact
+  // opposite cost shape of NB training.
+  constexpr double kKernelNsPerNnz = 4.0;
+  return docs * (docs * train_fraction) * nnz * kKernelNsPerNnz * 1e-9 /
+         static_cast<double>(workers);
+}
+
 uint64_t CostModel::EstimateArtifactBytes() const {
   // Sparse ARFF: one "{id value," cell (~14 bytes) per stored score plus
   // one "@attribute <word> numeric" header line (~24 bytes) per term.

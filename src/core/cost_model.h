@@ -102,6 +102,21 @@ class CostModel {
   double EstimateKMeansSeconds(int k, int iterations, int workers,
                                bool prune) const;
 
+  /// Predicted seconds for a Naive Bayes training pass over this
+  /// workload: one fixed-point accumulate per stored nonzero (parallel
+  /// over documents) plus the serial accumulator-tree merge and
+  /// log-likelihood finalize terms (num_classes × vocabulary cells each —
+  /// the same Amdahl shape as the K-means merge). Used by the optimizer to
+  /// price classifier-trainer ancestors in the checkpoint placement rule.
+  double EstimateNbTrainSeconds(int num_classes, int workers) const;
+
+  /// Predicted seconds for a k-NN prediction pass: every query row pays
+  /// one sparse distance kernel (~avg_distinct_per_doc nonzeros) per
+  /// training row, parallel over queries. `train_fraction` is the share
+  /// of documents frozen as training rows (1.0 = self-classification of
+  /// the whole corpus, the ablation's shape).
+  double EstimateKnnPredictSeconds(double train_fraction, int workers) const;
+
   /// Seconds to *commit* a checkpoint for an artifact of `bytes`: the
   /// CRC-32 read-back of the artifact plus the manifest write, priced at
   /// the scratch device's single-channel bandwidth. This is the overhead a

@@ -7,6 +7,8 @@
 
 #include "containers/sparse_matrix.h"
 #include "ops/kmeans.h"
+#include "ops/knn.h"
+#include "ops/naive_bayes.h"
 #include "ops/tfidf.h"
 
 /// \file
@@ -44,11 +46,48 @@ struct TermRanking {
   std::vector<std::pair<std::string, double>> terms;
 };
 
+/// Reference to a serialized classifier model on the scratch disk (a
+/// materialized trainer output). The model kind is self-describing — the
+/// artifact's header line says whether it is "hpa-nb-model v1" or
+/// "hpa-knn-model v1" — so one reference type covers the family.
+struct ModelRef {
+  std::string path;
+};
+
+/// In-memory classifier predictions with document names attached
+/// (ClassifierPredictOperator output). `predicted[i]` is the class id of
+/// row i under `class_labels`; `doc_names` may be empty when the feature
+/// input carried no names (ARFF), in which case row order is the identity.
+struct Predictions {
+  std::vector<std::string> doc_names;
+  std::vector<uint32_t> predicted;
+  /// Class label strings, index = class id (from the model).
+  std::vector<std::string> class_labels;
+
+  const std::string& PredictedLabel(size_t i) const {
+    return class_labels[predicted[i]];
+  }
+};
+
+/// Classification quality summary (EvaluateOperator output). Rows are
+/// matched to ground-truth labels by row order (row i of the feature
+/// matrix is document i of the corpus — quarantined documents keep empty
+/// rows, so order is always preserved).
+struct Evaluation {
+  uint64_t documents = 0;       ///< rows scored against a non-empty label
+  uint64_t correct = 0;         ///< predicted label == true label
+  uint64_t unlabeled = 0;       ///< rows with no ground-truth label
+  double accuracy = 0.0;        ///< correct / documents (0 when empty)
+};
+
 /// Any dataset a workflow edge can carry. `monostate` = not produced yet.
+/// New kinds are appended — variant indices are load-bearing (plan dumps,
+/// DatasetKindName) and must stay stable across releases.
 using Dataset =
     std::variant<std::monostate, CorpusRef, ops::TfidfResult,
                  containers::SparseMatrix, ArffRef, Clustering, CsvRef,
-                 TermRanking>;
+                 TermRanking, ops::NaiveBayesModel, ops::KnnModel, ModelRef,
+                 Predictions, Evaluation>;
 
 /// Human-readable dataset kind ("corpus-ref", "tfidf", ...), for errors
 /// and plan dumps.

@@ -3,17 +3,49 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/classifier_ops.h"
 #include "core/standard_ops.h"
 
 namespace hpa::core {
 
 namespace {
 
+/// Seconds one operator contributes to a replay: operators with dedicated
+/// cost-model estimates (K-means, the classifier family) are priced by
+/// them; everything else falls back to the fused phase estimate.
+double OperatorReplaySeconds(const Operator* op, const CostModel& cost_model,
+                             const PhaseCostEstimate& est, int workers) {
+  if (const auto* kmeans = dynamic_cast<const KMeansOperator*>(op)) {
+    const ops::KMeansOptions& kopts = kmeans->options();
+    return cost_model.EstimateKMeansSeconds(kopts.k, kopts.max_iterations,
+                                            workers, kopts.prune);
+  }
+  if (dynamic_cast<const NaiveBayesTrainOperator*>(op) != nullptr) {
+    // Class count is unknown at plan time; a handful is the typical shape
+    // and the merge term is what dominates anyway.
+    return cost_model.EstimateNbTrainSeconds(/*num_classes=*/8, workers);
+  }
+  if (dynamic_cast<const KnnTrainOperator*>(op) != nullptr) {
+    // "Training" is one serial copy pass over the matrix (~2 ns per
+    // stored nonzero) — far below the generic fused estimate.
+    return cost_model.stats().documents *
+           cost_model.stats().avg_distinct_per_doc * 2.0e-9;
+  }
+  if (dynamic_cast<const ClassifierPredictOperator*>(op) != nullptr) {
+    // Worst member of the family at this edge: k-NN's quadratic scan.
+    // (NB prediction is one kernel per document — noise next to this.)
+    return cost_model.EstimateKnnPredictSeconds(/*train_fraction=*/1.0,
+                                                workers);
+  }
+  return est.TotalFused();
+}
+
 /// Replay seconds a resume from a checkpoint at `id` would skip: the
 /// ancestor closure of `id` (including itself), with each generic operator
-/// priced at the fused phase estimate and K-means operators priced by the
-/// dedicated estimate — pruning-aware, so plan costs stay honest now that
-/// the pruned assignment step does a decaying fraction of the kernel work.
+/// priced at the fused phase estimate and K-means / classifier operators
+/// priced by their dedicated estimates — pruning-aware, so plan costs stay
+/// honest now that the pruned assignment step does a decaying fraction of
+/// the kernel work.
 double AncestorReplaySeconds(const Workflow& workflow, int id,
                              const CostModel& cost_model,
                              const PhaseCostEstimate& est, int workers) {
@@ -26,15 +58,8 @@ double AncestorReplaySeconds(const Workflow& workflow, int id,
     if (seen[static_cast<size_t>(n)]) continue;
     seen[static_cast<size_t>(n)] = true;
     if (workflow.IsSource(n)) continue;
-    const auto* kmeans =
-        dynamic_cast<const KMeansOperator*>(workflow.node(n).op.get());
-    if (kmeans != nullptr) {
-      const ops::KMeansOptions& kopts = kmeans->options();
-      seconds += cost_model.EstimateKMeansSeconds(
-          kopts.k, kopts.max_iterations, workers, kopts.prune);
-    } else {
-      seconds += est.TotalFused();
-    }
+    seconds += OperatorReplaySeconds(workflow.node(n).op.get(), cost_model,
+                                     est, workers);
     for (int input : workflow.node(n).inputs) stack.push_back(input);
   }
   return seconds;
@@ -71,6 +96,19 @@ ExecutionPlan OptimizeWorkflow(const Workflow& workflow,
                                    options.per_doc_dict_presize);
 
   std::vector<int> sinks = workflow.SinkIds();
+
+  // Consumer counts, for the branching-aware checkpoint rule below: a
+  // shared edge (TF/IDF feeding K-means *and* a classifier trainer) is
+  // replayed once per downstream recovery path, so its expected replay
+  // savings scale with its fan-out.
+  std::vector<int> consumers(workflow.size(), 0);
+  for (size_t i = 0; i < workflow.size(); ++i) {
+    if (workflow.IsSource(static_cast<int>(i))) continue;
+    for (int input : workflow.node(static_cast<int>(i)).inputs) {
+      ++consumers[static_cast<size_t>(input)];
+    }
+  }
+
   for (size_t i = 0; i < workflow.size(); ++i) {
     NodePlan& np = plan.nodes[i];
     np.dict_backend = backend;
@@ -95,7 +133,9 @@ ExecutionPlan OptimizeWorkflow(const Workflow& workflow,
           options.scratch_channels);
       double saved = options.failure_probability *
                      AncestorReplaySeconds(workflow, static_cast<int>(i),
-                                           cost_model, est, plan.workers);
+                                           cost_model, est, plan.workers) *
+                     static_cast<double>(
+                         std::max(1, consumers[i]));
       double overhead =
           std::max(0.0, est.output_seconds - est.transform_seconds) +
           cost_model.CheckpointCommitSeconds(

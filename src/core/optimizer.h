@@ -49,8 +49,10 @@ struct OptimizerOptions {
   /// observed fault rates). > 0 enables the checkpoint placement rule: an
   /// interior edge is materialized — and therefore checkpointed by the
   /// executor — when the expected replay time saved on a restart
-  /// (failure_probability x cost of the edge's ancestor operators) exceeds
-  /// the materialization + checkpoint-commit overhead
+  /// (failure_probability x cost of the edge's ancestor operators,
+  /// weighted by the edge's consumer count: a branching edge shared by
+  /// K-means and a classifier trainer is replayed once per recovery path)
+  /// exceeds the materialization + checkpoint-commit overhead
   /// (CostModel::CheckpointCommitSeconds). 0 leaves rule 3 untouched.
   double failure_probability = 0.0;
 };

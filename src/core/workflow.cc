@@ -25,6 +25,16 @@ std::string_view DatasetKindName(const Dataset& dataset) {
       return "csv-ref";
     case 7:
       return "term-ranking";
+    case 8:
+      return "nb-model";
+    case 9:
+      return "knn-model";
+    case 10:
+      return "model-ref";
+    case 11:
+      return "predictions";
+    case 12:
+      return "evaluation";
   }
   return "unknown";
 }
@@ -38,6 +48,9 @@ std::string_view DatasetRefPath(const Dataset& dataset) {
   }
   if (const auto* csv = std::get_if<CsvRef>(&dataset)) {
     return csv->path;
+  }
+  if (const auto* model = std::get_if<ModelRef>(&dataset)) {
+    return model->path;
   }
   return {};
 }

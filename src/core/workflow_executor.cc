@@ -203,7 +203,7 @@ StatusOr<WorkflowRunResult> RunWorkflow(const Workflow& workflow,
       // no artifact to validate or rehydrate from, so it is re-derived on
       // resume like any other in-memory state.
       std::string_view kind = DatasetKindName(datasets[i]);
-      if (kind == "arff-ref" || kind == "csv-ref") {
+      if (kind == "arff-ref" || kind == "csv-ref" || kind == "model-ref") {
         CheckpointManifest manifest;
         manifest.node_id = id;
         manifest.op_name = std::string(workflow.label(id));

@@ -8,9 +8,11 @@ namespace hpa::io {
 
 namespace {
 
-// v2 adds a u32 CRC-32 per index entry; v1 files stay readable.
+// v2 adds a u32 CRC-32 per index entry; v3 adds a label column for
+// supervised operators. v1/v2 files stay readable.
 constexpr char kMagicV1[8] = {'H', 'P', 'A', 'C', 'O', 'R', 'P', '1'};
 constexpr char kMagicV2[8] = {'H', 'P', 'A', 'C', 'O', 'R', 'P', '2'};
+constexpr char kMagicV3[8] = {'H', 'P', 'A', 'C', 'O', 'R', 'P', '3'};
 constexpr size_t kFooterBytes = 8 + 8 + 8;  // index_offset, doc_count, magic
 
 void AppendU32(std::string& out, uint32_t v) {
@@ -47,14 +49,16 @@ StatusOr<PackedCorpusWriter> PackedCorpusWriter::Create(
   return PackedCorpusWriter(std::move(writer));
 }
 
-Status PackedCorpusWriter::Add(std::string_view name, std::string_view body) {
+Status PackedCorpusWriter::Add(std::string_view name, std::string_view body,
+                               std::string_view label) {
   if (finalized_) {
     return Status::FailedPrecondition("corpus already finalized");
   }
   HPA_RETURN_IF_ERROR(writer_->Append(body));
-  index_.push_back(
-      IndexEntry{std::string(name), position_, body.size(), Crc32(body)});
+  index_.push_back(IndexEntry{std::string(name), std::string(label),
+                              position_, body.size(), Crc32(body)});
   position_ += body.size();
+  if (!label.empty()) any_label_ = true;
   return Status::OK();
 }
 
@@ -68,13 +72,17 @@ Status PackedCorpusWriter::Finalize() {
   for (const IndexEntry& e : index_) {
     AppendU32(blob, static_cast<uint32_t>(e.name.size()));
     blob.append(e.name);
+    if (any_label_) {
+      AppendU32(blob, static_cast<uint32_t>(e.label.size()));
+      blob.append(e.label);
+    }
     AppendU64(blob, e.offset);
     AppendU64(blob, e.length);
     AppendU32(blob, e.crc);
   }
   AppendU64(blob, index_offset);
   AppendU64(blob, index_.size());
-  blob.append(kMagicV2, sizeof(kMagicV2));
+  blob.append(any_label_ ? kMagicV3 : kMagicV2, sizeof(kMagicV2));
   HPA_RETURN_IF_ERROR(writer_->Append(blob));
   return writer_->Close();
 }
@@ -89,7 +97,12 @@ StatusOr<PackedCorpusReader> PackedCorpusReader::Open(
       std::string footer,
       disk->ReadRange(rel_path, file_size - kFooterBytes, kFooterBytes));
   bool has_checksums;
-  if (std::memcmp(footer.data() + 16, kMagicV2, sizeof(kMagicV2)) == 0) {
+  bool has_labels = false;
+  if (std::memcmp(footer.data() + 16, kMagicV3, sizeof(kMagicV3)) == 0) {
+    has_checksums = true;
+    has_labels = true;
+  } else if (std::memcmp(footer.data() + 16, kMagicV2, sizeof(kMagicV2)) ==
+             0) {
     has_checksums = true;
   } else if (std::memcmp(footer.data() + 16, kMagicV1, sizeof(kMagicV1)) ==
              0) {
@@ -121,6 +134,15 @@ StatusOr<PackedCorpusReader> PackedCorpusReader::Open(
     Entry e;
     e.name.assign(index_blob.data() + pos, name_len);
     pos += name_len;
+    if (has_labels) {
+      uint32_t label_len = 0;
+      if (!ReadU32(index_blob, &pos, &label_len) ||
+          pos + label_len > index_blob.size()) {
+        return Status::Corruption("truncated index entry in " + rel_path);
+      }
+      e.label.assign(index_blob.data() + pos, label_len);
+      pos += label_len;
+    }
     if (!ReadU64(index_blob, &pos, &e.offset) ||
         !ReadU64(index_blob, &pos, &e.length)) {
       return Status::Corruption("truncated index entry in " + rel_path);
@@ -136,7 +158,7 @@ StatusOr<PackedCorpusReader> PackedCorpusReader::Open(
     entries.push_back(std::move(e));
   }
   return PackedCorpusReader(disk, rel_path, std::move(entries),
-                            has_checksums);
+                            has_checksums, has_labels);
 }
 
 StatusOr<std::string> PackedCorpusReader::ReadBody(size_t i) const {

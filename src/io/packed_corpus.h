@@ -27,6 +27,15 @@
 /// mismatch triggers a bounded re-read per the disk's retry policy and
 /// surfaces as kCorruption only if it persists. v1 files ("HPACORP1",
 /// no crc field) remain readable with verification disabled.
+///
+/// v3 ("HPACORP3") is the labeled-corpus variant: each index record gains
+/// a (label_len u32, label bytes) pair after the name, carrying the class
+/// label for supervised operators (Naive Bayes / k-NN training). The
+/// writer emits v3 only when at least one document has a non-empty label,
+/// so unlabeled corpora stay byte-identical to v2 and every pre-existing
+/// file remains readable. Labels live in the index, not the payload:
+/// training operators read them for free at Open() time without touching
+/// document bodies.
 
 namespace hpa::io {
 
@@ -40,8 +49,11 @@ class PackedCorpusWriter {
   PackedCorpusWriter(PackedCorpusWriter&&) = default;
   PackedCorpusWriter& operator=(PackedCorpusWriter&&) = default;
 
-  /// Appends one document.
-  Status Add(std::string_view name, std::string_view body);
+  /// Appends one document. A non-empty `label` marks the corpus as
+  /// labeled: Finalize() then writes the v3 format carrying one label per
+  /// document (empty for documents added without one).
+  Status Add(std::string_view name, std::string_view body,
+             std::string_view label = {});
 
   /// Writes the index + footer and closes the file. Must be called exactly
   /// once; Add() is invalid afterwards.
@@ -52,6 +64,7 @@ class PackedCorpusWriter {
  private:
   struct IndexEntry {
     std::string name;
+    std::string label;
     uint64_t offset;
     uint64_t length;
     uint32_t crc;
@@ -64,6 +77,7 @@ class PackedCorpusWriter {
   std::vector<IndexEntry> index_;
   uint64_t position_ = 0;
   bool finalized_ = false;
+  bool any_label_ = false;
 };
 
 /// Random-access reader over a packed corpus file.
@@ -86,6 +100,10 @@ class PackedCorpusReader {
   /// Name of document `i`.
   const std::string& name(size_t i) const { return entries_[i].name; }
 
+  /// Class label of document `i` (empty for v1/v2 files and for unlabeled
+  /// documents in a v3 file).
+  const std::string& label(size_t i) const { return entries_[i].label; }
+
   /// Body length of document `i`, without reading it.
   uint64_t body_length(size_t i) const { return entries_[i].length; }
 
@@ -96,8 +114,11 @@ class PackedCorpusReader {
   /// Safe to call concurrently from parallel-region bodies.
   StatusOr<std::string> ReadBody(size_t i) const;
 
-  /// True for v2 files carrying per-document checksums.
+  /// True for v2+ files carrying per-document checksums.
   bool has_checksums() const { return has_checksums_; }
+
+  /// True for v3 files carrying a label column.
+  bool has_labels() const { return has_labels_; }
 
   /// The disk this reader reads from (callers consult its retry policy
   /// when attributing quarantine attempt counts).
@@ -109,20 +130,24 @@ class PackedCorpusReader {
  private:
   struct Entry {
     std::string name;
+    std::string label;
     uint64_t offset;
     uint64_t length;
     uint32_t crc;
   };
 
   PackedCorpusReader(SimDisk* disk, std::string rel_path,
-                     std::vector<Entry> entries, bool has_checksums)
+                     std::vector<Entry> entries, bool has_checksums,
+                     bool has_labels)
       : disk_(disk), rel_path_(std::move(rel_path)),
-        entries_(std::move(entries)), has_checksums_(has_checksums) {}
+        entries_(std::move(entries)), has_checksums_(has_checksums),
+        has_labels_(has_labels) {}
 
   SimDisk* disk_;
   std::string rel_path_;
   std::vector<Entry> entries_;
   bool has_checksums_;
+  bool has_labels_;
 };
 
 }  // namespace hpa::io

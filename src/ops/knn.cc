@@ -1,0 +1,256 @@
+#include "ops/knn.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "parallel/parallel_ops.h"
+
+namespace hpa::ops {
+
+namespace {
+
+bool ParseHexU32(std::string_view s, uint32_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), v, /*base=*/16);
+  if (ec != std::errc() || ptr != s.data() + s.size() || v > 0xFFFFFFFFull) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+/// Heap order: the WORST candidate (larger distance, then larger row) at
+/// the top, so a better arrival replaces it in O(log k). Exact double
+/// comparisons — no epsilon — keep the selected set a pure function of
+/// the data, independent of scan chunking.
+bool WorseThan(const KnnNeighbor& a, const KnnNeighbor& b) {
+  if (a.distance != b.distance) return a.distance > b.distance;
+  return a.row > b.row;
+}
+
+/// Comparator handed to the std heap functions, which keep the
+/// comparator's MAXIMUM at the front: ordering candidates better-than is
+/// what puts the worst one on top.
+bool BetterThan(const KnnNeighbor& a, const KnnNeighbor& b) {
+  return WorseThan(b, a);
+}
+
+}  // namespace
+
+StatusOr<KnnModel> TrainKnn(ExecContext& ctx,
+                            const containers::SparseMatrix& matrix,
+                            const std::vector<std::string>& row_labels,
+                            const KnnOptions& options) {
+  if (row_labels.size() != matrix.num_rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "knn: %zu labels for %zu rows", row_labels.size(),
+        matrix.num_rows()));
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("knn: k must be >= 1");
+  }
+  KnnModel model;
+  model.k = options.k;
+  ctx.TimePhase("knn-train", [&] {
+    const size_t n = matrix.num_rows();
+    ctx.executor->RunSerial(parallel::WorkHint{0, "knn-train"}, [&] {
+      std::vector<std::string> labels;
+      for (size_t i = 0; i < n; ++i) {
+        if (row_labels[i].empty() || matrix.rows[i].empty()) continue;
+        labels.push_back(row_labels[i]);
+      }
+      std::sort(labels.begin(), labels.end());
+      labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+      model.labels = std::move(labels);
+      model.train.num_cols = matrix.num_cols;
+      for (size_t i = 0; i < n; ++i) {
+        if (row_labels[i].empty() || matrix.rows[i].empty()) {
+          ++model.documents_skipped;
+          continue;
+        }
+        auto it = std::lower_bound(model.labels.begin(), model.labels.end(),
+                                   row_labels[i]);
+        model.row_class.push_back(
+            static_cast<uint32_t>(it - model.labels.begin()));
+        model.train.rows.push_back(matrix.rows[i]);
+        model.row_sq.push_back(matrix.rows[i].SquaredL2Norm());
+      }
+    });
+  });
+  if (model.train.rows.empty()) {
+    return Status::InvalidArgument(
+        "knn: no labeled non-empty training rows (is the corpus labeled?)");
+  }
+  return model;
+}
+
+uint32_t PredictKnnRow(const KnnModel& model,
+                       const containers::SparseVector& row,
+                       std::vector<KnnNeighbor>& neighbors) {
+  neighbors.clear();
+  const size_t n = model.train.num_rows();
+  const size_t k = std::min<size_t>(static_cast<size_t>(model.k), n);
+  const double q_sq = row.SquaredL2Norm();
+  // Ascending-row scan with a bounded worst-at-top heap: the kept set is
+  // "the k smallest (distance, row) pairs", a total order no scan order
+  // or worker count can change.
+  for (size_t t = 0; t < n; ++t) {
+    KnnNeighbor cand{q_sq - 2.0 * Dot(row, model.train.rows[t]) +
+                         model.row_sq[t],
+                     static_cast<uint32_t>(t)};
+    if (neighbors.size() < k) {
+      neighbors.push_back(cand);
+      std::push_heap(neighbors.begin(), neighbors.end(), BetterThan);
+    } else if (WorseThan(neighbors.front(), cand)) {
+      std::pop_heap(neighbors.begin(), neighbors.end(), BetterThan);
+      neighbors.back() = cand;
+      std::push_heap(neighbors.begin(), neighbors.end(), BetterThan);
+    }
+  }
+  // Majority vote over the kept neighbors; ties to the lowest class id.
+  std::vector<uint32_t> votes(model.num_classes(), 0);
+  for (const KnnNeighbor& nb : neighbors) ++votes[model.row_class[nb.row]];
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return best;
+}
+
+std::vector<uint32_t> PredictKnn(ExecContext& ctx, const KnnModel& model,
+                                 const containers::SparseMatrix& matrix) {
+  std::vector<uint32_t> out(matrix.num_rows(), 0);
+  ctx.TimePhase("knn-predict", [&] {
+    // One neighbor buffer per worker, recycled across the documents of a
+    // chunk (capacity stays at k after the first query).
+    parallel::WorkerLocal<std::vector<KnnNeighbor>> scratch(*ctx.executor);
+    parallel::WorkHint hint;
+    hint.label = "knn-predict";
+    hint.bytes_touched =
+        model.train.ApproxMemoryBytes() + matrix.ApproxMemoryBytes();
+    ctx.executor->ParallelFor(
+        0, matrix.num_rows(), 0, hint,
+        [&](int worker, size_t begin, size_t end) {
+          auto& neighbors = scratch.Get(worker);
+          for (size_t i = begin; i < end; ++i) {
+            out[i] = PredictKnnRow(model, matrix.rows[i], neighbors);
+          }
+        });
+  });
+  return out;
+}
+
+std::string SerializeKnnModel(const KnnModel& model) {
+  std::string out = "hpa-knn-model v1\nclasses ";
+  AppendUint(out, model.labels.size());
+  out += "\nrows ";
+  AppendUint(out, model.train.num_rows());
+  out += "\ncols ";
+  AppendUint(out, model.train.num_cols);
+  out += "\nk ";
+  AppendUint(out, static_cast<uint64_t>(model.k));
+  out += "\nskipped ";
+  AppendUint(out, model.documents_skipped);
+  out += '\n';
+  for (const std::string& label : model.labels) {
+    out += "label ";
+    out += label;
+    out += '\n';
+  }
+  for (size_t r = 0; r < model.train.num_rows(); ++r) {
+    const containers::SparseVector& row = model.train.rows[r];
+    out += "row ";
+    AppendUint(out, model.row_class[r]);
+    for (size_t e = 0; e < row.nnz(); ++e) {
+      uint32_t bits = 0;
+      float v = row.value_at(e);
+      std::memcpy(&bits, &v, sizeof(bits));
+      out += ' ';
+      AppendUint(out, row.id_at(e));
+      out += ':';
+      out += StrFormat("%08x", bits);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<KnnModel> ParseKnnModel(std::string_view text,
+                                 const std::string& path) {
+  std::vector<std::string_view> lines = Split(text, '\n');
+  if (lines.size() < 6 || Trim(lines[0]) != "hpa-knn-model v1") {
+    return Status::Corruption("bad knn-model header in " + path);
+  }
+  int64_t classes = 0, rows = 0, cols = 0, k = 0, skipped = 0;
+  if (!StartsWith(lines[1], "classes ") ||
+      !ParseInt64(lines[1].substr(8), &classes) || classes < 1 ||
+      !StartsWith(lines[2], "rows ") ||
+      !ParseInt64(lines[2].substr(5), &rows) || rows < 1 ||
+      !StartsWith(lines[3], "cols ") ||
+      !ParseInt64(lines[3].substr(5), &cols) || cols < 0 ||
+      !StartsWith(lines[4], "k ") || !ParseInt64(lines[4].substr(2), &k) ||
+      k < 1 || !StartsWith(lines[5], "skipped ") ||
+      !ParseInt64(lines[5].substr(8), &skipped) || skipped < 0) {
+    return Status::Corruption("bad knn-model counts in " + path);
+  }
+  const size_t c_count = static_cast<size_t>(classes);
+  const size_t r_count = static_cast<size_t>(rows);
+  if (lines.size() < 6 + c_count + r_count) {
+    return Status::Corruption("truncated knn-model in " + path);
+  }
+  KnnModel model;
+  model.k = static_cast<int>(k);
+  model.documents_skipped = static_cast<uint64_t>(skipped);
+  model.train.num_cols = static_cast<uint32_t>(cols);
+  model.labels.reserve(c_count);
+  for (size_t c = 0; c < c_count; ++c) {
+    std::string_view line = lines[6 + c];
+    if (!StartsWith(line, "label ")) {
+      return Status::Corruption("bad knn-model label line in " + path);
+    }
+    model.labels.emplace_back(Trim(line.substr(6)));
+  }
+  model.row_class.reserve(r_count);
+  model.train.rows.reserve(r_count);
+  model.row_sq.reserve(r_count);
+  for (size_t r = 0; r < r_count; ++r) {
+    std::string_view line = Trim(lines[6 + c_count + r]);
+    if (!StartsWith(line, "row ")) {
+      return Status::Corruption("bad knn-model row line in " + path);
+    }
+    std::vector<std::string_view> words = Split(line.substr(4), ' ');
+    if (words.empty()) {
+      return Status::Corruption("bad knn-model row line in " + path);
+    }
+    int64_t cls = 0;
+    if (!ParseInt64(words[0], &cls) || cls < 0 ||
+        cls >= static_cast<int64_t>(c_count)) {
+      return Status::Corruption("bad knn-model row class in " + path);
+    }
+    model.row_class.push_back(static_cast<uint32_t>(cls));
+    containers::SparseVector row;
+    row.Reserve(words.size() - 1);
+    for (size_t w = 1; w < words.size(); ++w) {
+      size_t colon = words[w].find(':');
+      int64_t id = 0;
+      uint32_t bits = 0;
+      if (colon == std::string_view::npos ||
+          !ParseInt64(words[w].substr(0, colon), &id) || id < 0 ||
+          id >= cols || !ParseHexU32(words[w].substr(colon + 1), &bits)) {
+        return Status::Corruption("bad knn-model row entry in " + path);
+      }
+      float v = 0.0f;
+      std::memcpy(&v, &bits, sizeof(v));
+      row.PushBack(static_cast<uint32_t>(id), v);
+    }
+    model.row_sq.push_back(row.SquaredL2Norm());
+    model.train.rows.push_back(std::move(row));
+  }
+  return model;
+}
+
+}  // namespace hpa::ops

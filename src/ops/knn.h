@@ -1,0 +1,108 @@
+#ifndef HPA_OPS_KNN_H_
+#define HPA_OPS_KNN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "containers/sparse_matrix.h"
+#include "ops/exec_context.h"
+
+/// \file
+/// k-nearest-neighbor classification over TF/IDF sparse vectors — the
+/// lazy-learner counterpart to Naive Bayes. "Training" freezes the usable
+/// labeled rows (compacted, original document order preserved); prediction
+/// runs the same sparse squared-distance kernel as K-means assignment
+/// (||q||² − 2·q·t + ||t||², merge-join over sorted ids) against every
+/// training row, keeping the k best in a bounded top-k heap that is
+/// recycled per worker across the documents of a chunk — the paper's
+/// buffer-recycling discipline applied to the neighbor buffer.
+///
+/// Determinism contract (the differential-test bar): queries are
+/// independent, training rows are scanned in ascending row order, and all
+/// comparisons are exact — neighbor ties break to the lower training row
+/// (document order), vote ties to the lower class id — so predictions are
+/// bit-identical across worker counts and to the naive reference at every
+/// k, including the degenerate shapes (k ≥ n keeps every row; an all-zero
+/// query ranks rows by ||t||²; a single-label corpus has one possible
+/// vote).
+
+namespace hpa::ops {
+
+/// k-NN options.
+struct KnnOptions {
+  /// Neighbors consulted per query (clamped to the training-row count).
+  int k = 5;
+};
+
+/// A "trained" k-NN model: the frozen labeled training rows.
+struct KnnModel {
+  /// Class label strings, index = class id (lexicographically sorted).
+  std::vector<std::string> labels;
+
+  /// Training rows (usable labeled rows only, original order preserved).
+  containers::SparseMatrix train;
+
+  /// Class id per training row (parallel to train.rows).
+  std::vector<uint32_t> row_class;
+
+  /// Precomputed ||t||² per training row (SquaredL2Norm, recomputed
+  /// identically on deserialize).
+  std::vector<double> row_sq;
+
+  /// Neighbors consulted per query.
+  int k = 5;
+
+  /// Rows excluded at train time (empty rows / missing labels).
+  uint64_t documents_skipped = 0;
+
+  size_t num_classes() const { return labels.size(); }
+  size_t num_training_rows() const { return train.num_rows(); }
+
+  friend bool operator==(const KnnModel& a, const KnnModel& b) {
+    return a.labels == b.labels && a.train == b.train &&
+           a.row_class == b.row_class && a.k == b.k &&
+           a.documents_skipped == b.documents_skipped;
+  }
+};
+
+/// One scored neighbor candidate (exposed for the top-k heap reuse in
+/// tests and future operators).
+struct KnnNeighbor {
+  double distance = 0.0;
+  uint32_t row = 0;
+};
+
+/// Freezes the usable labeled rows of `matrix` as a k-NN model
+/// (`row_labels[i]` labels row i; empty = unlabeled; empty rows are
+/// skipped, mirroring TrainNaiveBayes). Fails (kInvalidArgument) when no
+/// usable labeled row exists or sizes mismatch. Accrues "knn-train".
+StatusOr<KnnModel> TrainKnn(ExecContext& ctx,
+                            const containers::SparseMatrix& matrix,
+                            const std::vector<std::string>& row_labels,
+                            const KnnOptions& options = {});
+
+/// Predicts the class id for one query row against `model` using
+/// `neighbors` as the recycled top-k buffer (cleared internally).
+uint32_t PredictKnnRow(const KnnModel& model,
+                       const containers::SparseVector& row,
+                       std::vector<KnnNeighbor>& neighbors);
+
+/// Parallel prediction over all rows of `matrix`; out[i] = class id for
+/// row i. Accrues the "knn-predict" phase.
+std::vector<uint32_t> PredictKnn(ExecContext& ctx, const KnnModel& model,
+                                 const containers::SparseMatrix& matrix);
+
+/// Bit-exact text serialization ("hpa-knn-model v1"): labels, per-row
+/// class ids, and sparse training rows with IEEE-754 hex float values.
+std::string SerializeKnnModel(const KnnModel& model);
+
+/// Parses SerializeKnnModel output; `path` labels errors.
+StatusOr<KnnModel> ParseKnnModel(std::string_view text,
+                                 const std::string& path);
+
+}  // namespace hpa::ops
+
+#endif  // HPA_OPS_KNN_H_

@@ -28,8 +28,11 @@ bool ParseHex32(std::string_view s, uint32_t* out) {
 
 /// Canonical one-line-per-field text hashed by ModelFingerprint. Doubles
 /// are printed with %.17g so distinct values never collide textually.
+/// The kind line (and its hyperparameters) is appended only for
+/// non-K-means kinds, so every fingerprint computed before the family
+/// grew — all of them K-means — is unchanged.
 std::string CanonicalConfigText(const ModelConfig& c) {
-  return StrFormat(
+  std::string text = StrFormat(
       "hpa-model-config v1\n"
       "tokenizer %llu %llu %d\n"
       "stem %d\n"
@@ -40,6 +43,11 @@ std::string CanonicalConfigText(const ModelConfig& c) {
       c.tokenizer.lowercase ? 1 : 0, c.stem_tokens ? 1 : 0, c.tfidf.min_df,
       c.tfidf.max_df_ratio, c.tfidf.sublinear_tf ? 1 : 0,
       c.tfidf.normalize ? 1 : 0, c.clusters);
+  if (c.kind != ModelKind::kKMeans) {
+    text += StrFormat("kind %s\nalpha %.17g\n",
+                      std::string(ModelKindName(c.kind)).c_str(), c.nb_alpha);
+  }
+  return text;
 }
 
 /// IEEE-754 bit-exact centroid serialization ("hpa-centroids v1").
@@ -111,6 +119,16 @@ StatusOr<std::vector<std::vector<float>>> ParseCentroids(
 
 }  // namespace
 
+std::string_view ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kKMeans:
+      return "kmeans";
+    case ModelKind::kNaiveBayes:
+      return "nb";
+  }
+  return "unknown";
+}
+
 uint64_t ModelFingerprint(const ModelConfig& config) {
   return StableHash64(CanonicalConfigText(config));
 }
@@ -123,12 +141,24 @@ ModelHandle::ModelHandle(uint64_t version, ModelConfig config,
       config_(std::move(config)),
       vectorizer_(std::move(vectorizer)),
       centroids_(std::move(centroids)) {
+  config_.kind = ModelKind::kKMeans;
   centroid_sq_norms_.reserve(centroids_.size());
   for (const auto& c : centroids_) {
     double sq = 0.0;
     for (float x : c) sq += static_cast<double>(x) * x;
     centroid_sq_norms_.push_back(sq);
   }
+}
+
+ModelHandle::ModelHandle(uint64_t version, ModelConfig config,
+                         ops::TfidfVectorizer vectorizer,
+                         ops::NaiveBayesModel nb)
+    : version_(version),
+      fingerprint_(ModelFingerprint(config)),
+      config_(std::move(config)),
+      vectorizer_(std::move(vectorizer)),
+      nb_(std::move(nb)) {
+  config_.kind = ModelKind::kNaiveBayes;
 }
 
 containers::SparseVector ModelHandle::Vectorize(std::string_view body) const {
@@ -138,6 +168,10 @@ containers::SparseVector ModelHandle::Vectorize(std::string_view body) const {
 uint32_t ModelHandle::Classify(std::string_view body,
                                double* distance_out) const {
   containers::SparseVector v = Vectorize(body);
+  if (config_.kind == ModelKind::kNaiveBayes) {
+    if (distance_out != nullptr) *distance_out = 0.0;
+    return nb_.Predict(v);
+  }
   double best_d = 0.0;
   // Shared exact-kernel helper — the same scan (and tie-break order) the
   // K-means assignment step falls back to when a bound test fails.
@@ -189,6 +223,31 @@ StatusOr<uint64_t> ModelRegistry::LatestVersion() const {
   return static_cast<uint64_t>(v);
 }
 
+StatusOr<uint64_t> ModelRegistry::LatestVersionMatching(
+    const ModelConfig& config) const {
+  HPA_ASSIGN_OR_RETURN(uint64_t latest, LatestVersion());
+  const std::string want =
+      StrFormat("fingerprint %016llx",
+                static_cast<unsigned long long>(ModelFingerprint(config)));
+  // Downward scan from the global latest: versions are dense from 1, so
+  // the first manifest carrying this config's fingerprint is the newest
+  // of its kind. Unreadable or torn manifests are skipped — GC's
+  // business, not this lookup's.
+  for (uint64_t v = latest; v >= 1; --v) {
+    if (disk_->Exists(QuarantinePath(v))) continue;
+    if (!disk_->Exists(ManifestPath(v))) continue;
+    StatusOr<std::string> text = disk_->ReadFile(ManifestPath(v));
+    if (!text.ok()) continue;
+    for (std::string_view line : Split(*text, '\n')) {
+      if (Trim(line) == want) return v;
+    }
+  }
+  return Status::NotFound(StrFormat(
+      "no version matching fingerprint %016llx in %s",
+      static_cast<unsigned long long>(ModelFingerprint(config)),
+      dir_.c_str()));
+}
+
 StatusOr<ModelHandle> ModelRegistry::Fit(const ops::ExecContext& ctx,
                                          const io::PackedCorpusReader& corpus,
                                          const ModelConfig& config,
@@ -206,11 +265,7 @@ StatusOr<ModelHandle> ModelRegistry::Fit(const ops::ExecContext& ctx,
 
   HPA_ASSIGN_OR_RETURN(ops::TfidfResult tfidf,
                        ops::TfidfInMemory(fit_ctx, corpus, config.tfidf));
-  HPA_ASSIGN_OR_RETURN(ops::KMeansResult clusters,
-                       ops::SparseKMeans(fit_ctx, tfidf.matrix, kmeans));
-
   uint64_t num_documents = tfidf.num_documents();
-  ops::TfidfVectorizer vectorizer(tfidf, config.tfidf);
 
   uint64_t version = 1;
   StatusOr<uint64_t> latest = LatestVersion();
@@ -220,16 +275,38 @@ StatusOr<ModelHandle> ModelRegistry::Fit(const ops::ExecContext& ctx,
     return latest.status();
   }
 
+  if (config.kind == ModelKind::kNaiveBayes) {
+    // Supervised fit: labels come off the corpus index (v3 label column);
+    // row i of the TF/IDF matrix is document i by construction.
+    std::vector<std::string> labels(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) labels[i] = corpus.label(i);
+    ops::NaiveBayesOptions nb_options;
+    nb_options.alpha = config.nb_alpha;
+    HPA_ASSIGN_OR_RETURN(
+        ops::NaiveBayesModel nb,
+        ops::TrainNaiveBayes(fit_ctx, tfidf.matrix, labels, nb_options));
+    ops::TfidfVectorizer vectorizer(tfidf, config.tfidf);
+    HPA_RETURN_IF_ERROR(Publish(version, config, vectorizer,
+                                ops::SerializeNaiveBayesModel(nb),
+                                nb.num_classes(), num_documents));
+    return ModelHandle(version, config, std::move(vectorizer),
+                       std::move(nb));
+  }
+
+  HPA_ASSIGN_OR_RETURN(ops::KMeansResult clusters,
+                       ops::SparseKMeans(fit_ctx, tfidf.matrix, kmeans));
+  ops::TfidfVectorizer vectorizer(tfidf, config.tfidf);
   HPA_RETURN_IF_ERROR(Publish(version, config, vectorizer,
-                              clusters.centroids, num_documents));
+                              SerializeCentroids(clusters.centroids),
+                              clusters.centroids.size(), num_documents));
   return ModelHandle(version, config, std::move(vectorizer),
                      std::move(clusters.centroids));
 }
 
 Status ModelRegistry::Publish(uint64_t version, const ModelConfig& config,
                               const ops::TfidfVectorizer& vectorizer,
-                              const std::vector<std::vector<float>>& centroids,
-                              uint64_t num_documents) {
+                              const std::string& scorer_bytes,
+                              size_t scorer_count, uint64_t num_documents) {
   std::string tfidf_path = TfidfPath(version);
   std::string cent_path = CentroidsPath(version);
   // Deterministic torn-publish hook: abort between commit-sequence steps
@@ -249,8 +326,7 @@ Status ModelRegistry::Publish(uint64_t version, const ModelConfig& config,
   HPA_ASSIGN_OR_RETURN(std::string tfidf_bytes, disk_->ReadFile(tfidf_path));
   HPA_RETURN_IF_ERROR(crash_after(0));
 
-  std::string cent_bytes = SerializeCentroids(centroids);
-  HPA_RETURN_IF_ERROR(disk_->WriteFile(cent_path, cent_bytes));
+  HPA_RETURN_IF_ERROR(disk_->WriteFile(cent_path, scorer_bytes));
   HPA_RETURN_IF_ERROR(crash_after(1));
 
   // Manifest is the commit record: until it lands (atomically), the
@@ -264,12 +340,12 @@ Status ModelRegistry::Publish(uint64_t version, const ModelConfig& config,
                         static_cast<unsigned long long>(tfidf_bytes.size()),
                         Crc32(tfidf_bytes));
   manifest += StrFormat("centroids %s %llu %08x\n", cent_path.c_str(),
-                        static_cast<unsigned long long>(cent_bytes.size()),
-                        Crc32(cent_bytes));
+                        static_cast<unsigned long long>(scorer_bytes.size()),
+                        Crc32(scorer_bytes));
   manifest += "terms ";
   AppendUint(manifest, vectorizer.vocabulary_size());
   manifest += "\nclusters ";
-  AppendUint(manifest, centroids.size());
+  AppendUint(manifest, scorer_count);
   manifest += "\ndocuments ";
   AppendUint(manifest, num_documents);
   manifest += "\nend\n";
@@ -419,6 +495,19 @@ StatusOr<ModelHandle> ModelRegistry::LoadUnguarded(const ModelConfig& config,
   HPA_ASSIGN_OR_RETURN(ops::TfidfVectorizer vectorizer,
                        ops::TfidfVectorizer::Load(disk_, tfidf_path,
                                                   config.tfidf));
+  // The fingerprint check above already proved the version's kind is the
+  // config's kind; the scorer artifact parse is the belt to that brace.
+  if (config.kind == ModelKind::kNaiveBayes) {
+    HPA_ASSIGN_OR_RETURN(ops::NaiveBayesModel nb,
+                         ops::ParseNaiveBayesModel(cent_bytes, cent_path));
+    if (manifest_clusters >= 0 &&
+        nb.num_classes() != static_cast<size_t>(manifest_clusters)) {
+      return Status::Corruption("class count disagrees with manifest in " +
+                                cent_path);
+    }
+    return ModelHandle(version, config, std::move(vectorizer),
+                       std::move(nb));
+  }
   HPA_ASSIGN_OR_RETURN(std::vector<std::vector<float>> centroids,
                        ParseCentroids(cent_bytes, cent_path));
   if (manifest_clusters >= 0 &&

@@ -13,6 +13,7 @@
 #include "io/sim_disk.h"
 #include "ops/exec_context.h"
 #include "ops/kmeans.h"
+#include "ops/naive_bayes.h"
 #include "ops/tfidf.h"
 #include "ops/tfidf_vectorizer.h"
 #include "text/tokenizer.h"
@@ -39,9 +40,21 @@
 ///   documents <N>
 ///   end
 ///
+/// The registry is kind-heterogeneous: a directory may interleave K-means
+/// and Naive Bayes versions. The "centroids" manifest line names the
+/// *scorer* artifact slot whatever the kind — for kNaiveBayes versions the
+/// file holds a serialized "hpa-nb-model v1" and the "clusters" count is
+/// the class count — so GC, torn-publish repair, and quarantine treat
+/// every version identically. The artifact content is self-describing by
+/// header line, and the kind is part of the config fingerprint, so a
+/// loader can never mistake one kind for the other.
+///
 /// The fingerprint covers everything that determines what a score vector
 /// *means*: tokenizer shape, stemming, TF/IDF weighting options, and the
-/// cluster count. Load() recomputes it from the caller's serving config
+/// cluster count — plus, for non-K-means kinds, the kind tag and its
+/// hyperparameters (appended only for those kinds, so every pre-existing
+/// K-means fingerprint is unchanged). Load() recomputes it from the
+/// caller's serving config
 /// and rejects the snapshot (kFailedPrecondition) on any drift — a model
 /// fitted with stemming is never silently served without it. Artifacts
 /// whose bytes fail the manifest CRC are rejected as kCorruption; nothing
@@ -53,6 +66,17 @@
 
 namespace hpa::serve {
 
+/// What a served model *is*. A registry directory may hold versions of
+/// different kinds side by side (heterogeneous serving); the kind is part
+/// of the config fingerprint, so a K-means consumer can never load a
+/// Naive Bayes snapshot by accident.
+enum class ModelKind {
+  kKMeans,      ///< nearest-centroid scorer (unsupervised fit)
+  kNaiveBayes,  ///< multinomial NB classifier (labeled-corpus fit)
+};
+
+std::string_view ModelKindName(ModelKind kind);
+
 /// Everything that must match between fit time and serving time.
 struct ModelConfig {
   text::TokenizerOptions tokenizer;
@@ -62,25 +86,39 @@ struct ModelConfig {
 
   ops::TfidfOptions tfidf;
 
-  /// Number of K-means clusters (the paper uses 8).
+  /// Number of K-means clusters (the paper uses 8; kKMeans only).
   int clusters = 8;
+
+  /// Kind of scorer this config fits and serves.
+  ModelKind kind = ModelKind::kKMeans;
+
+  /// NB smoothing (kNaiveBayes only).
+  double nb_alpha = 1.0;
 };
 
 /// Stable identity of `config` (StableHash64 over its canonical text).
 uint64_t ModelFingerprint(const ModelConfig& config);
 
-/// A loaded model: frozen vectorizer + dense centroids, ready to score.
+/// A loaded model: frozen vectorizer + a scorer of the config's kind
+/// (dense centroids, or a Naive Bayes model), ready to score.
 /// Immutable after construction; safe to share across parallel chunks.
 class ModelHandle {
  public:
+  /// K-means handle (kind = kKMeans).
   ModelHandle(uint64_t version, ModelConfig config,
               ops::TfidfVectorizer vectorizer,
               std::vector<std::vector<float>> centroids);
 
+  /// Naive Bayes handle (kind = kNaiveBayes).
+  ModelHandle(uint64_t version, ModelConfig config,
+              ops::TfidfVectorizer vectorizer, ops::NaiveBayesModel nb);
+
   /// Scores `body` with the frozen vocabulary and returns the nearest
-  /// centroid (ties to the lowest index). `distance_out`, if non-null,
-  /// receives the squared L2 distance. Pure: no mutable state, so batched
-  /// and one-at-a-time calls are bit-identical.
+  /// centroid (kKMeans; ties to the lowest index) or the predicted class
+  /// id (kNaiveBayes; ties to the lowest id). `distance_out`, if
+  /// non-null, receives the squared L2 distance for kKMeans and 0.0 for
+  /// kNaiveBayes. Pure: no mutable state, so batched and one-at-a-time
+  /// calls are bit-identical.
   uint32_t Classify(std::string_view body, double* distance_out = nullptr) const;
 
   /// The TF/IDF score vector alone (what Classify computes internally).
@@ -88,11 +126,14 @@ class ModelHandle {
 
   uint64_t version() const { return version_; }
   uint64_t fingerprint() const { return fingerprint_; }
+  ModelKind kind() const { return config_.kind; }
   const ModelConfig& config() const { return config_; }
   const ops::TfidfVectorizer& vectorizer() const { return vectorizer_; }
   const std::vector<std::vector<float>>& centroids() const {
     return centroids_;
   }
+  /// The NB scorer (empty-default for kKMeans handles).
+  const ops::NaiveBayesModel& nb_model() const { return nb_; }
 
  private:
   uint64_t version_;
@@ -103,6 +144,7 @@ class ModelHandle {
   /// ||c||² per centroid, precomputed once (NearestCentroid recomputes
   /// them per call — at serving rates that is the dominant cost).
   std::vector<double> centroid_sq_norms_;
+  ops::NaiveBayesModel nb_;
 };
 
 /// Versioned snapshot store rooted at `dir` on one disk. Versions are
@@ -111,12 +153,15 @@ class ModelRegistry {
  public:
   ModelRegistry(io::SimDisk* disk, std::string dir);
 
-  /// Fits the fused workflow (TF/IDF transform -> sparse K-means) on
-  /// `corpus` under `config`, publishes the artifacts as the next version,
-  /// and returns the live handle. The context's tokenizer/stemming fields
-  /// are overridden from `config` so the snapshot's fingerprint is the
-  /// truth about how the model was fitted; `kmeans.k` is likewise forced
-  /// to `config.clusters`.
+  /// Fits the fused workflow on `corpus` under `config` — TF/IDF
+  /// transform, then the scorer the config's kind names (sparse K-means,
+  /// or Naive Bayes trained on the corpus's v3 label column) — publishes
+  /// the artifacts as the next version, and returns the live handle. The
+  /// context's tokenizer/stemming fields are overridden from `config` so
+  /// the snapshot's fingerprint is the truth about how the model was
+  /// fitted; `kmeans.k` is likewise forced to `config.clusters`
+  /// (kNaiveBayes ignores `kmeans` and fails kInvalidArgument on an
+  /// unlabeled corpus).
   StatusOr<ModelHandle> Fit(const ops::ExecContext& ctx,
                             const io::PackedCorpusReader& corpus,
                             const ModelConfig& config,
@@ -133,6 +178,15 @@ class ModelRegistry {
 
   /// Highest published version, or kNotFound for an empty registry.
   StatusOr<uint64_t> LatestVersion() const;
+
+  /// Highest published version whose fit config fingerprint matches
+  /// `config`, or kNotFound when no version of that identity exists. The
+  /// per-kind latest pointer for heterogeneous registries: the global
+  /// `latest` may belong to another kind after an interleaved publish, so
+  /// kind-specific consumers (a hot-swap poller serving NB while K-means
+  /// versions land) resolve their own lineage through this instead.
+  /// Quarantined and torn versions are skipped, not errors.
+  StatusOr<uint64_t> LatestVersionMatching(const ModelConfig& config) const;
 
   /// Circuit breaker consulted by Load (not owned; null = no breaker).
   /// A registry whose backing store is corrupting or erroring repeatedly
@@ -169,9 +223,12 @@ class ModelRegistry {
                                       uint64_t version) const;
 
   /// Writes artifacts, then the manifest, then the latest pointer.
+  /// `scorer_bytes` is the serialized scorer artifact — "hpa-centroids
+  /// v1" or "hpa-nb-model v1", both self-describing by header line — and
+  /// `scorer_count` its cluster/class count for the manifest.
   Status Publish(uint64_t version, const ModelConfig& config,
                  const ops::TfidfVectorizer& vectorizer,
-                 const std::vector<std::vector<float>>& centroids,
+                 const std::string& scorer_bytes, size_t scorer_count,
                  uint64_t num_documents);
 
   io::SimDisk* disk_;

@@ -123,7 +123,11 @@ std::vector<Response> AnalyticsServer::Drain() {
 Status AnalyticsServer::TryHotSwap(
     const ModelRegistry& registry, const ModelConfig& config,
     const std::vector<std::string>& canary_bodies) {
-  StatusOr<uint64_t> latest = registry.LatestVersion();
+  // Follow this config's own lineage, not the global latest pointer: in a
+  // heterogeneous registry the newest version may belong to another model
+  // kind (a Naive Bayes publish must not trip a K-means server into a
+  // rollback, and vice versa).
+  StatusOr<uint64_t> latest = registry.LatestVersionMatching(config);
   if (!latest.ok()) return latest.status();
   if (*latest <= model_->version()) return Status::OK();  // already current
 

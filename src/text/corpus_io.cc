@@ -9,7 +9,7 @@ Status WriteCorpusPacked(const Corpus& corpus, io::SimDisk* disk,
   HPA_ASSIGN_OR_RETURN(auto writer,
                        io::PackedCorpusWriter::Create(disk, rel_path));
   for (const Document& doc : corpus.docs) {
-    HPA_RETURN_IF_ERROR(writer.Add(doc.name, doc.body));
+    HPA_RETURN_IF_ERROR(writer.Add(doc.name, doc.body, doc.label));
   }
   return writer.Finalize();
 }
@@ -24,6 +24,7 @@ StatusOr<Corpus> ReadCorpusPacked(io::SimDisk* disk,
   corpus.docs.resize(reader.size());
   for (size_t i = 0; i < reader.size(); ++i) {
     corpus.docs[i].name = reader.name(i);
+    corpus.docs[i].label = reader.label(i);
     HPA_ASSIGN_OR_RETURN(corpus.docs[i].body, reader.ReadBody(i));
   }
   return corpus;

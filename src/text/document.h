@@ -10,10 +10,12 @@
 
 namespace hpa::text {
 
-/// One text document.
+/// One text document. `label` is the optional class label for supervised
+/// operators; empty = unlabeled.
 struct Document {
   std::string name;
   std::string body;
+  std::string label;
 };
 
 /// A set of documents, optionally labelled with a dataset name.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -145,6 +146,21 @@ Corpus SynthCorpusGenerator::Generate() const {
   }
 
   return corpus;
+}
+
+void AssignSyntheticLabels(Corpus* corpus, int num_classes, uint64_t seed,
+                           int marker_repeats) {
+  if (num_classes < 1) num_classes = 1;
+  for (Document& doc : corpus->docs) {
+    uint64_t c = StableHash64(doc.name, seed) %
+                 static_cast<uint64_t>(num_classes);
+    doc.label = "class" + std::to_string(c);
+    std::string marker = "labelmarker" + std::to_string(c);
+    for (int r = 0; r < marker_repeats; ++r) {
+      doc.body += ' ';
+      doc.body += marker;
+    }
+  }
 }
 
 }  // namespace hpa::text

@@ -57,6 +57,16 @@ struct CorpusProfile {
   CorpusProfile Scaled(double factor, double vocab_exponent = 1.0) const;
 };
 
+/// Assigns a deterministic class label ("class0".."classN-1") to every
+/// document and plants `marker_repeats` copies of a class-marker token
+/// ("labelmarkerC") in the body, so supervised operators have real signal
+/// to learn (the marker's TF/IDF weight separates the classes) while the
+/// Zipf/log-normal shape of the corpus is left essentially intact.
+/// Deterministic in (document name, seed): same corpus + seed =>
+/// bit-identical labels at any worker count.
+void AssignSyntheticLabels(Corpus* corpus, int num_classes, uint64_t seed,
+                           int marker_repeats = 3);
+
 /// Deterministic corpus generator for a profile.
 class SynthCorpusGenerator {
  public:

@@ -1,0 +1,286 @@
+// Checkpoint/restart property test for the classifier DAG (the
+// resume_property_test pattern extended to the supervised family):
+// corpus -> tfidf -> {nb-train | knn-train} -> classify -> evaluate, all
+// interior edges materialized and therefore checkpointed. Crashing after
+// EVERY node and resuming must restore byte-identical predictions and
+// evaluation CSVs and the identical quarantine list, at every worker
+// count — the model checkpoint rehydrates as a ModelRef whose artifact
+// header line tells the kind-dispatching predictor what it is, and the
+// predictions checkpoint rehydrates as a CsvRef the evaluator reads back.
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/classifier_ops.h"
+#include "core/standard_ops.h"
+#include "core/workflow_executor.h"
+#include "io/fault_injection.h"
+#include "io/file_io.h"
+#include "parallel/simulated_executor.h"
+#include "text/corpus_io.h"
+#include "text/synth_corpus.h"
+
+namespace hpa::core {
+namespace {
+
+/// Worker-count-comparable digest of one crash+resume cycle over the
+/// classifier DAG (the CycleRecord shape from resume_property_test, with
+/// the classifier outputs in place of the clustering CSV).
+struct ClassifierCycleRecord {
+  StatusCode crash_code = StatusCode::kOk;
+  bool resume_ok = false;
+  StatusCode resume_code = StatusCode::kOk;
+  size_t resumed_nodes = 0;
+  size_t replayed_nodes = 0;
+  std::string predictions_csv;
+  std::string evaluation_csv;
+  std::vector<std::tuple<std::string, int, StatusCode>> quarantine;
+
+  bool operator==(const ClassifierCycleRecord& o) const {
+    return crash_code == o.crash_code && resume_ok == o.resume_ok &&
+           resume_code == o.resume_code && resumed_nodes == o.resumed_nodes &&
+           replayed_nodes == o.replayed_nodes &&
+           predictions_csv == o.predictions_csv &&
+           evaluation_csv == o.evaluation_csv && quarantine == o.quarantine;
+  }
+};
+
+enum class Trainer { kNaiveBayes, kKnn };
+
+class ClassifierResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_classifier_resume_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    corpus_disk_ = std::make_unique<io::SimDisk>(
+        io::DiskOptions::CorpusStore(), dir_, nullptr);
+    scratch_disk_ = std::make_unique<io::SimDisk>(io::DiskOptions::LocalHdd(),
+                                                  dir_, nullptr);
+
+    text::CorpusProfile profile;
+    profile.name = "clsresume";
+    profile.num_documents = 90;
+    profile.target_bytes = 50000;
+    profile.target_distinct_words = 600;
+    text::Corpus corpus = text::SynthCorpusGenerator(profile).Generate();
+    text::AssignSyntheticLabels(&corpus, /*num_classes=*/3, /*seed=*/17);
+    ASSERT_TRUE(
+        text::WriteCorpusPacked(corpus, corpus_disk_.get(), "prop.pack").ok());
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  /// corpus --+--> tfidf --+--> trainer --> classify --> evaluate
+  ///          |            |                  ^            ^
+  ///          |            +------------------+            |
+  ///          +---------------------------------------------+
+  /// (trainer and evaluate also read the corpus label column.)
+  Workflow MakeDag(Trainer trainer) {
+    Workflow wf;
+    int src = wf.AddSource(Dataset(CorpusRef{"prop.pack"}), "corpus");
+    auto tfidf = wf.Add(std::make_unique<TfidfOperator>(), {src});
+    EXPECT_TRUE(tfidf.ok());
+    StatusOr<int> train =
+        trainer == Trainer::kNaiveBayes
+            ? wf.Add(std::make_unique<NaiveBayesTrainOperator>(),
+                     {*tfidf, src})
+            : wf.Add(std::make_unique<KnnTrainOperator>(), {*tfidf, src});
+    EXPECT_TRUE(train.ok());
+    auto classify = wf.Add(std::make_unique<ClassifierPredictOperator>(),
+                           {*train, *tfidf});
+    EXPECT_TRUE(classify.ok());
+    auto evaluate =
+        wf.Add(std::make_unique<EvaluateOperator>(), {*classify, src});
+    EXPECT_TRUE(evaluate.ok());
+    return wf;
+  }
+
+  /// Every interior edge materialized: each operator output lands on the
+  /// scratch disk and commits a checkpoint (ArffRef, ModelRef, CsvRef,
+  /// CsvRef in DAG order), so a crash after any node is resumable.
+  ExecutionPlan DagPlan(int workers) {
+    ExecutionPlan plan;
+    plan.workers = workers;
+    plan.nodes.resize(5);
+    for (size_t i = 1; i < 5; ++i) {
+      plan.nodes[i].output_boundary = Boundary::kMaterialized;
+    }
+    return plan;
+  }
+
+  StatusOr<WorkflowRunResult> Run(const Workflow& wf, int workers,
+                                  const std::string& ckpt_dir,
+                                  int crash_after) {
+    parallel::SimulatedExecutor exec(workers,
+                                     parallel::MachineModel::Default());
+    corpus_disk_->set_executor(&exec);
+    scratch_disk_->set_executor(&exec);
+    RunEnv env;
+    env.executor = &exec;
+    env.corpus_disk = corpus_disk_.get();
+    env.scratch_disk = scratch_disk_.get();
+    env.fault_policy = FaultPolicy::kRetryThenSkip;
+    env.checkpoint_dir = ckpt_dir;
+    env.crash_after_node = crash_after;
+    auto result = RunWorkflow(wf, DagPlan(workers), env);
+    corpus_disk_->set_executor(nullptr);
+    scratch_disk_->set_executor(nullptr);
+    return result;
+  }
+
+  ClassifierCycleRecord RunCycle(Trainer trainer, uint64_t seed,
+                                 int crash_workers, int resume_workers,
+                                 int crash_after,
+                                 const std::string& ckpt_dir) {
+    io::FaultProfile profile;
+    profile.transient_rate = 0.30;
+    profile.permanent_rate = 0.02;
+    profile.seed = seed;
+    io::FaultInjector injector(profile);
+    corpus_disk_->set_fault_injector(&injector);
+    corpus_disk_->set_retry_policy(RetryPolicy{});
+    scratch_disk_->set_retry_policy(RetryPolicy{});
+
+    Workflow wf = MakeDag(trainer);
+    ClassifierCycleRecord rec;
+    auto crashed = Run(wf, crash_workers, ckpt_dir, crash_after);
+    rec.crash_code = crashed.status().code();
+
+    auto resumed = Run(wf, resume_workers, ckpt_dir, -1);
+    rec.resume_ok = resumed.ok();
+    rec.resume_code = resumed.status().code();
+    if (resumed.ok()) {
+      rec.resumed_nodes = resumed->resumed_nodes;
+      rec.replayed_nodes = resumed->replayed_nodes;
+      QuarantineList q = std::move(resumed->quarantine);
+      q.SortById();
+      for (const QuarantineEntry& e : q.entries) {
+        rec.quarantine.emplace_back(e.id, e.attempts, e.cause.code());
+      }
+      auto pred =
+          scratch_disk_->ReadFile(ClassifierPredictOperator::kCsvPath);
+      auto eval = scratch_disk_->ReadFile(EvaluateOperator::kCsvPath);
+      EXPECT_TRUE(pred.ok());
+      EXPECT_TRUE(eval.ok());
+      if (pred.ok()) rec.predictions_csv = std::move(*pred);
+      if (eval.ok()) rec.evaluation_csv = std::move(*eval);
+    }
+
+    corpus_disk_->set_fault_injector(nullptr);
+    corpus_disk_->set_retry_policy(RetryPolicy::NoRetry());
+    scratch_disk_->set_retry_policy(RetryPolicy::NoRetry());
+    return rec;
+  }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> corpus_disk_;
+  std::unique_ptr<io::SimDisk> scratch_disk_;
+};
+
+constexpr int kWorkerCounts[] = {1, 2, 4, 8};
+
+TEST_F(ClassifierResumeTest, NbCycleInvariantToWorkerCount) {
+  // Crash after the NB trainer (its model checkpoint is committed) and
+  // resume, at every worker count, under several fault seeds: identical
+  // records — predictions, evaluation, counters, quarantine — or the same
+  // deterministic failure everywhere.
+  size_t completed = 0, quarantined = 0;
+  for (uint64_t seed : {3u, 5u, 11u}) {
+    ClassifierCycleRecord reference;
+    for (size_t wi = 0; wi < std::size(kWorkerCounts); ++wi) {
+      const int w = kWorkerCounts[wi];
+      SCOPED_TRACE("seed " + std::to_string(seed) + " workers " +
+                   std::to_string(w));
+      std::string ckpt_dir = "cls-s" + std::to_string(seed) + "-w" +
+                             std::to_string(w);
+      ClassifierCycleRecord rec =
+          RunCycle(Trainer::kNaiveBayes, seed, w, w, /*crash_after=*/2,
+                   ckpt_dir);
+      if (wi == 0) {
+        reference = rec;
+      } else {
+        EXPECT_TRUE(rec == reference);
+      }
+    }
+    if (reference.resume_ok) {
+      ++completed;
+      if (!reference.quarantine.empty()) ++quarantined;
+      // The resume restored tfidf + the model and replayed only
+      // classify + evaluate — the ModelRef checkpoint did its job.
+      EXPECT_EQ(reference.resumed_nodes, 2u);
+      EXPECT_EQ(reference.replayed_nodes, 2u);
+      EXPECT_FALSE(reference.predictions_csv.empty());
+      EXPECT_NE(reference.evaluation_csv.find("accuracy"), std::string::npos);
+    } else {
+      EXPECT_EQ(reference.crash_code, reference.resume_code);
+    }
+  }
+  // Non-vacuity: the seeds must exercise both a completed resume and a
+  // nonempty quarantine.
+  EXPECT_GE(completed, 1u);
+  EXPECT_GE(quarantined, 1u);
+}
+
+TEST_F(ClassifierResumeTest, CrashAfterEveryNodeRestoresIdenticalOutputs) {
+  // Sweep the crash point across the whole DAG at a fixed seed: every
+  // resume lands on the same output bytes and quarantine no matter where
+  // the crash hit — later crash points just restore more nodes. This
+  // walks every checkpoint kind in the DAG: ArffRef (tfidf), ModelRef
+  // (trainer), CsvRef (classify — the evaluator then reads predictions
+  // back from disk), CsvRef (evaluate).
+  ClassifierCycleRecord reference;
+  bool have_reference = false;
+  for (int crash_after = 0; crash_after < 5; ++crash_after) {
+    SCOPED_TRACE("crash after node " + std::to_string(crash_after));
+    std::string ckpt_dir = "cls-cp" + std::to_string(crash_after);
+    ClassifierCycleRecord rec = RunCycle(
+        Trainer::kNaiveBayes, /*seed=*/3u, 4, 4, crash_after, ckpt_dir);
+    ASSERT_TRUE(rec.resume_ok) << static_cast<int>(rec.resume_code);
+    if (!have_reference) {
+      reference = rec;
+      have_reference = true;
+      continue;
+    }
+    // Counters legitimately differ by crash point; bytes and quarantine
+    // must not.
+    EXPECT_EQ(rec.predictions_csv, reference.predictions_csv);
+    EXPECT_EQ(rec.evaluation_csv, reference.evaluation_csv);
+    EXPECT_TRUE(rec.quarantine == reference.quarantine);
+  }
+  ASSERT_TRUE(have_reference);
+  EXPECT_FALSE(reference.predictions_csv.empty());
+}
+
+TEST_F(ClassifierResumeTest, KnnModelCheckpointResumesAtAnyWidth) {
+  // The k-NN flavor of the cross-parallelism restart: crash an 8-worker
+  // run after the trainer, resume at 1/2/4/8 workers. The rehydrated
+  // ModelRef points at an "hpa-knn-model v1" artifact the predictor
+  // dispatches on; every resume converges on identical bytes.
+  ClassifierCycleRecord reference;
+  for (size_t wi = 0; wi < std::size(kWorkerCounts); ++wi) {
+    const int w = kWorkerCounts[wi];
+    SCOPED_TRACE("resume workers " + std::to_string(w));
+    std::string ckpt_dir = "cls-knn-x8-to-" + std::to_string(w);
+    ClassifierCycleRecord rec =
+        RunCycle(Trainer::kKnn, /*seed=*/3u, /*crash_workers=*/8, w,
+                 /*crash_after=*/2, ckpt_dir);
+    if (wi == 0) {
+      reference = rec;
+    } else {
+      EXPECT_TRUE(rec == reference);
+    }
+  }
+  ASSERT_TRUE(reference.resume_ok);
+  EXPECT_EQ(reference.resumed_nodes, 2u);
+  EXPECT_EQ(reference.replayed_nodes, 2u);
+  EXPECT_FALSE(reference.predictions_csv.empty());
+  EXPECT_NE(reference.evaluation_csv.find("accuracy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpa::core

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/classifier_ops.h"
 #include "core/report.h"
 #include "core/standard_ops.h"
 
@@ -101,6 +102,44 @@ class OptimizerTest : public ::testing::Test {
     (void)kmeans;
     return wf;
   }
+
+  /// The classifier-family DAG: one TF/IDF edge feeding K-means AND a
+  /// Naive Bayes trainer, then predict -> evaluate. Node ids: 0 source,
+  /// 1 tfidf, 2 kmeans (sink), 3 nb-train, 4 classify, 5 evaluate (sink).
+  Workflow MakeBranchingWorkflow() {
+    Workflow wf;
+    int src = wf.AddSource(Dataset(CorpusRef{"c.pack"}), "corpus");
+    auto tfidf = wf.Add(std::make_unique<TfidfOperator>(), {src});
+    ops::KMeansOptions kopts;
+    auto kmeans = wf.Add(std::make_unique<KMeansOperator>(kopts), {*tfidf});
+    (void)kmeans;
+    auto nb =
+        wf.Add(std::make_unique<NaiveBayesTrainOperator>(), {*tfidf, src});
+    auto cls = wf.Add(std::make_unique<ClassifierPredictOperator>(),
+                      {*nb, *tfidf});
+    auto ev = wf.Add(std::make_unique<EvaluateOperator>(), {*cls, src});
+    (void)ev;
+    return wf;
+  }
+
+  /// Smallest failure probability on a geometric grid at which the
+  /// optimizer materializes `node`'s output edge; 2.0 if it never does.
+  double FlipPoint(const Workflow& wf, const CostModel& model, int node) {
+    for (double p = 1e-7; p <= 1.0; p *= 1.3) {
+      OptimizerOptions opts;
+      opts.workers = 8;
+      // Sharded scratch: the output pass parallelizes, so the overhead
+      // side of the rule is the commit, not a serial ARFF write.
+      opts.scratch_channels = 8;
+      opts.failure_probability = p;
+      ExecutionPlan plan = OptimizeWorkflow(wf, model, opts);
+      if (plan.nodes[static_cast<size_t>(node)].output_boundary ==
+          Boundary::kMaterialized) {
+        return p;
+      }
+    }
+    return 2.0;
+  }
 };
 
 TEST_F(OptimizerTest, FusesInteriorAndMaterializesSinks) {
@@ -114,6 +153,46 @@ TEST_F(OptimizerTest, FusesInteriorAndMaterializesSinks) {
   EXPECT_EQ(plan.workers, 16);
   EXPECT_EQ(plan.nodes[1].output_boundary, Boundary::kFused);
   EXPECT_EQ(plan.nodes[2].output_boundary, Boundary::kMaterialized);
+}
+
+TEST_F(OptimizerTest, BranchingPlanFusesSharedEdgeWithoutFaults) {
+  // Fusion composes across consumers: with no failure probability the
+  // TF/IDF edge stays in memory even though two operators read it, and
+  // only the two sinks (kmeans, evaluate) land on storage.
+  Workflow wf = MakeBranchingWorkflow();
+  CostModel model(parallel::MachineModel::Default(), MixLikeStats());
+  OptimizerOptions opts;
+  opts.workers = 8;
+  ExecutionPlan plan = OptimizeWorkflow(wf, model, opts);
+
+  ASSERT_EQ(plan.nodes.size(), 6u);
+  EXPECT_EQ(plan.nodes[1].output_boundary, Boundary::kFused);
+  EXPECT_EQ(plan.nodes[2].output_boundary, Boundary::kMaterialized);
+  EXPECT_EQ(plan.nodes[3].output_boundary, Boundary::kFused);
+  EXPECT_EQ(plan.nodes[4].output_boundary, Boundary::kFused);
+  EXPECT_EQ(plan.nodes[5].output_boundary, Boundary::kMaterialized);
+}
+
+TEST_F(OptimizerTest, CheckpointRuleWeighsSharedEdgeByConsumerCount) {
+  // The costed materialization decision on the branching edge: expected
+  // replay savings scale with fan-out, so the shared TF/IDF edge (two
+  // consumers) must flip to materialized at a strictly lower failure
+  // probability than the same edge in the linear DAG (one consumer) —
+  // and both must genuinely flip somewhere in (0, 1].
+  CostModel model(parallel::MachineModel::Default(), MixLikeStats());
+  Workflow linear = MakeWorkflow();
+  Workflow branching = MakeBranchingWorkflow();
+
+  double linear_flip = FlipPoint(linear, model, 1);
+  double branching_flip = FlipPoint(branching, model, 1);
+
+  EXPECT_GT(branching_flip, 1e-7) << "a costed rule has a threshold; "
+                                     "materializing at negligible failure "
+                                     "rates means the price is ignored";
+  EXPECT_LE(branching_flip, 1.0) << "never materializes even at p=1";
+  EXPECT_LT(branching_flip, linear_flip)
+      << "fan-out must lower the materialization threshold (the linear "
+         "DAG's single-consumer edge may legitimately never flip)";
 }
 
 TEST_F(OptimizerTest, ForceMaterializeSpillsEverything) {

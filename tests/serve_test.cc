@@ -701,5 +701,159 @@ TEST_F(ServeTest, TornCandidateRollsBackWithoutDowntime) {
   EXPECT_EQ(server.Drain()[0].outcome, RequestOutcome::kOk);
 }
 
+// ---------------------------------------------------- heterogeneous kinds
+
+/// The heterogeneous-registry scenario: one registry directory holding
+/// K-means AND Naive Bayes versions side by side, served concurrently.
+/// Each server follows its own lineage through LatestVersionMatching —
+/// a publish of the *other* kind must never trip a hot-swap poller into
+/// swapping or rolling back — and the torn-serve invariant holds per
+/// kind: a corrupt candidate of one kind rolls back while the other kind
+/// keeps scoring.
+class HeterogeneousServeTest : public ServeTest {
+ protected:
+  void SetUp() override {
+    ServeTest::SetUp();
+    // The labeled twin of the fixture corpus: same 24 bodies, class label
+    // = topic ("t0".."t2", doc % 3), so the NB fit has real signal.
+    text::Corpus corpus;
+    corpus.name = "serve-fixture-labeled";
+    for (int doc = 0; doc < 24; ++doc) {
+      text::Document d;
+      d.name = "d" + std::to_string(doc);
+      d.body = bodies_[static_cast<size_t>(doc)];
+      d.label = "t" + std::to_string(doc % 3);
+      corpus.docs.push_back(std::move(d));
+    }
+    ASSERT_TRUE(
+        text::WriteCorpusPacked(corpus, corpus_disk_.get(), "cl.pack").ok());
+    auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "cl.pack");
+    ASSERT_TRUE(reader.ok());
+    ASSERT_TRUE(reader->has_labels());
+    labeled_reader_ =
+        std::make_unique<io::PackedCorpusReader>(std::move(*reader));
+  }
+
+  ModelConfig NbConfig() const {
+    ModelConfig config;
+    config.kind = ModelKind::kNaiveBayes;
+    return config;
+  }
+
+  std::unique_ptr<io::PackedCorpusReader> labeled_reader_;
+};
+
+TEST_F(HeterogeneousServeTest, BothKindsServeConcurrentlyFromOneRegistry) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  auto km = registry.Fit(Ctx(), *reader_, Config());
+  ASSERT_TRUE(km.ok());
+  EXPECT_EQ(km->version(), 1u);
+  EXPECT_EQ(km->kind(), ModelKind::kKMeans);
+  auto nb = registry.Fit(Ctx(), *labeled_reader_, NbConfig());
+  ASSERT_TRUE(nb.ok()) << nb.status();
+  EXPECT_EQ(nb->version(), 2u);
+  EXPECT_EQ(nb->kind(), ModelKind::kNaiveBayes);
+  EXPECT_NE(km->fingerprint(), nb->fingerprint());
+
+  // The per-kind latest pointers disagree with each other and the global
+  // latest resolves to whatever published last.
+  auto latest = registry.LatestVersion();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 2u);
+  auto km_latest = registry.LatestVersionMatching(Config());
+  ASSERT_TRUE(km_latest.ok());
+  EXPECT_EQ(*km_latest, 1u);
+  auto nb_latest = registry.LatestVersionMatching(NbConfig());
+  ASSERT_TRUE(nb_latest.ok());
+  EXPECT_EQ(*nb_latest, 2u);
+
+  // Two servers, one per kind, scoring the same traffic concurrently.
+  ServeMetrics km_metrics(4), nb_metrics(4);
+  AnalyticsServer km_server(Ctx(), &*km, {}, &km_metrics);
+  AnalyticsServer nb_server(Ctx(), &*nb, {}, &nb_metrics);
+  auto km_responses = ServeAll(km_server);
+  auto nb_responses = ServeAll(nb_server);
+  ASSERT_EQ(km_responses.size(), bodies_.size());
+  ASSERT_EQ(nb_responses.size(), bodies_.size());
+  for (size_t i = 0; i < bodies_.size(); ++i) {
+    EXPECT_EQ(km_responses[i].outcome, RequestOutcome::kOk);
+    EXPECT_EQ(nb_responses[i].outcome, RequestOutcome::kOk);
+    // NB recovers the topic: labels sort to {t0, t1, t2}, class id =
+    // topic id, and body i belongs to topic i % 3.
+    EXPECT_EQ(nb_responses[i].cluster, static_cast<uint32_t>(i % 3))
+        << "document " << i;
+  }
+
+  // A reloaded NB snapshot classifies bit-identically to the fitted
+  // in-memory handle — the round-trip guarantee, now for the second kind.
+  auto reloaded = registry.Load(NbConfig());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->version(), 2u);
+  for (const std::string& body : bodies_) {
+    EXPECT_EQ(ClassifyBits(*reloaded, body), ClassifyBits(*nb, body));
+  }
+
+  // Kind mismatch is config drift: loading version 1 (K-means) under the
+  // NB config is rejected, not misinterpreted.
+  EXPECT_EQ(registry.Load(NbConfig(), 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Load(Config(), 2).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(HeterogeneousServeTest, HotSwapFollowsOwnKindLineage) {
+  ModelRegistry registry(scratch_disk_.get(), "models");
+  auto km = registry.Fit(Ctx(), *reader_, Config());
+  ASSERT_TRUE(km.ok());
+  auto nb = registry.Fit(Ctx(), *labeled_reader_, NbConfig());
+  ASSERT_TRUE(nb.ok());
+  ServeMetrics km_metrics(4), nb_metrics(4);
+  AnalyticsServer km_server(Ctx(), &*km, {}, &km_metrics);
+  AnalyticsServer nb_server(Ctx(), &*nb, {}, &nb_metrics);
+  std::vector<std::string> canaries(bodies_.begin(), bodies_.begin() + 8);
+
+  // Publish K-means v3. The NB poller sees a newer GLOBAL latest but no
+  // newer version of its own kind: its TryHotSwap is a no-op, while the
+  // K-means server swaps 1 -> 3.
+  ASSERT_TRUE(registry.Fit(Ctx(), *reader_, Config()).ok());
+  ASSERT_TRUE(nb_server.TryHotSwap(registry, NbConfig(), canaries).ok());
+  EXPECT_EQ(nb_server.model_version(), 2u);
+  EXPECT_EQ(nb_metrics.Scrape().hot_swaps, 0u);
+  ASSERT_TRUE(km_server.TryHotSwap(registry, Config(), canaries).ok());
+  EXPECT_EQ(km_server.model_version(), 3u);
+  EXPECT_EQ(km_metrics.Scrape().hot_swaps, 1u);
+
+  // Publish NB v4, then corrupt its scorer artifact: the NB swap rolls
+  // back (torn-serve invariant) and keeps serving v2 — and the K-means
+  // server is untouched by the whole episode.
+  ASSERT_TRUE(registry.Fit(Ctx(), *labeled_reader_, NbConfig()).ok());
+  auto bytes = scratch_disk_->ReadFile("models/model-4.centroids");
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_NE(bytes->find("hpa-nb-model"), std::string::npos)
+      << "the scorer slot of an NB version must hold an NB artifact";
+  std::string bad = *bytes;
+  bad[bad.size() / 2] ^= 0x10;
+  ASSERT_TRUE(scratch_disk_->WriteFile("models/model-4.centroids", bad).ok());
+
+  Status swap = nb_server.TryHotSwap(registry, NbConfig(), canaries);
+  ASSERT_FALSE(swap.ok());
+  EXPECT_EQ(swap.code(), StatusCode::kCorruption);
+  EXPECT_EQ(nb_server.model_version(), 2u);
+  EXPECT_EQ(nb_metrics.Scrape().swap_rollbacks, 1u);
+
+  // Both kinds keep scoring after the rollback, each on its own version.
+  ASSERT_TRUE(nb_server.Submit(100, bodies_[1]).ok());
+  std::vector<Response> nb_r = nb_server.Drain();
+  ASSERT_EQ(nb_r.size(), 1u);
+  EXPECT_EQ(nb_r[0].outcome, RequestOutcome::kOk);
+  EXPECT_EQ(nb_r[0].model_version, 2u);
+  EXPECT_EQ(nb_r[0].cluster, 1u);  // topic 1 document
+  ASSERT_TRUE(km_server.Submit(101, bodies_[0]).ok());
+  std::vector<Response> km_r = km_server.Drain();
+  ASSERT_EQ(km_r.size(), 1u);
+  EXPECT_EQ(km_r[0].outcome, RequestOutcome::kOk);
+  EXPECT_EQ(km_r[0].model_version, 3u);
+}
+
 }  // namespace
 }  // namespace hpa::serve
