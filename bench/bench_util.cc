@@ -68,6 +68,11 @@ void AddCommonFlags(FlagSet& flags) {
   flags.DefineString("checkpoint-dir", "",
                      "scratch-relative directory for workflow checkpoint "
                      "manifests; empty disables checkpoint/restart");
+  flags.DefineInt("mem-budget", 0,
+                  "memory ceiling in MiB for data-resident state; the "
+                  "optimizer streams edges whose in-memory footprint "
+                  "would bust it and streaming operators bound their "
+                  "window high-water below it; 0 = unlimited");
 }
 
 io::FaultProfile FaultProfileFromFlags(const FlagSet& flags) {
@@ -76,6 +81,15 @@ io::FaultProfile FaultProfileFromFlags(const FlagSet& flags) {
   profile.corruption_rate = flags.GetDouble("fault-corruption");
   profile.seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
   return profile;
+}
+
+StatusOr<uint64_t> MemBudgetFromFlags(const FlagSet& flags) {
+  int mib = flags.GetInt("mem-budget");
+  if (mib < 0) {
+    return Status::InvalidArgument(
+        "--mem-budget must be >= 0 MiB, got " + std::to_string(mib));
+  }
+  return static_cast<uint64_t>(mib) * 1024 * 1024;
 }
 
 StatusOr<FaultPolicy> FaultPolicyFromFlags(const FlagSet& flags) {

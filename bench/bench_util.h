@@ -32,6 +32,10 @@ io::FaultProfile FaultProfileFromFlags(const FlagSet& flags);
 /// InvalidArgument on unknown spellings.
 StatusOr<FaultPolicy> FaultPolicyFromFlags(const FlagSet& flags);
 
+/// Parses --mem-budget (MiB) into a byte ceiling; 0 = unlimited. Rejects
+/// negative values with InvalidArgument, like FaultProfile::Validate.
+StatusOr<uint64_t> MemBudgetFromFlags(const FlagSet& flags);
+
 /// Workspace with a persistent corpus cache and a fresh scratch area.
 class BenchEnv {
  public:

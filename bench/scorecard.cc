@@ -16,6 +16,8 @@
 #include "common/string_util.h"
 #include "core/report.h"
 #include "core/checkpoint.h"
+#include "core/cost_model.h"
+#include "core/optimizer.h"
 #include "core/standard_ops.h"
 #include "core/workflow_executor.h"
 #include "io/fault_injection.h"
@@ -24,6 +26,7 @@
 #include "ops/kmeans.h"
 #include "ops/knn.h"
 #include "ops/naive_bayes.h"
+#include "ops/streaming.h"
 #include "ops/tfidf.h"
 #include "ops/word_count.h"
 #include "parallel/executor.h"
@@ -1126,6 +1129,116 @@ int Run(int argc, char** argv) {
             StrFormat("nb=%s knn=%s", nb_roundtrip ? "ok" : "DIFFERS",
                       knn_roundtrip ? "ok" : "DIFFERS"));
     }
+  }
+
+  // --- out-of-core streaming --------------------------------------------
+  {
+    ops::KMeansOptions kopts;
+    kopts.k = static_cast<int>(flags.GetInt("clusters"));
+    kopts.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+    kopts.stop_on_convergence = false;
+
+    auto inmem_run = [&]() -> StatusOr<ops::KMeansResult> {
+      parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+      ops::ExecContext ctx;
+      ctx.executor = &exec;
+      return ops::SparseKMeans(ctx, mix_tfidf->matrix, kopts);
+    };
+    auto stream_run = [&](uint64_t window_bytes, io::PrefetchStats* stats)
+        -> StatusOr<ops::KMeansResult> {
+      parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+      env->corpus_disk()->set_executor(&exec);
+      ops::ExecContext ctx;
+      ctx.executor = &exec;
+      ctx.corpus_disk = env->corpus_disk();
+      ops::StreamingOptions sopts;
+      sopts.window_bytes = window_bytes;
+      io::PrefetchStats fit_stats;
+      auto model =
+          ops::StreamingTfidfFit(ctx, *mix_reader, {}, sopts, &fit_stats);
+      StatusOr<ops::KMeansResult> result =
+          model.ok() ? ops::StreamingSparseKMeans(ctx, *model, *mix_reader,
+                                                  kopts, sopts, stats)
+                     : model.status();
+      env->corpus_disk()->set_executor(nullptr);
+      if (result.ok() && stats != nullptr) {
+        stats->high_water_bytes =
+            std::max(stats->high_water_bytes, fit_stats.high_water_bytes);
+      }
+      return result;
+    };
+
+    // Claim: streaming through bounded windows reproduces the in-memory
+    // clustering bit for bit, and the corpus-resident high-water mark
+    // stays within the two-window memory budget the window was sized for.
+    auto golden = inmem_run();
+    const uint64_t window = 256 * 1024;
+    io::PrefetchStats small_stats, large_stats;
+    auto small = stream_run(window, &small_stats);
+    auto large = stream_run(4 * window, &large_stats);
+    const bool identical =
+        golden.ok() && small.ok() && large.ok() &&
+        small->assignment == golden->assignment &&
+        small->centroids == golden->centroids &&
+        small->inertia_history == golden->inertia_history &&
+        large->assignment == golden->assignment &&
+        large->centroids == golden->centroids &&
+        large->inertia_history == golden->inertia_history;
+    Check(identical,
+          "streamed TF/IDF->K-means bit-identical to in-memory",
+          golden.ok() && small.ok() && large.ok()
+              ? StrFormat("%zu docs at %s and %s windows",
+                          golden->assignment.size(),
+                          HumanBytes(window).c_str(),
+                          HumanBytes(4 * window).c_str())
+              : "error");
+    Check(small.ok() && small_stats.high_water_bytes <= 2 * window &&
+              small_stats.windows_prefetched > 0,
+          "corpus residency bounded by the two-window budget",
+          small.ok()
+              ? StrFormat("high water %s <= %s, %llu windows prefetched",
+                          HumanBytes(small_stats.high_water_bytes).c_str(),
+                          HumanBytes(2 * window).c_str(),
+                          static_cast<unsigned long long>(
+                              small_stats.windows_prefetched))
+              : "error");
+
+    // Claim: the optimizer flips the TF/IDF edge to streaming only when
+    // the memory budget drops below the estimated matrix footprint.
+    core::WorkloadStats wstats;
+    wstats.documents = 23432;
+    wstats.total_tokens = 9'000'000;
+    wstats.distinct_words = 184743;
+    wstats.avg_distinct_per_doc = 200.0;
+    core::CostModel cost_model(parallel::MachineModel::Default(), wstats);
+    core::Workflow wf;
+    int src = wf.AddSource(core::Dataset(core::CorpusRef{*mix_rel}),
+                           "corpus");
+    auto tnode = wf.Add(std::make_unique<core::TfidfOperator>(), {src});
+    ops::KMeansOptions pk;
+    pk.k = 8;
+    pk.max_iterations = 6;
+    auto knode =
+        wf.Add(std::make_unique<core::KMeansOperator>(pk), {*tnode});
+    bool flip_ok = false;
+    if (tnode.ok() && knode.ok()) {
+      const uint64_t footprint = cost_model.EstimateMatrixBytes();
+      core::OptimizerOptions oopts;
+      oopts.workers = 8;
+      oopts.mem_budget_bytes = footprint / 4;
+      bool tight = core::OptimizeWorkflow(wf, cost_model, oopts)
+                       .nodes[static_cast<size_t>(*tnode)]
+                       .stream_corpus;
+      oopts.mem_budget_bytes = footprint * 2;
+      bool roomy = core::OptimizeWorkflow(wf, cost_model, oopts)
+                       .nodes[static_cast<size_t>(*tnode)]
+                       .stream_corpus;
+      flip_ok = tight && !roomy;
+    }
+    Check(flip_ok,
+          "optimizer streams the TF/IDF edge only under a tight budget",
+          StrFormat("footprint %s: stream below, materialize above",
+                    HumanBytes(cost_model.EstimateMatrixBytes()).c_str()));
   }
 
   std::printf("\n%d/%d claims reproduced at --scale=%.3g\n",

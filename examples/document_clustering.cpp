@@ -19,6 +19,7 @@
 #include "io/file_io.h"
 #include "io/packed_corpus.h"
 #include "ops/kmeans.h"
+#include "ops/streaming.h"
 #include "ops/tfidf.h"
 #include "parallel/simulated_executor.h"
 #include "text/corpus_io.h"
@@ -42,6 +43,11 @@ int main(int argc, char** argv) {
                    "disable the triangle-inequality-pruned assignment "
                    "step (full k-way distance scan every iteration; "
                    "results are identical either way)");
+  flags.DefineInt("mem-budget", 0,
+                  "memory ceiling in MiB: run the semi-external "
+                  "TF/IDF->K-means pipeline through bounded corpus "
+                  "windows instead of materializing the sparse matrix "
+                  "(results are bit-identical); 0 = in-memory");
   flags.DefineDouble("fault-rate", 0.0,
                      "injected transient I/O fault probability per corpus "
                      "read (0 = no injection)");
@@ -56,6 +62,14 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.Help().c_str());
     return 0;
   }
+
+  if (flags.GetInt("mem-budget") < 0) {
+    std::fprintf(stderr, "--mem-budget must be >= 0 MiB, got %lld\n",
+                 static_cast<long long>(flags.GetInt("mem-budget")));
+    return 2;
+  }
+  const uint64_t mem_budget_bytes =
+      static_cast<uint64_t>(flags.GetInt("mem-budget")) * 1024 * 1024;
 
   auto workdir = io::MakeTempDir("hpa_cluster_example_");
   if (!workdir.ok()) return 1;
@@ -132,44 +146,81 @@ int main(int argc, char** argv) {
     corpus_disk.set_fault_injector(&fault_injector);
     corpus_disk.set_retry_policy(RetryPolicy{});
   }
-  auto tfidf = ops::TfidfInMemory(ctx, *reader);
-  if (!tfidf.ok()) {
-    std::fprintf(stderr, "%s\n", tfidf.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("TF/IDF: %zu documents x %zu terms, %llu nonzeros, "
-              "dictionaries %llu KiB\n",
-              tfidf->matrix.num_rows(), tfidf->terms.size(),
-              static_cast<unsigned long long>(tfidf->matrix.TotalNnz()),
-              static_cast<unsigned long long>(tfidf->dict_bytes / 1024));
-  if (fault_profile.Enabled()) {
-    std::printf("%s", core::FormatFaultSummary(tfidf->quarantine,
-                                               tfidf->matrix.num_rows(),
-                                               corpus_disk.total_retries())
-                          .c_str());
-  }
-
   ops::KMeansOptions kopts;
   kopts.k = static_cast<int>(flags.GetInt("clusters"));
   kopts.max_iterations = 30;
-  auto clusters = ops::SparseKMeans(ctx, tfidf->matrix, kopts);
-  if (!clusters.ok()) {
-    std::fprintf(stderr, "%s\n", clusters.status().ToString().c_str());
-    return 1;
+
+  std::vector<std::string> terms;
+  ops::KMeansResult kresult;
+  if (mem_budget_bytes > 0) {
+    // Semi-external pipeline: the corpus streams through bounded windows
+    // and the sparse matrix never exists; assignments and centroids are
+    // bit-identical to the in-memory path below.
+    ctx.mem_budget_bytes = mem_budget_bytes;
+    ops::StreamingOptions sopts;
+    sopts.window_bytes = mem_budget_bytes / 2;
+    auto model = ops::StreamingTfidfFit(ctx, *reader, {}, sopts);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("TF/IDF (streamed, %llu KiB windows): %zu documents x %zu "
+                "terms, df table %llu KiB\n",
+                static_cast<unsigned long long>(sopts.window_bytes / 1024),
+                model->num_docs, model->terms.size(),
+                static_cast<unsigned long long>(model->dict_bytes / 1024));
+    if (fault_profile.Enabled()) {
+      std::printf("%s", core::FormatFaultSummary(model->quarantine,
+                                                 model->num_docs,
+                                                 corpus_disk.total_retries())
+                            .c_str());
+    }
+    auto clusters =
+        ops::StreamingSparseKMeans(ctx, *model, *reader, kopts, sopts);
+    if (!clusters.ok()) {
+      std::fprintf(stderr, "%s\n", clusters.status().ToString().c_str());
+      return 1;
+    }
+    terms = std::move(model->terms);
+    kresult = std::move(*clusters);
+  } else {
+    auto tfidf = ops::TfidfInMemory(ctx, *reader);
+    if (!tfidf.ok()) {
+      std::fprintf(stderr, "%s\n", tfidf.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("TF/IDF: %zu documents x %zu terms, %llu nonzeros, "
+                "dictionaries %llu KiB\n",
+                tfidf->matrix.num_rows(), tfidf->terms.size(),
+                static_cast<unsigned long long>(tfidf->matrix.TotalNnz()),
+                static_cast<unsigned long long>(tfidf->dict_bytes / 1024));
+    if (fault_profile.Enabled()) {
+      std::printf("%s", core::FormatFaultSummary(tfidf->quarantine,
+                                                 tfidf->matrix.num_rows(),
+                                                 corpus_disk.total_retries())
+                            .c_str());
+    }
+    auto clusters = ops::SparseKMeans(ctx, tfidf->matrix, kopts);
+    if (!clusters.ok()) {
+      std::fprintf(stderr, "%s\n", clusters.status().ToString().c_str());
+      return 1;
+    }
+    terms = std::move(tfidf->terms);
+    kresult = std::move(*clusters);
   }
 
-  const uint64_t kernels_total = clusters->distance_kernels_evaluated +
-                                 clusters->distance_kernels_skipped;
+  const uint64_t kernels_total = kresult.distance_kernels_evaluated +
+                                 kresult.distance_kernels_skipped;
   std::printf("K-means: %d iterations, %sconverged, inertia %.4f\n"
               "         %llu of %llu distance kernels pruned (%.1f%%)\n\n",
-              clusters->iterations, clusters->converged ? "" : "not ",
-              clusters->inertia,
+              kresult.iterations, kresult.converged ? "" : "not ",
+              kresult.inertia,
               static_cast<unsigned long long>(
-                  clusters->distance_kernels_skipped),
+                  kresult.distance_kernels_skipped),
               static_cast<unsigned long long>(kernels_total),
               kernels_total > 0
                   ? 100.0 * static_cast<double>(
-                                clusters->distance_kernels_skipped) /
+                                kresult.distance_kernels_skipped) /
                         static_cast<double>(kernels_total)
                   : 0.0);
 
@@ -177,8 +228,8 @@ int main(int argc, char** argv) {
   const int top = static_cast<int>(flags.GetInt("top_terms"));
   for (int c = 0; c < kopts.k; ++c) {
     size_t members = 0;
-    for (uint32_t a : clusters->assignment) members += (a == uint32_t(c));
-    const auto& centroid = clusters->centroids[static_cast<size_t>(c)];
+    for (uint32_t a : kresult.assignment) members += (a == uint32_t(c));
+    const auto& centroid = kresult.centroids[static_cast<size_t>(c)];
     std::vector<std::pair<float, uint32_t>> weights;
     for (uint32_t d = 0; d < centroid.size(); ++d) {
       if (centroid[d] > 0) weights.push_back({centroid[d], d});
@@ -190,7 +241,7 @@ int main(int argc, char** argv) {
                       });
     std::printf("cluster %d (%zu docs):", c, members);
     for (size_t i = 0; i < keep; ++i) {
-      std::printf(" %s(%.3f)", tfidf->terms[weights[i].second].c_str(),
+      std::printf(" %s(%.3f)", terms[weights[i].second].c_str(),
                   weights[i].first);
     }
     std::printf("\n");

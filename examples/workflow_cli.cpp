@@ -66,6 +66,11 @@ int main(int argc, char** argv) {
   flags.DefineBool("no-prune", false,
                    "disable the triangle-inequality-pruned K-means "
                    "assignment step (results are identical either way)");
+  flags.DefineInt("mem-budget", 0,
+                  "memory ceiling in MiB for data-resident state; the "
+                  "optimizer streams the TF/IDF->K-means edge through "
+                  "bounded corpus windows when the in-memory matrix would "
+                  "bust it (0 = unlimited)");
   flags.DefineInt("serve", 0,
                   "serve mode: fit a model from the corpus, publish it to "
                   "the registry, then answer this many classification "
@@ -83,6 +88,14 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.Help().c_str());
     return 0;
   }
+
+  if (flags.GetInt("mem-budget") < 0) {
+    return Fail(Status::InvalidArgument(
+        "--mem-budget must be >= 0 MiB, got " +
+        std::to_string(flags.GetInt("mem-budget"))));
+  }
+  const uint64_t mem_budget_bytes =
+      static_cast<uint64_t>(flags.GetInt("mem-budget")) * 1024 * 1024;
 
   std::string out_dir = flags.GetString("output_dir");
   if (out_dir.empty()) {
@@ -235,8 +248,13 @@ int main(int argc, char** argv) {
     core::OptimizerOptions oopts;
     oopts.workers = static_cast<int>(flags.GetInt("workers"));
     oopts.force_materialize_intermediates = flags.GetBool("discrete");
+    oopts.mem_budget_bytes = mem_budget_bytes;
     plan = core::OptimizeWorkflow(wf, model, oopts);
-    std::printf("plan: optimized for %d workers\n", plan.workers);
+    std::printf("plan: optimized for %d workers%s\n", plan.workers,
+                plan.nodes[static_cast<size_t>(*tfidf)].stream_corpus
+                    ? " (tfidf edge streams: matrix would bust the memory "
+                      "budget)"
+                    : "");
   }
 
   // Persist the plan and the annotated DAG for inspection/replay.
@@ -262,6 +280,7 @@ int main(int argc, char** argv) {
 
   env.stem_tokens = flags.GetBool("stem");
   env.no_prune = flags.GetBool("no-prune");
+  env.mem_budget_bytes = mem_budget_bytes;
 
   auto result = core::RunWorkflow(wf, plan, env);
   if (!result.ok()) return Fail(result.status());

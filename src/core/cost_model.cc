@@ -199,6 +199,58 @@ uint64_t CostModel::EstimateArtifactBytes() const {
                                    24.0);
 }
 
+uint64_t CostModel::EstimateMatrixBytes() const {
+  // SparseVector stores 8-byte (id, value) pairs; each row adds vector
+  // headers + allocator slack (~48 bytes, the measured per-row constant).
+  const double doc_entries =
+      static_cast<double>(stats_.documents) * stats_.avg_distinct_per_doc;
+  return static_cast<uint64_t>(doc_entries * 8.0 +
+                               static_cast<double>(stats_.documents) * 48.0);
+}
+
+double CostModel::MemoryCeilingPenaltySeconds(uint64_t resident_bytes,
+                                              uint64_t budget_bytes) {
+  if (budget_bytes == 0 || resident_bytes <= budget_bytes) return 0.0;
+  // Every overflowing byte pages out and back in over the swap device
+  // once per sweep; sweeps fault pages in access order, not layout order,
+  // so the effective throughput (~25 MB/s) sits well below the device's
+  // sequential rate. 2 transfers per byte, doubled again for the dirty
+  // write-back of the evicted victim pages. Linear, so the optimizer's
+  // comparison stays monotone in the overflow.
+  constexpr double kSwapBytesPerSec = 25.0e6;
+  double overflow = static_cast<double>(resident_bytes - budget_bytes);
+  return overflow * 4.0 / kSwapBytesPerSec;
+}
+
+double CostModel::EstimateStreamingExtraSeconds(
+    containers::DictBackend backend, int workers, uint64_t per_doc_presize,
+    int kmeans_iterations, uint64_t window_bytes,
+    double device_latency_sec) const {
+  if (kmeans_iterations < 1) kmeans_iterations = 1;
+  PhaseCostEstimate est = Estimate(backend, workers, per_doc_presize);
+  // Per K-means iteration the streaming pass re-tokenizes and re-scores
+  // the whole corpus — roughly one fused TF/IDF pass each time the
+  // in-memory plan would just re-read resident rows.
+  double rescore = static_cast<double>(kmeans_iterations) * est.TotalFused();
+  // Each window acquisition pays the device latency once per pass (the
+  // bandwidth term overlaps with compute under prefetch; latency does not).
+  double corpus_bytes = static_cast<double>(stats_.total_tokens) * 6.0;
+  double windows = window_bytes == 0
+                       ? 1.0
+                       : std::max(1.0, corpus_bytes /
+                                           static_cast<double>(window_bytes));
+  double latency = windows * device_latency_sec *
+                   static_cast<double>(1 + kmeans_iterations);
+  return rescore + latency;
+}
+
+uint64_t CostModel::ChooseWindowBytes(uint64_t budget_bytes) {
+  if (budget_bytes == 0) return 0;
+  constexpr uint64_t kMinWindowBytes = 64ull * 1024;
+  uint64_t half = budget_bytes / 2;
+  return half < kMinWindowBytes ? kMinWindowBytes : half;
+}
+
 double CostModel::CheckpointCommitSeconds(uint64_t bytes) const {
   // The commit reads the artifact back for the CRC-32 and writes a
   // manifest of a few hundred bytes; both land on the single-channel

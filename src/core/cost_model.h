@@ -82,6 +82,42 @@ class CostModel {
   /// on the scratch disk (score rows + attribute header).
   uint64_t EstimateArtifactBytes() const;
 
+  /// Predicted resident bytes of the in-memory TF/IDF SparseMatrix: one
+  /// (id, value) pair per stored score plus per-row vector headers. This
+  /// is what a fused in-memory TF/IDF→K-means edge keeps live for the
+  /// whole clustering phase — the footprint the memory-ceiling term
+  /// prices.
+  uint64_t EstimateMatrixBytes() const;
+
+  /// Seconds of thrash penalty ONE full sweep over `resident_bytes` of
+  /// data-resident state pays when it exceeds `budget_bytes`: the overflow
+  /// priced at random-fault swap throughput (every overflowing byte is
+  /// evicted and read back per sweep — the classic thrashing cliff,
+  /// linearized). Callers multiply by the consumer's sweep count; an
+  /// iterative K-means re-faults the overflow every iteration. 0 when the
+  /// state fits or no budget is set.
+  static double MemoryCeilingPenaltySeconds(uint64_t resident_bytes,
+                                            uint64_t budget_bytes);
+
+  /// Extra seconds the streaming TF/IDF→K-means pipeline pays over the
+  /// in-memory plan: every K-means iteration re-scores the corpus from
+  /// window bytes (one fused-phase-shaped pass per iteration) and each
+  /// window acquisition pays the device latency once per pass. This is
+  /// the price of never holding the matrix; the optimizer flips to
+  /// streaming when the memory-ceiling penalty of the in-memory plan
+  /// exceeds it.
+  double EstimateStreamingExtraSeconds(containers::DictBackend backend,
+                                       int workers, uint64_t per_doc_presize,
+                                       int kmeans_iterations,
+                                       uint64_t window_bytes,
+                                       double device_latency_sec) const;
+
+  /// Window payload budget for a memory ceiling: half the budget (current
+  /// window + one prefetched stays under it), clamped to at least 64 KiB
+  /// so windows amortize per-window latency. 0 budget → 0 (operator
+  /// default).
+  static uint64_t ChooseWindowBytes(uint64_t budget_bytes);
+
   /// Expected fraction of documents whose pruned assignment step still
   /// pays the full k-way kernel scan in (0-based) iteration `iteration`.
   /// Iteration 0 is always exact (no bounds exist yet); after that the

@@ -9,6 +9,7 @@
 #include "ops/kmeans.h"
 #include "ops/knn.h"
 #include "ops/naive_bayes.h"
+#include "ops/streaming.h"
 #include "ops/tfidf.h"
 
 /// \file
@@ -87,7 +88,7 @@ using Dataset =
     std::variant<std::monostate, CorpusRef, ops::TfidfResult,
                  containers::SparseMatrix, ArffRef, Clustering, CsvRef,
                  TermRanking, ops::NaiveBayesModel, ops::KnnModel, ModelRef,
-                 Predictions, Evaluation>;
+                 Predictions, Evaluation, ops::StreamingTfidfModel>;
 
 /// Human-readable dataset kind ("corpus-ref", "tfidf", ...), for errors
 /// and plan dumps.

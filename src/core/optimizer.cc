@@ -145,6 +145,62 @@ ExecutionPlan OptimizeWorkflow(const Workflow& workflow,
 
     np.output_boundary =
         materialize ? Boundary::kMaterialized : Boundary::kFused;
+
+    // Out-of-core rule: under a memory ceiling, a TF/IDF edge whose
+    // in-memory sparse matrix would bust the budget is priced at its
+    // thrashing penalty and compared against the streaming pipeline's
+    // re-scoring overhead (one extra fused-shape pass per downstream
+    // K-means iteration plus per-window latency). When the penalty wins,
+    // the edge streams: bounded windows, no resident matrix — and no
+    // materialized artifact, so the streamed edge stays fused regardless
+    // of what the checkpoint rule wanted (there is nothing on disk to
+    // resume from unless a later edge buys it).
+    if (options.mem_budget_bytes > 0 && !is_sink &&
+        !options.force_materialize_intermediates &&
+        !workflow.IsSource(static_cast<int>(i)) &&
+        dynamic_cast<const TfidfOperator*>(
+            workflow.node(static_cast<int>(i)).op.get()) != nullptr) {
+      double penalty = CostModel::MemoryCeilingPenaltySeconds(
+          cost_model.EstimateMatrixBytes(), options.mem_budget_bytes);
+      if (penalty > 0.0) {
+        // Streaming hands downstream a model, not a matrix — only legal
+        // when every consumer of this edge is a K-means node (the one
+        // windowed consumer). The re-scoring multiplier is the slowest
+        // consumer's iteration count.
+        bool consumers_stream = consumers[i] > 0;
+        int iterations = 0;
+        for (size_t j = 0; j < workflow.size() && consumers_stream; ++j) {
+          if (workflow.IsSource(static_cast<int>(j))) continue;
+          const Workflow::Node& consumer = workflow.node(static_cast<int>(j));
+          if (std::find(consumer.inputs.begin(), consumer.inputs.end(),
+                        static_cast<int>(i)) == consumer.inputs.end()) {
+            continue;
+          }
+          if (const auto* kmeans =
+                  dynamic_cast<const KMeansOperator*>(consumer.op.get())) {
+            iterations = std::max(iterations,
+                                  kmeans->options().max_iterations);
+          } else {
+            consumers_stream = false;
+          }
+        }
+        if (!consumers_stream) continue;
+        uint64_t window =
+            CostModel::ChooseWindowBytes(options.mem_budget_bytes);
+        double extra = cost_model.EstimateStreamingExtraSeconds(
+            backend, plan.workers, options.per_doc_dict_presize, iterations,
+            window, options.corpus_latency_sec);
+        // The in-memory plan sweeps the overflowing matrix once to build
+        // it and once per K-means iteration — each sweep re-faults the
+        // overflow, so the per-sweep penalty multiplies.
+        penalty *= 1.0 + static_cast<double>(iterations);
+        if (penalty > extra) {
+          np.stream_corpus = true;
+          np.window_bytes = window;
+          np.output_boundary = Boundary::kFused;
+        }
+      }
+    }
   }
   return plan;
 }

@@ -55,6 +55,23 @@ struct OptimizerOptions {
   /// exceeds the materialization + checkpoint-commit overhead
   /// (CostModel::CheckpointCommitSeconds). 0 leaves rule 3 untouched.
   double failure_probability = 0.0;
+
+  /// Memory ceiling in bytes for data-resident state (0 = unlimited).
+  /// > 0 enables the out-of-core rule: a TF/IDF edge whose in-memory
+  /// sparse matrix (CostModel::EstimateMatrixBytes) would bust the
+  /// ceiling is compared at its priced thrashing penalty against the
+  /// streaming pipeline's re-scoring cost
+  /// (CostModel::EstimateStreamingExtraSeconds); when the penalty wins,
+  /// the edge flips to NodePlan::stream_corpus with
+  /// CostModel::ChooseWindowBytes(mem_budget_bytes) windows. A streamed
+  /// edge stays fused — there is no materialized artifact to checkpoint
+  /// unless one is bought explicitly downstream.
+  uint64_t mem_budget_bytes = 0;
+
+  /// Per-window access latency of the corpus device, for pricing the
+  /// streaming pipeline's window acquisitions (HDD-order seek by
+  /// default).
+  double corpus_latency_sec = 0.005;
 };
 
 /// Produces a plan for `workflow` using `cost_model` and `options`.

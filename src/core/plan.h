@@ -26,6 +26,16 @@ struct NodePlan {
 
   /// Per-document table pre-size (0 = grow on demand).
   size_t per_doc_dict_presize = 0;
+
+  /// Semi-external input: this operator consumes the corpus through
+  /// bounded windows (io/corpus_window.h) instead of materializing the
+  /// full sparse matrix. Chosen by the optimizer when the in-memory
+  /// footprint would bust OptimizerOptions::mem_budget_bytes.
+  bool stream_corpus = false;
+
+  /// Window payload budget in bytes when stream_corpus is set (0 lets the
+  /// operator pick).
+  uint64_t window_bytes = 0;
 };
 
 /// A complete plan for one workflow execution.

@@ -17,11 +17,18 @@ std::string SerializePlan(const ExecutionPlan& plan,
     }
     const NodePlan& np = plan.nodes[i];
     out += StrFormat(
-        "node %d op=%s boundary=%s dict=%s presize=%zu\n", id,
+        "node %d op=%s boundary=%s dict=%s presize=%zu", id,
         std::string(workflow.label(id)).c_str(),
         std::string(BoundaryName(np.output_boundary)).c_str(),
         std::string(containers::DictBackendName(np.dict_backend)).c_str(),
         np.per_doc_dict_presize);
+    // Out-of-core keys only appear when set, so pre-streaming plan files
+    // round-trip byte-identically.
+    if (np.stream_corpus) {
+      out += StrFormat(" stream=1 window=%llu",
+                       static_cast<unsigned long long>(np.window_bytes));
+    }
+    out += "\n";
   }
   return out;
 }
@@ -135,6 +142,21 @@ StatusOr<ExecutionPlan> ParsePlan(std::string_view text,
           return Malformed(line_number, "bad presize");
         }
         np.per_doc_dict_presize = static_cast<size_t>(p);
+      } else if (key == "stream") {
+        if (value == "1") {
+          np.stream_corpus = true;
+        } else if (value == "0") {
+          np.stream_corpus = false;
+        } else {
+          return Malformed(line_number,
+                           "bad stream '" + std::string(value) + "'");
+        }
+      } else if (key == "window") {
+        int64_t wb = 0;
+        if (!ParseInt64(value, &wb) || wb < 0) {
+          return Malformed(line_number, "bad window");
+        }
+        np.window_bytes = static_cast<uint64_t>(wb);
       } else {
         return Malformed(line_number,
                          "unknown key '" + std::string(key) + "'");

@@ -7,6 +7,7 @@
 #include "io/csv.h"
 #include "io/packed_corpus.h"
 #include "io/sharded_arff.h"
+#include "ops/streaming.h"
 #include "ops/tfidf.h"
 #include "parallel/parallel_ops.h"
 
@@ -48,6 +49,22 @@ StatusOr<Dataset> TfidfOperator::Run(ops::ExecContext& ctx,
     HPA_RETURN_IF_ERROR(ops::TfidfToArff(ctx, reader, kArffPath));
     return Dataset(ArffRef{kArffPath});
   }
+  if (ctx.stream_windows) {
+    // Semi-external plan: fit the model through bounded windows and hand
+    // downstream consumers the model (O(vocabulary)) instead of the
+    // matrix (O(corpus)). The edge carries no artifact — a resume
+    // re-derives it, like any fused edge.
+    ops::StreamingOptions sopts;
+    sopts.window_bytes = ctx.window_bytes;
+    sopts.prefetch = ctx.prefetch_windows;
+    HPA_ASSIGN_OR_RETURN(auto model,
+                         ops::StreamingTfidfFit(ctx, reader, {}, sopts));
+    if (ctx.quarantine != nullptr && !model.quarantine.empty()) {
+      QuarantineList copy = model.quarantine;
+      ctx.quarantine->MergeFrom(std::move(copy));
+    }
+    return Dataset(std::move(model));
+  }
   HPA_ASSIGN_OR_RETURN(auto result, ops::TfidfInMemory(ctx, reader));
   if (ctx.quarantine != nullptr && !result.quarantine.empty()) {
     QuarantineList copy = result.quarantine;
@@ -63,7 +80,42 @@ StatusOr<Dataset> KMeansOperator::Run(ops::ExecContext& ctx,
     return Status::InvalidArgument("kmeans takes exactly one input");
   }
 
-  // Accept any of the three input shapes.
+  // Streaming input: the upstream TF/IDF fitted a model instead of a
+  // matrix; re-open the corpus it names and run the windowed K-means,
+  // which re-scores rows on the fly (bit-identical to the in-memory
+  // kernel). The model carries the window/prefetch configuration the
+  // plan chose.
+  if (const auto* model = std::get_if<ops::StreamingTfidfModel>(inputs[0])) {
+    if (ctx.corpus_disk == nullptr) {
+      return Status::FailedPrecondition(
+          "streaming kmeans requires a corpus disk");
+    }
+    HPA_ASSIGN_OR_RETURN(
+        auto reader,
+        io::PackedCorpusReader::Open(ctx.corpus_disk, model->corpus_path));
+    ops::StreamingOptions sopts;
+    sopts.window_bytes = model->window_bytes;
+    sopts.prefetch = model->prefetch;
+    HPA_ASSIGN_OR_RETURN(
+        auto result, ops::StreamingSparseKMeans(ctx, *model, reader, options_,
+                                                sopts));
+    if (output_boundary == Boundary::kMaterialized) {
+      if (ctx.scratch_disk == nullptr) {
+        return Status::FailedPrecondition(
+            "materialized kmeans requires a scratch disk");
+      }
+      HPA_RETURN_IF_ERROR(ops::WriteAssignmentsCsv(ctx, model->doc_names,
+                                                   result.assignment,
+                                                   kCsvPath));
+      return Dataset(CsvRef{kCsvPath});
+    }
+    Clustering clustering;
+    clustering.kmeans = std::move(result);
+    clustering.doc_names = model->doc_names;
+    return Dataset(std::move(clustering));
+  }
+
+  // Accept any of the three materialized-era input shapes.
   const containers::SparseMatrix* matrix = nullptr;
   containers::SparseMatrix loaded;  // owns the materialized-input case
   std::vector<std::string> doc_names;
@@ -102,7 +154,8 @@ StatusOr<Dataset> KMeansOperator::Run(ops::ExecContext& ctx,
     }
     matrix = &loaded;
   } else {
-    return WrongInput("kmeans", *inputs[0], "tfidf/sparse-matrix/arff-ref");
+    return WrongInput("kmeans", *inputs[0],
+                      "tfidf/sparse-matrix/arff-ref/streaming-tfidf");
   }
 
   HPA_ASSIGN_OR_RETURN(auto result, ops::SparseKMeans(ctx, *matrix, options_));

@@ -35,6 +35,8 @@ std::string_view DatasetKindName(const Dataset& dataset) {
       return "predictions";
     case 12:
       return "evaluation";
+    case 13:
+      return "streaming-tfidf";
   }
   return "unknown";
 }

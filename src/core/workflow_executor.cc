@@ -21,12 +21,17 @@ std::string ExecutionPlan::ToString(const Workflow& workflow) const {
     }
     const NodePlan& np = nodes[i];
     out += StrFormat(
-        "  node %d: %s -> %s, dict=%s%s\n", id,
+        "  node %d: %s -> %s, dict=%s%s%s\n", id,
         std::string(workflow.label(id)).c_str(),
         std::string(BoundaryName(np.output_boundary)).c_str(),
         std::string(containers::DictBackendName(np.dict_backend)).c_str(),
         np.per_doc_dict_presize > 0
             ? StrFormat(" (presize %zu)", np.per_doc_dict_presize).c_str()
+            : "",
+        np.stream_corpus
+            ? StrFormat(", stream (window %llu)",
+                        static_cast<unsigned long long>(np.window_bytes))
+                  .c_str()
             : "");
   }
   return out;
@@ -178,6 +183,10 @@ StatusOr<WorkflowRunResult> RunWorkflow(const Workflow& workflow,
     ctx.tokenizer = env.tokenizer;
     ctx.stem_tokens = env.stem_tokens;
     ctx.no_prune = env.no_prune;
+    ctx.stream_windows = np.stream_corpus;
+    ctx.window_bytes = np.window_bytes;
+    ctx.prefetch_windows = env.prefetch_windows;
+    ctx.mem_budget_bytes = env.mem_budget_bytes;
     ctx.fault_policy = env.fault_policy;
     ctx.quarantine = &node_quarantine;
     ctx.crash_after_node = env.crash_after_node;

@@ -55,6 +55,16 @@ struct RunEnv {
   /// Crash hook (see ops::ExecContext::crash_after_node): abort the run
   /// right after this node id completes (and checkpoints). -1 disables.
   int crash_after_node = -1;
+
+  /// Advisory memory ceiling in bytes for data-resident state, threaded
+  /// to every operator context (0 = unlimited). The per-node streaming
+  /// decision itself lives on the plan (NodePlan::stream_corpus); this is
+  /// the environment fact the optimizer derived it from.
+  uint64_t mem_budget_bytes = 0;
+
+  /// Async window prefetch for streamed nodes (off = synchronous windowed
+  /// reads, the ablation baseline). Environment-wide, like stemming.
+  bool prefetch_windows = true;
 };
 
 /// Result of one workflow execution.

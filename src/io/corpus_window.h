@@ -1,0 +1,135 @@
+#ifndef HPA_IO_CORPUS_WINDOW_H_
+#define HPA_IO_CORPUS_WINDOW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/packed_corpus.h"
+#include "parallel/executor.h"
+
+/// \file
+/// Windowed view over a PackedCorpusReader: the corpus becomes a sequence
+/// of bounded-memory document windows, each one contiguous byte range of
+/// the packed file fetched with a single ranged read and CRC-validated per
+/// document. This is the I/O substrate of the semi-external execution mode:
+/// operators hold at most two windows resident (the one they compute on and
+/// the one the prefetcher reads ahead), so corpus size no longer bounds
+/// memory.
+///
+/// The prefetcher models a dedicated I/O lane on the executor's virtual
+/// clock: window reads queue on the lane (`ready = max(issue, lane_free) +
+/// latency + bytes/bandwidth`), and Acquire() charges only the *stall* —
+/// the part of the read not yet hidden behind compute — via
+/// Executor::ChargeIoTime. With prefetch on, window w+1 is issued the
+/// moment window w is acquired, so its transfer overlaps w's compute; with
+/// prefetch off every window is issued at Acquire and the full read cost
+/// stalls the clock. Both modes use the same lane arithmetic, which makes
+/// the async-vs-sync comparison in `ablation_outofcore` apples-to-apples
+/// and exactly replayable.
+
+namespace hpa::io {
+
+/// One window: documents [begin_doc, end_doc), bodies contiguous on disk.
+struct CorpusWindow {
+  size_t begin_doc = 0;
+  size_t end_doc = 0;  ///< exclusive
+  uint64_t bytes = 0;  ///< sum of body lengths in the window
+};
+
+/// Splits `corpus` into contiguous windows of at most `window_bytes` of
+/// body payload each. Every window holds at least one document, so a
+/// single document larger than the budget gets a window of its own
+/// (bounded memory then degrades gracefully to bounded-per-document).
+/// `window_bytes == 0` means "one window spanning the whole corpus".
+std::vector<CorpusWindow> PlanWindows(const PackedCorpusReader& corpus,
+                                      uint64_t window_bytes);
+
+/// Deterministic prefetch accounting, surfaced on phase counters and the
+/// ablation JSON tails.
+struct PrefetchStats {
+  uint64_t windows_fetched = 0;      ///< windows handed to Acquire()
+  uint64_t windows_prefetched = 0;   ///< of those, issued ahead of Acquire
+  uint64_t bytes_read = 0;           ///< payload bytes fetched (all windows)
+  uint64_t bytes_read_ahead = 0;     ///< payload bytes issued ahead
+  double stall_seconds = 0.0;        ///< read time NOT hidden by compute
+  double lane_busy_seconds = 0.0;    ///< total modeled lane transfer time
+  uint64_t crc_reread_docs = 0;      ///< per-doc re-reads after a bad slice
+  uint64_t high_water_bytes = 0;     ///< max corpus payload resident at once
+
+  /// Fraction of lane time hidden behind compute (0 when nothing was read).
+  double OverlapRatio() const {
+    if (lane_busy_seconds <= 0.0) return 0.0;
+    double hidden = lane_busy_seconds - stall_seconds;
+    if (hidden < 0.0) hidden = 0.0;
+    return hidden / lane_busy_seconds;
+  }
+};
+
+/// Fetched window contents. `statuses[i - begin_doc]` is OK when
+/// `bodies[i - begin_doc]` holds the validated payload of document i;
+/// otherwise it carries the read/corruption error for quarantine.
+struct WindowData {
+  size_t begin_doc = 0;
+  size_t end_doc = 0;
+  std::vector<std::string> bodies;
+  std::vector<hpa::Status> statuses;
+};
+
+/// Double-buffered window reader with an optional depth-1 async prefetch
+/// lane. Windows must be acquired in order 0..num_windows()-1 from OUTSIDE
+/// any parallel region (Acquire charges stall time at top level, where the
+/// simulated executor advances its clock directly); Reset() rewinds for
+/// multi-pass consumers (one K-means iteration = one pass). Stats
+/// accumulate across passes.
+class WindowPrefetcher {
+ public:
+  /// `corpus` must outlive the prefetcher. `window_bytes == 0` spans the
+  /// corpus with one window.
+  WindowPrefetcher(const PackedCorpusReader* corpus, uint64_t window_bytes,
+                   bool prefetch);
+
+  size_t num_windows() const { return windows_.size(); }
+  const CorpusWindow& window(size_t w) const { return windows_[w]; }
+  uint64_t window_bytes() const { return window_bytes_; }
+  bool prefetch_enabled() const { return prefetch_; }
+
+  /// Fetches (or completes the prefetched read of) window `w`, charging
+  /// any un-hidden read time to `executor`, and issues window w+1 on the
+  /// lane when prefetch is on. Must be called in order; the previous
+  /// window is released automatically.
+  const WindowData& Acquire(parallel::Executor* executor, size_t w);
+
+  /// Drops resident windows and rewinds to window 0 for another pass.
+  void Reset();
+
+  const PrefetchStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    WindowData data;
+    size_t window_index = 0;
+    double ready_time = 0.0;
+    bool valid = false;
+  };
+
+  /// Models the lane read and performs the actual transfer for window `w`.
+  void Issue(parallel::Executor* executor, size_t w, bool ahead);
+  void Fetch(size_t w, WindowData* out);
+  void DropSlot(Slot* slot);
+
+  const PackedCorpusReader* corpus_;
+  uint64_t window_bytes_;
+  bool prefetch_;
+  std::vector<CorpusWindow> windows_;
+  Slot slots_[2];  ///< slot for window w is slots_[w % 2]
+  size_t next_acquire_ = 0;
+  double lane_free_ = 0.0;
+  uint64_t resident_bytes_ = 0;
+  PrefetchStats stats_;
+};
+
+}  // namespace hpa::io
+
+#endif  // HPA_IO_CORPUS_WINDOW_H_

@@ -107,6 +107,20 @@ class PackedCorpusReader {
   /// Body length of document `i`, without reading it.
   uint64_t body_length(size_t i) const { return entries_[i].length; }
 
+  /// Byte offset of document `i`'s body within the packed file. Bodies are
+  /// laid out contiguously in document order, so a window of consecutive
+  /// documents spans one contiguous byte range — the unit of the windowed
+  /// reader's ranged prefetch.
+  uint64_t body_offset(size_t i) const { return entries_[i].offset; }
+
+  /// Stored CRC-32 of document `i`'s body (meaningless for v1 files; check
+  /// has_checksums()). Lets window-level readers validate per-document
+  /// slices of a bulk ranged read without re-fetching.
+  uint32_t body_crc(size_t i) const { return entries_[i].crc; }
+
+  /// Path of the packed file relative to the disk root.
+  const std::string& rel_path() const { return rel_path_; }
+
   /// Reads the body of document `i` (one simulated device request).
   /// For v2 files the payload CRC is verified; a mismatch triggers a
   /// bounded re-read per the disk's retry policy (backoff charged to the

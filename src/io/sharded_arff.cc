@@ -32,22 +32,19 @@ std::pair<size_t, size_t> ShardRange(size_t rows, int shards, int shard) {
 
 }  // namespace
 
-Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
-                        const std::string& base_path,
-                        const std::string& relation_name,
-                        const std::vector<std::string>& attributes,
-                        const containers::SparseMatrix& matrix, int shards) {
-  if (attributes.size() != matrix.num_cols) {
-    return Status::InvalidArgument(
-        "attribute count " + std::to_string(attributes.size()) +
-        " != matrix columns " + std::to_string(matrix.num_cols));
-  }
+Status WriteShardedArffRows(SimDisk* disk, parallel::Executor* executor,
+                            const std::string& base_path,
+                            const std::string& relation_name,
+                            const std::vector<std::string>& attributes,
+                            size_t num_rows, int shards,
+                            const ShardRowFn& row_fn,
+                            const parallel::WorkHint& hint) {
   if (relation_name.find('\n') != std::string::npos) {
     return Status::InvalidArgument("relation name must be single-line");
   }
   shards = std::max(
-      1, std::min(shards, static_cast<int>(
-                              std::max<size_t>(1, matrix.num_rows()))));
+      1, std::min(shards,
+                  static_cast<int>(std::max<size_t>(1, num_rows))));
 
   // Shard bodies first, one parallel chunk per shard, computing each
   // shard's CRC-32 as it streams out. Whether the writes overlap at the
@@ -55,12 +52,12 @@ Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
   std::vector<Status> shard_status(static_cast<size_t>(shards));
   std::vector<uint32_t> shard_crc(static_cast<size_t>(shards), 0);
   executor->ParallelFor(
-      0, static_cast<size_t>(shards), 1, parallel::WorkHint{},
-      [&](int, size_t sb, size_t se) {
+      0, static_cast<size_t>(shards), 1, hint,
+      [&](int worker, size_t sb, size_t se) {
         for (size_t s = sb; s < se; ++s) {
           shard_status[s] = [&]() -> Status {
             auto [begin, end] =
-                ShardRange(matrix.num_rows(), shards, static_cast<int>(s));
+                ShardRange(num_rows, shards, static_cast<int>(s));
             HPA_ASSIGN_OR_RETURN(
                 auto writer,
                 disk->OpenWriter(ShardPath(base_path, static_cast<int>(s))));
@@ -68,7 +65,7 @@ Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
             chunk.reserve(1 << 16);
             uint32_t crc = 0;
             for (size_t r = begin; r < end; ++r) {
-              arff_internal::AppendSparseRow(matrix.rows[r], chunk);
+              arff_internal::AppendSparseRow(row_fn(worker, r), chunk);
               if (chunk.size() >= (1 << 16)) {
                 crc = Crc32(chunk, crc);
                 HPA_RETURN_IF_ERROR(writer->Append(chunk));
@@ -98,7 +95,7 @@ Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
       manifest += "\nshards ";
       AppendUint(manifest, static_cast<uint64_t>(shards));
       for (int s = 0; s < shards; ++s) {
-        auto [b, e] = ShardRange(matrix.num_rows(), shards, s);
+        auto [b, e] = ShardRange(num_rows, shards, s);
         manifest += ' ';
         AppendUint(manifest, e - b);
       }
@@ -118,6 +115,24 @@ Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
     }();
   });
   return manifest_status;
+}
+
+Status WriteShardedArff(SimDisk* disk, parallel::Executor* executor,
+                        const std::string& base_path,
+                        const std::string& relation_name,
+                        const std::vector<std::string>& attributes,
+                        const containers::SparseMatrix& matrix, int shards) {
+  if (attributes.size() != matrix.num_cols) {
+    return Status::InvalidArgument(
+        "attribute count " + std::to_string(attributes.size()) +
+        " != matrix columns " + std::to_string(matrix.num_cols));
+  }
+  return WriteShardedArffRows(
+      disk, executor, base_path, relation_name, attributes,
+      matrix.num_rows(), shards,
+      [&matrix](int, size_t r) -> const containers::SparseVector& {
+        return matrix.rows[r];
+      });
 }
 
 StatusOr<ArffShardedResult> ReadShardedArff(SimDisk* disk,

@@ -1,6 +1,7 @@
 #ifndef HPA_IO_SHARDED_ARFF_H_
 #define HPA_IO_SHARDED_ARFF_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,27 @@ struct ArffShardedResult {
   /// Total data rows lost to quarantined shards.
   uint64_t rows_quarantined = 0;
 };
+
+/// Produces row `row` for the writer below; returns a reference that stays
+/// valid until the next call on the same worker (per-worker scratch is the
+/// intended shape). Called exactly once per row, in row order within each
+/// shard.
+using ShardRowFn =
+    std::function<const containers::SparseVector&(int worker, size_t row)>;
+
+/// Writes a sharded sparse ARFF dataset of `num_rows` rows rooted at
+/// `base_path`, pulling each row from `row_fn` *inside* the per-shard
+/// write loop — rows are scored, formatted, and streamed out without the
+/// full matrix ever existing. Byte-identical to WriteShardedArff over the
+/// equivalent matrix (same shard split, CRCs, and manifest). `hint`
+/// annotates the shard loop with the producer's memory traffic.
+Status WriteShardedArffRows(SimDisk* disk, parallel::Executor* executor,
+                            const std::string& base_path,
+                            const std::string& relation_name,
+                            const std::vector<std::string>& attributes,
+                            size_t num_rows, int shards,
+                            const ShardRowFn& row_fn,
+                            const parallel::WorkHint& hint = {});
 
 /// Writes `matrix` as a sharded sparse ARFF dataset rooted at `base_path`.
 /// Shard writes run as one parallel loop on `executor` (one shard per

@@ -92,6 +92,26 @@ struct ExecContext {
   /// amount of distance work changes.
   bool no_prune = false;
 
+  /// Semi-external mode: operators that support it consume the corpus
+  /// through bounded-memory windows (io/corpus_window.h) instead of
+  /// whole-corpus parallel reads, never materializing the full
+  /// SparseMatrix. Set by the workflow executor from the plan.
+  bool stream_windows = false;
+
+  /// Window payload budget in bytes for stream_windows mode. 0 lets the
+  /// operator pick (one window spanning the corpus — still streaming
+  /// structure, no memory bound).
+  uint64_t window_bytes = 0;
+
+  /// Issue the next window's read ahead of compute (the async prefetch
+  /// lane). Off = synchronous windowed reads, for the ablation baseline.
+  bool prefetch_windows = true;
+
+  /// Advisory memory ceiling in bytes for data-resident state (0 = no
+  /// ceiling). The optimizer prices violations; streaming operators keep
+  /// their window high-water below it.
+  uint64_t mem_budget_bytes = 0;
+
   /// Phase timer collecting named phase durations in *executor clock*
   /// time (virtual when simulated). May be null.
   PhaseTimer* phases = nullptr;

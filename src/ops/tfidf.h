@@ -361,30 +361,28 @@ Status TfidfToArffT(ExecContext& ctx, const io::PackedCorpusReader& corpus,
     ctx.TimePhase("tfidf-output", [&] {
       std::vector<std::string> terms =
           tfidf_internal::AssignTermIds(ctx, wc, options);
-      containers::SparseMatrix matrix;
-      ctx.executor->RunSerial(parallel::WorkHint{0, "tfidf-output-setup"},
-                              [&] {
-                                matrix.num_cols =
-                                    static_cast<uint32_t>(terms.size());
-                                matrix.rows.resize(wc.num_documents());
-                              });
-      parallel::WorkerLocal<std::vector<std::pair<uint32_t, float>>> scratch(
-          *ctx.executor);
+      // Rows are scored *inside* each shard's write loop (per-worker
+      // scratch recycled row to row), so the scoring region streams
+      // straight to the device and the full SparseMatrix never exists —
+      // peak memory is the dictionaries plus one 64 KiB chunk per shard.
+      // Bytes on disk are identical to the score-then-write pass.
+      struct RowScratch {
+        std::vector<std::pair<uint32_t, float>> pairs;
+        containers::SparseVector row;
+      };
+      parallel::WorkerLocal<RowScratch> scratch(*ctx.executor);
       parallel::WorkHint hint;
       hint.bytes_touched = wc.ApproxDictBytes();
       hint.label = "tfidf-output-rows";
-      ctx.executor->ParallelFor(
-          0, wc.num_documents(), 0, hint,
-          [&](int worker, size_t begin, size_t end) {
-            auto& pairs = scratch.Get(worker);
-            for (size_t i = begin; i < end; ++i) {
-              tfidf_internal::BuildScoreRow(wc, i, options, pairs,
-                                            matrix.rows[i]);
-            }
-          });
-      status = io::WriteShardedArff(ctx.scratch_disk, ctx.executor,
-                                    arff_path, "tfidf", terms, matrix,
-                                    ctx.scratch_disk->options().channels);
+      status = io::WriteShardedArffRows(
+          ctx.scratch_disk, ctx.executor, arff_path, "tfidf", terms,
+          wc.num_documents(), ctx.scratch_disk->options().channels,
+          [&](int worker, size_t i) -> const containers::SparseVector& {
+            RowScratch& s = scratch.Get(worker);
+            tfidf_internal::BuildScoreRow(wc, i, options, s.pairs, s.row);
+            return s.row;
+          },
+          hint);
     });
     return status;
   }
