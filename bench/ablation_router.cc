@@ -1,0 +1,445 @@
+// Ablation — the router's dispatch cost and isolation. A fixed-seed
+// open-loop sweep serves the SAME request stream three ways:
+//
+//   single : one model at weight 100 (the no-router baseline shape);
+//   split  : two registry versions at 90/10;
+//   shadow : one served model plus a shadow twin scoring the sampled
+//            stream (results compared, never served).
+//
+// The router's contract is that dispatch stays off the hot path and
+// shadow scoring stays off the serving clock, so three gates are
+// exit-enforced:
+//
+//   * split exact      — every run's per-route dispatch counters equal an
+//     independent recompute of the hash-bucket split over the id stream,
+//     and every served response came from the version the recompute
+//     names;
+//   * shadow overhead  — at 8 workers the shadow configuration costs at
+//     most 15% over the single baseline on the primary clock (the
+//     executor's virtual clock under --executor=simulated, where shadow
+//     scoring charges nothing and only batch-flush boundary effects
+//     remain; wall time otherwise), and the shadow never disagrees with
+//     the served answer (the twin is a bit-identical refit);
+//   * replay identical — rerunning the split and shadow configurations
+//     at 8 workers reproduces bit-identical response digests.
+//
+// Prints a per-worker-count table, one JSON tail, and writes
+// BENCH_router.json (--bench_json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/report.h"
+#include "io/packed_corpus.h"
+#include "ops/exec_context.h"
+#include "serve/model_registry.h"
+#include "serve/request.h"
+#include "serve/router.h"
+#include "text/synth_corpus.h"
+
+namespace hpa::bench {
+namespace {
+
+enum class Shape { kSingle, kSplit, kShadow };
+
+const char* ShapeName(Shape s) {
+  switch (s) {
+    case Shape::kSingle:
+      return "single";
+    case Shape::kSplit:
+      return "split";
+    case Shape::kShadow:
+      return "shadow";
+  }
+  return "?";
+}
+
+/// One measured (workers, shape) run.
+struct Outcome {
+  bool ok = false;
+  std::string error;
+  double wall_seconds = 0.0;     ///< steady_clock around submit..drain
+  double virtual_seconds = 0.0;  ///< executor clock around submit..drain
+  bool split_exact = true;
+  std::string digest;  ///< sorted id:outcome:version:cluster:distance
+  uint64_t routed_v1 = 0;
+  uint64_t routed_v2 = 0;
+  uint64_t shadow_scored = 0;
+  uint64_t shadow_agreed = 0;
+  uint64_t shadow_disagreed = 0;
+};
+
+int Run(int argc, char** argv) {
+  FlagSet flags("ablation_router",
+                "single-model vs 90/10 split vs shadow-scoring overhead "
+                "through the ModelRouter, with exact-split and replay "
+                "gates");
+  AddCommonFlags(flags);
+  flags.DefineInt("router_requests", 600, "requests per configuration run");
+  flags.DefineDouble("shadow_sample", 1.0,
+                     "fraction of ids shadow-scored in the shadow shape");
+  flags.DefineString("bench_json", "BENCH_router.json",
+                     "path for the machine-readable result file; empty "
+                     "disables the file (the stdout JSON tail always "
+                     "prints)");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  PrintBanner("Ablation: router dispatch cost and shadow isolation", flags);
+
+  auto env_or = BenchEnv::Create(flags);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& env = *env_or;
+  auto threads_or = ParseIntList(flags.GetString("threads"));
+  if (!threads_or.ok()) {
+    std::fprintf(stderr, "%s\n", threads_or.status().ToString().c_str());
+    return 2;
+  }
+  const int repeats = static_cast<int>(flags.GetInt("repeats"));
+  const uint64_t requests =
+      static_cast<uint64_t>(flags.GetInt("router_requests"));
+  const bool simulated = flags.GetString("executor") == "simulated";
+
+  text::CorpusProfile profile = env->ScaleProfile(text::CorpusProfile::Mix());
+  auto rel = env->EnsureCorpus(profile);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+
+  // Registry versions are dense per directory and the scratch workspace
+  // persists across invocations; start from an empty universe so v1/v2
+  // are always this run's fits.
+  std::error_code ec;
+  std::filesystem::remove_all(std::filesystem::path(env->workdir()) /
+                                  "scratch" / "router-ablation",
+                              ec);
+
+  serve::ModelConfig config;
+  config.clusters = static_cast<int>(flags.GetInt("clusters"));
+  ops::KMeansOptions kmeans;
+  kmeans.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+
+  // Both versions are fitted on the SAME 8-worker executor, so v2 is a
+  // bit-identical refit of v1 — the shadow-agreement gate depends on it.
+  serve::ModelRegistry registry(env->scratch_disk(), "router-ablation");
+  std::shared_ptr<const serve::ModelHandle> h1;
+  std::shared_ptr<const serve::ModelHandle> h2;
+  std::vector<std::string> bodies;
+  {
+    auto exec = MakeBenchExecutor(flags, 8);
+    if (exec == nullptr) {
+      std::fprintf(stderr, "unknown --executor\n");
+      return 2;
+    }
+    env->SetExecutor(exec.get());
+    auto reader = io::PackedCorpusReader::Open(env->corpus_disk(), *rel);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+      return 1;
+    }
+    ops::ExecContext ctx;
+    ctx.executor = exec.get();
+    ctx.corpus_disk = env->corpus_disk();
+    ctx.scratch_disk = env->scratch_disk();
+    for (int v = 0; v < 2; ++v) {
+      auto fitted = registry.Fit(ctx, *reader, config, kmeans);
+      if (!fitted.ok()) {
+        std::fprintf(stderr, "%s\n", fitted.status().ToString().c_str());
+        return 1;
+      }
+    }
+    for (uint64_t v = 1; v <= 2; ++v) {
+      auto loaded = registry.Load(config, v);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      (v == 1 ? h1 : h2) =
+          std::make_shared<const serve::ModelHandle>(std::move(*loaded));
+    }
+    size_t pool = std::min<size_t>(reader->size(), 64);
+    for (size_t i = 0; i < pool; ++i) {
+      auto body = reader->ReadBody(i);
+      if (!body.ok()) {
+        std::fprintf(stderr, "%s\n", body.status().ToString().c_str());
+        return 1;
+      }
+      bodies.push_back(std::move(*body));
+    }
+    env->SetExecutor(nullptr);
+  }
+
+  // One configuration at one worker count; timing is best-of-`repeats`,
+  // the digest and counters come from the last repeat (they are
+  // repeat-invariant by the determinism contract — the replay gate below
+  // re-proves it across whole invocations).
+  auto run_shape = [&](Shape shape, int threads) -> Outcome {
+    Outcome out;
+    for (int rep = 0; rep < repeats; ++rep) {
+      auto exec = MakeBenchExecutor(flags, threads);
+      if (exec == nullptr) {
+        out.error = "unknown --executor";
+        return out;
+      }
+      env->SetExecutor(exec.get());
+      ops::ExecContext ctx;
+      ctx.executor = exec.get();
+      serve::RouterOptions ropts;
+      ropts.server.queue_capacity = 64;
+      ropts.server.max_batch = 8;
+      ropts.shadow_sample = flags.GetDouble("shadow_sample");
+      serve::ModelRouter router(ctx, ropts);
+      Status added = Status::OK();
+      switch (shape) {
+        case Shape::kSingle:
+          added = router.AddRoute(h1, 100);
+          break;
+        case Shape::kSplit:
+          added = router.AddRoute(h1, 90);
+          if (added.ok()) added = router.AddRoute(h2, 10);
+          break;
+        case Shape::kShadow:
+          added = router.AddRoute(h1, 100);
+          if (added.ok()) {
+            added = router.AddRoute(h2, /*weight=*/0, /*shadow=*/true);
+          }
+          break;
+      }
+      if (!added.ok()) {
+        out.error = added.ToString();
+        env->SetExecutor(nullptr);
+        return out;
+      }
+
+      std::map<uint64_t, uint64_t> expected;
+      std::vector<serve::Response> responses;
+      auto take = [&](std::vector<serve::Response> batch) {
+        responses.insert(responses.end(),
+                         std::make_move_iterator(batch.begin()),
+                         std::make_move_iterator(batch.end()));
+      };
+      const double virt0 = exec->Now();
+      const auto wall0 = std::chrono::steady_clock::now();
+      for (uint64_t id = 0; id < requests; ++id) {
+        ++expected[router.RouteVersionFor(id)];
+        (void)router.Submit(id, bodies[id % bodies.size()]);
+        take(router.Poll());
+      }
+      take(router.Drain());
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall0)
+              .count();
+      const double virt = exec->Now() - virt0;
+
+      // Split exactness: the router's own dispatch counters against the
+      // driver's recompute, and every served response against the pure
+      // routing function.
+      for (const serve::RouteStats& rs : router.Scrape()) {
+        uint64_t want = 0;
+        if (auto it = expected.find(rs.version); it != expected.end()) {
+          want = it->second;
+        }
+        if (rs.shadow || rs.weight == 0) {
+          if (rs.routed != 0) out.split_exact = false;
+        } else if (rs.routed != want) {
+          out.split_exact = false;
+        }
+        if (rs.version == 1) out.routed_v1 = rs.routed;
+        if (rs.version == 2 && !rs.shadow) out.routed_v2 = rs.routed;
+        if (rs.shadow) {
+          out.shadow_scored = rs.shadow_scored;
+          out.shadow_agreed = rs.shadow_agreed;
+          out.shadow_disagreed = rs.shadow_disagreed;
+        }
+      }
+      std::sort(responses.begin(), responses.end(),
+                [](const serve::Response& a, const serve::Response& b) {
+                  return a.id < b.id;
+                });
+      out.digest.clear();
+      for (const serve::Response& r : responses) {
+        if (r.model_version != 0 &&
+            r.model_version != router.RouteVersionFor(r.id)) {
+          out.split_exact = false;
+        }
+        out.digest += StrFormat(
+            "%llu:%s:v%llu:%u:%a\n", static_cast<unsigned long long>(r.id),
+            std::string(serve::RequestOutcomeName(r.outcome)).c_str(),
+            static_cast<unsigned long long>(r.model_version), r.cluster,
+            r.distance);
+      }
+      env->SetExecutor(nullptr);
+      if (rep == 0 || wall < out.wall_seconds) out.wall_seconds = wall;
+      if (rep == 0 || virt < out.virtual_seconds) out.virtual_seconds = virt;
+    }
+    out.ok = true;
+    return out;
+  };
+
+  // The 8-worker point anchors the gates even when --threads omits it.
+  std::set<int> sweep(threads_or->begin(), threads_or->end());
+  sweep.insert(8);
+
+  std::printf("\n[%s] %llu requests per shape, weights 90/10, "
+              "shadow_sample=%.2f\n",
+              profile.name.c_str(),
+              static_cast<unsigned long long>(requests),
+              flags.GetDouble("shadow_sample"));
+
+  std::map<int, std::map<std::string, Outcome>> results;
+  bool split_exact = true;
+  bool shadow_clean = true;
+  for (int threads : sweep) {
+    for (Shape shape : {Shape::kSingle, Shape::kSplit, Shape::kShadow}) {
+      Outcome out = run_shape(shape, threads);
+      if (!out.ok) {
+        std::fprintf(stderr, "%s @ %d workers: %s\n", ShapeName(shape),
+                     threads, out.error.c_str());
+        return 1;
+      }
+      split_exact = split_exact && out.split_exact;
+      if (shape == Shape::kShadow &&
+          (out.shadow_scored == 0 || out.shadow_disagreed != 0)) {
+        shadow_clean = false;
+      }
+      results[threads][ShapeName(shape)] = std::move(out);
+    }
+  }
+
+  // Replay gate: whole fresh runs at 8 workers, digest-compared.
+  bool replay_identical = true;
+  for (Shape shape : {Shape::kSplit, Shape::kShadow}) {
+    Outcome again = run_shape(shape, 8);
+    if (!again.ok) {
+      std::fprintf(stderr, "replay %s: %s\n", ShapeName(shape),
+                   again.error.c_str());
+      return 1;
+    }
+    if (again.digest != results[8][ShapeName(shape)].digest) {
+      std::fprintf(stderr, "FAIL: %s replay at 8 workers diverged\n",
+                   ShapeName(shape));
+      replay_identical = false;
+    }
+  }
+
+  // Overhead gate on the primary clock: the executor's virtual clock when
+  // simulated (shadow work charges nothing there, so the overhead must be
+  // zero), wall time otherwise.
+  auto primary = [&](const Outcome& o) {
+    return simulated ? o.virtual_seconds : o.wall_seconds;
+  };
+  const Outcome& base8 = results[8]["single"];
+  const Outcome& shadow8 = results[8]["shadow"];
+  const double shadow_overhead =
+      primary(base8) > 0 ? primary(shadow8) / primary(base8) - 1.0 : 0.0;
+
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"threads", "single", "split", "shadow", "overhead"});
+  for (int threads : sweep) {
+    auto& row = results[threads];
+    double b = primary(row["single"]);
+    double sh = primary(row["shadow"]);
+    table.push_back(
+        {std::to_string(threads), HumanDuration(b),
+         HumanDuration(primary(row["split"])), HumanDuration(sh),
+         StrFormat("%+.1f%%", b > 0 ? 100.0 * (sh / b - 1.0) : 0.0)});
+  }
+  std::printf("%s\n", core::FormatTable(table).c_str());
+  std::printf(
+      "expected shape: dispatch is one hash + a two-entry bucket walk, so "
+      "split tracks\nsingle; shadow scores off the serving clock, so its "
+      "%s overhead stays flat.\n\n",
+      simulated ? "virtual-clock" : "wall");
+
+  const Outcome& split8 = results[8]["split"];
+  std::string json = StrFormat(
+      "{\"bench\":\"ablation_router\",\"corpus\":\"%s\",\"requests\":%llu,"
+      "\"weights\":\"90/10\",\"shadow_sample\":%.2f,\"clock\":\"%s\","
+      "\"split_exact\":%s,\"replay_identical\":%s,\"shadow_clean\":%s,"
+      "\"shadow_overhead_at8\":%.4f,\"split_routed_at8\":[%llu,%llu],"
+      "\"shadow_scored_at8\":%llu,\"rows\":[",
+      profile.name.c_str(), static_cast<unsigned long long>(requests),
+      flags.GetDouble("shadow_sample"), simulated ? "virtual" : "wall",
+      split_exact ? "true" : "false", replay_identical ? "true" : "false",
+      shadow_clean ? "true" : "false", shadow_overhead,
+      static_cast<unsigned long long>(split8.routed_v1),
+      static_cast<unsigned long long>(split8.routed_v2),
+      static_cast<unsigned long long>(shadow8.shadow_scored));
+  bool first = true;
+  for (int threads : sweep) {
+    for (Shape shape : {Shape::kSingle, Shape::kSplit, Shape::kShadow}) {
+      const Outcome& o = results[threads][ShapeName(shape)];
+      if (!first) json += ",";
+      first = false;
+      json += StrFormat(
+          "{\"workers\":%d,\"config\":\"%s\",\"wall_seconds\":%.6f,"
+          "\"virtual_seconds\":%.6f}",
+          threads, ShapeName(shape), o.wall_seconds, o.virtual_seconds);
+    }
+  }
+  json += "]}";
+  std::printf("%s\n", json.c_str());
+
+  const std::string json_path = flags.GetString("bench_json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  bool ok = true;
+  if (!split_exact) {
+    std::fprintf(stderr,
+                 "FAIL: dispatch counts diverged from the hash-split "
+                 "recompute\n");
+    ok = false;
+  }
+  if (!replay_identical) {
+    std::fprintf(stderr, "FAIL: replay at 8 workers was not bit-identical\n");
+    ok = false;
+  }
+  if (!shadow_clean) {
+    std::fprintf(stderr,
+                 "FAIL: shadow twin never scored or disagreed with the "
+                 "served answer (the twin is a bit-identical refit)\n");
+    ok = false;
+  }
+  if (shadow_overhead > 0.15) {
+    std::fprintf(stderr,
+                 "FAIL: shadow overhead %.1f%% > 15%% at 8 workers (%s "
+                 "clock)\n",
+                 100.0 * shadow_overhead, simulated ? "virtual" : "wall");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hpa::bench
+
+int main(int argc, char** argv) { return hpa::bench::Run(argc, argv); }

@@ -23,6 +23,26 @@
 //     count reproduces bit-identical dispositions, metrics, GC reports,
 //     and breaker counters.
 //
+// Routed scenarios (every 3rd, disjoint from the heterogeneous ones)
+// serve the same event stream through a ModelRouter fronting two pinned
+// registry versions (plus an optional shadow route), and add two more
+// exit-enforced invariants on top of the five above (which are then
+// checked per routed model):
+//
+//  6. weight conservation — each route's dispatched-request count equals
+//     an independent recompute of the hash-bucket split over the id
+//     stream, exactly; weight-0 and shadow routes serve nothing;
+//  7. shadow isolation    — a twin run with the shadow route removed
+//     produces a bit-identical served stream (responses AND per-route
+//     serving counters): shadow scoring can never change a served byte.
+//
+// A final rollout crash sweep drives a RolloutController to every
+// lifecycle state (shadow/canary/promoted/rolled-back) at workers {1, 8},
+// "crashes" (destroys router+controller), GCs the wreckage, and verifies
+// the rebuilt world serves committed versions only — twice per state,
+// with bit-identical digests (the controller holds no durable state; the
+// registry is the recovery truth).
+//
 // Every scenario parameter (queue bound, batch ceiling, lanes, breaker
 // tuning, fault rates, event mix) is derived from --chaos_seed, and every
 // event-loop decision is drawn from a per-run Rng stream that never
@@ -52,6 +72,8 @@
 #include "serve/model_registry.h"
 #include "serve/registry_gc.h"
 #include "serve/request.h"
+#include "serve/rollout.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "text/corpus_io.h"
 #include "text/synth_corpus.h"
@@ -75,6 +97,13 @@ struct ScenarioCfg {
   /// registry directory (and its GC / corruption churn) with the K-means
   /// server; each follows its own lineage through LatestVersionMatching.
   bool heterogeneous = false;
+  /// Routed scenario: the event stream dispatches through a ModelRouter
+  /// over two pinned K-means versions (weights below), optionally with a
+  /// third version as a shadow route.
+  bool routed = false;
+  uint32_t route_weights[2] = {90, 10};
+  bool route_shadow = false;
+  uint64_t route_salt = 0;
   CircuitBreakerOptions breaker_opts;
   double canary_min_agree = 1.0;
   io::FaultProfile faults;
@@ -101,6 +130,13 @@ struct RunResult {
   uint64_t nb_submit_attempts = 0;
   std::vector<uint64_t> nb_admitted;
   serve::ServeMetrics::Snapshot nb_metrics;
+  /// Routed-scenario state: final route scrape, the driver's independent
+  /// hash-split mirror, and the served-only digest the shadow-isolation
+  /// twin comparison uses.
+  bool routed = false;
+  std::vector<serve::RouteStats> route_stats;
+  std::map<uint64_t, uint64_t> route_expected;  ///< version -> split count
+  std::string served_digest;
   std::string digest;  ///< full disposition+metrics fingerprint (replay)
 };
 
@@ -137,6 +173,12 @@ ScenarioCfg MakeScenario(uint64_t chaos_seed, int index, int events) {
   cfg.retry.initial_backoff_sec = 0.0005;
   cfg.retry.max_backoff_sec = 0.004;
   cfg.retry.seed = rng.Next();
+  // Router knobs, appended AFTER every pre-existing draw so older
+  // scenarios' knob streams are unshifted at the same seed.
+  cfg.route_weights[0] = 50 + static_cast<uint32_t>(rng.NextBounded(50));
+  cfg.route_weights[1] = 1 + static_cast<uint32_t>(rng.NextBounded(25));
+  cfg.route_shadow = rng.NextDouble() < 0.5;
+  cfg.route_salt = rng.Next();
   // Guaranteed coverage on top of the draws: every 5th scenario is
   // fault-free (a large kOk overlap for the cross-worker bit check), and
   // every 4th runs a *total* permanent-fault storm with the breaker
@@ -159,6 +201,12 @@ ScenarioCfg MakeScenario(uint64_t chaos_seed, int index, int events) {
   // Every 3rd scenario serves a heterogeneous registry (decided from the
   // index alone, so existing scenarios' knob/event streams are unshifted).
   cfg.heterogeneous = index % 3 == 1;
+  // A disjoint third of scenarios route instead: same event stream, but
+  // dispatched through the ModelRouter's weighted split. Half of them
+  // always carry a shadow route, so the isolation twin comparison gets
+  // real samples at any seed.
+  cfg.routed = index % 3 == 2;
+  if (index % 6 == 2) cfg.route_shadow = true;
   return cfg;
 }
 
@@ -238,6 +286,11 @@ std::string Digest(const RunResult& rr) {
         static_cast<unsigned long long>(n.hot_swaps),
         static_cast<unsigned long long>(n.swap_rollbacks));
   }
+  if (rr.routed) {
+    for (const serve::RouteStats& rs : rr.route_stats) {
+      out += "route " + rs.Summary() + "\n";
+    }
+  }
   for (const std::string& s : rr.gc_summaries) out += "gc " + s + "\n";
   out += StrFormat("breaker opens=%llu closes=%llu sheds=%llu\n",
                    static_cast<unsigned long long>(rr.breaker_opens),
@@ -248,6 +301,50 @@ std::string Digest(const RunResult& rr) {
     out += StrFormat(" %llu", static_cast<unsigned long long>(v));
   }
   out += "\n";
+  return out;
+}
+
+/// Served-only fingerprint for the shadow-isolation comparison: the
+/// response stream plus each weighted route's serving counters, with
+/// shadow routes and shadow counters excluded. The isolation twin differs
+/// ONLY in whether the shadow route exists (the candidate version is
+/// still fitted, loaded, and pinned either way), so any drift here is
+/// shadow work leaking into the served path.
+std::string ServedDigest(const RunResult& rr) {
+  std::vector<serve::Response> sorted = rr.responses;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const serve::Response& a, const serve::Response& b) {
+              return a.id < b.id;
+            });
+  std::string out;
+  for (const serve::Response& r : sorted) {
+    out += StrFormat("%llu:%s:%s:v%llu:%u:%a\n",
+                     static_cast<unsigned long long>(r.id),
+                     std::string(serve::RequestOutcomeName(r.outcome)).c_str(),
+                     std::string(serve::LaneName(r.lane)).c_str(),
+                     static_cast<unsigned long long>(r.model_version),
+                     r.cluster, r.distance);
+  }
+  for (const serve::RouteStats& rs : rr.route_stats) {
+    if (rs.shadow) continue;
+    const serve::ServeMetrics::Snapshot& m = rs.metrics;
+    out += StrFormat(
+        "served-route v%llu w=%u routed=%llu submitted=%llu rejected=%llu "
+        "completed=%llu misses=%llu failed=%llu shed=%llu breaker_shed=%llu "
+        "opens=%llu sheds=%llu max_queue=%llu\n",
+        static_cast<unsigned long long>(rs.version), rs.weight,
+        static_cast<unsigned long long>(rs.routed),
+        static_cast<unsigned long long>(m.submitted),
+        static_cast<unsigned long long>(m.rejected),
+        static_cast<unsigned long long>(m.completed),
+        static_cast<unsigned long long>(m.deadline_misses),
+        static_cast<unsigned long long>(m.failed),
+        static_cast<unsigned long long>(m.shed),
+        static_cast<unsigned long long>(m.breaker_shed),
+        static_cast<unsigned long long>(rs.breaker_opens),
+        static_cast<unsigned long long>(rs.breaker_sheds),
+        static_cast<unsigned long long>(m.max_queue_depth));
+  }
   return out;
 }
 
@@ -367,6 +464,59 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
         serve_ctx, nb_model.get(), options, &nb_metrics);
   }
 
+  // Routed scenarios: versions 2 and 3 are fitted and loaded up front in
+  // EVERY routed run — the shadow-isolation twin must see an identical
+  // registry timeline and identical virtual-clock charges — but only
+  // cfg.route_shadow decides whether version 3 becomes a shadow route.
+  // All three versions stay pinned either way (the shadow route pins its
+  // own; the bare twin pins version 3 by hand), so GC's retain-N policy
+  // does identical work in both worlds and the ONLY difference left is
+  // the shadow scoring itself.
+  serve::VersionPinSet pins;
+  std::unique_ptr<serve::ModelRouter> router;
+  if (cfg.routed) {
+    while (version_cap < 3) {
+      ++version_cap;
+      auto refit = registry.Fit(fit_ctx, *reader, config, kmeans);
+      if (!refit.ok()) {
+        fail("routed refit", refit.status());
+        env.SetExecutor(nullptr);
+        return rr;
+      }
+    }
+    note_committed();
+    std::vector<std::shared_ptr<const serve::ModelHandle>> handles;
+    for (uint64_t v = 1; v <= 3; ++v) {
+      auto loaded = registry.Load(config, v);
+      if (!loaded.ok()) {
+        fail("routed load", loaded.status());
+        env.SetExecutor(nullptr);
+        return rr;
+      }
+      handles.push_back(
+          std::make_shared<const serve::ModelHandle>(std::move(*loaded)));
+    }
+    serve::RouterOptions ropts;
+    ropts.server = options;
+    ropts.salt = cfg.route_salt;
+    router = std::make_unique<serve::ModelRouter>(serve_ctx, ropts);
+    router->set_pins(&pins);
+    Status added = router->AddRoute(handles[0], cfg.route_weights[0]);
+    if (added.ok()) {
+      added = router->AddRoute(handles[1], cfg.route_weights[1]);
+    }
+    if (added.ok() && cfg.route_shadow) {
+      added = router->AddRoute(handles[2], /*weight=*/0, /*shadow=*/true);
+    }
+    if (!added.ok()) {
+      fail("routed add", added);
+      env.SetExecutor(nullptr);
+      return rr;
+    }
+    if (!cfg.route_shadow) pins.Pin(3);
+    rr.routed = true;
+  }
+
   std::vector<std::string> canary(
       bodies.begin(), bodies.begin() + std::min<size_t>(bodies.size(), 5));
 
@@ -380,6 +530,16 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
     double deadline = rel_deadline > 0 ? exec->Now() + rel_deadline : 0.0;
     uint64_t id = next_id++;
     ++rr.submit_attempts;
+    if (router != nullptr) {
+      // Independent driver-side mirror of the hash split, recorded BEFORE
+      // the dispatch: the weight-conservation audit compares the router's
+      // own counters against this recompute at exit.
+      ++rr.route_expected[router->RouteVersionFor(id)];
+      Status st = router->Submit(id, bodies[id % bodies.size()], deadline,
+                                 lane);
+      if (st.ok()) rr.admitted.push_back(id);
+      return;
+    }
     Status st = server.Submit(id, bodies[id % bodies.size()], deadline, lane);
     if (st.ok()) rr.admitted.push_back(id);
   };
@@ -387,6 +547,10 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
     rr.responses.insert(rr.responses.end(),
                         std::make_move_iterator(out.begin()),
                         std::make_move_iterator(out.end()));
+  };
+  auto poll = [&] { return router != nullptr ? router->Poll() : server.Poll(); };
+  auto flush_all = [&] {
+    return router != nullptr ? router->FlushAll() : server.FlushAll();
   };
   // NB twin traffic: ids come from the shared counter (so the two
   // servers' id sets are disjoint), accounting stays separate.
@@ -402,7 +566,9 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
                            std::make_move_iterator(out.end()));
   };
   auto run_gc = [&]() -> bool {
-    serve::RegistryGc gc(env.scratch_disk(), dir);
+    serve::GcOptions gc_opts;
+    if (cfg.routed) gc_opts.pins = &pins;
+    serve::RegistryGc gc(env.scratch_disk(), dir, gc_opts);
     auto report = gc.Run();
     if (!report.ok()) {
       fail("gc", report.status());
@@ -424,7 +590,7 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
         double d = rng.NextDouble();
         double rel_deadline = d < 0.4 ? 0.005 + 0.050 * d : 0.0;
         submit_one(lane, rel_deadline);
-        collect(server.Poll());
+        collect(poll());
         if (nb_server != nullptr) {
           nb_submit_one(lane);
           nb_collect(nb_server->Poll());
@@ -438,7 +604,7 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
                                                   : serve::Lane::kBatch;
         submit_one(lane, 0.0);
       }
-      collect(server.FlushAll());
+      collect(flush_all());
     } else if (a < 0.78) {
       // Publish under live traffic, possibly crashing mid-commit; GC the
       // wreckage; then follow the latest pointer with the canary gate.
@@ -455,8 +621,10 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
       note_committed();
       if (!run_gc()) break;
       // Rollbacks (canary gate, quarantined/corrupt candidate) are
-      // expected outcomes here, counted by the swap metrics.
-      (void)server.TryHotSwap(registry, config, canary);
+      // expected outcomes here, counted by the swap metrics. Routed
+      // scenarios skip the swap: routes serve pinned versions through the
+      // same publish/GC churn (that is the availability claim under test).
+      if (router == nullptr) (void)server.TryHotSwap(registry, config, canary);
       if (cfg.heterogeneous) {
         // Sometimes advance the NB lineage too, then let both servers
         // follow the latest pointer: each TryHotSwap below runs against a
@@ -503,12 +671,17 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
       // open windows elapse), then tick the flush policy.
       double gap = 0.001 + 0.010 * rng.NextDouble();
       exec->ChargeIoTime(gap, 1);
-      collect(server.Poll());
+      collect(poll());
       if (nb_server != nullptr) nb_collect(nb_server->Poll());
     }
   }
 
-  collect(server.Drain());
+  if (router != nullptr) {
+    collect(router->Drain());
+    rr.route_stats = router->Scrape();
+  } else {
+    collect(server.Drain());
+  }
   if (nb_server != nullptr) {
     nb_collect(nb_server->Drain());
     rr.nb_metrics = nb_metrics.Scrape();
@@ -522,6 +695,7 @@ RunResult RunScenario(const ScenarioCfg& cfg, int workers, int rep,
   rr.breaker_sheds = server.breaker().sheds();
   env.SetExecutor(nullptr);
   rr.digest = Digest(rr);
+  if (rr.routed) rr.served_digest = ServedDigest(rr);
   return rr;
 }
 
@@ -553,23 +727,101 @@ bool CheckRun(const ScenarioCfg& cfg, int workers, const RunResult& rr) {
            StrFormat("%zu admitted vs %zu answered (or id mismatch)",
                      admitted.size(), answered.size()));
   }
-  const serve::ServeMetrics::Snapshot& m = rr.metrics;
-  if (m.submitted != rr.submit_attempts ||
-      m.rejected != rr.submit_attempts - rr.admitted.size()) {
-    breach("disposition", "admission counters disagree with the driver");
-  }
-  uint64_t terminal = m.completed + m.deadline_misses + m.failed + m.shed;
-  if (terminal != rr.admitted.size()) {
-    breach("disposition",
-           StrFormat("completed+misses+failed+shed=%llu != admitted=%zu",
-                     static_cast<unsigned long long>(terminal),
-                     rr.admitted.size()));
-  }
-  if (m.max_queue_depth > cfg.queue_capacity) {
-    breach("disposition",
-           StrFormat("queue depth %llu exceeded capacity %zu",
-                     static_cast<unsigned long long>(m.max_queue_depth),
-                     cfg.queue_capacity));
+  if (rr.routed) {
+    // 2 per route, plus 6 (weight conservation): every route's counters
+    // conserve on their own, and the dispatch counts match the driver's
+    // independent hash-split recompute EXACTLY.
+    uint64_t sum_submitted = 0;
+    uint64_t sum_rejected = 0;
+    uint64_t sum_terminal = 0;
+    for (const serve::RouteStats& rs : rr.route_stats) {
+      auto it = rr.route_expected.find(rs.version);
+      uint64_t want = it == rr.route_expected.end() ? 0 : it->second;
+      if (rs.shadow || rs.weight == 0) {
+        if (rs.routed != 0 || rs.metrics.submitted != 0) {
+          breach("weight-conservation",
+                 StrFormat("weightless route v%llu served traffic",
+                           static_cast<unsigned long long>(rs.version)));
+        }
+        continue;
+      }
+      if (rs.routed != want) {
+        breach("weight-conservation",
+               StrFormat("route v%llu dispatched %llu requests, hash "
+                         "recompute expects %llu",
+                         static_cast<unsigned long long>(rs.version),
+                         static_cast<unsigned long long>(rs.routed),
+                         static_cast<unsigned long long>(want)));
+      }
+      const serve::ServeMetrics::Snapshot& m = rs.metrics;
+      if (m.submitted != rs.routed) {
+        breach("disposition",
+               StrFormat("route v%llu submitted=%llu != routed=%llu",
+                         static_cast<unsigned long long>(rs.version),
+                         static_cast<unsigned long long>(m.submitted),
+                         static_cast<unsigned long long>(rs.routed)));
+      }
+      sum_submitted += m.submitted;
+      sum_rejected += m.rejected;
+      sum_terminal += m.completed + m.deadline_misses + m.failed + m.shed;
+      if (m.max_queue_depth > cfg.queue_capacity) {
+        breach("disposition",
+               StrFormat("route v%llu queue depth %llu exceeded capacity %zu",
+                         static_cast<unsigned long long>(rs.version),
+                         static_cast<unsigned long long>(m.max_queue_depth),
+                         cfg.queue_capacity));
+      }
+      // 4 per routed model: each route's own breaker bounds its own
+      // error stream under the storm.
+      if (cfg.breaker && cfg.storm) {
+        uint64_t bound =
+            (rs.breaker_opens + 1) *
+            static_cast<uint64_t>(cfg.breaker_opts.failure_threshold +
+                                  cfg.breaker_opts.half_open_probes);
+        if (m.failed > bound) {
+          breach("breaker-bound",
+                 StrFormat("route v%llu failed=%llu > (opens=%llu + 1) * "
+                           "(threshold=%d + probes=%d) = %llu",
+                           static_cast<unsigned long long>(rs.version),
+                           static_cast<unsigned long long>(m.failed),
+                           static_cast<unsigned long long>(rs.breaker_opens),
+                           cfg.breaker_opts.failure_threshold,
+                           cfg.breaker_opts.half_open_probes,
+                           static_cast<unsigned long long>(bound)));
+        }
+      }
+    }
+    if (sum_submitted != rr.submit_attempts ||
+        sum_rejected != rr.submit_attempts - rr.admitted.size()) {
+      breach("disposition",
+             "per-route admission counters disagree with the driver");
+    }
+    if (sum_terminal != rr.admitted.size()) {
+      breach("disposition",
+             StrFormat("sum over routes of terminal outcomes %llu != "
+                       "admitted=%zu",
+                       static_cast<unsigned long long>(sum_terminal),
+                       rr.admitted.size()));
+    }
+  } else {
+    const serve::ServeMetrics::Snapshot& m = rr.metrics;
+    if (m.submitted != rr.submit_attempts ||
+        m.rejected != rr.submit_attempts - rr.admitted.size()) {
+      breach("disposition", "admission counters disagree with the driver");
+    }
+    uint64_t terminal = m.completed + m.deadline_misses + m.failed + m.shed;
+    if (terminal != rr.admitted.size()) {
+      breach("disposition",
+             StrFormat("completed+misses+failed+shed=%llu != admitted=%zu",
+                       static_cast<unsigned long long>(terminal),
+                       rr.admitted.size()));
+    }
+    if (m.max_queue_depth > cfg.queue_capacity) {
+      breach("disposition",
+             StrFormat("queue depth %llu exceeded capacity %zu",
+                       static_cast<unsigned long long>(m.max_queue_depth),
+                       cfg.queue_capacity));
+    }
   }
 
   // 1. torn-serve: every served version has a committed manifest.
@@ -627,17 +879,18 @@ bool CheckRun(const ScenarioCfg& cfg, int workers, const RunResult& rr) {
   }
 
   // 4. breaker bound: under a total storm each open epoch admits at most
-  // threshold closed failures plus the half-open probe budget.
-  if (cfg.breaker && cfg.storm) {
+  // threshold closed failures plus the half-open probe budget. (Routed
+  // runs check this per route above.)
+  if (!rr.routed && cfg.breaker && cfg.storm) {
     uint64_t bound =
         (rr.breaker_opens + 1) *
         static_cast<uint64_t>(cfg.breaker_opts.failure_threshold +
                               cfg.breaker_opts.half_open_probes);
-    if (m.failed > bound) {
+    if (rr.metrics.failed > bound) {
       breach("breaker-bound",
              StrFormat("failed=%llu > (opens=%llu + 1) * (threshold=%d + "
                        "probes=%d) = %llu",
-                       static_cast<unsigned long long>(m.failed),
+                       static_cast<unsigned long long>(rr.metrics.failed),
                        static_cast<unsigned long long>(rr.breaker_opens),
                        cfg.breaker_opts.failure_threshold,
                        cfg.breaker_opts.half_open_probes,
@@ -645,6 +898,151 @@ bool CheckRun(const ScenarioCfg& cfg, int workers, const RunResult& rr) {
     }
   }
   return ok;
+}
+
+/// One rollout crash-recovery run: drive a RolloutController to
+/// `target_state` (0 shadow, 1 canary, 2 promoted, 3 rolled-back),
+/// destroy router + controller + pins mid-lifecycle (the "crash"), GC the
+/// directory, and serve from whatever the registry recovers. ok=false
+/// (with error) when the state machine, recovery, or the post-crash serve
+/// breaks; the digest feeds the replay comparison.
+struct RolloutCrashResult {
+  bool ok = false;
+  std::string error;
+  std::string digest;
+};
+
+RolloutCrashResult RolloutCrashRun(int workers, int target_state, int rep,
+                                   BenchEnv& env, const FlagSet& flags,
+                                   const serve::ModelConfig& config,
+                                   const std::string& corpus_rel,
+                                   const std::vector<std::string>& bodies) {
+  RolloutCrashResult out;
+  auto exec = MakeBenchExecutor(flags, workers);
+  if (exec == nullptr) {
+    out.error = "unknown --executor";
+    return out;
+  }
+  env.SetExecutor(exec.get());
+  auto done = [&](std::string err) {
+    out.error = std::move(err);
+    env.SetExecutor(nullptr);
+    return out;
+  };
+  auto reader = io::PackedCorpusReader::Open(env.corpus_disk(), corpus_rel);
+  if (!reader.ok()) return done("corpus open: " + reader.status().ToString());
+  ops::ExecContext ctx;
+  ctx.executor = exec.get();
+  ctx.corpus_disk = env.corpus_disk();
+  ctx.scratch_disk = env.scratch_disk();
+  const std::string dir =
+      StrFormat("chaos/roll-w%d-s%d-r%d", workers, target_state, rep);
+  serve::ModelRegistry registry(env.scratch_disk(), dir);
+  ops::KMeansOptions kmeans;
+  kmeans.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+  auto f1 = registry.Fit(ctx, *reader, config, kmeans);
+  if (!f1.ok()) return done("stable fit: " + f1.status().ToString());
+  auto f2 = registry.Fit(ctx, *reader, config, kmeans);
+  if (!f2.ok()) return done("candidate fit: " + f2.status().ToString());
+  auto stable = std::make_shared<const serve::ModelHandle>(std::move(*f1));
+  auto candidate = std::make_shared<const serve::ModelHandle>(std::move(*f2));
+
+  {
+    serve::VersionPinSet pins;
+    serve::RouterOptions ropts;
+    serve::ModelRouter router(ctx, ropts);
+    router.set_pins(&pins);
+    Status added = router.AddRoute(stable, 100);
+    if (!added.ok()) return done("add stable: " + added.ToString());
+    serve::RolloutOptions roll;
+    roll.shadow_min_compares = 16;
+    roll.canary_window_sec = 1e-5;  // virtual-clock scale
+    roll.canary_windows = 2;
+    roll.canary_min_served = 1;
+    serve::RolloutController controller(&router, roll);
+    Status begun = controller.Begin(stable->version(), candidate);
+    if (!begun.ok()) return done("begin: " + begun.ToString());
+    serve::RolloutState want = serve::RolloutState::kShadow;
+    if (target_state == 3) {
+      (void)controller.Abort("crash drill");
+      want = serve::RolloutState::kRolledBack;
+    } else if (target_state > 0) {
+      want = target_state == 1 ? serve::RolloutState::kCanary
+                               : serve::RolloutState::kPromoted;
+      // Both fits ran on the same executor, so shadow agreement is exact
+      // and the gates advance on traffic alone; the budget is a backstop.
+      for (uint64_t id = 0; id < 2000 && controller.state() != want; ++id) {
+        (void)router.Submit(id, bodies[id % bodies.size()]);
+        (void)router.Poll();
+        (void)controller.Tick(exec->Now());
+      }
+      (void)router.FlushAll();
+      (void)controller.Tick(exec->Now());
+    }
+    if (controller.state() != want) {
+      return done(StrFormat(
+          "reached state %s pre-crash, wanted %s",
+          std::string(serve::RolloutStateName(controller.state())).c_str(),
+          std::string(serve::RolloutStateName(want)).c_str()));
+    }
+    out.digest += "pre " + controller.Summary() + "\n";
+  }  // crash: router, controller, and pins die mid-lifecycle
+
+  serve::RegistryGc gc(env.scratch_disk(), dir);
+  auto report = gc.Run();
+  if (!report.ok()) return done("gc: " + report.status().ToString());
+  out.digest += "gc " + report->Summary() + "\n";
+
+  serve::ModelRegistry recovered(env.scratch_disk(), dir);
+  auto latest = recovered.LatestVersionMatching(config);
+  if (!latest.ok()) return done("latest: " + latest.status().ToString());
+  auto reloaded = recovered.Load(config, *latest);
+  if (!reloaded.ok()) return done("reload: " + reloaded.status().ToString());
+  out.digest += StrFormat("recovered v%llu\n",
+                          static_cast<unsigned long long>(*latest));
+
+  serve::RouterOptions ropts;
+  serve::ModelRouter router(ctx, ropts);
+  Status added = router.AddRoute(
+      std::make_shared<const serve::ModelHandle>(std::move(*reloaded)), 100);
+  if (!added.ok()) return done("post-crash add: " + added.ToString());
+  std::vector<serve::Response> served;
+  auto take = [&](std::vector<serve::Response> batch) {
+    served.insert(served.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+  };
+  for (uint64_t id = 5000; id < 5030; ++id) {
+    (void)router.Submit(id, bodies[id % bodies.size()]);
+    take(router.Poll());
+  }
+  take(router.Drain());
+  std::sort(served.begin(), served.end(),
+            [](const serve::Response& a, const serve::Response& b) {
+              return a.id < b.id;
+            });
+  if (served.size() != 30) {
+    return done(StrFormat("post-crash serve returned %zu of 30 responses",
+                          served.size()));
+  }
+  for (const serve::Response& r : served) {
+    out.digest += StrFormat(
+        "%llu:%s:v%llu:%u:%a\n", static_cast<unsigned long long>(r.id),
+        std::string(serve::RequestOutcomeName(r.outcome)).c_str(),
+        static_cast<unsigned long long>(r.model_version), r.cluster,
+        r.distance);
+    if (r.outcome != serve::RequestOutcome::kOk ||
+        r.model_version != *latest) {
+      return done(StrFormat(
+          "post-crash request %llu outcome %s from v%llu (latest v%llu)",
+          static_cast<unsigned long long>(r.id),
+          std::string(serve::RequestOutcomeName(r.outcome)).c_str(),
+          static_cast<unsigned long long>(r.model_version),
+          static_cast<unsigned long long>(*latest)));
+    }
+  }
+  env.SetExecutor(nullptr);
+  out.ok = true;
+  return out;
 }
 
 int Run(int argc, char** argv) {
@@ -759,6 +1157,10 @@ int Run(int argc, char** argv) {
   uint64_t nb_overlap_total = 0;
   uint64_t total_nb_completed = 0;
   int hetero_scenarios = 0;
+  int routed_scenarios = 0;
+  uint64_t total_routed = 0;
+  uint64_t total_shadow_scored = 0;
+  int shadow_twins = 0;
 
   std::printf("%-4s %-5s %-5s %-7s %-9s %-9s %-6s %-6s %-5s %-5s %-7s %s\n",
               "scn", "lanes", "brkr", "perm%", "admitted", "completed",
@@ -856,12 +1258,64 @@ int Run(int argc, char** argv) {
         scn_ok = false;
       }
 
+      // 7. shadow isolation: rerun w=8 with the shadow route removed
+      // (version 3 is still fitted, loaded, and pinned, so the registry
+      // timeline and clock charges are identical); the served stream must
+      // not move by one bit.
+      if (cfg.routed && cfg.route_shadow) {
+        ScenarioCfg bare = cfg;
+        bare.route_shadow = false;
+        RunResult w8b = RunScenario(bare, 8, 2, env, flags, config,
+                                    nb_config, *rel_or, labeled_rel, bodies);
+        ++shadow_twins;
+        if (w8b.harness_error) {
+          std::fprintf(stderr, "FAIL[harness]: s%02d shadow twin: %s\n", i,
+                       w8b.error.c_str());
+          scn_ok = false;
+        } else if (w8.served_digest != w8b.served_digest) {
+          std::vector<std::string_view> a = Split(w8.served_digest, '\n');
+          std::vector<std::string_view> b = Split(w8b.served_digest, '\n');
+          std::string where = "line counts differ";
+          for (size_t k = 0; k < std::min(a.size(), b.size()); ++k) {
+            if (a[k] != b[k]) {
+              where = StrFormat("first diff at line %zu: \"%s\" vs \"%s\"",
+                                k, std::string(a[k]).c_str(),
+                                std::string(b[k]).c_str());
+              break;
+            }
+          }
+          std::fprintf(stderr,
+                       "FAIL[shadow-isolation]: s%02d shadow scoring moved "
+                       "the served stream: %s\n",
+                       i, where.c_str());
+          scn_ok = false;
+        }
+      }
+
+      // Routed runs keep the plain server idle; display and totals read
+      // the per-route counters instead.
+      serve::ServeMetrics::Snapshot disp = w8.metrics;
+      uint64_t disp_opens = w8.breaker_opens;
+      if (w8.routed) {
+        ++routed_scenarios;
+        disp = serve::ServeMetrics::Snapshot{};
+        disp_opens = 0;
+        for (const serve::RouteStats& rs : w8.route_stats) {
+          disp.completed += rs.metrics.completed;
+          disp.shed += rs.metrics.shed;
+          disp.failed += rs.metrics.failed;
+          disp.hot_swaps += rs.metrics.hot_swaps;
+          disp_opens += rs.breaker_opens;
+          total_routed += rs.routed;
+          total_shadow_scored += rs.shadow_scored;
+        }
+      }
       total_requests += w8.submit_attempts;
-      total_completed += w8.metrics.completed;
-      total_shed += w8.metrics.shed;
-      total_swaps += w8.metrics.hot_swaps;
+      total_completed += disp.completed;
+      total_shed += disp.shed;
+      total_swaps += disp.hot_swaps;
       total_rollbacks += w8.metrics.swap_rollbacks;
-      total_opens += w8.breaker_opens;
+      total_opens += disp_opens;
       total_gc_runs += w8.gc_runs;
       if (w8.nb_active) {
         ++hetero_scenarios;
@@ -872,12 +1326,13 @@ int Run(int argc, char** argv) {
           "%-7llu %s\n",
           i, cfg.lanes ? "on" : "off", cfg.breaker ? "on" : "off",
           100.0 * cfg.faults.permanent_rate, w8.admitted.size(),
-          static_cast<unsigned long long>(w8.metrics.completed),
-          static_cast<unsigned long long>(w8.metrics.shed),
-          static_cast<unsigned long long>(w8.metrics.failed),
-          static_cast<unsigned long long>(w8.metrics.hot_swaps),
-          static_cast<unsigned long long>(w8.breaker_opens),
-          static_cast<unsigned long long>(overlap), scn_ok ? "ok" : "FAIL");
+          static_cast<unsigned long long>(disp.completed),
+          static_cast<unsigned long long>(disp.shed),
+          static_cast<unsigned long long>(disp.failed),
+          static_cast<unsigned long long>(disp.hot_swaps),
+          static_cast<unsigned long long>(disp_opens),
+          static_cast<unsigned long long>(overlap),
+          scn_ok ? (w8.routed ? "ok (routed)" : "ok") : "FAIL");
     }
     ok = ok && scn_ok;
   }
@@ -895,6 +1350,60 @@ int Run(int argc, char** argv) {
                  "FAIL[scoring-bits]: heterogeneous scenarios ran but the "
                  "NB cross-worker check never compared a scored request\n");
     ok = false;
+  }
+  // The routed invariants prove nothing if no routed scenario dispatched
+  // traffic or no shadow twin ever compared a sample.
+  if (scenarios >= 3 && (routed_scenarios == 0 || total_routed == 0)) {
+    std::fprintf(stderr,
+                 "FAIL[weight-conservation]: no routed scenario dispatched "
+                 "any traffic across the whole soak\n");
+    ok = false;
+  }
+  if (routed_scenarios > 0 &&
+      (shadow_twins == 0 || total_shadow_scored == 0)) {
+    std::fprintf(stderr,
+                 "FAIL[shadow-isolation]: routed scenarios ran but no "
+                 "shadow comparison was ever performed\n");
+    ok = false;
+  }
+
+  // Rollout crash sweep: crash at every lifecycle state, at workers
+  // {1, 8}, twice each — the registry must recover the world, and the two
+  // replays must be digest-identical.
+  static const char* kCrashStateNames[4] = {"shadow", "canary", "promoted",
+                                            "rolled-back"};
+  int rollout_crash_runs = 0;
+  for (int workers : {1, 8}) {
+    for (int st = 0; st < 4; ++st) {
+      RolloutCrashResult r0 = RolloutCrashRun(workers, st, 0, env, flags,
+                                              config, *rel_or, bodies);
+      RolloutCrashResult r1 = RolloutCrashRun(workers, st, 1, env, flags,
+                                              config, *rel_or, bodies);
+      rollout_crash_runs += 2;
+      if (!r0.ok || !r1.ok) {
+        std::fprintf(stderr, "FAIL[rollout-crash]: w=%d crash-at-%s: %s\n",
+                     workers, kCrashStateNames[st],
+                     (!r0.ok ? r0.error : r1.error).c_str());
+        ok = false;
+      } else if (r0.digest != r1.digest) {
+        std::vector<std::string_view> a = Split(r0.digest, '\n');
+        std::vector<std::string_view> b = Split(r1.digest, '\n');
+        std::string where = "line counts differ";
+        for (size_t k = 0; k < std::min(a.size(), b.size()); ++k) {
+          if (a[k] != b[k]) {
+            where = StrFormat("first diff at line %zu: \"%s\" vs \"%s\"", k,
+                              std::string(a[k]).c_str(),
+                              std::string(b[k]).c_str());
+            break;
+          }
+        }
+        std::fprintf(stderr,
+                     "FAIL[replay]: rollout crash-at-%s w=%d replay "
+                     "diverged: %s\n",
+                     kCrashStateNames[st], workers, where.c_str());
+        ok = false;
+      }
+    }
   }
 
   std::printf(
@@ -914,6 +1423,16 @@ int Run(int argc, char** argv) {
       "registry, %llu NB completions, %llu NB cross-worker overlaps\n",
       hetero_scenarios, static_cast<unsigned long long>(total_nb_completed),
       static_cast<unsigned long long>(nb_overlap_total));
+  std::printf(
+      "routed: %d scenarios split %llu requests across pinned versions "
+      "(weight conservation exact), %llu shadow comparisons, %d "
+      "shadow-isolation twins byte-compared\n",
+      routed_scenarios, static_cast<unsigned long long>(total_routed),
+      static_cast<unsigned long long>(total_shadow_scored), shadow_twins);
+  std::printf(
+      "rollout crash sweep: %d runs (4 states x workers {1,8} x 2 replays) "
+      "recovered from the registry\n",
+      rollout_crash_runs);
 
   std::string json = StrFormat(
       "{\"bench\":\"chaos_soak\",\"seed\":%llu,\"scenarios\":%d,"
@@ -921,7 +1440,10 @@ int Run(int argc, char** argv) {
       "\"hot_swaps\":%llu,\"rollbacks\":%llu,\"breaker_opens\":%llu,"
       "\"gc_runs\":%llu,\"scored_overlap\":%llu,"
       "\"hetero_scenarios\":%d,\"nb_completed\":%llu,"
-      "\"nb_scored_overlap\":%llu,\"invariants\":%s}",
+      "\"nb_scored_overlap\":%llu,\"routed_scenarios\":%d,"
+      "\"routed_requests\":%llu,\"shadow_scored\":%llu,"
+      "\"shadow_twins\":%d,\"rollout_crash_runs\":%d,"
+      "\"invariants\":%s}",
       static_cast<unsigned long long>(chaos_seed), scenarios, events,
       static_cast<unsigned long long>(total_requests),
       static_cast<unsigned long long>(total_completed),
@@ -932,8 +1454,10 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(total_gc_runs),
       static_cast<unsigned long long>(overlap_total),
       hetero_scenarios, static_cast<unsigned long long>(total_nb_completed),
-      static_cast<unsigned long long>(nb_overlap_total),
-      ok ? "\"held\"" : "\"VIOLATED\"");
+      static_cast<unsigned long long>(nb_overlap_total), routed_scenarios,
+      static_cast<unsigned long long>(total_routed),
+      static_cast<unsigned long long>(total_shadow_scored), shadow_twins,
+      rollout_crash_runs, ok ? "\"held\"" : "\"VIOLATED\"");
   std::printf("%s\n", json.c_str());
 
   if (!ok) {

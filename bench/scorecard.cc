@@ -34,6 +34,8 @@
 #include "serve/metrics.h"
 #include "serve/model_registry.h"
 #include "serve/registry_gc.h"
+#include "serve/rollout.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "text/corpus_io.h"
 #include "text/synth_corpus.h"
@@ -915,6 +917,195 @@ int Run(int argc, char** argv) {
                       static_cast<unsigned long long>(
                           gatekeeper.model_version())));
     }
+    env->SetExecutor(nullptr);
+  }
+
+  // --- PR 10: multi-model router + automated rollout ----------------------
+  std::printf("\nModel router (weighted split + shadow + rollout):\n");
+  {
+    parallel::SimulatedExecutor exec(8, parallel::MachineModel::Default());
+    env->SetExecutor(&exec);
+    auto reader = io::PackedCorpusReader::Open(env->corpus_disk(), *mix_rel);
+    if (!reader.ok()) return 1;
+    ops::ExecContext ctx;
+    ctx.executor = &exec;
+    ctx.corpus_disk = env->corpus_disk();
+    ctx.scratch_disk = env->scratch_disk();
+    serve::ModelConfig config;
+    config.clusters = static_cast<int>(flags.GetInt("clusters"));
+    serve::ModelRegistry registry(env->scratch_disk(), "sc-router");
+    ops::KMeansOptions kopts;
+    kopts.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+    // Two fits on the same executor: the second is a bit-identical refit,
+    // so shadow agreement below 100% would be a real defect.
+    auto fit_a = registry.Fit(ctx, *reader, config, kopts);
+    auto fit_b = registry.Fit(ctx, *reader, config, kopts);
+    std::vector<std::string> bodies;
+    for (size_t i = 0; i < std::min<size_t>(reader->size(), 48); ++i) {
+      auto body = reader->ReadBody(i);
+      if (!body.ok()) break;
+      bodies.push_back(std::move(*body));
+    }
+    std::shared_ptr<const serve::ModelHandle> stable, cand;
+    if (fit_a.ok()) {
+      stable = std::make_shared<const serve::ModelHandle>(std::move(*fit_a));
+    }
+    if (fit_b.ok()) {
+      cand = std::make_shared<const serve::ModelHandle>(std::move(*fit_b));
+    }
+    const bool fixture_ok =
+        stable != nullptr && cand != nullptr && !bodies.empty();
+
+    serve::RouterOptions ropts;
+    ropts.server.max_batch = 4;
+    ropts.server.queue_capacity = 64;
+
+    // Claim: the 90/10 split equals an independent recompute of the
+    // pure routing function, and every response names the version the
+    // recompute picked.
+    uint64_t want_a = 0, want_b = 0, routed_a = 0, routed_b = 0;
+    bool versions_match = fixture_ok;
+    if (fixture_ok) {
+      serve::ModelRouter router(ctx, ropts);
+      (void)router.AddRoute(stable, 90);
+      (void)router.AddRoute(cand, 10);
+      std::vector<serve::Response> got;
+      auto take = [&](std::vector<serve::Response> batch) {
+        got.insert(got.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+      };
+      for (uint64_t id = 0; id < 400; ++id) {
+        ++(router.RouteVersionFor(id) == stable->version() ? want_a
+                                                           : want_b);
+        (void)router.Submit(id, bodies[id % bodies.size()]);
+        take(router.Poll());
+      }
+      take(router.Drain());
+      for (const serve::RouteStats& rs : router.Scrape()) {
+        if (rs.version == stable->version()) routed_a = rs.routed;
+        if (rs.version == cand->version()) routed_b = rs.routed;
+      }
+      for (const serve::Response& r : got) {
+        if (r.model_version != 0 &&
+            r.model_version != router.RouteVersionFor(r.id)) {
+          versions_match = false;
+        }
+      }
+    }
+    Check(fixture_ok && want_a + want_b == 400 && routed_a == want_a &&
+              routed_b == want_b && versions_match,
+          "90/10 split equals the hash-bucket recompute exactly",
+          StrFormat("routed %llu/%llu, recomputed %llu/%llu",
+                    static_cast<unsigned long long>(routed_a),
+                    static_cast<unsigned long long>(routed_b),
+                    static_cast<unsigned long long>(want_a),
+                    static_cast<unsigned long long>(want_b)));
+
+    // Claim: a shadow route scores the full sample, agrees with the
+    // served model, and changes no served byte (digest-compared against
+    // a shadow-free twin serving the same stream).
+    uint64_t scored = 0, disagreed = 0;
+    auto serve_stream = [&](bool with_shadow) -> std::string {
+      serve::ModelRouter router(ctx, ropts);
+      (void)router.AddRoute(stable, 100);
+      if (with_shadow) {
+        (void)router.AddRoute(cand, /*weight=*/0, /*shadow=*/true);
+      }
+      std::vector<serve::Response> got;
+      auto take = [&](std::vector<serve::Response> batch) {
+        got.insert(got.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+      };
+      for (uint64_t id = 0; id < 200; ++id) {
+        (void)router.Submit(id, bodies[id % bodies.size()]);
+        take(router.Poll());
+      }
+      take(router.Drain());
+      for (const serve::RouteStats& rs : router.Scrape()) {
+        if (rs.shadow) {
+          scored = rs.shadow_scored;
+          disagreed = rs.shadow_disagreed;
+        }
+      }
+      std::sort(got.begin(), got.end(),
+                [](const serve::Response& a, const serve::Response& b) {
+                  return a.id < b.id;
+                });
+      std::string digest;
+      for (const serve::Response& r : got) {
+        digest += StrFormat("%llu:v%llu:%u:%a\n",
+                            static_cast<unsigned long long>(r.id),
+                            static_cast<unsigned long long>(r.model_version),
+                            r.cluster, r.distance);
+      }
+      return digest;
+    };
+    std::string with_shadow = fixture_ok ? serve_stream(true) : "";
+    std::string bare = fixture_ok ? serve_stream(false) : "x";
+    Check(fixture_ok && !with_shadow.empty() && with_shadow == bare &&
+              scored > 0 && disagreed == 0,
+          "shadow scores full sample, agrees, alters no served byte",
+          StrFormat("%llu scored, %llu disagreed, digests %s",
+                    static_cast<unsigned long long>(scored),
+                    static_cast<unsigned long long>(disagreed),
+                    with_shadow == bare ? "identical" : "DIVERGED"));
+
+    // Claim: the rollout controller promotes a healthy candidate and an
+    // unreachable shadow-agreement bar rolls it back without the
+    // candidate ever taking weighted traffic.
+    auto rollout_run = [&](double min_agree, serve::RolloutState* end_state,
+                           uint64_t* serving, size_t* routes) {
+      serve::ModelRouter router(ctx, ropts);
+      (void)router.AddRoute(stable, 100);
+      serve::RolloutOptions opts;
+      opts.shadow_min_compares = 16;
+      opts.shadow_min_agree = min_agree;
+      opts.canary_window_sec = 1e-5;
+      opts.canary_windows = 2;
+      opts.canary_min_served = 1;
+      serve::RolloutController controller(&router, opts);
+      Status begun = controller.Begin(stable->version(), cand);
+      for (uint64_t id = 0; begun.ok() && id < 4000; ++id) {
+        if (controller.state() == serve::RolloutState::kPromoted ||
+            controller.state() == serve::RolloutState::kRolledBack) {
+          break;
+        }
+        (void)router.Submit(id, bodies[id % bodies.size()]);
+        (void)router.Poll();
+        (void)controller.Tick(exec.Now());
+      }
+      router.FlushAll();
+      (void)controller.Tick(exec.Now());
+      *end_state = controller.state();
+      for (const serve::RouteStats& rs : router.Scrape()) {
+        if (rs.weight > 0) *serving = rs.version;
+      }
+      *routes = router.num_routes();
+      (void)router.Drain();
+    };
+    serve::RolloutState promoted = serve::RolloutState::kIdle;
+    serve::RolloutState rolled = serve::RolloutState::kIdle;
+    uint64_t serving_after_promote = 0, serving_after_rollback = 0;
+    size_t routes_after_promote = 0, routes_after_rollback = 0;
+    if (fixture_ok) {
+      rollout_run(0.98, &promoted, &serving_after_promote,
+                  &routes_after_promote);
+      rollout_run(1.01, &rolled, &serving_after_rollback,
+                  &routes_after_rollback);
+    }
+    Check(fixture_ok && promoted == serve::RolloutState::kPromoted &&
+              serving_after_promote == cand->version() &&
+              rolled == serve::RolloutState::kRolledBack &&
+              serving_after_rollback == stable->version() &&
+              routes_after_rollback == 1,
+          "rollout promotes healthy candidate; failed gate rolls back",
+          StrFormat("promote -> %s serves v%llu; strict gate -> %s serves "
+                    "v%llu",
+                    std::string(serve::RolloutStateName(promoted)).c_str(),
+                    static_cast<unsigned long long>(serving_after_promote),
+                    std::string(serve::RolloutStateName(rolled)).c_str(),
+                    static_cast<unsigned long long>(
+                        serving_after_rollback)));
     env->SetExecutor(nullptr);
   }
 

@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,8 @@
 #include "serve/metrics.h"
 #include "serve/model_registry.h"
 #include "serve/request.h"
+#include "serve/rollout.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 namespace hpa::bench {
@@ -44,6 +47,12 @@ struct SweepRow {
   double wall_sec = 0.0;
   double throughput = 0.0;
   uint64_t spawns_suppressed = 0;
+  // Breaker state-transition counters of the model served in this row
+  // (all zero unless --breaker): the tail alone must be enough to debug
+  // a shedding run.
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_half_opens = 0;
+  uint64_t breaker_probes = 0;
 };
 
 /// Bit-exact fingerprint of a response stream (order-normalized by id).
@@ -93,6 +102,22 @@ int Run(int argc, char** argv) {
   flags.DefineBool("breaker", false,
                    "feed scoring outcomes into the circuit breaker and "
                    "shed while it is open (default tuning)");
+  flags.DefineBool("router", false,
+                   "run the routed leg: fit one version per --weights "
+                   "entry and serve through a ModelRouter, exit-enforcing "
+                   "exact weight conservation against the hash-bucket "
+                   "split");
+  flags.DefineString("weights", "90,10",
+                     "integer traffic weights for the routed leg, one "
+                     "fitted version per entry (requires --router)");
+  flags.DefineBool("shadow", false,
+                   "add a weight-0 shadow route scoring every routed "
+                   "request (requires --router)");
+  flags.DefineDouble("canary_gate", 0.0,
+                     "when > 0: after the routed leg, drive a full "
+                     "RolloutController lifecycle (shadow -> canary -> "
+                     "promote/rollback) with this shadow agreement gate "
+                     "(requires --router)");
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -379,6 +404,9 @@ int Run(int argc, char** argv) {
                 ? static_cast<double>(row.metrics.completed) / row.wall_sec
                 : 0.0;
         row.spawns_suppressed = exec->scheduler_stats().spawns_suppressed;
+        row.breaker_opens = server.breaker().opens();
+        row.breaker_half_opens = server.breaker().half_opens();
+        row.breaker_probes = server.breaker().probes_admitted();
         env.SetExecutor(nullptr);
         rows.push_back(row);
       }
@@ -404,6 +432,263 @@ int Run(int argc, char** argv) {
       "the offered load\nexceeds service capacity the bounded queue "
       "converts the excess into\nrejects instead of unbounded latency.\n\n");
 
+  // --- Routed leg: weighted split through the ModelRouter ------------
+  // Exit-enforced weight conservation: the Scrape()'d per-route counters
+  // must equal an independent RouteVersionFor() recompute over the id
+  // stream, and every scored response must carry the version the hash
+  // assigns its id.
+  std::string router_json;
+  if (flags.GetBool("router")) {
+    auto weights_or = ParseIntList(flags.GetString("weights"));
+    if (!weights_or.ok() || weights_or->empty()) {
+      std::fprintf(stderr, "bad --weights\n");
+      return 2;
+    }
+    const bool shadow = flags.GetBool("shadow");
+    const double canary_gate = flags.GetDouble("canary_gate");
+    const size_t versions_needed = weights_or->size() + (shadow ? 1 : 0) +
+                                   (canary_gate > 0.0 ? 1 : 0);
+
+    serve::ModelRegistry registry(env.scratch_disk(), "models");
+
+    // v1 was published by the fit above; refit until every route (plus
+    // shadow/candidate extras) has its own registry version, then load
+    // them all concurrently as refcounted snapshot handles. Refits run on
+    // the same worker count as the initial fit: K-means centroid
+    // reductions are deterministic per worker count, so same-width refits
+    // are bit-identical and shadow/rollout agreement is exact.
+    std::vector<std::shared_ptr<const serve::ModelHandle>> handles;
+    {
+      auto fit_exec = MakeBenchExecutor(flags, 8);
+      env.SetExecutor(fit_exec.get());
+      ops::ExecContext fit_ctx;
+      fit_ctx.executor = fit_exec.get();
+      fit_ctx.corpus_disk = env.corpus_disk();
+      fit_ctx.scratch_disk = env.scratch_disk();
+      auto reader = io::PackedCorpusReader::Open(env.corpus_disk(), *rel_or);
+      if (!reader.ok()) {
+        std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+        return 2;
+      }
+      ops::KMeansOptions kmeans;
+      kmeans.max_iterations = static_cast<int>(flags.GetInt("kmeans_iters"));
+      for (uint64_t v = 1; v <= versions_needed; ++v) {
+        auto latest = registry.LatestVersion();
+        if (!latest.ok() || *latest < v) {
+          auto fitted = registry.Fit(fit_ctx, *reader, config, kmeans);
+          if (!fitted.ok()) {
+            std::fprintf(stderr, "refit failed: %s\n",
+                         fitted.status().ToString().c_str());
+            return 2;
+          }
+        }
+        auto loaded = registry.Load(config, v);
+        if (!loaded.ok()) {
+          std::fprintf(stderr, "load v%llu failed: %s\n",
+                       static_cast<unsigned long long>(v),
+                       loaded.status().ToString().c_str());
+          return 2;
+        }
+        handles.push_back(
+            std::make_shared<const serve::ModelHandle>(std::move(*loaded)));
+      }
+      env.SetExecutor(nullptr);
+    }
+
+    auto exec = MakeBenchExecutor(flags, gate_threads);
+    env.SetExecutor(exec.get());
+    ops::ExecContext ctx;
+    ctx.executor = exec.get();
+    ctx.corpus_disk = env.corpus_disk();
+    ctx.scratch_disk = env.scratch_disk();
+
+    serve::RouterOptions ropts;
+    ropts.server.queue_capacity = queue_capacity;
+    ropts.server.max_batch = batches_or->back() > 0
+                                 ? static_cast<size_t>(batches_or->back())
+                                 : 8;
+    ropts.server.inline_threshold = inline_threshold;
+    ropts.server.priority_lanes = flags.GetBool("priority_lanes");
+    ropts.server.breaker_enabled = flags.GetBool("breaker");
+    serve::VersionPinSet pins;
+    serve::ModelRouter router(ctx, ropts);
+    router.set_pins(&pins);
+    for (size_t i = 0; i < weights_or->size(); ++i) {
+      Status st = router.AddRoute(handles[i],
+                                  static_cast<uint32_t>((*weights_or)[i]));
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 2;
+      }
+    }
+    size_t next_handle = weights_or->size();
+    if (shadow) {
+      Status st =
+          router.AddRoute(handles[next_handle++], /*weight=*/0,
+                          /*shadow=*/true);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 2;
+      }
+    }
+
+    // Same open-loop Poisson discipline as the sweep, at the highest
+    // offered load; expected split recomputed before each Submit from the
+    // pure routing function.
+    const double lambda = static_cast<double>(lambdas_or->back());
+    Rng rng(0xB10C0DEULL + static_cast<uint64_t>(gate_threads));
+    std::map<uint64_t, uint64_t> expected;  // version -> hash-split count
+    std::vector<serve::Response> responses;
+    double route_start = exec->Now();
+    for (size_t i = 0; i < num_requests; ++i) {
+      double gap =
+          -std::log(1.0 - rng.NextDouble()) / lambda;
+      exec->ChargeIoTime(gap, 1);
+      uint64_t id = static_cast<uint64_t>(i);
+      ++expected[router.RouteVersionFor(id)];
+      (void)router.Submit(id, bodies[i % bodies.size()],
+                          exec->Now() + deadline_sec);
+      std::vector<serve::Response> out = router.Poll();
+      responses.insert(responses.end(), std::make_move_iterator(out.begin()),
+                       std::make_move_iterator(out.end()));
+    }
+    {
+      std::vector<serve::Response> out = router.Drain();
+      responses.insert(responses.end(), std::make_move_iterator(out.begin()),
+                       std::make_move_iterator(out.end()));
+    }
+    double route_wall = exec->Now() - route_start;
+
+    bool conserved = true;
+    std::vector<serve::RouteStats> stats = router.Scrape();
+    for (const serve::RouteStats& rs : stats) {
+      uint64_t want = 0;
+      auto it = expected.find(rs.version);
+      if (it != expected.end()) want = it->second;
+      if (rs.routed != want) {
+        std::fprintf(stderr,
+                     "FAIL[router]: v%llu routed %llu requests, hash split "
+                     "says %llu\n",
+                     static_cast<unsigned long long>(rs.version),
+                     static_cast<unsigned long long>(rs.routed),
+                     static_cast<unsigned long long>(want));
+        conserved = false;
+      }
+    }
+    for (const serve::Response& r : responses) {
+      if (r.model_version != 0 &&
+          r.model_version != router.RouteVersionFor(r.id)) {
+        std::fprintf(stderr,
+                     "FAIL[router]: response %llu scored by v%llu, hash "
+                     "assigns v%llu\n",
+                     static_cast<unsigned long long>(r.id),
+                     static_cast<unsigned long long>(r.model_version),
+                     static_cast<unsigned long long>(
+                         router.RouteVersionFor(r.id)));
+        conserved = false;
+        break;
+      }
+    }
+    if (!conserved) ok = false;
+    std::printf("router: %zu routes, %zu requests at lambda %.0f -> split %s "
+                "(%.6gs virtual)\n",
+                router.num_routes(), num_requests, lambda,
+                conserved ? "exact" : "BROKEN", route_wall);
+    for (const serve::RouteStats& rs : stats) {
+      std::printf("  %s\n", rs.Summary().c_str());
+    }
+
+    // Optional full rollout lifecycle on live traffic, on a fresh router
+    // (the fixed-weight router above was drained, which is terminal for
+    // its route servers). The candidate is a same-width refit, so shadow
+    // agreement is exact and the run must end kPromoted.
+    std::string rollout_json;
+    if (canary_gate > 0.0) {
+      serve::ModelRouter roll_router(ctx, ropts);
+      roll_router.set_pins(&pins);
+      Status st = roll_router.AddRoute(handles[0], 100);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 2;
+      }
+      serve::RolloutOptions roll;
+      roll.shadow_min_agree = canary_gate;
+      roll.shadow_min_compares = 16;
+      // Virtual-clock scoring is microsecond-scale; wall-clock-sized
+      // windows would never elapse.
+      roll.canary_window_sec = 1e-5;
+      roll.canary_windows = 2;
+      roll.canary_min_served = 1;
+      serve::RolloutController controller(&roll_router, roll);
+      st = controller.Begin(handles[0]->version(), handles[next_handle]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "FAIL[rollout]: %s\n", st.ToString().c_str());
+        ok = false;
+      }
+      size_t pumped = 0;
+      const size_t pump_budget = 8 * num_requests;
+      while (st.ok() && pumped < pump_budget &&
+             controller.state() != serve::RolloutState::kPromoted &&
+             controller.state() != serve::RolloutState::kRolledBack) {
+        double gap = -std::log(1.0 - rng.NextDouble()) / lambda;
+        exec->ChargeIoTime(gap, 1);
+        uint64_t id = static_cast<uint64_t>(num_requests + pumped);
+        (void)roll_router.Submit(id, bodies[id % bodies.size()],
+                                 exec->Now() + deadline_sec);
+        (void)roll_router.Poll();
+        (void)controller.Tick(exec->Now());
+        ++pumped;
+      }
+      (void)roll_router.FlushAll();
+      (void)controller.Tick(exec->Now());
+      std::printf("rollout: %s (%zu requests pumped)\n",
+                  controller.Summary().c_str(), pumped);
+      if (controller.state() != serve::RolloutState::kPromoted) {
+        std::fprintf(stderr,
+                     "FAIL[rollout]: identical refit ended \"%s\" instead "
+                     "of promoted\n",
+                     std::string(serve::RolloutStateName(controller.state()))
+                         .c_str());
+        ok = false;
+      }
+      (void)roll_router.Drain();
+      rollout_json = StrFormat(
+          ",\"rollout_state\":\"%s\",\"rollout_pumped\":%zu",
+          std::string(serve::RolloutStateName(controller.state())).c_str(),
+          pumped);
+    }
+
+    router_json = StrFormat(
+        ",\"router\":{\"weights\":\"%s\",\"shadow\":%s,\"conserved\":%s,"
+        "\"wall_sec\":%.6g%s,\"models\":[",
+        flags.GetString("weights").c_str(), shadow ? "true" : "false",
+        conserved ? "true" : "false", route_wall, rollout_json.c_str());
+    for (size_t i = 0; i < stats.size(); ++i) {
+      const serve::RouteStats& rs = stats[i];
+      if (i > 0) router_json += ",";
+      router_json += StrFormat(
+          "{\"version\":%llu,\"kind\":\"%s\",\"weight\":%u,\"shadow\":%s,"
+          "\"routed\":%llu,\"completed\":%llu,\"shed\":%llu,"
+          "\"opens\":%llu,\"half_opens\":%llu,\"probes\":%llu,"
+          "\"shadow_scored\":%llu,\"agreed\":%llu,\"disagreed\":%llu}",
+          static_cast<unsigned long long>(rs.version),
+          std::string(serve::ModelKindName(rs.kind)).c_str(), rs.weight,
+          rs.shadow ? "true" : "false",
+          static_cast<unsigned long long>(rs.routed),
+          static_cast<unsigned long long>(rs.metrics.completed),
+          static_cast<unsigned long long>(rs.metrics.shed),
+          static_cast<unsigned long long>(rs.breaker_opens),
+          static_cast<unsigned long long>(rs.breaker_half_opens),
+          static_cast<unsigned long long>(rs.breaker_probes),
+          static_cast<unsigned long long>(rs.shadow_scored),
+          static_cast<unsigned long long>(rs.shadow_agreed),
+          static_cast<unsigned long long>(rs.shadow_disagreed));
+    }
+    router_json += "]}";
+    std::printf("\n");
+    env.SetExecutor(nullptr);
+  }
+
   std::string json = StrFormat(
       "{\"bench\":\"serve_load\",\"requests\":%zu,\"identity\":%s,"
       "\"slo_deadline\":%.6g,\"slo_p99\":%.6g,\"slo_misses\":%llu,"
@@ -419,7 +704,8 @@ int Run(int argc, char** argv) {
         "{\"threads\":%d,\"batch\":%zu,\"lambda\":%.0f,"
         "\"completed\":%llu,\"rejected\":%llu,\"misses\":%llu,"
         "\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g,\"throughput\":%.1f,"
-        "\"occupancy\":%.2f,\"spawns_suppressed\":%llu}",
+        "\"occupancy\":%.2f,\"spawns_suppressed\":%llu,"
+        "\"opens\":%llu,\"half_opens\":%llu,\"probes\":%llu}",
         row.threads, row.batch, row.lambda,
         static_cast<unsigned long long>(row.metrics.completed),
         static_cast<unsigned long long>(row.metrics.rejected),
@@ -427,9 +713,14 @@ int Run(int argc, char** argv) {
         row.metrics.latency_p50_sec, row.metrics.latency_p95_sec,
         row.metrics.latency_p99_sec, row.throughput,
         row.metrics.mean_batch_occupancy,
-        static_cast<unsigned long long>(row.spawns_suppressed));
+        static_cast<unsigned long long>(row.spawns_suppressed),
+        static_cast<unsigned long long>(row.breaker_opens),
+        static_cast<unsigned long long>(row.breaker_half_opens),
+        static_cast<unsigned long long>(row.breaker_probes));
   }
-  json += "]}";
+  json += "]";
+  json += router_json;
+  json += "}";
   std::printf("%s\n", json.c_str());
 
   if (!ok) {

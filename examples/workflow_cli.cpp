@@ -12,7 +12,9 @@
 //   ./workflow_cli --corpus_dir=~/my_docs --plan=/tmp/hpa_out/plan.txt
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/string_util.h"
@@ -21,6 +23,7 @@
 #include "ops/exec_context.h"
 #include "serve/metrics.h"
 #include "serve/model_registry.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "core/plan_io.h"
 #include "core/report.h"
@@ -80,6 +83,16 @@ int main(int argc, char** argv) {
                      "serve mode: per-request deadline in virtual "
                      "milliseconds (0 = none)");
   flags.DefineInt("serve_queue", 64, "serve mode: admission queue slots");
+  flags.DefineBool("router", false,
+                   "serve mode: publish one model version per --weights "
+                   "entry and split traffic through the ModelRouter");
+  flags.DefineString("weights", "90,10",
+                     "serve mode with --router: integer traffic weights, "
+                     "one model version per entry");
+  flags.DefineBool("shadow", false,
+                   "serve mode with --router: add a weight-0 shadow route "
+                   "that scores every served request and reports "
+                   "agreement");
   if (auto s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 2;
@@ -174,8 +187,6 @@ int main(int argc, char** argv) {
     sopts.max_batch = static_cast<size_t>(flags.GetInt("serve_batch"));
     const double deadline_sec =
         flags.GetDouble("serve_deadline_ms") / 1000.0;
-    serve::ServeMetrics metrics(static_cast<int>(flags.GetInt("workers")));
-    serve::AnalyticsServer server(ctx, &*model, sopts, &metrics);
 
     std::vector<uint64_t> cluster_counts(
         static_cast<size_t>(config.clusters), 0);
@@ -186,6 +197,92 @@ int main(int argc, char** argv) {
         }
       }
     };
+
+    // --- routed serve: weighted split across registry versions ----------
+    if (flags.GetBool("router")) {
+      std::vector<uint32_t> weights;
+      {
+        std::string spec = flags.GetString("weights");
+        size_t pos = 0;
+        while (pos <= spec.size()) {
+          size_t comma = spec.find(',', pos);
+          std::string part = spec.substr(
+              pos, comma == std::string::npos ? std::string::npos
+                                              : comma - pos);
+          int w = std::atoi(part.c_str());
+          if (w < 0 || (w == 0 && part != "0")) {
+            return Fail(Status::InvalidArgument(
+                "--weights must be non-negative integers"));
+          }
+          weights.push_back(static_cast<uint32_t>(w));
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+      }
+      if (weights.empty()) {
+        return Fail(Status::InvalidArgument("--weights is empty"));
+      }
+      const bool shadow = flags.GetBool("shadow");
+      const size_t versions_needed =
+          weights.size() + (shadow ? 1 : 0);
+      std::vector<std::shared_ptr<const serve::ModelHandle>> handles;
+      handles.push_back(
+          std::make_shared<const serve::ModelHandle>(std::move(*model)));
+      for (size_t v = 2; v <= versions_needed; ++v) {
+        auto refit = registry.Fit(ctx, *reader, config, kmeans);
+        if (!refit.ok()) return Fail(refit.status());
+        handles.push_back(
+            std::make_shared<const serve::ModelHandle>(std::move(*refit)));
+      }
+
+      serve::RouterOptions ropts;
+      ropts.server = sopts;
+      serve::VersionPinSet pins;
+      serve::ModelRouter router(ctx, ropts);
+      router.set_pins(&pins);
+      for (size_t i = 0; i < weights.size(); ++i) {
+        if (auto s = router.AddRoute(handles[i], weights[i]); !s.ok()) {
+          return Fail(s);
+        }
+      }
+      if (shadow) {
+        if (auto s = router.AddRoute(handles.back(), 0, /*shadow=*/true);
+            !s.ok()) {
+          return Fail(s);
+        }
+      }
+
+      for (size_t i = 0; i < requests; ++i) {
+        auto body = reader->ReadBody(i % reader->size());
+        if (!body.ok()) return Fail(body.status());
+        double deadline =
+            deadline_sec > 0 ? exec.Now() + deadline_sec : 0.0;
+        (void)router.Submit(i, std::move(*body), deadline);
+        absorb(router.Poll());
+      }
+      absorb(router.Drain());
+
+      std::printf("\nrouted %zu requests across %zu versions "
+                  "(weights %s%s):\n",
+                  requests, router.num_routes(),
+                  flags.GetString("weights").c_str(),
+                  shadow ? " + shadow" : "");
+      for (const serve::RouteStats& rs : router.Scrape()) {
+        std::printf("  %s\n", rs.Summary().c_str());
+      }
+      std::printf("cluster occupancy:");
+      for (size_t c = 0; c < cluster_counts.size(); ++c) {
+        std::printf(" %zu:%llu", c,
+                    static_cast<unsigned long long>(cluster_counts[c]));
+      }
+      std::printf("\nmodel registry: %s/models (%zu versions pinned while "
+                  "routed)\n",
+                  out_dir.c_str(), pins.size());
+      return 0;
+    }
+
+    serve::ServeMetrics metrics(static_cast<int>(flags.GetInt("workers")));
+    serve::AnalyticsServer server(ctx, &*model, sopts, &metrics);
     for (size_t i = 0; i < requests; ++i) {
       auto body = reader->ReadBody(i % reader->size());
       if (!body.ok()) return Fail(body.status());

@@ -62,6 +62,7 @@ bool CircuitBreaker::Allow(uint64_t token, double now_sec) {
     state_ = BreakerState::kHalfOpen;
     round_probes_ = 0;
     round_successes_ = 0;
+    ++half_opens_;
   }
   if (state_ == BreakerState::kHalfOpen) {
     if (round_probes_ >= options_.half_open_probes) {

@@ -90,6 +90,7 @@ class CircuitBreaker {
   uint64_t sheds() const { return sheds_; }        ///< Allow() == false
   uint64_t opens() const { return opens_; }        ///< trips to kOpen
   uint64_t closes() const { return closes_; }      ///< recoveries to kClosed
+  uint64_t half_opens() const { return half_opens_; }  ///< probing rounds begun
   uint64_t probes_admitted() const { return probes_admitted_; }
 
  private:
@@ -104,6 +105,7 @@ class CircuitBreaker {
   uint64_t sheds_ = 0;
   uint64_t opens_ = 0;
   uint64_t closes_ = 0;
+  uint64_t half_opens_ = 0;
   uint64_t probes_admitted_ = 0;
 };
 

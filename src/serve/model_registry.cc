@@ -10,6 +10,33 @@
 
 namespace hpa::serve {
 
+void VersionPinSet::Pin(uint64_t version) {
+  if (version == 0) return;
+  ++counts_[version];
+}
+
+void VersionPinSet::Unpin(uint64_t version) {
+  auto it = counts_.find(version);
+  if (it == counts_.end()) return;
+  if (--it->second == 0) counts_.erase(it);
+}
+
+bool VersionPinSet::IsPinned(uint64_t version) const {
+  return counts_.count(version) > 0;
+}
+
+uint64_t VersionPinSet::PinCount(uint64_t version) const {
+  auto it = counts_.find(version);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<uint64_t> VersionPinSet::Pinned() const {
+  std::vector<uint64_t> out;
+  out.reserve(counts_.size());
+  for (const auto& [version, count] : counts_) out.push_back(version);
+  return out;
+}
+
 namespace {
 
 bool ParseHex64(std::string_view s, uint64_t* out) {

@@ -2,6 +2,7 @@
 #define HPA_SERVE_MODEL_REGISTRY_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -65,6 +66,43 @@
 /// in-memory handle — the round-trip guarantee the serve tests pin down.
 
 namespace hpa::serve {
+
+/// Refcounted pin table guarding live-routed registry versions against
+/// GC compaction. Retain-N protects only the newest N intact versions;
+/// a router serving a 90/10 split (or a rollout holding a parked
+/// stable) references versions retain-N would happily remove. Each
+/// route pins its version for the route's lifetime; RegistryGc::Run
+/// consults the set (GcOptions::pins) and skips pinned versions during
+/// compaction — quarantine of genuinely corrupt versions still applies,
+/// pinning protects bytes from *removal*, not from being wrong.
+///
+/// Refcounted, not boolean: two routers (live + replay twin) may pin
+/// the same version independently, and the version stays protected
+/// until the last one unpins. Same threading contract as the rest of
+/// the serving layer: driven from one thread, not synchronized.
+class VersionPinSet {
+ public:
+  /// Increments `version`'s pin count (version 0 is ignored — it is the
+  /// "never scored" sentinel, not a registry version).
+  void Pin(uint64_t version);
+
+  /// Decrements; the entry disappears at zero. Unpinning an unpinned
+  /// version is a no-op (destructor-ordering tolerance).
+  void Unpin(uint64_t version);
+
+  bool IsPinned(uint64_t version) const;
+
+  /// Pin count for `version` (0 = unpinned).
+  uint64_t PinCount(uint64_t version) const;
+
+  /// Pinned versions, ascending (the GC report's audit view).
+  std::vector<uint64_t> Pinned() const;
+
+  size_t size() const { return counts_.size(); }
+
+ private:
+  std::map<uint64_t, uint64_t> counts_;
+};
 
 /// What a served model *is*. A registry directory may hold versions of
 /// different kinds side by side (heterogeneous serving); the kind is part

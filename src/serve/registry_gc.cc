@@ -35,10 +35,10 @@ struct ArtifactRef {
 std::string GcReport::Summary() const {
   std::string out = StrFormat(
       "scanned=%llu intact=%llu torn=%zu quarantined=%zu removed=%zu "
-      "latest=%llu->%llu repaired=%d",
+      "pinned=%zu latest=%llu->%llu repaired=%d",
       static_cast<unsigned long long>(scanned_versions),
       static_cast<unsigned long long>(intact_versions), torn_versions.size(),
-      quarantined.size(), removed_versions.size(),
+      quarantined.size(), removed_versions.size(), pinned_kept.size(),
       static_cast<unsigned long long>(latest_before),
       static_cast<unsigned long long>(latest_after),
       latest_repaired ? 1 : 0);
@@ -191,12 +191,19 @@ StatusOr<GcReport> RegistryGc::Run() {
   }
 
   // Retain-N compaction over intact versions only (quarantined versions
-  // are evidence and stay). Removal order is manifest first: a crash
-  // mid-removal leaves a torn version, which the next pass deletes.
+  // are evidence and stay). Live-routed pins exempt a version from
+  // removal no matter how old: a router serving a weighted split holds
+  // versions retain-N considers expendable. Removal order is manifest
+  // first: a crash mid-removal leaves a torn version, which the next
+  // pass deletes.
   size_t keep = static_cast<size_t>(options_.retain);
-  size_t remove_count = intact.size() > keep ? intact.size() - keep : 0;
-  for (size_t i = 0; i < remove_count; ++i) {
+  size_t candidate_count = intact.size() > keep ? intact.size() - keep : 0;
+  for (size_t i = 0; i < candidate_count; ++i) {
     uint64_t v = intact[i];
+    if (options_.pins != nullptr && options_.pins->IsPinned(v)) {
+      report.pinned_kept.push_back(v);
+      continue;
+    }
     HPA_RETURN_IF_ERROR(disk_->Remove(paths_.ManifestPath(v)));
     if (disk_->Exists(paths_.TfidfPath(v))) {
       HPA_RETURN_IF_ERROR(disk_->Remove(paths_.TfidfPath(v)));
@@ -206,7 +213,7 @@ StatusOr<GcReport> RegistryGc::Run() {
     }
     report.removed_versions.push_back(v);
   }
-  report.intact_versions = intact.size() - remove_count;
+  report.intact_versions = intact.size() - report.removed_versions.size();
   return report;
 }
 

@@ -43,6 +43,15 @@ struct GcOptions {
   /// Newest intact versions to keep. Minimum 1 (the serving model must
   /// survive); values below 1 are clamped.
   uint64_t retain = 2;
+
+  /// Live-routed version pins (not owned; null = none). Pinned versions
+  /// are exempt from retain-N removal no matter how old — a router
+  /// serving a 90/10 split must never have either side compacted out
+  /// from under it. Pins do NOT block torn-publish cleanup or
+  /// corruption quarantine: those protect correctness, pins protect
+  /// availability, and a pinned-but-corrupt version must still stop
+  /// serving new loads.
+  const VersionPinSet* pins = nullptr;
 };
 
 /// What one GC pass found and did. All version lists are ascending.
@@ -53,6 +62,8 @@ struct GcReport {
   std::vector<uint64_t> quarantined;       ///< corrupt, marker written
   std::vector<std::string> quarantine_reasons;  ///< parallel to above
   std::vector<uint64_t> removed_versions;  ///< retired by retain-N
+  /// Intact versions retain-N would have removed but a pin kept.
+  std::vector<uint64_t> pinned_kept;
   uint64_t latest_before = 0;  ///< latest pointer on entry (0 = none/bad)
   uint64_t latest_after = 0;   ///< latest pointer on exit (0 = none)
   bool latest_repaired = false;

@@ -1,0 +1,273 @@
+#include "serve/rollout.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace hpa::serve {
+
+namespace {
+
+/// Counter delta, clamped at zero: a route swapped out and back in
+/// mid-window (operator intervention) restarts its metrics below the
+/// baseline, and a clamped window must read as idle, not as 2^64 serves.
+uint64_t Delta(uint64_t now, uint64_t base) { return now >= base ? now - base : 0; }
+
+/// Terminal responses a route produced in a window (completed requests,
+/// late requests, and failures — everything that left the queue with an
+/// answer or an error, minus sheds which are counted separately).
+uint64_t WindowServed(const ServeMetrics::Snapshot& base,
+                      const ServeMetrics::Snapshot& now) {
+  return Delta(now.completed, base.completed) +
+         Delta(now.deadline_misses, base.deadline_misses) +
+         Delta(now.failed, base.failed);
+}
+
+uint64_t WindowBad(const ServeMetrics::Snapshot& base,
+                   const ServeMetrics::Snapshot& now) {
+  return Delta(now.failed, base.failed) + Delta(now.shed, base.shed);
+}
+
+/// Window mean latency from mean×count deltas (the histogram itself is
+/// lifetime-cumulative; sums difference cleanly, means do not).
+double WindowMeanLatency(const ServeMetrics::Snapshot& base,
+                         const ServeMetrics::Snapshot& now) {
+  if (now.latency_count <= base.latency_count) return 0.0;
+  uint64_t count = now.latency_count - base.latency_count;
+  double sum = now.latency_mean_sec * static_cast<double>(now.latency_count) -
+               base.latency_mean_sec * static_cast<double>(base.latency_count);
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+std::string_view RolloutStateName(RolloutState state) {
+  switch (state) {
+    case RolloutState::kIdle:
+      return "idle";
+    case RolloutState::kShadow:
+      return "shadow";
+    case RolloutState::kCanary:
+      return "canary";
+    case RolloutState::kPromoted:
+      return "promoted";
+    case RolloutState::kRolledBack:
+      return "rolled-back";
+  }
+  return "unknown";
+}
+
+RolloutController::RolloutController(ModelRouter* router,
+                                     const RolloutOptions& options)
+    : router_(router), options_(options) {
+  if (options_.canary_weight < 1) options_.canary_weight = 1;
+  if (options_.stable_weight < 1) options_.stable_weight = 1;
+  if (options_.canary_windows < 1) options_.canary_windows = 1;
+  if (options_.shadow_min_compares < 1) options_.shadow_min_compares = 1;
+  if (options_.canary_window_sec <= 0.0) options_.canary_window_sec = 0.001;
+}
+
+Status RolloutController::Begin(uint64_t stable_version,
+                                std::shared_ptr<const ModelHandle> candidate) {
+  if (state_ != RolloutState::kIdle) {
+    return Status::FailedPrecondition(
+        StrFormat("rollout: Begin from state %s (one lifecycle per "
+                  "controller)",
+                  std::string(RolloutStateName(state_)).c_str()));
+  }
+  if (candidate == nullptr) {
+    return Status::InvalidArgument("rollout: null candidate handle");
+  }
+  RouteStats stable;
+  stable_version_ = stable_version;
+  if (!StableStats(&stable) || stable.weight == 0) {
+    stable_version_ = 0;
+    return Status::FailedPrecondition(
+        StrFormat("rollout: stable version %llu is not routed with weight",
+                  static_cast<unsigned long long>(stable_version)));
+  }
+  candidate_version_ = candidate->version();
+  Status added = router_->AddRoute(std::move(candidate), /*weight=*/0,
+                                   /*shadow=*/true);
+  if (!added.ok()) {
+    stable_version_ = 0;
+    candidate_version_ = 0;
+    return added;
+  }
+  stable_restore_weight_ = stable.weight;
+  state_ = RolloutState::kShadow;
+  last_transition_ = StrFormat(
+      "begin: candidate v%llu shadowing stable v%llu (weight %u held)",
+      static_cast<unsigned long long>(candidate_version_),
+      static_cast<unsigned long long>(stable_version_),
+      stable_restore_weight_);
+  return Status::OK();
+}
+
+Status RolloutController::Tick(double now_sec) {
+  switch (state_) {
+    case RolloutState::kIdle:
+    case RolloutState::kPromoted:
+    case RolloutState::kRolledBack:
+      return Status::OK();
+    case RolloutState::kShadow: {
+      RouteStats candidate;
+      if (!CandidateStats(&candidate)) {
+        return RollBack("shadow: candidate route vanished");
+      }
+      if (candidate.shadow_scored < options_.shadow_min_compares) {
+        return Status::OK();  // sample still too small to judge
+      }
+      double agree = static_cast<double>(candidate.shadow_agreed) /
+                     static_cast<double>(candidate.shadow_scored);
+      if (agree < options_.shadow_min_agree) {
+        return RollBack(StrFormat(
+            "shadow gate: agreement %.4f < %.4f over %llu compares", agree,
+            options_.shadow_min_agree,
+            static_cast<unsigned long long>(candidate.shadow_scored)));
+      }
+      last_transition_ = StrFormat(
+          "shadow gate passed: agreement %.4f over %llu compares", agree,
+          static_cast<unsigned long long>(candidate.shadow_scored));
+      return EnterCanary(now_sec);
+    }
+    case RolloutState::kCanary: {
+      if (now_sec - window_start_sec_ < options_.canary_window_sec) {
+        return Status::OK();  // window still open
+      }
+      RouteStats candidate;
+      RouteStats stable;
+      if (!CandidateStats(&candidate) || !StableStats(&stable)) {
+        return RollBack("canary: a routed version vanished");
+      }
+      uint64_t served = WindowServed(candidate_base_, candidate.metrics);
+      uint64_t shed = Delta(candidate.metrics.shed, candidate_base_.shed);
+      if (served + shed < options_.canary_min_served) {
+        // Idle window: no verdict either way; restart the clock.
+        StartWindow(now_sec);
+        return Status::OK();
+      }
+      uint64_t bad = WindowBad(candidate_base_, candidate.metrics);
+      double fail_rate =
+          static_cast<double>(bad) / static_cast<double>(served + shed);
+      if (fail_rate > options_.canary_max_fail_rate) {
+        return RollBack(StrFormat(
+            "canary gate: fail rate %.4f > %.4f (%llu bad / %llu terminal)",
+            fail_rate, options_.canary_max_fail_rate,
+            static_cast<unsigned long long>(bad),
+            static_cast<unsigned long long>(served + shed)));
+      }
+      if (options_.canary_max_latency_ratio > 0.0) {
+        double cand_mean = WindowMeanLatency(candidate_base_, candidate.metrics);
+        double stable_mean = WindowMeanLatency(stable_base_, stable.metrics);
+        if (stable_mean > 0.0 && cand_mean > 0.0 &&
+            cand_mean > options_.canary_max_latency_ratio * stable_mean) {
+          return RollBack(StrFormat(
+              "canary gate: window mean latency %.6fs > %.2fx stable %.6fs",
+              cand_mean, options_.canary_max_latency_ratio, stable_mean));
+        }
+      }
+      ++healthy_windows_;
+      if (healthy_windows_ >= options_.canary_windows) {
+        return Promote(StrFormat(
+            "canary gate passed: %d healthy windows (last: %llu served, "
+            "fail rate %.4f)",
+            healthy_windows_, static_cast<unsigned long long>(served),
+            fail_rate));
+      }
+      last_transition_ = StrFormat(
+          "canary window %d/%d healthy: %llu served, fail rate %.4f",
+          healthy_windows_, options_.canary_windows,
+          static_cast<unsigned long long>(served), fail_rate);
+      StartWindow(now_sec);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status RolloutController::Abort(std::string_view reason) {
+  if (state_ != RolloutState::kShadow && state_ != RolloutState::kCanary) {
+    return Status::OK();
+  }
+  return RollBack(StrFormat("aborted: %.*s", static_cast<int>(reason.size()),
+                            reason.data()));
+}
+
+Status RolloutController::EnterCanary(double now_sec) {
+  // Order matters: the candidate must leave shadow mode before it can
+  // take weight, and the stable reweights in the same event-loop step so
+  // no Submit ever sees a half-applied table.
+  HPA_RETURN_IF_ERROR(router_->SetShadow(candidate_version_, false));
+  HPA_RETURN_IF_ERROR(
+      router_->SetWeight(stable_version_, options_.stable_weight));
+  HPA_RETURN_IF_ERROR(
+      router_->SetWeight(candidate_version_, options_.canary_weight));
+  state_ = RolloutState::kCanary;
+  healthy_windows_ = 0;
+  StartWindow(now_sec);
+  return Status::OK();
+}
+
+Status RolloutController::RollBack(std::string reason) {
+  state_ = RolloutState::kRolledBack;
+  last_transition_ = std::move(reason);
+  // Restore first, then remove: the stable takes back full traffic
+  // before the candidate's buckets disappear.
+  Status restore =
+      router_->SetWeight(stable_version_, stable_restore_weight_);
+  Status removed = router_->RemoveRoute(candidate_version_);
+  if (!restore.ok()) return restore;
+  return removed;
+}
+
+Status RolloutController::Promote(std::string reason) {
+  state_ = RolloutState::kPromoted;
+  last_transition_ = std::move(reason);
+  // Candidate takes the combined weight before the stable parks, so the
+  // table never passes through total_weight == 0 (which would bounce
+  // Submits).
+  HPA_RETURN_IF_ERROR(router_->SetWeight(
+      candidate_version_, options_.stable_weight + options_.canary_weight));
+  HPA_RETURN_IF_ERROR(router_->SetWeight(stable_version_, 0));
+  return Status::OK();
+}
+
+void RolloutController::StartWindow(double now_sec) {
+  window_start_sec_ = now_sec;
+  RouteStats candidate;
+  RouteStats stable;
+  if (CandidateStats(&candidate)) candidate_base_ = candidate.metrics;
+  if (StableStats(&stable)) stable_base_ = stable.metrics;
+}
+
+bool RolloutController::CandidateStats(RouteStats* out) const {
+  for (RouteStats& stats : router_->Scrape()) {
+    if (stats.version == candidate_version_) {
+      *out = std::move(stats);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RolloutController::StableStats(RouteStats* out) const {
+  for (RouteStats& stats : router_->Scrape()) {
+    if (stats.version == stable_version_) {
+      *out = std::move(stats);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string RolloutController::Summary() const {
+  return StrFormat(
+      "state=%s stable=%llu candidate=%llu healthy_windows=%d last=\"%s\"",
+      std::string(RolloutStateName(state_)).c_str(),
+      static_cast<unsigned long long>(stable_version_),
+      static_cast<unsigned long long>(candidate_version_), healthy_windows_,
+      last_transition_.c_str());
+}
+
+}  // namespace hpa::serve

@@ -1,0 +1,176 @@
+#ifndef HPA_SERVE_ROLLOUT_H_
+#define HPA_SERVE_ROLLOUT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/router.h"
+
+/// \file
+/// Automated canary lifecycle over a ModelRouter: the controller that
+/// turns "a new version landed in the registry" into "it is serving all
+/// traffic" (or "it never served a byte") without a human watching
+/// dashboards. The hot-swap path (server.h TryHotSwap) validates a
+/// candidate with a fixed canary-probe set at swap time; this controller
+/// instead rides *live routed traffic* through three gates:
+///
+///   kIdle ──Begin──▶ kShadow ──agreement──▶ kCanary ──windows──▶ kPromoted
+///                       │                      │
+///                       └──────rollback────────┴───────▶ kRolledBack
+///
+///  * **shadow**: the candidate joins the router as a weight-0 shadow
+///    route. It scores the router's deterministic sample of served
+///    traffic; answers are compared against the serving model but never
+///    returned. Gate: at least `shadow_min_compares` comparisons AND
+///    agreement ≥ `shadow_min_agree`. Agreement below the gate once the
+///    sample is big enough rolls back — the candidate never took
+///    traffic.
+///  * **canary**: the candidate takes a small weight slice
+///    (`canary_weight` vs the stable's `stable_weight`) and must stay
+///    healthy for `canary_windows` consecutive executor-clock windows of
+///    `canary_window_sec`. Per window, from metrics *deltas* (snapshot
+///    at window start vs end): served ≥ `canary_min_served`, failure
+///    rate ≤ `canary_max_fail_rate`, and (when enabled) window mean
+///    latency ≤ `canary_max_latency_ratio` × the stable's window mean.
+///    Any breached window rolls back immediately.
+///  * **promote**: the candidate takes the full combined weight and the
+///    stable parks at weight 0 — still routed, still pinned, so an
+///    operator can flip back instantly; removing it is the caller's
+///    call.
+///  * **rollback**: the candidate route is removed (its queue drains
+///    through the router) and the stable's pre-rollout weight is
+///    restored. Terminal, like kPromoted: one controller drives one
+///    candidate through one lifecycle.
+///
+/// Determinism: Tick() decisions are pure functions of the router's
+/// counters and the caller-supplied executor clock — no wall time, no
+/// RNG. Driven from the same single thread as the router. The
+/// controller holds no durable state: after a crash, the registry (plus
+/// LatestVersionMatching) is the source of truth and a fresh
+/// router/controller reconverges — the chaos soak exercises exactly
+/// that at every state.
+
+namespace hpa::serve {
+
+/// Lifecycle position of one candidate rollout.
+enum class RolloutState {
+  kIdle,        ///< no candidate in flight
+  kShadow,      ///< candidate scoring shadow traffic, gate pending
+  kCanary,      ///< candidate holds the canary slice, windows running
+  kPromoted,    ///< terminal: candidate took the stable's traffic
+  kRolledBack,  ///< terminal: candidate removed, stable restored
+};
+
+/// Stable lowercase name:
+/// "idle" | "shadow" | "canary" | "promoted" | "rolled-back".
+std::string_view RolloutStateName(RolloutState state);
+
+/// Gate tuning. Defaults suit the bit-identical-refit case (agreement
+/// should be ~1.0; any real disagreement is signal).
+struct RolloutOptions {
+  /// Weight the stable model holds while the canary runs.
+  uint32_t stable_weight = 90;
+
+  /// Weight slice the candidate takes in kCanary.
+  uint32_t canary_weight = 10;
+
+  /// Shadow gate: minimum comparisons before the gate can decide.
+  uint64_t shadow_min_compares = 32;
+
+  /// Shadow gate: minimum agreed/scored fraction to enter canary.
+  double shadow_min_agree = 0.98;
+
+  /// Canary window length, executor-clock seconds.
+  double canary_window_sec = 0.250;
+
+  /// Consecutive healthy windows required to promote.
+  int canary_windows = 2;
+
+  /// Minimum requests the candidate must have served in a window for the
+  /// window to count (an idle window neither promotes nor rolls back —
+  /// it restarts).
+  uint64_t canary_min_served = 8;
+
+  /// Maximum (failed + shed) / terminal fraction per window.
+  double canary_max_fail_rate = 0.10;
+
+  /// Window-mean latency bound: candidate ≤ ratio × stable. 0 disables
+  /// (the right default on the simulated executor, where both models'
+  /// virtual latencies are near-identical by construction).
+  double canary_max_latency_ratio = 0.0;
+};
+
+/// Drives one candidate model through shadow → canary → promote /
+/// rollback on a live router. See file comment for the state machine.
+class RolloutController {
+ public:
+  /// `router` is borrowed and must outlive the controller.
+  RolloutController(ModelRouter* router, const RolloutOptions& options);
+
+  /// Starts a rollout: `stable_version` must already be routed with
+  /// weight > 0; `candidate` joins as a weight-0 shadow route. Only from
+  /// kIdle (kFailedPrecondition otherwise — one lifecycle per
+  /// controller).
+  Status Begin(uint64_t stable_version,
+               std::shared_ptr<const ModelHandle> candidate);
+
+  /// Advances the state machine against the router's current counters at
+  /// executor-clock `now_sec`. Call it from the serving event loop
+  /// (e.g. after each Poll). No-op in kIdle and the terminal states.
+  Status Tick(double now_sec);
+
+  /// Operator abort: rolls back from any live state (no-op when idle or
+  /// already terminal). `reason` lands in last_transition().
+  Status Abort(std::string_view reason);
+
+  RolloutState state() const { return state_; }
+  uint64_t stable_version() const { return stable_version_; }
+  uint64_t candidate_version() const { return candidate_version_; }
+
+  /// Healthy canary windows completed so far.
+  int healthy_windows() const { return healthy_windows_; }
+
+  /// Why the last transition happened — gate values at the decision.
+  const std::string& last_transition() const { return last_transition_; }
+
+  /// One line, stable field order, for logs and chaos digests.
+  std::string Summary() const;
+
+ private:
+  /// Candidate-route stats, or null if the route vanished.
+  bool CandidateStats(RouteStats* out) const;
+  bool StableStats(RouteStats* out) const;
+
+  /// Enters kCanary: reweights and snapshots window baselines.
+  Status EnterCanary(double now_sec);
+
+  /// Terminal rollback: removes the candidate, restores the stable.
+  Status RollBack(std::string reason);
+
+  /// Terminal promote: candidate takes the combined weight.
+  Status Promote(std::string reason);
+
+  /// Opens a fresh canary window at `now_sec` (baseline snapshots).
+  void StartWindow(double now_sec);
+
+  ModelRouter* router_;
+  RolloutOptions options_;
+  RolloutState state_ = RolloutState::kIdle;
+  uint64_t stable_version_ = 0;
+  uint64_t candidate_version_ = 0;
+  uint32_t stable_restore_weight_ = 0;  ///< stable's weight before Begin
+  double window_start_sec_ = 0.0;
+  int healthy_windows_ = 0;
+  ServeMetrics::Snapshot candidate_base_;  ///< window-start baselines
+  ServeMetrics::Snapshot stable_base_;
+  std::string last_transition_ = "idle";
+};
+
+}  // namespace hpa::serve
+
+#endif  // HPA_SERVE_ROLLOUT_H_

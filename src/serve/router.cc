@@ -1,0 +1,357 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/checksum.h"
+#include "common/string_util.h"
+
+namespace hpa::serve {
+
+namespace {
+
+/// Maps a 64-bit hash to a uniform double in [0, 1) (the fault injector's
+/// and breaker's mapping, reused so sample-rate semantics match).
+double ToUnit(uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+/// Bucket hash of a request identity for the weighted split. Pure in
+/// (salt, id): no state, no clock — the whole point.
+uint64_t BucketHash(uint64_t salt, uint64_t id) {
+  return StableHash64(StrFormat("route-%llu-%llu",
+                                static_cast<unsigned long long>(salt),
+                                static_cast<unsigned long long>(id)));
+}
+
+/// Independent stream deciding shadow-sample membership. A different
+/// prefix than the bucket hash, so which route serves an id and whether
+/// it is shadow-scored are uncorrelated decisions.
+uint64_t ShadowHash(uint64_t salt, uint64_t id) {
+  return StableHash64(StrFormat("shadow-%llu-%llu",
+                                static_cast<unsigned long long>(salt),
+                                static_cast<unsigned long long>(id)));
+}
+
+/// A response whose answer came off a model (vs shed/expired/failed —
+/// those carry model_version 0 and nothing to compare against).
+bool WasScored(const Response& r) {
+  return (r.outcome == RequestOutcome::kOk ||
+          r.outcome == RequestOutcome::kDeadlineMiss) &&
+         r.model_version != 0;
+}
+
+}  // namespace
+
+std::string RouteStats::Summary() const {
+  return StrFormat(
+      "version=%llu kind=%s weight=%u shadow=%d routed=%llu "
+      "completed=%llu shed=%llu opens=%llu half_opens=%llu probes=%llu "
+      "shadow_scored=%llu agreed=%llu disagreed=%llu",
+      static_cast<unsigned long long>(version),
+      std::string(ModelKindName(kind)).c_str(), weight, shadow ? 1 : 0,
+      static_cast<unsigned long long>(routed),
+      static_cast<unsigned long long>(metrics.completed),
+      static_cast<unsigned long long>(metrics.shed),
+      static_cast<unsigned long long>(breaker_opens),
+      static_cast<unsigned long long>(breaker_half_opens),
+      static_cast<unsigned long long>(breaker_probes),
+      static_cast<unsigned long long>(shadow_scored),
+      static_cast<unsigned long long>(shadow_agreed),
+      static_cast<unsigned long long>(shadow_disagreed));
+}
+
+ModelRouter::ModelRouter(const ops::ExecContext& ctx,
+                         const RouterOptions& options)
+    : ctx_(ctx), options_(options) {
+  if (options_.shadow_sample < 0.0) options_.shadow_sample = 0.0;
+  if (options_.shadow_sample > 1.0) options_.shadow_sample = 1.0;
+}
+
+ModelRouter::~ModelRouter() {
+  if (pins_ == nullptr) return;
+  for (const auto& route : routes_) pins_->Unpin(route->version);
+}
+
+Status ModelRouter::AddRoute(std::shared_ptr<const ModelHandle> handle,
+                             uint32_t weight, bool shadow,
+                             const ServerOptions* server_options) {
+  if (handle == nullptr) {
+    return Status::InvalidArgument("router: null model handle");
+  }
+  if (shadow && weight != 0) {
+    return Status::InvalidArgument(
+        StrFormat("router: shadow route v%llu must carry weight 0 (got %u)",
+                  static_cast<unsigned long long>(handle->version()), weight));
+  }
+  if (FindRoute(handle->version()) != nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("router: version %llu already routed",
+                  static_cast<unsigned long long>(handle->version())));
+  }
+  auto route = std::make_unique<Route>();
+  route->version = handle->version();
+  route->weight = weight;
+  route->shadow = shadow;
+  route->handle = std::move(handle);
+  route->metrics =
+      std::make_unique<ServeMetrics>(ctx_.executor->num_workers());
+  const ServerOptions& opts =
+      server_options != nullptr ? *server_options : options_.server;
+  route->server = std::make_unique<AnalyticsServer>(
+      ctx_, route->handle.get(), opts, route->metrics.get());
+  if (pins_ != nullptr) pins_->Pin(route->version);
+  routes_.push_back(std::move(route));
+  RebuildBuckets();
+  return Status::OK();
+}
+
+Status ModelRouter::SetWeight(uint64_t version, uint32_t weight) {
+  Route* route = FindRoute(version);
+  if (route == nullptr) {
+    return Status::NotFound(StrFormat(
+        "router: no route for version %llu",
+        static_cast<unsigned long long>(version)));
+  }
+  if (route->shadow && weight != 0) {
+    return Status::FailedPrecondition(
+        StrFormat("router: version %llu is a shadow route; SetShadow(false) "
+                  "before weighting it",
+                  static_cast<unsigned long long>(version)));
+  }
+  route->weight = weight;
+  RebuildBuckets();
+  return Status::OK();
+}
+
+Status ModelRouter::SetShadow(uint64_t version, bool shadow) {
+  Route* route = FindRoute(version);
+  if (route == nullptr) {
+    return Status::NotFound(StrFormat(
+        "router: no route for version %llu",
+        static_cast<unsigned long long>(version)));
+  }
+  if (shadow && route->weight != 0) {
+    return Status::FailedPrecondition(
+        StrFormat("router: version %llu carries weight %u; zero it before "
+                  "entering shadow",
+                  static_cast<unsigned long long>(version), route->weight));
+  }
+  route->shadow = shadow;
+  RebuildBuckets();
+  return Status::OK();
+}
+
+Status ModelRouter::RemoveRoute(uint64_t version) {
+  for (size_t i = 0; i < routes_.size(); ++i) {
+    if (routes_[i]->version != version) continue;
+    std::vector<Response> drained = routes_[i]->server->Drain();
+    ShadowCompare(drained);
+    pending_removed_.insert(pending_removed_.end(),
+                            std::make_move_iterator(drained.begin()),
+                            std::make_move_iterator(drained.end()));
+    if (pins_ != nullptr) pins_->Unpin(version);
+    routes_.erase(routes_.begin() + static_cast<ptrdiff_t>(i));
+    RebuildBuckets();
+    return Status::OK();
+  }
+  return Status::NotFound(StrFormat(
+      "router: no route for version %llu",
+      static_cast<unsigned long long>(version)));
+}
+
+void ModelRouter::RebuildBuckets() {
+  cum_.clear();
+  weighted_.clear();
+  total_weight_ = 0;
+  for (const auto& route : routes_) {
+    if (route->shadow || route->weight == 0) continue;
+    total_weight_ += route->weight;
+    cum_.push_back(total_weight_);
+    weighted_.push_back(route.get());
+  }
+}
+
+uint64_t ModelRouter::RouteVersionFor(uint64_t id) const {
+  if (total_weight_ == 0) return 0;
+  uint32_t bucket =
+      static_cast<uint32_t>(BucketHash(options_.salt, id) % total_weight_);
+  // Tiny table (route count, not weight total): a linear walk beats a
+  // binary search at realistic fan-outs and is branch-predictable.
+  for (size_t i = 0; i < cum_.size(); ++i) {
+    if (bucket < cum_[i]) return weighted_[i]->version;
+  }
+  return weighted_.back()->version;  // unreachable; bucket < total_weight_
+}
+
+bool ModelRouter::ShadowSampled(uint64_t id) const {
+  if (options_.shadow_sample <= 0.0) return false;
+  if (options_.shadow_sample >= 1.0) return true;
+  return ToUnit(ShadowHash(options_.salt, id)) < options_.shadow_sample;
+}
+
+Status ModelRouter::Submit(uint64_t id, std::string body, double deadline_sec,
+                           Lane lane) {
+  if (total_weight_ == 0) {
+    return Status::FailedPrecondition("router: no route carries weight");
+  }
+  uint64_t version = RouteVersionFor(id);
+  Route* route = FindRoute(version);
+  ++route->routed;
+  // Stash the body for shadow comparison BEFORE handing it off, but only
+  // when a shadow route exists to consume it and the id is sampled.
+  // Rejected submissions never produce a response, so the stash happens
+  // only after a successful admission below.
+  bool sample = has_shadow_routes() && ShadowSampled(id);
+  std::string shadow_body;
+  if (sample) shadow_body = body;
+  Status admitted = route->server->Submit(id, std::move(body), deadline_sec,
+                                          lane);
+  if (admitted.ok() && sample) {
+    shadow_pending_.emplace(id, std::move(shadow_body));
+  }
+  return admitted;
+}
+
+std::vector<Response> ModelRouter::Poll() {
+  std::vector<Response> out = std::move(pending_removed_);
+  pending_removed_.clear();
+  for (const auto& route : routes_) {
+    std::vector<Response> batch = route->server->Poll();
+    ShadowCompare(batch);
+    out.insert(out.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  return out;
+}
+
+std::vector<Response> ModelRouter::FlushAll() {
+  std::vector<Response> out = std::move(pending_removed_);
+  pending_removed_.clear();
+  for (const auto& route : routes_) {
+    std::vector<Response> batch = route->server->FlushAll();
+    ShadowCompare(batch);
+    out.insert(out.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  return out;
+}
+
+std::vector<Response> ModelRouter::Drain() {
+  std::vector<Response> out = std::move(pending_removed_);
+  pending_removed_.clear();
+  for (const auto& route : routes_) {
+    std::vector<Response> batch = route->server->Drain();
+    ShadowCompare(batch);
+    out.insert(out.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  // Anything still pending was sampled but never answered (should be
+  // impossible — every admitted request surfaces — but a drained router
+  // must not hold request bodies).
+  if (!shadow_pending_.empty()) {
+    for (const auto& route : routes_) {
+      if (route->shadow) route->shadow_skipped += shadow_pending_.size();
+    }
+    shadow_pending_.clear();
+  }
+  return out;
+}
+
+void ModelRouter::ShadowCompare(const std::vector<Response>& batch) {
+  if (shadow_pending_.empty()) return;
+  for (const Response& r : batch) {
+    auto it = shadow_pending_.find(r.id);
+    if (it == shadow_pending_.end()) continue;
+    if (WasScored(r)) {
+      for (const auto& route : routes_) {
+        if (!route->shadow) continue;
+        // Serial, direct Classify against the shadow handle only: no
+        // queue, no breaker, no metrics, no executor region — shadow
+        // scoring is invisible to the served timeline by construction.
+        ++route->shadow_scored;
+        uint32_t cluster = route->handle->Classify(it->second);
+        if (cluster == r.cluster) {
+          ++route->shadow_agreed;
+        } else {
+          ++route->shadow_disagreed;
+        }
+      }
+    } else {
+      for (const auto& route : routes_) {
+        if (route->shadow) ++route->shadow_skipped;
+      }
+    }
+    shadow_pending_.erase(it);
+  }
+}
+
+std::vector<RouteStats> ModelRouter::Scrape() const {
+  std::vector<RouteStats> out;
+  out.reserve(routes_.size());
+  for (const auto& route : routes_) {
+    RouteStats stats;
+    stats.version = route->version;
+    stats.kind = route->handle->kind();
+    stats.weight = route->weight;
+    stats.shadow = route->shadow;
+    stats.routed = route->routed;
+    stats.metrics = route->metrics->Scrape();
+    const CircuitBreaker& breaker = route->server->breaker();
+    stats.breaker_opens = breaker.opens();
+    stats.breaker_half_opens = breaker.half_opens();
+    stats.breaker_closes = breaker.closes();
+    stats.breaker_probes = breaker.probes_admitted();
+    stats.breaker_sheds = breaker.sheds();
+    stats.shadow_scored = route->shadow_scored;
+    stats.shadow_agreed = route->shadow_agreed;
+    stats.shadow_disagreed = route->shadow_disagreed;
+    stats.shadow_skipped = route->shadow_skipped;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::vector<uint64_t> ModelRouter::versions() const {
+  std::vector<uint64_t> out;
+  out.reserve(routes_.size());
+  for (const auto& route : routes_) out.push_back(route->version);
+  return out;
+}
+
+const AnalyticsServer* ModelRouter::server(uint64_t version) const {
+  const Route* route = FindRoute(version);
+  return route == nullptr ? nullptr : route->server.get();
+}
+
+void ModelRouter::set_pins(VersionPinSet* pins) {
+  if (pins_ == pins) return;
+  if (pins_ != nullptr) {
+    for (const auto& route : routes_) pins_->Unpin(route->version);
+  }
+  pins_ = pins;
+  if (pins_ != nullptr) {
+    for (const auto& route : routes_) pins_->Pin(route->version);
+  }
+}
+
+ModelRouter::Route* ModelRouter::FindRoute(uint64_t version) {
+  for (const auto& route : routes_) {
+    if (route->version == version) return route.get();
+  }
+  return nullptr;
+}
+
+const ModelRouter::Route* ModelRouter::FindRoute(uint64_t version) const {
+  for (const auto& route : routes_) {
+    if (route->version == version) return route.get();
+  }
+  return nullptr;
+}
+
+bool ModelRouter::has_shadow_routes() const {
+  for (const auto& route : routes_) {
+    if (route->shadow) return true;
+  }
+  return false;
+}
+
+}  // namespace hpa::serve

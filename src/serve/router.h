@@ -1,0 +1,250 @@
+#ifndef HPA_SERVE_ROUTER_H_
+#define HPA_SERVE_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ops/exec_context.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/request.h"
+#include "serve/server.h"
+
+/// \file
+/// Multi-model serving router: weighted / canary traffic splitting across
+/// N concurrently-loaded registry versions. The workflow layer optimizes
+/// ONE plan end to end; this is the serving-side analogue of adaptive
+/// operator selection — several fitted models (homogeneous A/B refits or
+/// heterogeneous ModelKinds) serve side by side, each behind its own
+/// refcounted snapshot handle, admission queue, circuit breaker, and
+/// metrics, with a dispatch layer in front that must stay off the hot
+/// path.
+///
+/// Dispatch discipline (the Tupleware lesson — routing must cost less
+/// than the work it routes):
+///
+///  * Every route decision is ONE StableHash64 of the request identity
+///    plus a walk of a tiny cumulative-weight array. No locks, no RNG
+///    state, no clock reads.
+///  * The split is a *pure function* of (salt, request id, weight table):
+///    `StableHash64("route-<salt>-<id>") % total_weight` picks an integer
+///    bucket, and route i owns exactly `weight_i` consecutive buckets (in
+///    route insertion order). The same id therefore routes identically at
+///    any worker count, in any submission order, and on every replay —
+///    the fault injector's determinism discipline applied to dispatch. A
+///    soak replay is bit-identical by construction, and an exit-time
+///    audit can recompute the expected per-route counts from the id
+///    stream alone (the weight-conservation invariant).
+///  * weight = 0 routes receive no served traffic at all — they are
+///    either parked (an old version kept loadable) or *shadow* routes.
+///
+/// Shadow scoring: a shadow route scores a deterministic sample of the
+/// routed traffic (`StableHash64("shadow-<salt>-<id>")` against the
+/// sample fraction — again pure, worker-count-invariant) and its answers
+/// are compared against the served response but never returned. Shadow
+/// work runs serially on the router thread against the shadow handle
+/// only: it never touches a served server's queue, breaker, metrics, or
+/// the executor clock, so enabling it cannot change one served byte or
+/// disposition (the shadow-isolation invariant the chaos soak enforces
+/// by digest comparison).
+///
+/// Each route wraps its own AnalyticsServer, so the per-model robustness
+/// layer comes for free and *isolated*: a fault storm on one model opens
+/// that model's breaker while the other routes keep serving. Per-route
+/// ServerOptions overrides allow asymmetric tuning (e.g. a tighter
+/// breaker on a canary).
+///
+/// Pinning: when a VersionPinSet is attached, every route's version is
+/// pinned for the lifetime of the route — RunGc's retain-N compaction
+/// skips pinned versions, so a router can keep serving an old version
+/// long after newer publishes would have compacted it away.
+///
+/// Threading contract: like AnalyticsServer, the router is driven by one
+/// thread; parallelism happens inside each route's batch regions.
+
+namespace hpa::serve {
+
+/// Counters for one route, scraped point-in-time.
+struct RouteStats {
+  uint64_t version = 0;
+  ModelKind kind = ModelKind::kKMeans;
+  uint32_t weight = 0;
+  bool shadow = false;
+
+  /// Submit() calls dispatched to this route (admitted + rejected).
+  uint64_t routed = 0;
+
+  ServeMetrics::Snapshot metrics;
+
+  // Per-model breaker state-transition counters (from the route server's
+  // scoring breaker; all zero when the breaker is disabled).
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_half_opens = 0;
+  uint64_t breaker_closes = 0;
+  uint64_t breaker_probes = 0;
+  uint64_t breaker_sheds = 0;
+
+  // Shadow-scoring counters (shadow routes only).
+  uint64_t shadow_scored = 0;     ///< comparisons actually performed
+  uint64_t shadow_agreed = 0;     ///< shadow answer == served answer
+  uint64_t shadow_disagreed = 0;  ///< shadow answer != served answer
+  uint64_t shadow_skipped = 0;    ///< sampled but never served (shed/failed)
+
+  /// One line, stable field order, for logs and bench JSON tails.
+  std::string Summary() const;
+};
+
+/// Router tuning.
+struct RouterOptions {
+  /// Default per-route server tuning (queue bound, batching, breaker,
+  /// retry, lanes). AddRoute may override per route.
+  ServerOptions server;
+
+  /// Fraction of routed request ids shadow-scored when shadow routes
+  /// exist, selected by pure hash of the id. 1.0 = every served request,
+  /// 0.0 = shadow routes are parked.
+  double shadow_sample = 1.0;
+
+  /// Routing-stream salt: folds into both the bucket hash and the shadow
+  /// sample hash, so two routers over the same id stream draw independent
+  /// splits.
+  uint64_t salt = 0;
+};
+
+/// Deterministic weighted traffic splitter over per-model serving
+/// engines. See file comment for the dispatch contract.
+class ModelRouter {
+ public:
+  /// The context's executor is required and shared by every route's
+  /// server (parallelism lives inside batch regions, so routes never run
+  /// concurrently with each other).
+  ModelRouter(const ops::ExecContext& ctx, const RouterOptions& options);
+
+  /// Unpins every remaining route.
+  ~ModelRouter();
+
+  ModelRouter(const ModelRouter&) = delete;
+  ModelRouter& operator=(const ModelRouter&) = delete;
+
+  /// Adds a route serving `handle` with integer `weight` (0 = no served
+  /// traffic). `shadow` routes must have weight 0. `server_options`, when
+  /// non-null, overrides the router-level defaults for this route only.
+  /// The handle's version must be unique among routes
+  /// (kFailedPrecondition otherwise; version is the route key). Pins the
+  /// version when a pin set is attached.
+  Status AddRoute(std::shared_ptr<const ModelHandle> handle, uint32_t weight,
+                  bool shadow = false,
+                  const ServerOptions* server_options = nullptr);
+
+  /// Retunes one route's weight. Shadow routes may not take weight
+  /// (promote them by SetShadow(false) first).
+  Status SetWeight(uint64_t version, uint32_t weight);
+
+  /// Flips a route in or out of shadow mode. Entering shadow requires
+  /// weight 0.
+  Status SetShadow(uint64_t version, bool shadow);
+
+  /// Drains the route's server (flushing its queue; the responses are
+  /// delivered on the next Poll), unpins the version, and removes the
+  /// route. kNotFound for an unknown version.
+  Status RemoveRoute(uint64_t version);
+
+  /// The version that would serve request `id` under the current weight
+  /// table, or 0 when no route carries weight. Pure — exposed so tests
+  /// and exit-time audits can recompute the split independently of any
+  /// traffic actually sent.
+  uint64_t RouteVersionFor(uint64_t id) const;
+
+  /// Whether request `id` falls in the deterministic shadow sample.
+  /// Pure; independent of whether shadow routes currently exist.
+  bool ShadowSampled(uint64_t id) const;
+
+  /// Dispatches to the owning route's server. kFailedPrecondition when
+  /// no route carries weight. Rejection/admission semantics are the
+  /// route server's own (per-route bounded queue).
+  Status Submit(uint64_t id, std::string body, double deadline_sec = 0.0,
+                Lane lane = Lane::kInteractive);
+
+  /// Ticks every route's flush policy (route insertion order) and runs
+  /// shadow comparisons for newly served responses. Every admitted
+  /// request surfaces in exactly one Poll/FlushAll/Drain return.
+  std::vector<Response> Poll();
+
+  /// Force-flushes every route.
+  std::vector<Response> FlushAll();
+
+  /// Drains every route (terminal for the route servers) and abandons
+  /// unserved shadow samples.
+  std::vector<Response> Drain();
+
+  /// Point-in-time stats for every route, in route insertion order.
+  std::vector<RouteStats> Scrape() const;
+
+  /// Sum of served weights (shadow routes contribute 0).
+  uint32_t total_weight() const { return total_weight_; }
+
+  size_t num_routes() const { return routes_.size(); }
+
+  /// Versions currently routed, insertion order.
+  std::vector<uint64_t> versions() const;
+
+  /// Route server for `version` (inspection; null when unknown).
+  const AnalyticsServer* server(uint64_t version) const;
+
+  /// Attach a pin set (not owned). Existing routes are pinned
+  /// immediately; future routes pin on AddRoute and unpin on removal.
+  void set_pins(VersionPinSet* pins);
+  VersionPinSet* pins() const { return pins_; }
+
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  struct Route {
+    uint64_t version = 0;
+    uint32_t weight = 0;
+    bool shadow = false;
+    uint64_t routed = 0;
+    uint64_t shadow_scored = 0;
+    uint64_t shadow_agreed = 0;
+    uint64_t shadow_disagreed = 0;
+    uint64_t shadow_skipped = 0;
+    std::shared_ptr<const ModelHandle> handle;
+    std::unique_ptr<ServeMetrics> metrics;
+    std::unique_ptr<AnalyticsServer> server;
+  };
+
+  /// Rebuilds the cumulative-bucket table after any weight change.
+  void RebuildBuckets();
+
+  Route* FindRoute(uint64_t version);
+  const Route* FindRoute(uint64_t version) const;
+
+  /// Shadow-compares served responses in `batch` (and retires the
+  /// pending bodies of terminally-unserved sampled requests).
+  void ShadowCompare(const std::vector<Response>& batch);
+
+  bool has_shadow_routes() const;
+
+  ops::ExecContext ctx_;
+  RouterOptions options_;
+  std::vector<std::unique_ptr<Route>> routes_;  ///< insertion order
+  /// Exclusive cumulative weight bounds, parallel to the weighted subset
+  /// of routes_: bucket b serves route weighted_[i] where
+  /// b < cum_[i] first holds.
+  std::vector<uint32_t> cum_;
+  std::vector<Route*> weighted_;
+  uint32_t total_weight_ = 0;
+  /// Bodies of sampled requests awaiting their served response.
+  std::map<uint64_t, std::string> shadow_pending_;
+  /// Drain output of removed routes, delivered on the next Poll.
+  std::vector<Response> pending_removed_;
+  VersionPinSet* pins_ = nullptr;
+};
+
+}  // namespace hpa::serve
+
+#endif  // HPA_SERVE_ROUTER_H_

@@ -1,0 +1,542 @@
+// Router suite (ctest label "route", with TSan/ASan twins): the
+// deterministic routing math in isolation — the hash-bucket split hits
+// the requested weights exactly, is invariant under request-id
+// permutation and across worker counts {1,2,4,8}, and weight-0/shadow
+// routes receive zero served traffic — plus per-route breaker isolation
+// under a one-sided fault storm, shadow-scoring isolation (enabling
+// shadow changes no served byte), and the GC-under-routing pin
+// regression (retain-N must not compact a version a router still
+// serves).
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+#include "io/fault_injection.h"
+#include "io/file_io.h"
+#include "io/packed_corpus.h"
+#include "io/sim_disk.h"
+#include "ops/exec_context.h"
+#include "parallel/machine_model.h"
+#include "parallel/simulated_executor.h"
+#include "serve/model_registry.h"
+#include "serve/registry_gc.h"
+#include "serve/request.h"
+#include "serve/router.h"
+#include "text/corpus_io.h"
+
+namespace hpa::serve {
+namespace {
+
+/// The router's bucket function, recomputed from first principles: the
+/// split must be auditable with no access to the router at all.
+uint64_t ExpectedRouteVersion(uint64_t salt, uint64_t id,
+                              const std::vector<std::pair<uint64_t, uint32_t>>&
+                                  weighted_versions) {
+  uint32_t total = 0;
+  for (const auto& [version, weight] : weighted_versions) total += weight;
+  if (total == 0) return 0;
+  uint64_t h = StableHash64(StrFormat("route-%llu-%llu",
+                                      static_cast<unsigned long long>(salt),
+                                      static_cast<unsigned long long>(id)));
+  uint32_t bucket = static_cast<uint32_t>(h % total);
+  uint32_t cum = 0;
+  for (const auto& [version, weight] : weighted_versions) {
+    cum += weight;
+    if (bucket < cum) return version;
+  }
+  return weighted_versions.back().first;
+}
+
+class RouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = io::MakeTempDir("hpa_router_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    corpus_disk_ = std::make_unique<io::SimDisk>(
+        io::DiskOptions::CorpusStore(), dir_, nullptr);
+    scratch_disk_ = std::make_unique<io::SimDisk>(io::DiskOptions::LocalHdd(),
+                                                  dir_, nullptr);
+    MakeExecutor(4);
+
+    const char* topics[3][4] = {
+        {"apple", "banana", "cherry", "fruit"},
+        {"engine", "piston", "gear", "motor"},
+        {"violin", "cello", "sonata", "quartet"},
+    };
+    text::Corpus corpus;
+    corpus.name = "router-fixture";
+    for (int doc = 0; doc < 24; ++doc) {
+      const char** words = topics[doc % 3];
+      std::string body;
+      for (int w = 0; w < 6; ++w) {
+        body += words[(doc / 3 + w) % 4];
+        body += ' ';
+      }
+      bodies_.push_back(body);
+      corpus.docs.push_back({"d" + std::to_string(doc), std::move(body), ""});
+    }
+    ASSERT_TRUE(
+        text::WriteCorpusPacked(corpus, corpus_disk_.get(), "c.pack").ok());
+    auto reader = io::PackedCorpusReader::Open(corpus_disk_.get(), "c.pack");
+    ASSERT_TRUE(reader.ok());
+    reader_ = std::make_unique<io::PackedCorpusReader>(std::move(*reader));
+  }
+  void TearDown() override { io::RemoveDirRecursive(dir_); }
+
+  void MakeExecutor(int workers) {
+    exec_ = std::make_unique<parallel::SimulatedExecutor>(
+        workers, parallel::MachineModel::Default());
+    corpus_disk_->set_executor(exec_.get());
+    scratch_disk_->set_executor(exec_.get());
+  }
+
+  ops::ExecContext Ctx() {
+    ops::ExecContext ctx;
+    ctx.executor = exec_.get();
+    ctx.corpus_disk = corpus_disk_.get();
+    ctx.scratch_disk = scratch_disk_.get();
+    return ctx;
+  }
+
+  ModelConfig Config() const {
+    ModelConfig config;
+    config.clusters = 3;
+    return config;
+  }
+
+  /// Fits (and publishes) `n` versions into the "models" registry and
+  /// returns shared handles for each.
+  std::vector<std::shared_ptr<const ModelHandle>> FitVersions(int n) {
+    ModelRegistry registry(scratch_disk_.get(), "models");
+    std::vector<std::shared_ptr<const ModelHandle>> handles;
+    for (int i = 0; i < n; ++i) {
+      auto fitted = registry.Fit(Ctx(), *reader_, Config());
+      EXPECT_TRUE(fitted.ok()) << fitted.status().ToString();
+      if (!fitted.ok()) return handles;
+      handles.push_back(std::make_shared<ModelHandle>(std::move(*fitted)));
+    }
+    return handles;
+  }
+
+  /// Submits `ids` in order, polling as it goes, and returns responses
+  /// keyed by id (Drain included: every admitted request surfaces).
+  std::map<uint64_t, Response> ServeIds(ModelRouter& router,
+                                        const std::vector<uint64_t>& ids) {
+    std::map<uint64_t, Response> by_id;
+    auto absorb = [&](std::vector<Response> batch) {
+      for (Response& r : batch) by_id.emplace(r.id, std::move(r));
+    };
+    for (uint64_t id : ids) {
+      EXPECT_TRUE(
+          router.Submit(id, bodies_[id % bodies_.size()]).ok());
+      absorb(router.Poll());
+    }
+    absorb(router.Drain());
+    return by_id;
+  }
+
+  std::string dir_;
+  std::unique_ptr<io::SimDisk> corpus_disk_;
+  std::unique_ptr<io::SimDisk> scratch_disk_;
+  std::unique_ptr<parallel::SimulatedExecutor> exec_;
+  std::unique_ptr<io::PackedCorpusReader> reader_;
+  std::vector<std::string> bodies_;
+};
+
+// ------------------------------------------------------- routing math
+
+TEST_F(RouterTest, SplitMatchesIndependentRecomputationExactly) {
+  auto handles = FitVersions(2);
+  ASSERT_EQ(handles.size(), 2u);
+  RouterOptions options;
+  options.salt = 42;
+  ModelRouter router(Ctx(), options);
+  ASSERT_TRUE(router.AddRoute(handles[0], 90).ok());
+  ASSERT_TRUE(router.AddRoute(handles[1], 10).ok());
+
+  std::vector<std::pair<uint64_t, uint32_t>> table = {
+      {handles[0]->version(), 90}, {handles[1]->version(), 10}};
+  std::vector<uint64_t> ids(500);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::map<uint64_t, uint64_t> expected_counts;
+  for (uint64_t id : ids) {
+    uint64_t want = ExpectedRouteVersion(42, id, table);
+    EXPECT_EQ(router.RouteVersionFor(id), want) << "id " << id;
+    ++expected_counts[want];
+  }
+
+  // Actually serve the traffic: the served-per-version counts must match
+  // the recomputed split exactly — not statistically.
+  auto responses = ServeIds(router, ids);
+  ASSERT_EQ(responses.size(), ids.size());
+  std::map<uint64_t, uint64_t> served_counts;
+  for (const auto& [id, r] : responses) {
+    EXPECT_EQ(r.outcome, RequestOutcome::kOk);
+    EXPECT_EQ(r.model_version, ExpectedRouteVersion(42, id, table));
+    ++served_counts[r.model_version];
+  }
+  EXPECT_EQ(served_counts, expected_counts);
+  EXPECT_GT(expected_counts[handles[0]->version()], 0u);
+  EXPECT_GT(expected_counts[handles[1]->version()], 0u);
+
+  // Scrape's routed counters are the same split.
+  for (const RouteStats& stats : router.Scrape()) {
+    EXPECT_EQ(stats.routed, expected_counts[stats.version]);
+  }
+}
+
+TEST_F(RouterTest, SplitIsInvariantUnderIdPermutation) {
+  auto handles = FitVersions(2);
+  ASSERT_EQ(handles.size(), 2u);
+  std::vector<uint64_t> ids(300);
+  std::iota(ids.begin(), ids.end(), 1000);
+
+  std::map<uint64_t, uint64_t> baseline;  // id -> served version
+  {
+    ModelRouter router(Ctx(), RouterOptions{});
+    ASSERT_TRUE(router.AddRoute(handles[0], 3).ok());
+    ASSERT_TRUE(router.AddRoute(handles[1], 1).ok());
+    for (const auto& [id, r] : ServeIds(router, ids)) {
+      baseline[id] = r.model_version;
+    }
+  }
+  // Any permutation of the same id set serves identically per id.
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 3; ++round) {
+    std::shuffle(ids.begin(), ids.end(), rng);
+    ModelRouter router(Ctx(), RouterOptions{});
+    ASSERT_TRUE(router.AddRoute(handles[0], 3).ok());
+    ASSERT_TRUE(router.AddRoute(handles[1], 1).ok());
+    auto responses = ServeIds(router, ids);
+    ASSERT_EQ(responses.size(), baseline.size());
+    for (const auto& [id, r] : responses) {
+      EXPECT_EQ(r.model_version, baseline.at(id)) << "id " << id;
+    }
+  }
+}
+
+TEST_F(RouterTest, SplitIsInvariantAcrossWorkerCounts) {
+  auto handles = FitVersions(2);
+  ASSERT_EQ(handles.size(), 2u);
+  std::vector<uint64_t> ids(200);
+  std::iota(ids.begin(), ids.end(), 0);
+
+  std::map<uint64_t, uint64_t> baseline;
+  for (int workers : {1, 2, 4, 8}) {
+    MakeExecutor(workers);
+    ModelRouter router(Ctx(), RouterOptions{});
+    ASSERT_TRUE(router.AddRoute(handles[0], 7).ok());
+    ASSERT_TRUE(router.AddRoute(handles[1], 3).ok());
+    auto responses = ServeIds(router, ids);
+    ASSERT_EQ(responses.size(), ids.size());
+    if (baseline.empty()) {
+      for (const auto& [id, r] : responses) baseline[id] = r.model_version;
+      continue;
+    }
+    for (const auto& [id, r] : responses) {
+      EXPECT_EQ(r.model_version, baseline.at(id))
+          << "id " << id << " at " << workers << " workers";
+    }
+  }
+}
+
+TEST_F(RouterTest, WeightZeroAndShadowRoutesReceiveZeroServedTraffic) {
+  auto handles = FitVersions(3);
+  ASSERT_EQ(handles.size(), 3u);
+  ModelRouter router(Ctx(), RouterOptions{});
+  ASSERT_TRUE(router.AddRoute(handles[0], 5).ok());
+  ASSERT_TRUE(router.AddRoute(handles[1], 0).ok());  // parked
+  ASSERT_TRUE(router.AddRoute(handles[2], 0, /*shadow=*/true).ok());
+  EXPECT_EQ(router.total_weight(), 5u);
+
+  std::vector<uint64_t> ids(200);
+  std::iota(ids.begin(), ids.end(), 0);
+  for (uint64_t id : ids) {
+    EXPECT_EQ(router.RouteVersionFor(id), handles[0]->version());
+  }
+  auto responses = ServeIds(router, ids);
+  for (const auto& [id, r] : responses) {
+    EXPECT_EQ(r.model_version, handles[0]->version());
+  }
+  for (const RouteStats& stats : router.Scrape()) {
+    if (stats.version == handles[0]->version()) {
+      EXPECT_EQ(stats.routed, ids.size());
+    } else {
+      EXPECT_EQ(stats.routed, 0u);
+      EXPECT_EQ(stats.metrics.submitted, 0u);
+    }
+  }
+}
+
+TEST_F(RouterTest, ShadowOnlyRouterRejectsSubmits) {
+  auto handles = FitVersions(1);
+  ASSERT_EQ(handles.size(), 1u);
+  ModelRouter router(Ctx(), RouterOptions{});
+  ASSERT_TRUE(router.AddRoute(handles[0], 0, /*shadow=*/true).ok());
+  EXPECT_EQ(router.total_weight(), 0u);
+  EXPECT_EQ(router.RouteVersionFor(7), 0u);
+  EXPECT_FALSE(router.Submit(7, bodies_[0]).ok());
+  for (const RouteStats& stats : router.Scrape()) {
+    EXPECT_EQ(stats.routed, 0u);
+  }
+}
+
+TEST_F(RouterTest, ShadowSamplingIsDeterministicAndSaltDependent) {
+  RouterOptions half;
+  half.shadow_sample = 0.5;
+  half.salt = 1;
+  ModelRouter a(Ctx(), half);
+  ModelRouter b(Ctx(), half);
+  RouterOptions other = half;
+  other.salt = 2;
+  ModelRouter c(Ctx(), other);
+
+  size_t sampled = 0;
+  size_t differs = 0;
+  for (uint64_t id = 0; id < 2000; ++id) {
+    EXPECT_EQ(a.ShadowSampled(id), b.ShadowSampled(id));
+    if (a.ShadowSampled(id)) ++sampled;
+    if (a.ShadowSampled(id) != c.ShadowSampled(id)) ++differs;
+  }
+  // Hash-uniform: the 0.5 sample holds within a loose band, and a salt
+  // change redraws the membership.
+  EXPECT_GT(sampled, 800u);
+  EXPECT_LT(sampled, 1200u);
+  EXPECT_GT(differs, 0u);
+
+  RouterOptions never;
+  never.shadow_sample = 0.0;
+  RouterOptions always;
+  always.shadow_sample = 1.0;
+  ModelRouter none(Ctx(), never);
+  ModelRouter all(Ctx(), always);
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_FALSE(none.ShadowSampled(id));
+    EXPECT_TRUE(all.ShadowSampled(id));
+  }
+}
+
+// ------------------------------------------------- shadow isolation
+
+TEST_F(RouterTest, ShadowScoringAgreesWithItselfAndChangesNoServedByte) {
+  auto handles = FitVersions(2);
+  ASSERT_EQ(handles.size(), 2u);
+  std::vector<uint64_t> ids(120);
+  std::iota(ids.begin(), ids.end(), 0);
+
+  // Baseline: no shadow route.
+  std::map<uint64_t, Response> plain;
+  {
+    ModelRouter router(Ctx(), RouterOptions{});
+    ASSERT_TRUE(router.AddRoute(handles[0], 1).ok());
+    plain = ServeIds(router, ids);
+  }
+
+  // Same traffic with v2 (a refit of the same corpus/config — identical
+  // centroids) shadow-scoring every request.
+  MakeExecutor(4);
+  ModelRouter router(Ctx(), RouterOptions{});
+  ASSERT_TRUE(router.AddRoute(handles[0], 1).ok());
+  ASSERT_TRUE(router.AddRoute(handles[1], 0, /*shadow=*/true).ok());
+  auto shadowed = ServeIds(router, ids);
+
+  ASSERT_EQ(shadowed.size(), plain.size());
+  for (const auto& [id, want] : plain) {
+    const Response& got = shadowed.at(id);
+    EXPECT_EQ(got.outcome, want.outcome);
+    EXPECT_EQ(got.model_version, want.model_version);
+    EXPECT_EQ(got.cluster, want.cluster);
+    uint64_t got_bits = 0, want_bits = 0;
+    std::memcpy(&got_bits, &got.distance, sizeof(got_bits));
+    std::memcpy(&want_bits, &want.distance, sizeof(want_bits));
+    EXPECT_EQ(got_bits, want_bits) << "shadow scoring changed served bits";
+  }
+
+  for (const RouteStats& stats : router.Scrape()) {
+    if (!stats.shadow) continue;
+    EXPECT_EQ(stats.shadow_scored, ids.size());
+    EXPECT_EQ(stats.shadow_agreed, ids.size())
+        << "a same-fit shadow must agree bit-for-bit";
+    EXPECT_EQ(stats.shadow_disagreed, 0u);
+  }
+}
+
+// ------------------------------------------------- breaker isolation
+
+TEST_F(RouterTest, FaultStormOpensOnlyTheStormedRoutesBreaker) {
+  auto handles = FitVersions(2);
+  ASSERT_EQ(handles.size(), 2u);
+  RouterOptions options;
+  options.server.breaker_enabled = true;
+  options.server.breaker.failure_threshold = 2;
+  options.server.breaker.open_sec = 1000.0;  // stays open for the test
+  options.server.max_batch = 4;
+  ModelRouter router(Ctx(), options);
+
+  // Route 1 is healthy; route 2 serves through a permanent fault storm.
+  io::FaultProfile storm;
+  storm.permanent_rate = 1.0;
+  storm.seed = 11;
+  io::FaultInjector injector(storm);
+  ServerOptions stormy = options.server;
+  stormy.injector = &injector;
+  ASSERT_TRUE(router.AddRoute(handles[0], 1).ok());
+  ASSERT_TRUE(router.AddRoute(handles[1], 1, false, &stormy).ok());
+
+  std::vector<uint64_t> ids(160);
+  std::iota(ids.begin(), ids.end(), 0);
+  auto responses = ServeIds(router, ids);
+  ASSERT_EQ(responses.size(), ids.size());
+
+  uint64_t healthy = handles[0]->version();
+  uint64_t stormed = handles[1]->version();
+  for (const auto& [id, r] : responses) {
+    if (router.RouteVersionFor(id) == healthy) {
+      EXPECT_EQ(r.outcome, RequestOutcome::kOk)
+          << "storm on one route must not leak into another";
+    }
+  }
+  std::map<uint64_t, RouteStats> by_version;
+  for (RouteStats& stats : router.Scrape()) {
+    by_version.emplace(stats.version, std::move(stats));
+  }
+  EXPECT_EQ(by_version.at(healthy).breaker_opens, 0u);
+  EXPECT_EQ(by_version.at(healthy).metrics.failed, 0u);
+  EXPECT_GE(by_version.at(stormed).breaker_opens, 1u);
+  EXPECT_GT(by_version.at(stormed).metrics.shed, 0u)
+      << "the open breaker should shed the stormed route's backlog";
+}
+
+// ------------------------------------------------- GC pin regression
+
+TEST_F(RouterTest, GcCannotCompactRoutedVersionsUntilUnpinned) {
+  auto handles = FitVersions(4);
+  ASSERT_EQ(handles.size(), 4u);
+  VersionPinSet pins;
+
+  GcOptions gc_options;
+  gc_options.retain = 1;
+  gc_options.pins = &pins;
+
+  {
+    RouterOptions options;
+    ModelRouter router(Ctx(), options);
+    router.set_pins(&pins);
+    // Route v1 and v2 — both older than retain=1 protects.
+    ASSERT_TRUE(router.AddRoute(handles[0], 90).ok());
+    ASSERT_TRUE(router.AddRoute(handles[1], 10).ok());
+    EXPECT_TRUE(pins.IsPinned(1) && pins.IsPinned(2));
+
+    RegistryGc gc(scratch_disk_.get(), "models", gc_options);
+    auto report = gc.Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    // v3 is old AND unpinned: removed. v1/v2 are old but pinned: kept.
+    EXPECT_EQ(report->removed_versions, std::vector<uint64_t>({3}));
+    EXPECT_EQ(report->pinned_kept, std::vector<uint64_t>({1, 2}));
+
+    // The routed versions are still loadable — the regression this test
+    // pins down: before pinning, retain=1 deleted v1/v2 here.
+    ModelRegistry registry(scratch_disk_.get(), "models");
+    EXPECT_TRUE(registry.Load(Config(), 1).ok());
+    EXPECT_TRUE(registry.Load(Config(), 2).ok());
+
+    // And the router still serves them.
+    std::vector<uint64_t> ids(50);
+    std::iota(ids.begin(), ids.end(), 0);
+    auto responses = ServeIds(router, ids);
+    for (const auto& [id, r] : responses) {
+      EXPECT_EQ(r.outcome, RequestOutcome::kOk);
+    }
+  }
+
+  // Router destroyed -> unpinned -> the next pass compacts v1/v2.
+  EXPECT_EQ(pins.size(), 0u);
+  RegistryGc gc(scratch_disk_.get(), "models", gc_options);
+  auto report = gc.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->removed_versions, std::vector<uint64_t>({1, 2}));
+  EXPECT_TRUE(report->pinned_kept.empty());
+}
+
+TEST_F(RouterTest, PinSetIsRefcountedAcrossRouters) {
+  VersionPinSet pins;
+  pins.Pin(5);
+  pins.Pin(5);
+  EXPECT_EQ(pins.PinCount(5), 2u);
+  pins.Unpin(5);
+  EXPECT_TRUE(pins.IsPinned(5));
+  pins.Unpin(5);
+  EXPECT_FALSE(pins.IsPinned(5));
+  pins.Unpin(5);  // over-unpin is a tolerated no-op
+  EXPECT_EQ(pins.size(), 0u);
+  pins.Pin(0);  // version 0 is the "never scored" sentinel, not pinnable
+  EXPECT_EQ(pins.size(), 0u);
+}
+
+// ------------------------------------------------- route table edits
+
+TEST_F(RouterTest, RouteTableEditsRejectIllegalTransitions) {
+  auto handles = FitVersions(2);
+  ASSERT_EQ(handles.size(), 2u);
+  ModelRouter router(Ctx(), RouterOptions{});
+  ASSERT_TRUE(router.AddRoute(handles[0], 1).ok());
+  EXPECT_FALSE(router.AddRoute(handles[0], 1).ok()) << "duplicate version";
+  EXPECT_FALSE(router.AddRoute(handles[1], 3, /*shadow=*/true).ok())
+      << "shadow routes must carry weight 0";
+  EXPECT_FALSE(router.SetWeight(99, 1).ok()) << "unknown version";
+  EXPECT_FALSE(router.SetShadow(handles[0]->version(), true).ok())
+      << "weighted route cannot enter shadow";
+  ASSERT_TRUE(router.SetWeight(handles[0]->version(), 0).ok());
+  EXPECT_TRUE(router.SetShadow(handles[0]->version(), true).ok());
+  EXPECT_FALSE(router.SetWeight(handles[0]->version(), 2).ok())
+      << "shadow route cannot take weight";
+  EXPECT_EQ(router.total_weight(), 0u);
+}
+
+TEST_F(RouterTest, RemoveRouteDrainsItsQueueThroughTheNextPoll) {
+  auto handles = FitVersions(2);
+  ASSERT_EQ(handles.size(), 2u);
+  RouterOptions options;
+  options.server.max_batch = 64;       // nothing flushes on its own
+  options.server.max_wait_sec = 1e9;
+  ModelRouter router(Ctx(), options);
+  ASSERT_TRUE(router.AddRoute(handles[0], 1).ok());
+  ASSERT_TRUE(router.AddRoute(handles[1], 1).ok());
+
+  std::vector<uint64_t> queued_on_v2;
+  for (uint64_t id = 0; id < 40; ++id) {
+    ASSERT_TRUE(router.Submit(id, bodies_[id % bodies_.size()]).ok());
+    if (router.RouteVersionFor(id) == handles[1]->version()) {
+      queued_on_v2.push_back(id);
+    }
+  }
+  ASSERT_FALSE(queued_on_v2.empty());
+  ASSERT_TRUE(router.RemoveRoute(handles[1]->version()).ok());
+
+  // The removed route's queue drains into the next Poll — no request is
+  // silently dropped.
+  std::vector<Response> polled = router.Poll();
+  std::map<uint64_t, Response> by_id;
+  for (Response& r : polled) by_id.emplace(r.id, std::move(r));
+  for (uint64_t id : queued_on_v2) {
+    ASSERT_TRUE(by_id.count(id)) << "id " << id << " vanished with its route";
+    EXPECT_EQ(by_id.at(id).model_version, handles[1]->version());
+  }
+  // Remaining traffic re-splits over the surviving route.
+  EXPECT_EQ(router.RouteVersionFor(queued_on_v2[0]),
+            handles[0]->version());
+}
+
+}  // namespace
+}  // namespace hpa::serve
